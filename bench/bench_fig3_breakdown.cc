@@ -1,0 +1,79 @@
+// Figure 3: contribution of each SplitFS technique, on two write-intensive
+// microbenchmarks (sequential 4 KB overwrites; 4 KB appends), fsync every 10 ops.
+//
+// Configurations, cumulative left to right (paper, normalized to ext4 DAX):
+//   ext4-DAX            baseline (1.0x)
+//   split               data ops in user space, appends still via kernel
+//   +staging            appends buffered in staging files, copied on fsync (~2x)
+//   +relink             staged appends relinked, zero-copy (~5x on appends;
+//                       sequential overwrites gain ~2x from the split alone).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/microbench.h"
+
+namespace {
+
+struct Config {
+  std::string name;
+  bool is_ext4;
+  bool staging;
+  bool relink;
+};
+
+double RunAppends(const Config& c) {
+  splitfs::Options o;
+  o.enable_staging = c.staging;
+  o.enable_relink = c.relink;
+  bench::Testbed bed(c.is_ext4 ? bench::FsKind::kExt4Dax : bench::FsKind::kSplitPosix,
+                     4 * common::kGiB, o);
+  wl::IoResult r = wl::RunAppend(bed.fs(), &bed.ctx()->clock, "/f3-append",
+                                 128 * common::kMiB, common::kBlockSize,
+                                 /*fsync_every=*/10);
+  return r.MopsPerSec();
+}
+
+double RunOverwrites(const Config& c) {
+  splitfs::Options o;
+  o.enable_staging = c.staging;
+  o.enable_relink = c.relink;
+  bench::Testbed bed(c.is_ext4 ? bench::FsKind::kExt4Dax : bench::FsKind::kSplitPosix,
+                     4 * common::kGiB, o);
+  wl::PrepareFile(bed.fs(), "/f3-ow", 128 * common::kMiB);
+  wl::IoResult r = wl::RunSeqOverwrite(bed.fs(), &bed.ctx()->clock, "/f3-ow",
+                                       128 * common::kMiB, common::kBlockSize,
+                                       /*fsync_every=*/10);
+  return r.MopsPerSec();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3: SplitFS technique breakdown (throughput, fsync every 10 ops)",
+      "SplitFS (SOSP'19) Figure 3");
+  const std::vector<Config> configs = {
+      {"ext4-DAX", true, false, false},
+      {"split", false, false, false},
+      {"split+staging", false, true, false},
+      {"split+staging+relink", false, true, true},
+  };
+  std::printf("%-22s %18s %12s %18s %12s\n", "config", "overwrite Mops/s", "(vs ext4)",
+              "append Mops/s", "(vs ext4)");
+  double ow_base = 0, ap_base = 0;
+  for (const auto& c : configs) {
+    double ow = RunOverwrites(c);
+    double ap = RunAppends(c);
+    if (c.is_ext4) {
+      ow_base = ow;
+      ap_base = ap;
+    }
+    std::printf("%-22s %18.3f %11.2fx %18.3f %11.2fx\n", c.name.c_str(), ow,
+                ow / ow_base, ap, ap / ap_base);
+  }
+  std::printf("\npaper shape: overwrites ~2x from the split architecture alone;\n"
+              "appends ~2x from staging and ~5x once relink removes the fsync copy.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 4: throughput on five IO patterns — sequential read, random read,
+// sequential (over)write, random write, append — 4 KB ops over a 128 MB file
+// (the whole file read/written once, as in §5.6; no periodic fsync), grouped by
+// guarantee level and normalized to each group's baseline:
+//   POSIX:  SplitFS-POSIX  vs ext4-DAX
+//   sync:   SplitFS-sync   vs PMFS
+//   strict: SplitFS-strict vs NOVA-strict and Strata
+//
+// Paper shape: SplitFS >= baseline everywhere; appends gain the most (up to 7.85x
+// vs ext4), reads the least (~27%); strict-mode random writes up to 5.8x vs NOVA.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/microbench.h"
+
+namespace {
+
+constexpr uint64_t kFileBytes = 128 * common::kMiB;
+constexpr uint64_t kOp = common::kBlockSize;
+constexpr uint64_t kOps = kFileBytes / kOp;
+
+struct Row {
+  const char* pattern;
+  double mops[8];  // Indexed by FsKind order below.
+};
+
+const std::vector<bench::FsKind> kKinds = {
+    bench::FsKind::kExt4Dax,     bench::FsKind::kSplitPosix,
+    bench::FsKind::kPmfs,        bench::FsKind::kSplitSync,
+    bench::FsKind::kNovaStrict,  bench::FsKind::kStrata,
+    bench::FsKind::kSplitStrict,
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 4: throughput by IO pattern (Mops/s, 4 KB ops, 128 MB)",
+                     "SplitFS (SOSP'19) Figure 4");
+  // pattern -> fs -> Mops.
+  std::vector<std::vector<double>> table(5, std::vector<double>(kKinds.size(), 0));
+  const char* patterns[5] = {"seq-read", "rand-read", "seq-write", "rand-write",
+                             "append"};
+  for (size_t k = 0; k < kKinds.size(); ++k) {
+    bench::Testbed bed(kKinds[k]);
+    vfs::FileSystem* fs = bed.fs();
+    sim::Clock* clock = &bed.ctx()->clock;
+    wl::PrepareFile(fs, "/f4", kFileBytes);
+    table[0][k] = wl::RunSeqRead(fs, clock, "/f4", kFileBytes, kOp).MopsPerSec();
+    table[1][k] = wl::RunRandRead(fs, clock, "/f4", kFileBytes, kOp, kOps, 13).MopsPerSec();
+    table[2][k] = wl::RunSeqOverwrite(fs, clock, "/f4", kFileBytes, kOp, 0).MopsPerSec();
+    table[3][k] =
+        wl::RunRandOverwrite(fs, clock, "/f4", kFileBytes, kOp, kOps, 0, 17).MopsPerSec();
+    table[4][k] = wl::RunAppend(fs, clock, "/f4-append", kFileBytes, kOp, 0).MopsPerSec();
+  }
+
+  std::printf("%-11s", "pattern");
+  for (auto kind : kKinds) {
+    std::printf(" %13s", bench::FsKindName(kind));
+  }
+  std::printf("\n");
+  for (int p = 0; p < 5; ++p) {
+    std::printf("%-11s", patterns[p]);
+    for (size_t k = 0; k < kKinds.size(); ++k) {
+      std::printf(" %13.3f", table[p][k]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nNormalized within guarantee groups (paper Figure 4 layout):\n");
+  std::printf("%-11s | POSIX: SplitFS/ext4 | sync: SplitFS/PMFS | strict: SplitFS/NOVA  SplitFS/Strata\n",
+              "pattern");
+  for (int p = 0; p < 5; ++p) {
+    double vs_ext4 = table[p][1] / table[p][0];
+    double vs_pmfs = table[p][3] / table[p][2];
+    double vs_nova = table[p][6] / table[p][4];
+    double vs_strata = table[p][6] / table[p][5];
+    std::printf("%-11s | %18.2fx | %17.2fx | %16.2fx %15.2fx\n", patterns[p], vs_ext4,
+                vs_pmfs, vs_nova, vs_strata);
+  }
+  return 0;
+}

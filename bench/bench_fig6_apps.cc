@@ -1,0 +1,157 @@
+// Figure 6: end-to-end application performance per guarantee level.
+//   Data-intensive: YCSB A-F on the LevelDB-like store (Kops/s), Redis-like SET
+//   (Kops/s), TPC-C on the SQLite-like store (Ktxns/s). Higher is better.
+//   Metadata-heavy: git add/commit rounds, tar, rsync (seconds). Lower is better.
+//
+// Paper shape: SplitFS beats every same-guarantee baseline on all data-intensive
+// workloads (up to 2.7x, biggest on write-heavy A/LoadA/Redis); on git/tar/rsync it
+// loses by at most ~13-15%.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/aof_store.h"
+#include "src/workloads/tpcc_lite.h"
+#include "src/workloads/utilities.h"
+#include "src/workloads/ycsb.h"
+
+namespace {
+
+struct AppRow {
+  std::string name;
+  double value = 0;  // Kops/s for data apps; seconds for utilities.
+};
+
+std::vector<AppRow> MeasureData(bench::FsKind kind) {
+  std::vector<AppRow> rows;
+  // YCSB on the LSM store.
+  {
+    bench::Testbed bed(kind);
+    apps::KvLsmOptions kopts;
+    kopts.clock = &bed.ctx()->clock;
+    apps::KvLsm store(bed.fs(), "/ycsb", kopts);
+    wl::YcsbConfig cfg;
+    cfg.record_count = 20000;
+    cfg.op_count = 20000;
+    wl::Ycsb ycsb(&store, cfg);
+    rows.push_back({"YCSB-LoadA", ycsb.Load(&bed.ctx()->clock).Kops()});
+    for (auto w : {wl::YcsbWorkload::kA, wl::YcsbWorkload::kB, wl::YcsbWorkload::kC,
+                   wl::YcsbWorkload::kD, wl::YcsbWorkload::kF}) {
+      rows.push_back({std::string("YCSB-") + wl::YcsbName(w),
+                      ycsb.Run(w, &bed.ctx()->clock).Kops()});
+    }
+  }
+  // YCSB E (scans) on a smaller keyspace: scans are expensive.
+  {
+    bench::Testbed bed(kind);
+    apps::KvLsmOptions kopts;
+    kopts.clock = &bed.ctx()->clock;
+    apps::KvLsm store(bed.fs(), "/ycsbe", kopts);
+    wl::YcsbConfig cfg;
+    cfg.record_count = 4000;
+    cfg.op_count = 500;
+    wl::Ycsb ycsb(&store, cfg);
+    ycsb.Load(&bed.ctx()->clock);
+    rows.push_back(
+        {"YCSB-RunE", ycsb.Run(wl::YcsbWorkload::kE, &bed.ctx()->clock).Kops()});
+  }
+  // Redis-like SET workload: 100% writes, AOF mode (paper: 1M SETs; scaled).
+  {
+    bench::Testbed bed(kind);
+    apps::AofOptions aopts;
+    aopts.clock = &bed.ctx()->clock;
+    apps::AofStore redis(bed.fs(), "/redis", aopts);
+    common::Rng rng(5);
+    uint64_t t0 = bed.ctx()->clock.Now();
+    const uint64_t kSets = 50000;
+    for (uint64_t i = 0; i < kSets; ++i) {
+      std::string key = "key" + std::to_string(rng.Uniform(100000));
+      redis.Set(key, std::string(64, static_cast<char>('a' + i % 26)));
+    }
+    uint64_t ns = bed.ctx()->clock.Now() - t0;
+    rows.push_back({"Redis-SET", static_cast<double>(kSets) * 1e6 / ns});
+  }
+  // TPC-C.
+  {
+    bench::Testbed bed(kind);
+    apps::WalDb db(bed.fs(), "/tpcc.db");
+    wl::TpccLite tpcc(&db, {});
+    tpcc.Load(&bed.ctx()->clock);
+    rows.push_back({"SQLite-TPCC", tpcc.Run(4000, &bed.ctx()->clock).Ktps()});
+  }
+  return rows;
+}
+
+std::vector<AppRow> MeasureUtilities(bench::FsKind kind) {
+  std::vector<AppRow> rows;
+  wl::TreeSpec spec;
+  spec.dirs = 24;
+  spec.files_per_dir = 48;
+  {
+    bench::Testbed bed(kind);
+    wl::BuildTree(bed.fs(), &bed.ctx()->clock, "/src", spec);
+    rows.push_back({"git", wl::RunGit(bed.fs(), &bed.ctx()->clock, "/src", "/git", spec,
+                                      /*rounds=*/10)
+                               .Seconds()});
+  }
+  {
+    bench::Testbed bed(kind);
+    wl::BuildTree(bed.fs(), &bed.ctx()->clock, "/src", spec);
+    rows.push_back({"tar", wl::RunTar(bed.fs(), &bed.ctx()->clock, "/src",
+                                      "/archive.tar", spec)
+                               .Seconds()});
+  }
+  {
+    bench::Testbed bed(kind);
+    wl::BuildTree(bed.fs(), &bed.ctx()->clock, "/src", spec);
+    rows.push_back({"rsync", wl::RunRsync(bed.fs(), &bed.ctx()->clock, "/src", "/dst",
+                                          spec)
+                                 .Seconds()});
+  }
+  return rows;
+}
+
+void PrintGroup(const char* title, const std::vector<bench::FsKind>& kinds,
+                bool utilities) {
+  std::printf("\n--- %s ---\n", title);
+  std::vector<std::vector<AppRow>> all;
+  for (auto k : kinds) {
+    all.push_back(utilities ? MeasureUtilities(k) : MeasureData(k));
+  }
+  std::printf("%-12s", utilities ? "utility(s)" : "app(Kops/s)");
+  for (auto k : kinds) {
+    std::printf(" %14s", bench::FsKindName(k));
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < all[0].size(); ++r) {
+    std::printf("%-12s", all[0][r].name.c_str());
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      std::printf(" %14.3f", all[k][r].value);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 6: application performance by guarantee level",
+                     "SplitFS (SOSP'19) Figure 6");
+  PrintGroup("POSIX guarantees (throughput; higher is better)",
+             {bench::FsKind::kExt4Dax, bench::FsKind::kSplitPosix}, false);
+  PrintGroup("sync guarantees",
+             {bench::FsKind::kPmfs, bench::FsKind::kNovaRelaxed,
+              bench::FsKind::kSplitSync},
+             false);
+  PrintGroup("strict guarantees",
+             {bench::FsKind::kNovaStrict, bench::FsKind::kSplitStrict}, false);
+  PrintGroup("metadata-heavy utilities, POSIX group (runtime seconds; lower is better)",
+             {bench::FsKind::kExt4Dax, bench::FsKind::kSplitPosix}, true);
+  PrintGroup("metadata-heavy utilities, strict group",
+             {bench::FsKind::kNovaStrict, bench::FsKind::kSplitStrict}, true);
+  std::printf("\npaper shape: SplitFS wins every data-intensive workload in its\n"
+              "guarantee class (up to 2.7x on write-heavy ones) and degrades <= ~15%%\n"
+              "on git/tar/rsync.\n");
+  return 0;
+}

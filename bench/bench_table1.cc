@@ -1,0 +1,57 @@
+// Table 1: software overhead of appending one 4 KB block, per file system.
+//
+// Paper numbers (ns): raw PM write 671; ext4 DAX 9002 (overhead 8331, 1241%),
+// PMFS 4150 (3479, 518%), NOVA-strict 3021 (2350, 350%), SplitFS-strict 1251 (580,
+// 86%), SplitFS-POSIX 1160 (488, 73%).
+//
+// Method (§1): append 4 KB blocks to a file, 128 MB total, measure mean time per
+// append and subtract the PM media time for the payload.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/microbench.h"
+
+namespace {
+
+struct PaperRow {
+  bench::FsKind kind;
+  double paper_total_ns;
+  double paper_overhead_ns;
+};
+
+constexpr double kPmWrite4kNs = 671.0;
+
+void RunOne(const PaperRow& row) {
+  bench::Testbed bed(row.kind);
+  const uint64_t kTotal = 128 * common::kMiB;
+  wl::IoResult r = wl::RunAppend(bed.fs(), &bed.ctx()->clock, "/t1-append", kTotal,
+                                 common::kBlockSize, /*fsync_every=*/0);
+  double per_op = r.NsPerOp();
+  double overhead = per_op - kPmWrite4kNs;
+  std::printf("%-15s %10.0f %12.0f %10.0f%% | paper: %6.0f %9.0f %8.0f%%\n",
+              bench::FsKindName(row.kind), per_op, overhead,
+              100.0 * overhead / kPmWrite4kNs, row.paper_total_ns,
+              row.paper_overhead_ns, 100.0 * row.paper_overhead_ns / kPmWrite4kNs);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 1: Software overhead of a 4 KB append",
+                     "SplitFS (SOSP'19) Table 1");
+  std::printf("%-15s %10s %12s %11s | %s\n", "File system", "append/ns", "overhead/ns",
+              "overhead/%", "paper (total, overhead, %)");
+  std::printf("raw 4 KB PM write (calibration anchor): %.0f ns\n", kPmWrite4kNs);
+  const std::vector<PaperRow> rows = {
+      {bench::FsKind::kExt4Dax, 9002, 8331},
+      {bench::FsKind::kPmfs, 4150, 3479},
+      {bench::FsKind::kNovaStrict, 3021, 2350},
+      {bench::FsKind::kSplitStrict, 1251, 580},
+      {bench::FsKind::kSplitPosix, 1160, 488},
+  };
+  for (const auto& row : rows) {
+    RunOne(row);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 2: PM device performance characteristics (Izraelevitz et al. numbers the
+// cost model is calibrated against). This bench measures the *emulated* device and
+// checks it reproduces the configured latencies and bandwidths.
+//
+// Paper values: seq read latency 169 ns, random read latency 305 ns,
+// store+flush+fence 91 ns, read BW 39.4 GB/s (device aggregate; the model uses the
+// single-thread effective rate), write BW 13.9 GB/s aggregate.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+
+int main() {
+  bench::PrintHeader("Table 2: emulated PM device characteristics",
+                     "SplitFS (SOSP'19) Table 2 (from Izraelevitz et al.)");
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 1 * common::kGiB);
+  std::vector<uint8_t> buf(4096, 1);
+
+  // Sequential read latency: first cache line of a fresh run.
+  uint64_t t0 = ctx.clock.Now();
+  dev.Load(0, buf.data(), 64, /*sequential=*/true, false);
+  uint64_t seq_lat = ctx.clock.Now() - t0 -
+                     static_cast<uint64_t>(64 * ctx.model.pm_read_ns_per_byte);
+  t0 = ctx.clock.Now();
+  dev.Load(512 * common::kMiB, buf.data(), 64, /*sequential=*/false, false);
+  uint64_t rand_lat = ctx.clock.Now() - t0 -
+                      static_cast<uint64_t>(64 * ctx.model.pm_read_ns_per_byte);
+
+  // Store + fence persistence cost (64 B line).
+  t0 = ctx.clock.Now();
+  dev.StoreNt(0, buf.data(), 64, sim::PmWriteKind::kUserData);
+  uint64_t store_fence = ctx.clock.Now() - t0 -
+                         static_cast<uint64_t>(64 * ctx.model.pm_write_ns_per_byte);
+
+  // Streaming bandwidths over 256 MB.
+  const uint64_t kStream = 256 * common::kMiB;
+  std::vector<uint8_t> big(1 * common::kMiB, 2);
+  t0 = ctx.clock.Now();
+  for (uint64_t off = 0; off < kStream; off += big.size()) {
+    dev.Load(off, big.data(), big.size(), true, false);
+  }
+  double read_gbps = static_cast<double>(kStream) / static_cast<double>(ctx.clock.Now() - t0);
+  t0 = ctx.clock.Now();
+  for (uint64_t off = 0; off < kStream; off += big.size()) {
+    dev.StoreNt(off, big.data(), big.size(), sim::PmWriteKind::kUserData);
+  }
+  double write_gbps = static_cast<double>(kStream) / static_cast<double>(ctx.clock.Now() - t0);
+
+  std::printf("%-32s %10s | %s\n", "Property", "measured", "paper (device aggregate)");
+  std::printf("%-32s %7llu ns | 169 ns\n", "Sequential read latency",
+              static_cast<unsigned long long>(seq_lat));
+  std::printf("%-32s %7llu ns | 305 ns\n", "Random read latency",
+              static_cast<unsigned long long>(rand_lat));
+  std::printf("%-32s %7llu ns | 91 ns\n", "Store + flush + fence",
+              static_cast<unsigned long long>(store_fence));
+  std::printf("%-32s %7.1f GB/s | 39.4 GB/s aggregate (model: 1-thread effective)\n",
+              "Read bandwidth", read_gbps);
+  std::printf("%-32s %7.1f GB/s | 13.9 GB/s aggregate (model: 1-thread effective)\n",
+              "Write bandwidth", write_gbps);
+  std::printf("\n4 KB nt-write end-to-end (Table 1 anchor, expect ~671 ns): ");
+  uint64_t t1 = ctx.clock.Now();
+  dev.StoreNt(0, buf.data(), 4096, sim::PmWriteKind::kUserData);
+  std::printf("%llu ns\n", static_cast<unsigned long long>(ctx.clock.Now() - t1));
+  return 0;
+}

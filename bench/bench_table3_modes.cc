@@ -1,0 +1,157 @@
+// Table 3: the SplitFS mode/guarantee matrix, demonstrated by crash experiments.
+//
+// For each mode (POSIX / sync / strict) this bench runs four crash scenarios against
+// a tracking-enabled PM device and reports the observed guarantee:
+//   * synchronous data op:    overwrite without fsync -> survives the crash?
+//   * atomic data op:         multi-block overwrite + torn crash -> old XOR new?
+//   * synchronous metadata:   create without fsync -> file exists after crash?
+//   * atomic metadata:        rename + crash -> exactly one name resolves?
+// Appends are checked separately: atomic in every mode (all-or-nothing at fsync).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/split_fs.h"
+
+namespace {
+
+using common::kBlockSize;
+using common::kMiB;
+using splitfs::Mode;
+
+splitfs::Options Opts(Mode m) {
+  splitfs::Options o;
+  o.mode = m;
+  o.num_staging_files = 2;
+  o.staging_file_bytes = 8 * kMiB;
+  o.oplog_bytes = 1 * kMiB;
+  return o;
+}
+
+struct World {
+  sim::Context ctx;
+  std::unique_ptr<pmem::Device> dev;
+  std::unique_ptr<ext4sim::Ext4Dax> kfs;
+  std::unique_ptr<splitfs::SplitFs> fs;
+  explicit World(Mode m) {
+    dev = std::make_unique<pmem::Device>(&ctx, 512 * kMiB);
+    kfs = std::make_unique<ext4sim::Ext4Dax>(dev.get());
+    fs = std::make_unique<splitfs::SplitFs>(kfs.get(), Opts(m));
+    dev->EnableCrashTracking(true);
+  }
+  void CrashAndRecover(common::Rng* rng = nullptr) {
+    dev->Crash(rng);
+    kfs->Recover();
+    fs->Recover();
+  }
+};
+
+bool SyncDataOp(Mode m) {
+  World w(m);
+  int fd = w.fs->Open("/f", vfs::kRdWr | vfs::kCreate);
+  std::vector<uint8_t> a(kBlockSize, 0xAA), b(kBlockSize, 0xBB);
+  w.fs->Pwrite(fd, a.data(), a.size(), 0);
+  w.fs->Fsync(fd);
+  w.fs->Pwrite(fd, b.data(), b.size(), 0);  // Overwrite, NO fsync.
+  w.CrashAndRecover();
+  int fd2 = w.fs->Open("/f", vfs::kRdWr);
+  std::vector<uint8_t> back(kBlockSize);
+  w.fs->Pread(fd2, back.data(), back.size(), 0);
+  return back == b;  // Synchronous: the overwrite survived without fsync.
+}
+
+bool AtomicDataOp(Mode m) {
+  // 8-block overwrite with a torn crash; atomic iff the file is all-old or all-new.
+  World w(m);
+  int fd = w.fs->Open("/f", vfs::kRdWr | vfs::kCreate);
+  std::vector<uint8_t> a(8 * kBlockSize, 0xAA), b(8 * kBlockSize, 0xBB);
+  w.fs->Pwrite(fd, a.data(), a.size(), 0);
+  w.fs->Fsync(fd);
+  w.fs->Pwrite(fd, b.data(), b.size(), 0);
+  common::Rng rng(99);
+  w.CrashAndRecover(&rng);  // Torn: random unfenced lines persist.
+  int fd2 = w.fs->Open("/f", vfs::kRdWr);
+  std::vector<uint8_t> back(8 * kBlockSize);
+  w.fs->Pread(fd2, back.data(), back.size(), 0);
+  return back == a || back == b;
+}
+
+bool SyncMetadataOp(Mode m) {
+  World w(m);
+  int fd = w.fs->Open("/created", vfs::kRdWr | vfs::kCreate);
+  (void)fd;  // NO fsync.
+  w.CrashAndRecover();
+  vfs::StatBuf st;
+  return w.fs->Stat("/created", &st) == 0;
+}
+
+bool AtomicMetadataOp(Mode m) {
+  World w(m);
+  int fd = w.fs->Open("/a", vfs::kRdWr | vfs::kCreate);
+  w.fs->Pwrite(fd, "data", 4, 0);
+  w.fs->Fsync(fd);
+  w.fs->Close(fd);
+  w.fs->Rename("/a", "/b");
+  common::Rng rng(7);
+  w.CrashAndRecover(&rng);
+  vfs::StatBuf st;
+  bool a_exists = w.fs->Stat("/a", &st) == 0;
+  bool b_exists = w.fs->Stat("/b", &st) == 0;
+  return a_exists != b_exists;  // Exactly one name: rename is all-or-nothing.
+}
+
+bool AtomicAppend(Mode m) {
+  World w(m);
+  int fd = w.fs->Open("/app", vfs::kRdWr | vfs::kCreate);
+  w.fs->Fsync(fd);
+  std::vector<uint8_t> b(2 * kBlockSize, 0xCC);
+  w.fs->Pwrite(fd, b.data(), b.size(), 0);  // Append, no fsync.
+  common::Rng rng(3);
+  w.CrashAndRecover(&rng);
+  int fd2 = w.fs->Open("/app", vfs::kRdWr);
+  vfs::StatBuf st;
+  w.fs->Fstat(fd2, &st);
+  if (st.size == 0) {
+    return true;  // Append vanished atomically.
+  }
+  if (st.size != b.size()) {
+    return false;  // Partial size: torn append.
+  }
+  std::vector<uint8_t> back(b.size());
+  w.fs->Pread(fd2, back.data(), back.size(), 0);
+  return back == b;  // Fully present.
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=============================================================================\n");
+  std::printf("Table 3: SplitFS modes and guarantees (observed via crash injection)\n");
+  std::printf("Reproduces: SplitFS (SOSP'19) Table 3\n");
+  std::printf("=============================================================================\n");
+  std::printf("%-8s %10s %10s %14s %14s %14s | paper row\n", "mode", "sync data",
+              "atomic data", "sync metadata", "atomic metadata", "atomic append");
+  struct PaperRow {
+    Mode m;
+    const char* expect;
+  };
+  const PaperRow rows[] = {
+      {Mode::kPosix, "x x x ok (= ext4-DAX + atomic appends)"},
+      {Mode::kSync, "ok x ok ok (= PMFS / NOVA-relaxed)"},
+      {Mode::kStrict, "ok ok ok ok (= NOVA-strict / Strata)"},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-8s %10s %11s %14s %15s %14s | %s\n", ModeName(row.m),
+                SyncDataOp(row.m) ? "yes" : "no", AtomicDataOp(row.m) ? "yes" : "no",
+                SyncMetadataOp(row.m) ? "yes" : "no",
+                AtomicMetadataOp(row.m) ? "yes" : "no",
+                AtomicAppend(row.m) ? "yes" : "no", row.expect);
+  }
+  std::printf("\nNote: SplitFS-POSIX overwrites are in-place nt-stores, so 'sync data'\n"
+              "reads yes even though POSIX mode does not promise it (the paper notes\n"
+              "POSIX-mode overwrites are synchronous; the table's guarantee column is\n"
+              "about what applications may rely on).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 6: per-syscall latency (us) of SplitFS modes vs ext4 DAX, measured with the
+// Varmail-like sequence of §5.4: create + 4x(4K append + fsync), close, open,
+// read 16K, close, open+close, unlink.
+//
+// Paper (us):            strict  sync  POSIX  ext4-DAX
+//   open                  2.09   2.08   1.82    1.54
+//   close                 0.78   0.69   0.69    0.34
+//   append                3.14   3.09   2.84   11.05
+//   fsync                 6.85   6.80   6.80   28.98
+//   read                  4.57   4.53   4.53    5.04
+//   unlink               14.60  13.56  14.33    8.60
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/microbench.h"
+
+int main() {
+  bench::PrintHeader("Table 6: SplitFS system-call latencies (us)",
+                     "SplitFS (SOSP'19) Table 6");
+  const std::vector<bench::FsKind> kinds = {
+      bench::FsKind::kSplitStrict,
+      bench::FsKind::kSplitSync,
+      bench::FsKind::kSplitPosix,
+      bench::FsKind::kExt4Dax,
+  };
+  std::map<std::string, std::map<std::string, double>> results;
+  for (auto kind : kinds) {
+    bench::Testbed bed(kind);
+    wl::SyscallLatencies lat =
+        wl::RunVarmail(bed.fs(), &bed.ctx()->clock, /*iterations=*/500, "/varmail");
+    for (const auto& [name, ns] : lat.mean_ns) {
+      results[name][bench::FsKindName(kind)] = ns / 1000.0;
+    }
+  }
+  const std::map<std::string, std::map<std::string, double>> paper = {
+      {"open", {{"SplitFS-strict", 2.09}, {"SplitFS-sync", 2.08}, {"SplitFS-POSIX", 1.82}, {"ext4-DAX", 1.54}}},
+      {"close", {{"SplitFS-strict", 0.78}, {"SplitFS-sync", 0.69}, {"SplitFS-POSIX", 0.69}, {"ext4-DAX", 0.34}}},
+      {"append", {{"SplitFS-strict", 3.14}, {"SplitFS-sync", 3.09}, {"SplitFS-POSIX", 2.84}, {"ext4-DAX", 11.05}}},
+      {"fsync", {{"SplitFS-strict", 6.85}, {"SplitFS-sync", 6.80}, {"SplitFS-POSIX", 6.80}, {"ext4-DAX", 28.98}}},
+      {"read", {{"SplitFS-strict", 4.57}, {"SplitFS-sync", 4.53}, {"SplitFS-POSIX", 4.53}, {"ext4-DAX", 5.04}}},
+      {"unlink", {{"SplitFS-strict", 14.60}, {"SplitFS-sync", 13.56}, {"SplitFS-POSIX", 14.33}, {"ext4-DAX", 8.60}}},
+  };
+  std::printf("%-8s | %14s %14s %14s %14s\n", "syscall", "SplitFS-strict",
+              "SplitFS-sync", "SplitFS-POSIX", "ext4-DAX");
+  for (const auto& [name, per_fs] : results) {
+    std::printf("%-8s |", name.c_str());
+    for (const char* fsname :
+         {"SplitFS-strict", "SplitFS-sync", "SplitFS-POSIX", "ext4-DAX"}) {
+      auto it = per_fs.find(fsname);
+      std::printf(" %14.2f", it == per_fs.end() ? 0.0 : it->second);
+    }
+    std::printf("   (paper:");
+    auto pit = paper.find(name);
+    if (pit != paper.end()) {
+      for (const char* fsname :
+           {"SplitFS-strict", "SplitFS-sync", "SplitFS-POSIX", "ext4-DAX"}) {
+        std::printf(" %.2f", pit->second.at(fsname));
+      }
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}

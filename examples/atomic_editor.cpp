@@ -1,0 +1,117 @@
+// Example: strict mode as the paper motivates it (§3.2) — "editors can allow atomic
+// changes to the file when the user saves". A toy editor overwrites a document in
+// place; power fails before the data is known durable. Three file systems, same
+// crash:
+//   * ext4-DAX        — the DAX write path copies with nt-stores but nothing fences
+//                       until fsync: an unlucky crash leaves a TORN document;
+//   * SplitFS-POSIX   — overwrites are synchronous (nt-store + fence in the call):
+//                       the save is already durable when the call returns;
+//   * SplitFS-strict  — the overwrite is staged + op-logged: after a crash the
+//                       document is always exactly the old or the new version.
+//
+//   build/examples/atomic_editor
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/split_fs.h"
+
+namespace {
+
+std::vector<uint8_t> Document(char fill) {
+  std::vector<uint8_t> doc(8 * common::kBlockSize);
+  for (size_t i = 0; i < doc.size(); ++i) {
+    doc[i] = static_cast<uint8_t>(fill + (i / 1000) % 4);
+  }
+  return doc;
+}
+
+const char* Classify(const std::vector<uint8_t>& got, const std::vector<uint8_t>& v1,
+                     const std::vector<uint8_t>& v2) {
+  if (got == v1) {
+    return "old version (save never happened)";
+  }
+  if (got == v2) {
+    return "new version (save completed)";
+  }
+  return "*** TORN: a mix of both versions ***";
+}
+
+enum class Config { kExt4, kSplitPosix, kSplitStrict };
+
+const char* Name(Config c) {
+  switch (c) {
+    case Config::kExt4:
+      return "ext4-DAX";
+    case Config::kSplitPosix:
+      return "SplitFS-POSIX";
+    case Config::kSplitStrict:
+      return "SplitFS-strict";
+  }
+  return "?";
+}
+
+void Experiment(Config config, uint64_t crash_seed) {
+  sim::Context ctx;
+  pmem::Device pm(&ctx, 512 * common::kMiB);
+  ext4sim::Ext4Dax kernel_fs(&pm);
+  std::unique_ptr<splitfs::SplitFs> split;
+  vfs::FileSystem* fs = &kernel_fs;
+  if (config != Config::kExt4) {
+    splitfs::Options opts;
+    opts.mode = config == Config::kSplitStrict ? splitfs::Mode::kStrict
+                                               : splitfs::Mode::kPosix;
+    opts.num_staging_files = 2;
+    opts.staging_file_bytes = 8 * common::kMiB;
+    opts.oplog_bytes = 1 * common::kMiB;
+    split = std::make_unique<splitfs::SplitFs>(&kernel_fs, opts);
+    fs = split.get();
+  }
+  pm.EnableCrashTracking(true);
+
+  auto v1 = Document('A');
+  auto v2 = Document('M');
+
+  // Save version 1 durably.
+  int fd = fs->Open("/novel.txt", vfs::kRdWr | vfs::kCreate);
+  fs->Pwrite(fd, v1.data(), v1.size(), 0);
+  fs->Fsync(fd);
+
+  // The user saves version 2... and power fails before anything else runs.
+  // An arbitrary subset of cachelines that never reached their persistence point
+  // survives (torn write).
+  fs->Pwrite(fd, v2.data(), v2.size(), 0);
+  common::Rng torn(crash_seed);
+  pm.Crash(&torn);
+  kernel_fs.Recover();
+  if (split) {
+    split->Recover();
+  }
+
+  int fd2 = fs->Open("/novel.txt", vfs::kRdWr);
+  std::vector<uint8_t> got(v1.size());
+  fs->Pread(fd2, got.data(), got.size(), 0);
+  std::printf("  %-16s -> %s\n", Name(config), Classify(got, v1, v2));
+  fs->Close(fd2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Atomic document save under power failure (32 KB overwrite, torn crash)\n\n");
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    std::printf("crash #%llu:\n", static_cast<unsigned long long>(seed));
+    Experiment(Config::kExt4, seed);
+    Experiment(Config::kSplitPosix, seed);
+    Experiment(Config::kSplitStrict, seed);
+  }
+  std::printf(
+      "\next4-DAX tears: its write path has no persistence point until fsync.\n"
+      "SplitFS-POSIX overwrites are synchronous, so the save is durable on return.\n"
+      "SplitFS-strict additionally guarantees old-XOR-new even when the op-log\n"
+      "entry itself is torn (checksum discards it -> clean old version, §3.3).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: the paper's headline application scenario — a LevelDB-style key-value
+// store running YCSB, once on plain ext4-DAX and once on SplitFS-POSIX, on identical
+// emulated hardware. Prints the side-by-side throughput (Figure 6's POSIX group,
+// miniature edition).
+//
+//   build/examples/kvstore_ycsb
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/kv_lsm.h"
+#include "src/common/bytes.h"
+#include "src/core/split_fs.h"
+#include "src/workloads/ycsb.h"
+
+namespace {
+
+struct RunResult {
+  double load_kops;
+  double run_a_kops;
+  double run_c_kops;
+};
+
+RunResult RunOn(bool use_splitfs) {
+  sim::Context ctx;
+  pmem::Device pm(&ctx, 4 * common::kGiB);
+  ext4sim::Ext4Dax kernel_fs(&pm);
+  std::unique_ptr<splitfs::SplitFs> split;
+  vfs::FileSystem* fs = &kernel_fs;
+  if (use_splitfs) {
+    split = std::make_unique<splitfs::SplitFs>(&kernel_fs, splitfs::Options{});
+    fs = split.get();
+  }
+
+  apps::KvLsmOptions kv_opts;
+  kv_opts.clock = &ctx.clock;  // Charge LevelDB-side CPU to the simulated clock.
+  apps::KvLsm store(fs, "/leveldb", kv_opts);
+
+  wl::YcsbConfig cfg;
+  cfg.record_count = 10000;
+  cfg.op_count = 10000;
+  wl::Ycsb ycsb(&store, cfg);
+
+  RunResult r;
+  r.load_kops = ycsb.Load(&ctx.clock).Kops();
+  r.run_a_kops = ycsb.Run(wl::YcsbWorkload::kA, &ctx.clock).Kops();
+  r.run_c_kops = ycsb.Run(wl::YcsbWorkload::kC, &ctx.clock).Kops();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("YCSB on a LevelDB-style LSM store (10K records, 10K ops, 1 KB values)\n");
+  std::printf("Same workload, same emulated PM; only the file system changes.\n\n");
+  RunResult ext4 = RunOn(false);
+  RunResult split = RunOn(true);
+  std::printf("%-12s %14s %14s %10s\n", "workload", "ext4-DAX", "SplitFS-POSIX",
+              "speedup");
+  std::printf("%-12s %11.1f K/s %11.1f K/s %9.2fx\n", "Load A", ext4.load_kops,
+              split.load_kops, split.load_kops / ext4.load_kops);
+  std::printf("%-12s %11.1f K/s %11.1f K/s %9.2fx\n", "Run A (50/50)", ext4.run_a_kops,
+              split.run_a_kops, split.run_a_kops / ext4.run_a_kops);
+  std::printf("%-12s %11.1f K/s %11.1f K/s %9.2fx\n", "Run C (reads)", ext4.run_c_kops,
+              split.run_c_kops, split.run_c_kops / ext4.run_c_kops);
+  std::printf("\nWrite-heavy phases gain the most — WAL appends run in user space and\n"
+              "publish by relink; read-heavy phases gain less (the paper's §5.8).\n");
+  return 0;
+}

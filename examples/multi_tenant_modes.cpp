@@ -1,0 +1,77 @@
+// Example: the SplitFS feature no other PM file system offers (§3.2) — concurrent
+// applications choosing *different* consistency modes over one shared file system.
+// A strict-mode database and a POSIX-mode log processor share the same ext4-DAX
+// instance; each gets its own guarantees and neither interferes with the other.
+//
+//   build/examples/multi_tenant_modes
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/apps/wal_db.h"
+#include "src/common/bytes.h"
+#include "src/core/split_fs.h"
+
+int main() {
+  sim::Context ctx;
+  pmem::Device pm(&ctx, 2 * common::kGiB);
+  ext4sim::Ext4Dax kernel_fs(&pm);
+
+  // Tenant 1: a database wanting atomic+synchronous operations. (Both tenants use a
+  // modest staging pool so two instances fit comfortably on the 2 GiB demo device.)
+  splitfs::Options strict_opts;
+  strict_opts.mode = splitfs::Mode::kStrict;
+  strict_opts.num_staging_files = 4;
+  strict_opts.staging_file_bytes = 32 * common::kMiB;
+  splitfs::SplitFs db_app(&kernel_fs, strict_opts, "tenant-db");
+
+  // Tenant 2: a log cruncher that only needs POSIX semantics, but wants speed.
+  splitfs::Options posix_opts;
+  posix_opts.mode = splitfs::Mode::kPosix;
+  posix_opts.num_staging_files = 4;
+  posix_opts.staging_file_bytes = 32 * common::kMiB;
+  splitfs::SplitFs log_app(&kernel_fs, posix_opts, "tenant-logs");
+
+  std::printf("tenant 1: %s | tenant 2: %s — sharing one K-Split instance\n\n",
+              db_app.Name().c_str(), log_app.Name().c_str());
+
+  // Tenant 1 runs transactions.
+  apps::WalDb db(&db_app, "/bank.db");
+  std::vector<uint8_t> page(4096, 1);
+  uint64_t t0 = ctx.clock.Now();
+  for (int i = 0; i < 500; ++i) {
+    db.Begin();
+    page[0] = static_cast<uint8_t>(i);
+    db.WritePage(static_cast<uint64_t>(i % 50), page.data());
+    db.Commit();
+  }
+  double db_us_per_txn = (ctx.clock.Now() - t0) / 500.0 / 1000.0;
+
+  // Tenant 2 streams a log file concurrently (interleaved here; the instances are
+  // independent and their modes do not interfere).
+  int lfd = log_app.Open("/events.log", vfs::kRdWr | vfs::kCreate | vfs::kAppend);
+  std::string line(256, '#');
+  t0 = ctx.clock.Now();
+  for (int i = 0; i < 20000; ++i) {
+    log_app.Write(lfd, line.data(), line.size());
+  }
+  log_app.Fsync(lfd);
+  double log_ns_per_append = static_cast<double>(ctx.clock.Now() - t0) / 20000.0;
+  log_app.Close(lfd);
+
+  std::printf("strict tenant:  %.1f us per committed transaction (atomic, synchronous)\n",
+              db_us_per_txn);
+  std::printf("POSIX tenant:   %.0f ns per 256 B append (amortized, incl. final relink)\n",
+              log_ns_per_append);
+  std::printf("op-log entries written by strict tenant: %llu; POSIX tenant: %llu\n",
+              static_cast<unsigned long long>(db_app.OpLogEntries()),
+              static_cast<unsigned long long>(log_app.OpLogEntries()));
+
+  // Cross-tenant visibility: published files are one namespace.
+  vfs::StatBuf st;
+  if (db_app.Stat("/events.log", &st) == 0) {
+    std::printf("\nstrict tenant sees the POSIX tenant's published log: %llu bytes\n",
+                static_cast<unsigned long long>(st.size));
+  }
+  return 0;
+}

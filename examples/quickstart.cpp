@@ -1,0 +1,68 @@
+// Quickstart: set up an emulated PM machine, mount SplitFS over ext4-DAX, and do
+// file IO the way the paper's applications do — then inspect what the split
+// architecture did under the hood.
+//
+//   build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/split_fs.h"
+
+int main() {
+  // 1. One simulated machine: clock + cost model + an emulated PM device.
+  // (SplitFS pre-allocates 10 x 160 MB staging files by default, so give the
+  // device room — a real Optane module is hundreds of gigabytes.)
+  sim::Context ctx;
+  pmem::Device pm(&ctx, 4 * common::kGiB);
+
+  // 2. The kernel file system (K-Split): ext4 in DAX mode.
+  ext4sim::Ext4Dax kernel_fs(&pm);
+
+  // 3. The user-space library file system (U-Split). POSIX mode here; see
+  //    examples/atomic_editor.cpp for strict mode.
+  splitfs::Options opts;
+  opts.mode = splitfs::Mode::kPosix;
+  splitfs::SplitFs fs(&kernel_fs, opts);
+
+  // 4. Plain POSIX-shaped IO. Appends go to staging files; fsync publishes them
+  //    with the relink primitive — no data copy.
+  int fd = fs.Open("/hello.txt", vfs::kRdWr | vfs::kCreate);
+  if (fd < 0) {
+    std::fprintf(stderr, "open failed: %d\n", fd);
+    return 1;
+  }
+  std::string msg = "hello, persistent memory!\n";
+  fs.Write(fd, msg.data(), msg.size());
+
+  std::vector<uint8_t> block(4096, 0x42);
+  for (int i = 0; i < 1024; ++i) {  // 4 MB of appends.
+    fs.Write(fd, block.data(), block.size());
+  }
+  uint64_t before_fsync = ctx.clock.Now();
+  fs.Fsync(fd);
+  uint64_t fsync_ns = ctx.clock.Now() - before_fsync;
+
+  // 5. Reads are served from the collection of memory-maps: loads, no kernel trap.
+  std::vector<char> back(msg.size());
+  fs.Pread(fd, back.data(), back.size(), 0);
+  std::printf("read back: %.*s", static_cast<int>(back.size()), back.data());
+  fs.Close(fd);
+
+  // 6. What happened underneath:
+  std::printf("simulated time:        %.3f ms\n", ctx.clock.Now() / 1e6);
+  std::printf("fsync (relink) cost:   %.1f us for 4 MB of staged appends\n",
+              fsync_ns / 1e3);
+  std::printf("kernel traps:          %llu\n",
+              static_cast<unsigned long long>(ctx.stats.syscalls()));
+  std::printf("relinks:               %llu\n",
+              static_cast<unsigned long long>(ctx.stats.relinks()));
+  std::printf("user data written:     %.2f MB\n", ctx.stats.data_bytes() / 1e6);
+  std::printf("journal bytes:         %.2f MB\n", ctx.stats.journal_bytes() / 1e6);
+  std::printf("software overhead:     %.1f%% of total time\n",
+              100.0 * (ctx.clock.Now() - ctx.stats.data_media_ns()) / ctx.clock.Now());
+  std::printf("\nNote how ~1000 appends required only a handful of kernel traps:\n"
+              "data operations stayed in user space (the paper's core idea).\n");
+  return 0;
+}

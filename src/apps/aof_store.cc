@@ -1,0 +1,190 @@
+#include "src/apps/aof_store.h"
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace apps {
+
+namespace {
+// AOF line: "S <klen> <vlen>\n<key><value>" or "D <klen>\n<key>". Plain text sizes keep
+// replay simple; Redis's RESP framing would add nothing to the FS behaviour.
+std::string SetLine(const std::string& k, const std::string& v) {
+  return "S " + std::to_string(k.size()) + " " + std::to_string(v.size()) + "\n" + k + v;
+}
+std::string DelLine(const std::string& k) {
+  return "D " + std::to_string(k.size()) + "\n" + k;
+}
+}  // namespace
+
+AofStore::AofStore(vfs::FileSystem* fs, std::string dir, AofOptions opts)
+    : fs_(fs), dir_(std::move(dir)), opts_(opts) {
+  fs_->Mkdir(dir_);
+  Replay();
+  if (aof_fd_ < 0) {
+    aof_fd_ = fs_->Open(dir_ + "/appendonly.aof", vfs::kRdWr | vfs::kCreate | vfs::kAppend);
+    SPLITFS_CHECK(aof_fd_ >= 0);
+  }
+}
+
+AofStore::~AofStore() {
+  if (aof_fd_ >= 0) {
+    fs_->Fsync(aof_fd_);
+    fs_->Close(aof_fd_);
+  }
+}
+
+int AofStore::Append(const std::string& line) {
+  ssize_t rc = fs_->Write(aof_fd_, line.data(), line.size());
+  if (rc != static_cast<ssize_t>(line.size())) {
+    return rc < 0 ? static_cast<int>(rc) : -EIO;
+  }
+  aof_bytes_ += line.size();
+  if (++ops_since_fsync_ >= opts_.fsync_interval_ops) {
+    ops_since_fsync_ = 0;
+    return fs_->Fsync(aof_fd_);
+  }
+  return 0;
+}
+
+int AofStore::Set(const std::string& key, const std::string& value) {
+  if (opts_.clock != nullptr) {
+    opts_.clock->Advance(opts_.app_cpu_ns);
+  }
+  int rc = Append(SetLine(key, value));
+  if (rc != 0) {
+    return rc;
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    live_bytes_ -= it->second.size() + key.size();
+  }
+  live_bytes_ += key.size() + value.size();
+  map_[key] = value;
+  return MaybeRewrite();
+}
+
+std::optional<std::string> AofStore::Get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+int AofStore::Del(const std::string& key) {
+  if (opts_.clock != nullptr) {
+    opts_.clock->Advance(opts_.app_cpu_ns);
+  }
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return 0;
+  }
+  int rc = Append(DelLine(key));
+  if (rc != 0) {
+    return rc;
+  }
+  live_bytes_ -= it->second.size() + key.size();
+  map_.erase(it);
+  return MaybeRewrite();
+}
+
+int AofStore::MaybeRewrite() {
+  if (live_bytes_ == 0 ||
+      aof_bytes_ < static_cast<uint64_t>(opts_.rewrite_growth * live_bytes_) ||
+      aof_bytes_ < 1024 * 1024) {
+    return 0;
+  }
+  // BGREWRITEAOF: dump the live map into a fresh AOF, fsync, atomically swap in.
+  std::string tmp = dir_ + "/appendonly.aof.rewrite";
+  int fd = fs_->Open(tmp, vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+  if (fd < 0) {
+    return fd;
+  }
+  uint64_t bytes = 0;
+  for (const auto& [k, v] : map_) {
+    std::string line = SetLine(k, v);
+    ssize_t rc = fs_->Write(fd, line.data(), line.size());
+    if (rc != static_cast<ssize_t>(line.size())) {
+      fs_->Close(fd);
+      return -EIO;
+    }
+    bytes += line.size();
+  }
+  fs_->Fsync(fd);
+  fs_->Close(fd);
+  fs_->Close(aof_fd_);
+  int rc = fs_->Rename(tmp, dir_ + "/appendonly.aof");
+  if (rc != 0) {
+    return rc;
+  }
+  aof_fd_ = fs_->Open(dir_ + "/appendonly.aof", vfs::kRdWr | vfs::kAppend);
+  SPLITFS_CHECK(aof_fd_ >= 0);
+  aof_bytes_ = bytes;
+  ops_since_fsync_ = 0;
+  ++rewrites_;
+  return 0;
+}
+
+void AofStore::Replay() {
+  int fd = fs_->Open(dir_ + "/appendonly.aof", vfs::kRdWr);
+  if (fd < 0) {
+    return;
+  }
+  vfs::StatBuf st;
+  fs_->Fstat(fd, &st);
+  std::vector<char> content(st.size);
+  if (st.size > 0 &&
+      fs_->Pread(fd, content.data(), st.size, 0) != static_cast<ssize_t>(st.size)) {
+    fs_->Close(fd);
+    return;
+  }
+  size_t pos = 0;
+  auto read_num = [&](size_t* out) {
+    size_t v = 0;
+    bool any = false;
+    while (pos < content.size() && content[pos] >= '0' && content[pos] <= '9') {
+      v = v * 10 + static_cast<size_t>(content[pos++] - '0');
+      any = true;
+    }
+    *out = v;
+    return any;
+  };
+  while (pos < content.size()) {
+    char op = content[pos];
+    pos += 2;  // Opcode + space.
+    size_t klen = 0, vlen = 0;
+    if (!read_num(&klen)) {
+      break;
+    }
+    if (op == 'S') {
+      ++pos;  // Space.
+      if (!read_num(&vlen)) {
+        break;
+      }
+    }
+    ++pos;  // Newline.
+    if (pos + klen + vlen > content.size()) {
+      break;  // Torn tail.
+    }
+    std::string key(content.data() + pos, klen);
+    pos += klen;
+    if (op == 'S') {
+      std::string value(content.data() + pos, vlen);
+      pos += vlen;
+      live_bytes_ += key.size() + value.size();
+      map_[key] = std::move(value);
+    } else {
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        live_bytes_ -= it->second.size() + key.size();
+        map_.erase(it);
+      }
+    }
+  }
+  aof_bytes_ = st.size;
+  fs_->Close(fd);
+  aof_fd_ = fd >= 0 ? fs_->Open(dir_ + "/appendonly.aof", vfs::kRdWr | vfs::kAppend) : -1;
+}
+
+}  // namespace apps

@@ -1,0 +1,461 @@
+#include "src/apps/kv_lsm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/status.h"
+
+namespace apps {
+
+namespace {
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpDelete = 2;
+
+void Put32(std::string* s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    s->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+uint32_t Get32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+}  // namespace
+
+KvLsm::KvLsm(vfs::FileSystem* fs, std::string dir, KvLsmOptions opts)
+    : fs_(fs), dir_(std::move(dir)), opts_(opts) {
+  fs_->Mkdir(dir_);  // EEXIST on reopen is fine.
+  SPLITFS_CHECK_OK(RecoverFromDisk());
+  if (wal_fd_ < 0) {
+    wal_fd_ = fs_->Open(dir_ + "/wal-" + std::to_string(next_wal_++),
+                        vfs::kRdWr | vfs::kCreate | vfs::kAppend);
+    SPLITFS_CHECK(wal_fd_ >= 0);
+  }
+}
+
+KvLsm::~KvLsm() {
+  if (wal_fd_ >= 0) {
+    fs_->Close(wal_fd_);
+  }
+  for (auto& t : tables_) {
+    if (t.fd >= 0) {
+      fs_->Close(t.fd);
+    }
+  }
+}
+
+void KvLsm::ChargeAppCpu() {
+  if (opts_.clock != nullptr) {
+    opts_.clock->Advance(opts_.app_cpu_ns);
+  }
+}
+
+int KvLsm::WalAppend(uint8_t op, const std::string& key, const std::string& value) {
+  // Record: [crc32c u32][op u8][klen u32][vlen u32][key][value]
+  std::string rec;
+  rec.reserve(13 + key.size() + value.size());
+  Put32(&rec, 0);  // CRC placeholder.
+  rec.push_back(static_cast<char>(op));
+  Put32(&rec, static_cast<uint32_t>(key.size()));
+  Put32(&rec, static_cast<uint32_t>(value.size()));
+  rec.append(key);
+  rec.append(value);
+  uint32_t crc = common::Crc32c(rec.data() + 4, rec.size() - 4);
+  std::memcpy(rec.data(), &crc, 4);
+
+  ssize_t rc = fs_->Write(wal_fd_, rec.data(), rec.size());
+  if (rc != static_cast<ssize_t>(rec.size())) {
+    return rc < 0 ? static_cast<int>(rc) : -EIO;
+  }
+  if (opts_.sync_writes) {
+    return fs_->Fsync(wal_fd_);
+  }
+  return 0;
+}
+
+int KvLsm::Put(const std::string& key, const std::string& value) {
+  ChargeAppCpu();
+  int rc = WalAppend(kOpPut, key, value);
+  if (rc != 0) {
+    return rc;
+  }
+  memtable_[key] = value;
+  tombstones_.erase(key);
+  memtable_bytes_ += key.size() + value.size() + 32;
+  if (memtable_bytes_ >= opts_.memtable_bytes) {
+    return FlushMemtable();
+  }
+  return 0;
+}
+
+int KvLsm::Delete(const std::string& key) {
+  ChargeAppCpu();
+  int rc = WalAppend(kOpDelete, key, "");
+  if (rc != 0) {
+    return rc;
+  }
+  memtable_.erase(key);
+  tombstones_[key] = true;
+  memtable_bytes_ += key.size() + 32;
+  if (memtable_bytes_ >= opts_.memtable_bytes) {
+    return FlushMemtable();
+  }
+  return 0;
+}
+
+std::optional<std::string> KvLsm::Get(const std::string& key) {
+  ChargeAppCpu();
+  auto mit = memtable_.find(key);
+  if (mit != memtable_.end()) {
+    return mit->second;
+  }
+  if (tombstones_.count(key) != 0) {
+    return std::nullopt;
+  }
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    std::string value;
+    bool deleted = false;
+    if (LookupInTable(*it, key, &value, &deleted)) {
+      if (deleted) {
+        return std::nullopt;
+      }
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+int KvLsm::WriteTable(const std::map<std::string, std::string>& entries,
+                      TableEntry* out) {
+  out->path = dir_ + "/sst-" + std::to_string(next_table_) + ".sst";
+  out->seq = next_table_++;
+  int fd = fs_->Open(out->path, vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+  if (fd < 0) {
+    return fd;
+  }
+  // Blocks of ~block_bytes: [crc u32][count u32]([klen u32][vlen u32][key][val])*
+  std::string block;
+  std::string first_key;
+  uint32_t count = 0;
+  uint64_t file_off = 0;
+  auto flush_block = [&]() -> int {
+    if (count == 0) {
+      return 0;
+    }
+    std::string full;
+    Put32(&full, 0);
+    Put32(&full, count);
+    full.append(block);
+    uint32_t crc = common::Crc32c(full.data() + 4, full.size() - 4);
+    std::memcpy(full.data(), &crc, 4);
+    ssize_t rc = fs_->Pwrite(fd, full.data(), full.size(), file_off);
+    if (rc != static_cast<ssize_t>(full.size())) {
+      return rc < 0 ? static_cast<int>(rc) : -EIO;
+    }
+    out->index[first_key] = {file_off, static_cast<uint32_t>(full.size())};
+    file_off += full.size();
+    block.clear();
+    count = 0;
+    return 0;
+  };
+  for (const auto& [key, value] : entries) {
+    if (count == 0) {
+      first_key = key;
+    }
+    Put32(&block, static_cast<uint32_t>(key.size()));
+    Put32(&block, static_cast<uint32_t>(value.size()));
+    block.append(key);
+    block.append(value);
+    ++count;
+    if (block.size() >= opts_.sstable_block_bytes) {
+      int rc = flush_block();
+      if (rc != 0) {
+        fs_->Close(fd);
+        return rc;
+      }
+    }
+  }
+  int rc = flush_block();
+  if (rc == 0) {
+    rc = fs_->Fsync(fd);
+  }
+  fs_->Close(fd);
+  return rc;
+}
+
+int KvLsm::FlushMemtable() {
+  if (memtable_.empty() && tombstones_.empty()) {
+    return 0;
+  }
+  // Deletions are encoded as "\x00DEL" sentinel values in the table.
+  std::map<std::string, std::string> entries = memtable_;
+  for (const auto& [key, dead] : tombstones_) {
+    entries[key] = std::string("\x00" "DEL", 4);
+  }
+  TableEntry t;
+  int rc = WriteTable(entries, &t);
+  if (rc != 0) {
+    return rc;
+  }
+  tables_.push_back(std::move(t));
+  ++flushes_;
+
+  // Retire the WAL and start a fresh one.
+  std::string old_wal = dir_ + "/wal-" + std::to_string(next_wal_ - 1);
+  fs_->Close(wal_fd_);
+  fs_->Unlink(old_wal);
+  wal_fd_ = fs_->Open(dir_ + "/wal-" + std::to_string(next_wal_++),
+                      vfs::kRdWr | vfs::kCreate | vfs::kAppend);
+  SPLITFS_CHECK(wal_fd_ >= 0);
+  memtable_.clear();
+  tombstones_.clear();
+  memtable_bytes_ = 0;
+  return MaybeCompact();
+}
+
+int KvLsm::MaybeCompact() {
+  if (static_cast<int>(tables_.size()) < opts_.l0_compaction_trigger) {
+    return 0;
+  }
+  // Merge every table (newest shadows oldest) into one.
+  std::map<std::string, std::string> merged;
+  std::map<std::string, bool> dead;
+  for (const auto& t : tables_) {  // Oldest first; later tables overwrite.
+    LoadTableForScan(t, &merged, &dead);
+  }
+  for (const auto& [key, flag] : dead) {
+    merged.erase(key);
+  }
+  TableEntry t;
+  int rc = WriteTable(merged, &t);
+  if (rc != 0) {
+    return rc;
+  }
+  for (auto& old : tables_) {
+    if (old.fd >= 0) {
+      fs_->Close(old.fd);
+    }
+    fs_->Unlink(old.path);
+  }
+  tables_.clear();
+  tables_.push_back(std::move(t));
+  ++compactions_;
+  return 0;
+}
+
+bool KvLsm::LookupInTable(TableEntry& t, const std::string& key,
+                          std::string* value, bool* deleted) {
+  auto it = t.index.upper_bound(key);
+  if (it == t.index.begin()) {
+    return false;
+  }
+  --it;
+  auto [off, len] = it->second;
+  std::vector<uint8_t> block(len);
+  if (t.fd < 0) {
+    t.fd = fs_->Open(t.path, vfs::kRdOnly);  // Cached afterwards (LevelDB table cache).
+    if (t.fd < 0) {
+      return false;
+    }
+  }
+  ssize_t rc = fs_->Pread(t.fd, block.data(), len, off);
+  if (rc != static_cast<ssize_t>(len)) {
+    return false;
+  }
+  uint32_t crc = Get32(block.data());
+  SPLITFS_CHECK(crc == common::Crc32c(block.data() + 4, len - 4));
+  uint32_t count = Get32(block.data() + 4);
+  size_t pos = 8;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t klen = Get32(block.data() + pos);
+    uint32_t vlen = Get32(block.data() + pos + 4);
+    pos += 8;
+    std::string_view k(reinterpret_cast<const char*>(block.data() + pos), klen);
+    pos += klen;
+    std::string_view v(reinterpret_cast<const char*>(block.data() + pos), vlen);
+    pos += vlen;
+    if (k == key) {
+      *deleted = v == std::string_view("\x00" "DEL", 4);
+      value->assign(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+void KvLsm::LoadTableForScan(const TableEntry& t, std::map<std::string, std::string>* into,
+                             std::map<std::string, bool>* tombs) {
+  int fd = fs_->Open(t.path, vfs::kRdOnly);
+  if (fd < 0) {
+    return;
+  }
+  for (const auto& [first_key, loc] : t.index) {
+    auto [off, len] = loc;
+    std::vector<uint8_t> block(len);
+    if (fs_->Pread(fd, block.data(), len, off) != static_cast<ssize_t>(len)) {
+      continue;
+    }
+    uint32_t count = Get32(block.data() + 4);
+    size_t pos = 8;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t klen = Get32(block.data() + pos);
+      uint32_t vlen = Get32(block.data() + pos + 4);
+      pos += 8;
+      std::string k(reinterpret_cast<const char*>(block.data() + pos), klen);
+      pos += klen;
+      std::string v(reinterpret_cast<const char*>(block.data() + pos), vlen);
+      pos += vlen;
+      if (v == std::string("\x00" "DEL", 4)) {
+        tombs->emplace(k, true);
+        into->erase(k);
+      } else {
+        (*into)[k] = std::move(v);
+        tombs->erase(k);
+      }
+    }
+  }
+  fs_->Close(fd);
+}
+
+std::vector<std::pair<std::string, std::string>> KvLsm::Scan(const std::string& start,
+                                                             size_t limit) {
+  // Merge view: tables oldest->newest, then the memtable, then drop tombstones.
+  std::map<std::string, std::string> merged;
+  std::map<std::string, bool> dead;
+  for (const auto& t : tables_) {
+    LoadTableForScan(t, &merged, &dead);
+  }
+  for (const auto& [k, v] : memtable_) {
+    merged[k] = v;
+  }
+  for (const auto& [k, flag] : tombstones_) {
+    merged.erase(k);
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = merged.lower_bound(start); it != merged.end() && out.size() < limit;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+int KvLsm::RecoverFromDisk() {
+  // Rebuild table list and replay any WAL found in the directory.
+  std::vector<std::string> names;
+  if (fs_->ReadDir(dir_, &names) != 0) {
+    return 0;  // Fresh directory.
+  }
+  std::vector<std::string> wals;
+  std::vector<std::string> ssts;
+  for (const auto& n : names) {
+    if (n.rfind("sst-", 0) == 0) {
+      ssts.push_back(n);
+    } else if (n.rfind("wal-", 0) == 0) {
+      wals.push_back(n);
+    }
+  }
+  std::sort(ssts.begin(), ssts.end(), [](const std::string& a, const std::string& b) {
+    return std::stoull(a.substr(4)) < std::stoull(b.substr(4));
+  });
+  for (const auto& n : ssts) {
+    // Rebuild the block index by scanning the table.
+    TableEntry t;
+    t.path = dir_ + "/" + n;
+    t.seq = std::stoull(n.substr(4));
+    next_table_ = std::max<uint64_t>(next_table_, t.seq + 1);
+    int fd = fs_->Open(t.path, vfs::kRdOnly);
+    if (fd < 0) {
+      continue;
+    }
+    vfs::StatBuf st;
+    fs_->Fstat(fd, &st);
+    uint64_t off = 0;
+    std::vector<uint8_t> header(8);
+    while (off + 8 <= st.size) {
+      if (fs_->Pread(fd, header.data(), 8, off) != 8) {
+        break;
+      }
+      uint32_t count = Get32(header.data() + 4);
+      // Walk the block to find its length and first key.
+      // Blocks were written back-to-back; reconstruct by parsing entries.
+      uint64_t pos = off + 8;
+      std::string first_key;
+      std::vector<uint8_t> lenbuf(8);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (fs_->Pread(fd, lenbuf.data(), 8, pos) != 8) {
+          break;
+        }
+        uint32_t klen = Get32(lenbuf.data());
+        uint32_t vlen = Get32(lenbuf.data() + 4);
+        if (i == 0) {
+          first_key.resize(klen);
+          fs_->Pread(fd, first_key.data(), klen, pos + 8);
+        }
+        pos += 8 + klen + vlen;
+      }
+      t.index[first_key] = {off, static_cast<uint32_t>(pos - off)};
+      off = pos;
+    }
+    fs_->Close(fd);
+    tables_.push_back(std::move(t));
+  }
+  std::sort(tables_.begin(), tables_.end(),
+            [](const TableEntry& a, const TableEntry& b) { return a.seq < b.seq; });
+
+  // Replay WALs in order.
+  std::sort(wals.begin(), wals.end(), [](const std::string& a, const std::string& b) {
+    return std::stoull(a.substr(4)) < std::stoull(b.substr(4));
+  });
+  for (const auto& n : wals) {
+    next_wal_ = std::max<uint64_t>(next_wal_, std::stoull(n.substr(4)) + 1);
+    std::string path = dir_ + "/" + n;
+    int fd = fs_->Open(path, vfs::kRdOnly);
+    if (fd < 0) {
+      continue;
+    }
+    vfs::StatBuf st;
+    fs_->Fstat(fd, &st);
+    uint64_t off = 0;
+    std::vector<uint8_t> hdr(13);
+    while (off + 13 <= st.size) {
+      if (fs_->Pread(fd, hdr.data(), 13, off) != 13) {
+        break;
+      }
+      uint32_t crc = Get32(hdr.data());
+      uint8_t op = hdr[4];
+      uint32_t klen = Get32(hdr.data() + 5);
+      uint32_t vlen = Get32(hdr.data() + 9);
+      if (off + 13 + klen + vlen > st.size) {
+        break;  // Torn tail record.
+      }
+      std::vector<uint8_t> body(9 + klen + vlen);
+      fs_->Pread(fd, body.data(), body.size(), off + 4);
+      if (crc != common::Crc32c(body.data(), body.size())) {
+        break;  // Torn record: stop replay here, as LevelDB does.
+      }
+      std::string key(reinterpret_cast<char*>(body.data() + 9), klen);
+      std::string value(reinterpret_cast<char*>(body.data() + 9 + klen), vlen);
+      if (op == kOpPut) {
+        memtable_[key] = value;
+        tombstones_.erase(key);
+        memtable_bytes_ += key.size() + value.size() + 32;
+      } else if (op == kOpDelete) {
+        memtable_.erase(key);
+        tombstones_[key] = true;
+      }
+      off += 13 + klen + vlen;
+    }
+    fs_->Close(fd);
+    // Continue appending to the newest WAL; older ones are folded into the memtable.
+    if (&n == &wals.back()) {
+      wal_fd_ = fs_->Open(path, vfs::kRdWr | vfs::kAppend);
+    } else {
+      fs_->Unlink(path);
+    }
+  }
+  return 0;
+}
+
+}  // namespace apps

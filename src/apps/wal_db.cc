@@ -1,0 +1,185 @@
+#include "src/apps/wal_db.h"
+
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/status.h"
+
+namespace apps {
+
+namespace {
+constexpr uint64_t kFrameHeader = 16;  // [page_id u64][crc u32][pad u32]
+}
+
+WalDb::WalDb(vfs::FileSystem* fs, std::string path, WalDbOptions opts)
+    : fs_(fs), path_(std::move(path)), opts_(opts) {
+  db_fd_ = fs_->Open(path_, vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(db_fd_ >= 0);
+  wal_fd_ = fs_->Open(path_ + "-wal", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(wal_fd_ >= 0);
+
+  // Recover the WAL index from any frames left by a previous run.
+  vfs::StatBuf st;
+  fs_->Fstat(wal_fd_, &st);
+  uint64_t frame_bytes = kFrameHeader + opts_.page_bytes;
+  std::vector<uint8_t> frame(frame_bytes);
+  for (uint64_t off = 0; off + frame_bytes <= st.size; off += frame_bytes) {
+    if (fs_->Pread(wal_fd_, frame.data(), frame_bytes, off) !=
+        static_cast<ssize_t>(frame_bytes)) {
+      break;
+    }
+    uint64_t page_id;
+    uint32_t crc;
+    std::memcpy(&page_id, frame.data(), 8);
+    std::memcpy(&crc, frame.data() + 8, 4);
+    if (crc != common::Crc32c(frame.data() + kFrameHeader, opts_.page_bytes)) {
+      break;  // Torn frame: everything after it is discarded, as SQLite does.
+    }
+    wal_index_[page_id] = off;
+    ++wal_frames_;
+  }
+}
+
+WalDb::~WalDb() {
+  Checkpoint();
+  if (db_fd_ >= 0) {
+    fs_->Close(db_fd_);
+  }
+  if (wal_fd_ >= 0) {
+    fs_->Close(wal_fd_);
+  }
+}
+
+void WalDb::Begin() {
+  SPLITFS_CHECK(!in_txn_);
+  in_txn_ = true;
+  txn_pages_.clear();
+}
+
+int WalDb::ReadPageInternal(uint64_t page_id, void* buf) {
+  // WAL index first (newest committed version), then the main file.
+  auto wit = wal_index_.find(page_id);
+  if (wit != wal_index_.end()) {
+    ssize_t rc = fs_->Pread(wal_fd_, buf, opts_.page_bytes, wit->second + kFrameHeader);
+    return rc == static_cast<ssize_t>(opts_.page_bytes) ? 0 : -EIO;
+  }
+  auto cit = cache_.find(page_id);
+  if (cit != cache_.end()) {
+    std::memcpy(buf, cit->second.data(), opts_.page_bytes);
+    return 0;
+  }
+  ssize_t rc = fs_->Pread(db_fd_, buf, opts_.page_bytes, page_id * opts_.page_bytes);
+  if (rc < 0) {
+    return static_cast<int>(rc);
+  }
+  if (rc < static_cast<ssize_t>(opts_.page_bytes)) {
+    std::memset(static_cast<uint8_t*>(buf) + rc, 0, opts_.page_bytes - rc);
+  }
+  if (cache_.size() < opts_.cache_pages) {
+    auto& slot = cache_[page_id];
+    slot.assign(static_cast<uint8_t*>(buf), static_cast<uint8_t*>(buf) + opts_.page_bytes);
+  }
+  return 0;
+}
+
+int WalDb::ReadPage(uint64_t page_id, void* buf) {
+  if (in_txn_) {
+    auto it = txn_pages_.find(page_id);
+    if (it != txn_pages_.end()) {
+      std::memcpy(buf, it->second.data(), opts_.page_bytes);
+      return 0;
+    }
+  }
+  return ReadPageInternal(page_id, buf);
+}
+
+int WalDb::WritePage(uint64_t page_id, const void* buf) {
+  SPLITFS_CHECK(in_txn_);
+  auto& page = txn_pages_[page_id];
+  page.assign(static_cast<const uint8_t*>(buf),
+              static_cast<const uint8_t*>(buf) + opts_.page_bytes);
+  return 0;
+}
+
+int WalDb::Commit() {
+  SPLITFS_CHECK(in_txn_);
+  in_txn_ = false;
+  if (txn_pages_.empty()) {
+    return 0;
+  }
+  // Append one frame per dirty page, then one fsync for the whole commit.
+  uint64_t frame_bytes = kFrameHeader + opts_.page_bytes;
+  std::vector<uint8_t> frame(frame_bytes);
+  std::vector<std::pair<uint64_t, uint64_t>> staged;  // page -> frame offset
+  for (const auto& [page_id, data] : txn_pages_) {
+    uint64_t off = wal_frames_ * frame_bytes;
+    uint32_t crc = common::Crc32c(data.data(), data.size());
+    std::memcpy(frame.data(), &page_id, 8);
+    std::memcpy(frame.data() + 8, &crc, 4);
+    std::memset(frame.data() + 12, 0, 4);
+    std::memcpy(frame.data() + kFrameHeader, data.data(), opts_.page_bytes);
+    ssize_t rc = fs_->Pwrite(wal_fd_, frame.data(), frame_bytes, off);
+    if (rc != static_cast<ssize_t>(frame_bytes)) {
+      return rc < 0 ? static_cast<int>(rc) : -EIO;
+    }
+    staged.push_back({page_id, off});
+    ++wal_frames_;
+    cache_.erase(page_id);
+  }
+  int rc = fs_->Fsync(wal_fd_);
+  if (rc != 0) {
+    return rc;
+  }
+  for (const auto& [page_id, off] : staged) {
+    wal_index_[page_id] = off;
+  }
+  txn_pages_.clear();
+  if (wal_frames_ >= opts_.checkpoint_frames) {
+    return Checkpoint();
+  }
+  return 0;
+}
+
+void WalDb::Rollback() {
+  in_txn_ = false;
+  txn_pages_.clear();
+}
+
+int WalDb::Checkpoint() {
+  if (wal_index_.empty()) {
+    wal_frames_ = 0;
+    return 0;
+  }
+  // Copy the newest version of each page back into the main file (in-place
+  // overwrites), fsync it, then reset the WAL.
+  std::vector<uint8_t> page(opts_.page_bytes);
+  for (const auto& [page_id, off] : wal_index_) {
+    if (fs_->Pread(wal_fd_, page.data(), opts_.page_bytes, off + kFrameHeader) !=
+        static_cast<ssize_t>(opts_.page_bytes)) {
+      return -EIO;
+    }
+    ssize_t rc = fs_->Pwrite(db_fd_, page.data(), opts_.page_bytes,
+                             page_id * opts_.page_bytes);
+    if (rc != static_cast<ssize_t>(opts_.page_bytes)) {
+      return rc < 0 ? static_cast<int>(rc) : -EIO;
+    }
+  }
+  int rc = fs_->Fsync(db_fd_);
+  if (rc != 0) {
+    return rc;
+  }
+  rc = fs_->Ftruncate(wal_fd_, 0);
+  if (rc != 0) {
+    return rc;
+  }
+  rc = fs_->Fsync(wal_fd_);
+  if (rc != 0) {
+    return rc;
+  }
+  wal_index_.clear();
+  wal_frames_ = 0;
+  ++checkpoints_;
+  return 0;
+}
+
+}  // namespace apps

@@ -1,0 +1,69 @@
+// WalDb: a SQLite-shaped page store in Write-Ahead-Logging mode.
+//
+// Substitutes for SQLite WAL mode in the paper's TPC-C evaluation (§5.2). The
+// file-system footprint matches SQLite's:
+//   * the database is a page file (4 KB pages) read with pread();
+//   * a transaction's dirty pages are appended to the -wal file with one header per
+//     page frame, then a single fsync publishes the commit;
+//   * readers consult the WAL index (DRAM) before the main file;
+//   * a checkpoint copies WAL frames back into the page file, fsyncs it, and resets
+//     the WAL — the overwrite-heavy phase where in-place writes shine.
+#ifndef SRC_APPS_WAL_DB_H_
+#define SRC_APPS_WAL_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/vfs/file_system.h"
+
+namespace apps {
+
+struct WalDbOptions {
+  uint64_t page_bytes = 4096;
+  uint64_t checkpoint_frames = 1000;  // Checkpoint when the WAL holds this many frames.
+  uint64_t cache_pages = 256;         // DRAM page cache entries.
+};
+
+class WalDb {
+ public:
+  WalDb(vfs::FileSystem* fs, std::string path, WalDbOptions opts = {});
+  ~WalDb();
+
+  WalDb(const WalDb&) = delete;
+  WalDb& operator=(const WalDb&) = delete;
+
+  // Transactions: modify pages between Begin and Commit; Commit makes them durable
+  // with one WAL append batch + fsync. Rollback discards the transaction's writes.
+  void Begin();
+  int ReadPage(uint64_t page_id, void* buf);
+  int WritePage(uint64_t page_id, const void* buf);
+  int Commit();
+  void Rollback();
+
+  uint64_t Checkpoints() const { return checkpoints_; }
+  uint64_t WalFrames() const { return wal_frames_; }
+  // Forces a checkpoint (tests and shutdown).
+  int Checkpoint();
+
+ private:
+  int ReadPageInternal(uint64_t page_id, void* buf);
+
+  vfs::FileSystem* fs_;
+  std::string path_;
+  WalDbOptions opts_;
+  int db_fd_ = -1;
+  int wal_fd_ = -1;
+  bool in_txn_ = false;
+  std::map<uint64_t, std::vector<uint8_t>> txn_pages_;      // Dirty pages of open txn.
+  std::unordered_map<uint64_t, uint64_t> wal_index_;        // page -> WAL frame offset.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> cache_;  // DRAM page cache.
+  uint64_t wal_frames_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace apps
+
+#endif  // SRC_APPS_WAL_DB_H_

@@ -1,0 +1,33 @@
+// Byte-size literals and alignment helpers shared across the whole stack.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace common {
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+
+inline constexpr uint64_t kCacheLineSize = 64;
+inline constexpr uint64_t kBlockSize = 4096;       // FS block == PM page.
+inline constexpr uint64_t kHugePageSize = 2 * kMiB;
+
+// Rounds `v` down to a multiple of `align` (power of two not required).
+constexpr uint64_t AlignDown(uint64_t v, uint64_t align) { return v - (v % align); }
+
+// Rounds `v` up to a multiple of `align`.
+constexpr uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return AlignDown(v + align - 1, align);
+}
+
+constexpr bool IsAligned(uint64_t v, uint64_t align) { return v % align == 0; }
+
+// Number of `unit`-sized chunks needed to cover `v` bytes.
+constexpr uint64_t DivCeil(uint64_t v, uint64_t unit) { return (v + unit - 1) / unit; }
+
+}  // namespace common
+
+#endif  // SRC_COMMON_BYTES_H_

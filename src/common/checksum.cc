@@ -1,0 +1,49 @@
+#include "src/common/checksum.h"
+
+#include <array>
+
+namespace common {
+namespace {
+
+// CRC32C polynomial (reflected): 0x82F63B78.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto& table = Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32cSkip4(const void* data, size_t n, size_t skip_offset) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = Crc32c(p, skip_offset);
+  if (skip_offset + 4 < n) {
+    crc = Crc32c(p + skip_offset + 4, n - skip_offset - 4, crc);
+  }
+  return crc;
+}
+
+}  // namespace common

@@ -1,0 +1,22 @@
+// CRC32C (Castagnoli) used for the SplitFS operation-log transactional checksum (§3.3)
+// and for SSTable block integrity in the example applications.
+#ifndef SRC_COMMON_CHECKSUM_H_
+#define SRC_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace common {
+
+// Computes CRC32C over `data[0, n)`, seeded with `seed` (pass 0 for a fresh CRC).
+// Software slice-by-1 implementation; speed is irrelevant here because benches report
+// simulated time, but correctness (torn-entry detection) is load-bearing.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+// Convenience for "checksum everything except the checksum field itself" layouts:
+// computes CRC32C over [p, p+skip_offset) ++ [p+skip_offset+4, p+n).
+uint32_t Crc32cSkip4(const void* data, size_t n, size_t skip_offset);
+
+}  // namespace common
+
+#endif  // SRC_COMMON_CHECKSUM_H_

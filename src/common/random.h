@@ -1,0 +1,102 @@
+// Deterministic pseudo-random generators for workloads and property tests.
+//
+// xoshiro-style 64-bit PRNG plus the YCSB scrambled-zipfian distribution used by the
+// paper's key-value workloads (§5.2). All generators are seedable so every benchmark and
+// test run is reproducible.
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace common {
+
+// SplitMix64/xorshift-based PRNG. Small, fast, and good enough for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = kDefaultSeed) : state_(seed ? seed : kDefaultSeed) {}
+
+  uint64_t Next() {
+    // splitmix64 step.
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    SPLITFS_CHECK(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    SPLITFS_CHECK(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static constexpr uint64_t kDefaultSeed = 0x853C49E6748FEA9Bull;
+  uint64_t state_;
+};
+
+// Zipfian generator over [0, n) with YCSB's default theta = 0.99, including the
+// "scrambled" variant YCSB uses so hot keys are spread across the keyspace.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    SPLITFS_CHECK(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    return static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  // YCSB-style scrambled zipfian: hash the rank so hot items are scattered.
+  uint64_t NextScrambled() {
+    uint64_t v = Next();
+    v = v * 0xC6A4A7935BD1E995ull;
+    v ^= v >> 47;
+    return v % n_;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_RANDOM_H_

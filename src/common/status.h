@@ -1,0 +1,89 @@
+// Minimal error-handling vocabulary for the repository.
+//
+// The VFS boundary speaks POSIX: `int` / `ssize_t` returns where negative values are
+// -errno, exactly like kernel file-system code. Above that boundary, `Expected<T>`
+// carries either a value or an errno code without exceptions.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace common {
+
+// A POSIX error code; 0 means success. Stored positive (e.g. ENOENT).
+class Errno {
+ public:
+  constexpr Errno() : code_(0) {}
+  constexpr explicit Errno(int code) : code_(code < 0 ? -code : code) {}
+
+  constexpr bool ok() const { return code_ == 0; }
+  constexpr int code() const { return code_; }
+  // The kernel-style negative form, suitable for ssize_t returns.
+  constexpr int negated() const { return -code_; }
+
+  friend constexpr bool operator==(Errno a, Errno b) { return a.code_ == b.code_; }
+
+ private:
+  int code_;
+};
+
+// Either a T or an Errno. Intentionally tiny; no exceptions involved.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Errno err) : repr_(err) {}             // NOLINT(google-explicit-constructor)
+  static Expected FromErrno(int code) { return Expected(Errno(code)); }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Errno error() const { return ok() ? Errno() : std::get<Errno>(repr_); }
+
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Errno> repr_;
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace common
+
+// Invariant checks. These guard programmer errors (not user input) and stay enabled in
+// release builds: a simulated storage stack that silently corrupts state is worthless.
+#define SPLITFS_CHECK(expr)                                          \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::common::internal::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                                \
+  } while (0)
+
+#define SPLITFS_CHECK_OK(expr)                                       \
+  do {                                                               \
+    auto _splitfs_check_rc = (expr);                                 \
+    if (_splitfs_check_rc < 0) {                                     \
+      ::common::internal::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                                \
+  } while (0)
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,181 @@
+#include "src/core/mmap_cache.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+
+namespace splitfs {
+
+using common::kHugePageSize;
+
+MmapCache::MmapCache(ext4sim::Ext4Dax* kfs, uint64_t mmap_size)
+    : kfs_(kfs), ctx_(kfs->context()), mmap_size_(mmap_size) {
+  SPLITFS_CHECK(mmap_size >= 2 * common::kMiB);
+}
+
+std::optional<MmapCache::Hit> MmapCache::Translate(vfs::Ino ino, uint64_t off) const {
+  auto fit = files_.find(ino);
+  if (fit == files_.end()) {
+    return std::nullopt;
+  }
+  const auto& pieces = fit->second.pieces;
+  auto it = pieces.upper_bound(off);
+  if (it == pieces.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  uint64_t start = it->first;
+  const Piece& p = it->second;
+  if (off >= start + p.len) {
+    return std::nullopt;
+  }
+  uint64_t delta = off - start;
+  return Hit{p.dev_off + delta, p.len - delta};
+}
+
+void MmapCache::InsertPiece(FileMaps* fm, uint64_t file_off, uint64_t dev_off,
+                            uint64_t len) {
+  // Insert only sub-ranges not already covered; existing mappings stay authoritative.
+  uint64_t cur = file_off;
+  uint64_t end = file_off + len;
+  while (cur < end) {
+    // Find existing piece covering or after `cur`.
+    auto it = fm->pieces.upper_bound(cur);
+    uint64_t covered_until = cur;
+    if (it != fm->pieces.begin()) {
+      auto prev = std::prev(it);
+      uint64_t p_end = prev->first + prev->second.len;
+      if (p_end > cur) {
+        covered_until = p_end;  // `cur` already mapped.
+      }
+    }
+    if (covered_until > cur) {
+      cur = std::min(covered_until, end);
+      continue;
+    }
+    uint64_t next_start = it == fm->pieces.end() ? end : std::min(it->first, end);
+    if (next_start > cur) {
+      uint64_t piece_dev = dev_off + (cur - file_off);
+      uint64_t piece_len = next_start - cur;
+      // Merge with a contiguous predecessor (same file gap-free AND same device
+      // run): one virtual mapping region, one latency charge per access run.
+      auto pit = fm->pieces.upper_bound(cur);
+      if (pit != fm->pieces.begin()) {
+        auto prev = std::prev(pit);
+        if (prev->first + prev->second.len == cur &&
+            prev->second.dev_off + prev->second.len == piece_dev) {
+          prev->second.len += piece_len;
+          cur = next_start;
+          // Try to also swallow a contiguous successor.
+          auto next = fm->pieces.find(cur);
+          if (next != fm->pieces.end() &&
+              prev->second.dev_off + prev->second.len == next->second.dev_off) {
+            prev->second.len += next->second.len;
+            fm->pieces.erase(next);
+          }
+          continue;
+        }
+      }
+      fm->pieces[cur] = Piece{piece_dev, piece_len};
+      // Merge with a contiguous successor.
+      auto self = fm->pieces.find(cur);
+      auto next = std::next(self);
+      if (next != fm->pieces.end() && cur + piece_len == next->first &&
+          piece_dev + piece_len == next->second.dev_off) {
+        self->second.len += next->second.len;
+        fm->pieces.erase(next);
+      }
+      cur = next_start;
+    }
+  }
+}
+
+bool MmapCache::EnsureRegion(vfs::Ino ino, int kernel_fd, uint64_t off) {
+  uint64_t region_start = common::AlignDown(off, mmap_size_);
+  FileMaps& fm = files_[ino];
+  auto rit = fm.regions.find(region_start);
+  if (rit != fm.regions.end()) {
+    return true;  // Region already set up (holes included by design).
+  }
+  std::vector<ext4sim::Ext4Dax::DaxMapping> mappings;
+  int rc = kfs_->DaxMap(kernel_fd, region_start, mmap_size_, &mappings);
+  if (rc != 0) {
+    return false;
+  }
+  // mmap() trap + pre-populated (MAP_POPULATE) huge-page faults: one per 2 MB chunk.
+  ctx_->ChargeCpu(ctx_->model.mmap_syscall_ns);
+  ctx_->stats.AddSyscall();
+  for (uint64_t chunk = 0; chunk < mmap_size_; chunk += kHugePageSize) {
+    ctx_->ChargeHugePageSetup();
+  }
+  for (const auto& m : mappings) {
+    InsertPiece(&fm, m.file_off, m.dev_off, m.len);
+  }
+  fm.regions[region_start] = true;
+  ++fm.mmap_count;
+  ++total_regions_;
+  return true;
+}
+
+void MmapCache::InsertPieces(vfs::Ino ino,
+                             const std::vector<ext4sim::Ext4Dax::DaxMapping>& pieces) {
+  FileMaps& fm = files_[ino];
+  for (const auto& m : pieces) {
+    ctx_->ChargeCpu(ctx_->model.user_work_ns);
+    InsertPiece(&fm, m.file_off, m.dev_off, m.len);
+  }
+}
+
+void MmapCache::InvalidateFile(vfs::Ino ino) {
+  auto it = files_.find(ino);
+  if (it == files_.end()) {
+    return;
+  }
+  // munmap + TLB shootdown per region created by mmap (§3.5: this is why unlink is
+  // SplitFS's most expensive call).
+  for (uint64_t i = 0; i < std::max<uint64_t>(it->second.mmap_count, 1); ++i) {
+    ctx_->ChargeCpu(ctx_->model.munmap_ns);
+  }
+  total_regions_ -= it->second.mmap_count;
+  files_.erase(it);
+}
+
+void MmapCache::InvalidateRange(vfs::Ino ino, uint64_t off, uint64_t len) {
+  auto fit = files_.find(ino);
+  if (fit == files_.end() || len == 0) {
+    return;
+  }
+  auto& pieces = fit->second.pieces;
+  uint64_t end = off + len;
+  auto it = pieces.upper_bound(off);
+  if (it != pieces.begin()) {
+    --it;
+  }
+  while (it != pieces.end() && it->first < end) {
+    uint64_t p_start = it->first;
+    Piece p = it->second;
+    uint64_t p_end = p_start + p.len;
+    if (p_end <= off) {
+      ++it;
+      continue;
+    }
+    it = pieces.erase(it);
+    if (p_start < off) {  // Keep the left part.
+      pieces[p_start] = Piece{p.dev_off, off - p_start};
+    }
+    if (p_end > end) {  // Keep the right part.
+      pieces[end] = Piece{p.dev_off + (end - p_start), p_end - end};
+    }
+  }
+}
+
+uint64_t MmapCache::MemoryUsageBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const auto& [ino, fm] : files_) {
+    total += sizeof(fm) + fm.pieces.size() * (sizeof(uint64_t) + sizeof(Piece) + 48) +
+             fm.regions.size() * (sizeof(uint64_t) + 48);
+  }
+  return total;
+}
+
+}  // namespace splitfs

@@ -1,0 +1,90 @@
+// The "collection of memory-mappings" (§3.3, Table 4).
+//
+// U-Split serves reads and overwrites from user space by memory-mapping 2 MB (default)
+// regions of DAX files and issuing loads / non-temporal stores. A logical file's data
+// may be spread across the original file and staging files, so each inode owns a set of
+// mapping pieces: file byte range -> PM device byte range.
+//
+// Two properties from the paper are preserved:
+//  * mappings are created once, pre-populated with huge pages, and reused for the rest
+//    of the workload (mappings are discarded only on unlink) — sidestepping huge-page
+//    fragility (§4);
+//  * relink retains existing mappings: after a relink, the staging region's pieces are
+//    re-registered under the target inode with zero mmap/fault cost.
+#ifndef SRC_CORE_MMAP_CACHE_H_
+#define SRC_CORE_MMAP_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ext4/ext4_dax.h"
+#include "src/vfs/types.h"
+
+namespace splitfs {
+
+class MmapCache {
+ public:
+  explicit MmapCache(ext4sim::Ext4Dax* kfs, uint64_t mmap_size);
+
+  // Resolves file offset -> device offset if some cached mapping covers `off`.
+  // Returns the device offset and the length of contiguous coverage from `off`.
+  struct Hit {
+    uint64_t dev_off = 0;
+    uint64_t len = 0;
+  };
+  std::optional<Hit> Translate(vfs::Ino ino, uint64_t off) const;
+
+  // Ensures the mmap-size-aligned region around `off` is mapped, charging mmap() +
+  // pre-population (huge-page) costs. Holes in the file stay unmapped. `kernel_fd` is
+  // the K-Split descriptor used for the DaxMap call. Returns false if the kernel call
+  // failed.
+  bool EnsureRegion(vfs::Ino ino, int kernel_fd, uint64_t off);
+
+  // Registers mapping pieces directly, with no mmap cost. Used after relink (the
+  // physical blocks and their mappings are retained) and by the staging pool (staging
+  // files are mapped once at pre-allocation time). Overlapping subranges are skipped.
+  void InsertPieces(vfs::Ino ino, const std::vector<ext4sim::Ext4Dax::DaxMapping>& pieces);
+
+  // Drops every mapping of `ino`, charging one munmap per created region (§3.5:
+  // unlink() is expensive in SplitFS precisely because of this).
+  void InvalidateFile(vfs::Ino ino);
+
+  // Drops mappings overlapping [off, off+len) without munmap charges (truncate path).
+  void InvalidateRange(vfs::Ino ino, uint64_t off, uint64_t len);
+
+  // Drops everything without charges: crash recovery starts from an empty cache.
+  void Clear() {
+    files_.clear();
+    total_regions_ = 0;
+  }
+
+  // §5.10 accounting: approximate DRAM footprint of the cache structures.
+  uint64_t MemoryUsageBytes() const;
+  uint64_t RegionCount() const { return total_regions_; }
+
+ private:
+  struct Piece {
+    uint64_t dev_off = 0;
+    uint64_t len = 0;
+  };
+  struct FileMaps {
+    std::map<uint64_t, Piece> pieces;  // key: file_off
+    std::map<uint64_t, bool> regions;  // key: aligned region start -> mapped
+    uint64_t mmap_count = 0;           // Regions created via mmap (munmap charge basis).
+  };
+
+  void InsertPiece(FileMaps* fm, uint64_t file_off, uint64_t dev_off, uint64_t len);
+
+  ext4sim::Ext4Dax* kfs_;
+  sim::Context* ctx_;
+  uint64_t mmap_size_;
+  std::unordered_map<vfs::Ino, FileMaps> files_;
+  uint64_t total_regions_ = 0;
+};
+
+}  // namespace splitfs
+
+#endif  // SRC_CORE_MMAP_CACHE_H_

@@ -1,0 +1,99 @@
+// Optimized operation log (§3.3).
+//
+// In strict mode every operation is made atomic + synchronous by logical redo logging:
+//   * one cache-line (64 B) entry per common operation, written with non-temporal
+//     stores and made persistent with a single memory fence;
+//   * a 4 B transactional CRC32C checksum inside the entry distinguishes valid from
+//     torn entries, halving the fences NOVA needs (one instead of two);
+//   * the tail lives only in DRAM and is advanced with compare-and-swap by concurrent
+//     threads — it is reconstructed from checksums at recovery, never persisted;
+//   * the log file is zeroed at initialization; recovery treats any nonzero, checksum-
+//     valid 64 B slot as a (potentially replayable) entry. Replay is idempotent.
+//   * entries do not carry file data — they point at the staging file holding it.
+#ifndef SRC_CORE_OPLOG_H_
+#define SRC_CORE_OPLOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ext4/ext4_dax.h"
+
+namespace splitfs {
+
+enum class LogOp : uint8_t {
+  kInvalid = 0,
+  kAppend = 1,     // Staged append: relink staging->target at replay.
+  kOverwrite = 2,  // Staged (COW) overwrite: same replay as append.
+  kCreate = 3,     // Metadata ops: kernel journaling already makes them atomic;
+  kUnlink = 4,     //   logged so recovery can cross-check, replayed as no-ops.
+  kTruncate = 5,
+  kRenameFrom = 6,  // Rename needs two entries (the paper's "uncommon multi-entry op").
+  kRenameTo = 7,
+};
+
+// Exactly one cache line. The checksum covers bytes [4, 64).
+struct alignas(64) LogEntry {
+  uint32_t checksum = 0;
+  LogOp op = LogOp::kInvalid;
+  uint8_t pad[3] = {0, 0, 0};
+  uint64_t seq = 0;  // Monotonic, nonzero for valid entries.
+  uint64_t target_ino = 0;
+  uint64_t file_off = 0;
+  uint64_t staging_ino = 0;
+  uint64_t staging_off = 0;
+  uint64_t len = 0;
+  uint8_t reserved[8] = {};
+
+  void Seal();            // Computes and stores the checksum.
+  bool ValidSealed() const;  // Nonzero seq + checksum matches.
+};
+static_assert(sizeof(LogEntry) == 64, "log entry must be one cache line");
+
+class OpLog {
+ public:
+  // Creates (or truncates) the log file at `path` on K-Split, `bytes` long, zeroes it,
+  // and maps it. Charged to the caller: this is instance startup, off the hot path.
+  OpLog(ext4sim::Ext4Dax* kfs, const std::string& path, uint64_t bytes);
+  ~OpLog();
+
+  OpLog(const OpLog&) = delete;
+  OpLog& operator=(const OpLog&) = delete;
+
+  // Appends one entry: compose (user work) + CAS tail + 64 B nt-store + one fence.
+  // Returns false when the log is full — caller must Checkpoint() and retry.
+  bool Append(LogEntry entry);
+
+  // True when fewer than `slack` slots remain.
+  bool NearlyFull(uint64_t slack = 16) const;
+
+  // Zeroes the log and resets the tail. The caller has already relinked all staged
+  // data (checkpoint, §3.3).
+  void Reset();
+
+  uint64_t EntriesLogged() const { return seq_.load(std::memory_order_relaxed); }
+  uint64_t Capacity() const { return capacity_; }
+  vfs::Ino ino() const { return ino_; }
+
+  // Recovery: scans the whole log area for checksum-valid entries, sorted by seq.
+  // Works purely from the device contents — DRAM state is assumed lost.
+  std::vector<LogEntry> ScanForRecovery() const;
+
+ private:
+  uint64_t SlotDevOffset(uint64_t slot) const;
+  void ZeroLogArea();
+
+  ext4sim::Ext4Dax* kfs_;
+  sim::Context* ctx_;
+  int fd_ = -1;
+  vfs::Ino ino_ = vfs::kInvalidIno;
+  uint64_t capacity_ = 0;  // Slots.
+  std::vector<ext4sim::Ext4Dax::DaxMapping> mappings_;
+  std::atomic<uint64_t> tail_{0};  // DRAM-only next slot; never persisted.
+  std::atomic<uint64_t> seq_{0};
+};
+
+}  // namespace splitfs
+
+#endif  // SRC_CORE_OPLOG_H_

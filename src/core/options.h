@@ -1,0 +1,52 @@
+// SplitFS per-instance configuration: consistency mode (§3.2) and the tunable
+// parameters of §3.6, plus feature toggles used by the Figure 3 ablation bench.
+#ifndef SRC_CORE_OPTIONS_H_
+#define SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace splitfs {
+
+// Consistency modes (Table 3). Concurrent SplitFs instances over the same K-Split may
+// use different modes without interfering.
+enum class Mode {
+  kPosix,   // Metadata consistency; atomic appends; in-place synchronous overwrites.
+  kSync,    // + synchronous data operations (no atomicity for overwrites).
+  kStrict,  // + atomic, synchronous everything (op logging + staged COW overwrites).
+};
+
+const char* ModeName(Mode mode);
+
+struct Options {
+  Mode mode = Mode::kPosix;
+
+  // mmap() granularity for the collection of memory-maps. 2 MB default (huge pages,
+  // pre-populated); configurable 2 MB .. 512 MB (§3.6).
+  uint64_t mmap_size = 2 * common::kMiB;
+
+  // Staging file pool (§3.5): files pre-created at startup; a background thread
+  // replaces each one as it is consumed.
+  uint32_t num_staging_files = 10;
+  uint64_t staging_file_bytes = 160 * common::kMiB;
+
+  // Operation log (strict mode): zeroed pre-allocated file; one 64 B entry per op;
+  // checkpoint-and-reset when full (§3.3).
+  uint64_t oplog_bytes = 128 * common::kMiB;
+
+  // Directory (on K-Split) for staging files and the op log.
+  std::string runtime_dir = "/.splitfs";
+
+  // --- Ablation toggles (Figure 3). Production configuration leaves both true. -------
+  // When false, appends bypass staging and go straight to the kernel FS ("split" bar).
+  bool enable_staging = true;
+  // When false, fsync copies staged bytes into the target file instead of relinking
+  // ("+staging" bar vs "+relink" bar).
+  bool enable_relink = true;
+};
+
+}  // namespace splitfs
+
+#endif  // SRC_CORE_OPTIONS_H_

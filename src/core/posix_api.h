@@ -1,0 +1,118 @@
+// The POSIX interception surface (§3.5).
+//
+// Real SplitFS uses LD_PRELOAD to intercept glibc's POSIX wrappers; the paper found
+// that supporting 35 common calls (pwrite(), pread64(), fread(), readv(),
+// ftruncate64(), openat(), ...) covers a wide range of applications. This facade is
+// that surface without the symbol-interposition mechanics: applications written
+// against POSIX names and flag conventions (O_CREAT, SEEK_SET, iovec, FILE-style
+// buffered streams) run unmodified against a SplitFs instance.
+//
+// Everything here is translation + stdio buffering; the routing decisions (what stays
+// in user space vs. what traps) all live in SplitFs itself.
+#ifndef SRC_CORE_POSIX_API_H_
+#define SRC_CORE_POSIX_API_H_
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/split_fs.h"
+
+namespace splitfs {
+
+// A FILE*-style buffered stream over a SplitFS descriptor (fopen/fread/fwrite/...).
+struct PosixFile;
+
+class Posix {
+ public:
+  explicit Posix(SplitFs* fs) : fs_(fs) {}
+
+  // --- fd-based calls (flags/whence use the host's <fcntl.h> constants) -------------
+  int open(const char* path, int oflag, mode_t mode = 0644);
+  int open64(const char* path, int oflag, mode_t mode = 0644) {
+    return open(path, oflag, mode);
+  }
+  // openat with AT_FDCWD or a directory fd previously opened through this facade.
+  int openat(int dirfd, const char* path, int oflag, mode_t mode = 0644);
+  int creat(const char* path, mode_t mode) {
+    return open(path, O_WRONLY | O_CREAT | O_TRUNC, mode);
+  }
+  int close(int fd);
+  int dup(int fd);
+
+  ssize_t read(int fd, void* buf, size_t n);
+  ssize_t write(int fd, const void* buf, size_t n);
+  ssize_t pread(int fd, void* buf, size_t n, off_t off);
+  ssize_t pread64(int fd, void* buf, size_t n, off_t off) { return pread(fd, buf, n, off); }
+  ssize_t pwrite(int fd, const void* buf, size_t n, off_t off);
+  ssize_t pwrite64(int fd, const void* buf, size_t n, off_t off) {
+    return pwrite(fd, buf, n, off);
+  }
+  ssize_t readv(int fd, const struct iovec* iov, int iovcnt);
+  ssize_t writev(int fd, const struct iovec* iov, int iovcnt);
+  off_t lseek(int fd, off_t off, int whence);
+  off_t lseek64(int fd, off_t off, int whence) { return lseek(fd, off, whence); }
+
+  int fsync(int fd);
+  int fdatasync(int fd) { return fsync(fd); }
+  int ftruncate(int fd, off_t length);
+  int ftruncate64(int fd, off_t length) { return ftruncate(fd, length); }
+  int fallocate(int fd, int mode, off_t off, off_t len);
+  int posix_fallocate(int fd, off_t off, off_t len) { return -fallocate(fd, 0, off, len); }
+
+  int fstat(int fd, struct stat* st);
+  int stat(const char* path, struct stat* st);
+  int lstat(const char* path, struct stat* st) { return stat(path, st); }
+  int access(const char* path, int amode);
+
+  // --- path-based calls ---------------------------------------------------------------
+  int unlink(const char* path);
+  int unlinkat(int dirfd, const char* path, int flags);
+  int rename(const char* from, const char* to);
+  int mkdir(const char* path, mode_t mode);
+  int rmdir(const char* path);
+
+  // --- stdio-style buffered streams -----------------------------------------------------
+  PosixFile* fopen(const char* path, const char* mode);
+  size_t fread(void* ptr, size_t size, size_t nmemb, PosixFile* stream);
+  size_t fwrite(const void* ptr, size_t size, size_t nmemb, PosixFile* stream);
+  int fseek(PosixFile* stream, long off, int whence);
+  long ftell(PosixFile* stream);
+  int fflush(PosixFile* stream);
+  int fclose(PosixFile* stream);
+  int fileno(PosixFile* stream);
+
+  SplitFs* fs() { return fs_; }
+
+ private:
+  // Translates host O_* flags to the VFS flag set. Returns false on unsupported flags.
+  static int TranslateFlags(int oflag);
+
+  SplitFs* fs_;
+  std::mutex mu_;
+  // Directory fds opened through this facade: fd -> absolute path (for openat).
+  std::unordered_map<int, std::string> dir_fds_;
+  int next_dir_fd_ = 1 << 20;  // Disjoint from SplitFs's data fds.
+  std::vector<std::unique_ptr<PosixFile>> streams_;
+};
+
+struct PosixFile {
+  Posix* owner = nullptr;
+  int fd = -1;
+  bool writable = false;
+  bool append = false;
+  // Write-behind buffer (stdio's default block buffering, 4 KB).
+  std::vector<uint8_t> wbuf;
+  bool failed = false;
+};
+
+}  // namespace splitfs
+
+#endif  // SRC_CORE_POSIX_API_H_

@@ -1,0 +1,1076 @@
+#include "src/core/split_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/bytes.h"
+
+namespace splitfs {
+
+using common::kBlockSize;
+using vfs::Ino;
+
+namespace {
+// One 4 KB scratch buffer for partial-block staging copies.
+thread_local std::vector<uint8_t> g_scratch(common::kBlockSize);
+}  // namespace
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kPosix:
+      return "POSIX";
+    case Mode::kSync:
+      return "sync";
+    case Mode::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
+SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instance_tag)
+    : kfs_(kfs),
+      ctx_(kfs->context()),
+      opts_(opts),
+      tag_(instance_tag),
+      mmaps_(kfs, opts.mmap_size) {
+  kfs_->Mkdir(opts_.runtime_dir);  // Idempotent; EEXIST is fine.
+  if (opts_.enable_staging) {
+    staging_ = std::make_unique<StagingPool>(kfs_, &mmaps_, opts_, tag_);
+  }
+  if (opts_.mode == Mode::kStrict) {
+    oplog_ = std::make_unique<OpLog>(kfs_, opts_.runtime_dir + "/oplog-" + tag_,
+                                     opts_.oplog_bytes);
+  }
+  // Make the runtime files (staging pool, op log) durable before serving operations:
+  // recovery depends on their metadata having committed.
+  int fd = kfs_->Open(opts_.runtime_dir + "/.init-" + tag_, vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  SPLITFS_CHECK_OK(kfs_->Fsync(fd));
+  SPLITFS_CHECK_OK(kfs_->Close(fd));
+}
+
+SplitFs::~SplitFs() {
+  for (auto& [ino, fs] : files_) {
+    if (fs.kernel_fd >= 0) {
+      kfs_->Close(fs.kernel_fd);
+    }
+  }
+}
+
+std::string SplitFs::Name() const { return std::string("SplitFS-") + ModeName(opts_.mode); }
+
+// --- State management --------------------------------------------------------------------
+
+SplitFs::FileState* SplitFs::StateOf(int fd) {
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return nullptr;
+  }
+  auto it = files_.find(of->ino);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+SplitFs::FileState* SplitFs::EnsureState(const std::string& path, int kernel_fd) {
+  Ino ino = kfs_->InoOf(kernel_fd);
+  SPLITFS_CHECK(ino != vfs::kInvalidIno);
+  auto it = files_.find(ino);
+  if (it != files_.end()) {
+    return &it->second;
+  }
+  // First open: stat() the file and cache its attributes (§3.5).
+  vfs::StatBuf st;
+  SPLITFS_CHECK_OK(kfs_->Fstat(kernel_fd, &st));
+  FileState fs;
+  fs.ino = ino;
+  fs.kernel_fd = kernel_fd;
+  fs.path = path;
+  fs.size = st.size;
+  fs.kernel_size = st.size;
+  path_cache_[path] = ino;
+  return &files_.emplace(ino, std::move(fs)).first->second;
+}
+
+// --- Open / close / metadata ---------------------------------------------------------------
+
+int SplitFs::Open(const std::string& path, int flags) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto cached = path_cache_.find(path);
+  bool have_state = cached != path_cache_.end() && files_.count(cached->second) != 0;
+  ctx_->ChargeCpu(have_state ? ctx_->model.usplit_reopen_cpu_ns
+                             : ctx_->model.usplit_open_cpu_ns);
+
+  if (have_state) {
+    // Reopen of a cached file: the kernel open still happens (the trap and path walk),
+    // but U-Split reuses its cached attributes and existing kernel descriptor.
+    if ((flags & vfs::kCreate) != 0 && (flags & vfs::kExcl) != 0) {
+      return -EEXIST;  // The cached file exists; O_CREAT|O_EXCL must fail.
+    }
+    FileState& fs = files_[cached->second];
+    ctx_->ChargeSyscall();
+    ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
+    if ((flags & vfs::kTrunc) != 0) {
+      int rc = kfs_->Ftruncate(fs.kernel_fd, 0);
+      if (rc != 0) {
+        return rc;
+      }
+      fs.staged.clear();
+      mmaps_.InvalidateRange(fs.ino, 0, std::max<uint64_t>(fs.size, kBlockSize));
+      fs.size = 0;
+      fs.kernel_size = 0;
+      fs.metadata_dirty = true;
+    }
+    ++fs.open_count;
+    return fds_.Allocate(fs.ino, flags);
+  }
+
+  int kfd = kfs_->Open(path, flags);
+  if (kfd < 0) {
+    return kfd;
+  }
+  FileState* fs = EnsureState(path, kfd);
+  if ((flags & (vfs::kCreate | vfs::kTrunc)) != 0) {
+    fs->metadata_dirty = true;
+  }
+  if (opts_.mode == Mode::kStrict && (flags & vfs::kCreate) != 0 && fs->size == 0) {
+    LogMetaOp(LogOp::kCreate, fs->ino);
+  }
+  if ((flags & vfs::kCreate) != 0 && fs->size == 0) {
+    MakeMetadataSynchronous(fs);
+  }
+  ++fs->open_count;
+  return fds_.Allocate(fs->ino, flags);
+}
+
+void SplitFs::MakeMetadataSynchronous(FileState* fs) {
+  // Table 3: sync and strict modes guarantee synchronous metadata operations; the
+  // kernel journal commits immediately (non-barrier path), like PMFS/NOVA semantics.
+  if (opts_.mode == Mode::kPosix) {
+    return;
+  }
+  kfs_->CommitJournal(/*fsync_barrier=*/false);
+  if (fs != nullptr) {
+    fs->metadata_dirty = false;
+  }
+}
+
+int SplitFs::Close(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(ctx_->model.usplit_close_cpu_ns);
+  FileState* fs = StateOf(fd);
+  if (fs == nullptr) {
+    return -EBADF;
+  }
+  // Appends are published on fsync() *or* close() (§3.4).
+  if (!fs->staged.empty()) {
+    int rc = PublishStaged(fs);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  // The application's close traps into the kernel; U-Split keeps its own descriptor
+  // and all cached state alive (cache is only cleared by unlink, §3.5).
+  ctx_->ChargeSyscall();
+  if (fs->open_count > 0) {
+    --fs->open_count;
+  }
+  return fds_.Release(fd);
+}
+
+int SplitFs::Dup(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(ctx_->model.user_work_ns);
+  ctx_->ChargeSyscall();
+  return fds_.Dup(fd);  // Shares the open file description: one offset (§3.5).
+}
+
+int SplitFs::Unlink(const std::string& path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(ctx_->model.usplit_unlink_cpu_ns);
+  auto cached = path_cache_.find(path);
+  if (cached != path_cache_.end()) {
+    auto it = files_.find(cached->second);
+    if (it != files_.end()) {
+      FileState& fs = it->second;
+      // Staged-but-unpublished data dies with the file; mappings are unmapped here —
+      // this is what makes unlink SplitFS's most expensive call (Table 6).
+      fs.staged.clear();
+      mmaps_.InvalidateFile(fs.ino);
+      if (opts_.mode == Mode::kStrict) {
+        LogMetaOp(LogOp::kUnlink, fs.ino);
+      }
+      kfs_->Close(fs.kernel_fd);
+      files_.erase(it);
+    }
+    path_cache_.erase(cached);
+  }
+  int rc = kfs_->Unlink(path);
+  if (rc == 0) {
+    MakeMetadataSynchronous(nullptr);
+  }
+  return rc;
+}
+
+int SplitFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(2 * ctx_->model.user_work_ns);
+  int rc = kfs_->Rename(from, to);
+  if (rc != 0) {
+    return rc;
+  }
+  // Rename is the paper's example of a multi-entry logged operation.
+  auto cached = path_cache_.find(from);
+  bool had_from_state = cached != path_cache_.end();
+  if (had_from_state) {
+    Ino ino = cached->second;
+    path_cache_.erase(cached);
+    path_cache_[to] = ino;
+    auto it = files_.find(ino);
+    if (it != files_.end()) {
+      it->second.path = to;
+    }
+    if (opts_.mode == Mode::kStrict) {
+      LogMetaOp(LogOp::kRenameFrom, ino);
+      LogMetaOp(LogOp::kRenameTo, ino);
+    }
+  }
+  // The destination, if it existed and was cached, has been replaced.
+  auto dst_cached = path_cache_.find(to);
+  if (dst_cached != path_cache_.end() && !had_from_state) {
+    // `to` still maps to the displaced file's ino; drop the stale state.
+    auto it = files_.find(dst_cached->second);
+    if (it != files_.end() && it->second.path == to) {
+      mmaps_.InvalidateFile(it->second.ino);
+      kfs_->Close(it->second.kernel_fd);
+      files_.erase(it);
+    }
+    path_cache_.erase(dst_cached);
+  }
+  MakeMetadataSynchronous(nullptr);
+  return 0;
+}
+
+int SplitFs::Mkdir(const std::string& path) {
+  int rc = kfs_->Mkdir(path);
+  if (rc == 0) {
+    MakeMetadataSynchronous(nullptr);
+  }
+  return rc;
+}
+
+int SplitFs::Rmdir(const std::string& path) {
+  int rc = kfs_->Rmdir(path);
+  if (rc == 0) {
+    MakeMetadataSynchronous(nullptr);
+  }
+  return rc;
+}
+
+int SplitFs::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  int rc = kfs_->ReadDir(path, names);
+  if (rc != 0) {
+    return rc;
+  }
+  // Hide U-Split's own runtime directory from directory listings at the root.
+  if (path == "/") {
+    std::erase_if(*names, [this](const std::string& n) {
+      return "/" + n == opts_.runtime_dir;
+    });
+  }
+  return 0;
+}
+
+int SplitFs::Stat(const std::string& path, vfs::StatBuf* out) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  int rc = kfs_->Stat(path, out);
+  if (rc != 0) {
+    return rc;
+  }
+  // Overlay the cached size: the caller sees its own staged appends.
+  auto cached = path_cache_.find(path);
+  if (cached != path_cache_.end()) {
+    auto it = files_.find(cached->second);
+    if (it != files_.end()) {
+      out->size = it->second.size;
+    }
+  }
+  return 0;
+}
+
+int SplitFs::Fstat(int fd, vfs::StatBuf* out) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(ctx_->model.user_work_ns);  // Served from the attribute cache.
+  FileState* fs = StateOf(fd);
+  if (fs == nullptr) {
+    return -EBADF;
+  }
+  out->ino = fs->ino;
+  out->size = fs->size;
+  out->blocks = common::DivCeil(fs->size, kBlockSize);
+  out->nlink = 1;
+  out->type = vfs::FileType::kRegular;
+  return 0;
+}
+
+int64_t SplitFs::Lseek(int fd, int64_t off, vfs::Whence whence) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(ctx_->model.user_work_ns);  // Pure user space: no trap.
+  auto of = fds_.Get(fd);
+  FileState* fs = StateOf(fd);
+  if (of == nullptr || fs == nullptr) {
+    return -EBADF;
+  }
+  std::lock_guard<std::mutex> flock(of->mu);
+  int64_t base = 0;
+  switch (whence) {
+    case vfs::Whence::kSet:
+      base = 0;
+      break;
+    case vfs::Whence::kCur:
+      base = static_cast<int64_t>(of->offset);
+      break;
+    case vfs::Whence::kEnd:
+      base = static_cast<int64_t>(fs->size);
+      break;
+  }
+  int64_t target = base + off;
+  if (target < 0) {
+    return -EINVAL;
+  }
+  of->offset = static_cast<uint64_t>(target);
+  return target;
+}
+
+// --- Data path ----------------------------------------------------------------------------
+
+ssize_t SplitFs::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FileState* fs = StateOf(fd);
+  if (fs == nullptr) {
+    return -EBADF;
+  }
+  auto of = fds_.Get(fd);
+  if (!vfs::WantsRead(of->flags)) {
+    return -EBADF;
+  }
+  return ReadAt(fs, buf, n, off);
+}
+
+ssize_t SplitFs::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FileState* fs = StateOf(fd);
+  if (fs == nullptr) {
+    return -EBADF;
+  }
+  auto of = fds_.Get(fd);
+  if (!vfs::WantsWrite(of->flags)) {
+    return -EBADF;
+  }
+  return WriteAt(fs, buf, n, off);
+}
+
+ssize_t SplitFs::Read(int fd, void* buf, uint64_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FileState* fs = StateOf(fd);
+  auto of = fds_.Get(fd);
+  if (fs == nullptr || of == nullptr || !vfs::WantsRead(of->flags)) {
+    return -EBADF;
+  }
+  std::lock_guard<std::mutex> flock(of->mu);
+  ssize_t rc = ReadAt(fs, buf, n, of->offset);
+  if (rc > 0) {
+    of->offset += static_cast<uint64_t>(rc);
+  }
+  return rc;
+}
+
+ssize_t SplitFs::Write(int fd, const void* buf, uint64_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FileState* fs = StateOf(fd);
+  auto of = fds_.Get(fd);
+  if (fs == nullptr || of == nullptr || !vfs::WantsWrite(of->flags)) {
+    return -EBADF;
+  }
+  std::lock_guard<std::mutex> flock(of->mu);
+  uint64_t off = (of->flags & vfs::kAppend) != 0 ? fs->size : of->offset;
+  ssize_t rc = WriteAt(fs, buf, n, off);
+  if (rc > 0) {
+    of->offset = off + static_cast<uint64_t>(rc);
+  }
+  return rc;
+}
+
+ssize_t SplitFs::ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off) {
+  ctx_->ChargeCpu(ctx_->model.usplit_data_op_cpu_ns);
+  if (off >= fs->size || n == 0) {
+    return 0;
+  }
+  uint64_t end = std::min(off + n, fs->size);
+  auto* dst = static_cast<uint8_t*>(buf);
+  uint64_t cur = off;
+  pmem::Device* dev = kfs_->device();
+  bool sequential = off == fs->last_read_end && off != 0;
+
+  while (cur < end) {
+    // 1. Staged data wins: "later reads to the appended region are routed to the
+    //    staging block" (Figure 2).
+    auto sit = fs->staged.upper_bound(cur);
+    const StagedRange* covering = nullptr;
+    uint64_t next_staged_start = end;
+    if (sit != fs->staged.begin()) {
+      auto prev = std::prev(sit);
+      if (cur < prev->first + prev->second.alloc.len) {
+        covering = &prev->second;
+      }
+    }
+    if (covering == nullptr && sit != fs->staged.end()) {
+      next_staged_start = std::min(end, sit->first);
+    }
+    if (covering != nullptr) {
+      uint64_t delta = cur - covering->file_off;
+      uint64_t span = std::min(end - cur, covering->alloc.len - delta);
+      dev->Load(covering->alloc.dev_off + delta, dst, span, sequential, /*user_data=*/true);
+      sequential = true;
+      dst += span;
+      cur += span;
+      continue;
+    }
+
+    // 2. Unstaged segment up to the next staged range: serve from the collection of
+    //    mmaps, creating the surrounding region on first touch.
+    uint64_t seg_end = next_staged_start;
+    auto hit = mmaps_.Translate(fs->ino, cur);
+    if (!hit) {
+      mmaps_.EnsureRegion(fs->ino, fs->kernel_fd, cur);
+      hit = mmaps_.Translate(fs->ino, cur);
+    }
+    if (hit) {
+      uint64_t span = std::min(seg_end - cur, hit->len);
+      dev->Load(hit->dev_off, dst, span, sequential, /*user_data=*/true);
+      sequential = true;
+      dst += span;
+      cur += span;
+      continue;
+    }
+    // 3. Hole (sparse file): reads as zeroes, one block quantum at a time.
+    uint64_t span = std::min(seg_end - cur, kBlockSize - cur % kBlockSize);
+    std::memset(dst, 0, span);
+    ctx_->ChargeCpu(ctx_->model.user_work_ns);
+    dst += span;
+    cur += span;
+  }
+  fs->last_read_end = end;
+  return static_cast<ssize_t>(end - off);
+}
+
+uint64_t SplitFs::OverwriteStagedOverlap(FileState* fs, const uint8_t* buf, uint64_t n,
+                                         uint64_t off) {
+  auto sit = fs->staged.upper_bound(off);
+  if (sit == fs->staged.begin()) {
+    return 0;
+  }
+  auto prev = std::prev(sit);
+  StagedRange& r = prev->second;
+  if (off >= r.file_off + r.alloc.len) {
+    return 0;
+  }
+  // Update the staged bytes in place: they are not yet published, so this stays
+  // atomic with the eventual relink.
+  uint64_t delta = off - r.file_off;
+  uint64_t span = std::min(n, r.alloc.len - delta);
+  kfs_->device()->StoreNt(r.alloc.dev_off + delta, buf, span, sim::PmWriteKind::kUserData);
+  return span;
+}
+
+ssize_t SplitFs::OverwriteInPlace(FileState* fs, const uint8_t* buf, uint64_t n,
+                                  uint64_t off) {
+  pmem::Device* dev = kfs_->device();
+  uint64_t cur = off;
+  uint64_t end = off + n;
+  const uint8_t* src = buf;
+  while (cur < end) {
+    auto hit = mmaps_.Translate(fs->ino, cur);
+    if (!hit) {
+      mmaps_.EnsureRegion(fs->ino, fs->kernel_fd, cur);
+      hit = mmaps_.Translate(fs->ino, cur);
+    }
+    if (!hit) {
+      // Hole inside the file (sparse): let the kernel allocate and write.
+      uint64_t span = std::min(end - cur, kBlockSize - cur % kBlockSize);
+      ssize_t rc = kfs_->Pwrite(fs->kernel_fd, src, span, cur);
+      if (rc < 0) {
+        return rc;
+      }
+      mmaps_.InvalidateRange(fs->ino, common::AlignDown(cur, opts_.mmap_size),
+                             opts_.mmap_size);
+      src += span;
+      cur += span;
+      continue;
+    }
+    uint64_t span = std::min(end - cur, hit->len);
+    dev->StoreNt(hit->dev_off, src, span, sim::PmWriteKind::kUserData);
+    src += span;
+    cur += span;
+  }
+  dev->Fence();  // Overwrites are synchronous in every mode (§3.2).
+  return static_cast<ssize_t>(n);
+}
+
+ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uint64_t off,
+                              bool is_overwrite) {
+  pmem::Device* dev = kfs_->device();
+
+  // Try to extend the most recent staged range: sequential appends stay physically
+  // contiguous, which is what lets fsync publish them with a single relink.
+  if (!fs->staged.empty()) {
+    auto& [start, last] = *std::prev(fs->staged.end());
+    if (!last.is_overwrite && !is_overwrite &&
+        last.file_off + last.alloc.len == off &&
+        staging_->ExtendInPlace(&last.alloc, n)) {
+      dev->StoreNt(last.alloc.dev_off + (last.alloc.len - n), buf, n,
+                   sim::PmWriteKind::kUserData);
+      if (opts_.mode == Mode::kStrict) {
+        StagingAlloc piece = last.alloc;
+        piece.staging_off += piece.len - n;
+        piece.dev_off += piece.len - n;
+        piece.len = n;
+        LogDataOp(LogOp::kAppend, fs->ino, off, piece);
+      } else if (opts_.mode == Mode::kSync) {
+        dev->Fence();
+      }
+      fs->size = std::max(fs->size, off + n);
+      return static_cast<ssize_t>(n);
+    }
+  }
+
+  std::vector<StagingAlloc> allocs;
+  if (!staging_->Allocate(n, off % kBlockSize, &allocs)) {
+    return -ENOSPC;
+  }
+  const uint8_t* src = buf;
+  uint64_t cur = off;
+  for (const auto& a : allocs) {
+    dev->StoreNt(a.dev_off, src, a.len, sim::PmWriteKind::kUserData);
+    StagedRange r;
+    r.file_off = cur;
+    r.alloc = a;
+    r.is_overwrite = is_overwrite;
+    fs->staged[cur] = r;
+    if (opts_.mode == Mode::kStrict) {
+      LogDataOp(is_overwrite ? LogOp::kOverwrite : LogOp::kAppend, fs->ino, cur, a);
+    }
+    src += a.len;
+    cur += a.len;
+  }
+  if (opts_.mode == Mode::kSync) {
+    dev->Fence();  // Sync mode persists the staged bytes synchronously.
+  }
+  fs->size = std::max(fs->size, off + n);
+  return static_cast<ssize_t>(n);
+}
+
+ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t off) {
+  if (n == 0) {
+    return 0;
+  }
+  const auto* src = static_cast<const uint8_t*>(buf);
+
+  // Ablation configuration (Figure 3 "split" bar): no staging — every write goes to
+  // the kernel, appends included.
+  if (!opts_.enable_staging) {
+    ctx_->ChargeCpu(ctx_->model.usplit_data_op_cpu_ns);
+    if (off + n <= fs->kernel_size) {
+      return OverwriteInPlace(fs, src, n, off);  // Overwrites still served in user space.
+    }
+    ssize_t rc = kfs_->Pwrite(fs->kernel_fd, src, n, off);
+    if (rc > 0) {
+      fs->kernel_size = std::max(fs->kernel_size, off + static_cast<uint64_t>(rc));
+      fs->size = std::max(fs->size, fs->kernel_size);
+    }
+    return rc;
+  }
+
+  // Writing past EOF with a gap: rare; delegate to the kernel for correctness.
+  if (off > fs->size) {
+    int prc = PublishStaged(fs);
+    if (prc != 0) {
+      return prc;
+    }
+    ssize_t rc = kfs_->Pwrite(fs->kernel_fd, src, n, off);
+    if (rc > 0) {
+      fs->kernel_size = std::max(fs->kernel_size, off + static_cast<uint64_t>(rc));
+      fs->size = std::max(fs->size, fs->kernel_size);
+      fs->metadata_dirty = true;
+    }
+    return rc;
+  }
+
+  uint64_t overwrite_len = off + n <= fs->size ? n : fs->size - off;
+  uint64_t cur = off;
+  uint64_t ow_end = off + overwrite_len;
+
+  if (overwrite_len > 0) {
+    ctx_->ChargeCpu(ctx_->model.usplit_data_op_cpu_ns);
+  }
+  while (cur < ow_end) {
+    // Bytes already staged (appended or COW-overwritten earlier) are updated in place
+    // in the staging file.
+    uint64_t staged_span = OverwriteStagedOverlap(fs, src, ow_end - cur, cur);
+    if (staged_span > 0) {
+      src += staged_span;
+      cur += staged_span;
+      continue;
+    }
+    // Segment until the next staged range.
+    uint64_t seg_end = ow_end;
+    auto sit = fs->staged.upper_bound(cur);
+    if (sit != fs->staged.end()) {
+      seg_end = std::min(seg_end, sit->first);
+    }
+    uint64_t span = seg_end - cur;
+    if (opts_.mode == Mode::kStrict) {
+      // Strict: copy-on-write via staging + op log; published atomically on fsync.
+      ctx_->ChargeCpu(ctx_->model.usplit_append_cpu_ns);
+      ssize_t rc = AppendStaged(fs, src, span, cur, /*is_overwrite=*/true);
+      if (rc < 0) {
+        return rc;
+      }
+    } else {
+      ssize_t rc = OverwriteInPlace(fs, src, span, cur);
+      if (rc < 0) {
+        return rc;
+      }
+    }
+    src += span;
+    cur += span;
+  }
+
+  // Append tail.
+  if (off + n > fs->size) {
+    uint64_t append_off = std::max(off, fs->size);
+    uint64_t append_len = off + n - append_off;
+    ctx_->ChargeCpu(ctx_->model.usplit_append_cpu_ns);
+    ssize_t rc = AppendStaged(fs, src, append_len, append_off, /*is_overwrite=*/false);
+    if (rc < 0) {
+      return rc;
+    }
+  }
+  return static_cast<ssize_t>(n);
+}
+
+// --- Publishing staged data (relink) --------------------------------------------------------
+
+int SplitFs::RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r) {
+  // Layout:  [ head partial | aligned core ... | tail partial ]
+  // Head/tail partial blocks are copied (the paper's "SplitFS copies the partial
+  // data"); the aligned core moves by extent swap with zero data movement.
+  uint64_t s = file_off;
+  uint64_t e = file_off + r.alloc.len;
+  uint64_t st = r.alloc.staging_off;
+  pmem::Device* dev = kfs_->device();
+
+  uint64_t head_end = std::min(e, common::AlignUp(s, kBlockSize));
+  if (s % kBlockSize != 0) {
+    uint64_t head_len = head_end - s;
+    SPLITFS_CHECK(head_len <= g_scratch.size());
+    dev->Load(r.alloc.dev_off, g_scratch.data(), head_len, /*sequential=*/true,
+              /*user_data=*/false);
+    ssize_t rc = kfs_->Pwrite(fs->kernel_fd, g_scratch.data(), head_len, s);
+    if (rc < 0) {
+      return static_cast<int>(rc);
+    }
+    s = head_end;
+    st = common::AlignUp(st, kBlockSize);
+  }
+  if (s >= e) {
+    return 0;
+  }
+
+  // Appends may relink their final partial block whole (nothing lives past EOF);
+  // overwrites must not clobber target bytes beyond the staged range.
+  uint64_t core_end = e;
+  bool tail_copy = false;
+  if (r.is_overwrite && e % kBlockSize != 0 && e < fs->kernel_size) {
+    core_end = common::AlignDown(e, kBlockSize);
+    tail_copy = true;
+  }
+
+  if (core_end > s) {
+    uint64_t aligned_len = common::AlignUp(core_end - s, kBlockSize);
+    int rc = kfs_->SwapExtentsForRelink(r.alloc.staging_fd, st, fs->kernel_fd, s,
+                                        aligned_len, /*new_dst_size=*/e,
+                                        /*defer_commit=*/true);
+    if (rc != 0) {
+      return rc;
+    }
+    ++relinks_;
+    // Retain the memory mapping: the physical blocks didn't move, so the staging
+    // region's mapping becomes the target file's mapping at zero cost (Figure 2).
+    uint64_t core_dev_off = r.alloc.dev_off + (s - file_off);
+    mmaps_.InvalidateRange(fs->ino, s, aligned_len);
+    mmaps_.InsertPieces(fs->ino, {{s, core_dev_off, aligned_len}});
+    // The tail block moved whole: the pool must not hand out its remainder.
+    if (staging_) {
+      staging_->MarkRelinked(r.alloc.staging_ino, r.alloc.staging_off + r.alloc.len);
+    }
+  }
+
+  if (tail_copy) {
+    uint64_t tail_len = e - core_end;
+    SPLITFS_CHECK(tail_len <= g_scratch.size());
+    dev->Load(r.alloc.dev_off + (core_end - file_off), g_scratch.data(), tail_len,
+              /*sequential=*/true, /*user_data=*/false);
+    ssize_t rc = kfs_->Pwrite(fs->kernel_fd, g_scratch.data(), tail_len, core_end);
+    if (rc < 0) {
+      return static_cast<int>(rc);
+    }
+  }
+  return 0;
+}
+
+int SplitFs::CopyStagedRun(FileState* fs, const StagedRange& r) {
+  // Figure 3 "+staging without relink" ablation: publish by copying staged bytes into
+  // the target through the kernel — the double write the relink primitive eliminates.
+  pmem::Device* dev = kfs_->device();
+  uint64_t copied = 0;
+  std::vector<uint8_t> buf(std::min<uint64_t>(r.alloc.len, 64 * common::kKiB));
+  while (copied < r.alloc.len) {
+    uint64_t span = std::min<uint64_t>(buf.size(), r.alloc.len - copied);
+    dev->Load(r.alloc.dev_off + copied, buf.data(), span, /*sequential=*/true,
+              /*user_data=*/false);
+    ssize_t rc = kfs_->Pwrite(fs->kernel_fd, buf.data(), span, r.file_off + copied);
+    if (rc < 0) {
+      return static_cast<int>(rc);
+    }
+    copied += span;
+  }
+  return 0;
+}
+
+int SplitFs::PublishStaged(FileState* fs) {
+  if (fs->staged.empty()) {
+    return 0;
+  }
+  // Drain pending non-temporal stores before making the data reachable.
+  kfs_->device()->Fence();
+  for (auto& [file_off, r] : fs->staged) {
+    int rc = opts_.enable_relink ? RelinkRun(fs, file_off, r) : CopyStagedRun(fs, r);
+    if (rc != 0) {
+      return rc;
+    }
+    fs->kernel_size = std::max(fs->kernel_size, file_off + r.alloc.len);
+  }
+  if (opts_.enable_relink) {
+    // One journal commit covers every relink of this publish (jbd2 batches handles).
+    kfs_->CommitJournal(/*fsync_barrier=*/false);
+  }
+  fs->staged.clear();
+  fs->metadata_dirty = false;  // The commit covered the running transaction too.
+  return 0;
+}
+
+int SplitFs::Fsync(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(ctx_->model.usplit_fsync_cpu_ns);
+  FileState* fs = StateOf(fd);
+  if (fs == nullptr) {
+    return -EBADF;
+  }
+  if (!fs->staged.empty()) {
+    return PublishStaged(fs);  // Relink path: no fsync barrier (Table 6).
+  }
+  if (fs->metadata_dirty) {
+    int rc = kfs_->Fsync(fs->kernel_fd);
+    if (rc == 0) {
+      fs->metadata_dirty = false;
+    }
+    return rc;
+  }
+  // Nothing staged, nothing dirty: in-place overwrites were already persisted by
+  // their non-temporal stores; the trap still happens.
+  ctx_->ChargeSyscall();
+  return 0;
+}
+
+int SplitFs::Ftruncate(int fd, uint64_t size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ctx_->ChargeCpu(ctx_->model.user_work_ns);
+  FileState* fs = StateOf(fd);
+  if (fs == nullptr) {
+    return -EBADF;
+  }
+  int rc = PublishStaged(fs);
+  if (rc != 0) {
+    return rc;
+  }
+  rc = kfs_->Ftruncate(fs->kernel_fd, size);
+  if (rc != 0) {
+    return rc;
+  }
+  if (size < fs->size) {
+    mmaps_.InvalidateRange(fs->ino, size, fs->size - size);
+  }
+  fs->size = size;
+  fs->kernel_size = size;
+  fs->metadata_dirty = true;
+  if (opts_.mode == Mode::kStrict) {
+    LogMetaOp(LogOp::kTruncate, fs->ino, size);
+  }
+  MakeMetadataSynchronous(fs);
+  return 0;
+}
+
+int SplitFs::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FileState* fs = StateOf(fd);
+  if (fs == nullptr) {
+    return -EBADF;
+  }
+  int rc = kfs_->Fallocate(fs->kernel_fd, off, len, keep_size);
+  if (rc == 0 && !keep_size) {
+    fs->size = std::max(fs->size, off + len);
+    fs->kernel_size = std::max(fs->kernel_size, off + len);
+    fs->metadata_dirty = true;
+  }
+  return rc;
+}
+
+// --- Op log ---------------------------------------------------------------------------------
+
+void SplitFs::LogDataOp(LogOp op, Ino target, uint64_t file_off, const StagingAlloc& a) {
+  if (!oplog_) {
+    return;
+  }
+  LogEntry e;
+  e.op = op;
+  e.target_ino = target;
+  e.file_off = file_off;
+  e.staging_ino = a.staging_ino;
+  e.staging_off = a.staging_off;
+  e.len = a.len;
+  while (!oplog_->Append(e)) {
+    CheckpointOpLog();
+  }
+}
+
+void SplitFs::LogMetaOp(LogOp op, Ino target, uint64_t aux) {
+  if (!oplog_) {
+    return;
+  }
+  LogEntry e;
+  e.op = op;
+  e.target_ino = target;
+  e.file_off = aux;
+  while (!oplog_->Append(e)) {
+    CheckpointOpLog();
+  }
+}
+
+void SplitFs::CheckpointOpLog() {
+  // Log full (§3.3): relink every file with staged data, then zero and reuse the log.
+  ctx_->ChargeCpu(ctx_->model.usplit_log_checkpoint_cpu_ns);
+  for (auto& [ino, fs] : files_) {
+    SPLITFS_CHECK_OK(PublishStaged(&fs));
+  }
+  oplog_->Reset();
+  ++checkpoints_;
+}
+
+// --- Recovery -------------------------------------------------------------------------------
+
+int SplitFs::Recover() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // A crash wiped the process: every piece of DRAM state is rebuilt from scratch.
+  for (auto& [ino, fs] : files_) {
+    if (fs.kernel_fd >= 0) {
+      kfs_->Close(fs.kernel_fd);
+    }
+  }
+  files_.clear();
+  path_cache_.clear();
+  mmaps_.Clear();
+
+  if (oplog_ == nullptr) {
+    // POSIX / sync: nothing beyond K-Split's own journal recovery (§5.3).
+    return 0;
+  }
+
+  // Strict: replay every valid log entry on top of ext4 recovery. Replay is
+  // idempotent — a relink whose source range is already a hole is skipped.
+  //
+  // Consecutive appends that extended one staged run produced one entry per
+  // operation but share staging blocks; coalesce them back into runs first, or an
+  // earlier entry's whole-block relink would turn a later entry's staging range
+  // into a hole mid-replay.
+  std::vector<LogEntry> entries = oplog_->ScanForRecovery();
+  std::vector<LogEntry> runs;
+  for (const LogEntry& e : entries) {
+    if (e.op != LogOp::kAppend && e.op != LogOp::kOverwrite) {
+      continue;  // Metadata ops were made durable by the kernel journal.
+    }
+    bool merged = false;
+    for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+      if (it->staging_ino == e.staging_ino && it->target_ino == e.target_ino &&
+          it->op == e.op && it->staging_off + it->len == e.staging_off &&
+          it->file_off + it->len == e.file_off) {
+        it->len += e.len;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      runs.push_back(e);
+    }
+  }
+  for (const LogEntry& e : runs) {
+    int src_fd = kfs_->OpenByIno(e.staging_ino, vfs::kRdWr);
+    int dst_fd = kfs_->OpenByIno(e.target_ino, vfs::kRdWr);
+    if (src_fd < 0 || dst_fd < 0) {
+      if (src_fd >= 0) {
+        kfs_->Close(src_fd);
+      }
+      if (dst_fd >= 0) {
+        kfs_->Close(dst_fd);
+      }
+      continue;  // Target unlinked after logging; nothing to do.
+    }
+    uint64_t s = e.file_off;
+    uint64_t end = e.file_off + e.len;
+    uint64_t st = e.staging_off;
+    // Head partial block: copy through the kernel.
+    uint64_t head_end = std::min(end, common::AlignUp(s, kBlockSize));
+    if (s % kBlockSize != 0) {
+      uint64_t head_len = head_end - s;
+      std::vector<uint8_t> buf(head_len);
+      if (kfs_->Pread(src_fd, buf.data(), head_len, st) ==
+          static_cast<ssize_t>(head_len)) {
+        kfs_->Pwrite(dst_fd, buf.data(), head_len, s);
+      }
+      s = head_end;
+      st = common::AlignUp(st, kBlockSize);
+    }
+    if (s < end) {
+      uint64_t aligned_len = common::AlignUp(end - s, kBlockSize);
+      int rc = kfs_->SwapExtentsForRelink(src_fd, st, dst_fd, s, aligned_len,
+                                          /*new_dst_size=*/end);
+      (void)rc;  // -EINVAL == already relinked before the crash: idempotent skip.
+    }
+    kfs_->Close(src_fd);
+    kfs_->Close(dst_fd);
+  }
+  oplog_->Reset();
+
+  // Fresh staging files for the new epoch (unrelinked blocks in old staging files are
+  // garbage-collected out of band, as a real restart would clean its runtime dir).
+  if (opts_.enable_staging) {
+    static std::atomic<uint64_t> recover_epoch{0};
+    staging_ = std::make_unique<StagingPool>(
+        kfs_, &mmaps_, opts_, tag_ + "-r" + std::to_string(recover_epoch.fetch_add(1)));
+  }
+  return 0;
+}
+
+// --- fork/exec plumbing ----------------------------------------------------------------------
+
+std::unique_ptr<SplitFs> SplitFs::CloneForFork(const std::string& child_tag) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // fork() copies the address space: the child arrives with U-Split and its caches
+  // intact (§3.5). Kernel descriptors are shared across fork, so they carry over.
+  auto child = std::make_unique<SplitFs>(kfs_, opts_, child_tag);
+  for (const auto& [ino, fs] : files_) {
+    FileState copy = fs;
+    copy.staged = fs.staged;
+    child->files_[ino] = std::move(copy);
+  }
+  child->path_cache_ = path_cache_;
+  return child;
+}
+
+std::vector<uint8_t> SplitFs::SaveForExec() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Serialize open-file state to the shm blob (§3.5: file named by pid on /dev/shm).
+  // Layout per record: ino, flags, offset, size, kernel_size, path.
+  std::vector<uint8_t> blob;
+  auto put64 = [&blob](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      blob.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  put64(files_.size());
+  for (const auto& [ino, fs] : files_) {
+    put64(ino);
+    put64(fs.size);
+    put64(fs.kernel_size);
+    put64(fs.path.size());
+    blob.insert(blob.end(), fs.path.begin(), fs.path.end());
+  }
+  return blob;
+}
+
+std::unique_ptr<SplitFs> SplitFs::RestoreAfterExec(ext4sim::Ext4Dax* kfs, Options opts,
+                                                   const std::string& instance_tag,
+                                                   const std::vector<uint8_t>& blob) {
+  auto inst = std::make_unique<SplitFs>(kfs, opts, instance_tag);
+  size_t pos = 0;
+  auto get64 = [&blob, &pos]() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(blob[pos++]) << (8 * i);
+    }
+    return v;
+  };
+  uint64_t count = get64();
+  for (uint64_t i = 0; i < count; ++i) {
+    Ino ino = get64();
+    uint64_t size = get64();
+    uint64_t kernel_size = get64();
+    uint64_t path_len = get64();
+    std::string path(blob.begin() + pos, blob.begin() + pos + path_len);
+    pos += path_len;
+    int kfd = kfs->OpenByIno(ino, vfs::kRdWr);
+    if (kfd < 0) {
+      continue;
+    }
+    FileState fs;
+    fs.ino = ino;
+    fs.kernel_fd = kfd;
+    fs.path = path;
+    fs.size = size;
+    fs.kernel_size = kernel_size;
+    inst->files_[ino] = std::move(fs);
+    inst->path_cache_[path] = ino;
+  }
+  return inst;
+}
+
+// --- Introspection ---------------------------------------------------------------------------
+
+uint64_t SplitFs::StagedBytes() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [ino, fs] : files_) {
+    for (const auto& [off, r] : fs.staged) {
+      total += r.alloc.len;
+    }
+  }
+  return total;
+}
+
+uint64_t SplitFs::MemoryUsageBytes() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  uint64_t total = sizeof(*this) + mmaps_.MemoryUsageBytes();
+  if (staging_) {
+    total += staging_->MemoryUsageBytes();
+  }
+  for (const auto& [ino, fs] : files_) {
+    total += sizeof(fs) + fs.path.size() + fs.staged.size() * (sizeof(StagedRange) + 48);
+  }
+  for (const auto& [path, ino] : path_cache_) {
+    total += path.size() + sizeof(Ino) + 48;
+  }
+  if (oplog_) {
+    total += 64;  // DRAM tail + bookkeeping; the log itself lives on PM.
+  }
+  return total;
+}
+
+}  // namespace splitfs

@@ -1,0 +1,154 @@
+// SplitFS: the user-space library file system (U-Split) over ext4-DAX (K-Split).
+//
+// This is the paper's primary contribution (§3). One SplitFs instance corresponds to
+// one LD_PRELOAD-ed process; several instances — possibly with different consistency
+// modes — can share a single Ext4Dax, exactly as concurrent applications share one
+// mounted SplitFS.
+//
+// Responsibilities split:
+//   * data operations (read / overwrite) are served in user space from the collection
+//     of memory-maps, with loads and non-temporal stores — no kernel trap;
+//   * appends (all modes) and overwrites (strict mode) are redirected to staging files
+//     and published atomically by relink on fsync()/close();
+//   * metadata operations (open, close, unlink, rename, mkdir, ...) are passed through
+//     to K-Split, with U-Split bookkeeping layered on top;
+//   * strict mode additionally writes one 64 B op-log entry + one fence per operation.
+//
+// POSIX quirks the paper calls out are reproduced: dup() shares one offset (fd_table),
+// fork()/execve() state carryover (CloneForFork / SaveForExec + RestoreAfterExec),
+// attribute caching across close, and mmap retention until unlink.
+#ifndef SRC_CORE_SPLIT_FS_H_
+#define SRC_CORE_SPLIT_FS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/mmap_cache.h"
+#include "src/core/oplog.h"
+#include "src/core/options.h"
+#include "src/core/staging.h"
+#include "src/ext4/ext4_dax.h"
+#include "src/vfs/fd_table.h"
+#include "src/vfs/file_system.h"
+
+namespace splitfs {
+
+class SplitFs : public vfs::FileSystem {
+ public:
+  // `instance_tag` names this U-Split instance's runtime files (staging, op log).
+  SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instance_tag = "u0");
+  ~SplitFs() override;
+
+  std::string Name() const override;
+  Mode mode() const { return opts_.mode; }
+
+  // --- vfs::FileSystem ------------------------------------------------------------------
+  int Open(const std::string& path, int flags) override;
+  int Close(int fd) override;
+  int Unlink(const std::string& path) override;
+  int Rename(const std::string& from, const std::string& to) override;
+  ssize_t Pread(int fd, void* buf, uint64_t n, uint64_t off) override;
+  ssize_t Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) override;
+  ssize_t Read(int fd, void* buf, uint64_t n) override;
+  ssize_t Write(int fd, const void* buf, uint64_t n) override;
+  int64_t Lseek(int fd, int64_t off, vfs::Whence whence) override;
+  int Fsync(int fd) override;
+  int Ftruncate(int fd, uint64_t size) override;
+  int Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) override;
+  int Stat(const std::string& path, vfs::StatBuf* out) override;
+  int Fstat(int fd, vfs::StatBuf* out) override;
+  int Mkdir(const std::string& path) override;
+  int Rmdir(const std::string& path) override;
+  int ReadDir(const std::string& path, std::vector<std::string>* names) override;
+  int Recover() override;
+
+  // --- POSIX process plumbing (§3.5) -----------------------------------------------------
+  int Dup(int fd);
+  // fork(): the child inherits the library state (copied address space).
+  std::unique_ptr<SplitFs> CloneForFork(const std::string& child_tag) const;
+  // execve(): open-file state is serialized to a shm file keyed by pid and restored
+  // after the exec replaces the address space.
+  std::vector<uint8_t> SaveForExec() const;
+  static std::unique_ptr<SplitFs> RestoreAfterExec(ext4sim::Ext4Dax* kfs, Options opts,
+                                                   const std::string& instance_tag,
+                                                   const std::vector<uint8_t>& blob);
+
+  // --- Introspection (tests / §5.10 resource bench) ---------------------------------------
+  uint64_t StagedBytes() const;
+  uint64_t MemoryUsageBytes() const;
+  uint64_t OpLogEntries() const { return oplog_ ? oplog_->EntriesLogged() : 0; }
+  uint64_t Relinks() const { return relinks_; }
+  uint64_t Checkpoints() const { return checkpoints_; }
+  const StagingPool& staging_pool() const { return *staging_; }
+  ext4sim::Ext4Dax* kernel_fs() const { return kfs_; }
+
+ private:
+  struct StagedRange {
+    uint64_t file_off = 0;
+    StagingAlloc alloc;  // alloc.len is the range length.
+    bool is_overwrite = false;
+  };
+
+  struct FileState {
+    vfs::Ino ino = vfs::kInvalidIno;
+    int kernel_fd = -1;
+    std::string path;
+    uint64_t size = 0;         // Application-visible size (includes staged appends).
+    uint64_t kernel_size = 0;  // Size K-Split believes (after last relink).
+    bool metadata_dirty = false;  // Create/truncate not yet committed by a kernel sync.
+    std::map<uint64_t, StagedRange> staged;  // Keyed by file_off; non-overlapping.
+    uint32_t open_count = 0;
+    uint64_t last_read_end = 0;  // Sequential-access detection.
+  };
+
+  FileState* StateOf(int fd);
+  FileState* EnsureState(const std::string& path, int kernel_fd);
+
+  // Data-path helpers (file lock held by caller).
+  ssize_t ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off);
+  ssize_t WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t off);
+  ssize_t AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uint64_t off,
+                       bool is_overwrite);
+  ssize_t OverwriteInPlace(FileState* fs, const uint8_t* buf, uint64_t n, uint64_t off);
+  // Writes into already-staged bytes overlapping [off, off+n); returns bytes written
+  // from the front, 0 if the front of the range is not staged.
+  uint64_t OverwriteStagedOverlap(FileState* fs, const uint8_t* buf, uint64_t n,
+                                  uint64_t off);
+
+  // Publishes all staged ranges of `fs` into the target file (relink or, with the
+  // Figure 3 ablation toggle off, copy). Returns 0 or -errno.
+  int PublishStaged(FileState* fs);
+  int RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r);
+  int CopyStagedRun(FileState* fs, const StagedRange& r);
+
+  // sync/strict modes: commit the kernel journal (non-barrier) so the metadata
+  // operation that just completed is synchronous, per Table 3.
+  void MakeMetadataSynchronous(FileState* fs);
+
+  void LogDataOp(LogOp op, vfs::Ino target, uint64_t file_off, const StagingAlloc& a);
+  void LogMetaOp(LogOp op, vfs::Ino target, uint64_t aux = 0);
+  void CheckpointOpLog();
+
+  ext4sim::Ext4Dax* kfs_;
+  sim::Context* ctx_;
+  Options opts_;
+  std::string tag_;
+
+  mutable std::recursive_mutex mu_;  // Instance-wide lock (paper uses finer-grained).
+  std::unordered_map<vfs::Ino, FileState> files_;
+  std::unordered_map<std::string, vfs::Ino> path_cache_;
+  vfs::FdTable fds_;
+  MmapCache mmaps_;
+  std::unique_ptr<StagingPool> staging_;
+  std::unique_ptr<OpLog> oplog_;  // Strict mode only.
+  uint64_t relinks_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace splitfs
+
+#endif  // SRC_CORE_SPLIT_FS_H_

@@ -1,0 +1,159 @@
+#include "src/core/staging.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+
+namespace splitfs {
+
+StagingPool::StagingPool(ext4sim::Ext4Dax* kfs, MmapCache* mmaps, const Options& opts,
+                         const std::string& instance_tag)
+    : kfs_(kfs), mmaps_(mmaps), ctx_(kfs->context()), opts_(opts) {
+  dir_ = opts.runtime_dir + "/stage-" + instance_tag;
+  kfs_->Mkdir(opts.runtime_dir);  // Idempotent; EEXIST is fine.
+  SPLITFS_CHECK_OK(kfs_->Mkdir(dir_));
+  for (uint32_t i = 0; i < opts_.num_staging_files; ++i) {
+    SPLITFS_CHECK(CreateStageFile(/*background=*/false));
+  }
+}
+
+StagingPool::~StagingPool() {
+  for (auto& sf : files_) {
+    if (sf.fd >= 0) {
+      kfs_->Close(sf.fd);
+    }
+  }
+}
+
+bool StagingPool::CreateStageFile(bool background) {
+  uint64_t t0 = ctx_->clock.Now();
+  StageFile sf;
+  std::string path = dir_ + "/s" + std::to_string(files_created_);
+  sf.fd = kfs_->Open(path, vfs::kRdWr | vfs::kCreate);
+  if (sf.fd < 0) {
+    return false;
+  }
+  // Full-size fallocate (not KEEP_SIZE): crash recovery reads partial-block staged
+  // bytes back through the kernel, which clips reads at i_size.
+  int rc = kfs_->Fallocate(sf.fd, 0, opts_.staging_file_bytes, /*keep_size=*/false);
+  if (rc != 0) {
+    kfs_->Close(sf.fd);
+    kfs_->Unlink(path);
+    return false;
+  }
+  sf.ino = kfs_->InoOf(sf.fd);
+  rc = kfs_->DaxMap(sf.fd, 0, opts_.staging_file_bytes, &sf.mappings);
+  SPLITFS_CHECK(rc == 0 && !sf.mappings.empty());
+  // The staging file is mapped once, up front; these mappings are what relink retains.
+  ctx_->ChargeCpu(ctx_->model.mmap_syscall_ns);
+  for (uint64_t chunk = 0; chunk < opts_.staging_file_bytes; chunk += common::kHugePageSize) {
+    ctx_->ChargeHugePageSetup();
+  }
+  files_.push_back(std::move(sf));
+  ++files_created_;
+  if (background) {
+    // Replenishment happens on the paper's background thread: take it off the
+    // foreground clock (the work itself — allocation, mapping — really happened).
+    ctx_->clock.Rewind(ctx_->clock.Now() - t0);
+    ++background_creations_;
+  }
+  return true;
+}
+
+uint64_t StagingPool::DevOffsetOf(const StageFile& sf, uint64_t file_off) const {
+  for (const auto& m : sf.mappings) {
+    if (file_off >= m.file_off && file_off < m.file_off + m.len) {
+      return m.dev_off + (file_off - m.file_off);
+    }
+  }
+  SPLITFS_CHECK(false && "staging offset outside pre-allocated range");
+  return 0;
+}
+
+bool StagingPool::ExtendInPlace(StagingAlloc* a, uint64_t n) {
+  if (files_.empty()) {
+    return false;
+  }
+  StageFile& sf = files_.front();
+  if (sf.ino != a->staging_ino || sf.used != a->staging_off + a->len ||
+      sf.used + n > opts_.staging_file_bytes) {
+    return false;
+  }
+  // Must also stay within one device-contiguous mapping piece.
+  for (const auto& m : sf.mappings) {
+    if (a->staging_off >= m.file_off &&
+        a->staging_off + a->len + n <= m.file_off + m.len) {
+      sf.used += n;
+      a->len += n;
+      return true;
+    }
+  }
+  return false;
+}
+
+void StagingPool::MarkRelinked(vfs::Ino ino, uint64_t end_off) {
+  for (auto& sf : files_) {
+    if (sf.ino == ino) {
+      sf.used = std::max(sf.used,
+                         std::min(common::AlignUp(end_off, common::kBlockSize),
+                                  opts_.staging_file_bytes));
+      return;
+    }
+  }
+}
+
+bool StagingPool::Allocate(uint64_t len, uint64_t align_mod,
+                           std::vector<StagingAlloc>* out) {
+  out->clear();
+  uint64_t remaining = len;
+  while (remaining > 0) {
+    if (files_.empty() && !CreateStageFile(/*background=*/false)) {
+      return false;
+    }
+    StageFile& sf = files_.front();
+    // Two invariants: (1) a new allocation NEVER shares a block with a previous one
+    // (relink moves whole blocks, including partially-used tails), and (2) the
+    // staged offset is congruent to the target file offset mod the block size so
+    // the aligned core can be relinked. Only ExtendInPlace continues mid-block.
+    uint64_t desired_mod = (align_mod + (len - remaining)) % common::kBlockSize;
+    uint64_t base = common::AlignUp(sf.used, common::kBlockSize);
+    sf.used = std::min(base + desired_mod, opts_.staging_file_bytes);
+    uint64_t avail = opts_.staging_file_bytes - sf.used;
+    if (avail == 0) {
+      // Active file consumed: drop it from the pool and let the background thread
+      // replace it. The file and its fd stay alive — StagedRange records reference
+      // them until every staged byte has been relinked.
+      files_.pop_front();
+      if (files_.empty()) {
+        SPLITFS_CHECK(CreateStageFile(/*background=*/false));
+      } else {
+        CreateStageFile(/*background=*/true);
+      }
+      continue;
+    }
+    // Also respect physical-piece boundaries so each alloc is device-contiguous.
+    uint64_t take = std::min(remaining, avail);
+    uint64_t dev_off = DevOffsetOf(sf, sf.used);
+    // Clip to the containing mapping piece.
+    for (const auto& m : sf.mappings) {
+      if (sf.used >= m.file_off && sf.used < m.file_off + m.len) {
+        take = std::min(take, m.file_off + m.len - sf.used);
+        break;
+      }
+    }
+    out->push_back({sf.ino, sf.fd, sf.used, dev_off, take});
+    sf.used += take;
+    remaining -= take;
+  }
+  return true;
+}
+
+uint64_t StagingPool::MemoryUsageBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const auto& sf : files_) {
+    total += sizeof(sf) + sf.mappings.size() * sizeof(ext4sim::Ext4Dax::DaxMapping);
+  }
+  return total;
+}
+
+}  // namespace splitfs

@@ -1,0 +1,92 @@
+// Staging-file pool (§3.3, §3.5).
+//
+// Appends (all modes) and overwrites (strict mode) are redirected to pre-allocated
+// staging files on K-Split and later relinked into the target file. The pool:
+//   * pre-creates `num_staging_files` files of `staging_file_bytes` at startup,
+//     fallocate()d and DAX-mapped up front so the critical path never traps;
+//   * hands out contiguous byte ranges with a bump allocator per file;
+//   * models the background replenishment thread: when a file is consumed, a fresh one
+//     is created with its cost charged off the application's critical path (the
+//     paper's background thread; we keep the simulation deterministic by doing the
+//     work inline but not advancing the shared clock).
+#ifndef SRC_CORE_STAGING_H_
+#define SRC_CORE_STAGING_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/core/mmap_cache.h"
+#include "src/core/options.h"
+#include "src/ext4/ext4_dax.h"
+
+namespace splitfs {
+
+// One allocation handed to a data operation.
+struct StagingAlloc {
+  vfs::Ino staging_ino = vfs::kInvalidIno;
+  int staging_fd = -1;        // K-Split fd of the staging file.
+  uint64_t staging_off = 0;   // Byte offset within the staging file.
+  uint64_t dev_off = 0;       // Device byte offset (staging files are fully mapped).
+  uint64_t len = 0;
+};
+
+class StagingPool {
+ public:
+  // `instance_tag` keeps staging namespaces of concurrent U-Split instances apart.
+  StagingPool(ext4sim::Ext4Dax* kfs, MmapCache* mmaps, const Options& opts,
+              const std::string& instance_tag);
+  ~StagingPool();
+
+  StagingPool(const StagingPool&) = delete;
+  StagingPool& operator=(const StagingPool&) = delete;
+
+  // Allocates `len` staged bytes whose starting offset is congruent to `align_mod`
+  // modulo the block size — relink requires staged blocks to line up with the target
+  // file's block grid. May split across staging files; returns one alloc per
+  // contiguous piece. Returns false if the device is out of space.
+  bool Allocate(uint64_t len, uint64_t align_mod, std::vector<StagingAlloc>* out);
+
+  // Grows `a` by `n` bytes if it ends exactly at the active file's bump pointer
+  // (the sequential-append fast path). Returns false when not extendable.
+  bool ExtendInPlace(StagingAlloc* a, uint64_t n);
+
+  // Relink moved staging blocks [.., end_off)-rounded-up out of `ino`; the space up
+  // to the next block boundary must never be handed out again (the physical blocks
+  // now belong to the target file).
+  void MarkRelinked(vfs::Ino ino, uint64_t end_off);
+
+  // Number of staging files created over the pool's lifetime (bench introspection).
+  uint64_t FilesCreated() const { return files_created_; }
+  uint64_t BackgroundCreations() const { return background_creations_; }
+
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  struct StageFile {
+    vfs::Ino ino = vfs::kInvalidIno;
+    int fd = -1;
+    uint64_t used = 0;                 // Bump pointer.
+    std::vector<ext4sim::Ext4Dax::DaxMapping> mappings;
+  };
+
+  // Creates + fallocates + maps one staging file. When `background` is true the cost
+  // is not charged to the shared clock (paper's replenishment thread).
+  bool CreateStageFile(bool background);
+  // Device offset backing `file_off` of `sf` (staging files are fully allocated).
+  uint64_t DevOffsetOf(const StageFile& sf, uint64_t file_off) const;
+
+  ext4sim::Ext4Dax* kfs_;
+  MmapCache* mmaps_;
+  sim::Context* ctx_;
+  Options opts_;
+  std::string dir_;
+  std::deque<StageFile> files_;  // Front = currently active.
+  uint64_t files_created_ = 0;
+  uint64_t background_creations_ = 0;
+};
+
+}  // namespace splitfs
+
+#endif  // SRC_CORE_STAGING_H_

@@ -1,0 +1,100 @@
+#include "src/ext4/allocator.h"
+
+#include <algorithm>
+
+namespace ext4sim {
+
+BlockAllocator::BlockAllocator(uint64_t first_block, uint64_t n_blocks)
+    : first_block_(first_block),
+      n_blocks_(n_blocks),
+      free_blocks_(n_blocks),
+      bits_((n_blocks + 63) / 64, 0) {
+  SPLITFS_CHECK(n_blocks > 0);
+}
+
+PhysExtent BlockAllocator::Allocate(uint64_t count, uint64_t goal) {
+  if (count == 0 || free_blocks_ == 0) {
+    return {};
+  }
+  uint64_t start_idx = cursor_;
+  if (goal >= first_block_ && goal < first_block_ + n_blocks_) {
+    start_idx = goal - first_block_;
+  }
+  // Scan forward from the hint, wrapping once, looking for the first free run.
+  for (uint64_t pass = 0; pass < 2; ++pass) {
+    uint64_t lo = pass == 0 ? start_idx : 0;
+    uint64_t hi = pass == 0 ? n_blocks_ : start_idx;
+    uint64_t i = lo;
+    while (i < hi) {
+      if (TestBit(i)) {
+        ++i;
+        continue;
+      }
+      uint64_t run = 1;
+      while (run < count && i + run < hi && !TestBit(i + run)) {
+        ++run;
+      }
+      for (uint64_t k = 0; k < run; ++k) {
+        SetBit(i + k);
+      }
+      free_blocks_ -= run;
+      cursor_ = (i + run) % n_blocks_;
+      return {first_block_ + i, run};
+    }
+  }
+  return {};
+}
+
+bool BlockAllocator::AllocateBlocks(uint64_t count, std::vector<PhysExtent>* out,
+                                    uint64_t goal) {
+  if (count > free_blocks_) {
+    return false;
+  }
+  size_t first_new = out->size();
+  uint64_t remaining = count;
+  uint64_t hint = goal;
+  while (remaining > 0) {
+    PhysExtent e = Allocate(remaining, hint);
+    if (e.count == 0) {
+      // Undo partial allocation; cannot happen unless free_blocks_ was inconsistent.
+      for (size_t i = first_new; i < out->size(); ++i) {
+        Free((*out)[i]);
+      }
+      out->resize(first_new);
+      return false;
+    }
+    out->push_back(e);
+    remaining -= e.count;
+    hint = e.start + e.count;  // Keep subsequent pieces as close as possible.
+  }
+  return true;
+}
+
+void BlockAllocator::Free(const PhysExtent& e) {
+  SPLITFS_CHECK(e.start >= first_block_ && e.start + e.count <= first_block_ + n_blocks_);
+  for (uint64_t k = 0; k < e.count; ++k) {
+    uint64_t idx = e.start - first_block_ + k;
+    SPLITFS_CHECK(TestBit(idx));  // Double-free guard.
+    ClearBit(idx);
+  }
+  free_blocks_ += e.count;
+}
+
+bool BlockAllocator::IsAllocated(uint64_t block) const {
+  SPLITFS_CHECK(block >= first_block_ && block < first_block_ + n_blocks_);
+  return TestBit(block - first_block_);
+}
+
+uint64_t BlockAllocator::LargestFreeRun() const {
+  uint64_t best = 0, run = 0;
+  for (uint64_t i = 0; i < n_blocks_; ++i) {
+    if (!TestBit(i)) {
+      best = std::max(best, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace ext4sim

@@ -1,0 +1,59 @@
+// Bitmap block allocator for the data region of the emulated PM device.
+//
+// Models ext4's mballoc at the interface level: callers ask for up-to-`count`
+// physically contiguous blocks near a goal and receive one extent per call; large
+// requests therefore decay into multiple extents under fragmentation, which is exactly
+// the behaviour that makes huge-page-backed mmaps fragile (§4 of the paper).
+#ifndef SRC_EXT4_ALLOCATOR_H_
+#define SRC_EXT4_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ext4sim {
+
+struct PhysExtent {
+  uint64_t start = 0;  // First physical block.
+  uint64_t count = 0;  // Number of blocks.
+};
+
+class BlockAllocator {
+ public:
+  // Manages blocks [first_block, first_block + n_blocks).
+  BlockAllocator(uint64_t first_block, uint64_t n_blocks);
+
+  // Allocates up to `count` contiguous blocks starting the search at `goal`
+  // (0 = allocator's rotating cursor). Returns an extent with count in
+  // [1, count], or count == 0 if the device is full.
+  PhysExtent Allocate(uint64_t count, uint64_t goal = 0);
+
+  // Allocates exactly `count` blocks as a list of extents (first-fit, possibly
+  // fragmented). Returns false (and allocates nothing) if space is insufficient.
+  bool AllocateBlocks(uint64_t count, std::vector<PhysExtent>* out, uint64_t goal = 0);
+
+  void Free(const PhysExtent& e);
+
+  uint64_t FreeBlocks() const { return free_blocks_; }
+  uint64_t TotalBlocks() const { return n_blocks_; }
+  bool IsAllocated(uint64_t block) const;
+
+  // Largest contiguous free run; tests use this to assert fragmentation behaviour.
+  uint64_t LargestFreeRun() const;
+
+ private:
+  bool TestBit(uint64_t idx) const { return (bits_[idx >> 6] >> (idx & 63)) & 1; }
+  void SetBit(uint64_t idx) { bits_[idx >> 6] |= (1ull << (idx & 63)); }
+  void ClearBit(uint64_t idx) { bits_[idx >> 6] &= ~(1ull << (idx & 63)); }
+
+  uint64_t first_block_;
+  uint64_t n_blocks_;
+  uint64_t free_blocks_;
+  uint64_t cursor_ = 0;  // Rotating allocation hint (index, not block number).
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace ext4sim
+
+#endif  // SRC_EXT4_ALLOCATOR_H_

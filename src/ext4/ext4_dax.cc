@@ -1,0 +1,844 @@
+#include "src/ext4/ext4_dax.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/vfs/path.h"
+
+namespace ext4sim {
+
+using common::kBlockSize;
+using vfs::FileType;
+using vfs::Ino;
+
+Ext4Dax::Ext4Dax(pmem::Device* dev, Ext4Options opts)
+    : dev_(dev),
+      ctx_(dev->context()),
+      data_start_block_(1 + opts.journal_blocks),
+      alloc_(1 + opts.journal_blocks, dev->size() / kBlockSize - 1 - opts.journal_blocks),
+      journal_(dev, /*journal_start_block=*/1, opts.journal_blocks) {
+  auto root = std::make_unique<Inode>();
+  root->ino = vfs::kRootIno;
+  root->type = FileType::kDirectory;
+  root->nlink = 2;
+  inodes_[vfs::kRootIno] = std::move(root);
+}
+
+Ext4Dax::Inode* Ext4Dax::GetInode(Ino ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : it->second.get();
+}
+
+Ext4Dax::Inode* Ext4Dax::ResolvePath(const std::string& path) {
+  std::vector<std::string> parts;
+  if (!vfs::SplitPath(path, &parts)) {
+    return nullptr;
+  }
+  Inode* cur = GetInode(vfs::kRootIno);
+  for (const auto& name : parts) {
+    if (cur == nullptr || cur->type != FileType::kDirectory) {
+      return nullptr;
+    }
+    auto it = cur->dirents.find(name);
+    if (it == cur->dirents.end()) {
+      return nullptr;
+    }
+    cur = GetInode(it->second);
+  }
+  return cur;
+}
+
+Ext4Dax::Inode* Ext4Dax::ResolveParent(const std::string& path, std::string* leaf) {
+  std::string parent;
+  if (!vfs::SplitParent(path, &parent, leaf)) {
+    return nullptr;
+  }
+  Inode* dir = ResolvePath(parent);
+  if (dir == nullptr || dir->type != FileType::kDirectory) {
+    return nullptr;
+  }
+  return dir;
+}
+
+Ino Ext4Dax::AllocateInode(FileType type) {
+  Ino ino = next_ino_++;
+  auto inode = std::make_unique<Inode>();
+  inode->ino = ino;
+  inode->type = type;
+  inode->nlink = type == FileType::kDirectory ? 2 : 1;
+  inodes_[ino] = std::move(inode);
+  return ino;
+}
+
+void Ext4Dax::FreeInodeBlocks(Inode* inode) {
+  std::vector<PhysExtent> extents = inode->extents.Clear();
+  for (const auto& e : extents) {
+    ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
+    alloc_.Free(e);
+  }
+}
+
+int64_t Ext4Dax::EnsureBlocks(Inode* inode, uint64_t off, uint64_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  uint64_t first = off / kBlockSize;
+  uint64_t last = (off + len - 1) / kBlockSize;
+  int64_t allocated = 0;
+  for (uint64_t lb = first; lb <= last;) {
+    auto hit = inode->extents.Lookup(lb);
+    if (hit) {
+      lb += hit->count;  // Run of mapped blocks; skip it.
+      continue;
+    }
+    // Hole: find how far it extends (up to `last`) and allocate in one mballoc call.
+    uint64_t hole_end = lb;
+    while (hole_end <= last && !inode->extents.Lookup(hole_end)) {
+      ++hole_end;
+    }
+    uint64_t want = hole_end - lb;
+    std::vector<PhysExtent> pieces;
+    ctx_->ChargeCpu(ctx_->model.ext4_alloc_cpu_ns);
+    if (!alloc_.AllocateBlocks(want, &pieces)) {
+      return -ENOSPC;
+    }
+    uint64_t cur = lb;
+    for (const auto& p : pieces) {
+      ctx_->ChargeCpu(ctx_->model.ext4_extent_cpu_ns);
+      inode->extents.Insert(cur, p.start, p.count);
+      cur += p.count;
+      allocated += static_cast<int64_t>(p.count);
+      // Roll back mapping + allocation if the transaction never commits.
+      Inode* captured = inode;
+      uint64_t at = cur - p.count;
+      PhysExtent pe = p;
+      journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, inode->ino), [this, captured, at, pe] {
+        captured->extents.RemoveRange(at, pe.count);
+        alloc_.Free(pe);
+      });
+    }
+    journal_.Dirty(MetaBlockId(MetaKind::kBlockBitmap, pieces.front().start / 32768), nullptr);
+    lb = hole_end;
+  }
+  return allocated;
+}
+
+// --- Open/close -----------------------------------------------------------------------
+
+int Ext4Dax::Open(const std::string& path, int flags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
+
+  Inode* inode = ResolvePath(path);
+  if (inode == nullptr) {
+    if ((flags & vfs::kCreate) == 0) {
+      return -ENOENT;
+    }
+    std::string leaf;
+    Inode* dir = ResolveParent(path, &leaf);
+    if (dir == nullptr) {
+      return -ENOENT;
+    }
+    ctx_->ChargeCpu(ctx_->model.ext4_create_extra_ns + ctx_->model.ext4_dir_op_cpu_ns +
+                    ctx_->model.ext4_journal_dirty_cpu_ns);
+    Ino ino = AllocateInode(FileType::kRegular);
+    dir->dirents[leaf] = ino;
+    inode = GetInode(ino);
+    Ino dir_ino = dir->ino;
+    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, ino / 16), [this, ino] {
+      inodes_.erase(ino);
+    });
+    journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino), [this, dir_ino, leaf] {
+      if (Inode* d = GetInode(dir_ino)) {
+        d->dirents.erase(leaf);
+      }
+    });
+  } else if ((flags & vfs::kCreate) != 0 && (flags & vfs::kExcl) != 0) {
+    return -EEXIST;
+  }
+  if (inode->type == FileType::kDirectory && vfs::WantsWrite(flags)) {
+    return -EISDIR;
+  }
+  if ((flags & vfs::kTrunc) != 0 && inode->type == FileType::kRegular && inode->size > 0) {
+    uint64_t old_size = inode->size;
+    inode->size = 0;
+    std::vector<PhysExtent> freed =
+        inode->extents.RemoveRange(0, common::DivCeil(old_size, kBlockSize));
+    ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
+    Inode* captured = inode;
+    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
+                   [captured, old_size] { captured->size = old_size; });
+    // The freed extents were contiguous pieces starting at logical 0, in order;
+    // save the mapping so rollback can re-insert them.
+    uint64_t lb = 0;
+    std::vector<MappedExtent> saved;
+    for (const auto& e : freed) {
+      saved.push_back({lb, e.start, e.count});
+      lb += e.count;
+    }
+    journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, inode->ino), [captured, saved] {
+      for (const auto& m : saved) {
+        captured->extents.Insert(m.logical, m.phys, m.count);
+      }
+    });
+    for (const auto& e : freed) {
+      ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
+      journal_.OnCommit([this, e] { alloc_.Free(e); });
+    }
+  }
+  ++inode->open_count;
+  return fds_.Allocate(inode->ino, flags);
+}
+
+int Ext4Dax::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.kernel_work_ns / 2);
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  Inode* inode = GetInode(of->ino);
+  int rc = fds_.Release(fd);
+  if (rc != 0) {
+    return rc;
+  }
+  if (inode != nullptr && --inode->open_count == 0 && inode->unlinked) {
+    // Orphan cleanup on last close — journaled: if the unlink's transaction rolls
+    // back at a crash, the resurrected dirent must point at a live inode, so the
+    // free happens only when the transaction commits.
+    Ino gone = inode->ino;
+    journal_.OnCommit([this, inode, gone] {
+      FreeInodeBlocks(inode);
+      inodes_.erase(gone);
+    });
+  }
+  return 0;
+}
+
+int Ext4Dax::Dup(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of != nullptr) {
+    if (Inode* inode = GetInode(of->ino)) {
+      ++inode->open_count;
+    }
+  }
+  return fds_.Dup(fd);
+}
+
+// --- Data path ------------------------------------------------------------------------
+
+ssize_t Ext4Dax::PwriteLocked(std::shared_ptr<vfs::OpenFile> of, const void* buf,
+                              uint64_t n, uint64_t off) {
+  Inode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  if (!vfs::WantsWrite(of->flags)) {
+    return -EBADF;
+  }
+  if (n == 0) {
+    return 0;
+  }
+  ctx_->ChargeCpu(ctx_->model.ext4_write_path_ns);
+
+  bool extends = off + n > inode->size;
+  int64_t allocated = EnsureBlocks(inode, off, n);
+  if (allocated < 0) {
+    return allocated;
+  }
+  if (allocated > 0) {
+    ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
+  }
+  if (extends) {
+    ctx_->ChargeCpu(ctx_->model.ext4_append_extra_ns);
+    uint64_t old_size = inode->size;
+    inode->size = off + n;
+    Inode* captured = inode;
+    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
+                   [captured, old_size] { captured->size = old_size; });
+  }
+
+  // DAX write: copy user bytes straight to the PM blocks with non-temporal stores.
+  const auto* src = static_cast<const uint8_t*>(buf);
+  uint64_t remaining = n;
+  uint64_t cur = off;
+  while (remaining > 0) {
+    auto m = inode->extents.Lookup(cur / kBlockSize);
+    SPLITFS_CHECK(m.has_value());  // EnsureBlocks covered the range.
+    uint64_t in_block = cur % kBlockSize;
+    uint64_t span = std::min(remaining, m->count * kBlockSize - in_block);
+    dev_->StoreNt(m->phys * kBlockSize + in_block, src, span, sim::PmWriteKind::kUserData);
+    src += span;
+    cur += span;
+    remaining -= span;
+  }
+  return static_cast<ssize_t>(n);
+}
+
+ssize_t Ext4Dax::PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint64_t n,
+                             uint64_t off) {
+  Inode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  ctx_->ChargeCpu(ctx_->model.ext4_read_path_ns);
+  if (off >= inode->size) {
+    return 0;
+  }
+  uint64_t to_read = std::min(n, inode->size - off);
+  auto* dst = static_cast<uint8_t*>(buf);
+  uint64_t remaining = to_read;
+  uint64_t cur = off;
+  // An access continuing where the last read on this inode ended streams at the
+  // sequential latency class; anything else pays the random-access latency first.
+  bool sequential = off == inode->last_read_end && off != 0;
+  while (remaining > 0) {
+    uint64_t in_block = cur % kBlockSize;
+    auto m = inode->extents.Lookup(cur / kBlockSize);
+    if (!m) {  // Hole reads as zeroes.
+      uint64_t span = std::min(remaining, kBlockSize - in_block);
+      std::memset(dst, 0, span);
+      dst += span;
+      cur += span;
+      remaining -= span;
+      continue;
+    }
+    uint64_t span = std::min(remaining, m->count * kBlockSize - in_block);
+    dev_->Load(m->phys * kBlockSize + in_block, dst, span, sequential,
+               /*user_data=*/true);
+    sequential = true;  // Continuation segments of one call stream.
+    dst += span;
+    cur += span;
+    remaining -= span;
+  }
+  inode->last_read_end = off + to_read;
+  return static_cast<ssize_t>(to_read);
+}
+
+ssize_t Ext4Dax::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  return PwriteLocked(of, buf, n, off);
+}
+
+ssize_t Ext4Dax::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  return PreadLocked(of, buf, n, off);
+}
+
+ssize_t Ext4Dax::Write(int fd, const void* buf, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  std::lock_guard<std::mutex> flock(of->mu);
+  uint64_t off = of->offset;
+  if ((of->flags & vfs::kAppend) != 0) {
+    Inode* inode = GetInode(of->ino);
+    if (inode != nullptr) {
+      off = inode->size;
+    }
+  }
+  ssize_t rc = PwriteLocked(of, buf, n, off);
+  if (rc > 0) {
+    of->offset = off + static_cast<uint64_t>(rc);
+  }
+  return rc;
+}
+
+ssize_t Ext4Dax::Read(int fd, void* buf, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  std::lock_guard<std::mutex> flock(of->mu);
+  ssize_t rc = PreadLocked(of, buf, n, of->offset);
+  if (rc > 0) {
+    of->offset += static_cast<uint64_t>(rc);
+  }
+  return rc;
+}
+
+int64_t Ext4Dax::Lseek(int fd, int64_t off, vfs::Whence whence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  Inode* inode = GetInode(of->ino);
+  std::lock_guard<std::mutex> flock(of->mu);
+  int64_t base = 0;
+  switch (whence) {
+    case vfs::Whence::kSet:
+      base = 0;
+      break;
+    case vfs::Whence::kCur:
+      base = static_cast<int64_t>(of->offset);
+      break;
+    case vfs::Whence::kEnd:
+      base = inode == nullptr ? 0 : static_cast<int64_t>(inode->size);
+      break;
+  }
+  int64_t target = base + off;
+  if (target < 0) {
+    return -EINVAL;
+  }
+  of->offset = static_cast<uint64_t>(target);
+  return target;
+}
+
+// --- Durability -----------------------------------------------------------------------
+
+int Ext4Dax::Fsync(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  if (fds_.Get(fd) == nullptr) {
+    return -EBADF;
+  }
+  journal_.CommitRunning(/*fsync_barrier=*/true);
+  return 0;
+}
+
+int Ext4Dax::Ftruncate(int fd, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  Inode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
+  uint64_t old_size = inode->size;
+  Inode* captured = inode;
+  journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
+                 [captured, old_size] { captured->size = old_size; });
+  if (size < inode->size) {
+    uint64_t first_gone = common::DivCeil(size, kBlockSize);
+    uint64_t last = common::DivCeil(inode->size, kBlockSize);
+    std::vector<PhysExtent> freed = inode->extents.RemoveRange(first_gone, last - first_gone);
+    std::vector<MappedExtent> saved;
+    uint64_t lb = first_gone;
+    for (const auto& e : freed) {
+      saved.push_back({lb, e.start, e.count});
+      lb += e.count;
+    }
+    journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, inode->ino), [captured, saved] {
+      for (const auto& m : saved) {
+        captured->extents.Insert(m.logical, m.phys, m.count);
+      }
+    });
+    for (const auto& e : freed) {
+      ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
+      journal_.OnCommit([this, e] { alloc_.Free(e); });
+    }
+  }
+  inode->size = size;
+  return 0;
+}
+
+int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  Inode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  int64_t rc = EnsureBlocks(inode, off, len);
+  if (rc < 0) {
+    return static_cast<int>(rc);
+  }
+  ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
+  if (!keep_size && off + len > inode->size) {
+    uint64_t old_size = inode->size;
+    inode->size = off + len;
+    Inode* captured = inode;
+    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
+                   [captured, old_size] { captured->size = old_size; });
+  }
+  return 0;
+}
+
+// --- Namespace ------------------------------------------------------------------------
+
+int Ext4Dax::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_dir_op_cpu_ns +
+                  ctx_->model.ext4_journal_dirty_cpu_ns + ctx_->model.ext4_unlink_extra_ns);
+  std::string leaf;
+  Inode* dir = ResolveParent(path, &leaf);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  auto it = dir->dirents.find(leaf);
+  if (it == dir->dirents.end()) {
+    return -ENOENT;
+  }
+  Inode* inode = GetInode(it->second);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return inode == nullptr ? -ENOENT : -EISDIR;
+  }
+  Ino dir_ino = dir->ino;
+  Ino ino = inode->ino;
+  dir->dirents.erase(it);
+  Inode* captured = inode;
+  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino),
+                 [this, dir_ino, leaf, ino, captured] {
+    if (Inode* d = GetInode(dir_ino)) {
+      d->dirents[leaf] = ino;
+    }
+    captured->unlinked = false;  // Rollback resurrects the file fully.
+  });
+  journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, ino / 16), nullptr);
+  inode->unlinked = true;
+  if (inode->open_count == 0) {
+    // Defer the actual free to commit (jbd2 rule), then drop the inode.
+    Inode* captured = inode;
+    journal_.OnCommit([this, captured, ino] {
+      FreeInodeBlocks(captured);
+      inodes_.erase(ino);
+    });
+  }
+  return 0;
+}
+
+int Ext4Dax::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(2 * ctx_->model.ext4_open_path_ns + 2 * ctx_->model.ext4_dir_op_cpu_ns +
+                  ctx_->model.ext4_journal_dirty_cpu_ns);
+  std::string from_leaf, to_leaf;
+  Inode* from_dir = ResolveParent(from, &from_leaf);
+  Inode* to_dir = ResolveParent(to, &to_leaf);
+  if (from_dir == nullptr || to_dir == nullptr) {
+    return -ENOENT;
+  }
+  auto it = from_dir->dirents.find(from_leaf);
+  if (it == from_dir->dirents.end()) {
+    return -ENOENT;
+  }
+  Ino moved = it->second;
+  // If the destination exists, it is replaced (regular files only, as rename(2)).
+  std::optional<Ino> displaced;
+  auto dit = to_dir->dirents.find(to_leaf);
+  if (dit != to_dir->dirents.end()) {
+    if (dit->second == moved) {
+      return 0;  // rename(2): same file, do nothing.
+    }
+    Inode* existing = GetInode(dit->second);
+    if (existing != nullptr && existing->type == FileType::kDirectory) {
+      return -EISDIR;
+    }
+    displaced = dit->second;
+  }
+  Ino from_ino = from_dir->ino, to_ino = to_dir->ino;
+  from_dir->dirents.erase(it);
+  to_dir->dirents[to_leaf] = moved;
+  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, from_ino),
+                 [this, from_ino, from_leaf, moved] {
+                   if (Inode* d = GetInode(from_ino)) {
+                     d->dirents[from_leaf] = moved;
+                   }
+                 });
+  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, to_ino),
+                 [this, to_ino, to_leaf, displaced] {
+                   if (Inode* d = GetInode(to_ino)) {
+                     if (displaced) {
+                       d->dirents[to_leaf] = *displaced;
+                       if (Inode* victim = GetInode(*displaced)) {
+                         victim->unlinked = false;  // Fully resurrected.
+                       }
+                     } else {
+                       d->dirents.erase(to_leaf);
+                     }
+                   }
+                 });
+  if (displaced) {
+    Inode* old = GetInode(*displaced);
+    if (old != nullptr) {
+      old->unlinked = true;
+      if (old->open_count == 0) {
+        Ino old_ino = *displaced;
+        journal_.OnCommit([this, old, old_ino] {
+          FreeInodeBlocks(old);
+          inodes_.erase(old_ino);
+        });
+      }
+    }
+  }
+  return 0;
+}
+
+int Ext4Dax::Mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_create_extra_ns +
+                  ctx_->model.ext4_dir_op_cpu_ns + ctx_->model.ext4_journal_dirty_cpu_ns);
+  std::string leaf;
+  Inode* dir = ResolveParent(path, &leaf);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  if (dir->dirents.count(leaf) != 0) {
+    return -EEXIST;
+  }
+  Ino ino = AllocateInode(FileType::kDirectory);
+  dir->dirents[leaf] = ino;
+  Ino dir_ino = dir->ino;
+  journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, ino / 16),
+                 [this, ino] { inodes_.erase(ino); });
+  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino), [this, dir_ino, leaf] {
+    if (Inode* d = GetInode(dir_ino)) {
+      d->dirents.erase(leaf);
+    }
+  });
+  return 0;
+}
+
+int Ext4Dax::Rmdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_dir_op_cpu_ns +
+                  ctx_->model.ext4_journal_dirty_cpu_ns);
+  std::string leaf;
+  Inode* dir = ResolveParent(path, &leaf);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  auto it = dir->dirents.find(leaf);
+  if (it == dir->dirents.end()) {
+    return -ENOENT;
+  }
+  Inode* target = GetInode(it->second);
+  if (target == nullptr || target->type != FileType::kDirectory) {
+    return -ENOTDIR;
+  }
+  if (!target->dirents.empty()) {
+    return -ENOTEMPTY;
+  }
+  Ino dir_ino = dir->ino;
+  Ino gone = it->second;
+  auto inode_holder = std::move(inodes_[gone]);  // Keep alive for potential undo.
+  dir->dirents.erase(it);
+  inodes_.erase(gone);
+  auto shared_holder = std::make_shared<std::unique_ptr<Inode>>(std::move(inode_holder));
+  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino),
+                 [this, dir_ino, leaf, gone, shared_holder] {
+                   if (Inode* d = GetInode(dir_ino)) {
+                     d->dirents[leaf] = gone;
+                   }
+                   if (*shared_holder != nullptr) {
+                     inodes_[gone] = std::move(*shared_holder);
+                   }
+                 });
+  return 0;
+}
+
+int Ext4Dax::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
+  Inode* dir = ResolvePath(path);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  if (dir->type != FileType::kDirectory) {
+    return -ENOTDIR;
+  }
+  names->clear();
+  for (const auto& [name, ino] : dir->dirents) {
+    ctx_->ChargeCpu(ctx_->model.kernel_work_ns / 4);
+    names->push_back(name);
+  }
+  return 0;
+}
+
+int Ext4Dax::Stat(const std::string& path, vfs::StatBuf* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns / 2);
+  Inode* inode = ResolvePath(path);
+  if (inode == nullptr) {
+    return -ENOENT;
+  }
+  out->ino = inode->ino;
+  out->size = inode->size;
+  out->blocks = inode->extents.MappedBlocks();
+  out->nlink = inode->nlink;
+  out->type = inode->type;
+  return 0;
+}
+
+int Ext4Dax::Fstat(int fd, vfs::StatBuf* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  Inode* inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
+  }
+  out->ino = inode->ino;
+  out->size = inode->size;
+  out->blocks = inode->extents.MappedBlocks();
+  out->nlink = inode->nlink;
+  out->type = inode->type;
+  return 0;
+}
+
+int Ext4Dax::CommitJournal(bool fsync_barrier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_.CommitRunning(fsync_barrier);
+  return 0;
+}
+
+int Ext4Dax::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_.RecoverDiscardRunning();
+  return 0;
+}
+
+// --- DAX / relink extension -------------------------------------------------------------
+
+int Ext4Dax::DaxMap(int fd, uint64_t off, uint64_t len,
+                    std::vector<DaxMapping>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  Inode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  uint64_t first = off / kBlockSize;
+  uint64_t count = common::DivCeil(off + len, kBlockSize) - first;
+  for (const auto& m : inode->extents.FindRange(first, count)) {
+    out->push_back({m.logical * kBlockSize, m.phys * kBlockSize, m.count * kBlockSize});
+  }
+  return 0;
+}
+
+int Ext4Dax::OpenByIno(vfs::Ino ino, int flags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(ctx_->model.kernel_work_ns);
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -ENOENT;
+  }
+  ++inode->open_count;
+  return fds_.Allocate(ino, flags);
+}
+
+vfs::Ino Ext4Dax::InoOf(int fd) const {
+  auto of = fds_.Get(fd);
+  return of == nullptr ? vfs::kInvalidIno : of->ino;
+}
+
+int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
+                                  uint64_t dst_off, uint64_t len, uint64_t new_dst_size,
+                                  bool defer_commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();  // The ioctl trap.
+  if (len == 0) {
+    return 0;
+  }
+  if (!common::IsAligned(src_off, kBlockSize) || !common::IsAligned(dst_off, kBlockSize)) {
+    return -EINVAL;
+  }
+  auto src_of = fds_.Get(src_fd);
+  auto dst_of = fds_.Get(dst_fd);
+  if (src_of == nullptr || dst_of == nullptr) {
+    return -EBADF;
+  }
+  Inode* src = GetInode(src_of->ino);
+  Inode* dst = GetInode(dst_of->ino);
+  if (src == nullptr || dst == nullptr || src == dst) {
+    return -EINVAL;
+  }
+
+  uint64_t first_src = src_off / kBlockSize;
+  uint64_t first_dst = dst_off / kBlockSize;
+  uint64_t nblocks = common::DivCeil(len, kBlockSize);
+
+  // The paper's implementation trick (§3.5): MOVE_EXT requires blocks allocated on both
+  // sides, so relink allocates transient blocks at the destination, swaps, and frees
+  // them. The transient allocation takes the goal-directed fast path.
+  ctx_->ChargeCpu(ctx_->model.ext4_relink_alloc_cpu_ns);
+
+  // Collect the source mappings; every block in the range must be mapped.
+  std::vector<MappedExtent> moved = src->extents.FindRange(first_src, nblocks);
+  uint64_t mapped = 0;
+  for (const auto& m : moved) {
+    mapped += m.count;
+  }
+  if (mapped != nblocks) {
+    return -EINVAL;  // Source range has holes; nothing to relink there.
+  }
+
+  // Deallocate whatever the destination currently maps in the target range (these are
+  // the "existing data blocks are de-allocated" of the relink definition).
+  std::vector<PhysExtent> displaced = dst->extents.RemoveRange(first_dst, nblocks);
+  for (const auto& e : displaced) {
+    ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
+    alloc_.Free(e);
+  }
+
+  // Move the physical blocks: remove from source, insert at destination with the
+  // logical shift applied. Metadata-only; the data bytes never move, and any DAX
+  // mapping of these physical blocks remains valid.
+  ctx_->ChargeCpu(2 * ctx_->model.ext4_swap_extent_cpu_ns);
+  src->extents.RemoveRange(first_src, nblocks);
+  for (const auto& m : moved) {
+    dst->extents.Insert(first_dst + (m.logical - first_src), m.phys, m.count);
+  }
+
+  if (new_dst_size > dst->size) {
+    dst->size = new_dst_size;
+  }
+
+  // One journal transaction covering both extent trees and the destination inode,
+  // committed immediately without the fsync barrier path. jbd2 has a single
+  // transaction stream, so any metadata already dirtied by earlier operations commits
+  // alongside (which is why an fsync that relinks need not also run the barrier path).
+  journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, src->ino), nullptr);
+  journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, dst->ino), nullptr);
+  journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, dst->ino / 16), nullptr);
+  if (!defer_commit) {
+    journal_.CommitRunning(/*fsync_barrier=*/false);
+  }
+  ctx_->stats.AddRelink();
+  return 0;
+}
+
+}  // namespace ext4sim

@@ -1,0 +1,167 @@
+// ext4 in DAX mode, modeled in user space: the K-Split half of SplitFS.
+//
+// Reproduces the boundary SplitFS depends on:
+//   * full POSIX file/dir namespace with extent-based files and a JBD2-style journal;
+//   * DAX semantics — file data lives at stable physical offsets on the PM device,
+//     exposed to U-Split via DaxMap() (the moral equivalent of mmap on a DAX file);
+//   * the modified EXT4_IOC_MOVE_EXT ioctl (SwapExtentsForRelink) added by the paper's
+//     500-line kernel patch: metadata-only, journaled, mapping-preserving.
+//
+// Every public entry point charges one kernel trap plus the CPU/journal/media costs of
+// the real ext4 code path it models (see sim::CostModel for the calibration).
+#ifndef SRC_EXT4_EXT4_DAX_H_
+#define SRC_EXT4_EXT4_DAX_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ext4/allocator.h"
+#include "src/ext4/extent_map.h"
+#include "src/ext4/journal.h"
+#include "src/pmem/device.h"
+#include "src/vfs/fd_table.h"
+#include "src/vfs/file_system.h"
+
+namespace ext4sim {
+
+struct FsckReport;
+class Ext4Dax;
+FsckReport RunFsck(Ext4Dax* fs);
+
+struct Ext4Options {
+  uint64_t journal_blocks = 2048;  // 8 MB journal, scaled-down jbd2 default.
+};
+
+class Ext4Dax : public vfs::FileSystem {
+ public:
+  Ext4Dax(pmem::Device* dev, Ext4Options opts = {});
+  ~Ext4Dax() override = default;
+
+  std::string Name() const override { return "ext4-DAX"; }
+
+  // --- vfs::FileSystem ------------------------------------------------------------------
+  int Open(const std::string& path, int flags) override;
+  int Close(int fd) override;
+  int Unlink(const std::string& path) override;
+  int Rename(const std::string& from, const std::string& to) override;
+  ssize_t Pread(int fd, void* buf, uint64_t n, uint64_t off) override;
+  ssize_t Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) override;
+  ssize_t Read(int fd, void* buf, uint64_t n) override;
+  ssize_t Write(int fd, const void* buf, uint64_t n) override;
+  int64_t Lseek(int fd, int64_t off, vfs::Whence whence) override;
+  int Fsync(int fd) override;
+  int Ftruncate(int fd, uint64_t size) override;
+  int Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) override;
+  int Stat(const std::string& path, vfs::StatBuf* out) override;
+  int Fstat(int fd, vfs::StatBuf* out) override;
+  int Mkdir(const std::string& path) override;
+  int Rmdir(const std::string& path) override;
+  int ReadDir(const std::string& path, std::vector<std::string>* names) override;
+  int Recover() override;
+
+  // Duplicates a descriptor (shares offset, as POSIX dup()).
+  int Dup(int fd);
+
+  // --- DAX / SplitFS extension surface ---------------------------------------------------
+
+  // One piece of a DAX mapping: file byte range -> device byte range.
+  struct DaxMapping {
+    uint64_t file_off = 0;
+    uint64_t dev_off = 0;
+    uint64_t len = 0;
+  };
+
+  // Resolves [off, off+len) of the file behind `fd` to device byte ranges. Holes are
+  // simply absent from the result. This is the kernel half of mmap(MAP_SHARED) on a
+  // DAX file; the caller (U-Split) charges mmap()/fault costs.
+  int DaxMap(int fd, uint64_t off, uint64_t len, std::vector<DaxMapping>* out);
+
+  // The relink primitive (modified EXT4_IOC_MOVE_EXT, §3.5). Logically and atomically
+  // moves [src_off, src_off+len) of src_fd to [dst_off, ...) of dst_fd:
+  //   * block-aligned core is moved by swapping extent-tree entries (no data copy,
+  //     no flush), wrapped in a dedicated journal transaction;
+  //   * blocks previously mapped at the destination are deallocated;
+  //   * the source range becomes a hole;
+  //   * dst file size grows to max(current, new_dst_size) when new_dst_size > 0 —
+  //     this is how staged appends publish the true (possibly unaligned) file size.
+  // Non-block-aligned edges are NOT handled here — U-Split copies partial blocks
+  // itself, as the paper describes. Returns 0 or -errno (-EINVAL for misalignment).
+  //
+  // With defer_commit=true the ioctl leaves its dirtied metadata in the running
+  // transaction instead of committing; an fsync publishing many staged ranges issues
+  // one relink per contiguous run and then a single CommitJournal(false) — jbd2
+  // batches the handles into one commit.
+  int SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd, uint64_t dst_off,
+                           uint64_t len, uint64_t new_dst_size,
+                           bool defer_commit = false);
+
+  // Inode number behind an fd (0 if bad fd) — U-Split keys its caches by inode.
+  vfs::Ino InoOf(int fd) const;
+
+  // Opens a file by inode number (the open_by_handle_at analog). Used by SplitFS
+  // op-log recovery, where log entries identify files by inode. Returns fd or -errno.
+  int OpenByIno(vfs::Ino ino, int flags);
+
+  // Commits the running journal transaction. U-Split's sync/strict modes use the
+  // non-barrier path to make metadata operations synchronous without paying the
+  // fsync commit-thread handshake.
+  int CommitJournal(bool fsync_barrier);
+
+  pmem::Device* device() const { return dev_; }
+  sim::Context* context() const { return ctx_; }
+
+  // Test/bench introspection.
+  uint64_t FreeBlocks() const { return alloc_.FreeBlocks(); }
+  uint64_t JournalCommits() const { return journal_.commits(); }
+  BlockAllocator* allocator_for_test() { return &alloc_; }
+
+
+  friend FsckReport RunFsck(Ext4Dax* fs);
+
+ private:
+  struct Inode {
+    vfs::Ino ino = vfs::kInvalidIno;
+    vfs::FileType type = vfs::FileType::kRegular;
+    uint64_t size = 0;
+    uint32_t nlink = 1;
+    ExtentMap extents;
+    std::map<std::string, vfs::Ino> dirents;  // Directories only.
+    uint32_t open_count = 0;
+    bool unlinked = false;  // Orphaned: free on last close.
+    uint64_t last_read_end = 0;  // Sequential-access detection (Table 2 latency class).
+  };
+
+  Inode* GetInode(vfs::Ino ino);
+  Inode* ResolvePath(const std::string& path);
+  // Resolves the parent directory of `path`; fills leaf name.
+  Inode* ResolveParent(const std::string& path, std::string* leaf);
+
+  vfs::Ino AllocateInode(vfs::FileType type);
+  void FreeInodeBlocks(Inode* inode);
+  // Ensures blocks exist for [off, off+len); returns number of newly allocated blocks
+  // or -ENOSPC. Journals the allocation.
+  int64_t EnsureBlocks(Inode* inode, uint64_t off, uint64_t len);
+
+  ssize_t PwriteLocked(std::shared_ptr<vfs::OpenFile> of, const void* buf, uint64_t n,
+                       uint64_t off);
+  ssize_t PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint64_t n,
+                      uint64_t off);
+
+  pmem::Device* dev_;
+  sim::Context* ctx_;
+  uint64_t data_start_block_;
+  BlockAllocator alloc_;
+  Journal journal_;
+
+  mutable std::mutex mu_;  // Protects the namespace + inode table (big kernel lock).
+  std::unordered_map<vfs::Ino, std::unique_ptr<Inode>> inodes_;
+  vfs::Ino next_ino_ = vfs::kRootIno + 1;
+  vfs::FdTable fds_;
+};
+
+}  // namespace ext4sim
+
+#endif  // SRC_EXT4_EXT4_DAX_H_

@@ -1,0 +1,133 @@
+#include "src/ext4/extent_map.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace ext4sim {
+
+std::optional<MappedExtent> ExtentMap::Lookup(uint64_t logical) const {
+  auto it = map_.upper_bound(logical);
+  if (it == map_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  const MappedExtent& e = it->second;
+  if (logical >= e.logical + e.count) {
+    return std::nullopt;
+  }
+  uint64_t skip = logical - e.logical;
+  return MappedExtent{logical, e.phys + skip, e.count - skip};
+}
+
+void ExtentMap::Insert(uint64_t logical, uint64_t phys, uint64_t count) {
+  SPLITFS_CHECK(count > 0);
+  // The target range must be a hole.
+  SPLITFS_CHECK(FindRange(logical, count).empty());
+
+  MappedExtent e{logical, phys, count};
+
+  // Merge with predecessor if logically and physically contiguous.
+  auto it = map_.lower_bound(logical);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    const MappedExtent& p = prev->second;
+    if (p.logical + p.count == logical && p.phys + p.count == phys) {
+      e.logical = p.logical;
+      e.phys = p.phys;
+      e.count += p.count;
+      map_.erase(prev);
+    }
+  }
+  // Merge with successor.
+  it = map_.lower_bound(e.logical + 1);
+  if (it != map_.end()) {
+    const MappedExtent& s = it->second;
+    if (e.logical + e.count == s.logical && e.phys + e.count == s.phys) {
+      e.count += s.count;
+      map_.erase(it);
+    }
+  }
+  map_[e.logical] = e;
+}
+
+std::vector<PhysExtent> ExtentMap::RemoveRange(uint64_t logical, uint64_t count) {
+  std::vector<PhysExtent> removed;
+  if (count == 0) {
+    return removed;
+  }
+  uint64_t end = logical + count;
+
+  auto it = map_.upper_bound(logical);
+  if (it != map_.begin()) {
+    --it;
+  }
+  while (it != map_.end() && it->second.logical < end) {
+    MappedExtent e = it->second;
+    uint64_t e_end = e.logical + e.count;
+    if (e_end <= logical) {
+      ++it;
+      continue;
+    }
+    // Overlap is [ov_start, ov_end).
+    uint64_t ov_start = std::max(e.logical, logical);
+    uint64_t ov_end = std::min(e_end, end);
+    removed.push_back({e.phys + (ov_start - e.logical), ov_end - ov_start});
+
+    it = map_.erase(it);
+    if (e.logical < ov_start) {  // Left remainder survives.
+      MappedExtent left{e.logical, e.phys, ov_start - e.logical};
+      it = map_.insert({left.logical, left}).first;
+      ++it;
+    }
+    if (ov_end < e_end) {  // Right remainder survives.
+      MappedExtent right{ov_end, e.phys + (ov_end - e.logical), e_end - ov_end};
+      it = map_.insert({right.logical, right}).first;
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<MappedExtent> ExtentMap::FindRange(uint64_t logical, uint64_t count) const {
+  std::vector<MappedExtent> out;
+  if (count == 0) {
+    return out;
+  }
+  uint64_t end = logical + count;
+  auto it = map_.upper_bound(logical);
+  if (it != map_.begin()) {
+    --it;
+  }
+  for (; it != map_.end() && it->second.logical < end; ++it) {
+    const MappedExtent& e = it->second;
+    uint64_t e_end = e.logical + e.count;
+    if (e_end <= logical) {
+      continue;
+    }
+    uint64_t ov_start = std::max(e.logical, logical);
+    uint64_t ov_end = std::min(e_end, end);
+    out.push_back({ov_start, e.phys + (ov_start - e.logical), ov_end - ov_start});
+  }
+  return out;
+}
+
+uint64_t ExtentMap::MappedBlocks() const {
+  uint64_t total = 0;
+  for (const auto& [k, e] : map_) {
+    total += e.count;
+  }
+  return total;
+}
+
+std::vector<PhysExtent> ExtentMap::Clear() {
+  std::vector<PhysExtent> out;
+  out.reserve(map_.size());
+  for (const auto& [k, e] : map_) {
+    out.push_back({e.phys, e.count});
+  }
+  map_.clear();
+  return out;
+}
+
+}  // namespace ext4sim

@@ -1,0 +1,56 @@
+// Per-inode extent map: logical block -> physical extent, with merge/split/swap.
+//
+// This is the structure EXT4_IOC_MOVE_EXT manipulates; relink (§3.5) is implemented as
+// metadata-only moves between two of these maps, so its correctness (no lost or aliased
+// blocks, mappings preserved) is what the extent-map unit and property tests pin down.
+#ifndef SRC_EXT4_EXTENT_MAP_H_
+#define SRC_EXT4_EXTENT_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/ext4/allocator.h"
+
+namespace ext4sim {
+
+// A logical->physical mapping piece.
+struct MappedExtent {
+  uint64_t logical = 0;  // First logical block.
+  uint64_t phys = 0;     // First physical block.
+  uint64_t count = 0;
+};
+
+class ExtentMap {
+ public:
+  // Returns the physical block backing `logical`, plus the length of the contiguous
+  // run starting there, or nullopt for a hole.
+  std::optional<MappedExtent> Lookup(uint64_t logical) const;
+
+  // Inserts a mapping for [logical, logical+count) -> phys. The range must currently
+  // be a hole (ext4 never double-maps); merges with adjacent extents when contiguous.
+  void Insert(uint64_t logical, uint64_t phys, uint64_t count);
+
+  // Removes mappings overlapping [logical, logical+count), splitting boundary extents.
+  // Returns the physical extents that were removed (for deallocation).
+  std::vector<PhysExtent> RemoveRange(uint64_t logical, uint64_t count);
+
+  // Enumerates mappings overlapping [logical, logical+count), clipped to the range.
+  std::vector<MappedExtent> FindRange(uint64_t logical, uint64_t count) const;
+
+  uint64_t MappedBlocks() const;
+  size_t ExtentCount() const { return map_.size(); }
+  bool Empty() const { return map_.empty(); }
+
+  // Removes everything, returning all physical extents.
+  std::vector<PhysExtent> Clear();
+
+ private:
+  // Key: first logical block of the extent.
+  std::map<uint64_t, MappedExtent> map_;
+};
+
+}  // namespace ext4sim
+
+#endif  // SRC_EXT4_EXTENT_MAP_H_

@@ -1,0 +1,38 @@
+// Offline consistency checker for the ext4-DAX model ("e2fsck for the simulator").
+//
+// Validates the invariants that journaling + relink are supposed to preserve, so
+// crash-consistency tests can assert *file-system integrity* — the paper's blanket
+// guarantee ("across all modes, SplitFS ensures the file system retains its integrity
+// across crashes") — not just per-file contents:
+//   * every block referenced by an extent tree is marked allocated in the bitmap;
+//   * no physical block is referenced by two extents (no aliasing, the relink hazard);
+//   * allocator free counts agree with the union of extent references;
+//   * the directory graph is a tree rooted at '/' and every inode is reachable or a
+//     legitimate orphan (unlinked-but-open);
+//   * file sizes are consistent with their block mappings.
+#ifndef SRC_EXT4_FSCK_H_
+#define SRC_EXT4_FSCK_H_
+
+#include <string>
+#include <vector>
+
+namespace ext4sim {
+
+class Ext4Dax;
+
+struct FsckReport {
+  bool clean = true;
+  std::vector<std::string> problems;
+
+  void Problem(std::string what) {
+    clean = false;
+    problems.push_back(std::move(what));
+  }
+};
+
+// Runs all checks; cheap enough to call after every crash-recovery in tests.
+FsckReport RunFsck(Ext4Dax* fs);
+
+}  // namespace ext4sim
+
+#endif  // SRC_EXT4_FSCK_H_

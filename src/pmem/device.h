@@ -1,0 +1,111 @@
+// Emulated byte-addressable persistent-memory device.
+//
+// Substitutes for the Intel Optane DC PMM used in the paper (§5.1). Two concerns:
+//
+//  1. Timing: every access charges simulated nanoseconds through sim::CostModel,
+//     calibrated against Table 2 (latency/bandwidth) and the Table 1 anchor
+//     ("it takes 671 ns to write 4 KB to PM").
+//
+//  2. Persistence semantics: x86 PM semantics are modeled at cacheline granularity.
+//     Regular (temporal) stores are volatile until CLWB + SFENCE; non-temporal stores
+//     become persistent at the next SFENCE. `Crash()` rolls every line that has not
+//     reached its persistence point back to its pre-store image (optionally persisting
+//     a random subset, to model torn writes). Crash-consistency tests for every file
+//     system in this repo are built on this.
+//
+// Persistence tracking is opt-in (`EnableCrashTracking`): benchmarks run with tracking
+// off so multi-gigabyte workloads don't pay for the shadow images.
+#ifndef SRC_PMEM_DEVICE_H_
+#define SRC_PMEM_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/sim/context.h"
+
+namespace pmem {
+
+class Device {
+ public:
+  // Creates a device of `size` bytes, zero-initialized, charging time to `ctx`.
+  Device(sim::Context* ctx, uint64_t size);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  uint64_t size() const { return data_.size(); }
+  sim::Context* context() const { return ctx_; }
+
+  // --- Persistence-tracked access ----------------------------------------------------
+
+  // Regular temporal stores: contents land in "cache"; volatile until Clwb + Fence.
+  void StoreTemporal(uint64_t off, const void* src, uint64_t n, sim::PmWriteKind kind);
+
+  // Non-temporal (movnt) stores: bypass cache; persistent at the next Fence.
+  // Charges full PM write cost (store + persistence) at the store, per the
+  // "671 ns per 4 KB" calibration anchor.
+  void StoreNt(uint64_t off, const void* src, uint64_t n, sim::PmWriteKind kind);
+
+  // Flushes the cachelines covering [off, off+n): they persist at the next Fence.
+  void Clwb(uint64_t off, uint64_t n);
+
+  // Store fence: everything flushed or written non-temporally is now persistent.
+  void Fence();
+
+  // Loads [off, off+n) into dst. `sequential` selects the latency class (Table 2);
+  // `user_data` marks payload reads for the software-overhead accounting.
+  void Load(uint64_t off, void* dst, uint64_t n, bool sequential, bool user_data) const;
+
+  // --- DAX window --------------------------------------------------------------------
+  // Raw pointer into the device, the moral equivalent of a DAX mmap target. Callers
+  // that use it for data access must charge time themselves (U-Split does; tests that
+  // just inspect contents don't need to).
+  uint8_t* DirectMap(uint64_t off) {
+    SPLITFS_CHECK(off <= data_.size());
+    return data_.data() + off;
+  }
+  const uint8_t* DirectMap(uint64_t off) const {
+    SPLITFS_CHECK(off <= data_.size());
+    return data_.data() + off;
+  }
+
+  // --- Crash simulation ----------------------------------------------------------------
+  void EnableCrashTracking(bool on);
+  bool crash_tracking() const { return tracking_; }
+
+  // Simulates power loss: every line that has not persisted reverts to its pre-store
+  // image. If `rng` is non-null, each unpersisted line instead *persists* with
+  // probability 1/2 — modeling the arbitrary subset of cachelines that may have been
+  // evicted before the crash (this is what makes torn log entries possible).
+  void Crash(common::Rng* rng = nullptr);
+
+  // Number of cachelines currently dirty-but-unpersisted (test introspection).
+  uint64_t UnpersistedLines() const;
+
+ private:
+  struct LineState {
+    std::array<uint8_t, common::kCacheLineSize> old_image;
+    bool flushed = false;  // Flushed (or nt-written): persists at next fence.
+  };
+
+  void TrackStore(uint64_t off, uint64_t n, bool flushed);
+
+  sim::Context* ctx_;
+  std::vector<uint8_t> data_;
+  bool tracking_ = false;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, LineState> pending_;  // line index -> state
+  uint64_t pending_flush_bytes_ = 0;                 // For fence cost selection.
+};
+
+}  // namespace pmem
+
+#endif  // SRC_PMEM_DEVICE_H_

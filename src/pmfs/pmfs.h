@@ -1,0 +1,38 @@
+// PMFS baseline (Rao et al., EuroSys'14), modeled.
+//
+// Design reproduced: in-place data writes through direct PM access (no page cache),
+// synchronous but non-atomic data operations, and fine-grained metadata journaling —
+// small undo-log records (64 B) with clwb+fence per record, not whole-block journaling.
+// This is the "sync" guarantee level SplitFS-sync is compared against (Table 3,
+// Figure 4 middle group; Table 1: 4150 ns per 4 KB append).
+#ifndef SRC_PMFS_PMFS_H_
+#define SRC_PMFS_PMFS_H_
+
+#include "src/vfs/pm_fs_base.h"
+
+namespace pmfssim {
+
+class Pmfs : public vfs::PmFsBase {
+ public:
+  explicit Pmfs(pmem::Device* dev);
+
+  std::string Name() const override { return "PMFS"; }
+
+ protected:
+  ssize_t WriteData(BaseInode* inode, const void* buf, uint64_t n, uint64_t off) override;
+  int SyncFile(BaseInode* inode) override;
+  void OnMetadataOp(BaseInode* inode, const char* what) override;
+  uint64_t OpenPathCost() const override { return ctx_->model.pmfs_open_path_ns; }
+  uint64_t DirOpCost() const override { return ctx_->model.pmfs_dir_op_cpu_ns; }
+
+ private:
+  // Writes `n_entries` 64 B undo-log records + commit record, with PMFS's
+  // flush/fence pattern, into the journal area.
+  void JournalRecords(size_t n_entries);
+
+  uint64_t journal_cursor_ = 0;
+};
+
+}  // namespace pmfssim
+
+#endif  // SRC_PMFS_PMFS_H_

@@ -1,0 +1,56 @@
+// Bundle of simulation state shared by one "machine": clock + cost model + counters.
+//
+// Everything running against the same emulated PM device shares one Context, mirroring
+// one physical host in the paper's testbed.
+#ifndef SRC_SIM_CONTEXT_H_
+#define SRC_SIM_CONTEXT_H_
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/stats.h"
+
+namespace sim {
+
+struct Context {
+  Clock clock;
+  CostModel model;
+  Stats stats;
+
+  // Convenience charge helpers used across the FS implementations. ------------------
+
+  // One user<->kernel round trip.
+  void ChargeSyscall() {
+    clock.Advance(model.syscall_ns);
+    stats.AddSyscall();
+  }
+
+  // CPU-only work (DRAM bookkeeping) in kernel or user space.
+  void ChargeCpu(uint64_t ns) { clock.Advance(ns); }
+
+  // A store fence not already accounted by a persisting write.
+  void ChargeFence() {
+    clock.Advance(model.fence_ns);
+    stats.AddFence();
+  }
+
+  // Minor page faults while touching `pages` freshly-mapped pages.
+  void ChargePageFaults(uint64_t pages) {
+    clock.Advance(pages * model.page_fault_ns);
+    stats.AddPageFault(pages);
+  }
+
+  // Faulting one pre-populated 2 MB huge-page mapping.
+  void ChargeHugePageSetup() {
+    clock.Advance(model.huge_page_fault_ns);
+    stats.AddPageFault(1);
+  }
+
+  void Reset() {
+    clock.Reset();
+    stats.Reset();
+  }
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_CONTEXT_H_

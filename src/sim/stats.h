@@ -1,0 +1,117 @@
+// IO and overhead accounting.
+//
+// The paper defines *file-system software overhead* as "the time taken to service a
+// file-system call minus the time spent actually accessing data on the PM device"
+// (§5.7). Stats therefore tracks, alongside raw counters, how much simulated time was
+// spent moving user payload bytes to/from PM media; benches compute
+//   overhead = clock.Now() - stats.data_media_ns
+// to regenerate Table 1 and Figure 5.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sim {
+
+// What a PM write is for; used both for wear accounting (write amplification vs Strata,
+// §5.8) and for the software-overhead split.
+enum class PmWriteKind {
+  kUserData,  // The application's own payload bytes.
+  kMetadata,  // Inodes, bitmaps, extent trees, directories.
+  kJournal,   // ext4/PMFS journal blocks, commit records.
+  kLog,       // NOVA inode logs, Strata private logs, SplitFS op log.
+};
+
+class Stats {
+ public:
+  Stats() = default;
+  Stats(const Stats&) = delete;
+  Stats& operator=(const Stats&) = delete;
+
+  void AddPmWrite(PmWriteKind kind, uint64_t bytes, uint64_t media_ns) {
+    pm_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    switch (kind) {
+      case PmWriteKind::kUserData:
+        data_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        data_media_ns_.fetch_add(media_ns, std::memory_order_relaxed);
+        break;
+      case PmWriteKind::kMetadata:
+        metadata_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        break;
+      case PmWriteKind::kJournal:
+        journal_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        break;
+      case PmWriteKind::kLog:
+        log_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  void AddPmRead(uint64_t bytes, uint64_t media_ns, bool user_data) {
+    pm_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (user_data) {
+      data_media_ns_.fetch_add(media_ns, std::memory_order_relaxed);
+    }
+  }
+
+  void AddSyscall() { syscalls_.fetch_add(1, std::memory_order_relaxed); }
+  void AddFence() { fences_.fetch_add(1, std::memory_order_relaxed); }
+  void AddJournalCommit() { journal_commits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddPageFault(uint64_t n = 1) { page_faults_.fetch_add(n, std::memory_order_relaxed); }
+  void AddRelink() { relinks_.fetch_add(1, std::memory_order_relaxed); }
+  void AddLogEntry() { log_entries_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t pm_write_bytes() const { return pm_write_bytes_.load(std::memory_order_relaxed); }
+  uint64_t pm_read_bytes() const { return pm_read_bytes_.load(std::memory_order_relaxed); }
+  uint64_t data_bytes() const { return data_bytes_.load(std::memory_order_relaxed); }
+  uint64_t metadata_bytes() const { return metadata_bytes_.load(std::memory_order_relaxed); }
+  uint64_t journal_bytes() const { return journal_bytes_.load(std::memory_order_relaxed); }
+  uint64_t log_bytes() const { return log_bytes_.load(std::memory_order_relaxed); }
+  uint64_t data_media_ns() const { return data_media_ns_.load(std::memory_order_relaxed); }
+  uint64_t syscalls() const { return syscalls_.load(std::memory_order_relaxed); }
+  uint64_t fences() const { return fences_.load(std::memory_order_relaxed); }
+  uint64_t journal_commits() const { return journal_commits_.load(std::memory_order_relaxed); }
+  uint64_t page_faults() const { return page_faults_.load(std::memory_order_relaxed); }
+  uint64_t relinks() const { return relinks_.load(std::memory_order_relaxed); }
+  uint64_t log_entries() const { return log_entries_.load(std::memory_order_relaxed); }
+
+  // Total PM wear (every byte written to media, any purpose). Used for the Strata
+  // write-amplification comparison.
+  uint64_t TotalPmWear() const { return pm_write_bytes(); }
+
+  void Reset() {
+    pm_write_bytes_ = 0;
+    pm_read_bytes_ = 0;
+    data_bytes_ = 0;
+    metadata_bytes_ = 0;
+    journal_bytes_ = 0;
+    log_bytes_ = 0;
+    data_media_ns_ = 0;
+    syscalls_ = 0;
+    fences_ = 0;
+    journal_commits_ = 0;
+    page_faults_ = 0;
+    relinks_ = 0;
+    log_entries_ = 0;
+  }
+
+ private:
+  std::atomic<uint64_t> pm_write_bytes_{0};
+  std::atomic<uint64_t> pm_read_bytes_{0};
+  std::atomic<uint64_t> data_bytes_{0};
+  std::atomic<uint64_t> metadata_bytes_{0};
+  std::atomic<uint64_t> journal_bytes_{0};
+  std::atomic<uint64_t> log_bytes_{0};
+  std::atomic<uint64_t> data_media_ns_{0};
+  std::atomic<uint64_t> syscalls_{0};
+  std::atomic<uint64_t> fences_{0};
+  std::atomic<uint64_t> journal_commits_{0};
+  std::atomic<uint64_t> page_faults_{0};
+  std::atomic<uint64_t> relinks_{0};
+  std::atomic<uint64_t> log_entries_{0};
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_STATS_H_

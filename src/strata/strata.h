@@ -1,0 +1,71 @@
+// Strata baseline (Kwon et al., SOSP'17), PM-only configuration, modeled.
+//
+// Design reproduced (§2.3, §6 of the SplitFS paper):
+//   * LibFS writes every update — data and metadata — to a per-process *private log*
+//     on PM. Writes are synchronous and atomic once in the log (strict guarantees).
+//   * A digest step coalesces log entries and copies surviving data into the shared
+//     area; digested data is what other processes see. Appends cannot be coalesced,
+//     so append-heavy workloads write every byte twice (the 2× write-IO / PM-wear
+//     claim SplitFS makes in §5.8).
+//   * Reads consult the private-log index first, then the shared area.
+//   * Digestion runs when the log passes a utilization threshold; under write-heavy
+//     workloads it stalls the application, which is the structural reason SplitFS
+//     outperforms Strata 1.7–2.25× on YCSB (Table 7).
+#ifndef SRC_STRATA_STRATA_H_
+#define SRC_STRATA_STRATA_H_
+
+#include <map>
+
+#include "src/vfs/pm_fs_base.h"
+
+namespace stratasim {
+
+struct StrataOptions {
+  uint64_t private_log_bytes = 1024ull * 1024 * 1024;  // Paper used up to 20 GB.
+  double digest_threshold = 0.30;  // Digest when the log is this full (Strata's 30%).
+};
+
+class Strata : public vfs::PmFsBase {
+ public:
+  Strata(pmem::Device* dev, StrataOptions opts = {});
+
+  std::string Name() const override { return "Strata"; }
+
+  // Test/bench introspection.
+  uint64_t Digests() const { return digests_; }
+  uint64_t LogUsedBytes() const { return log_used_; }
+  // Forces a digest (tests; also models Strata's background digestion at idle).
+  void DigestNow();
+
+ protected:
+  ssize_t WriteData(BaseInode* inode, const void* buf, uint64_t n, uint64_t off) override;
+  ssize_t ReadData(BaseInode* inode, void* buf, uint64_t n, uint64_t off) override;
+  int SyncFile(BaseInode* inode) override;
+  void OnMetadataOp(BaseInode* inode, const char* what) override;
+  uint64_t OpenPathCost() const override {
+    return ctx_->model.kernel_work_ns + ctx_->model.strata_lease_cpu_ns;
+  }
+  uint64_t DirOpCost() const override { return ctx_->model.strata_log_cpu_ns; }
+
+ private:
+  // A not-yet-digested byte range living in the private log.
+  struct LogPiece {
+    uint64_t log_off = 0;  // Offset within the private log region.
+    uint64_t len = 0;
+  };
+
+  // Appends a header + payload to the private log, digesting first if full.
+  int LogAppend(BaseInode* inode, const void* buf, uint64_t n, uint64_t off);
+  void Digest();
+
+  StrataOptions opts_;
+  uint64_t log_used_ = 0;
+  uint64_t digests_ = 0;
+  // Undigested pieces per inode, keyed by file offset (non-overlapping: a new write
+  // over a pending piece replaces it in place — that is Strata's coalescing).
+  std::map<vfs::Ino, std::map<uint64_t, LogPiece>> pending_;
+};
+
+}  // namespace stratasim
+
+#endif  // SRC_STRATA_STRATA_H_

@@ -1,0 +1,105 @@
+// Reusable open-file-description table.
+//
+// POSIX separates file *descriptors* (small ints, per-process) from open file
+// *descriptions* (offset + flags, shared after dup()). SplitFS §3.5 specifically
+// handles dup() by keeping a single offset per open file and pointing descriptors at
+// it; this table implements exactly that structure so every FS in the repo (and
+// U-Split itself) gets correct dup()/lseek() interaction for free.
+#ifndef SRC_VFS_FD_TABLE_H_
+#define SRC_VFS_FD_TABLE_H_
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/vfs/types.h"
+
+namespace vfs {
+
+// One open file description; shared between dup'ed descriptors.
+struct OpenFile {
+  Ino ino = kInvalidIno;
+  int flags = 0;
+  uint64_t offset = 0;  // Guarded by mu for multi-threaded cursor updates.
+  std::mutex mu;
+};
+
+class FdTable {
+ public:
+  FdTable() = default;
+
+  // Allocates a new fd bound to a fresh description.
+  int Allocate(Ino ino, int flags) {
+    std::lock_guard<std::mutex> lock(mu_);
+    int fd = next_fd_++;
+    auto of = std::make_shared<OpenFile>();
+    of->ino = ino;
+    of->flags = flags;
+    table_[fd] = std::move(of);
+    return fd;
+  }
+
+  // dup(): a new fd sharing the existing description (offset included).
+  int Dup(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(fd);
+    if (it == table_.end()) {
+      return -EBADF;
+    }
+    int nfd = next_fd_++;
+    table_[nfd] = it->second;
+    return nfd;
+  }
+
+  // Re-installs a description at a specific descriptor number. Used when restoring
+  // open-file state across execve() (SplitFS §3.5: state is carried over a shm file
+  // and descriptors must keep their numbers).
+  void Restore(int fd, Ino ino, int flags, uint64_t offset) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto of = std::make_shared<OpenFile>();
+    of->ino = ino;
+    of->flags = flags;
+    of->offset = offset;
+    table_[fd] = std::move(of);
+    next_fd_ = std::max(next_fd_, fd + 1);
+  }
+
+  std::shared_ptr<OpenFile> Get(int fd) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(fd);
+    return it == table_.end() ? nullptr : it->second;
+  }
+
+  int Release(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.erase(fd) == 1 ? 0 : -EBADF;
+  }
+
+  // Number of live descriptors (not descriptions).
+  size_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+
+  // True if any live descriptor refers to `ino` (used for unlink-while-open checks).
+  bool HasOpen(Ino ino) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fd, of] : table_) {
+      if (of->ino == ino) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int next_fd_ = 3;  // 0/1/2 reserved, as in a real process.
+  std::unordered_map<int, std::shared_ptr<OpenFile>> table_;
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_FD_TABLE_H_

@@ -1,0 +1,63 @@
+// The file-system interface every PM file system in this repository implements:
+// ext4sim::Ext4Dax, pmfssim::Pmfs, novasim::Nova, stratasim::Strata, and
+// splitfs::SplitFs (which layers over Ext4Dax).
+//
+// Error convention is kernel-style: `int` / `ssize_t` returns, negative value = -errno.
+// Every implementation charges simulated time for each call, including the user/kernel
+// trap where one occurs (SplitFS's whole point is that its data ops don't trap).
+#ifndef SRC_VFS_FILE_SYSTEM_H_
+#define SRC_VFS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vfs/types.h"
+
+namespace vfs {
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Human-readable name for bench output, e.g. "ext4-DAX", "SplitFS-strict".
+  virtual std::string Name() const = 0;
+
+  // --- File lifecycle -----------------------------------------------------------------
+  // Returns a new fd (>= 0) or -errno.
+  virtual int Open(const std::string& path, int flags) = 0;
+  virtual int Close(int fd) = 0;
+  virtual int Unlink(const std::string& path) = 0;
+  virtual int Rename(const std::string& from, const std::string& to) = 0;
+
+  // --- Data ---------------------------------------------------------------------------
+  virtual ssize_t Pread(int fd, void* buf, uint64_t n, uint64_t off) = 0;
+  virtual ssize_t Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) = 0;
+  // Cursor-based variants; implementations share the cursor per open file description.
+  virtual ssize_t Read(int fd, void* buf, uint64_t n) = 0;
+  virtual ssize_t Write(int fd, const void* buf, uint64_t n) = 0;
+  virtual int64_t Lseek(int fd, int64_t off, Whence whence) = 0;
+
+  // --- Durability / size --------------------------------------------------------------
+  virtual int Fsync(int fd) = 0;
+  virtual int Ftruncate(int fd, uint64_t size) = 0;
+  // Pre-allocates blocks for [off, off+len) without changing file size semantics
+  // (mode ~ FALLOC_FL_KEEP_SIZE when keep_size is true).
+  virtual int Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) = 0;
+
+  // --- Metadata -----------------------------------------------------------------------
+  virtual int Stat(const std::string& path, StatBuf* out) = 0;
+  virtual int Fstat(int fd, StatBuf* out) = 0;
+  virtual int Mkdir(const std::string& path) = 0;
+  virtual int Rmdir(const std::string& path) = 0;
+  virtual int ReadDir(const std::string& path, std::vector<std::string>* names) = 0;
+
+  // --- Crash recovery -----------------------------------------------------------------
+  // Runs the file system's crash-recovery procedure (journal replay, log scan, ...).
+  // Returns 0 or -errno. Called by crash tests after pmem::Device::Crash().
+  virtual int Recover() = 0;
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_FILE_SYSTEM_H_

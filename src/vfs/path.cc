@@ -1,0 +1,55 @@
+#include "src/vfs/path.h"
+
+namespace vfs {
+
+bool SplitPath(const std::string& path, std::vector<std::string>* parts) {
+  parts->clear();
+  if (path.empty() || path[0] != '/') {
+    return false;
+  }
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    std::string comp = path.substr(i, j - i);
+    if (comp.empty() || comp == ".") {
+      // Skip.
+    } else if (comp == "..") {
+      if (parts->empty()) {
+        return false;  // Escapes the root.
+      }
+      parts->pop_back();
+    } else {
+      parts->push_back(std::move(comp));
+    }
+    i = j + 1;
+  }
+  return true;
+}
+
+bool SplitParent(const std::string& path, std::string* parent, std::string* leaf) {
+  std::vector<std::string> parts;
+  if (!SplitPath(path, &parts) || parts.empty()) {
+    return false;
+  }
+  *leaf = parts.back();
+  parts.pop_back();
+  *parent = JoinPath(parts);
+  return true;
+}
+
+std::string JoinPath(const std::vector<std::string>& parts) {
+  if (parts.empty()) {
+    return "/";
+  }
+  std::string out;
+  for (const auto& p : parts) {
+    out.push_back('/');
+    out.append(p);
+  }
+  return out;
+}
+
+}  // namespace vfs

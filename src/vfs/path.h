@@ -1,0 +1,23 @@
+// Path normalization and splitting for the simulated file systems.
+// Paths are absolute, '/'-separated; "." and ".." are resolved lexically.
+#ifndef SRC_VFS_PATH_H_
+#define SRC_VFS_PATH_H_
+
+#include <string>
+#include <vector>
+
+namespace vfs {
+
+// Splits "/a/b/c" into {"a","b","c"}, resolving "." and "..". Returns false for
+// malformed paths (empty, relative, or ".." escaping the root).
+bool SplitPath(const std::string& path, std::vector<std::string>* parts);
+
+// Splits into (parent path, leaf name): "/a/b/c" -> ("/a/b", "c"). Root has no leaf.
+bool SplitParent(const std::string& path, std::string* parent, std::string* leaf);
+
+// Joins parts back into an absolute path.
+std::string JoinPath(const std::vector<std::string>& parts);
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_PATH_H_

@@ -1,0 +1,541 @@
+#include "src/vfs/pm_fs_base.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/vfs/path.h"
+
+namespace vfs {
+
+using common::kBlockSize;
+
+PmFsBase::PmFsBase(pmem::Device* dev, uint64_t meta_region_blocks)
+    : dev_(dev),
+      ctx_(dev->context()),
+      alloc_(1 + meta_region_blocks,
+             dev->size() / kBlockSize - 1 - meta_region_blocks),
+      meta_region_start_(kBlockSize),
+      meta_region_bytes_(meta_region_blocks * kBlockSize) {
+  auto root = std::make_unique<BaseInode>();
+  root->ino = kRootIno;
+  root->type = FileType::kDirectory;
+  root->nlink = 2;
+  inodes_[kRootIno] = std::move(root);
+}
+
+PmFsBase::BaseInode* PmFsBase::GetInode(Ino ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : it->second.get();
+}
+
+PmFsBase::BaseInode* PmFsBase::ResolvePath(const std::string& path) {
+  std::vector<std::string> parts;
+  if (!SplitPath(path, &parts)) {
+    return nullptr;
+  }
+  BaseInode* cur = GetInode(kRootIno);
+  for (const auto& name : parts) {
+    if (cur == nullptr || cur->type != FileType::kDirectory) {
+      return nullptr;
+    }
+    auto it = cur->dirents.find(name);
+    if (it == cur->dirents.end()) {
+      return nullptr;
+    }
+    cur = GetInode(it->second);
+  }
+  return cur;
+}
+
+PmFsBase::BaseInode* PmFsBase::ResolveParent(const std::string& path, std::string* leaf) {
+  std::string parent;
+  if (!SplitParent(path, &parent, leaf)) {
+    return nullptr;
+  }
+  BaseInode* dir = ResolvePath(parent);
+  return (dir != nullptr && dir->type == FileType::kDirectory) ? dir : nullptr;
+}
+
+Ino PmFsBase::AllocateInode(FileType type) {
+  Ino ino = next_ino_++;
+  auto inode = std::make_unique<BaseInode>();
+  inode->ino = ino;
+  inode->type = type;
+  inode->nlink = type == FileType::kDirectory ? 2 : 1;
+  inodes_[ino] = std::move(inode);
+  return ino;
+}
+
+void PmFsBase::FreeInodeBlocks(BaseInode* inode) {
+  for (const auto& e : inode->extents.Clear()) {
+    alloc_.Free(e);
+  }
+}
+
+int PmFsBase::Open(const std::string& path, int flags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(OpenPathCost());
+  BaseInode* inode = ResolvePath(path);
+  if (inode == nullptr) {
+    if ((flags & kCreate) == 0) {
+      return -ENOENT;
+    }
+    std::string leaf;
+    BaseInode* dir = ResolveParent(path, &leaf);
+    if (dir == nullptr) {
+      return -ENOENT;
+    }
+    ctx_->ChargeCpu(DirOpCost());
+    Ino ino = AllocateInode(FileType::kRegular);
+    dir->dirents[leaf] = ino;
+    inode = GetInode(ino);
+    OnMetadataOp(inode, "create");
+  } else if ((flags & kCreate) != 0 && (flags & kExcl) != 0) {
+    return -EEXIST;
+  }
+  if (inode->type == FileType::kDirectory && WantsWrite(flags)) {
+    return -EISDIR;
+  }
+  if ((flags & kTrunc) != 0 && inode->size > 0) {
+    FreeInodeBlocks(inode);
+    inode->size = 0;
+    OnMetadataOp(inode, "truncate");
+  }
+  ++inode->open_count;
+  return fds_.Allocate(inode->ino, flags);
+}
+
+int PmFsBase::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  int rc = fds_.Release(fd);
+  if (rc != 0) {
+    return rc;
+  }
+  if (inode != nullptr && --inode->open_count == 0 && inode->unlinked) {
+    FreeInodeBlocks(inode);
+    inodes_.erase(inode->ino);
+  }
+  return 0;
+}
+
+ssize_t PmFsBase::ReadExtents(BaseInode* inode, void* buf, uint64_t n, uint64_t off) {
+  if (off >= inode->size) {
+    return 0;
+  }
+  uint64_t to_read = std::min(n, inode->size - off);
+  auto* dst = static_cast<uint8_t*>(buf);
+  uint64_t cur = off;
+  uint64_t remaining = to_read;
+  bool sequential = off == inode->last_read_end && off != 0;
+  while (remaining > 0) {
+    uint64_t in_block = cur % kBlockSize;
+    auto m = inode->extents.Lookup(cur / kBlockSize);
+    if (!m) {
+      uint64_t span = std::min(remaining, kBlockSize - in_block);
+      std::memset(dst, 0, span);
+      dst += span;
+      cur += span;
+      remaining -= span;
+      continue;
+    }
+    uint64_t span = std::min(remaining, m->count * kBlockSize - in_block);
+    dev_->Load(m->phys * kBlockSize + in_block, dst, span, sequential,
+               /*user_data=*/true);
+    sequential = true;
+    dst += span;
+    cur += span;
+    remaining -= span;
+  }
+  inode->last_read_end = off + to_read;
+  return static_cast<ssize_t>(to_read);
+}
+
+ssize_t PmFsBase::WriteExtentsInPlace(BaseInode* inode, const void* buf, uint64_t n,
+                                      uint64_t off, uint64_t alloc_cpu_ns) {
+  // Allocate any holes in [off, off+n).
+  uint64_t first = off / kBlockSize;
+  uint64_t last = (off + n - 1) / kBlockSize;
+  for (uint64_t lb = first; lb <= last;) {
+    auto hit = inode->extents.Lookup(lb);
+    if (hit) {
+      lb += hit->count;
+      continue;
+    }
+    uint64_t hole_end = lb;
+    while (hole_end <= last && !inode->extents.Lookup(hole_end)) {
+      ++hole_end;
+    }
+    ctx_->ChargeCpu(alloc_cpu_ns);
+    std::vector<ext4sim::PhysExtent> pieces;
+    if (!alloc_.AllocateBlocks(hole_end - lb, &pieces)) {
+      return -ENOSPC;
+    }
+    uint64_t cur = lb;
+    for (const auto& p : pieces) {
+      inode->extents.Insert(cur, p.start, p.count);
+      cur += p.count;
+    }
+    lb = hole_end;
+  }
+  const auto* src = static_cast<const uint8_t*>(buf);
+  uint64_t cur = off;
+  uint64_t remaining = n;
+  while (remaining > 0) {
+    auto m = inode->extents.Lookup(cur / kBlockSize);
+    SPLITFS_CHECK(m.has_value());
+    uint64_t in_block = cur % kBlockSize;
+    uint64_t span = std::min(remaining, m->count * kBlockSize - in_block);
+    dev_->StoreNt(m->phys * kBlockSize + in_block, src, span, sim::PmWriteKind::kUserData);
+    src += span;
+    cur += span;
+    remaining -= span;
+  }
+  return static_cast<ssize_t>(n);
+}
+
+ssize_t PmFsBase::ReadData(BaseInode* inode, void* buf, uint64_t n, uint64_t off) {
+  return ReadExtents(inode, buf, n, off);
+}
+
+ssize_t PmFsBase::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  return ReadData(inode, buf, n, off);
+}
+
+ssize_t PmFsBase::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr || !WantsWrite(of->flags)) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  return WriteData(inode, buf, n, off);
+}
+
+ssize_t PmFsBase::Read(int fd, void* buf, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  std::lock_guard<std::mutex> flock(of->mu);
+  ssize_t rc = ReadData(inode, buf, n, of->offset);
+  if (rc > 0) {
+    of->offset += static_cast<uint64_t>(rc);
+  }
+  return rc;
+}
+
+ssize_t PmFsBase::Write(int fd, const void* buf, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr || !WantsWrite(of->flags)) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  std::lock_guard<std::mutex> flock(of->mu);
+  uint64_t off = (of->flags & kAppend) != 0 ? inode->size : of->offset;
+  ssize_t rc = WriteData(inode, buf, n, off);
+  if (rc > 0) {
+    of->offset = off + static_cast<uint64_t>(rc);
+  }
+  return rc;
+}
+
+int64_t PmFsBase::Lseek(int fd, int64_t off, Whence whence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  std::lock_guard<std::mutex> flock(of->mu);
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = static_cast<int64_t>(of->offset);
+      break;
+    case Whence::kEnd:
+      base = inode == nullptr ? 0 : static_cast<int64_t>(inode->size);
+      break;
+  }
+  int64_t target = base + off;
+  if (target < 0) {
+    return -EINVAL;
+  }
+  of->offset = static_cast<uint64_t>(target);
+  return target;
+}
+
+int PmFsBase::Fsync(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
+  }
+  return SyncFile(inode);
+}
+
+int PmFsBase::Ftruncate(int fd, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  if (size < inode->size) {
+    uint64_t first_gone = common::DivCeil(size, kBlockSize);
+    uint64_t last = common::DivCeil(inode->size, kBlockSize);
+    for (const auto& e : inode->extents.RemoveRange(first_gone, last - first_gone)) {
+      alloc_.Free(e);
+    }
+  }
+  inode->size = size;
+  OnMetadataOp(inode, "truncate");
+  return 0;
+}
+
+int PmFsBase::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
+  }
+  uint64_t first = off / kBlockSize;
+  uint64_t last = (off + len - 1) / kBlockSize;
+  for (uint64_t lb = first; lb <= last;) {
+    auto hit = inode->extents.Lookup(lb);
+    if (hit) {
+      lb += hit->count;
+      continue;
+    }
+    std::vector<ext4sim::PhysExtent> pieces;
+    if (!alloc_.AllocateBlocks(1, &pieces)) {
+      return -ENOSPC;
+    }
+    inode->extents.Insert(lb, pieces[0].start, pieces[0].count);
+    ++lb;
+  }
+  if (!keep_size && off + len > inode->size) {
+    inode->size = off + len;
+  }
+  OnMetadataOp(inode, "fallocate");
+  return 0;
+}
+
+int PmFsBase::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(OpenPathCost() + DirOpCost());
+  std::string leaf;
+  BaseInode* dir = ResolveParent(path, &leaf);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  auto it = dir->dirents.find(leaf);
+  if (it == dir->dirents.end()) {
+    return -ENOENT;
+  }
+  BaseInode* inode = GetInode(it->second);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return inode == nullptr ? -ENOENT : -EISDIR;
+  }
+  dir->dirents.erase(it);
+  OnMetadataOp(inode, "unlink");
+  inode->unlinked = true;
+  if (inode->open_count == 0) {
+    Ino ino = inode->ino;
+    FreeInodeBlocks(inode);
+    inodes_.erase(ino);
+  }
+  return 0;
+}
+
+int PmFsBase::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(2 * OpenPathCost() + 2 * DirOpCost());
+  std::string from_leaf, to_leaf;
+  BaseInode* from_dir = ResolveParent(from, &from_leaf);
+  BaseInode* to_dir = ResolveParent(to, &to_leaf);
+  if (from_dir == nullptr || to_dir == nullptr) {
+    return -ENOENT;
+  }
+  auto it = from_dir->dirents.find(from_leaf);
+  if (it == from_dir->dirents.end()) {
+    return -ENOENT;
+  }
+  Ino moved = it->second;
+  auto dit = to_dir->dirents.find(to_leaf);
+  if (dit != to_dir->dirents.end()) {
+    if (dit->second == moved) {
+      return 0;  // rename(2): same file, do nothing.
+    }
+    BaseInode* displaced = GetInode(dit->second);
+    if (displaced != nullptr && displaced->type == FileType::kDirectory) {
+      return -EISDIR;
+    }
+    if (displaced != nullptr) {
+      displaced->unlinked = true;
+      if (displaced->open_count == 0) {
+        Ino dino = displaced->ino;
+        FreeInodeBlocks(displaced);
+        inodes_.erase(dino);
+      }
+    }
+  }
+  from_dir->dirents.erase(it);
+  to_dir->dirents[to_leaf] = moved;
+  OnMetadataOp(GetInode(moved), "rename");
+  return 0;
+}
+
+int PmFsBase::Mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(OpenPathCost() + DirOpCost());
+  std::string leaf;
+  BaseInode* dir = ResolveParent(path, &leaf);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  if (dir->dirents.count(leaf) != 0) {
+    return -EEXIST;
+  }
+  Ino ino = AllocateInode(FileType::kDirectory);
+  dir->dirents[leaf] = ino;
+  OnMetadataOp(GetInode(ino), "mkdir");
+  return 0;
+}
+
+int PmFsBase::Rmdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(OpenPathCost() + DirOpCost());
+  std::string leaf;
+  BaseInode* dir = ResolveParent(path, &leaf);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  auto it = dir->dirents.find(leaf);
+  if (it == dir->dirents.end()) {
+    return -ENOENT;
+  }
+  BaseInode* target = GetInode(it->second);
+  if (target == nullptr || target->type != FileType::kDirectory) {
+    return -ENOTDIR;
+  }
+  if (!target->dirents.empty()) {
+    return -ENOTEMPTY;
+  }
+  OnMetadataOp(target, "rmdir");
+  Ino gone = it->second;
+  dir->dirents.erase(it);
+  inodes_.erase(gone);
+  return 0;
+}
+
+int PmFsBase::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(OpenPathCost());
+  BaseInode* dir = ResolvePath(path);
+  if (dir == nullptr) {
+    return -ENOENT;
+  }
+  if (dir->type != FileType::kDirectory) {
+    return -ENOTDIR;
+  }
+  names->clear();
+  for (const auto& [name, ino] : dir->dirents) {
+    names->push_back(name);
+  }
+  return 0;
+}
+
+int PmFsBase::Stat(const std::string& path, StatBuf* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  ctx_->ChargeCpu(OpenPathCost() / 2);
+  BaseInode* inode = ResolvePath(path);
+  if (inode == nullptr) {
+    return -ENOENT;
+  }
+  out->ino = inode->ino;
+  out->size = inode->size;
+  out->blocks = inode->extents.MappedBlocks();
+  out->nlink = inode->nlink;
+  out->type = inode->type;
+  return 0;
+}
+
+int PmFsBase::Fstat(int fd, StatBuf* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  BaseInode* inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
+  }
+  out->ino = inode->ino;
+  out->size = inode->size;
+  out->blocks = inode->extents.MappedBlocks();
+  out->nlink = inode->nlink;
+  out->type = inode->type;
+  return 0;
+}
+
+int PmFsBase::Recover() { return 0; }
+
+}  // namespace vfs

@@ -1,0 +1,106 @@
+// Shared skeleton for the baseline PM file systems (PMFS, NOVA, Strata).
+//
+// The baselines differ in their *data-path mechanics and persistence protocol* —
+// exactly what the paper compares — but share ordinary namespace plumbing: inode
+// table, directories, descriptor table, cursor handling. That plumbing lives here;
+// each baseline implements the virtual hooks and charges its own mechanism's costs.
+//
+// Reuses the extent-map and bitmap-allocator building blocks from the ext4 library
+// (they model "logical block -> physical block" bookkeeping, common to all designs).
+#ifndef SRC_VFS_PM_FS_BASE_H_
+#define SRC_VFS_PM_FS_BASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ext4/allocator.h"
+#include "src/ext4/extent_map.h"
+#include "src/pmem/device.h"
+#include "src/vfs/fd_table.h"
+#include "src/vfs/file_system.h"
+
+namespace vfs {
+
+class PmFsBase : public FileSystem {
+ public:
+  // `meta_region_blocks` is reserved at the device start for the FS's own structures
+  // (journals / logs); data blocks follow.
+  PmFsBase(pmem::Device* dev, uint64_t meta_region_blocks);
+  ~PmFsBase() override = default;
+
+  int Open(const std::string& path, int flags) override;
+  int Close(int fd) override;
+  int Unlink(const std::string& path) override;
+  int Rename(const std::string& from, const std::string& to) override;
+  ssize_t Pread(int fd, void* buf, uint64_t n, uint64_t off) override;
+  ssize_t Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) override;
+  ssize_t Read(int fd, void* buf, uint64_t n) override;
+  ssize_t Write(int fd, const void* buf, uint64_t n) override;
+  int64_t Lseek(int fd, int64_t off, Whence whence) override;
+  int Fsync(int fd) override;
+  int Ftruncate(int fd, uint64_t size) override;
+  int Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) override;
+  int Stat(const std::string& path, StatBuf* out) override;
+  int Fstat(int fd, StatBuf* out) override;
+  int Mkdir(const std::string& path) override;
+  int Rmdir(const std::string& path) override;
+  int ReadDir(const std::string& path, std::vector<std::string>* names) override;
+  int Recover() override;
+
+ protected:
+  struct BaseInode {
+    Ino ino = kInvalidIno;
+    FileType type = FileType::kRegular;
+    uint64_t size = 0;
+    uint32_t nlink = 1;
+    ext4sim::ExtentMap extents;
+    std::map<std::string, Ino> dirents;
+    uint32_t open_count = 0;
+    bool unlinked = false;
+    uint64_t last_read_end = 0;  // Sequential-access detection.
+  };
+
+  // --- Hooks each baseline implements ---------------------------------------------------
+  // Full data write: allocation policy (in-place vs COW), logging, persistence.
+  virtual ssize_t WriteData(BaseInode* inode, const void* buf, uint64_t n, uint64_t off) = 0;
+  // Data read beyond the shared extent walk (e.g. Strata's private-log lookup).
+  virtual ssize_t ReadData(BaseInode* inode, void* buf, uint64_t n, uint64_t off);
+  // Durability point. Baselines with synchronous ops make this cheap.
+  virtual int SyncFile(BaseInode* inode) = 0;
+  // Per-metadata-op persistence protocol (journal entries, log appends).
+  virtual void OnMetadataOp(BaseInode* inode, const char* what) = 0;
+  // Path-walk CPU cost.
+  virtual uint64_t OpenPathCost() const = 0;
+  virtual uint64_t DirOpCost() const = 0;
+
+  BaseInode* GetInode(Ino ino);
+  BaseInode* ResolvePath(const std::string& path);
+  BaseInode* ResolveParent(const std::string& path, std::string* leaf);
+  Ino AllocateInode(FileType type);
+  void FreeInodeBlocks(BaseInode* inode);
+
+  // Shared extent-walking helpers usable by subclasses.
+  ssize_t ReadExtents(BaseInode* inode, void* buf, uint64_t n, uint64_t off);
+  // Writes into existing blocks in place with nt stores (allocating holes first).
+  ssize_t WriteExtentsInPlace(BaseInode* inode, const void* buf, uint64_t n, uint64_t off,
+                              uint64_t alloc_cpu_ns);
+
+  pmem::Device* dev_;
+  sim::Context* ctx_;
+  ext4sim::BlockAllocator alloc_;
+  uint64_t meta_region_start_ = 0;  // Device byte offset of the FS's meta region.
+  uint64_t meta_region_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Ino, std::unique_ptr<BaseInode>> inodes_;
+  Ino next_ino_ = kRootIno + 1;
+  FdTable fds_;
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_PM_FS_BASE_H_

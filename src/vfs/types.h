@@ -1,0 +1,43 @@
+// Shared VFS vocabulary: inode numbers, open flags, stat, whence.
+#ifndef SRC_VFS_TYPES_H_
+#define SRC_VFS_TYPES_H_
+
+#include <cstdint>
+#include <sys/types.h>
+
+namespace vfs {
+
+using Ino = uint64_t;
+inline constexpr Ino kInvalidIno = 0;
+inline constexpr Ino kRootIno = 1;
+
+// Open flags, a subset of POSIX O_* sufficient for the paper's 35 supported calls.
+enum OpenFlag : int {
+  kRdOnly = 0x0,
+  kWrOnly = 0x1,
+  kRdWr = 0x2,
+  kCreate = 0x40,
+  kExcl = 0x80,
+  kTrunc = 0x200,
+  kAppend = 0x400,
+};
+
+inline bool WantsWrite(int flags) { return (flags & (kWrOnly | kRdWr)) != 0; }
+inline bool WantsRead(int flags) { return (flags & kWrOnly) == 0; }
+
+enum class FileType : uint8_t { kRegular, kDirectory };
+
+struct StatBuf {
+  Ino ino = kInvalidIno;
+  uint64_t size = 0;
+  uint64_t blocks = 0;  // 4 KB blocks allocated.
+  uint32_t nlink = 0;
+  FileType type = FileType::kRegular;
+  uint32_t mode = 0644;
+};
+
+enum class Whence : int { kSet = 0, kCur = 1, kEnd = 2 };
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_TYPES_H_

@@ -1,0 +1,180 @@
+#include "src/workloads/microbench.h"
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace wl {
+
+using common::kBlockSize;
+
+SyscallLatencies RunVarmail(vfs::FileSystem* fs, sim::Clock* clock, int iterations,
+                            const std::string& dir) {
+  fs->Mkdir(dir);
+  std::map<std::string, double> total;
+  std::map<std::string, uint64_t> count;
+  auto timed = [&](const std::string& name, auto&& call) {
+    uint64_t t0 = clock->Now();
+    call();
+    total[name] += static_cast<double>(clock->Now() - t0);
+    count[name] += 1;
+  };
+  std::vector<uint8_t> block(kBlockSize, 0x42);
+  std::vector<uint8_t> readbuf(4 * kBlockSize);
+  for (int i = 0; i < iterations; ++i) {
+    std::string path = dir + "/vm-" + std::to_string(i);
+    int fd = -1;
+    timed("open", [&] { fd = fs->Open(path, vfs::kRdWr | vfs::kCreate); });
+    SPLITFS_CHECK(fd >= 0);
+    for (int a = 0; a < 4; ++a) {
+      timed("append", [&] { fs->Write(fd, block.data(), block.size()); });
+      timed("fsync", [&] { fs->Fsync(fd); });
+    }
+    timed("close", [&] { fs->Close(fd); });
+    timed("open", [&] { fd = fs->Open(path, vfs::kRdWr); });
+    timed("read", [&] { fs->Read(fd, readbuf.data(), readbuf.size()); });
+    timed("close", [&] { fs->Close(fd); });
+    timed("open", [&] { fd = fs->Open(path, vfs::kRdWr); });
+    timed("close", [&] { fs->Close(fd); });
+    timed("unlink", [&] { fs->Unlink(path); });
+  }
+  SyscallLatencies out;
+  for (const auto& [name, sum] : total) {
+    out.mean_ns[name] = sum / static_cast<double>(count[name]);
+  }
+  return out;
+}
+
+IoResult RunAppend(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                   uint64_t total_bytes, uint64_t op_bytes, uint64_t fsync_every) {
+  int fd = fs->Open(path, vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+  SPLITFS_CHECK(fd >= 0);
+  std::vector<uint8_t> buf(op_bytes, 0x5A);
+  IoResult r;
+  uint64_t t0 = clock->Now();
+  uint64_t since_sync = 0;
+  for (uint64_t off = 0; off < total_bytes; off += op_bytes) {
+    SPLITFS_CHECK(fs->Write(fd, buf.data(), op_bytes) ==
+                  static_cast<ssize_t>(op_bytes));
+    ++r.ops;
+    r.bytes += op_bytes;
+    if (fsync_every != 0 && ++since_sync == fsync_every) {
+      SPLITFS_CHECK_OK(fs->Fsync(fd));
+      since_sync = 0;
+    }
+  }
+  if (fsync_every != 0) {
+    SPLITFS_CHECK_OK(fs->Fsync(fd));
+  }
+  r.sim_ns = clock->Now() - t0;
+  fs->Close(fd);
+  return r;
+}
+
+IoResult RunSeqOverwrite(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                         uint64_t total_bytes, uint64_t op_bytes, uint64_t fsync_every) {
+  int fd = fs->Open(path, vfs::kRdWr);
+  SPLITFS_CHECK(fd >= 0);
+  std::vector<uint8_t> buf(op_bytes, 0x7B);
+  IoResult r;
+  uint64_t t0 = clock->Now();
+  uint64_t since_sync = 0;
+  for (uint64_t off = 0; off < total_bytes; off += op_bytes) {
+    SPLITFS_CHECK(fs->Pwrite(fd, buf.data(), op_bytes, off) ==
+                  static_cast<ssize_t>(op_bytes));
+    ++r.ops;
+    r.bytes += op_bytes;
+    if (fsync_every != 0 && ++since_sync == fsync_every) {
+      SPLITFS_CHECK_OK(fs->Fsync(fd));
+      since_sync = 0;
+    }
+  }
+  if (fsync_every != 0) {
+    SPLITFS_CHECK_OK(fs->Fsync(fd));
+  }
+  r.sim_ns = clock->Now() - t0;
+  fs->Close(fd);
+  return r;
+}
+
+IoResult RunRandOverwrite(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                          uint64_t file_bytes, uint64_t op_bytes, uint64_t ops,
+                          uint64_t fsync_every, uint64_t seed) {
+  int fd = fs->Open(path, vfs::kRdWr);
+  SPLITFS_CHECK(fd >= 0);
+  common::Rng rng(seed);
+  std::vector<uint8_t> buf(op_bytes, 0x3C);
+  uint64_t slots = file_bytes / op_bytes;
+  IoResult r;
+  uint64_t t0 = clock->Now();
+  uint64_t since_sync = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    uint64_t off = rng.Uniform(slots) * op_bytes;
+    SPLITFS_CHECK(fs->Pwrite(fd, buf.data(), op_bytes, off) ==
+                  static_cast<ssize_t>(op_bytes));
+    ++r.ops;
+    r.bytes += op_bytes;
+    if (fsync_every != 0 && ++since_sync == fsync_every) {
+      SPLITFS_CHECK_OK(fs->Fsync(fd));
+      since_sync = 0;
+    }
+  }
+  r.sim_ns = clock->Now() - t0;
+  fs->Close(fd);
+  return r;
+}
+
+IoResult RunSeqRead(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                    uint64_t total_bytes, uint64_t op_bytes) {
+  int fd = fs->Open(path, vfs::kRdOnly);
+  SPLITFS_CHECK(fd >= 0);
+  std::vector<uint8_t> buf(op_bytes);
+  IoResult r;
+  uint64_t t0 = clock->Now();
+  for (uint64_t off = 0; off < total_bytes; off += op_bytes) {
+    SPLITFS_CHECK(fs->Pread(fd, buf.data(), op_bytes, off) ==
+                  static_cast<ssize_t>(op_bytes));
+    ++r.ops;
+    r.bytes += op_bytes;
+  }
+  r.sim_ns = clock->Now() - t0;
+  fs->Close(fd);
+  return r;
+}
+
+IoResult RunRandRead(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                     uint64_t file_bytes, uint64_t op_bytes, uint64_t ops,
+                     uint64_t seed) {
+  int fd = fs->Open(path, vfs::kRdOnly);
+  SPLITFS_CHECK(fd >= 0);
+  common::Rng rng(seed);
+  std::vector<uint8_t> buf(op_bytes);
+  uint64_t slots = file_bytes / op_bytes;
+  IoResult r;
+  uint64_t t0 = clock->Now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    uint64_t off = rng.Uniform(slots) * op_bytes;
+    SPLITFS_CHECK(fs->Pread(fd, buf.data(), op_bytes, off) ==
+                  static_cast<ssize_t>(op_bytes));
+    ++r.ops;
+    r.bytes += op_bytes;
+  }
+  r.sim_ns = clock->Now() - t0;
+  fs->Close(fd);
+  return r;
+}
+
+void PrepareFile(vfs::FileSystem* fs, const std::string& path, uint64_t total_bytes) {
+  int fd = fs->Open(path, vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+  SPLITFS_CHECK(fd >= 0);
+  std::vector<uint8_t> buf(256 * common::kKiB, 0x11);
+  for (uint64_t off = 0; off < total_bytes; off += buf.size()) {
+    uint64_t n = std::min<uint64_t>(buf.size(), total_bytes - off);
+    SPLITFS_CHECK(fs->Pwrite(fd, buf.data(), n, off) == static_cast<ssize_t>(n));
+  }
+  SPLITFS_CHECK_OK(fs->Fsync(fd));
+  fs->Close(fd);
+}
+
+}  // namespace wl

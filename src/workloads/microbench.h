@@ -1,0 +1,71 @@
+// File-system microbenchmarks from the paper's evaluation:
+//   * Varmail-like per-syscall latency sequence (§5.4, Table 6);
+//   * IO-pattern sweeps: seq/rand read, seq/rand write, append (§5.6, Figure 4);
+//   * append / sequential-overwrite loops with periodic fsync (§5.5, Figure 3;
+//     Table 1's 4 KB-append overhead).
+#ifndef SRC_WORKLOADS_MICROBENCH_H_
+#define SRC_WORKLOADS_MICROBENCH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/sim/clock.h"
+#include "src/vfs/file_system.h"
+
+namespace wl {
+
+// --- Table 6: varmail-like syscall latency ----------------------------------------------
+
+struct SyscallLatencies {
+  // Mean simulated nanoseconds per call, keyed by syscall name
+  // (open/close/append/fsync/read/unlink).
+  std::map<std::string, double> mean_ns;
+};
+
+// Runs `iterations` of the paper's sequence: create + 4x(4K append + fsync), close,
+// open, read 16K, close, open+close, unlink — measuring each call class.
+SyscallLatencies RunVarmail(vfs::FileSystem* fs, sim::Clock* clock, int iterations,
+                            const std::string& dir);
+
+// --- Figures 3/4 and Table 1: data-path loops ---------------------------------------------
+
+struct IoResult {
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+  uint64_t sim_ns = 0;
+  double MopsPerSec() const {
+    return sim_ns == 0 ? 0 : static_cast<double>(ops) * 1e3 / static_cast<double>(sim_ns);
+  }
+  double NsPerOp() const {
+    return ops == 0 ? 0 : static_cast<double>(sim_ns) / static_cast<double>(ops);
+  }
+};
+
+// Appends `total_bytes` in `op_bytes` chunks; fsync every `fsync_every` ops
+// (0 = never). Fresh file at `path`.
+IoResult RunAppend(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                   uint64_t total_bytes, uint64_t op_bytes, uint64_t fsync_every);
+
+// Sequential overwrite over an existing file of `total_bytes`.
+IoResult RunSeqOverwrite(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                         uint64_t total_bytes, uint64_t op_bytes, uint64_t fsync_every);
+
+// Random 4K overwrites, `ops` operations over a `file_bytes` file.
+IoResult RunRandOverwrite(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                          uint64_t file_bytes, uint64_t op_bytes, uint64_t ops,
+                          uint64_t fsync_every, uint64_t seed);
+
+// Sequential / random reads over an existing file.
+IoResult RunSeqRead(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                    uint64_t total_bytes, uint64_t op_bytes);
+IoResult RunRandRead(vfs::FileSystem* fs, sim::Clock* clock, const std::string& path,
+                     uint64_t file_bytes, uint64_t op_bytes, uint64_t ops, uint64_t seed);
+
+// Creates a file of `total_bytes` (written + fsync'd) for read benchmarks.
+void PrepareFile(vfs::FileSystem* fs, const std::string& path, uint64_t total_bytes);
+
+}  // namespace wl
+
+#endif  // SRC_WORKLOADS_MICROBENCH_H_

@@ -1,0 +1,153 @@
+#include "src/workloads/tpcc_lite.h"
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace wl {
+
+namespace {
+constexpr uint64_t kPage = 4096;
+}
+
+TpccLite::TpccLite(apps::WalDb* db, TpccConfig cfg)
+    : db_(db), cfg_(cfg), rng_(cfg.seed) {}
+
+// Table layout: consecutive page ranges.
+uint64_t TpccLite::WarehousePage(uint32_t w) const { return w; }
+uint64_t TpccLite::DistrictPage(uint32_t w, uint32_t d) const {
+  return cfg_.warehouses + static_cast<uint64_t>(w) * cfg_.districts_per_wh + d;
+}
+uint64_t TpccLite::CustomerPage(uint32_t w, uint32_t d, uint32_t c) const {
+  uint64_t base = cfg_.warehouses + static_cast<uint64_t>(cfg_.warehouses) * cfg_.districts_per_wh;
+  uint64_t per_page = kPage / 512;  // 512 B customer rows.
+  uint64_t idx = (static_cast<uint64_t>(w) * cfg_.districts_per_wh + d) *
+                     cfg_.customers_per_district +
+                 c;
+  return base + idx / per_page;
+}
+uint64_t TpccLite::StockPage(uint32_t item) const {
+  uint64_t cust_pages = static_cast<uint64_t>(cfg_.warehouses) * cfg_.districts_per_wh *
+                            cfg_.customers_per_district / (kPage / 512) +
+                        1;
+  uint64_t base = cfg_.warehouses +
+                  static_cast<uint64_t>(cfg_.warehouses) * cfg_.districts_per_wh +
+                  cust_pages;
+  return base + item / (kPage / 256);  // 256 B stock rows.
+}
+uint64_t TpccLite::OrderPage(uint64_t order_id) const {
+  uint64_t stock_pages = cfg_.items / (kPage / 256) + 1;
+  return StockPage(cfg_.items - 1) + stock_pages + order_id / (kPage / 1024);
+}
+
+void TpccLite::TouchRead(uint64_t page) {
+  std::vector<uint8_t> buf(kPage);
+  SPLITFS_CHECK_OK(db_->ReadPage(page, buf.data()));
+}
+
+void TpccLite::TouchWrite(uint64_t page) {
+  std::vector<uint8_t> buf(kPage);
+  SPLITFS_CHECK_OK(db_->ReadPage(page, buf.data()));
+  buf[rng_.Uniform(kPage)] = static_cast<uint8_t>(rng_.Next());
+  SPLITFS_CHECK_OK(db_->WritePage(page, buf.data()));
+}
+
+void TpccLite::Load(sim::Clock* clock) {
+  (void)clock;
+  std::vector<uint8_t> page(kPage, 0);
+  db_->Begin();
+  uint64_t last = OrderPage(0);
+  for (uint64_t p = 0; p <= last; ++p) {
+    for (size_t i = 0; i < page.size(); i += 64) {
+      page[i] = static_cast<uint8_t>(rng_.Next());
+    }
+    SPLITFS_CHECK_OK(db_->WritePage(p, page.data()));
+    if (p % 64 == 63) {  // Commit in batches to bound txn size.
+      SPLITFS_CHECK_OK(db_->Commit());
+      db_->Begin();
+    }
+  }
+  SPLITFS_CHECK_OK(db_->Commit());
+}
+
+void TpccLite::TxNewOrder() {
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(cfg_.warehouses));
+  uint32_t d = static_cast<uint32_t>(rng_.Uniform(cfg_.districts_per_wh));
+  uint32_t c = static_cast<uint32_t>(rng_.Uniform(cfg_.customers_per_district));
+  db_->Begin();
+  TouchRead(WarehousePage(w));
+  TouchWrite(DistrictPage(w, d));  // Next order id.
+  TouchRead(CustomerPage(w, d, c));
+  uint32_t lines = 5 + static_cast<uint32_t>(rng_.Uniform(11));  // 5-15 order lines.
+  for (uint32_t l = 0; l < lines; ++l) {
+    uint32_t item = static_cast<uint32_t>(rng_.Uniform(cfg_.items));
+    TouchRead(StockPage(item));
+    TouchWrite(StockPage(item));  // Quantity decrement.
+  }
+  TouchWrite(OrderPage(next_order_++));
+  SPLITFS_CHECK_OK(db_->Commit());
+  ++new_orders_;
+}
+
+void TpccLite::TxPayment() {
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(cfg_.warehouses));
+  uint32_t d = static_cast<uint32_t>(rng_.Uniform(cfg_.districts_per_wh));
+  uint32_t c = static_cast<uint32_t>(rng_.Uniform(cfg_.customers_per_district));
+  db_->Begin();
+  TouchWrite(WarehousePage(w));  // YTD amount.
+  TouchWrite(DistrictPage(w, d));
+  TouchWrite(CustomerPage(w, d, c));  // Balance.
+  SPLITFS_CHECK_OK(db_->Commit());
+}
+
+void TpccLite::TxOrderStatus() {
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(cfg_.warehouses));
+  uint32_t d = static_cast<uint32_t>(rng_.Uniform(cfg_.districts_per_wh));
+  uint32_t c = static_cast<uint32_t>(rng_.Uniform(cfg_.customers_per_district));
+  db_->Begin();
+  TouchRead(CustomerPage(w, d, c));
+  if (next_order_ > 0) {
+    TouchRead(OrderPage(rng_.Uniform(next_order_)));
+  }
+  SPLITFS_CHECK_OK(db_->Commit());
+}
+
+void TpccLite::TxDelivery() {
+  db_->Begin();
+  for (uint32_t d = 0; d < cfg_.districts_per_wh; ++d) {
+    if (next_order_ > 0) {
+      TouchWrite(OrderPage(rng_.Uniform(next_order_)));  // Carrier assignment.
+    }
+  }
+  SPLITFS_CHECK_OK(db_->Commit());
+}
+
+void TpccLite::TxStockLevel() {
+  db_->Begin();
+  for (int i = 0; i < 20; ++i) {
+    TouchRead(StockPage(static_cast<uint32_t>(rng_.Uniform(cfg_.items))));
+  }
+  SPLITFS_CHECK_OK(db_->Commit());
+}
+
+TpccResult TpccLite::Run(uint64_t txn_count, sim::Clock* clock) {
+  uint64_t t0 = clock->Now();
+  for (uint64_t i = 0; i < txn_count; ++i) {
+    clock->Advance(cfg_.app_cpu_ns_per_txn);
+    uint64_t dice = rng_.Uniform(100);
+    if (dice < 45) {
+      TxNewOrder();
+    } else if (dice < 88) {
+      TxPayment();
+    } else if (dice < 92) {
+      TxOrderStatus();
+    } else if (dice < 96) {
+      TxDelivery();
+    } else {
+      TxStockLevel();
+    }
+  }
+  return {txn_count, clock->Now() - t0};
+}
+
+}  // namespace wl

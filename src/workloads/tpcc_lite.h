@@ -1,0 +1,75 @@
+// TPC-C-lite: the five-transaction OLTP mix over WalDb — the paper's "TPC-C on
+// SQLite (WAL mode)" workload (§5.2).
+//
+// Schema-on-pages: warehouses, districts, customers, stock, orders each occupy page
+// ranges of the WalDb file; a transaction reads and dirties the pages its TPC-C
+// counterpart would touch, then commits (one WAL append batch + fsync). The standard
+// mix is used: New-Order 45%, Payment 43%, Order-Status 4%, Delivery 4%,
+// Stock-Level 4%.
+#ifndef SRC_WORKLOADS_TPCC_LITE_H_
+#define SRC_WORKLOADS_TPCC_LITE_H_
+
+#include <cstdint>
+
+#include "src/apps/wal_db.h"
+#include "src/common/random.h"
+#include "src/sim/clock.h"
+
+namespace wl {
+
+struct TpccConfig {
+  // SQLite-side CPU per transaction: SQL parsing, B-tree traversal, row encoding.
+  uint64_t app_cpu_ns_per_txn = 30000;
+  uint32_t warehouses = 4;
+  uint32_t districts_per_wh = 10;
+  uint32_t customers_per_district = 300;
+  uint32_t items = 1000;
+  uint64_t seed = 7;
+};
+
+struct TpccResult {
+  uint64_t txns = 0;
+  uint64_t sim_ns = 0;
+  double Ktps() const {
+    return sim_ns == 0 ? 0 : static_cast<double>(txns) * 1e6 / static_cast<double>(sim_ns);
+  }
+};
+
+class TpccLite {
+ public:
+  TpccLite(apps::WalDb* db, TpccConfig cfg);
+
+  // Populates the tables (initial database load).
+  void Load(sim::Clock* clock);
+  // Runs `txn_count` transactions of the standard mix.
+  TpccResult Run(uint64_t txn_count, sim::Clock* clock);
+
+  uint64_t NewOrders() const { return new_orders_; }
+
+ private:
+  // Page-range layout of the "tables".
+  uint64_t WarehousePage(uint32_t w) const;
+  uint64_t DistrictPage(uint32_t w, uint32_t d) const;
+  uint64_t CustomerPage(uint32_t w, uint32_t d, uint32_t c) const;
+  uint64_t StockPage(uint32_t item) const;
+  uint64_t OrderPage(uint64_t order_id) const;
+
+  void TouchRead(uint64_t page);
+  void TouchWrite(uint64_t page);
+
+  void TxNewOrder();
+  void TxPayment();
+  void TxOrderStatus();
+  void TxDelivery();
+  void TxStockLevel();
+
+  apps::WalDb* db_;
+  TpccConfig cfg_;
+  common::Rng rng_;
+  uint64_t next_order_ = 0;
+  uint64_t new_orders_ = 0;
+};
+
+}  // namespace wl
+
+#endif  // SRC_WORKLOADS_TPCC_LITE_H_

@@ -1,0 +1,203 @@
+#include "src/workloads/utilities.h"
+
+#include <vector>
+
+#include "src/common/checksum.h"
+#include "src/common/status.h"
+
+namespace wl {
+
+namespace {
+
+std::string DirName(const std::string& root, uint32_t d) {
+  return root + "/d" + std::to_string(d);
+}
+std::string FileName(const std::string& root, uint32_t d, uint32_t f) {
+  return DirName(root, d) + "/f" + std::to_string(f);
+}
+
+uint64_t FileSizeFor(const TreeSpec& spec, uint32_t d, uint32_t f) {
+  // Deterministic per-file size: mean +/- 50%.
+  common::Rng rng(spec.seed * 1000003 + d * 1009 + f);
+  return spec.mean_file_bytes / 2 + rng.Uniform(spec.mean_file_bytes);
+}
+
+void FillPattern(std::vector<uint8_t>* buf, uint64_t tag) {
+  for (size_t i = 0; i < buf->size(); i += 64) {
+    (*buf)[i] = static_cast<uint8_t>(tag + i);
+  }
+}
+
+}  // namespace
+
+UtilityResult BuildTree(vfs::FileSystem* fs, sim::Clock* clock, const std::string& root,
+                        const TreeSpec& spec) {
+  UtilityResult r;
+  uint64_t t0 = clock->Now();
+  fs->Mkdir(root);
+  std::vector<uint8_t> buf;
+  for (uint32_t d = 0; d < spec.dirs; ++d) {
+    SPLITFS_CHECK_OK(fs->Mkdir(DirName(root, d)));
+    for (uint32_t f = 0; f < spec.files_per_dir; ++f) {
+      uint64_t size = FileSizeFor(spec, d, f);
+      buf.assign(size, 0);
+      FillPattern(&buf, d * 131 + f);
+      int fd = fs->Open(FileName(root, d, f), vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+      SPLITFS_CHECK(fd >= 0);
+      SPLITFS_CHECK(fs->Write(fd, buf.data(), buf.size()) ==
+                    static_cast<ssize_t>(buf.size()));
+      SPLITFS_CHECK_OK(fs->Fsync(fd));
+      SPLITFS_CHECK_OK(fs->Close(fd));
+      ++r.files;
+      r.bytes += size;
+    }
+  }
+  r.sim_ns = clock->Now() - t0;
+  return r;
+}
+
+UtilityResult RunGit(vfs::FileSystem* fs, sim::Clock* clock, const std::string& tree_root,
+                     const std::string& git_dir, const TreeSpec& spec, int rounds,
+                     double dirty_fraction) {
+  UtilityResult r;
+  uint64_t t0 = clock->Now();
+  fs->Mkdir(git_dir);
+  fs->Mkdir(git_dir + "/objects");
+  common::Rng rng(spec.seed + 99);
+  std::vector<uint8_t> buf;
+  uint64_t object_id = 0;
+
+  for (int round = 0; round < rounds; ++round) {
+    // "git add": hash dirty files into loose objects under objects/xx/.
+    for (uint32_t d = 0; d < spec.dirs; ++d) {
+      for (uint32_t f = 0; f < spec.files_per_dir; ++f) {
+        if (rng.NextDouble() >= dirty_fraction) {
+          continue;
+        }
+        // Read the source file (hash-object reads the worktree file).
+        uint64_t size = FileSizeFor(spec, d, f);
+        buf.resize(size);
+        int sfd = fs->Open(FileName(tree_root, d, f), vfs::kRdOnly);
+        SPLITFS_CHECK(sfd >= 0);
+        SPLITFS_CHECK(fs->Read(sfd, buf.data(), size) == static_cast<ssize_t>(size));
+        fs->Close(sfd);
+        // Write the loose object: fan-out dir, temp file, fsync, rename into place.
+        std::string fan = git_dir + "/objects/" + std::to_string(object_id % 256);
+        fs->Mkdir(fan);  // Usually EEXIST.
+        std::string tmp = fan + "/tmp_obj";
+        std::string final_name = fan + "/" + std::to_string(object_id++);
+        int ofd = fs->Open(tmp, vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+        SPLITFS_CHECK(ofd >= 0);
+        SPLITFS_CHECK(fs->Write(ofd, buf.data(), size) == static_cast<ssize_t>(size));
+        // git does not fsync loose objects by default (core.fsyncObjectFiles=false).
+        SPLITFS_CHECK_OK(fs->Close(ofd));
+        SPLITFS_CHECK_OK(fs->Rename(tmp, final_name));
+        ++r.files;
+        r.bytes += size;
+      }
+    }
+    // Index rewrite: write index.lock, fsync, rename over index.
+    {
+      uint64_t index_bytes = static_cast<uint64_t>(spec.dirs) * spec.files_per_dir * 64;
+      buf.assign(index_bytes, 0);
+      FillPattern(&buf, round);
+      int ifd = fs->Open(git_dir + "/index.lock", vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+      SPLITFS_CHECK(ifd >= 0);
+      SPLITFS_CHECK(fs->Write(ifd, buf.data(), buf.size()) ==
+                    static_cast<ssize_t>(buf.size()));
+      SPLITFS_CHECK_OK(fs->Fsync(ifd));
+      SPLITFS_CHECK_OK(fs->Close(ifd));
+      SPLITFS_CHECK_OK(fs->Rename(git_dir + "/index.lock", git_dir + "/index"));
+    }
+    // "git commit": tree + commit objects and a ref update.
+    for (int obj = 0; obj < 2; ++obj) {
+      buf.assign(512, 0);
+      std::string fan = git_dir + "/objects/" + std::to_string(object_id % 256);
+      fs->Mkdir(fan);
+      std::string path = fan + "/" + std::to_string(object_id++);
+      int cfd = fs->Open(path, vfs::kRdWr | vfs::kCreate);
+      SPLITFS_CHECK(cfd >= 0);
+      SPLITFS_CHECK(fs->Write(cfd, buf.data(), buf.size()) ==
+                    static_cast<ssize_t>(buf.size()));
+      SPLITFS_CHECK_OK(fs->Close(cfd));
+      ++r.files;
+      r.bytes += buf.size();
+    }
+    {
+      int rfd = fs->Open(git_dir + "/HEAD.lock", vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+      SPLITFS_CHECK(rfd >= 0);
+      SPLITFS_CHECK(fs->Write(rfd, "ref", 3) == 3);
+      SPLITFS_CHECK_OK(fs->Fsync(rfd));
+      SPLITFS_CHECK_OK(fs->Close(rfd));
+      SPLITFS_CHECK_OK(fs->Rename(git_dir + "/HEAD.lock", git_dir + "/HEAD"));
+    }
+  }
+  r.sim_ns = clock->Now() - t0;
+  return r;
+}
+
+UtilityResult RunTar(vfs::FileSystem* fs, sim::Clock* clock, const std::string& tree_root,
+                     const std::string& archive_path, const TreeSpec& spec) {
+  UtilityResult r;
+  uint64_t t0 = clock->Now();
+  int afd = fs->Open(archive_path, vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+  SPLITFS_CHECK(afd >= 0);
+  std::vector<uint8_t> header(512, 0);
+  std::vector<uint8_t> buf;
+  for (uint32_t d = 0; d < spec.dirs; ++d) {
+    for (uint32_t f = 0; f < spec.files_per_dir; ++f) {
+      uint64_t size = FileSizeFor(spec, d, f);
+      buf.resize(size);
+      int sfd = fs->Open(FileName(tree_root, d, f), vfs::kRdOnly);
+      SPLITFS_CHECK(sfd >= 0);
+      SPLITFS_CHECK(fs->Read(sfd, buf.data(), size) == static_cast<ssize_t>(size));
+      fs->Close(sfd);
+      // 512 B header + payload padded to 512.
+      SPLITFS_CHECK(fs->Write(afd, header.data(), header.size()) == 512);
+      SPLITFS_CHECK(fs->Write(afd, buf.data(), size) == static_cast<ssize_t>(size));
+      uint64_t pad = (512 - size % 512) % 512;
+      if (pad != 0) {
+        SPLITFS_CHECK(fs->Write(afd, header.data(), pad) == static_cast<ssize_t>(pad));
+      }
+      ++r.files;
+      r.bytes += size;
+    }
+  }
+  SPLITFS_CHECK_OK(fs->Fsync(afd));
+  SPLITFS_CHECK_OK(fs->Close(afd));
+  r.sim_ns = clock->Now() - t0;
+  return r;
+}
+
+UtilityResult RunRsync(vfs::FileSystem* fs, sim::Clock* clock,
+                       const std::string& tree_root, const std::string& dst_root,
+                       const TreeSpec& spec) {
+  UtilityResult r;
+  uint64_t t0 = clock->Now();
+  fs->Mkdir(dst_root);
+  std::vector<uint8_t> buf;
+  for (uint32_t d = 0; d < spec.dirs; ++d) {
+    SPLITFS_CHECK_OK(fs->Mkdir(DirName(dst_root, d)));
+    for (uint32_t f = 0; f < spec.files_per_dir; ++f) {
+      uint64_t size = FileSizeFor(spec, d, f);
+      buf.resize(size);
+      int sfd = fs->Open(FileName(tree_root, d, f), vfs::kRdOnly);
+      SPLITFS_CHECK(sfd >= 0);
+      SPLITFS_CHECK(fs->Read(sfd, buf.data(), size) == static_cast<ssize_t>(size));
+      fs->Close(sfd);
+      // rsync writes .tmp and renames into place (no per-file fsync by default).
+      std::string tmp = FileName(dst_root, d, f) + ".tmp";
+      int dfd = fs->Open(tmp, vfs::kRdWr | vfs::kCreate | vfs::kTrunc);
+      SPLITFS_CHECK(dfd >= 0);
+      SPLITFS_CHECK(fs->Write(dfd, buf.data(), size) == static_cast<ssize_t>(size));
+      SPLITFS_CHECK_OK(fs->Close(dfd));
+      SPLITFS_CHECK_OK(fs->Rename(tmp, FileName(dst_root, d, f)));
+      ++r.files;
+      r.bytes += size;
+    }
+  }
+  r.sim_ns = clock->Now() - t0;
+  return r;
+}
+
+}  // namespace wl

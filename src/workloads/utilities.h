@@ -1,0 +1,57 @@
+// Metadata-heavy utility workloads: git, tar, rsync (§5.2, §5.9, Figure 6 right).
+//
+// The utilities matter to the evaluation only as file-system op mixes, which these
+// drivers replay:
+//   * git add/commit: hash-object writes (many small immutable files created under
+//     fan-out directories, written once, fsync'd, renamed into place) plus index
+//     rewrites — the paper runs 10 add+commit rounds over a kernel-sized tree;
+//   * tar: read every file of a tree sequentially and append it to one archive;
+//   * rsync: replicate a tree file-by-file — create temp, write, fsync, rename.
+#ifndef SRC_WORKLOADS_UTILITIES_H_
+#define SRC_WORKLOADS_UTILITIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/sim/clock.h"
+#include "src/vfs/file_system.h"
+
+namespace wl {
+
+struct UtilityResult {
+  uint64_t files = 0;
+  uint64_t bytes = 0;
+  uint64_t sim_ns = 0;
+  double Seconds() const { return static_cast<double>(sim_ns) * 1e-9; }
+};
+
+struct TreeSpec {
+  uint32_t dirs = 20;
+  uint32_t files_per_dir = 40;
+  uint64_t mean_file_bytes = 8192;  // Small source files.
+  uint64_t seed = 11;
+};
+
+// Creates a source tree under `root` (the "repository checkout" / backup dataset).
+UtilityResult BuildTree(vfs::FileSystem* fs, sim::Clock* clock, const std::string& root,
+                        const TreeSpec& spec);
+
+// git add + commit of the tree: write loose objects for `dirty_fraction` of files,
+// rewrite the index, write commit/tree objects, repeat `rounds` times.
+UtilityResult RunGit(vfs::FileSystem* fs, sim::Clock* clock, const std::string& tree_root,
+                     const std::string& git_dir, const TreeSpec& spec, int rounds,
+                     double dirty_fraction = 0.2);
+
+// tar the tree into one archive file.
+UtilityResult RunTar(vfs::FileSystem* fs, sim::Clock* clock, const std::string& tree_root,
+                     const std::string& archive_path, const TreeSpec& spec);
+
+// rsync the tree into a new destination root.
+UtilityResult RunRsync(vfs::FileSystem* fs, sim::Clock* clock,
+                       const std::string& tree_root, const std::string& dst_root,
+                       const TreeSpec& spec);
+
+}  // namespace wl
+
+#endif  // SRC_WORKLOADS_UTILITIES_H_

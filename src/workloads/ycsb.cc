@@ -1,0 +1,122 @@
+#include "src/workloads/ycsb.h"
+
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace wl {
+
+const char* YcsbName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kLoadA:
+      return "LoadA";
+    case YcsbWorkload::kA:
+      return "RunA";
+    case YcsbWorkload::kB:
+      return "RunB";
+    case YcsbWorkload::kC:
+      return "RunC";
+    case YcsbWorkload::kD:
+      return "RunD";
+    case YcsbWorkload::kE:
+      return "RunE";
+    case YcsbWorkload::kF:
+      return "RunF";
+    case YcsbWorkload::kLoadE:
+      return "LoadE";
+  }
+  return "?";
+}
+
+Ycsb::Ycsb(apps::KvLsm* store, YcsbConfig cfg)
+    : store_(store),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      zipf_(cfg.record_count, 0.99, cfg.seed + 1),
+      inserted_(cfg.record_count) {}
+
+std::string Ycsb::KeyFor(uint64_t n) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%016llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string Ycsb::MakeValue(uint64_t n) const {
+  std::string v(cfg_.value_bytes, 'x');
+  for (size_t i = 0; i < v.size(); i += 97) {
+    v[i] = static_cast<char>('a' + (n + i) % 26);
+  }
+  return v;
+}
+
+YcsbResult Ycsb::Load(sim::Clock* clock) {
+  uint64_t t0 = clock->Now();
+  for (uint64_t i = 0; i < cfg_.record_count; ++i) {
+    SPLITFS_CHECK_OK(store_->Put(KeyFor(i), MakeValue(i)));
+  }
+  inserted_ = cfg_.record_count;
+  return {cfg_.record_count, clock->Now() - t0};
+}
+
+YcsbResult Ycsb::Run(YcsbWorkload w, sim::Clock* clock) {
+  uint64_t t0 = clock->Now();
+  for (uint64_t i = 0; i < cfg_.op_count; ++i) {
+    uint64_t dice = rng_.Uniform(100);
+    uint64_t key_n = zipf_.NextScrambled();
+    switch (w) {
+      case YcsbWorkload::kLoadA:
+      case YcsbWorkload::kLoadE:
+        SPLITFS_CHECK_OK(store_->Put(KeyFor(i % cfg_.record_count), MakeValue(i)));
+        break;
+      case YcsbWorkload::kA:
+        if (dice < 50) {
+          store_->Get(KeyFor(key_n));
+        } else {
+          SPLITFS_CHECK_OK(store_->Put(KeyFor(key_n), MakeValue(i)));
+        }
+        break;
+      case YcsbWorkload::kB:
+        if (dice < 95) {
+          store_->Get(KeyFor(key_n));
+        } else {
+          SPLITFS_CHECK_OK(store_->Put(KeyFor(key_n), MakeValue(i)));
+        }
+        break;
+      case YcsbWorkload::kC:
+        store_->Get(KeyFor(key_n));
+        break;
+      case YcsbWorkload::kD:
+        if (dice < 95) {
+          // Read latest: bias toward recently inserted keys.
+          uint64_t latest = inserted_ - 1 - std::min<uint64_t>(zipf_.Next(), inserted_ - 1);
+          store_->Get(KeyFor(latest));
+        } else {
+          SPLITFS_CHECK_OK(store_->Put(KeyFor(inserted_++), MakeValue(i)));
+        }
+        break;
+      case YcsbWorkload::kE:
+        if (dice < 95) {
+          uint64_t len = 1 + rng_.Uniform(cfg_.scan_max_len);
+          store_->Scan(KeyFor(key_n), len);
+        } else {
+          SPLITFS_CHECK_OK(store_->Put(KeyFor(inserted_++), MakeValue(i)));
+        }
+        break;
+      case YcsbWorkload::kF:
+        if (dice < 50) {
+          store_->Get(KeyFor(key_n));
+        } else {
+          auto old = store_->Get(KeyFor(key_n));
+          std::string v = old.value_or(MakeValue(i));
+          if (!v.empty()) {
+            v[0] = static_cast<char>('A' + i % 26);
+          }
+          SPLITFS_CHECK_OK(store_->Put(KeyFor(key_n), v));
+        }
+        break;
+    }
+  }
+  return {cfg_.op_count, clock->Now() - t0};
+}
+
+}  // namespace wl

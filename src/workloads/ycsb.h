@@ -1,0 +1,64 @@
+// YCSB workload driver (Cooper et al., SoCC'10) over KvLsm — the paper's LevelDB
+// benchmark (§5.2, §5.8, Table 7).
+//
+// Workload mixes (YCSB core):
+//   A: 50% read / 50% update           B: 95% read / 5% update
+//   C: 100% read                       D: 95% read-latest / 5% insert
+//   E: 95% scan / 5% insert            F: 50% read / 50% read-modify-write
+// Keys are zipfian (theta 0.99, scrambled); values default to 1 KB, YCSB's standard
+// 10 fields x 100 B.
+#ifndef SRC_WORKLOADS_YCSB_H_
+#define SRC_WORKLOADS_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/kv_lsm.h"
+#include "src/common/random.h"
+#include "src/sim/clock.h"
+
+namespace wl {
+
+enum class YcsbWorkload { kLoadA, kA, kB, kC, kD, kE, kF, kLoadE };
+
+const char* YcsbName(YcsbWorkload w);
+
+struct YcsbConfig {
+  uint64_t record_count = 100000;  // Keyspace size (paper's small-scale run: 1M).
+  uint64_t op_count = 100000;
+  uint32_t value_bytes = 1024;
+  uint32_t scan_max_len = 100;  // YCSB E scans up to 100 records.
+  uint64_t seed = 42;
+};
+
+struct YcsbResult {
+  uint64_t ops = 0;
+  uint64_t sim_ns = 0;
+  double Kops() const {
+    return sim_ns == 0 ? 0 : static_cast<double>(ops) * 1e6 / static_cast<double>(sim_ns);
+  }
+};
+
+class Ycsb {
+ public:
+  Ycsb(apps::KvLsm* store, YcsbConfig cfg);
+
+  // Phase 1: load `record_count` records (this is "Load A"/"Load E").
+  YcsbResult Load(sim::Clock* clock);
+  // Phase 2: run `op_count` operations of the given mix.
+  YcsbResult Run(YcsbWorkload w, sim::Clock* clock);
+
+ private:
+  std::string KeyFor(uint64_t n) const;
+  std::string MakeValue(uint64_t n) const;
+
+  apps::KvLsm* store_;
+  YcsbConfig cfg_;
+  common::Rng rng_;
+  common::ZipfianGenerator zipf_;
+  uint64_t inserted_;  // Grows with D/E inserts.
+};
+
+}  // namespace wl
+
+#endif  // SRC_WORKLOADS_YCSB_H_

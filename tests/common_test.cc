@@ -1,0 +1,126 @@
+// Unit tests for src/common: checksum, RNG/zipfian, byte helpers, Expected.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/checksum.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace {
+
+TEST(Bytes, AlignHelpers) {
+  EXPECT_EQ(common::AlignDown(4097, 4096), 4096u);
+  EXPECT_EQ(common::AlignDown(4096, 4096), 4096u);
+  EXPECT_EQ(common::AlignUp(4097, 4096), 8192u);
+  EXPECT_EQ(common::AlignUp(4096, 4096), 4096u);
+  EXPECT_EQ(common::AlignUp(0, 4096), 0u);
+  EXPECT_TRUE(common::IsAligned(8192, 4096));
+  EXPECT_FALSE(common::IsAligned(8193, 4096));
+  EXPECT_EQ(common::DivCeil(1, 4096), 1u);
+  EXPECT_EQ(common::DivCeil(4096, 4096), 1u);
+  EXPECT_EQ(common::DivCeil(4097, 4096), 2u);
+  EXPECT_EQ(common::DivCeil(0, 4096), 0u);
+}
+
+TEST(Crc32c, KnownVector) {
+  // Standard CRC32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(common::Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(common::Crc32c("", 0), 0u); }
+
+TEST(Crc32c, SeedChaining) {
+  const char* data = "hello world";
+  uint32_t whole = common::Crc32c(data, 11);
+  uint32_t part = common::Crc32c(data, 5);
+  part = common::Crc32c(data + 5, 6, part);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  std::vector<uint8_t> buf(64, 0xAB);
+  uint32_t before = common::Crc32c(buf.data(), buf.size());
+  buf[17] ^= 0x01;
+  EXPECT_NE(before, common::Crc32c(buf.data(), buf.size()));
+}
+
+TEST(Crc32cSkip4, IgnoresSkippedField) {
+  std::vector<uint8_t> a(64, 1), b(64, 1);
+  b[8] = 0x55;  // Inside the skipped window [8, 12).
+  b[9] = 0x66;
+  EXPECT_EQ(common::Crc32cSkip4(a.data(), 64, 8), common::Crc32cSkip4(b.data(), 64, 8));
+  b[12] = 0x77;  // Outside the window: must change the CRC.
+  EXPECT_NE(common::Crc32cSkip4(a.data(), 64, 8), common::Crc32cSkip4(b.data(), 64, 8));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  common::Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, UniformInRange) {
+  common::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  common::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipfian, StaysInRange) {
+  common::ZipfianGenerator z(1000, 0.99, 3);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(z.Next(), 1000u);
+    EXPECT_LT(z.NextScrambled(), 1000u);
+  }
+}
+
+TEST(Zipfian, IsSkewed) {
+  // Rank 0 should dominate: with theta=0.99 over 1000 items, item 0 gets ~12% of mass.
+  common::ZipfianGenerator z(1000, 0.99, 5);
+  int zero_hits = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.Next() == 0) {
+      ++zero_hits;
+    }
+  }
+  EXPECT_GT(zero_hits, kDraws / 20);  // Far above the uniform 1/1000.
+}
+
+TEST(Zipfian, ScrambledSpreadsHotKeys) {
+  common::ZipfianGenerator z(1000, 0.99, 5);
+  std::set<uint64_t> distinct;
+  for (int i = 0; i < 1000; ++i) {
+    distinct.insert(z.NextScrambled());
+  }
+  EXPECT_GT(distinct.size(), 100u);  // Not collapsed onto a handful of ranks.
+}
+
+TEST(Expected, ValueAndError) {
+  common::Expected<int> ok(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_EQ(ok.error().code(), 0);
+
+  common::Expected<int> err(common::Errno(ENOENT));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code(), ENOENT);
+  EXPECT_EQ(err.error().negated(), -ENOENT);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+}  // namespace

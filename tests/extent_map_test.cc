@@ -1,0 +1,200 @@
+// Unit + property tests for the extent map and block allocator — the structures the
+// relink primitive manipulates, so no-alias / no-leak invariants are load-bearing.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/random.h"
+#include "src/ext4/allocator.h"
+#include "src/ext4/extent_map.h"
+
+namespace {
+
+using ext4sim::BlockAllocator;
+using ext4sim::ExtentMap;
+using ext4sim::PhysExtent;
+
+TEST(ExtentMap, LookupHoleAndHit) {
+  ExtentMap m;
+  EXPECT_FALSE(m.Lookup(0).has_value());
+  m.Insert(10, 100, 5);
+  EXPECT_FALSE(m.Lookup(9).has_value());
+  auto hit = m.Lookup(12);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->phys, 102u);
+  EXPECT_EQ(hit->count, 3u);  // Run remaining from logical 12.
+  EXPECT_FALSE(m.Lookup(15).has_value());
+}
+
+TEST(ExtentMap, MergesAdjacentContiguous) {
+  ExtentMap m;
+  m.Insert(0, 100, 4);
+  m.Insert(4, 104, 4);  // Contiguous both logically and physically: one extent.
+  EXPECT_EQ(m.ExtentCount(), 1u);
+  auto hit = m.Lookup(0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->count, 8u);
+}
+
+TEST(ExtentMap, DoesNotMergeDiscontiguousPhys) {
+  ExtentMap m;
+  m.Insert(0, 100, 4);
+  m.Insert(4, 200, 4);  // Logically adjacent, physically not.
+  EXPECT_EQ(m.ExtentCount(), 2u);
+}
+
+TEST(ExtentMap, RemoveRangeSplitsBoundaries) {
+  ExtentMap m;
+  m.Insert(0, 100, 10);
+  auto removed = m.RemoveRange(3, 4);  // Carve [3,7) out of [0,10).
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].start, 103u);
+  EXPECT_EQ(removed[0].count, 4u);
+  EXPECT_EQ(m.MappedBlocks(), 6u);
+  EXPECT_TRUE(m.Lookup(2).has_value());
+  EXPECT_FALSE(m.Lookup(3).has_value());
+  EXPECT_FALSE(m.Lookup(6).has_value());
+  auto right = m.Lookup(7);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->phys, 107u);
+}
+
+TEST(ExtentMap, FindRangeClipsToRequest) {
+  ExtentMap m;
+  m.Insert(0, 100, 4);
+  m.Insert(8, 200, 4);
+  auto found = m.FindRange(2, 8);  // Covers tail of first + head of second.
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].logical, 2u);
+  EXPECT_EQ(found[0].phys, 102u);
+  EXPECT_EQ(found[0].count, 2u);
+  EXPECT_EQ(found[1].logical, 8u);
+  EXPECT_EQ(found[1].count, 2u);
+}
+
+TEST(ExtentMap, ClearReturnsEverything) {
+  ExtentMap m;
+  m.Insert(0, 100, 4);
+  m.Insert(10, 300, 2);
+  auto all = m.Clear();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(m.Empty());
+}
+
+// Property test: a randomized insert/remove workload against a reference model.
+TEST(ExtentMapProperty, MatchesReferenceModel) {
+  common::Rng rng(2024);
+  ExtentMap m;
+  std::map<uint64_t, uint64_t> model;  // logical block -> phys block
+  uint64_t next_phys = 1;
+  for (int iter = 0; iter < 2000; ++iter) {
+    uint64_t logical = rng.Uniform(256);
+    uint64_t count = 1 + rng.Uniform(8);
+    if (rng.OneIn(2)) {
+      // Insert into currently-hole sub-ranges only (the map's precondition).
+      for (uint64_t lb = logical; lb < logical + count; ++lb) {
+        if (model.count(lb) == 0) {
+          m.Insert(lb, next_phys, 1);
+          model[lb] = next_phys;
+          ++next_phys;
+        }
+      }
+    } else {
+      m.RemoveRange(logical, count);
+      for (uint64_t lb = logical; lb < logical + count; ++lb) {
+        model.erase(lb);
+      }
+    }
+    // Spot-check agreement.
+    uint64_t probe = rng.Uniform(272);
+    auto hit = m.Lookup(probe);
+    auto mit = model.find(probe);
+    if (mit == model.end()) {
+      EXPECT_FALSE(hit.has_value()) << "iter " << iter << " probe " << probe;
+    } else {
+      ASSERT_TRUE(hit.has_value()) << "iter " << iter << " probe " << probe;
+      EXPECT_EQ(hit->phys, mit->second);
+    }
+  }
+  EXPECT_EQ(m.MappedBlocks(), model.size());
+}
+
+TEST(Allocator, AllocateAndFree) {
+  BlockAllocator a(100, 1000);
+  EXPECT_EQ(a.FreeBlocks(), 1000u);
+  PhysExtent e = a.Allocate(10);
+  EXPECT_EQ(e.count, 10u);
+  EXPECT_GE(e.start, 100u);
+  EXPECT_EQ(a.FreeBlocks(), 990u);
+  EXPECT_TRUE(a.IsAllocated(e.start));
+  a.Free(e);
+  EXPECT_EQ(a.FreeBlocks(), 1000u);
+  EXPECT_FALSE(a.IsAllocated(e.start));
+}
+
+TEST(Allocator, ExactMultiExtentAllocation) {
+  BlockAllocator a(0, 64);
+  // Fragment: allocate all, free every other 4-block chunk.
+  std::vector<PhysExtent> all;
+  ASSERT_TRUE(a.AllocateBlocks(64, &all));
+  for (uint64_t i = 0; i < 64; i += 8) {
+    a.Free({i, 4});
+  }
+  EXPECT_EQ(a.LargestFreeRun(), 4u);
+  std::vector<PhysExtent> out;
+  ASSERT_TRUE(a.AllocateBlocks(12, &out));  // Must span >= 3 fragments.
+  EXPECT_GE(out.size(), 3u);
+  uint64_t total = 0;
+  for (const auto& e : out) {
+    total += e.count;
+  }
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(Allocator, FailsWhenFull) {
+  BlockAllocator a(0, 8);
+  std::vector<PhysExtent> out;
+  ASSERT_TRUE(a.AllocateBlocks(8, &out));
+  std::vector<PhysExtent> more;
+  EXPECT_FALSE(a.AllocateBlocks(1, &more));
+  EXPECT_TRUE(more.empty());
+  EXPECT_EQ(a.Allocate(1).count, 0u);
+}
+
+TEST(Allocator, PartialGrantFromAllocate) {
+  BlockAllocator a(0, 16);
+  a.Allocate(16);
+  a.Free({4, 2});
+  PhysExtent e = a.Allocate(8);  // Only a 2-run exists.
+  EXPECT_EQ(e.start, 4u);
+  EXPECT_EQ(e.count, 2u);
+}
+
+// Property: allocation never double-grants and Free+Allocate conserves blocks.
+TEST(AllocatorProperty, ConservationUnderChurn) {
+  common::Rng rng(7);
+  BlockAllocator a(50, 500);
+  std::vector<PhysExtent> held;
+  for (int iter = 0; iter < 3000; ++iter) {
+    if (held.empty() || rng.OneIn(2)) {
+      PhysExtent e = a.Allocate(1 + rng.Uniform(16));
+      if (e.count > 0) {
+        for (uint64_t b = e.start; b < e.start + e.count; ++b) {
+          EXPECT_TRUE(a.IsAllocated(b));
+        }
+        held.push_back(e);
+      }
+    } else {
+      size_t idx = rng.Uniform(held.size());
+      a.Free(held[idx]);
+      held.erase(held.begin() + idx);
+    }
+    uint64_t held_blocks = 0;
+    for (const auto& e : held) {
+      held_blocks += e.count;
+    }
+    EXPECT_EQ(a.FreeBlocks(), 500 - held_blocks);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Unit tests for the collection-of-mmaps cache and the staging-file pool.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/mmap_cache.h"
+#include "src/core/staging.h"
+
+namespace {
+
+using common::kBlockSize;
+using common::kMiB;
+
+class MmapCacheTest : public ::testing::Test {
+ protected:
+  MmapCacheTest() : dev_(&ctx_, 256 * kMiB), kfs_(&dev_), cache_(&kfs_, 2 * kMiB) {}
+
+  int MakeFile(const std::string& path, uint64_t bytes) {
+    int fd = kfs_.Open(path, vfs::kRdWr | vfs::kCreate);
+    std::vector<uint8_t> buf(bytes, 0xAB);
+    kfs_.Pwrite(fd, buf.data(), bytes, 0);
+    return fd;
+  }
+
+  sim::Context ctx_;
+  pmem::Device dev_;
+  ext4sim::Ext4Dax kfs_;
+  splitfs::MmapCache cache_;
+};
+
+TEST_F(MmapCacheTest, TranslateMissThenHit) {
+  int fd = MakeFile("/a", 64 * 1024);
+  vfs::Ino ino = kfs_.InoOf(fd);
+  EXPECT_FALSE(cache_.Translate(ino, 0).has_value());
+  ASSERT_TRUE(cache_.EnsureRegion(ino, fd, 0));
+  auto hit = cache_.Translate(ino, 4096);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(hit->len, 0u);
+  // The translation points at the file's real blocks.
+  std::vector<ext4sim::Ext4Dax::DaxMapping> maps;
+  kfs_.DaxMap(fd, 4096, 64, &maps);
+  ASSERT_FALSE(maps.empty());
+  EXPECT_EQ(hit->dev_off, maps[0].dev_off);
+}
+
+TEST_F(MmapCacheTest, RegionCreationChargesMmapAndHugeFault) {
+  int fd = MakeFile("/b", 64 * 1024);
+  vfs::Ino ino = kfs_.InoOf(fd);
+  uint64_t t0 = ctx_.clock.Now();
+  uint64_t faults0 = ctx_.stats.page_faults();
+  cache_.EnsureRegion(ino, fd, 0);
+  EXPECT_GE(ctx_.clock.Now() - t0,
+            ctx_.model.mmap_syscall_ns + ctx_.model.huge_page_fault_ns);
+  EXPECT_EQ(ctx_.stats.page_faults() - faults0, 1u);  // One 2 MB huge page.
+  // Second call: cached, near-free.
+  t0 = ctx_.clock.Now();
+  cache_.EnsureRegion(ino, fd, 4096);
+  EXPECT_LT(ctx_.clock.Now() - t0, 100u);
+}
+
+TEST_F(MmapCacheTest, InsertPiecesIsFreeAndMerges) {
+  vfs::Ino ino = 42;
+  cache_.InsertPieces(ino, {{0, 1 * kMiB, 4096}});
+  cache_.InsertPieces(ino, {{4096, 1 * kMiB + 4096, 4096}});  // Contiguous.
+  auto hit = cache_.Translate(ino, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->len, 8192u);  // Merged into one piece: one latency class per run.
+}
+
+TEST_F(MmapCacheTest, NonContiguousPiecesStaySeparate) {
+  vfs::Ino ino = 43;
+  cache_.InsertPieces(ino, {{0, 1 * kMiB, 4096}});
+  cache_.InsertPieces(ino, {{4096, 9 * kMiB, 4096}});  // Device-discontiguous.
+  auto hit = cache_.Translate(ino, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->len, 4096u);
+  auto hit2 = cache_.Translate(ino, 4096);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_EQ(hit2->dev_off, 9 * kMiB);
+}
+
+TEST_F(MmapCacheTest, OverlappingInsertKeepsExistingAuthoritative) {
+  vfs::Ino ino = 44;
+  cache_.InsertPieces(ino, {{0, 1 * kMiB, 8192}});
+  cache_.InsertPieces(ino, {{4096, 5 * kMiB, 8192}});  // Overlaps [4096, 8192).
+  auto hit = cache_.Translate(ino, 4096);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->dev_off, 1 * kMiB + 4096);  // Original mapping untouched.
+  auto tail = cache_.Translate(ino, 8192);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->dev_off, 5 * kMiB + 4096);  // New data beyond the overlap.
+}
+
+TEST_F(MmapCacheTest, InvalidateRangeSplitsPieces) {
+  vfs::Ino ino = 45;
+  cache_.InsertPieces(ino, {{0, 1 * kMiB, 3 * 4096}});
+  cache_.InvalidateRange(ino, 4096, 4096);  // Carve the middle block out.
+  EXPECT_TRUE(cache_.Translate(ino, 0).has_value());
+  EXPECT_FALSE(cache_.Translate(ino, 4096).has_value());
+  auto right = cache_.Translate(ino, 8192);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->dev_off, 1 * kMiB + 8192);
+}
+
+TEST_F(MmapCacheTest, InvalidateFileChargesMunmapPerRegion) {
+  int fd = MakeFile("/c", 6 * kMiB);
+  vfs::Ino ino = kfs_.InoOf(fd);
+  cache_.EnsureRegion(ino, fd, 0);
+  cache_.EnsureRegion(ino, fd, 2 * kMiB);
+  cache_.EnsureRegion(ino, fd, 4 * kMiB);
+  uint64_t t0 = ctx_.clock.Now();
+  cache_.InvalidateFile(ino);
+  EXPECT_GE(ctx_.clock.Now() - t0, 3 * ctx_.model.munmap_ns);
+  EXPECT_FALSE(cache_.Translate(ino, 0).has_value());
+}
+
+class StagingTest : public ::testing::Test {
+ protected:
+  StagingTest() : dev_(&ctx_, 256 * kMiB), kfs_(&dev_), cache_(&kfs_, 2 * kMiB) {
+    opts_.num_staging_files = 2;
+    opts_.staging_file_bytes = 4 * kMiB;
+    pool_ = std::make_unique<splitfs::StagingPool>(&kfs_, &cache_, opts_, "t");
+  }
+
+  sim::Context ctx_;
+  pmem::Device dev_;
+  ext4sim::Ext4Dax kfs_;
+  splitfs::MmapCache cache_;
+  splitfs::Options opts_;
+  std::unique_ptr<splitfs::StagingPool> pool_;
+};
+
+TEST_F(StagingTest, AllocationsHonorBlockAlignmentModulus) {
+  std::vector<splitfs::StagingAlloc> a;
+  ASSERT_TRUE(pool_->Allocate(100, /*align_mod=*/0, &a));
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].staging_off % kBlockSize, 0u);
+
+  std::vector<splitfs::StagingAlloc> b;
+  ASSERT_TRUE(pool_->Allocate(100, /*align_mod=*/700, &b));
+  EXPECT_EQ(b[0].staging_off % kBlockSize, 700u);
+  // The new allocation never shares a block with the previous one.
+  EXPECT_GE(b[0].staging_off, common::AlignUp(a[0].staging_off + a[0].len, kBlockSize));
+}
+
+TEST_F(StagingTest, ExtendInPlaceOnlyAtBumpPointer) {
+  std::vector<splitfs::StagingAlloc> a;
+  ASSERT_TRUE(pool_->Allocate(4096, 0, &a));
+  splitfs::StagingAlloc alloc = a[0];
+  EXPECT_TRUE(pool_->ExtendInPlace(&alloc, 4096));
+  EXPECT_EQ(alloc.len, 8192u);
+  // After another allocation intervenes, extension must fail.
+  std::vector<splitfs::StagingAlloc> c;
+  ASSERT_TRUE(pool_->Allocate(4096, 0, &c));
+  EXPECT_FALSE(pool_->ExtendInPlace(&alloc, 4096));
+}
+
+TEST_F(StagingTest, ExhaustionTriggersBackgroundReplenishment) {
+  std::vector<splitfs::StagingAlloc> a;
+  // Consume more than both initial files.
+  ASSERT_TRUE(pool_->Allocate(9 * kMiB, 0, &a));
+  EXPECT_GT(pool_->FilesCreated(), 2u);
+  EXPECT_GT(pool_->BackgroundCreations(), 0u);
+  // Every returned piece is within a staging file's pre-allocated range.
+  for (const auto& piece : a) {
+    EXPECT_LE(piece.staging_off + piece.len, opts_.staging_file_bytes);
+    EXPECT_GT(piece.len, 0u);
+  }
+}
+
+TEST_F(StagingTest, BackgroundCreationDoesNotAdvanceForegroundClock) {
+  std::vector<splitfs::StagingAlloc> a;
+  ASSERT_TRUE(pool_->Allocate(4 * kMiB - 4096, 0, &a));  // Nearly drain file 1.
+  uint64_t t0 = ctx_.clock.Now();
+  std::vector<splitfs::StagingAlloc> b;
+  ASSERT_TRUE(pool_->Allocate(8192, 0, &b));  // Crosses into file 2 + replenish.
+  // The replenishment (create + fallocate + map of a 4 MB file) would cost far more
+  // than this if charged to the foreground.
+  EXPECT_LT(ctx_.clock.Now() - t0, 50000u);
+  EXPECT_GT(pool_->BackgroundCreations(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Tests for the emulated PM device: persistence semantics, crash rollback, timing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/pmem/device.h"
+
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  sim::Context ctx_;
+  pmem::Device dev_{&ctx_, 16 * common::kMiB};
+};
+
+TEST_F(DeviceTest, StoreLoadRoundTrip) {
+  std::vector<uint8_t> src(4096);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<uint8_t>(i);
+  }
+  dev_.StoreNt(8192, src.data(), src.size(), sim::PmWriteKind::kUserData);
+  std::vector<uint8_t> dst(4096);
+  dev_.Load(8192, dst.data(), dst.size(), /*sequential=*/true, /*user_data=*/true);
+  EXPECT_EQ(src, dst);
+}
+
+TEST_F(DeviceTest, NtWrite4kCostsAnchor) {
+  // Table 1 anchor: a 4 KB non-temporal write costs ~671 ns.
+  std::vector<uint8_t> buf(4096, 7);
+  uint64_t t0 = ctx_.clock.Now();
+  dev_.StoreNt(0, buf.data(), buf.size(), sim::PmWriteKind::kUserData);
+  uint64_t cost = ctx_.clock.Now() - t0;
+  EXPECT_NEAR(static_cast<double>(cost), 671.0, 25.0);
+}
+
+TEST_F(DeviceTest, ReadLatencyClasses) {
+  std::vector<uint8_t> buf(64);
+  uint64_t t0 = ctx_.clock.Now();
+  dev_.Load(0, buf.data(), 64, /*sequential=*/true, false);
+  uint64_t seq = ctx_.clock.Now() - t0;
+  t0 = ctx_.clock.Now();
+  dev_.Load(1 * common::kMiB, buf.data(), 64, /*sequential=*/false, false);
+  uint64_t rand = ctx_.clock.Now() - t0;
+  EXPECT_GT(rand, seq);  // Table 2: random loads are slower.
+}
+
+TEST_F(DeviceTest, StatsBucketsByKind) {
+  std::vector<uint8_t> buf(4096, 1);
+  dev_.StoreNt(0, buf.data(), 4096, sim::PmWriteKind::kUserData);
+  dev_.StoreNt(4096, buf.data(), 4096, sim::PmWriteKind::kJournal);
+  dev_.StoreNt(8192, buf.data(), 64, sim::PmWriteKind::kLog);
+  dev_.StoreNt(12288, buf.data(), 128, sim::PmWriteKind::kMetadata);
+  EXPECT_EQ(ctx_.stats.data_bytes(), 4096u);
+  EXPECT_EQ(ctx_.stats.journal_bytes(), 4096u);
+  EXPECT_EQ(ctx_.stats.log_bytes(), 64u);
+  EXPECT_EQ(ctx_.stats.metadata_bytes(), 128u);
+  EXPECT_EQ(ctx_.stats.pm_write_bytes(), 4096u + 4096 + 64 + 128);
+  EXPECT_GT(ctx_.stats.data_media_ns(), 0u);
+}
+
+TEST_F(DeviceTest, CrashRevertsUnfencedNtStore) {
+  dev_.EnableCrashTracking(true);
+  uint32_t v = 0xDEADBEEF;
+  dev_.StoreNt(128, &v, sizeof(v), sim::PmWriteKind::kUserData);
+  EXPECT_GT(dev_.UnpersistedLines(), 0u);
+  dev_.Crash();  // No fence: the store never reached its persistence point.
+  uint32_t back = 1;
+  dev_.Load(128, &back, sizeof(back), true, false);
+  EXPECT_EQ(back, 0u);
+}
+
+TEST_F(DeviceTest, FenceMakesNtStoreDurable) {
+  dev_.EnableCrashTracking(true);
+  uint32_t v = 0xDEADBEEF;
+  dev_.StoreNt(128, &v, sizeof(v), sim::PmWriteKind::kUserData);
+  dev_.Fence();
+  EXPECT_EQ(dev_.UnpersistedLines(), 0u);
+  dev_.Crash();
+  uint32_t back = 0;
+  dev_.Load(128, &back, sizeof(back), true, false);
+  EXPECT_EQ(back, 0xDEADBEEFu);
+}
+
+TEST_F(DeviceTest, TemporalStoreNeedsClwbAndFence) {
+  dev_.EnableCrashTracking(true);
+  uint32_t v = 0x12345678;
+
+  // Store alone: lost.
+  dev_.StoreTemporal(0, &v, sizeof(v), sim::PmWriteKind::kUserData);
+  dev_.Crash();
+  uint32_t back = 1;
+  dev_.Load(0, &back, sizeof(back), true, false);
+  EXPECT_EQ(back, 0u);
+
+  // Store + clwb, no fence: still lost (deterministic model: only fences persist).
+  dev_.StoreTemporal(0, &v, sizeof(v), sim::PmWriteKind::kUserData);
+  dev_.Clwb(0, sizeof(v));
+  dev_.Crash();
+  dev_.Load(0, &back, sizeof(back), true, false);
+  EXPECT_EQ(back, 0u);
+
+  // Full sequence: durable.
+  dev_.StoreTemporal(0, &v, sizeof(v), sim::PmWriteKind::kUserData);
+  dev_.Clwb(0, sizeof(v));
+  dev_.Fence();
+  dev_.Crash();
+  dev_.Load(0, &back, sizeof(back), true, false);
+  EXPECT_EQ(back, 0x12345678u);
+}
+
+TEST_F(DeviceTest, CrashPreservesOldContents) {
+  dev_.EnableCrashTracking(true);
+  uint64_t old_val = 0xAAAAAAAAAAAAAAAAull;
+  dev_.StoreNt(256, &old_val, 8, sim::PmWriteKind::kUserData);
+  dev_.Fence();
+  uint64_t new_val = 0xBBBBBBBBBBBBBBBBull;
+  dev_.StoreNt(256, &new_val, 8, sim::PmWriteKind::kUserData);  // Unfenced overwrite.
+  dev_.Crash();
+  uint64_t back = 0;
+  dev_.Load(256, &back, 8, true, false);
+  EXPECT_EQ(back, old_val);  // Rolls back to the last persisted value, not zero.
+}
+
+TEST_F(DeviceTest, TornCrashPersistsRandomSubset) {
+  dev_.EnableCrashTracking(true);
+  // Write 64 lines without a fence, then crash with torn-write simulation.
+  std::vector<uint8_t> buf(64 * 64, 0xFF);
+  dev_.StoreNt(0, buf.data(), buf.size(), sim::PmWriteKind::kUserData);
+  common::Rng rng(123);
+  dev_.Crash(&rng);
+  std::vector<uint8_t> back(buf.size());
+  dev_.Load(0, back.data(), back.size(), true, false);
+  int survived = 0, lost = 0;
+  for (int line = 0; line < 64; ++line) {
+    if (back[line * 64] == 0xFF) {
+      ++survived;
+    } else {
+      ++lost;
+    }
+  }
+  EXPECT_GT(survived, 0);  // Some lines made it out of the cache...
+  EXPECT_GT(lost, 0);      // ...and some did not: a torn write.
+}
+
+TEST_F(DeviceTest, TrackingDisabledSkipsShadowing) {
+  std::vector<uint8_t> buf(4096, 3);
+  dev_.StoreNt(0, buf.data(), buf.size(), sim::PmWriteKind::kUserData);
+  EXPECT_EQ(dev_.UnpersistedLines(), 0u);  // No shadow images kept.
+}
+
+TEST_F(DeviceTest, RewindSupportsBackgroundAttribution) {
+  uint64_t t0 = ctx_.clock.Now();
+  ctx_.clock.Advance(1000);
+  ctx_.clock.Rewind(1000);
+  EXPECT_EQ(ctx_.clock.Now(), t0);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Tests for the POSIX facade: flag translation, errno conventions, iovec calls,
+// openat/unlinkat resolution, and the stdio-style buffered streams — the surface the
+// paper's LD_PRELOAD shim exposes to unmodified applications.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/posix_api.h"
+
+namespace {
+
+using common::kMiB;
+
+class PosixApiTest : public ::testing::Test {
+ protected:
+  PosixApiTest() : dev_(&ctx_, 512 * kMiB), kfs_(&dev_) {
+    splitfs::Options o;
+    o.num_staging_files = 2;
+    o.staging_file_bytes = 8 * kMiB;
+    fs_ = std::make_unique<splitfs::SplitFs>(&kfs_, o);
+    posix_ = std::make_unique<splitfs::Posix>(fs_.get());
+  }
+
+  sim::Context ctx_;
+  pmem::Device dev_;
+  ext4sim::Ext4Dax kfs_;
+  std::unique_ptr<splitfs::SplitFs> fs_;
+  std::unique_ptr<splitfs::Posix> posix_;
+};
+
+TEST_F(PosixApiTest, OpenFlagsTranslate) {
+  int fd = posix_->open("/f", O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(posix_->close(fd), 0);
+  // O_EXCL on existing file fails with EEXIST.
+  errno = 0;
+  EXPECT_EQ(posix_->open("/f", O_RDWR | O_CREAT | O_EXCL), -1);
+  EXPECT_EQ(errno, EEXIST);
+  // Missing file without O_CREAT: ENOENT.
+  errno = 0;
+  EXPECT_EQ(posix_->open("/missing", O_RDONLY), -1);
+  EXPECT_EQ(errno, ENOENT);
+}
+
+TEST_F(PosixApiTest, PwritePreadRoundTrip) {
+  int fd = posix_->open("/rw", O_RDWR | O_CREAT);
+  std::string msg = "the quick brown fox";
+  EXPECT_EQ(posix_->pwrite(fd, msg.data(), msg.size(), 0),
+            static_cast<ssize_t>(msg.size()));
+  std::vector<char> buf(msg.size());
+  EXPECT_EQ(posix_->pread64(fd, buf.data(), buf.size(), 0),
+            static_cast<ssize_t>(buf.size()));
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), msg);
+  EXPECT_EQ(posix_->fsync(fd), 0);
+  posix_->close(fd);
+}
+
+TEST_F(PosixApiTest, AppendFlagAndLseek) {
+  int fd = posix_->open("/app", O_WRONLY | O_CREAT | O_APPEND);
+  posix_->write(fd, "aaa", 3);
+  posix_->write(fd, "bbb", 3);
+  posix_->close(fd);
+  fd = posix_->open("/app", O_RDONLY);
+  EXPECT_EQ(posix_->lseek(fd, -3, SEEK_END), 3);
+  char buf[4] = {};
+  posix_->read(fd, buf, 3);
+  EXPECT_STREQ(buf, "bbb");
+  EXPECT_EQ(posix_->lseek(fd, 0, SEEK_CUR), 6);
+  posix_->close(fd);
+}
+
+TEST_F(PosixApiTest, ReadvWritevGatherScatter) {
+  int fd = posix_->open("/vec", O_RDWR | O_CREAT);
+  char a[] = "hello ";
+  char b[] = "vector world";
+  struct iovec out[2] = {{a, 6}, {b, 12}};
+  EXPECT_EQ(posix_->writev(fd, out, 2), 18);
+  posix_->lseek(fd, 0, SEEK_SET);
+  char x[6], y[12];
+  struct iovec in[2] = {{x, 6}, {y, 12}};
+  EXPECT_EQ(posix_->readv(fd, in, 2), 18);
+  EXPECT_EQ(0, std::memcmp(x, "hello ", 6));
+  EXPECT_EQ(0, std::memcmp(y, "vector world", 12));
+  posix_->close(fd);
+}
+
+TEST_F(PosixApiTest, StatFamilies) {
+  int fd = posix_->open("/st", O_RDWR | O_CREAT);
+  posix_->pwrite(fd, "12345", 5, 0);
+  struct stat st;
+  ASSERT_EQ(posix_->fstat(fd, &st), 0);
+  EXPECT_EQ(st.st_size, 5);
+  EXPECT_TRUE(S_ISREG(st.st_mode));
+  ASSERT_EQ(posix_->stat("/st", &st), 0);
+  EXPECT_EQ(st.st_size, 5);
+  EXPECT_EQ(posix_->access("/st", R_OK), 0);
+  errno = 0;
+  EXPECT_EQ(posix_->access("/nope", R_OK), -1);
+  EXPECT_EQ(errno, ENOENT);
+  posix_->close(fd);
+  posix_->mkdir("/adir", 0755);
+  ASSERT_EQ(posix_->stat("/adir", &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+}
+
+TEST_F(PosixApiTest, OpenatResolvesRelativeToDirFd) {
+  ASSERT_EQ(posix_->mkdir("/sub", 0755), 0);
+  int dfd = posix_->open("/sub", O_RDONLY | O_DIRECTORY);
+  ASSERT_GE(dfd, 0);
+  int fd = posix_->openat(dfd, "child", O_RDWR | O_CREAT);
+  ASSERT_GE(fd, 0);
+  posix_->write(fd, "x", 1);
+  posix_->close(fd);
+  struct stat st;
+  EXPECT_EQ(posix_->stat("/sub/child", &st), 0);
+  EXPECT_EQ(posix_->unlinkat(dfd, "child", 0), 0);
+  EXPECT_EQ(posix_->stat("/sub/child", &st), -1);
+  EXPECT_EQ(posix_->close(dfd), 0);
+  EXPECT_EQ(posix_->unlinkat(AT_FDCWD, "/sub", AT_REMOVEDIR), 0);
+}
+
+TEST_F(PosixApiTest, FtruncateAndFallocate) {
+  int fd = posix_->open("/sz", O_RDWR | O_CREAT);
+  posix_->pwrite(fd, "123456789", 9, 0);
+  EXPECT_EQ(posix_->ftruncate64(fd, 4), 0);
+  struct stat st;
+  posix_->fstat(fd, &st);
+  EXPECT_EQ(st.st_size, 4);
+  EXPECT_EQ(posix_->posix_fallocate(fd, 0, 64 * 1024), 0);
+  posix_->fstat(fd, &st);
+  EXPECT_EQ(st.st_size, 64 * 1024);
+  posix_->close(fd);
+}
+
+TEST_F(PosixApiTest, DupSharesOffsetLikePosix) {
+  int fd = posix_->open("/d", O_RDWR | O_CREAT);
+  posix_->write(fd, "abcd", 4);
+  posix_->lseek(fd, 0, SEEK_SET);
+  int fd2 = posix_->dup(fd);
+  char c;
+  posix_->read(fd, &c, 1);
+  EXPECT_EQ(c, 'a');
+  posix_->read(fd2, &c, 1);
+  EXPECT_EQ(c, 'b');
+  posix_->close(fd);
+  posix_->close(fd2);
+}
+
+TEST_F(PosixApiTest, StdioStreamsBufferAndFlush) {
+  splitfs::PosixFile* f = posix_->fopen("/stream.txt", "w");
+  ASSERT_NE(f, nullptr);
+  std::string line = "line of text\n";
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(posix_->fwrite(line.data(), 1, line.size(), f), line.size());
+  }
+  // Buffered: the file may be shorter than the logical position until fflush.
+  EXPECT_EQ(posix_->ftell(f), static_cast<long>(100 * line.size()));
+  ASSERT_EQ(posix_->fflush(f), 0);
+  struct stat st;
+  posix_->stat("/stream.txt", &st);
+  EXPECT_EQ(st.st_size, static_cast<off_t>(100 * line.size()));
+  ASSERT_EQ(posix_->fclose(f), 0);
+
+  f = posix_->fopen("/stream.txt", "r");
+  ASSERT_NE(f, nullptr);
+  std::vector<char> buf(line.size());
+  ASSERT_EQ(posix_->fread(buf.data(), 1, buf.size(), f), buf.size());
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), line);
+  ASSERT_EQ(posix_->fseek(f, -static_cast<long>(line.size()), SEEK_END), 0);
+  ASSERT_EQ(posix_->fread(buf.data(), 1, buf.size(), f), buf.size());
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), line);
+  posix_->fclose(f);
+}
+
+TEST_F(PosixApiTest, StdioAppendMode) {
+  splitfs::PosixFile* f = posix_->fopen("/log", "a");
+  ASSERT_NE(f, nullptr);
+  posix_->fwrite("one", 1, 3, f);
+  posix_->fclose(f);
+  f = posix_->fopen("/log", "a");
+  posix_->fwrite("two", 1, 3, f);
+  posix_->fclose(f);
+  struct stat st;
+  posix_->stat("/log", &st);
+  EXPECT_EQ(st.st_size, 6);
+  f = posix_->fopen("/log", "r");
+  char buf[7] = {};
+  posix_->fread(buf, 1, 6, f);
+  EXPECT_STREQ(buf, "onetwo");
+  posix_->fclose(f);
+}
+
+TEST_F(PosixApiTest, RenameUnlinkErrnoConventions) {
+  errno = 0;
+  EXPECT_EQ(posix_->unlink("/ghost"), -1);
+  EXPECT_EQ(errno, ENOENT);
+  int fd = posix_->open("/r1", O_RDWR | O_CREAT);
+  posix_->close(fd);
+  EXPECT_EQ(posix_->rename("/r1", "/r2"), 0);
+  struct stat st;
+  EXPECT_EQ(posix_->stat("/r2", &st), 0);
+  EXPECT_EQ(posix_->unlink("/r2"), 0);
+}
+
+}  // namespace

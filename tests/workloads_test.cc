@@ -1,0 +1,218 @@
+// Tests for the workload generators: determinism, mix ratios, and cross-FS state
+// equivalence of the utility workloads (git/tar/rsync leave identical trees on ext4
+// and SplitFS — the §5.3 correctness check applied to the metadata-heavy drivers).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/kv_lsm.h"
+#include "src/common/bytes.h"
+#include "src/core/split_fs.h"
+#include "src/workloads/microbench.h"
+#include "src/workloads/tpcc_lite.h"
+#include "src/workloads/utilities.h"
+#include "src/workloads/ycsb.h"
+
+namespace {
+
+using common::kBlockSize;
+using common::kMiB;
+
+TEST(YcsbTest, LoadPopulatesAllRecords) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 512 * kMiB);
+  ext4sim::Ext4Dax fs(&dev);
+  apps::KvLsm kv(&fs, "/db");
+  wl::YcsbConfig cfg;
+  cfg.record_count = 500;
+  cfg.op_count = 100;
+  cfg.value_bytes = 64;
+  wl::Ycsb ycsb(&kv, cfg);
+  auto load = ycsb.Load(&ctx.clock);
+  EXPECT_EQ(load.ops, 500u);
+  EXPECT_GT(load.sim_ns, 0u);
+  // Every loaded key resolves.
+  EXPECT_TRUE(kv.Get("user0000000000000000").has_value());
+  EXPECT_TRUE(kv.Get("user0000000000000499").has_value());
+  EXPECT_FALSE(kv.Get("user0000000000000500").has_value());
+}
+
+TEST(YcsbTest, RunsAllMixes) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 512 * kMiB);
+  ext4sim::Ext4Dax fs(&dev);
+  apps::KvLsmOptions kopts;
+  kopts.clock = &ctx.clock;  // Read-only mixes on a memtable-resident dataset would
+  apps::KvLsm kv(&fs, "/db", kopts);  // otherwise advance no simulated time at all.
+  wl::YcsbConfig cfg;
+  cfg.record_count = 300;
+  cfg.op_count = 200;
+  cfg.value_bytes = 64;
+  cfg.scan_max_len = 10;
+  wl::Ycsb ycsb(&kv, cfg);
+  ycsb.Load(&ctx.clock);
+  for (auto w : {wl::YcsbWorkload::kA, wl::YcsbWorkload::kB, wl::YcsbWorkload::kC,
+                 wl::YcsbWorkload::kD, wl::YcsbWorkload::kE, wl::YcsbWorkload::kF}) {
+    auto r = ycsb.Run(w, &ctx.clock);
+    EXPECT_EQ(r.ops, 200u) << wl::YcsbName(w);
+    EXPECT_GT(r.Kops(), 0.0) << wl::YcsbName(w);
+  }
+}
+
+TEST(YcsbTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Context ctx;
+    pmem::Device dev(&ctx, 512 * kMiB);
+    ext4sim::Ext4Dax fs(&dev);
+    apps::KvLsm kv(&fs, "/db");
+    wl::YcsbConfig cfg;
+    cfg.record_count = 200;
+    cfg.op_count = 300;
+    cfg.value_bytes = 64;
+    wl::Ycsb ycsb(&kv, cfg);
+    ycsb.Load(&ctx.clock);
+    ycsb.Run(wl::YcsbWorkload::kA, &ctx.clock);
+    return ctx.clock.Now();
+  };
+  EXPECT_EQ(run_once(), run_once());  // Same seed, same simulated time.
+}
+
+TEST(TpccTest, TransactionsCommitAndCount) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 512 * kMiB);
+  ext4sim::Ext4Dax fs(&dev);
+  apps::WalDb db(&fs, "/tpcc");
+  wl::TpccConfig cfg;
+  cfg.warehouses = 2;
+  wl::TpccLite tpcc(&db, cfg);
+  tpcc.Load(&ctx.clock);
+  auto r = tpcc.Run(300, &ctx.clock);
+  EXPECT_EQ(r.txns, 300u);
+  EXPECT_GT(r.Ktps(), 0.0);
+  // The standard mix has ~45% New-Order.
+  EXPECT_GT(tpcc.NewOrders(), 90u);
+  EXPECT_LT(tpcc.NewOrders(), 200u);
+}
+
+TEST(VarmailTest, MeasuresEverySyscallClass) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 512 * kMiB);
+  ext4sim::Ext4Dax fs(&dev);
+  auto lat = wl::RunVarmail(&fs, &ctx.clock, 20, "/vm");
+  for (const char* call : {"open", "close", "append", "fsync", "read", "unlink"}) {
+    ASSERT_TRUE(lat.mean_ns.count(call)) << call;
+    EXPECT_GT(lat.mean_ns[call], 0.0) << call;
+  }
+  // Sanity: ext4 fsync (journal commit + barrier) dwarfs close.
+  EXPECT_GT(lat.mean_ns["fsync"], lat.mean_ns["close"]);
+}
+
+TEST(MicrobenchTest, AppendWritesExpectedBytes) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 512 * kMiB);
+  ext4sim::Ext4Dax fs(&dev);
+  auto r = wl::RunAppend(&fs, &ctx.clock, "/a", 1 * kMiB, kBlockSize, 10);
+  EXPECT_EQ(r.ops, 256u);
+  EXPECT_EQ(r.bytes, 1 * kMiB);
+  vfs::StatBuf st;
+  ASSERT_EQ(fs.Stat("/a", &st), 0);
+  EXPECT_EQ(st.size, 1 * kMiB);
+}
+
+TEST(MicrobenchTest, ReadsRequirePreparedFile) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 512 * kMiB);
+  ext4sim::Ext4Dax fs(&dev);
+  wl::PrepareFile(&fs, "/r", 2 * kMiB);
+  auto seq = wl::RunSeqRead(&fs, &ctx.clock, "/r", 2 * kMiB, kBlockSize);
+  EXPECT_EQ(seq.ops, 512u);
+  auto rnd = wl::RunRandRead(&fs, &ctx.clock, "/r", 2 * kMiB, kBlockSize, 100, 3);
+  EXPECT_EQ(rnd.ops, 100u);
+  // Random 4K reads are slower per op than streaming sequential reads.
+  EXPECT_GT(rnd.NsPerOp(), seq.NsPerOp());
+}
+
+class UtilityEquivalenceTest : public ::testing::Test {
+ protected:
+  // Runs `work` against both ext4 and SplitFS-POSIX worlds and compares the full
+  // resulting directory trees byte for byte.
+  template <typename Work>
+  void RunAndCompare(Work work) {
+    sim::Context ctx_a, ctx_b;
+    pmem::Device dev_a(&ctx_a, 768 * kMiB), dev_b(&ctx_b, 768 * kMiB);
+    ext4sim::Ext4Dax ext4(&dev_a);
+    ext4sim::Ext4Dax under(&dev_b);
+    splitfs::Options o;
+    o.num_staging_files = 2;
+    o.staging_file_bytes = 8 * kMiB;
+    splitfs::SplitFs split(&under, o);
+
+    work(static_cast<vfs::FileSystem*>(&ext4), &ctx_a.clock);
+    work(static_cast<vfs::FileSystem*>(&split), &ctx_b.clock);
+    CompareTrees(&ext4, &split, "/");
+  }
+
+  void CompareTrees(vfs::FileSystem* a, vfs::FileSystem* b, const std::string& dir) {
+    std::vector<std::string> names_a, names_b;
+    ASSERT_EQ(a->ReadDir(dir, &names_a), 0) << dir;
+    ASSERT_EQ(b->ReadDir(dir, &names_b), 0) << dir;
+    ASSERT_EQ(names_a, names_b) << dir;
+    for (const auto& name : names_a) {
+      std::string path = dir == "/" ? "/" + name : dir + "/" + name;
+      vfs::StatBuf sa, sb;
+      ASSERT_EQ(a->Stat(path, &sa), 0) << path;
+      ASSERT_EQ(b->Stat(path, &sb), 0) << path;
+      ASSERT_EQ(sa.type, sb.type) << path;
+      if (sa.type == vfs::FileType::kDirectory) {
+        CompareTrees(a, b, path);
+        continue;
+      }
+      ASSERT_EQ(sa.size, sb.size) << path;
+      int fa = a->Open(path, vfs::kRdOnly);
+      int fb = b->Open(path, vfs::kRdOnly);
+      ASSERT_GE(fa, 0) << path;
+      ASSERT_GE(fb, 0) << path;
+      std::vector<uint8_t> ba(sa.size), bb(sb.size);
+      if (sa.size > 0) {
+        ASSERT_EQ(a->Pread(fa, ba.data(), ba.size(), 0), static_cast<ssize_t>(ba.size()));
+        ASSERT_EQ(b->Pread(fb, bb.data(), bb.size(), 0), static_cast<ssize_t>(bb.size()));
+      }
+      EXPECT_EQ(ba, bb) << path;
+      a->Close(fa);
+      b->Close(fb);
+    }
+  }
+
+  wl::TreeSpec spec_ = [] {
+    wl::TreeSpec s;
+    s.dirs = 4;
+    s.files_per_dir = 6;
+    s.mean_file_bytes = 3000;
+    return s;
+  }();
+};
+
+TEST_F(UtilityEquivalenceTest, GitLeavesIdenticalState) {
+  RunAndCompare([this](vfs::FileSystem* fs, sim::Clock* clock) {
+    wl::BuildTree(fs, clock, "/src", spec_);
+    wl::RunGit(fs, clock, "/src", "/git", spec_, /*rounds=*/2);
+  });
+}
+
+TEST_F(UtilityEquivalenceTest, TarLeavesIdenticalState) {
+  RunAndCompare([this](vfs::FileSystem* fs, sim::Clock* clock) {
+    wl::BuildTree(fs, clock, "/src", spec_);
+    wl::RunTar(fs, clock, "/src", "/a.tar", spec_);
+  });
+}
+
+TEST_F(UtilityEquivalenceTest, RsyncLeavesIdenticalState) {
+  RunAndCompare([this](vfs::FileSystem* fs, sim::Clock* clock) {
+    wl::BuildTree(fs, clock, "/src", spec_);
+    wl::RunRsync(fs, clock, "/src", "/dst", spec_);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Configure, build, and test the whole tree.
+#
+#   scripts/check.sh                 # full suite, including the crash matrix
+#   scripts/check.sh -LE crash_matrix  # quick run: skip the full matrix
+#   scripts/check.sh -L crash_smoke    # only the crash smoke subset
+#
+# Extra arguments are forwarded to ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"

@@ -16,7 +16,10 @@ void LogEntry::Seal() {
 }
 
 bool LogEntry::ValidSealed() const {
-  if (seq == 0 || op == LogOp::kInvalid) {
+  // Structural validation first: recovery must never act on a slot whose fields it
+  // cannot trust, even if the checksum happens to collide. The checksum is the
+  // authority on tearing — a 64 B entry whose store only partially drained fails it.
+  if (seq == 0 || op == LogOp::kInvalid || op > LogOp::kRenameTo) {
     return false;
   }
   return checksum == common::Crc32c(reinterpret_cast<const uint8_t*>(this) + 4, 60);
@@ -111,8 +114,15 @@ std::vector<LogEntry> OpLog::ScanForRecovery() const {
     }
     // Nonzero but checksum-invalid: torn entry, discarded (§3.3).
   }
-  std::sort(out.begin(), out.end(),
-            [](const LogEntry& a, const LogEntry& b) { return a.seq < b.seq; });
+  // Stable sort: if corruption ever produces two checksum-valid entries with equal
+  // seq, the one in the earlier log slot deterministically wins on every platform.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LogEntry& a, const LogEntry& b) { return a.seq < b.seq; });
+  // The log writes each sequence number exactly once; a duplicate is corruption that
+  // slipped past the checksum (or a bug) and must not be replayed twice.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const LogEntry& a, const LogEntry& b) { return a.seq == b.seq; }),
+            out.end());
   return out;
 }
 

@@ -109,15 +109,26 @@ int SplitFs::Open(const std::string& path, int flags) {
     ctx_->ChargeSyscall();
     ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
     if ((flags & vfs::kTrunc) != 0) {
-      int rc = kfs_->Ftruncate(fs.kernel_fd, 0);
+      // Publish-then-truncate, mirroring Ftruncate: simply discarding the staged
+      // ranges would leave their op-log append entries valid and the staged blocks
+      // in place, so strict-mode crash recovery would resurrect the truncated
+      // data. Publishing first turns those staging ranges into holes replay skips.
+      int rc = PublishStaged(&fs);
       if (rc != 0) {
         return rc;
       }
-      fs.staged.clear();
+      rc = kfs_->Ftruncate(fs.kernel_fd, 0);
+      if (rc != 0) {
+        return rc;
+      }
       mmaps_.InvalidateRange(fs.ino, 0, std::max<uint64_t>(fs.size, kBlockSize));
       fs.size = 0;
       fs.kernel_size = 0;
       fs.metadata_dirty = true;
+      if (opts_.mode == Mode::kStrict) {
+        LogMetaOp(LogOp::kTruncate, fs.ino, 0);
+      }
+      MakeMetadataSynchronous(&fs);
     }
     ++fs.open_count;
     return fds_.Allocate(fs.ino, flags);
@@ -191,8 +202,14 @@ int SplitFs::Unlink(const std::string& path) {
     auto it = files_.find(cached->second);
     if (it != files_.end()) {
       FileState& fs = it->second;
-      // Staged-but-unpublished data dies with the file; mappings are unmapped here —
-      // this is what makes unlink SplitFS's most expensive call (Table 6).
+      // Staged-but-unpublished data dies with the file; the pool gets its bytes back
+      // and mappings are unmapped here — this is what makes unlink SplitFS's most
+      // expensive call (Table 6).
+      if (staging_) {
+        for (const auto& [off, r] : fs.staged) {
+          staging_->Release(r.alloc);
+        }
+      }
       fs.staged.clear();
       mmaps_.InvalidateFile(fs.ino);
       if (opts_.mode == Mode::kStrict) {
@@ -611,11 +628,13 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
   if (overwrite_len > 0) {
     ctx_->ChargeCpu(ctx_->model.usplit_data_op_cpu_ns);
   }
+  bool staged_updated = false;
   while (cur < ow_end) {
     // Bytes already staged (appended or COW-overwritten earlier) are updated in place
     // in the staging file.
     uint64_t staged_span = OverwriteStagedOverlap(fs, src, ow_end - cur, cur);
     if (staged_span > 0) {
+      staged_updated = true;
       src += staged_span;
       cur += staged_span;
       continue;
@@ -642,6 +661,12 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
     }
     src += span;
     cur += span;
+  }
+  if (staged_updated && opts_.mode == Mode::kStrict) {
+    // The updated staging bytes are already covered by an earlier op-log entry, so no
+    // new entry is needed — but strict mode acknowledges only durable data, and these
+    // stores would otherwise stay un-fenced until the next publish.
+    kfs_->device()->Fence();
   }
 
   // Append tail.
@@ -752,18 +777,26 @@ int SplitFs::PublishStaged(FileState* fs) {
   }
   // Drain pending non-temporal stores before making the data reachable.
   kfs_->device()->Fence();
-  for (auto& [file_off, r] : fs->staged) {
+  // Each range is erased as it publishes: a mid-publish failure must leave only the
+  // unpublished remainder staged, or the retry would relink — and Release — the
+  // already-published ranges a second time (double-releasing could retire a staging
+  // file other files still reference).
+  for (auto it = fs->staged.begin(); it != fs->staged.end();) {
+    const auto& [file_off, r] = *it;
     int rc = opts_.enable_relink ? RelinkRun(fs, file_off, r) : CopyStagedRun(fs, r);
     if (rc != 0) {
       return rc;
     }
     fs->kernel_size = std::max(fs->kernel_size, file_off + r.alloc.len);
+    if (staging_) {
+      staging_->Release(r.alloc);  // Published: the pool may retire consumed files.
+    }
+    it = fs->staged.erase(it);
   }
   if (opts_.enable_relink) {
     // One journal commit covers every relink of this publish (jbd2 batches handles).
     kfs_->CommitJournal(/*fsync_barrier=*/false);
   }
-  fs->staged.clear();
   fs->metadata_dirty = false;  // The commit covered the running transaction too.
   return 0;
 }
@@ -902,10 +935,25 @@ int SplitFs::Recover() {
   // earlier entry's whole-block relink would turn a later entry's staging range
   // into a hole mid-replay.
   std::vector<LogEntry> entries = oplog_->ScanForRecovery();
+  // Truncates are logged after publishing, so every data entry that precedes one is
+  // already committed (or legitimately gone). Its core relink would skip on holes,
+  // but the partial-block head copy would not — replaying it would resurrect bytes
+  // the truncate removed. Drop data entries older than the file's last truncate.
+  std::unordered_map<Ino, uint64_t> last_truncate_seq;
+  for (const LogEntry& e : entries) {
+    if (e.op == LogOp::kTruncate) {
+      uint64_t& seq = last_truncate_seq[e.target_ino];
+      seq = std::max(seq, e.seq);
+    }
+  }
   std::vector<LogEntry> runs;
   for (const LogEntry& e : entries) {
     if (e.op != LogOp::kAppend && e.op != LogOp::kOverwrite) {
       continue;  // Metadata ops were made durable by the kernel journal.
+    }
+    auto trunc = last_truncate_seq.find(e.target_ino);
+    if (trunc != last_truncate_seq.end() && trunc->second > e.seq) {
+      continue;
     }
     bool merged = false;
     for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
@@ -932,6 +980,18 @@ int SplitFs::Recover() {
         kfs_->Close(dst_fd);
       }
       continue;  // Target unlinked after logging; nothing to do.
+    }
+    // The checksum authenticated the 64 bytes of the entry, not the world it points
+    // at: never trust the recorded offsets/length beyond the staging file's actual
+    // bounds (a replay past EOF would relink unallocated blocks into the target).
+    // Overflow-safe form — these are exactly the fields an adversarial or
+    // bug-produced entry would wrap.
+    vfs::StatBuf src_st;
+    if (e.len == 0 || kfs_->Fstat(src_fd, &src_st) != 0 || e.len > src_st.size ||
+        e.staging_off > src_st.size - e.len || e.file_off + e.len < e.file_off) {
+      kfs_->Close(src_fd);
+      kfs_->Close(dst_fd);
+      continue;
     }
     uint64_t s = e.file_off;
     uint64_t end = e.file_off + e.len;

@@ -23,12 +23,18 @@ StagingPool::~StagingPool() {
       kfs_->Close(sf.fd);
     }
   }
+  for (auto& sf : consumed_) {
+    if (sf.fd >= 0) {
+      kfs_->Close(sf.fd);
+    }
+  }
 }
 
 bool StagingPool::CreateStageFile(bool background) {
   uint64_t t0 = ctx_->clock.Now();
   StageFile sf;
   std::string path = dir_ + "/s" + std::to_string(files_created_);
+  sf.path = path;
   sf.fd = kfs_->Open(path, vfs::kRdWr | vfs::kCreate);
   if (sf.fd < 0) {
     return false;
@@ -84,6 +90,7 @@ bool StagingPool::ExtendInPlace(StagingAlloc* a, uint64_t n) {
     if (a->staging_off >= m.file_off &&
         a->staging_off + a->len + n <= m.file_off + m.len) {
       sf.used += n;
+      sf.handed_out += n;
       a->len += n;
       return true;
     }
@@ -97,6 +104,38 @@ void StagingPool::MarkRelinked(vfs::Ino ino, uint64_t end_off) {
       sf.used = std::max(sf.used,
                          std::min(common::AlignUp(end_off, common::kBlockSize),
                                   opts_.staging_file_bytes));
+      return;
+    }
+  }
+}
+
+void StagingPool::Retire(StageFile* sf) {
+  // The namespace work (close + unlink of the dead staging file) happens on the
+  // paper's background thread: the work is real, the foreground clock doesn't pay.
+  uint64_t t0 = ctx_->clock.Now();
+  if (sf->fd >= 0) {
+    kfs_->Close(sf->fd);
+    sf->fd = -1;
+  }
+  kfs_->Unlink(sf->path);
+  ctx_->clock.Rewind(ctx_->clock.Now() - t0);
+  ++files_retired_;
+}
+
+void StagingPool::Release(const StagingAlloc& a) {
+  for (auto& sf : files_) {
+    if (sf.ino == a.staging_ino) {
+      sf.handed_out -= std::min(sf.handed_out, a.len);
+      return;  // Still in the allocation deque: never retired here.
+    }
+  }
+  for (auto it = consumed_.begin(); it != consumed_.end(); ++it) {
+    if (it->ino == a.staging_ino) {
+      it->handed_out -= std::min(it->handed_out, a.len);
+      if (it->handed_out == 0) {
+        Retire(&*it);
+        consumed_.erase(it);
+      }
       return;
     }
   }
@@ -121,8 +160,13 @@ bool StagingPool::Allocate(uint64_t len, uint64_t align_mod,
     uint64_t avail = opts_.staging_file_bytes - sf.used;
     if (avail == 0) {
       // Active file consumed: drop it from the pool and let the background thread
-      // replace it. The file and its fd stay alive — StagedRange records reference
-      // them until every staged byte has been relinked.
+      // replace it. The file and its fd stay alive only while StagedRange records
+      // still reference staged bytes in it; once those are released it is retired.
+      if (sf.handed_out == 0) {
+        Retire(&sf);
+      } else {
+        consumed_.push_back(std::move(sf));
+      }
       files_.pop_front();
       if (files_.empty()) {
         SPLITFS_CHECK(CreateStageFile(/*background=*/false));
@@ -143,6 +187,7 @@ bool StagingPool::Allocate(uint64_t len, uint64_t align_mod,
     }
     out->push_back({sf.ino, sf.fd, sf.used, dev_off, take});
     sf.used += take;
+    sf.handed_out += take;
     remaining -= take;
   }
   return true;
@@ -151,6 +196,9 @@ bool StagingPool::Allocate(uint64_t len, uint64_t align_mod,
 uint64_t StagingPool::MemoryUsageBytes() const {
   uint64_t total = sizeof(*this);
   for (const auto& sf : files_) {
+    total += sizeof(sf) + sf.mappings.size() * sizeof(ext4sim::Ext4Dax::DaxMapping);
+  }
+  for (const auto& sf : consumed_) {
     total += sizeof(sf) + sf.mappings.size() * sizeof(ext4sim::Ext4Dax::DaxMapping);
   }
   return total;

@@ -57,9 +57,22 @@ class StagingPool {
   // now belong to the target file).
   void MarkRelinked(vfs::Ino ino, uint64_t end_off);
 
+  // Returns a previously handed-out allocation: its bytes were published (relinked or
+  // copied into the target) or died with their file (unlink, truncate). Once every
+  // handed-out byte of a *consumed* staging file has been returned, the file is
+  // closed and unlinked — the out-of-band garbage collection a real restart performs
+  // on its runtime directory. Without this, a long-running instance leaks one open
+  // descriptor plus one dead file per consumed pool file.
+  void Release(const StagingAlloc& a);
+
   // Number of staging files created over the pool's lifetime (bench introspection).
   uint64_t FilesCreated() const { return files_created_; }
   uint64_t BackgroundCreations() const { return background_creations_; }
+  // Consumed files whose staged bytes were all released and that were deleted.
+  uint64_t FilesRetired() const { return files_retired_; }
+  // Files currently held by the pool: the active allocation deque plus consumed
+  // files still referenced by unpublished staged ranges.
+  uint64_t LiveFiles() const { return files_.size() + consumed_.size(); }
 
   uint64_t MemoryUsageBytes() const;
 
@@ -67,7 +80,9 @@ class StagingPool {
   struct StageFile {
     vfs::Ino ino = vfs::kInvalidIno;
     int fd = -1;
-    uint64_t used = 0;                 // Bump pointer.
+    std::string path;
+    uint64_t used = 0;        // Bump pointer.
+    uint64_t handed_out = 0;  // Bytes allocated to staged ranges, not yet released.
     std::vector<ext4sim::Ext4Dax::DaxMapping> mappings;
   };
 
@@ -76,15 +91,19 @@ class StagingPool {
   bool CreateStageFile(bool background);
   // Device offset backing `file_off` of `sf` (staging files are fully allocated).
   uint64_t DevOffsetOf(const StageFile& sf, uint64_t file_off) const;
+  // Closes + unlinks a fully-released consumed file, off the foreground clock.
+  void Retire(StageFile* sf);
 
   ext4sim::Ext4Dax* kfs_;
   MmapCache* mmaps_;
   sim::Context* ctx_;
   Options opts_;
   std::string dir_;
-  std::deque<StageFile> files_;  // Front = currently active.
+  std::deque<StageFile> files_;    // Front = currently active.
+  std::deque<StageFile> consumed_; // Fully bump-allocated, awaiting release of ranges.
   uint64_t files_created_ = 0;
   uint64_t background_creations_ = 0;
+  uint64_t files_retired_ = 0;
 };
 
 }  // namespace splitfs

@@ -1,0 +1,116 @@
+// Crash-point taxonomy and failure fates for the crash-consistency harness.
+//
+// A crash *point* says where in the persistence-instruction stream the power is cut:
+// at fence #k (before the fence persists anything) or immediately after store #n.
+// A crash *fate* says what happens to the stores that had not reached their
+// persistence point: dropped wholesale, an arbitrary seeded subset drained, or torn
+// at sub-cacheline granularity (modeling partial write-combining-buffer drain — this
+// is what produces torn 64 B op-log entries).
+//
+// point × fate = one crash state. The generator in crash_runner.cc sweeps both axes.
+#ifndef SRC_CRASH_CRASH_PLAN_H_
+#define SRC_CRASH_CRASH_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/pmem/device.h"
+
+namespace crash {
+
+// Thrown by CrashInjector to unwind out of the workload at the injected point. The
+// simulated machine loses power here: every piece of DRAM state above the device is
+// garbage from this moment on, and the harness discards it by running full recovery.
+struct CrashSignal {
+  uint64_t fence_epoch = 0;    // Fences completed when the crash hit.
+  uint64_t store_ordinal = 0;  // Stores issued when the crash hit.
+};
+
+struct CrashPoint {
+  enum class Trigger : uint8_t {
+    kAtFence,     // Power cut as fence #index issues, before it persists anything.
+    kAfterStore,  // Power cut right after store #index lands (mid-fence-interval).
+  };
+  Trigger trigger = Trigger::kAtFence;
+  uint64_t index = 0;
+
+  std::string Describe() const {
+    return (trigger == Trigger::kAtFence ? "fence#" : "store#") + std::to_string(index);
+  }
+};
+
+enum class FatePolicy : uint8_t {
+  kDropAll,  // No un-fenced store drained: the clean "everything volatile lost" image.
+  kSubset,   // Each un-fenced line survives whole with probability 1/2 (seeded).
+  kTorn,     // Each un-fenced line drains a seeded subset of its 8-byte chunks.
+};
+
+inline const char* FateName(FatePolicy f) {
+  switch (f) {
+    case FatePolicy::kDropAll:
+      return "drop-all";
+    case FatePolicy::kSubset:
+      return "subset";
+    case FatePolicy::kTorn:
+      return "torn";
+  }
+  return "?";
+}
+
+// Deterministic per-line fate for Device::CrashWith. The Rng is seeded per crash
+// state, and CrashWith visits lines in ascending order, so the materialized image is
+// a pure function of (workload, point, policy, seed).
+inline pmem::Device::LineFateFn MakeFate(FatePolicy policy, uint64_t seed) {
+  common::Rng rng(seed);
+  return [policy, rng](uint64_t /*line*/, uint64_t /*ordinal*/) mutable -> uint8_t {
+    switch (policy) {
+      case FatePolicy::kDropAll:
+        return 0x00;
+      case FatePolicy::kSubset:
+        return rng.OneIn(2) ? 0xFF : 0x00;
+      case FatePolicy::kTorn:
+        return static_cast<uint8_t>(rng.Next() & 0xFF);
+    }
+    return 0x00;
+  };
+}
+
+// Counts stores and fences; throws CrashSignal when the configured point is reached.
+// Install on the device for the injection run only — the record run uses ShadowLog.
+class CrashInjector : public pmem::DeviceObserver {
+ public:
+  explicit CrashInjector(CrashPoint point) : point_(point) {}
+
+  bool fired() const { return fired_; }
+
+  void OnStore(uint64_t, uint64_t, bool) override {
+    uint64_t ordinal = stores_++;
+    if (!fired_ && point_.trigger == CrashPoint::Trigger::kAfterStore &&
+        ordinal == point_.index) {
+      fired_ = true;
+      throw CrashSignal{fences_, stores_};
+    }
+  }
+
+  void OnClwb(uint64_t, uint64_t) override {}
+
+  void OnFence(uint64_t epoch) override {
+    fences_ = epoch + 1;
+    if (!fired_ && point_.trigger == CrashPoint::Trigger::kAtFence &&
+        epoch == point_.index) {
+      fired_ = true;
+      throw CrashSignal{epoch, stores_};
+    }
+  }
+
+ private:
+  CrashPoint point_;
+  uint64_t stores_ = 0;
+  uint64_t fences_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace crash
+
+#endif  // SRC_CRASH_CRASH_PLAN_H_

@@ -1,0 +1,193 @@
+#include "src/crash/oracles.h"
+
+#include <algorithm>
+#include <set>
+
+namespace crash {
+
+namespace {
+
+// Expected images rebuilt from the trace:
+//   V — contents after every acknowledged write (what a crash-free run would read);
+//   D — the durable floor: bytes recovery MUST reproduce, with a defined-mask
+//       (bytes outside any durable write have no requirement beyond integrity).
+struct ExpectedState {
+  std::vector<uint8_t> v;
+  std::vector<uint8_t> d;
+  std::vector<bool> d_defined;
+  uint64_t d_size = 0;    // Recovered size lower bound.
+  uint64_t u_size = 0;    // Recovered size upper bound (includes the in-flight op).
+  std::set<uint64_t> size_candidates;  // Legal publish-boundary sizes.
+  const FileEvent* inflight = nullptr;
+};
+
+void GrowTo(ExpectedState* st, uint64_t size) {
+  if (st->v.size() < size) {
+    st->v.resize(size, 0);
+  }
+  if (st->d.size() < size) {
+    st->d.resize(size, 0);
+    st->d_defined.resize(size, false);
+  }
+}
+
+ExpectedState ReplayTrace(const TraceFile& tf, const Guarantees& g) {
+  ExpectedState st;
+  st.size_candidates.insert(0);
+  uint64_t pub_size = 0;  // Size the kernel/durable namespace last published.
+  for (const FileEvent& e : tf.events) {
+    if (!e.acked) {
+      st.inflight = &e;
+      if (e.kind == FileEvent::Kind::kPublish) {
+        // The publish may have completed internally before the crash point.
+        st.size_candidates.insert(st.v.size());
+      }
+      continue;  // At most the last event is un-acked; nothing follows it.
+    }
+    if (e.kind == FileEvent::Kind::kWrite) {
+      GrowTo(&st, e.off + e.len);
+      for (uint64_t i = 0; i < e.len; ++i) {
+        uint64_t o = e.off + i;
+        uint8_t val = PatternByte(e.pattern, i);
+        st.v[o] = val;
+        // In-place overwrites below the published size are synchronous in every
+        // mode; everything is durable-on-ack when the system logs operations.
+        if (o < pub_size || g.acked_data_durable) {
+          st.d[o] = val;
+          st.d_defined[o] = true;
+        }
+      }
+      if (g.acked_data_durable) {
+        st.d_size = std::max(st.d_size, e.off + e.len);
+        st.size_candidates.insert(st.v.size());
+      }
+    } else {  // kPublish
+      st.d = st.v;
+      st.d_defined.assign(st.v.size(), true);
+      st.d_size = st.v.size();
+      pub_size = st.v.size();
+      st.size_candidates.insert(st.v.size());
+    }
+  }
+  st.u_size = st.v.size();
+  if (st.inflight != nullptr && st.inflight->kind == FileEvent::Kind::kWrite) {
+    st.u_size = std::max(st.u_size, st.inflight->off + st.inflight->len);
+  }
+  return st;
+}
+
+bool InflightCovers(const ExpectedState& st, uint64_t o) {
+  return st.inflight != nullptr && st.inflight->kind == FileEvent::Kind::kWrite &&
+         o >= st.inflight->off && o < st.inflight->off + st.inflight->len;
+}
+
+// Integrity: a recovered byte must be zero or a value some recorded write (acked or
+// in-flight) put at this offset. Anything else was fabricated by crash + recovery.
+bool ByteAllowed(const TraceFile& tf, uint64_t o, uint8_t got) {
+  if (got == 0) {
+    return true;
+  }
+  for (const FileEvent& e : tf.events) {
+    if (e.kind == FileEvent::Kind::kWrite && o >= e.off && o < e.off + e.len &&
+        got == PatternByte(e.pattern, o - e.off)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckFile(vfs::FileSystem* fs, const TraceFile& tf, const Guarantees& g,
+               OracleReport* report) {
+  ExpectedState st = ReplayTrace(tf, g);
+
+  // --- Existence / namespace ----------------------------------------------------------
+  std::vector<std::string> existing;
+  for (const std::string& path : tf.paths) {
+    vfs::StatBuf sb;
+    if (fs->Stat(path, &sb) == 0) {
+      existing.push_back(path);
+    }
+  }
+  bool must_exist = g.meta_sync_on_ack ? tf.create_acked : tf.ever_published_acked;
+  if (existing.empty()) {
+    if (must_exist) {
+      report->Problem(tf.create_path + ": durable file missing after recovery");
+    }
+    return;  // Legitimately rolled back before its creation was durable.
+  }
+  if (existing.size() > 1) {
+    report->Problem(tf.create_path + ": visible under " +
+                    std::to_string(existing.size()) + " names after recovery");
+    return;
+  }
+  const std::string& path = existing.front();
+  if (g.meta_sync_on_ack && tf.has_renames && tf.last_rename_acked &&
+      path != tf.current_path) {
+    report->Problem(tf.create_path + ": acknowledged rename lost (found at " + path +
+                    ", expected " + tf.current_path + ")");
+  }
+
+  // --- Size ---------------------------------------------------------------------------
+  vfs::StatBuf sb;
+  fs->Stat(path, &sb);
+  uint64_t size = sb.size;
+  bool range_legal = size >= st.d_size && size <= st.u_size;
+  bool boundary_legal = st.size_candidates.count(size) > 0;
+  bool size_ok = g.acked_data_durable || !g.append_sizes_at_publish_boundaries
+                     ? (range_legal || boundary_legal)
+                     : boundary_legal;
+  if (!size_ok) {
+    report->Problem(path + ": recovered size " + std::to_string(size) +
+                    " not a legal durable boundary (floor " +
+                    std::to_string(st.d_size) + ", ceiling " +
+                    std::to_string(st.u_size) + ")");
+    return;
+  }
+
+  // --- Contents -----------------------------------------------------------------------
+  int fd = fs->Open(path, vfs::kRdOnly);
+  if (fd < 0) {
+    report->Problem(path + ": open failed after recovery (rc=" + std::to_string(fd) +
+                    ")");
+    return;
+  }
+  std::vector<uint8_t> got(size);
+  ssize_t rc = size == 0 ? 0 : fs->Pread(fd, got.data(), size, 0);
+  fs->Close(fd);
+  if (rc != static_cast<ssize_t>(size)) {
+    report->Problem(path + ": short read after recovery");
+    return;
+  }
+  uint64_t durable_mismatches = 0, integrity_violations = 0;
+  for (uint64_t o = 0; o < size; ++o) {
+    bool inflight = InflightCovers(st, o);
+    if (o < st.d.size() && st.d_defined[o] && !inflight) {
+      if (got[o] != st.d[o]) {
+        ++durable_mismatches;
+      }
+    } else if (!ByteAllowed(tf, o, got[o])) {
+      ++integrity_violations;
+    }
+  }
+  if (durable_mismatches > 0) {
+    report->Problem(path + ": " + std::to_string(durable_mismatches) +
+                    " durable byte(s) lost or corrupted");
+  }
+  if (integrity_violations > 0) {
+    report->Problem(path + ": " + std::to_string(integrity_violations) +
+                    " fabricated byte(s) after recovery");
+  }
+}
+
+}  // namespace
+
+OracleReport CheckRecoveredState(vfs::FileSystem* fs, const TraceModel& trace,
+                                 const Guarantees& g) {
+  OracleReport report;
+  for (const auto& [create_path, tf] : trace.files()) {
+    CheckFile(fs, tf, g, &report);
+  }
+  return report;
+}
+
+}  // namespace crash

@@ -1,0 +1,111 @@
+// Recovery oracles for the crash-consistency harness.
+//
+// The workload executor builds a TraceModel as it drives a file system: which writes
+// and publishes (fsync/close) were *acknowledged* before the crash, which single
+// operation was in flight, and every name each file ever had. After the crash image
+// is materialized and recovery has run, CheckRecoveredState remounts the state
+// through the vfs::FileSystem interface and validates it against the guarantees the
+// system under test claims (Table 3 of the paper):
+//
+//   * existence   — a file whose creation reached a durable point must exist, and
+//                   must be visible under exactly one of its names;
+//   * durability  — bytes that were durable when acknowledged (in-place overwrites
+//                   below the published size in every mode; everything in strict
+//                   mode and in the PM baselines) must read back exactly;
+//   * atomicity   — the recovered size must sit on a durable boundary (publish
+//                   points for POSIX/sync appends; any acknowledged-op boundary for
+//                   strict), never in the middle of a lost append;
+//   * integrity   — every recovered byte must be either zero or a value some
+//                   recorded write put at that offset: crash + recovery never
+//                   fabricates data.
+#ifndef SRC_CRASH_ORACLES_H_
+#define SRC_CRASH_ORACLES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/vfs/file_system.h"
+
+namespace crash {
+
+// What the system under test promises about acknowledged operations.
+struct Guarantees {
+  // Acknowledged data writes are durable without fsync (strict-mode op logging; the
+  // synchronous protocols of NOVA/PMFS/Strata).
+  bool acked_data_durable = false;
+  // Metadata operations (create, rename) are synchronous: durable once acknowledged.
+  bool meta_sync_on_ack = false;
+  // Appends only become visible at publish boundaries, so a recovered size must be a
+  // publish-point size (SplitFS POSIX/sync). When false (or when acked_data_durable
+  // holds), any size between the durable floor and the in-flight ceiling is legal.
+  bool append_sizes_at_publish_boundaries = true;
+
+  static Guarantees SplitFsPosix() { return {false, false, true}; }
+  static Guarantees SplitFsSync() { return {false, true, true}; }
+  static Guarantees SplitFsStrict() { return {true, true, true}; }
+  // NOVA/PMFS/Strata: synchronous data + metadata; DRAM indices survive in the
+  // model, so sizes are only bounded, not boundary-aligned.
+  static Guarantees PmBaseline() { return {true, true, false}; }
+};
+
+struct FileEvent {
+  enum class Kind : uint8_t { kWrite, kPublish };
+  Kind kind = Kind::kWrite;
+  uint64_t off = 0;
+  uint64_t len = 0;
+  uint8_t pattern = 0;  // Byte at offset o is PatternByte(pattern, o - off).
+  bool acked = false;
+};
+
+// Deterministic payload generator shared by the executor and the oracle.
+inline uint8_t PatternByte(uint8_t pattern, uint64_t i) {
+  return static_cast<uint8_t>(pattern + i * 13);
+}
+
+struct TraceFile {
+  std::string create_path;
+  std::vector<std::string> paths;  // Every name ever given (create + rename targets).
+  std::string current_path;        // Name after the last *acknowledged* rename.
+  std::vector<FileEvent> events;   // Program order; at most the last is un-acked.
+  bool create_acked = false;
+  bool ever_published_acked = false;
+  bool has_renames = false;
+  bool last_rename_acked = true;
+};
+
+class TraceModel {
+ public:
+  TraceFile* Create(const std::string& path) {
+    TraceFile& tf = files_[path];
+    tf.create_path = path;
+    tf.current_path = path;
+    tf.paths.push_back(path);
+    return &tf;
+  }
+  TraceFile* Get(const std::string& create_path) {
+    auto it = files_.find(create_path);
+    return it == files_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, TraceFile>& files() const { return files_; }
+
+ private:
+  std::map<std::string, TraceFile> files_;  // Keyed by creation path.
+};
+
+struct OracleReport {
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+  void Problem(std::string what) { problems.push_back(std::move(what)); }
+};
+
+// Validates the post-recovery state of every traced file. `fs` must already have
+// completed recovery; reads go through the ordinary Open/Pread path (the remount
+// view), never through debug backdoors.
+OracleReport CheckRecoveredState(vfs::FileSystem* fs, const TraceModel& trace,
+                                 const Guarantees& g);
+
+}  // namespace crash
+
+#endif  // SRC_CRASH_ORACLES_H_

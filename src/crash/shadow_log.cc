@@ -1,0 +1,32 @@
+#include "src/crash/shadow_log.h"
+
+namespace crash {
+
+void ShadowLog::OnStore(uint64_t off, uint64_t n, bool persists_at_fence) {
+  uint64_t epoch = fences_.size();
+  stores_.push_back({store_count_, epoch, off, n,
+                     persists_at_fence ? StoreKind::kNt : StoreKind::kTemporal});
+  ++store_count_;
+}
+
+void ShadowLog::OnClwb(uint64_t off, uint64_t n) {
+  // Flushes are journaled (they change *when* a store persists) but do not advance
+  // the store ordinal: crash points are store/fence boundaries.
+  stores_.push_back({store_count_, fences_.size(), off, n, StoreKind::kClwb});
+}
+
+void ShadowLog::OnFence(uint64_t epoch) {
+  fences_.push_back({epoch, store_count_, dev_->UnpersistedLines()});
+}
+
+std::vector<uint64_t> ShadowLog::VulnerableFenceEpochs() const {
+  std::vector<uint64_t> out;
+  for (const auto& f : fences_) {
+    if (f.pending_lines > 0) {
+      out.push_back(f.epoch);
+    }
+  }
+  return out;
+}
+
+}  // namespace crash

@@ -1,0 +1,64 @@
+// Shadow-recording layer for the crash-consistency harness.
+//
+// Installed as the pmem::Device observer during a *record run*, it journals every
+// store, flush, and fence with epoch numbers (epoch = fences completed so far) and,
+// at each fence, how many cachelines were still dirty-but-unpersisted. The crash-
+// state generator reads this journal to decide where crash injection is interesting:
+// a fence with zero pending lines cannot produce a new state, while one with N
+// pending lines anchors up to 2^N drain subsets (sampled by fate policy).
+#ifndef SRC_CRASH_SHADOW_LOG_H_
+#define SRC_CRASH_SHADOW_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pmem/device.h"
+
+namespace crash {
+
+enum class StoreKind : uint8_t { kTemporal, kNt, kClwb };
+
+struct StoreRecord {
+  uint64_t ordinal = 0;  // Global store counter (clwbs not included).
+  uint64_t epoch = 0;    // Fences completed when the store issued.
+  uint64_t off = 0;
+  uint64_t len = 0;
+  StoreKind kind = StoreKind::kTemporal;
+};
+
+struct FenceRecord {
+  uint64_t epoch = 0;          // This fence's index.
+  uint64_t stores_before = 0;  // Global store count when the fence issued.
+  uint64_t pending_lines = 0;  // Dirty-but-unpersisted lines as the fence issued.
+};
+
+class ShadowLog : public pmem::DeviceObserver {
+ public:
+  // `dev` is only queried for its pending-line count at fences; the log does not
+  // mutate the device. Crash tracking must be enabled for pending counts to be
+  // meaningful.
+  explicit ShadowLog(pmem::Device* dev) : dev_(dev) {}
+
+  void OnStore(uint64_t off, uint64_t n, bool persists_at_fence) override;
+  void OnClwb(uint64_t off, uint64_t n) override;
+  void OnFence(uint64_t epoch) override;
+
+  const std::vector<StoreRecord>& stores() const { return stores_; }
+  const std::vector<FenceRecord>& fences() const { return fences_; }
+  uint64_t store_count() const { return store_count_; }
+  uint64_t fence_count() const { return fences_.size(); }
+
+  // Fence epochs with at least one un-fenced store pending — the crash points where
+  // injection can change the recovered state.
+  std::vector<uint64_t> VulnerableFenceEpochs() const;
+
+ private:
+  pmem::Device* dev_;
+  std::vector<StoreRecord> stores_;
+  std::vector<FenceRecord> fences_;
+  uint64_t store_count_ = 0;
+};
+
+}  // namespace crash
+
+#endif  // SRC_CRASH_SHADOW_LOG_H_

@@ -807,11 +807,14 @@ int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
   }
 
   // Deallocate whatever the destination currently maps in the target range (these are
-  // the "existing data blocks are de-allocated" of the relink definition).
+  // the "existing data blocks are de-allocated" of the relink definition). The frees
+  // are deferred to commit — jbd2's rule: blocks released by an uncommitted
+  // transaction must not be reused, or a rollback would leave them aliased.
+  std::vector<MappedExtent> displaced_mapped = dst->extents.FindRange(first_dst, nblocks);
   std::vector<PhysExtent> displaced = dst->extents.RemoveRange(first_dst, nblocks);
   for (const auto& e : displaced) {
     ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
-    alloc_.Free(e);
+    journal_.OnCommit([this, e] { alloc_.Free(e); });
   }
 
   // Move the physical blocks: remove from source, insert at destination with the
@@ -823,6 +826,7 @@ int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
     dst->extents.Insert(first_dst + (m.logical - first_src), m.phys, m.count);
   }
 
+  uint64_t old_dst_size = dst->size;
   if (new_dst_size > dst->size) {
     dst->size = new_dst_size;
   }
@@ -831,8 +835,21 @@ int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
   // committed immediately without the fsync barrier path. jbd2 has a single
   // transaction stream, so any metadata already dirtied by earlier operations commits
   // alongside (which is why an fsync that relinks need not also run the barrier path).
+  // The undo reverses the whole swap — a crash before the commit record must leave
+  // both files exactly as they were, or op-log replay would find holes where the
+  // staged blocks used to be and silently lose acknowledged appends.
   journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, src->ino), nullptr);
-  journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, dst->ino), nullptr);
+  journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, dst->ino),
+                 [src, dst, moved, displaced_mapped, first_dst, nblocks, old_dst_size] {
+                   dst->extents.RemoveRange(first_dst, nblocks);
+                   for (const auto& m : moved) {
+                     src->extents.Insert(m.logical, m.phys, m.count);
+                   }
+                   for (const auto& m : displaced_mapped) {
+                     dst->extents.Insert(m.logical, m.phys, m.count);
+                   }
+                   dst->size = old_dst_size;
+                 });
   journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, dst->ino / 16), nullptr);
   if (!defer_commit) {
     journal_.CommitRunning(/*fsync_barrier=*/false);

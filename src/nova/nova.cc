@@ -36,7 +36,8 @@ void Nova::AppendLogEntry(BaseInode* inode) {
   log_cursor_ += kCacheLineSize;
 }
 
-ssize_t Nova::WriteCow(BaseInode* inode, const void* buf, uint64_t n, uint64_t off) {
+ssize_t Nova::WriteCow(BaseInode* inode, const void* buf, uint64_t n, uint64_t off,
+                       std::vector<ext4sim::PhysExtent>* fresh_out) {
   // Copy-on-write: fresh blocks for the whole covered range; partial head/tail blocks
   // merge old contents (read-modify-write), then the old blocks are freed.
   uint64_t first = off / kBlockSize;
@@ -81,7 +82,15 @@ ssize_t Nova::WriteCow(BaseInode* inode, const void* buf, uint64_t n, uint64_t o
     }
   }
 
-  // Swap the mapping: free old blocks, install fresh ones.
+  *fresh_out = std::move(fresh);
+  return static_cast<ssize_t>(n);
+}
+
+void Nova::InstallCow(BaseInode* inode, uint64_t off, uint64_t n,
+                      const std::vector<ext4sim::PhysExtent>& fresh) {
+  uint64_t first = off / kBlockSize;
+  uint64_t last = (off + n - 1) / kBlockSize;
+  uint64_t nblocks = last - first + 1;
   for (const auto& e : inode->extents.RemoveRange(first, nblocks)) {
     alloc_.Free(e);
   }
@@ -90,31 +99,40 @@ ssize_t Nova::WriteCow(BaseInode* inode, const void* buf, uint64_t n, uint64_t o
     inode->extents.Insert(lb, e.start, e.count);
     lb += e.count;
   }
-  return static_cast<ssize_t>(n);
 }
 
 ssize_t Nova::WriteData(BaseInode* inode, const void* buf, uint64_t n, uint64_t off) {
   ctx_->ChargeCpu(ctx_->model.nova_write_path_ns);
   bool extends = off + n > inode->size;
 
-  ssize_t rc;
   if (strict_ || extends) {
     // Strict always COWs; appends allocate fresh blocks in both flavors.
-    rc = WriteCow(inode, buf, n, off);
+    std::vector<ext4sim::PhysExtent> fresh;
+    ssize_t rc = WriteCow(inode, buf, n, off, &fresh);
+    if (rc < 0) {
+      return rc;
+    }
+    // Crash ordering: the COW blocks persist at the log entry's fences, and only
+    // then does the mapping adopt them — a crash mid-operation must leave the old
+    // (durable) blocks reachable, never a fresh block that might not have drained.
+    AppendLogEntry(inode);  // write entry + tail, two fences.
+    InstallCow(inode, off, n, fresh);
+    if (extends) {
+      inode->size = off + n;
+    }
   } else {
-    // Relaxed: log first, then update in place (§5.7: the log update before the
-    // in-place write is what gives NOVA-relaxed its TPCC overhead).
-    rc = WriteExtentsInPlace(inode, buf, n, off, ctx_->model.nova_alloc_cpu_ns);
+    // Relaxed: in-place data update plus the per-op log append (§5.7: paying the log
+    // update on every in-place write is what gives NOVA-relaxed its TPCC overhead).
+    // The data stores go first so the log entry's fences also persist them — an
+    // acknowledged relaxed write is durable, it just isn't atomic.
+    ssize_t rc = WriteExtentsInPlace(inode, buf, n, off, ctx_->model.nova_alloc_cpu_ns);
+    if (rc < 0) {
+      return rc;
+    }
+    AppendLogEntry(inode);  // write entry + tail, two fences.
   }
-  if (rc < 0) {
-    return rc;
-  }
-  if (extends) {
-    inode->size = off + n;
-  }
-  AppendLogEntry(inode);  // write entry + tail, two fences.
   ctx_->ChargeCpu(ctx_->model.nova_mem_bookkeep_ns);  // DRAM radix-tree update.
-  return rc;
+  return static_cast<ssize_t>(n);
 }
 
 ssize_t Nova::ReadData(BaseInode* inode, void* buf, uint64_t n, uint64_t off) {

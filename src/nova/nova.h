@@ -35,8 +35,15 @@ class Nova : public vfs::PmFsBase {
  private:
   // Appends one entry to the inode's log: entry line + tail line, two fences.
   void AppendLogEntry(BaseInode* inode);
-  // COW write covering whole blocks; merges partial head/tail blocks from old data.
-  ssize_t WriteCow(BaseInode* inode, const void* buf, uint64_t n, uint64_t off);
+  // COW write covering whole blocks; merges partial head/tail blocks from old data
+  // into freshly allocated blocks. Fills `fresh_out` but does NOT install the new
+  // mapping: the caller adopts it with InstallCow only after the data has persisted
+  // (NOVA orders data durability before the log entry commits the new mapping).
+  ssize_t WriteCow(BaseInode* inode, const void* buf, uint64_t n, uint64_t off,
+                   std::vector<ext4sim::PhysExtent>* fresh_out);
+  // Swaps the covered range over to `fresh`, freeing the displaced blocks.
+  void InstallCow(BaseInode* inode, uint64_t off, uint64_t n,
+                  const std::vector<ext4sim::PhysExtent>& fresh);
 
   bool strict_;
   uint64_t log_cursor_ = 0;

@@ -51,6 +51,9 @@ void Device::StoreTemporal(uint64_t off, const void* src, uint64_t n,
   } else {
     std::memcpy(data_.data() + off, src, n);
   }
+  if (observer_ != nullptr) {
+    observer_->OnStore(off, n, /*persists_at_fence=*/false);
+  }
   // Temporal stores land in cache: cheap now, media cost charged at Clwb time.
   uint64_t ns = static_cast<uint64_t>(ctx_->model.dram_ns_per_byte * n);
   ctx_->clock.Advance(ns);
@@ -68,6 +71,9 @@ void Device::StoreNt(uint64_t off, const void* src, uint64_t n, sim::PmWriteKind
     std::memcpy(data_.data() + off, src, n);
   } else {
     std::memcpy(data_.data() + off, src, n);
+  }
+  if (observer_ != nullptr) {
+    observer_->OnStore(off, n, /*persists_at_fence=*/true);
   }
   // Full media cost at the store: this is the Table 1 calibration anchor
   // (91 + 4096 * 0.1416 ≈ 671 ns for one 4 KB block).
@@ -94,12 +100,21 @@ void Device::Clwb(uint64_t off, uint64_t n) {
       }
     }
   }
+  if (observer_ != nullptr) {
+    observer_->OnClwb(off, n);
+  }
   // Write-back of dirty lines at PM write bandwidth.
   uint64_t bytes = lines * kCacheLineSize;
   ctx_->clock.Advance(static_cast<uint64_t>(ctx_->model.pm_write_ns_per_byte * bytes));
 }
 
 void Device::Fence() {
+  // Observer runs before anything persists: a crash injected here still sees every
+  // un-fenced store as vulnerable.
+  uint64_t epoch = fence_epoch_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) {
+    observer_->OnFence(epoch);
+  }
   bool persisting = false;
   if (tracking_) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -131,13 +146,37 @@ void Device::Load(uint64_t off, void* dst, uint64_t n, bool sequential,
 }
 
 void Device::Crash(common::Rng* rng) {
+  // Lines are visited in ascending order so a seeded Rng produces the same crash
+  // state on every run (unordered_map iteration order must not leak into results).
+  CrashWith([rng](uint64_t, uint64_t) -> uint8_t {
+    return rng != nullptr && rng->OneIn(2) ? 0xFF : 0x00;
+  });
+}
+
+std::vector<uint64_t> Device::SortedPendingLinesLocked() const {
+  std::vector<uint64_t> lines;
+  lines.reserve(pending_.size());
+  for (const auto& [line, state] : pending_) {
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+void Device::CrashWith(const LineFateFn& fate) {
   std::lock_guard<std::mutex> lock(mu_);
   SPLITFS_CHECK(tracking_);
-  for (auto& [line, state] : pending_) {
-    bool survives = rng != nullptr && rng->OneIn(2);
-    if (!survives) {
-      std::memcpy(data_.data() + line * kCacheLineSize, state.old_image.data(),
-                  kCacheLineSize);
+  std::vector<uint64_t> lines = SortedPendingLinesLocked();
+  constexpr uint64_t kChunk = 8;  // One survival bit per 8-byte drain unit.
+  for (uint64_t ordinal = 0; ordinal < lines.size(); ++ordinal) {
+    uint64_t line = lines[ordinal];
+    uint8_t mask = fate(line, ordinal);
+    const LineState& state = pending_.at(line);
+    for (uint64_t chunk = 0; chunk < kCacheLineSize / kChunk; ++chunk) {
+      if ((mask & (1u << chunk)) == 0) {
+        std::memcpy(data_.data() + line * kCacheLineSize + chunk * kChunk,
+                    state.old_image.data() + chunk * kChunk, kChunk);
+      }
     }
   }
   pending_.clear();
@@ -147,6 +186,11 @@ void Device::Crash(common::Rng* rng) {
 uint64_t Device::UnpersistedLines() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();
+}
+
+std::vector<uint64_t> Device::PendingLineIndices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SortedPendingLinesLocked();
 }
 
 }  // namespace pmem

@@ -19,8 +19,10 @@
 #define SRC_PMEM_DEVICE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +33,22 @@
 #include "src/sim/context.h"
 
 namespace pmem {
+
+// Observation hooks for the crash harness (src/crash). The device reports every
+// store, flush, and fence so a shadow-recording layer can journal the persistence
+// traffic and a crash injector can fire at an exact store/fence boundary. Callbacks
+// run outside the device lock; OnFence runs *before* the fence persists anything, so
+// an observer that unwinds (crash injection) sees the pre-fence pending set intact.
+class DeviceObserver {
+ public:
+  virtual ~DeviceObserver() = default;
+  // After the store's bytes have landed. `persists_at_fence` is true for
+  // non-temporal stores (durable at the next fence without an explicit flush).
+  virtual void OnStore(uint64_t off, uint64_t n, bool persists_at_fence) = 0;
+  virtual void OnClwb(uint64_t off, uint64_t n) = 0;
+  // At the start of a fence; `epoch` counts fences completed so far.
+  virtual void OnFence(uint64_t epoch) = 0;
+};
 
 class Device {
  public:
@@ -76,6 +94,14 @@ class Device {
     return data_.data() + off;
   }
 
+  // --- Observation (crash harness) -----------------------------------------------------
+  // Installs (or, with nullptr, removes) the single observer notified of every store,
+  // flush, and fence. Costs one branch per access when unset. Observers are a
+  // single-threaded facility (the crash harness drives one workload thread); the
+  // epoch counter itself stays race-free under concurrent fencing.
+  void SetObserver(DeviceObserver* observer) { observer_ = observer; }
+  uint64_t FenceEpoch() const { return fence_epoch_.load(std::memory_order_relaxed); }
+
   // --- Crash simulation ----------------------------------------------------------------
   void EnableCrashTracking(bool on);
   bool crash_tracking() const { return tracking_; }
@@ -86,8 +112,19 @@ class Device {
   // evicted before the crash (this is what makes torn log entries possible).
   void Crash(common::Rng* rng = nullptr);
 
+  // Fine-grained, deterministic power loss. `fate(line, ordinal)` is evaluated for
+  // each dirty-but-unpersisted line in ascending line order (`ordinal` counts from 0)
+  // and returns an 8-bit survival mask: bit i covers bytes [8i, 8(i+1)) of the line —
+  // set keeps the new store, clear reverts to the pre-store image. 0x00 drops the
+  // whole line, 0xFF persists it, anything in between models a torn store (the
+  // write-combining buffer drained partially before power was cut).
+  using LineFateFn = std::function<uint8_t(uint64_t line, uint64_t ordinal)>;
+  void CrashWith(const LineFateFn& fate);
+
   // Number of cachelines currently dirty-but-unpersisted (test introspection).
   uint64_t UnpersistedLines() const;
+  // Their indices, sorted ascending (crash-state enumeration).
+  std::vector<uint64_t> PendingLineIndices() const;
 
  private:
   struct LineState {
@@ -96,10 +133,14 @@ class Device {
   };
 
   void TrackStore(uint64_t off, uint64_t n, bool flushed);
+  // Caller holds mu_.
+  std::vector<uint64_t> SortedPendingLinesLocked() const;
 
   sim::Context* ctx_;
   std::vector<uint8_t> data_;
   bool tracking_ = false;
+  DeviceObserver* observer_ = nullptr;
+  std::atomic<uint64_t> fence_epoch_{0};
 
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, LineState> pending_;  // line index -> state

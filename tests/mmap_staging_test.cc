@@ -5,6 +5,7 @@
 
 #include "src/common/bytes.h"
 #include "src/core/mmap_cache.h"
+#include "src/core/split_fs.h"
 #include "src/core/staging.h"
 
 namespace {
@@ -179,6 +180,109 @@ TEST_F(StagingTest, BackgroundCreationDoesNotAdvanceForegroundClock) {
   // than this if charged to the foreground.
   EXPECT_LT(ctx_.clock.Now() - t0, 50000u);
   EXPECT_GT(pool_->BackgroundCreations(), 0u);
+}
+
+TEST_F(StagingTest, ConsumedFilesRetireOnceReleased) {
+  // Consume several pool files, returning every allocation as if published. The pool
+  // must retire (close + unlink) each consumed file instead of leaking it.
+  std::vector<splitfs::StagingAlloc> all;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<splitfs::StagingAlloc> a;
+    ASSERT_TRUE(pool_->Allocate(kMiB, 0, &a));
+    for (const auto& piece : a) {
+      pool_->Release(piece);
+    }
+  }
+  EXPECT_GT(pool_->FilesCreated(), 3u);
+  EXPECT_GT(pool_->FilesRetired(), 0u);
+  // The pool never holds more than the configured working set plus the file being
+  // replaced: consumed-but-referenced files are gone once their bytes came back.
+  EXPECT_LE(pool_->LiveFiles(), uint64_t{opts_.num_staging_files} + 1);
+  // The retired files are really unlinked from the runtime directory.
+  std::vector<std::string> names;
+  ASSERT_EQ(kfs_.ReadDir("/.splitfs/stage-t", &names), 0);
+  EXPECT_EQ(names.size(), pool_->LiveFiles());
+}
+
+TEST_F(StagingTest, UnreleasedRangesKeepConsumedFileAlive) {
+  std::vector<splitfs::StagingAlloc> held;
+  ASSERT_TRUE(pool_->Allocate(4 * kMiB, 0, &held));  // Exactly file 1, kept staged.
+  std::vector<splitfs::StagingAlloc> churn;
+  ASSERT_TRUE(pool_->Allocate(4 * kMiB, 0, &churn));  // Exhausts file 2.
+  for (const auto& piece : churn) {
+    pool_->Release(piece);  // Published immediately.
+  }
+  uint64_t retired_before = pool_->FilesRetired();
+  // The next allocation pops the exhausted, fully-released file 2 and retires it;
+  // file 1 must survive, its ranges are still staged.
+  std::vector<splitfs::StagingAlloc> more;
+  ASSERT_TRUE(pool_->Allocate(4096, 0, &more));
+  EXPECT_GT(pool_->FilesRetired(), retired_before);
+  int fd = kfs_.OpenByIno(held.front().staging_ino, vfs::kRdWr);
+  EXPECT_GE(fd, 0) << "staging file with un-published ranges was deleted";
+  if (fd >= 0) {
+    kfs_.Close(fd);
+  }
+}
+
+// End-to-end leak regression through SplitFs: publish-heavy append traffic across
+// many pool files must not accumulate staging files or descriptors (the header
+// contract: close/unlink release staged extents).
+TEST(SplitFsStagingLeak, PublishHeavyWorkloadRetiresConsumedFiles) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 256 * kMiB);
+  ext4sim::Ext4Dax kfs(&dev);
+  splitfs::Options o;
+  o.num_staging_files = 2;
+  o.staging_file_bytes = kMiB;
+  splitfs::SplitFs fs(&kfs, o);
+
+  int fd = fs.Open("/big", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  std::vector<uint8_t> chunk(128 * 1024, 0xCD);
+  uint64_t off = 0;
+  for (int i = 0; i < 64; ++i) {  // 8 MB staged total = 8 consumed pool files.
+    ASSERT_EQ(fs.Pwrite(fd, chunk.data(), chunk.size(), off),
+              static_cast<ssize_t>(chunk.size()));
+    off += chunk.size();
+    if (i % 4 == 3) {
+      ASSERT_EQ(fs.Fsync(fd), 0);
+    }
+  }
+  ASSERT_EQ(fs.Close(fd), 0);
+  const splitfs::StagingPool& pool = fs.staging_pool();
+  EXPECT_GT(pool.FilesCreated(), 4u);
+  EXPECT_GT(pool.FilesRetired(), 0u);
+  EXPECT_LE(pool.LiveFiles(), uint64_t{o.num_staging_files} + 1);
+}
+
+TEST(SplitFsStagingLeak, UnlinkReturnsStagedBytesToPool) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 256 * kMiB);
+  ext4sim::Ext4Dax kfs(&dev);
+  splitfs::Options o;
+  o.num_staging_files = 2;
+  o.staging_file_bytes = kMiB;
+  splitfs::SplitFs fs(&kfs, o);
+
+  // Stage more than one pool file's worth without ever publishing, then unlink.
+  int fd = fs.Open("/doomed", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  std::vector<uint8_t> chunk(256 * 1024, 0xEE);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(fs.Pwrite(fd, chunk.data(), chunk.size(), i * chunk.size()),
+              static_cast<ssize_t>(chunk.size()));
+  }
+  ASSERT_EQ(fs.Close(fd), 0);  // Publishes (close publishes staged appends).
+  fd = fs.Open("/doomed2", vfs::kRdWr | vfs::kCreate);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(fs.Pwrite(fd, chunk.data(), chunk.size(), i * chunk.size()),
+              static_cast<ssize_t>(chunk.size()));
+  }
+  ASSERT_EQ(fs.Unlink("/doomed2"), 0);  // Staged data dies with the file.
+  const splitfs::StagingPool& pool = fs.staging_pool();
+  EXPECT_LE(pool.LiveFiles(), uint64_t{o.num_staging_files} + 1);
+  EXPECT_GT(pool.FilesRetired(), 0u);
 }
 
 }  // namespace

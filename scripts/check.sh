@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Configure, build, and test the whole tree.
 #
-#   scripts/check.sh                 # full suite, including the crash matrix
+#   scripts/check.sh                   # full suite, including the crash matrix
 #   scripts/check.sh -LE crash_matrix  # quick run: skip the full matrix
 #   scripts/check.sh -L crash_smoke    # only the crash smoke subset
+#   scripts/check.sh --tsan            # ThreadSanitizer build, concurrency tests only
 #
 # Extra arguments are forwarded to ctest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  cmake -B build-tsan -S . -DSPLITFS_TSAN=ON
+  cmake --build build-tsan -j"$(nproc)"
+  # TSAN_OPTIONS makes any report fail the run even if the test's asserts pass.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -L concurrency "$@"
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"

@@ -1,0 +1,20 @@
+// Shared helpers for thread-laned structures (staging pool lanes, op-log lanes).
+#ifndef SRC_COMMON_THREADING_H_
+#define SRC_COMMON_THREADING_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace common {
+
+// Index of the calling thread's lane in [0, lanes): a stable hash of the thread id.
+// Hash collisions (two threads sharing a lane) must only cost performance in the
+// structures keyed by this, never correctness.
+inline size_t ThreadLaneIndex(size_t lanes) {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % lanes;
+}
+
+}  // namespace common
+
+#endif  // SRC_COMMON_THREADING_H_

@@ -14,6 +14,7 @@ MmapCache::MmapCache(ext4sim::Ext4Dax* kfs, uint64_t mmap_size)
 }
 
 std::optional<MmapCache::Hit> MmapCache::Translate(vfs::Ino ino, uint64_t off) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto fit = files_.find(ino);
   if (fit == files_.end()) {
     return std::nullopt;
@@ -92,15 +93,26 @@ void MmapCache::InsertPiece(FileMaps* fm, uint64_t file_off, uint64_t dev_off,
 
 bool MmapCache::EnsureRegion(vfs::Ino ino, int kernel_fd, uint64_t off) {
   uint64_t region_start = common::AlignDown(off, mmap_size_);
-  FileMaps& fm = files_[ino];
-  auto rit = fm.regions.find(region_start);
-  if (rit != fm.regions.end()) {
-    return true;  // Region already set up (holes included by design).
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto fit = files_.find(ino);
+    if (fit != files_.end() &&
+        fit->second.regions.find(region_start) != fit->second.regions.end()) {
+      return true;  // Region already set up (holes included by design).
+    }
   }
+  // The kernel call runs outside the cache lock: it queues on K-Split's kernel lock
+  // and charges mmap + fault costs, and holding mu_ exclusively across it would
+  // stall every other thread's Translate — for unrelated files — in real time.
   std::vector<ext4sim::Ext4Dax::DaxMapping> mappings;
   int rc = kfs_->DaxMap(kernel_fd, region_start, mmap_size_, &mappings);
   if (rc != 0) {
     return false;
+  }
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  FileMaps& fm = files_[ino];
+  if (fm.regions.find(region_start) != fm.regions.end()) {
+    return true;  // A racing thread mapped the same region; keep its pieces.
   }
   // mmap() trap + pre-populated (MAP_POPULATE) huge-page faults: one per 2 MB chunk.
   ctx_->ChargeCpu(ctx_->model.mmap_syscall_ns);
@@ -119,6 +131,7 @@ bool MmapCache::EnsureRegion(vfs::Ino ino, int kernel_fd, uint64_t off) {
 
 void MmapCache::InsertPieces(vfs::Ino ino,
                              const std::vector<ext4sim::Ext4Dax::DaxMapping>& pieces) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   FileMaps& fm = files_[ino];
   for (const auto& m : pieces) {
     ctx_->ChargeCpu(ctx_->model.user_work_ns);
@@ -127,6 +140,7 @@ void MmapCache::InsertPieces(vfs::Ino ino,
 }
 
 void MmapCache::InvalidateFile(vfs::Ino ino) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   auto it = files_.find(ino);
   if (it == files_.end()) {
     return;
@@ -141,6 +155,7 @@ void MmapCache::InvalidateFile(vfs::Ino ino) {
 }
 
 void MmapCache::InvalidateRange(vfs::Ino ino, uint64_t off, uint64_t len) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   auto fit = files_.find(ino);
   if (fit == files_.end() || len == 0) {
     return;
@@ -170,6 +185,7 @@ void MmapCache::InvalidateRange(vfs::Ino ino, uint64_t off, uint64_t len) {
 }
 
 uint64_t MmapCache::MemoryUsageBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t total = sizeof(*this);
   for (const auto& [ino, fm] : files_) {
     total += sizeof(fm) + fm.pieces.size() * (sizeof(uint64_t) + sizeof(Piece) + 48) +

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -57,13 +58,17 @@ class MmapCache {
 
   // Drops everything without charges: crash recovery starts from an empty cache.
   void Clear() {
+    std::lock_guard<std::shared_mutex> lock(mu_);
     files_.clear();
     total_regions_ = 0;
   }
 
   // §5.10 accounting: approximate DRAM footprint of the cache structures.
   uint64_t MemoryUsageBytes() const;
-  uint64_t RegionCount() const { return total_regions_; }
+  uint64_t RegionCount() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return total_regions_;
+  }
 
  private:
   struct Piece {
@@ -81,6 +86,10 @@ class MmapCache {
   ext4sim::Ext4Dax* kfs_;
   sim::Context* ctx_;
   uint64_t mmap_size_;
+  // Reader/writer lock: Translate (the per-access hot path) takes it shared; region
+  // creation, relink piece insertion, and invalidation take it exclusive. A lock-free
+  // lookup structure is a known follow-on (see ROADMAP).
+  mutable std::shared_mutex mu_;
   std::unordered_map<vfs::Ino, FileMaps> files_;
   uint64_t total_regions_ = 0;
 };

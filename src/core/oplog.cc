@@ -5,6 +5,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/checksum.h"
+#include "src/common/threading.h"
 
 namespace splitfs {
 
@@ -70,12 +71,26 @@ void OpLog::ZeroLogArea() {
 }
 
 bool OpLog::Append(LogEntry entry) {
-  // Compose the entry (DRAM), grab a slot with CAS, nt-store the line, one fence.
+  // Compose the entry (DRAM), reserve a slot in this thread's lane, nt-store the
+  // line, one fence. The fence is core-local and the slot is lane-private, so
+  // concurrent strict-mode threads only share the (rare) chunk-claim fetch-add and
+  // the seq counter.
   ctx_->ChargeCpu(ctx_->model.user_work_ns + ctx_->model.cas_ns);
-  uint64_t slot = tail_.fetch_add(1, std::memory_order_relaxed);
-  if (slot >= capacity_) {
-    tail_.fetch_sub(1, std::memory_order_relaxed);
-    return false;
+  std::shared_lock<std::shared_mutex> no_reset(reset_mu_);
+  Lane& lane = lanes_[common::ThreadLaneIndex(kLanes)];
+  uint64_t slot;
+  {
+    std::lock_guard<std::mutex> lm(lane.mu);
+    if (lane.next == lane.end) {
+      uint64_t start = tail_.fetch_add(kLaneChunkSlots, std::memory_order_relaxed);
+      if (start >= capacity_) {
+        tail_.fetch_sub(kLaneChunkSlots, std::memory_order_relaxed);
+        return false;  // Full: the caller checkpoints and retries.
+      }
+      lane.next = start;
+      lane.end = std::min(start + kLaneChunkSlots, capacity_);
+    }
+    slot = lane.next++;
   }
   entry.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   entry.Seal();
@@ -90,9 +105,24 @@ bool OpLog::NearlyFull(uint64_t slack) const {
   return tail_.load(std::memory_order_relaxed) + slack >= capacity_;
 }
 
-void OpLog::Reset() {
+bool OpLog::ResetIfQuiesced(const std::function<bool()>& quiesced) {
+  std::lock_guard<std::shared_mutex> exclusive(reset_mu_);
+  // Any append that already wrote an entry has released the shared lock, so its
+  // effects (including the caller's dirty-state bookkeeping preceding the append)
+  // are visible to the predicate here; an append that has not yet started will land
+  // in the fresh log.
+  if (quiesced && !quiesced()) {
+    return false;
+  }
   ZeroLogArea();
+  for (Lane& lane : lanes_) {
+    std::lock_guard<std::mutex> lm(lane.mu);
+    lane.next = 0;
+    lane.end = 0;
+  }
   tail_.store(0, std::memory_order_relaxed);
+  reset_epoch_.fetch_add(1, std::memory_order_release);
+  return true;
 }
 
 std::vector<LogEntry> OpLog::ScanForRecovery() const {

@@ -13,8 +13,12 @@
 #ifndef SRC_CORE_OPLOG_H_
 #define SRC_CORE_OPLOG_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -61,16 +65,37 @@ class OpLog {
   OpLog(const OpLog&) = delete;
   OpLog& operator=(const OpLog&) = delete;
 
-  // Appends one entry: compose (user work) + CAS tail + 64 B nt-store + one fence.
-  // Returns false when the log is full — caller must Checkpoint() and retry.
+  // Appends one entry: compose (user work) + slot reservation + 64 B nt-store + one
+  // fence. Returns false when the log is full — caller must Checkpoint() and retry.
+  //
+  // Concurrency (§3.3 "the tail is advanced with compare-and-swap by concurrent
+  // threads"): each thread owns a lane that claims *chunks* of consecutive slots from
+  // the shared tail with one fetch-add, then bump-allocates within its chunk with no
+  // shared traffic; the per-entry `seq` comes from a global atomic, so recovery's
+  // seq-sorted replay stitches the lanes back into one total order. A single-threaded
+  // process fills slots 0,1,2,... exactly as before (one lane, consecutive chunks),
+  // keeping the crash matrix byte-identical.
   bool Append(LogEntry entry);
 
   // True when fewer than `slack` slots remain.
   bool NearlyFull(uint64_t slack = 16) const;
 
-  // Zeroes the log and resets the tail. The caller has already relinked all staged
-  // data (checkpoint, §3.3).
-  void Reset();
+  // Zeroes the log and resets the tail + every lane. The caller has already relinked
+  // all staged data (checkpoint, §3.3). Excludes in-flight Appends (they hold the
+  // reset lock shared), and bumps ResetEpoch() so a caller that lost the race to
+  // checkpoint can tell the log was already recycled.
+  void Reset() { ResetIfQuiesced(nullptr); }
+
+  // Reset guarded by a predicate evaluated *after* in-flight appends have drained
+  // (under the exclusive reset lock): the checkpoint passes "no file has unpublished
+  // staged data". Needed because per-thread lanes can satisfy an Append from
+  // leftover chunk slots even once the log looks full — without the re-check, a
+  // reset could zero an entry appended between the checkpoint's last sweep and the
+  // lock acquisition, losing the only record of unpublished staged data. Returns
+  // false (log untouched) when the predicate fails.
+  bool ResetIfQuiesced(const std::function<bool()>& quiesced);
+
+  uint64_t ResetEpoch() const { return reset_epoch_.load(std::memory_order_acquire); }
 
   uint64_t EntriesLogged() const { return seq_.load(std::memory_order_relaxed); }
   uint64_t Capacity() const { return capacity_; }
@@ -81,6 +106,17 @@ class OpLog {
   std::vector<LogEntry> ScanForRecovery() const;
 
  private:
+  // Slots claimed per tail fetch-add. Any value preserves the single-threaded slot
+  // layout (one lane consumes its chunk fully before claiming the next).
+  static constexpr uint64_t kLaneChunkSlots = 32;
+  static constexpr size_t kLanes = 16;
+
+  struct alignas(64) Lane {
+    std::mutex mu;       // Uncontended in steady state (threads hash onto lanes).
+    uint64_t next = 0;   // Next slot within the claimed chunk.
+    uint64_t end = 0;    // One past the chunk; next == end means claim a new chunk.
+  };
+
   uint64_t SlotDevOffset(uint64_t slot) const;
   void ZeroLogArea();
 
@@ -90,8 +126,13 @@ class OpLog {
   vfs::Ino ino_ = vfs::kInvalidIno;
   uint64_t capacity_ = 0;  // Slots.
   std::vector<ext4sim::Ext4Dax::DaxMapping> mappings_;
-  std::atomic<uint64_t> tail_{0};  // DRAM-only next slot; never persisted.
+  // Appenders hold this shared; Reset holds it exclusive so it never zeroes a slot
+  // mid-store.
+  mutable std::shared_mutex reset_mu_;
+  std::array<Lane, kLanes> lanes_;
+  std::atomic<uint64_t> tail_{0};  // DRAM-only slot reservation; never persisted.
   std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> reset_epoch_{0};
 };
 
 }  // namespace splitfs

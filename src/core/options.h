@@ -32,6 +32,19 @@ struct Options {
   uint32_t num_staging_files = 10;
   uint64_t staging_file_bytes = 160 * common::kMiB;
 
+  // Number of per-thread staging lanes: each application thread bump-allocates from
+  // its own active staging file, so disjoint-file appends never contend on the pool.
+  // Threads hash onto lanes; a single-threaded process uses exactly one lane and
+  // allocates the same byte sequence as the pre-concurrency pool.
+  uint32_t staging_lanes = 16;
+
+  // Run the §3.5 replenishment thread for real: a dedicated std::thread pre-creates
+  // staging files off the critical path. Off by default — the crash harness and the
+  // deterministic single-threaded tests require a fully deterministic store sequence,
+  // which the (equivalent, inline, clock-rewound) fallback provides. Multithreaded
+  // benches and the concurrency tests turn it on.
+  bool replenish_thread = false;
+
   // Operation log (strict mode): zeroed pre-allocated file; one 64 B entry per op;
   // checkpoint-and-reset when full (§3.3).
   uint64_t oplog_bytes = 128 * common::kMiB;

@@ -387,6 +387,7 @@ size_t Posix::fwrite(const void* ptr, size_t size, size_t nmemb, PosixFile* stre
   if (stream == nullptr || !stream->writable) {
     return 0;
   }
+  std::lock_guard<std::mutex> slock(stream->mu);
   size_t bytes = size * nmemb;
   const auto* src = static_cast<const uint8_t*>(ptr);
   // Block-buffered: flush whenever the buffer fills (stdio semantics).
@@ -397,7 +398,7 @@ size_t Posix::fwrite(const void* ptr, size_t size, size_t nmemb, PosixFile* stre
     stream->wbuf.insert(stream->wbuf.end(), src + written, src + written + take);
     written += take;
     if (stream->wbuf.size() == kStdioBufBytes) {
-      if (fflush(stream) != 0) {
+      if (FlushLocked(stream) != 0) {
         return written / size;
       }
     }
@@ -409,7 +410,8 @@ size_t Posix::fread(void* ptr, size_t size, size_t nmemb, PosixFile* stream) {
   if (stream == nullptr) {
     return 0;
   }
-  if (fflush(stream) != 0) {  // Write-then-read consistency.
+  std::lock_guard<std::mutex> slock(stream->mu);
+  if (FlushLocked(stream) != 0) {  // Write-then-read consistency.
     return 0;
   }
   ssize_t rc = read(stream->fd, ptr, size * nmemb);
@@ -420,10 +422,7 @@ size_t Posix::fread(void* ptr, size_t size, size_t nmemb, PosixFile* stream) {
   return static_cast<size_t>(rc) / size;
 }
 
-int Posix::fflush(PosixFile* stream) {
-  if (stream == nullptr) {
-    return 0;
-  }
+int Posix::FlushLocked(PosixFile* stream) {
   if (stream->wbuf.empty()) {
     return 0;
   }
@@ -436,8 +435,20 @@ int Posix::fflush(PosixFile* stream) {
   return 0;
 }
 
+int Posix::fflush(PosixFile* stream) {
+  if (stream == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> slock(stream->mu);
+  return FlushLocked(stream);
+}
+
 int Posix::fseek(PosixFile* stream, long off, int whence) {
-  if (stream == nullptr || fflush(stream) != 0) {
+  if (stream == nullptr) {
+    return -1;
+  }
+  std::lock_guard<std::mutex> slock(stream->mu);
+  if (FlushLocked(stream) != 0) {
     return -1;
   }
   return lseek(stream->fd, off, whence) < 0 ? -1 : 0;
@@ -447,6 +458,7 @@ long Posix::ftell(PosixFile* stream) {
   if (stream == nullptr) {
     return -1;
   }
+  std::lock_guard<std::mutex> slock(stream->mu);
   off_t pos = lseek(stream->fd, 0, SEEK_CUR);
   if (pos < 0) {
     return -1;
@@ -460,8 +472,13 @@ int Posix::fclose(PosixFile* stream) {
   if (stream == nullptr) {
     return EOF;
   }
-  int rc = fflush(stream);
-  int crc = close(stream->fd);
+  int rc;
+  int crc;
+  {
+    std::lock_guard<std::mutex> slock(stream->mu);
+    rc = FlushLocked(stream);
+    crc = close(stream->fd);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(streams_, [stream](const auto& s) { return s.get() == stream; });
   return rc != 0 || crc != 0 ? EOF : 0;

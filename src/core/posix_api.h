@@ -9,6 +9,14 @@
 //
 // Everything here is translation + stdio buffering; the routing decisions (what stays
 // in user space vs. what traps) all live in SplitFs itself.
+//
+// Thread safety: fd-based calls are as thread-safe as the underlying SplitFs (the
+// descriptor table is sharded and dup()/close() races resolve like the kernel's file
+// table: close removes exactly one descriptor, a concurrent dup of it either shares
+// the description or gets EBADF). The directory-fd and stream registries are guarded
+// by mu_. Streams lock themselves per call, like glibc's internal flockfile, so two
+// threads fwrite-ing one FILE* interleave at call granularity; using a stream
+// concurrently with its own fclose() is undefined, as it is in glibc.
 #ifndef SRC_CORE_POSIX_API_H_
 #define SRC_CORE_POSIX_API_H_
 
@@ -94,6 +102,8 @@ class Posix {
  private:
   // Translates host O_* flags to the VFS flag set. Returns false on unsupported flags.
   static int TranslateFlags(int oflag);
+  // Flushes with the stream lock already held (fwrite/fread/fseek internal path).
+  int FlushLocked(PosixFile* stream);
 
   SplitFs* fs_;
   std::mutex mu_;
@@ -108,6 +118,10 @@ struct PosixFile {
   int fd = -1;
   bool writable = false;
   bool append = false;
+  // Per-stream lock (glibc's flockfile): guards wbuf/failed so concurrent stdio
+  // calls on one stream interleave at call granularity instead of corrupting the
+  // write-behind buffer.
+  std::mutex mu;
   // Write-behind buffer (stdio's default block buffering, 4 KB).
   std::vector<uint8_t> wbuf;
   bool failed = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "src/common/bytes.h"
 
@@ -9,9 +10,12 @@ namespace splitfs {
 
 using common::kBlockSize;
 using vfs::Ino;
+using vfs::RangeLock;
+using vfs::RangeReadGuard;
+using vfs::RangeWriteGuard;
 
 namespace {
-// One 4 KB scratch buffer for partial-block staging copies.
+// One 4 KB scratch buffer per thread for partial-block staging copies.
 thread_local std::vector<uint8_t> g_scratch(common::kBlockSize);
 }  // namespace
 
@@ -50,9 +54,11 @@ SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instanc
 }
 
 SplitFs::~SplitFs() {
-  for (auto& [ino, fs] : files_) {
-    if (fs.kernel_fd >= 0) {
-      kfs_->Close(fs.kernel_fd);
+  for (FileShard& shard : file_shards_) {
+    for (auto& [ino, fs] : shard.map) {
+      if (fs->kernel_fd >= 0) {
+        kfs_->Close(fs->kernel_fd);
+      }
     }
   }
 }
@@ -61,95 +67,155 @@ std::string SplitFs::Name() const { return std::string("SplitFS-") + ModeName(op
 
 // --- State management --------------------------------------------------------------------
 
-SplitFs::FileState* SplitFs::StateOf(int fd) {
+SplitFs::FileRef SplitFs::FileOf(Ino ino) const {
+  FileShard& shard = FileShardOf(ino);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(ino);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+Ino SplitFs::LookupPath(const std::string& path) const {
+  PathShard& shard = PathShardOf(path);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(path);
+  return it == shard.map.end() ? vfs::kInvalidIno : it->second;
+}
+
+SplitFs::FileRef SplitFs::StateOf(int fd, std::shared_ptr<vfs::OpenFile>* of_out) const {
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return nullptr;
   }
-  auto it = files_.find(of->ino);
-  return it == files_.end() ? nullptr : &it->second;
+  if (of_out != nullptr) {
+    *of_out = of;
+  }
+  return FileOf(of->ino);
 }
 
-SplitFs::FileState* SplitFs::EnsureState(const std::string& path, int kernel_fd) {
-  Ino ino = kfs_->InoOf(kernel_fd);
-  SPLITFS_CHECK(ino != vfs::kInvalidIno);
-  auto it = files_.find(ino);
-  if (it != files_.end()) {
-    return &it->second;
+std::vector<SplitFs::FileRef> SplitFs::SnapshotFiles() const {
+  std::vector<FileRef> out;
+  for (FileShard& shard : file_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [ino, fs] : shard.map) {
+      out.push_back(fs);
+    }
   }
-  // First open: stat() the file and cache its attributes (§3.5).
-  vfs::StatBuf st;
-  SPLITFS_CHECK_OK(kfs_->Fstat(kernel_fd, &st));
-  FileState fs;
-  fs.ino = ino;
-  fs.kernel_fd = kernel_fd;
-  fs.path = path;
-  fs.size = st.size;
-  fs.kernel_size = st.size;
-  path_cache_[path] = ino;
-  return &files_.emplace(ino, std::move(fs)).first->second;
+  return out;
 }
 
 // --- Open / close / metadata ---------------------------------------------------------------
 
 int SplitFs::Open(const std::string& path, int flags) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto cached = path_cache_.find(path);
-  bool have_state = cached != path_cache_.end() && files_.count(cached->second) != 0;
-  ctx_->ChargeCpu(have_state ? ctx_->model.usplit_reopen_cpu_ns
-                             : ctx_->model.usplit_open_cpu_ns);
+  // Retries only on races with unlink/creation (a cached state going defunct under
+  // us, or a creation finishing first); a single-threaded process never loops.
+  for (;;) {
+    Ino cached_ino = LookupPath(path);
+    FileRef fs = cached_ino != vfs::kInvalidIno ? FileOf(cached_ino) : nullptr;
+    ctx_->ChargeCpu(fs != nullptr ? ctx_->model.usplit_reopen_cpu_ns
+                                  : ctx_->model.usplit_open_cpu_ns);
 
-  if (have_state) {
-    // Reopen of a cached file: the kernel open still happens (the trap and path walk),
-    // but U-Split reuses its cached attributes and existing kernel descriptor.
-    if ((flags & vfs::kCreate) != 0 && (flags & vfs::kExcl) != 0) {
-      return -EEXIST;  // The cached file exists; O_CREAT|O_EXCL must fail.
+    if (fs != nullptr) {
+      // Reopen of a cached file: the kernel open still happens (the trap and path
+      // walk), but U-Split reuses its cached attributes and existing kernel
+      // descriptor.
+      if ((flags & vfs::kCreate) != 0 && (flags & vfs::kExcl) != 0) {
+        return -EEXIST;  // The cached file exists; O_CREAT|O_EXCL must fail.
+      }
+      ctx_->ChargeSyscall();
+      ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
+      if ((flags & vfs::kTrunc) != 0) {
+        RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+        if (IsDefunct(fs.get())) {
+          continue;  // Unlinked while we queued for the lock.
+        }
+        // Publish-then-truncate, mirroring Ftruncate: simply discarding the staged
+        // ranges would leave their op-log append entries valid and the staged blocks
+        // in place, so strict-mode crash recovery would resurrect the truncated
+        // data. Publishing first turns those staging ranges into holes replay skips.
+        int rc = PublishStaged(fs.get());
+        if (rc != 0) {
+          return rc;
+        }
+        rc = kfs_->Ftruncate(fs->kernel_fd, 0);
+        if (rc != 0) {
+          return rc;
+        }
+        uint64_t old_size;
+        {
+          std::lock_guard<std::mutex> meta(fs->meta_mu);
+          old_size = fs->size;
+          fs->size = 0;
+          fs->kernel_size = 0;
+          fs->metadata_dirty = true;
+        }
+        mmaps_.InvalidateRange(fs->ino, 0, std::max<uint64_t>(old_size, kBlockSize));
+        if (opts_.mode == Mode::kStrict) {
+          LogMetaOp(LogOp::kTruncate, fs->ino, 0, fs.get());
+        }
+        MakeMetadataSynchronous(fs.get());
+      }
+      {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        if (fs->defunct) {
+          continue;  // Unlinked since the lookup; restart as a fresh open.
+        }
+        ++fs->open_count;
+      }
+      return fds_.Allocate(fs->ino, flags);
     }
-    FileState& fs = files_[cached->second];
-    ctx_->ChargeSyscall();
-    ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
-    if ((flags & vfs::kTrunc) != 0) {
-      // Publish-then-truncate, mirroring Ftruncate: simply discarding the staged
-      // ranges would leave their op-log append entries valid and the staged blocks
-      // in place, so strict-mode crash recovery would resurrect the truncated
-      // data. Publishing first turns those staging ranges into holes replay skips.
-      int rc = PublishStaged(&fs);
-      if (rc != 0) {
-        return rc;
-      }
-      rc = kfs_->Ftruncate(fs.kernel_fd, 0);
-      if (rc != 0) {
-        return rc;
-      }
-      mmaps_.InvalidateRange(fs.ino, 0, std::max<uint64_t>(fs.size, kBlockSize));
-      fs.size = 0;
-      fs.kernel_size = 0;
-      fs.metadata_dirty = true;
-      if (opts_.mode == Mode::kStrict) {
-        LogMetaOp(LogOp::kTruncate, fs.ino, 0);
-      }
-      MakeMetadataSynchronous(&fs);
-    }
-    ++fs.open_count;
-    return fds_.Allocate(fs.ino, flags);
-  }
 
-  int kfd = kfs_->Open(path, flags);
-  if (kfd < 0) {
-    return kfd;
+    // First open: create the state under the path-shard lock, which Unlink holds
+    // across its kernel unlink — so the kernel open, the attribute snapshot, and the
+    // path-cache insert are atomic against deletion (no stale cache entry can ever
+    // outlive its file).
+    {
+      PathShard& pshard = PathShardOf(path);
+      std::unique_lock<std::shared_mutex> plock(pshard.mu);
+      if (pshard.map.count(path) != 0) {
+        continue;  // A racing creator won; retry as a cached reopen.
+      }
+      int kfd = kfs_->Open(path, flags);
+      if (kfd < 0) {
+        return kfd;
+      }
+      Ino ino = kfs_->InoOf(kfd);
+      SPLITFS_CHECK(ino != vfs::kInvalidIno);
+      // Stat() the file and cache its attributes (§3.5).
+      vfs::StatBuf st;
+      SPLITFS_CHECK_OK(kfs_->Fstat(kfd, &st));
+      fs = std::make_shared<FileState>(&ctx_->clock);
+      fs->ino = ino;
+      fs->kernel_fd = kfd;
+      fs->path = path;
+      fs->size = st.size;
+      fs->kernel_size = st.size;
+      {
+        FileShard& shard = FileShardOf(ino);
+        std::lock_guard<std::shared_mutex> lock(shard.mu);
+        shard.map[ino] = fs;
+      }
+      pshard.map[path] = ino;
+    }
+    uint64_t size_now;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      if ((flags & (vfs::kCreate | vfs::kTrunc)) != 0) {
+        fs->metadata_dirty = true;
+      }
+      size_now = fs->size;
+    }
+    if (opts_.mode == Mode::kStrict && (flags & vfs::kCreate) != 0 && size_now == 0) {
+      LogMetaOp(LogOp::kCreate, fs->ino, 0, nullptr);
+    }
+    if ((flags & vfs::kCreate) != 0 && size_now == 0) {
+      MakeMetadataSynchronous(fs.get());
+    }
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      ++fs->open_count;
+    }
+    return fds_.Allocate(fs->ino, flags);
   }
-  FileState* fs = EnsureState(path, kfd);
-  if ((flags & (vfs::kCreate | vfs::kTrunc)) != 0) {
-    fs->metadata_dirty = true;
-  }
-  if (opts_.mode == Mode::kStrict && (flags & vfs::kCreate) != 0 && fs->size == 0) {
-    LogMetaOp(LogOp::kCreate, fs->ino);
-  }
-  if ((flags & vfs::kCreate) != 0 && fs->size == 0) {
-    MakeMetadataSynchronous(fs);
-  }
-  ++fs->open_count;
-  return fds_.Allocate(fs->ino, flags);
 }
 
 void SplitFs::MakeMetadataSynchronous(FileState* fs) {
@@ -160,20 +226,26 @@ void SplitFs::MakeMetadataSynchronous(FileState* fs) {
   }
   kfs_->CommitJournal(/*fsync_barrier=*/false);
   if (fs != nullptr) {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
     fs->metadata_dirty = false;
   }
 }
 
 int SplitFs::Close(int fd) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(ctx_->model.usplit_close_cpu_ns);
-  FileState* fs = StateOf(fd);
+  FileRef fs = StateOf(fd);
   if (fs == nullptr) {
     return -EBADF;
   }
   // Appends are published on fsync() *or* close() (§3.4).
-  if (!fs->staged.empty()) {
-    int rc = PublishStaged(fs);
+  bool staged;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    staged = !fs->staged.empty();
+  }
+  if (staged) {
+    RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+    int rc = PublishStaged(fs.get());
     if (rc != 0) {
       return rc;
     }
@@ -181,46 +253,71 @@ int SplitFs::Close(int fd) {
   // The application's close traps into the kernel; U-Split keeps its own descriptor
   // and all cached state alive (cache is only cleared by unlink, §3.5).
   ctx_->ChargeSyscall();
-  if (fs->open_count > 0) {
-    --fs->open_count;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    if (fs->open_count > 0) {
+      --fs->open_count;
+    }
   }
   return fds_.Release(fd);
 }
 
 int SplitFs::Dup(int fd) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(ctx_->model.user_work_ns);
   ctx_->ChargeSyscall();
   return fds_.Dup(fd);  // Shares the open file description: one offset (§3.5).
 }
 
 int SplitFs::Unlink(const std::string& path) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(ctx_->model.usplit_unlink_cpu_ns);
-  auto cached = path_cache_.find(path);
-  if (cached != path_cache_.end()) {
-    auto it = files_.find(cached->second);
-    if (it != files_.end()) {
-      FileState& fs = it->second;
-      // Staged-but-unpublished data dies with the file; the pool gets its bytes back
-      // and mappings are unmapped here — this is what makes unlink SplitFS's most
-      // expensive call (Table 6).
-      if (staging_) {
-        for (const auto& [off, r] : fs.staged) {
-          staging_->Release(r.alloc);
-        }
-      }
-      fs.staged.clear();
-      mmaps_.InvalidateFile(fs.ino);
-      if (opts_.mode == Mode::kStrict) {
-        LogMetaOp(LogOp::kUnlink, fs.ino);
-      }
-      kfs_->Close(fs.kernel_fd);
-      files_.erase(it);
+  int rc;
+  {
+    // The path-shard lock is held through the kernel unlink so a racing first open
+    // (which creates its state under the same lock) either completes before us — and
+    // we tear it down — or starts after the file is really gone.
+    PathShard& pshard = PathShardOf(path);
+    std::lock_guard<std::shared_mutex> plock(pshard.mu);
+    Ino ino = vfs::kInvalidIno;
+    auto it = pshard.map.find(path);
+    if (it != pshard.map.end()) {
+      ino = it->second;
+      pshard.map.erase(it);
     }
-    path_cache_.erase(cached);
+    if (ino != vfs::kInvalidIno) {
+      FileRef fs = FileOf(ino);
+      if (fs != nullptr) {
+        {
+          // Descriptor operations now miss; in-flight ones drain below.
+          FileShard& shard = FileShardOf(ino);
+          std::lock_guard<std::shared_mutex> lock(shard.mu);
+          shard.map.erase(ino);
+        }
+        RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+        // Staged-but-unpublished data dies with the file; the pool gets its bytes
+        // back and mappings are unmapped here — this is what makes unlink SplitFS's
+        // most expensive call (Table 6).
+        {
+          std::lock_guard<std::mutex> meta(fs->meta_mu);
+          if (!fs->staged.empty()) {
+            if (staging_) {
+              for (const auto& [off, r] : fs->staged) {
+                staging_->Release(r.alloc);
+              }
+            }
+            fs->staged.clear();
+            dirty_files_.fetch_sub(1, std::memory_order_release);
+          }
+          fs->defunct = true;  // Queued writers/readers bail with EBADF.
+        }
+        mmaps_.InvalidateFile(fs->ino);
+        if (opts_.mode == Mode::kStrict) {
+          LogMetaOp(LogOp::kUnlink, fs->ino, 0, fs.get());
+        }
+        kfs_->Close(fs->kernel_fd);
+      }
+    }
+    rc = kfs_->Unlink(path);
   }
-  int rc = kfs_->Unlink(path);
   if (rc == 0) {
     MakeMetadataSynchronous(nullptr);
   }
@@ -228,39 +325,85 @@ int SplitFs::Unlink(const std::string& path) {
 }
 
 int SplitFs::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(2 * ctx_->model.user_work_ns);
   int rc = kfs_->Rename(from, to);
   if (rc != 0) {
     return rc;
   }
   // Rename is the paper's example of a multi-entry logged operation.
-  auto cached = path_cache_.find(from);
-  bool had_from_state = cached != path_cache_.end();
-  if (had_from_state) {
-    Ino ino = cached->second;
-    path_cache_.erase(cached);
-    path_cache_[to] = ino;
-    auto it = files_.find(ino);
-    if (it != files_.end()) {
-      it->second.path = to;
-    }
-    if (opts_.mode == Mode::kStrict) {
-      LogMetaOp(LogOp::kRenameFrom, ino);
-      LogMetaOp(LogOp::kRenameTo, ino);
+  Ino ino = vfs::kInvalidIno;
+  {
+    PathShard& pshard = PathShardOf(from);
+    std::lock_guard<std::shared_mutex> lock(pshard.mu);
+    auto it = pshard.map.find(from);
+    if (it != pshard.map.end()) {
+      ino = it->second;
+      pshard.map.erase(it);
     }
   }
-  // The destination, if it existed and was cached, has been replaced.
-  auto dst_cached = path_cache_.find(to);
-  if (dst_cached != path_cache_.end() && !had_from_state) {
-    // `to` still maps to the displaced file's ino; drop the stale state.
-    auto it = files_.find(dst_cached->second);
-    if (it != files_.end() && it->second.path == to) {
-      mmaps_.InvalidateFile(it->second.ino);
-      kfs_->Close(it->second.kernel_fd);
-      files_.erase(it);
+  bool had_from_state = ino != vfs::kInvalidIno;
+  if (had_from_state) {
+    {
+      PathShard& pshard = PathShardOf(to);
+      std::lock_guard<std::shared_mutex> lock(pshard.mu);
+      pshard.map[to] = ino;
     }
-    path_cache_.erase(dst_cached);
+    FileRef fs = FileOf(ino);
+    if (fs != nullptr) {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      fs->path = to;
+    }
+    if (opts_.mode == Mode::kStrict) {
+      LogMetaOp(LogOp::kRenameFrom, ino, 0, nullptr);
+      LogMetaOp(LogOp::kRenameTo, ino, 0, nullptr);
+    }
+  } else {
+    // The destination, if it existed and was cached, has been replaced: drop the
+    // stale state.
+    Ino displaced = vfs::kInvalidIno;
+    {
+      PathShard& pshard = PathShardOf(to);
+      std::lock_guard<std::shared_mutex> lock(pshard.mu);
+      auto it = pshard.map.find(to);
+      if (it != pshard.map.end()) {
+        displaced = it->second;
+        pshard.map.erase(it);
+      }
+    }
+    if (displaced != vfs::kInvalidIno) {
+      FileRef fs = FileOf(displaced);
+      bool matches = false;
+      if (fs != nullptr) {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        matches = fs->path == to;
+      }
+      if (matches) {
+        {
+          FileShard& shard = FileShardOf(displaced);
+          std::lock_guard<std::shared_mutex> lock(shard.mu);
+          shard.map.erase(displaced);
+        }
+        RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+        {
+          // Same teardown as Unlink: staged-but-unpublished data dies with the
+          // displaced file, and its bytes go back to the pool so consumed staging
+          // files can retire.
+          std::lock_guard<std::mutex> meta(fs->meta_mu);
+          if (!fs->staged.empty()) {
+            if (staging_) {
+              for (const auto& [off, r] : fs->staged) {
+                staging_->Release(r.alloc);
+              }
+            }
+            fs->staged.clear();
+            dirty_files_.fetch_sub(1, std::memory_order_release);
+          }
+          fs->defunct = true;
+        }
+        mmaps_.InvalidateFile(fs->ino);
+        kfs_->Close(fs->kernel_fd);
+      }
+    }
   }
   MakeMetadataSynchronous(nullptr);
   return 0;
@@ -297,42 +440,45 @@ int SplitFs::ReadDir(const std::string& path, std::vector<std::string>* names) {
 }
 
 int SplitFs::Stat(const std::string& path, vfs::StatBuf* out) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   int rc = kfs_->Stat(path, out);
   if (rc != 0) {
     return rc;
   }
   // Overlay the cached size: the caller sees its own staged appends.
-  auto cached = path_cache_.find(path);
-  if (cached != path_cache_.end()) {
-    auto it = files_.find(cached->second);
-    if (it != files_.end()) {
-      out->size = it->second.size;
+  Ino ino = LookupPath(path);
+  if (ino != vfs::kInvalidIno) {
+    FileRef fs = FileOf(ino);
+    if (fs != nullptr) {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      out->size = fs->size;
     }
   }
   return 0;
 }
 
 int SplitFs::Fstat(int fd, vfs::StatBuf* out) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(ctx_->model.user_work_ns);  // Served from the attribute cache.
-  FileState* fs = StateOf(fd);
+  FileRef fs = StateOf(fd);
   if (fs == nullptr) {
     return -EBADF;
   }
+  uint64_t size;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    size = fs->size;
+  }
   out->ino = fs->ino;
-  out->size = fs->size;
-  out->blocks = common::DivCeil(fs->size, kBlockSize);
+  out->size = size;
+  out->blocks = common::DivCeil(size, kBlockSize);
   out->nlink = 1;
   out->type = vfs::FileType::kRegular;
   return 0;
 }
 
 int64_t SplitFs::Lseek(int fd, int64_t off, vfs::Whence whence) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(ctx_->model.user_work_ns);  // Pure user space: no trap.
-  auto of = fds_.Get(fd);
-  FileState* fs = StateOf(fd);
+  std::shared_ptr<vfs::OpenFile> of;
+  FileRef fs = StateOf(fd, &of);
   if (of == nullptr || fs == nullptr) {
     return -EBADF;
   }
@@ -345,9 +491,11 @@ int64_t SplitFs::Lseek(int fd, int64_t off, vfs::Whence whence) {
     case vfs::Whence::kCur:
       base = static_cast<int64_t>(of->offset);
       break;
-    case vfs::Whence::kEnd:
+    case vfs::Whence::kEnd: {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
       base = static_cast<int64_t>(fs->size);
       break;
+    }
   }
   int64_t target = base + off;
   if (target < 0) {
@@ -360,40 +508,45 @@ int64_t SplitFs::Lseek(int fd, int64_t off, vfs::Whence whence) {
 // --- Data path ----------------------------------------------------------------------------
 
 ssize_t SplitFs::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  FileState* fs = StateOf(fd);
+  std::shared_ptr<vfs::OpenFile> of;
+  FileRef fs = StateOf(fd, &of);
   if (fs == nullptr) {
     return -EBADF;
   }
-  auto of = fds_.Get(fd);
   if (!vfs::WantsRead(of->flags)) {
     return -EBADF;
   }
-  return ReadAt(fs, buf, n, off);
+  RangeReadGuard guard(&fs->rlock, off, n);
+  if (IsDefunct(fs.get())) {
+    return -EBADF;  // Unlinked while we queued for the range.
+  }
+  return ReadAt(fs.get(), buf, n, off);
 }
 
 ssize_t SplitFs::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  FileState* fs = StateOf(fd);
+  std::shared_ptr<vfs::OpenFile> of;
+  FileRef fs = StateOf(fd, &of);
   if (fs == nullptr) {
     return -EBADF;
   }
-  auto of = fds_.Get(fd);
   if (!vfs::WantsWrite(of->flags)) {
     return -EBADF;
   }
-  return WriteAt(fs, buf, n, off);
+  return LockedWrite(fs.get(), buf, n, off);
 }
 
 ssize_t SplitFs::Read(int fd, void* buf, uint64_t n) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  FileState* fs = StateOf(fd);
-  auto of = fds_.Get(fd);
+  std::shared_ptr<vfs::OpenFile> of;
+  FileRef fs = StateOf(fd, &of);
   if (fs == nullptr || of == nullptr || !vfs::WantsRead(of->flags)) {
     return -EBADF;
   }
   std::lock_guard<std::mutex> flock(of->mu);
-  ssize_t rc = ReadAt(fs, buf, n, of->offset);
+  RangeReadGuard guard(&fs->rlock, of->offset, n);
+  if (IsDefunct(fs.get())) {
+    return -EBADF;
+  }
+  ssize_t rc = ReadAt(fs.get(), buf, n, of->offset);
   if (rc > 0) {
     of->offset += static_cast<uint64_t>(rc);
   }
@@ -401,51 +554,124 @@ ssize_t SplitFs::Read(int fd, void* buf, uint64_t n) {
 }
 
 ssize_t SplitFs::Write(int fd, const void* buf, uint64_t n) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  FileState* fs = StateOf(fd);
-  auto of = fds_.Get(fd);
+  std::shared_ptr<vfs::OpenFile> of;
+  FileRef fs = StateOf(fd, &of);
   if (fs == nullptr || of == nullptr || !vfs::WantsWrite(of->flags)) {
     return -EBADF;
   }
   std::lock_guard<std::mutex> flock(of->mu);
-  uint64_t off = (of->flags & vfs::kAppend) != 0 ? fs->size : of->offset;
-  ssize_t rc = WriteAt(fs, buf, n, off);
+  if ((of->flags & vfs::kAppend) != 0) {
+    // O_APPEND: the write offset is the size *at write time*; take the whole file so
+    // concurrent appenders see a consistent tail (atomic appends, Table 3).
+    RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+    uint64_t off;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      if (fs->defunct) {
+        return -EBADF;
+      }
+      off = fs->size;
+    }
+    ssize_t rc = WriteAt(fs.get(), buf, n, off);
+    if (rc > 0) {
+      of->offset = off + static_cast<uint64_t>(rc);
+    }
+    return rc;
+  }
+  uint64_t off = of->offset;
+  ssize_t rc = LockedWrite(fs.get(), buf, n, off);
   if (rc > 0) {
     of->offset = off + static_cast<uint64_t>(rc);
   }
   return rc;
 }
 
+ssize_t SplitFs::LockedWrite(FileState* fs, const void* buf, uint64_t n, uint64_t off) {
+  // Writes that stay strictly inside the current file size and don't need logging are
+  // in-place overwrites of settled bytes: they take only their byte range, so
+  // disjoint-offset writers proceed in parallel. Everything else — appends, EOF
+  // crossings, strict-mode writes (logged; a log-full checkpoint must be able to
+  // publish the file), and the no-staging ablation — takes the whole file.
+  for (;;) {
+    bool whole = opts_.mode == Mode::kStrict || !opts_.enable_staging;
+    if (!whole) {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      whole = off + n > fs->size;
+    }
+    if (whole) {
+      RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+      if (IsDefunct(fs)) {
+        return -EBADF;  // Unlinked while we queued for the lock.
+      }
+      return WriteAt(fs, buf, n, off);
+    }
+    fs->rlock.LockExclusive(off, n);
+    bool still_inside;
+    bool defunct;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      still_inside = off + n <= fs->size;
+      defunct = fs->defunct;
+    }
+    if (defunct) {
+      fs->rlock.UnlockExclusive(off, n);
+      return -EBADF;
+    }
+    if (!still_inside) {
+      // The file shrank between classification and lock acquisition (truncate won
+      // the race); re-classify with the whole file.
+      fs->rlock.UnlockExclusive(off, n);
+      continue;
+    }
+    ssize_t rc = WriteAt(fs, buf, n, off);
+    fs->rlock.UnlockExclusive(off, n);
+    return rc;
+  }
+}
+
 ssize_t SplitFs::ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off) {
   ctx_->ChargeCpu(ctx_->model.usplit_data_op_cpu_ns);
-  if (off >= fs->size || n == 0) {
+  uint64_t size;
+  bool sequential;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    size = fs->size;
+    sequential = off == fs->last_read_end && off != 0;
+  }
+  if (off >= size || n == 0) {
     return 0;
   }
-  uint64_t end = std::min(off + n, fs->size);
+  uint64_t end = std::min(off + n, size);
   auto* dst = static_cast<uint8_t*>(buf);
   uint64_t cur = off;
   pmem::Device* dev = kfs_->device();
-  bool sequential = off == fs->last_read_end && off != 0;
 
   while (cur < end) {
     // 1. Staged data wins: "later reads to the appended region are routed to the
-    //    staging block" (Figure 2).
-    auto sit = fs->staged.upper_bound(cur);
-    const StagedRange* covering = nullptr;
+    //    staging block" (Figure 2). Look up under the metadata mutex and copy the
+    //    range descriptor out; the bytes themselves are stable — our shared range
+    //    lock excludes writers of this range.
+    StagedRange covering;
+    bool have_covering = false;
     uint64_t next_staged_start = end;
-    if (sit != fs->staged.begin()) {
-      auto prev = std::prev(sit);
-      if (cur < prev->first + prev->second.alloc.len) {
-        covering = &prev->second;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      auto sit = fs->staged.upper_bound(cur);
+      if (sit != fs->staged.begin()) {
+        auto prev = std::prev(sit);
+        if (cur < prev->first + prev->second.alloc.len) {
+          covering = prev->second;
+          have_covering = true;
+        }
+      }
+      if (!have_covering && sit != fs->staged.end()) {
+        next_staged_start = std::min(end, sit->first);
       }
     }
-    if (covering == nullptr && sit != fs->staged.end()) {
-      next_staged_start = std::min(end, sit->first);
-    }
-    if (covering != nullptr) {
-      uint64_t delta = cur - covering->file_off;
-      uint64_t span = std::min(end - cur, covering->alloc.len - delta);
-      dev->Load(covering->alloc.dev_off + delta, dst, span, sequential, /*user_data=*/true);
+    if (have_covering) {
+      uint64_t delta = cur - covering.file_off;
+      uint64_t span = std::min(end - cur, covering.alloc.len - delta);
+      dev->Load(covering.alloc.dev_off + delta, dst, span, sequential, /*user_data=*/true);
       sequential = true;
       dst += span;
       cur += span;
@@ -475,26 +701,35 @@ ssize_t SplitFs::ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off) {
     dst += span;
     cur += span;
   }
-  fs->last_read_end = end;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    fs->last_read_end = end;
+  }
   return static_cast<ssize_t>(end - off);
 }
 
 uint64_t SplitFs::OverwriteStagedOverlap(FileState* fs, const uint8_t* buf, uint64_t n,
                                          uint64_t off) {
-  auto sit = fs->staged.upper_bound(off);
-  if (sit == fs->staged.begin()) {
-    return 0;
-  }
-  auto prev = std::prev(sit);
-  StagedRange& r = prev->second;
-  if (off >= r.file_off + r.alloc.len) {
-    return 0;
+  uint64_t store_dev = 0;
+  uint64_t span = 0;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    auto sit = fs->staged.upper_bound(off);
+    if (sit == fs->staged.begin()) {
+      return 0;
+    }
+    auto prev = std::prev(sit);
+    const StagedRange& r = prev->second;
+    if (off >= r.file_off + r.alloc.len) {
+      return 0;
+    }
+    uint64_t delta = off - r.file_off;
+    span = std::min(n, r.alloc.len - delta);
+    store_dev = r.alloc.dev_off + delta;
   }
   // Update the staged bytes in place: they are not yet published, so this stays
-  // atomic with the eventual relink.
-  uint64_t delta = off - r.file_off;
-  uint64_t span = std::min(n, r.alloc.len - delta);
-  kfs_->device()->StoreNt(r.alloc.dev_off + delta, buf, span, sim::PmWriteKind::kUserData);
+  // atomic with the eventual relink. The caller's range lock covers these bytes.
+  kfs_->device()->StoreNt(store_dev, buf, span, sim::PmWriteKind::kUserData);
   return span;
 }
 
@@ -538,23 +773,34 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
 
   // Try to extend the most recent staged range: sequential appends stay physically
   // contiguous, which is what lets fsync publish them with a single relink.
-  if (!fs->staged.empty()) {
-    auto& [start, last] = *std::prev(fs->staged.end());
-    if (!last.is_overwrite && !is_overwrite &&
-        last.file_off + last.alloc.len == off &&
-        staging_->ExtendInPlace(&last.alloc, n)) {
-      dev->StoreNt(last.alloc.dev_off + (last.alloc.len - n), buf, n,
-                   sim::PmWriteKind::kUserData);
+  {
+    bool extended = false;
+    uint64_t store_dev = 0;
+    StagingAlloc piece;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      if (!fs->staged.empty()) {
+        auto& [start, last] = *std::prev(fs->staged.end());
+        if (!last.is_overwrite && !is_overwrite &&
+            last.file_off + last.alloc.len == off &&
+            staging_->ExtendInPlace(&last.alloc, n)) {
+          extended = true;
+          store_dev = last.alloc.dev_off + (last.alloc.len - n);
+          piece = last.alloc;
+          piece.staging_off += piece.len - n;
+          piece.dev_off += piece.len - n;
+          piece.len = n;
+          fs->size = std::max(fs->size, off + n);
+        }
+      }
+    }
+    if (extended) {
+      dev->StoreNt(store_dev, buf, n, sim::PmWriteKind::kUserData);
       if (opts_.mode == Mode::kStrict) {
-        StagingAlloc piece = last.alloc;
-        piece.staging_off += piece.len - n;
-        piece.dev_off += piece.len - n;
-        piece.len = n;
-        LogDataOp(LogOp::kAppend, fs->ino, off, piece);
+        LogDataOp(LogOp::kAppend, fs, off, piece);
       } else if (opts_.mode == Mode::kSync) {
         dev->Fence();
       }
-      fs->size = std::max(fs->size, off + n);
       return static_cast<ssize_t>(n);
     }
   }
@@ -571,9 +817,15 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
     r.file_off = cur;
     r.alloc = a;
     r.is_overwrite = is_overwrite;
-    fs->staged[cur] = r;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      if (fs->staged.empty()) {
+        dirty_files_.fetch_add(1, std::memory_order_release);
+      }
+      fs->staged[cur] = r;
+    }
     if (opts_.mode == Mode::kStrict) {
-      LogDataOp(is_overwrite ? LogOp::kOverwrite : LogOp::kAppend, fs->ino, cur, a);
+      LogDataOp(is_overwrite ? LogOp::kOverwrite : LogOp::kAppend, fs, cur, a);
     }
     src += a.len;
     cur += a.len;
@@ -581,7 +833,10 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
   if (opts_.mode == Mode::kSync) {
     dev->Fence();  // Sync mode persists the staged bytes synchronously.
   }
-  fs->size = std::max(fs->size, off + n);
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    fs->size = std::max(fs->size, off + n);
+  }
   return static_cast<ssize_t>(n);
 }
 
@@ -590,6 +845,10 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
     return 0;
   }
   const auto* src = static_cast<const uint8_t*>(buf);
+  auto size_of = [fs] {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    return fs->size;
+  };
 
   // Ablation configuration (Figure 3 "split" bar): no staging — every write goes to
   // the kernel, appends included.
@@ -600,6 +859,7 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
     }
     ssize_t rc = kfs_->Pwrite(fs->kernel_fd, src, n, off);
     if (rc > 0) {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
       fs->kernel_size = std::max(fs->kernel_size, off + static_cast<uint64_t>(rc));
       fs->size = std::max(fs->size, fs->kernel_size);
     }
@@ -607,13 +867,14 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
   }
 
   // Writing past EOF with a gap: rare; delegate to the kernel for correctness.
-  if (off > fs->size) {
+  if (off > size_of()) {
     int prc = PublishStaged(fs);
     if (prc != 0) {
       return prc;
     }
     ssize_t rc = kfs_->Pwrite(fs->kernel_fd, src, n, off);
     if (rc > 0) {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
       fs->kernel_size = std::max(fs->kernel_size, off + static_cast<uint64_t>(rc));
       fs->size = std::max(fs->size, fs->kernel_size);
       fs->metadata_dirty = true;
@@ -621,7 +882,8 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
     return rc;
   }
 
-  uint64_t overwrite_len = off + n <= fs->size ? n : fs->size - off;
+  uint64_t size = size_of();
+  uint64_t overwrite_len = off + n <= size ? n : size - off;
   uint64_t cur = off;
   uint64_t ow_end = off + overwrite_len;
 
@@ -641,9 +903,12 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
     }
     // Segment until the next staged range.
     uint64_t seg_end = ow_end;
-    auto sit = fs->staged.upper_bound(cur);
-    if (sit != fs->staged.end()) {
-      seg_end = std::min(seg_end, sit->first);
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      auto sit = fs->staged.upper_bound(cur);
+      if (sit != fs->staged.end()) {
+        seg_end = std::min(seg_end, sit->first);
+      }
     }
     uint64_t span = seg_end - cur;
     if (opts_.mode == Mode::kStrict) {
@@ -670,8 +935,8 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
   }
 
   // Append tail.
-  if (off + n > fs->size) {
-    uint64_t append_off = std::max(off, fs->size);
+  if (off + n > size_of()) {
+    uint64_t append_off = std::max(off, size_of());
     uint64_t append_len = off + n - append_off;
     ctx_->ChargeCpu(ctx_->model.usplit_append_cpu_ns);
     ssize_t rc = AppendStaged(fs, src, append_len, append_off, /*is_overwrite=*/false);
@@ -727,7 +992,7 @@ int SplitFs::RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r) {
     if (rc != 0) {
       return rc;
     }
-    ++relinks_;
+    relinks_.fetch_add(1, std::memory_order_relaxed);
     // Retain the memory mapping: the physical blocks didn't move, so the staging
     // region's mapping becomes the target file's mapping at zero cost (Figure 2).
     uint64_t core_dev_off = r.alloc.dev_off + (s - file_off);
@@ -772,8 +1037,11 @@ int SplitFs::CopyStagedRun(FileState* fs, const StagedRange& r) {
 }
 
 int SplitFs::PublishStaged(FileState* fs) {
-  if (fs->staged.empty()) {
-    return 0;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    if (fs->staged.empty()) {
+      return 0;
+    }
   }
   // Drain pending non-temporal stores before making the data reachable.
   kfs_->device()->Fence();
@@ -781,39 +1049,72 @@ int SplitFs::PublishStaged(FileState* fs) {
   // unpublished remainder staged, or the retry would relink — and Release — the
   // already-published ranges a second time (double-releasing could retire a staging
   // file other files still reference).
-  for (auto it = fs->staged.begin(); it != fs->staged.end();) {
-    const auto& [file_off, r] = *it;
+  for (;;) {
+    uint64_t file_off;
+    StagedRange r;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      auto it = fs->staged.begin();
+      if (it == fs->staged.end()) {
+        break;
+      }
+      file_off = it->first;
+      r = it->second;
+    }
     int rc = opts_.enable_relink ? RelinkRun(fs, file_off, r) : CopyStagedRun(fs, r);
     if (rc != 0) {
       return rc;
     }
-    fs->kernel_size = std::max(fs->kernel_size, file_off + r.alloc.len);
+    {
+      // kernel_size only changes under the whole-file lock (held here), but fork/exec
+      // snapshots read it under meta_mu alone.
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      fs->kernel_size = std::max(fs->kernel_size, file_off + r.alloc.len);
+    }
     if (staging_) {
       staging_->Release(r.alloc);  // Published: the pool may retire consumed files.
     }
-    it = fs->staged.erase(it);
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      fs->staged.erase(file_off);
+    }
   }
   if (opts_.enable_relink) {
     // One journal commit covers every relink of this publish (jbd2 batches handles).
     kfs_->CommitJournal(/*fsync_barrier=*/false);
   }
-  fs->metadata_dirty = false;  // The commit covered the running transaction too.
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    fs->metadata_dirty = false;  // The commit covered the running transaction too.
+  }
+  dirty_files_.fetch_sub(1, std::memory_order_release);
   return 0;
 }
 
 int SplitFs::Fsync(int fd) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(ctx_->model.usplit_fsync_cpu_ns);
-  FileState* fs = StateOf(fd);
+  FileRef fs = StateOf(fd);
   if (fs == nullptr) {
     return -EBADF;
   }
-  if (!fs->staged.empty()) {
-    return PublishStaged(fs);  // Relink path: no fsync barrier (Table 6).
+  RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+  bool staged;
+  bool metadata_dirty;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    if (fs->defunct) {
+      return -EBADF;
+    }
+    staged = !fs->staged.empty();
+    metadata_dirty = fs->metadata_dirty;
   }
-  if (fs->metadata_dirty) {
+  if (staged) {
+    return PublishStaged(fs.get());  // Relink path: no fsync barrier (Table 6).
+  }
+  if (metadata_dirty) {
     int rc = kfs_->Fsync(fs->kernel_fd);
     if (rc == 0) {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
       fs->metadata_dirty = false;
     }
     return rc;
@@ -825,13 +1126,16 @@ int SplitFs::Fsync(int fd) {
 }
 
 int SplitFs::Ftruncate(int fd, uint64_t size) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   ctx_->ChargeCpu(ctx_->model.user_work_ns);
-  FileState* fs = StateOf(fd);
+  FileRef fs = StateOf(fd);
   if (fs == nullptr) {
     return -EBADF;
   }
-  int rc = PublishStaged(fs);
+  RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+  if (IsDefunct(fs.get())) {
+    return -EBADF;
+  }
+  int rc = PublishStaged(fs.get());
   if (rc != 0) {
     return rc;
   }
@@ -839,27 +1143,36 @@ int SplitFs::Ftruncate(int fd, uint64_t size) {
   if (rc != 0) {
     return rc;
   }
-  if (size < fs->size) {
-    mmaps_.InvalidateRange(fs->ino, size, fs->size - size);
+  uint64_t old_size;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    old_size = fs->size;
+    fs->size = size;
+    fs->kernel_size = size;
+    fs->metadata_dirty = true;
   }
-  fs->size = size;
-  fs->kernel_size = size;
-  fs->metadata_dirty = true;
+  if (size < old_size) {
+    mmaps_.InvalidateRange(fs->ino, size, old_size - size);
+  }
   if (opts_.mode == Mode::kStrict) {
-    LogMetaOp(LogOp::kTruncate, fs->ino, size);
+    LogMetaOp(LogOp::kTruncate, fs->ino, size, fs.get());
   }
-  MakeMetadataSynchronous(fs);
+  MakeMetadataSynchronous(fs.get());
   return 0;
 }
 
 int SplitFs::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  FileState* fs = StateOf(fd);
+  FileRef fs = StateOf(fd);
   if (fs == nullptr) {
+    return -EBADF;
+  }
+  RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+  if (IsDefunct(fs.get())) {
     return -EBADF;
   }
   int rc = kfs_->Fallocate(fs->kernel_fd, off, len, keep_size);
   if (rc == 0 && !keep_size) {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
     fs->size = std::max(fs->size, off + len);
     fs->kernel_size = std::max(fs->kernel_size, off + len);
     fs->metadata_dirty = true;
@@ -869,23 +1182,24 @@ int SplitFs::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
 
 // --- Op log ---------------------------------------------------------------------------------
 
-void SplitFs::LogDataOp(LogOp op, Ino target, uint64_t file_off, const StagingAlloc& a) {
+void SplitFs::LogDataOp(LogOp op, FileState* held, uint64_t file_off,
+                        const StagingAlloc& a) {
   if (!oplog_) {
     return;
   }
   LogEntry e;
   e.op = op;
-  e.target_ino = target;
+  e.target_ino = held->ino;
   e.file_off = file_off;
   e.staging_ino = a.staging_ino;
   e.staging_off = a.staging_off;
   e.len = a.len;
   while (!oplog_->Append(e)) {
-    CheckpointOpLog();
+    CheckpointForFull(held);
   }
 }
 
-void SplitFs::LogMetaOp(LogOp op, Ino target, uint64_t aux) {
+void SplitFs::LogMetaOp(LogOp op, Ino target, uint64_t aux, FileState* held) {
   if (!oplog_) {
     return;
   }
@@ -894,32 +1208,84 @@ void SplitFs::LogMetaOp(LogOp op, Ino target, uint64_t aux) {
   e.target_ino = target;
   e.file_off = aux;
   while (!oplog_->Append(e)) {
-    CheckpointOpLog();
+    CheckpointForFull(held);
   }
 }
 
-void SplitFs::CheckpointOpLog() {
+void SplitFs::CheckpointForFull(FileState* held) {
   // Log full (§3.3): relink every file with staged data, then zero and reuse the log.
+  //
+  // Concurrent protocol: publish the file we hold first (its entries are then dead
+  // and it leaves the dirty set), take the single-flight checkpoint mutex, and sweep
+  // the remaining dirty files with *try*-lock only — a writer that holds its file and
+  // is itself blocked right here has already published it, so spinning until the
+  // dirty count reaches zero always terminates and never deadlocks.
   ctx_->ChargeCpu(ctx_->model.usplit_log_checkpoint_cpu_ns);
-  for (auto& [ino, fs] : files_) {
-    SPLITFS_CHECK_OK(PublishStaged(&fs));
+  uint64_t epoch = oplog_->ResetEpoch();
+  if (held != nullptr) {
+    SPLITFS_CHECK_OK(PublishStaged(held));
   }
-  oplog_->Reset();
-  ++checkpoints_;
+  std::lock_guard<std::mutex> cl(checkpoint_mu_);
+  if (oplog_->ResetEpoch() != epoch) {
+    return;  // Another thread already recycled the log; just retry the append.
+  }
+  for (;;) {
+    // A fresh snapshot every pass: a file that turned dirty since the last one may
+    // belong to a writer whose op-log lane still has pre-claimed slots — it can keep
+    // appending without ever noticing the log is full, so only the sweep can clean
+    // its file.
+    for (const FileRef& f : SnapshotFiles()) {
+      if (f.get() == held) {
+        continue;
+      }
+      bool dirty;
+      {
+        std::lock_guard<std::mutex> meta(f->meta_mu);
+        dirty = !f->staged.empty();
+      }
+      if (!dirty) {
+        continue;
+      }
+      if (f->rlock.TryLockExclusive(0, RangeLock::kWholeFile)) {
+        SPLITFS_CHECK_OK(PublishStaged(f.get()));
+        f->rlock.UnlockExclusive(0, RangeLock::kWholeFile);
+      }
+    }
+    // The reset must re-verify quiescence under the op log's exclusive lock: an
+    // append satisfied from leftover lane slots can slip in between our sweep and
+    // the lock acquisition, and zeroing its entry would lose the only record of
+    // unpublished staged data.
+    if (dirty_files_.load(std::memory_order_acquire) == 0 &&
+        oplog_->ResetIfQuiesced(
+            [this] { return dirty_files_.load(std::memory_order_acquire) == 0; })) {
+      break;
+    }
+    std::this_thread::yield();  // A writer still holds a dirty file; it will finish
+                                // its operation or publish and line up behind us.
+  }
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
 }
 
 // --- Recovery -------------------------------------------------------------------------------
 
 int SplitFs::Recover() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   // A crash wiped the process: every piece of DRAM state is rebuilt from scratch.
-  for (auto& [ino, fs] : files_) {
-    if (fs.kernel_fd >= 0) {
-      kfs_->Close(fs.kernel_fd);
+  // Recovery runs before the instance serves new operations (single-threaded, as a
+  // real restart would be).
+  for (FileShard& shard : file_shards_) {
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
+    for (auto& [ino, fs] : shard.map) {
+      if (fs->kernel_fd >= 0) {
+        kfs_->Close(fs->kernel_fd);
+      }
     }
+    shard.map.clear();
   }
-  files_.clear();
-  path_cache_.clear();
+  for (PathShard& shard : path_shards_) {
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  dirty_files_.store(0, std::memory_order_relaxed);
   mmaps_.Clear();
 
   if (oplog_ == nullptr) {
@@ -1032,36 +1398,53 @@ int SplitFs::Recover() {
 // --- fork/exec plumbing ----------------------------------------------------------------------
 
 std::unique_ptr<SplitFs> SplitFs::CloneForFork(const std::string& child_tag) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   // fork() copies the address space: the child arrives with U-Split and its caches
   // intact (§3.5). Kernel descriptors are shared across fork, so they carry over.
   auto child = std::make_unique<SplitFs>(kfs_, opts_, child_tag);
-  for (const auto& [ino, fs] : files_) {
-    FileState copy = fs;
-    copy.staged = fs.staged;
-    child->files_[ino] = std::move(copy);
+  for (FileShard& shard : file_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [ino, fs] : shard.map) {
+      auto copy = std::make_shared<FileState>(&ctx_->clock);
+      {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        copy->ino = fs->ino;
+        copy->kernel_fd = fs->kernel_fd;
+        copy->path = fs->path;
+        copy->size = fs->size;
+        copy->kernel_size = fs->kernel_size;
+        copy->metadata_dirty = fs->metadata_dirty;
+        copy->staged = fs->staged;
+        copy->open_count = fs->open_count;
+        copy->last_read_end = fs->last_read_end;
+      }
+      if (!copy->staged.empty()) {
+        child->dirty_files_.fetch_add(1, std::memory_order_relaxed);
+      }
+      child->FileShardOf(ino).map[ino] = copy;
+      child->PathShardOf(copy->path).map[copy->path] = ino;
+    }
   }
-  child->path_cache_ = path_cache_;
   return child;
 }
 
 std::vector<uint8_t> SplitFs::SaveForExec() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Serialize open-file state to the shm blob (§3.5: file named by pid on /dev/shm).
-  // Layout per record: ino, flags, offset, size, kernel_size, path.
+  // Layout per record: ino, size, kernel_size, path.
   std::vector<uint8_t> blob;
   auto put64 = [&blob](uint64_t v) {
     for (int i = 0; i < 8; ++i) {
       blob.push_back(static_cast<uint8_t>(v >> (8 * i)));
     }
   };
-  put64(files_.size());
-  for (const auto& [ino, fs] : files_) {
-    put64(ino);
-    put64(fs.size);
-    put64(fs.kernel_size);
-    put64(fs.path.size());
-    blob.insert(blob.end(), fs.path.begin(), fs.path.end());
+  std::vector<FileRef> files = SnapshotFiles();
+  put64(files.size());
+  for (const FileRef& fs : files) {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    put64(fs->ino);
+    put64(fs->size);
+    put64(fs->kernel_size);
+    put64(fs->path.size());
+    blob.insert(blob.end(), fs->path.begin(), fs->path.end());
   }
   return blob;
 }
@@ -1090,14 +1473,14 @@ std::unique_ptr<SplitFs> SplitFs::RestoreAfterExec(ext4sim::Ext4Dax* kfs, Option
     if (kfd < 0) {
       continue;
     }
-    FileState fs;
-    fs.ino = ino;
-    fs.kernel_fd = kfd;
-    fs.path = path;
-    fs.size = size;
-    fs.kernel_size = kernel_size;
-    inst->files_[ino] = std::move(fs);
-    inst->path_cache_[path] = ino;
+    auto fs = std::make_shared<FileState>(&kfs->context()->clock);
+    fs->ino = ino;
+    fs->kernel_fd = kfd;
+    fs->path = path;
+    fs->size = size;
+    fs->kernel_size = kernel_size;
+    inst->FileShardOf(ino).map[ino] = fs;
+    inst->PathShardOf(path).map[path] = ino;
   }
   return inst;
 }
@@ -1105,10 +1488,10 @@ std::unique_ptr<SplitFs> SplitFs::RestoreAfterExec(ext4sim::Ext4Dax* kfs, Option
 // --- Introspection ---------------------------------------------------------------------------
 
 uint64_t SplitFs::StagedBytes() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint64_t total = 0;
-  for (const auto& [ino, fs] : files_) {
-    for (const auto& [off, r] : fs.staged) {
+  for (const FileRef& fs : SnapshotFiles()) {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    for (const auto& [off, r] : fs->staged) {
       total += r.alloc.len;
     }
   }
@@ -1116,16 +1499,15 @@ uint64_t SplitFs::StagedBytes() const {
 }
 
 uint64_t SplitFs::MemoryUsageBytes() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint64_t total = sizeof(*this) + mmaps_.MemoryUsageBytes();
   if (staging_) {
     total += staging_->MemoryUsageBytes();
   }
-  for (const auto& [ino, fs] : files_) {
-    total += sizeof(fs) + fs.path.size() + fs.staged.size() * (sizeof(StagedRange) + 48);
-  }
-  for (const auto& [path, ino] : path_cache_) {
-    total += path.size() + sizeof(Ino) + 48;
+  for (const FileRef& fs : SnapshotFiles()) {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    total += sizeof(*fs) + fs->path.size() +
+             fs->staged.size() * (sizeof(StagedRange) + 48);
+    total += fs->path.size() + sizeof(Ino) + 48;  // Path-cache entry.
   }
   if (oplog_) {
     total += 64;  // DRAM tail + bookkeeping; the log itself lives on PM.

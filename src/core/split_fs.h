@@ -17,12 +17,31 @@
 // POSIX quirks the paper calls out are reproduced: dup() shares one offset (fd_table),
 // fork()/execve() state carryover (CloneForFork / SaveForExec + RestoreAfterExec),
 // attribute caching across close, and mmap retention until unlink.
+//
+// Concurrency model (one instance, N application threads):
+//   * the FD table and the path→inode / inode→state maps are sharded by hash with a
+//     shared_mutex per shard — lookups (the common case) take reader locks;
+//   * every FileState carries a byte-range reader/writer lock: reads take the range
+//     shared; in-place overwrites take the range exclusive; appends, truncate,
+//     publish (relink), and unlink teardown take the whole file. Strict mode takes
+//     the whole file for writes too — every strict write is logged, and a log-full
+//     checkpoint must be able to quiesce and publish the file;
+//   * a small per-file metadata mutex guards the size/staged-range bookkeeping so
+//     disjoint-range operations can update the shared map structure;
+//   * lock order: fd-table shard → path/file shard → OpenFile cursor → file range
+//     lock → file metadata mutex → mmap-cache/staging/op-log internals → K-Split's
+//     kernel lock. The op-log checkpoint acquires other files only with try-lock, so
+//     "holds own file, waits for checkpoint" and "holds checkpoint, sweeps files"
+//     cannot deadlock.
 #ifndef SRC_CORE_SPLIT_FS_H_
 #define SRC_CORE_SPLIT_FS_H_
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +53,7 @@
 #include "src/ext4/ext4_dax.h"
 #include "src/vfs/fd_table.h"
 #include "src/vfs/file_system.h"
+#include "src/vfs/range_lock.h"
 
 namespace splitfs {
 
@@ -81,8 +101,8 @@ class SplitFs : public vfs::FileSystem {
   uint64_t StagedBytes() const;
   uint64_t MemoryUsageBytes() const;
   uint64_t OpLogEntries() const { return oplog_ ? oplog_->EntriesLogged() : 0; }
-  uint64_t Relinks() const { return relinks_; }
-  uint64_t Checkpoints() const { return checkpoints_; }
+  uint64_t Relinks() const { return relinks_.load(std::memory_order_relaxed); }
+  uint64_t Checkpoints() const { return checkpoints_.load(std::memory_order_relaxed); }
   const StagingPool& staging_pool() const { return *staging_; }
   ext4sim::Ext4Dax* kernel_fs() const { return kfs_; }
 
@@ -94,8 +114,15 @@ class SplitFs : public vfs::FileSystem {
   };
 
   struct FileState {
+    explicit FileState(sim::Clock* clock) : rlock(clock) {}
+
+    // Immutable after creation.
     vfs::Ino ino = vfs::kInvalidIno;
     int kernel_fd = -1;
+
+    // Everything below is guarded by meta_mu (brief critical sections: bookkeeping
+    // only, never device access), except as noted. kernel_size is only touched while
+    // the whole-file range lock is held exclusively (publish/truncate paths).
     std::string path;
     uint64_t size = 0;         // Application-visible size (includes staged appends).
     uint64_t kernel_size = 0;  // Size K-Split believes (after last relink).
@@ -103,12 +130,53 @@ class SplitFs : public vfs::FileSystem {
     std::map<uint64_t, StagedRange> staged;  // Keyed by file_off; non-overlapping.
     uint32_t open_count = 0;
     uint64_t last_read_end = 0;  // Sequential-access detection.
+    // Torn down by unlink (or rename displacement): the kernel fd is closed and the
+    // state is out of the shards, but a thread that grabbed the FileRef before the
+    // teardown may still be queued on the range lock. Every operation re-checks this
+    // after acquiring its lock and bails with EBADF — staging data into an orphan
+    // would leak allocations and wedge the strict-mode checkpoint (its dirty count
+    // could never drain).
+    bool defunct = false;
+
+    vfs::RangeLock rlock;       // Byte-range lock; kWholeFile for restructuring ops.
+    mutable std::mutex meta_mu;
+  };
+  using FileRef = std::shared_ptr<FileState>;
+
+  static constexpr size_t kStateShards = 16;
+  struct FileShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<vfs::Ino, FileRef> map;
+  };
+  struct PathShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, vfs::Ino> map;
   };
 
-  FileState* StateOf(int fd);
-  FileState* EnsureState(const std::string& path, int kernel_fd);
+  FileShard& FileShardOf(vfs::Ino ino) const {
+    return file_shards_[std::hash<vfs::Ino>{}(ino) % kStateShards];
+  }
+  PathShard& PathShardOf(const std::string& path) const {
+    return path_shards_[std::hash<std::string>{}(path) % kStateShards];
+  }
 
-  // Data-path helpers (file lock held by caller).
+  FileRef FileOf(vfs::Ino ino) const;
+  vfs::Ino LookupPath(const std::string& path) const;
+  // State behind a descriptor (and optionally its open-file description).
+  FileRef StateOf(int fd, std::shared_ptr<vfs::OpenFile>* of_out = nullptr) const;
+  std::vector<FileRef> SnapshotFiles() const;
+  bool IsDefunct(FileState* fs) const {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    return fs->defunct;
+  }
+
+  // Acquires the right range lock for a write and runs WriteAt: exclusive on
+  // [off, off+n) for pure in-place overwrites, the whole file for anything that
+  // appends, logs (strict), or bypasses staging.
+  ssize_t LockedWrite(FileState* fs, const void* buf, uint64_t n, uint64_t off);
+
+  // Data-path helpers; the caller holds the covering range lock (whole file where a
+  // helper restructures the staged set).
   ssize_t ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off);
   ssize_t WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t off);
   ssize_t AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uint64_t off,
@@ -120,7 +188,8 @@ class SplitFs : public vfs::FileSystem {
                                   uint64_t off);
 
   // Publishes all staged ranges of `fs` into the target file (relink or, with the
-  // Figure 3 ablation toggle off, copy). Returns 0 or -errno.
+  // Figure 3 ablation toggle off, copy). Returns 0 or -errno. Caller holds the
+  // whole-file lock exclusively.
   int PublishStaged(FileState* fs);
   int RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r);
   int CopyStagedRun(FileState* fs, const StagedRange& r);
@@ -129,24 +198,30 @@ class SplitFs : public vfs::FileSystem {
   // operation that just completed is synchronous, per Table 3.
   void MakeMetadataSynchronous(FileState* fs);
 
-  void LogDataOp(LogOp op, vfs::Ino target, uint64_t file_off, const StagingAlloc& a);
-  void LogMetaOp(LogOp op, vfs::Ino target, uint64_t aux = 0);
-  void CheckpointOpLog();
+  // `held` is the file whose whole-file lock the caller owns (nullptr when none): on
+  // a full log the checkpoint publishes it directly instead of try-locking it.
+  void LogDataOp(LogOp op, FileState* held, uint64_t file_off, const StagingAlloc& a);
+  void LogMetaOp(LogOp op, vfs::Ino target, uint64_t aux, FileState* held);
+  void CheckpointForFull(FileState* held);
 
   ext4sim::Ext4Dax* kfs_;
   sim::Context* ctx_;
   Options opts_;
   std::string tag_;
 
-  mutable std::recursive_mutex mu_;  // Instance-wide lock (paper uses finer-grained).
-  std::unordered_map<vfs::Ino, FileState> files_;
-  std::unordered_map<std::string, vfs::Ino> path_cache_;
+  mutable std::array<FileShard, kStateShards> file_shards_;
+  mutable std::array<PathShard, kStateShards> path_shards_;
   vfs::FdTable fds_;
   MmapCache mmaps_;
   std::unique_ptr<StagingPool> staging_;
   std::unique_ptr<OpLog> oplog_;  // Strict mode only.
-  uint64_t relinks_ = 0;
-  uint64_t checkpoints_ = 0;
+
+  std::atomic<uint64_t> relinks_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  // Files whose staged set is nonempty; the log-full checkpoint resets the log only
+  // once this reaches zero (every entry is then dead).
+  std::atomic<int64_t> dirty_files_{0};
+  std::mutex checkpoint_mu_;  // Single-flight log checkpoint.
 };
 
 }  // namespace splitfs

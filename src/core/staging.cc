@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/bytes.h"
+#include "src/common/threading.h"
 
 namespace splitfs {
 
@@ -12,13 +13,36 @@ StagingPool::StagingPool(ext4sim::Ext4Dax* kfs, MmapCache* mmaps, const Options&
   dir_ = opts.runtime_dir + "/stage-" + instance_tag;
   kfs_->Mkdir(opts.runtime_dir);  // Idempotent; EEXIST is fine.
   SPLITFS_CHECK_OK(kfs_->Mkdir(dir_));
-  for (uint32_t i = 0; i < opts_.num_staging_files; ++i) {
-    SPLITFS_CHECK(CreateStageFile(/*background=*/false));
+  lanes_.reserve(std::max<uint32_t>(opts_.staging_lanes, 1));
+  for (uint32_t i = 0; i < std::max<uint32_t>(opts_.staging_lanes, 1); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  {
+    std::lock_guard<std::mutex> pl(pool_mu_);
+    for (uint32_t i = 0; i < opts_.num_staging_files; ++i) {
+      SPLITFS_CHECK(CreateStageFileLocked(CreateMode::kForeground));
+    }
+  }
+  if (opts_.replenish_thread) {
+    replenisher_ = std::thread([this] { ReplenishLoop(); });
   }
 }
 
 StagingPool::~StagingPool() {
-  for (auto& sf : files_) {
+  if (replenisher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> pl(pool_mu_);
+      stop_ = true;
+    }
+    replenish_cv_.notify_all();
+    replenisher_.join();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->active && lane->active->fd >= 0) {
+      kfs_->Close(lane->active->fd);
+    }
+  }
+  for (auto& sf : spare_) {
     if (sf.fd >= 0) {
       kfs_->Close(sf.fd);
     }
@@ -30,10 +54,15 @@ StagingPool::~StagingPool() {
   }
 }
 
-bool StagingPool::CreateStageFile(bool background) {
+StagingPool::Lane& StagingPool::LaneOfThisThread() {
+  return *lanes_[common::ThreadLaneIndex(lanes_.size())];
+}
+
+bool StagingPool::CreateStageFile(CreateMode mode, StageFile* out) {
   uint64_t t0 = ctx_->clock.Now();
   StageFile sf;
-  std::string path = dir_ + "/s" + std::to_string(files_created_);
+  std::string path = dir_ + "/s" +
+                     std::to_string(files_created_.fetch_add(1, std::memory_order_relaxed));
   sf.path = path;
   sf.fd = kfs_->Open(path, vfs::kRdWr | vfs::kCreate);
   if (sf.fd < 0) {
@@ -55,15 +84,93 @@ bool StagingPool::CreateStageFile(bool background) {
   for (uint64_t chunk = 0; chunk < opts_.staging_file_bytes; chunk += common::kHugePageSize) {
     ctx_->ChargeHugePageSetup();
   }
-  files_.push_back(std::move(sf));
-  ++files_created_;
-  if (background) {
-    // Replenishment happens on the paper's background thread: take it off the
-    // foreground clock (the work itself — allocation, mapping — really happened).
-    ctx_->clock.Rewind(ctx_->clock.Now() - t0);
-    ++background_creations_;
+  switch (mode) {
+    case CreateMode::kForeground:
+      break;
+    case CreateMode::kBackgroundInline:
+      // Replenishment happens on the paper's background thread: take it off the
+      // foreground clock (the work itself — allocation, mapping — really happened).
+      ctx_->clock.Rewind(ctx_->clock.Now() - t0);
+      background_creations_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CreateMode::kBackgroundThread:
+      background_creations_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  *out = std::move(sf);
+  return true;
+}
+
+bool StagingPool::CreateStageFileLocked(CreateMode mode) {
+  StageFile sf;
+  if (!CreateStageFile(mode, &sf)) {
+    return false;
+  }
+  spare_.push_back(std::move(sf));
+  return true;
+}
+
+bool StagingPool::RefillLaneLocked(Lane* lane) {
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  if (spare_.empty()) {
+    // Exhausted faster than replenishment: the application pays for the new file, as
+    // it would if the paper's background thread fell behind.
+    sim::ScopedResourceTime serial(&pool_stamp_, &ctx_->clock);
+    if (!CreateStageFileLocked(CreateMode::kForeground)) {
+      return false;
+    }
+  }
+  lane->active = std::move(spare_.front());
+  spare_.pop_front();
+  if (opts_.replenish_thread && spare_.size() < opts_.num_staging_files) {
+    replenish_cv_.notify_one();
   }
   return true;
+}
+
+void StagingPool::ConsumeActiveLocked(Lane* lane) {
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  StageFile sf = std::move(*lane->active);
+  lane->active.reset();
+  if (sf.handed_out == 0) {
+    Retire(&sf);
+  } else {
+    consumed_.push_back(std::move(sf));
+  }
+  // Trigger the replacement now, so the pool's working set stays at its configured
+  // size. Deterministic mode creates it inline (cost rewound); thread mode wakes the
+  // replenisher. When the spare queue is already empty the next refill creates the
+  // file in the foreground — same as the pre-concurrency pool.
+  if (opts_.replenish_thread) {
+    replenish_cv_.notify_one();
+  } else if (!spare_.empty()) {
+    CreateStageFileLocked(CreateMode::kBackgroundInline);
+  }
+}
+
+void StagingPool::ReplenishLoop() {
+  std::unique_lock<std::mutex> ul(pool_mu_);
+  while (true) {
+    replenish_cv_.wait(ul, [this] {
+      return stop_ || spare_.size() < opts_.num_staging_files;
+    });
+    if (stop_) {
+      return;
+    }
+    while (!stop_ && spare_.size() < opts_.num_staging_files) {
+      // Create outside pool_mu_: the kernel work (open + fallocate + map) is the
+      // slow part, and holding the pool lock across it would stall every foreground
+      // refill — the §3.5 critical-path cost this thread exists to absorb.
+      ul.unlock();
+      StageFile sf;
+      bool ok = CreateStageFile(CreateMode::kBackgroundThread, &sf);
+      ul.lock();
+      if (!ok) {
+        break;  // Out of space; foreground allocations will surface ENOSPC.
+      }
+      spare_.push_back(std::move(sf));
+    }
+  }
 }
 
 uint64_t StagingPool::DevOffsetOf(const StageFile& sf, uint64_t file_off) const {
@@ -77,10 +184,12 @@ uint64_t StagingPool::DevOffsetOf(const StageFile& sf, uint64_t file_off) const 
 }
 
 bool StagingPool::ExtendInPlace(StagingAlloc* a, uint64_t n) {
-  if (files_.empty()) {
+  Lane& lane = LaneOfThisThread();
+  std::lock_guard<std::mutex> lg(lane.mu);
+  if (!lane.active) {
     return false;
   }
-  StageFile& sf = files_.front();
+  StageFile& sf = *lane.active;
   if (sf.ino != a->staging_ino || sf.used != a->staging_off + a->len ||
       sf.used + n > opts_.staging_file_bytes) {
     return false;
@@ -99,8 +208,10 @@ bool StagingPool::ExtendInPlace(StagingAlloc* a, uint64_t n) {
 }
 
 void StagingPool::MarkRelinked(vfs::Ino ino, uint64_t end_off) {
-  for (auto& sf : files_) {
-    if (sf.ino == ino) {
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lg(lane->mu);
+    if (lane->active && lane->active->ino == ino) {
+      StageFile& sf = *lane->active;
       sf.used = std::max(sf.used,
                          std::min(common::AlignUp(end_off, common::kBlockSize),
                                   opts_.staging_file_bytes));
@@ -119,16 +230,20 @@ void StagingPool::Retire(StageFile* sf) {
   }
   kfs_->Unlink(sf->path);
   ctx_->clock.Rewind(ctx_->clock.Now() - t0);
-  ++files_retired_;
+  files_retired_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StagingPool::Release(const StagingAlloc& a) {
-  for (auto& sf : files_) {
-    if (sf.ino == a.staging_ino) {
+  // Still active in some lane: never retired here.
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lg(lane->mu);
+    if (lane->active && lane->active->ino == a.staging_ino) {
+      StageFile& sf = *lane->active;
       sf.handed_out -= std::min(sf.handed_out, a.len);
-      return;  // Still in the allocation deque: never retired here.
+      return;
     }
   }
+  std::lock_guard<std::mutex> pl(pool_mu_);
   for (auto it = consumed_.begin(); it != consumed_.end(); ++it) {
     if (it->ino == a.staging_ino) {
       it->handed_out -= std::min(it->handed_out, a.len);
@@ -144,12 +259,14 @@ void StagingPool::Release(const StagingAlloc& a) {
 bool StagingPool::Allocate(uint64_t len, uint64_t align_mod,
                            std::vector<StagingAlloc>* out) {
   out->clear();
+  Lane& lane = LaneOfThisThread();
+  std::lock_guard<std::mutex> lg(lane.mu);
   uint64_t remaining = len;
   while (remaining > 0) {
-    if (files_.empty() && !CreateStageFile(/*background=*/false)) {
+    if (!lane.active && !RefillLaneLocked(&lane)) {
       return false;
     }
-    StageFile& sf = files_.front();
+    StageFile& sf = *lane.active;
     // Two invariants: (1) a new allocation NEVER shares a block with a previous one
     // (relink moves whole blocks, including partially-used tails), and (2) the
     // staged offset is congruent to the target file offset mod the block size so
@@ -159,20 +276,9 @@ bool StagingPool::Allocate(uint64_t len, uint64_t align_mod,
     sf.used = std::min(base + desired_mod, opts_.staging_file_bytes);
     uint64_t avail = opts_.staging_file_bytes - sf.used;
     if (avail == 0) {
-      // Active file consumed: drop it from the pool and let the background thread
-      // replace it. The file and its fd stay alive only while StagedRange records
-      // still reference staged bytes in it; once those are released it is retired.
-      if (sf.handed_out == 0) {
-        Retire(&sf);
-      } else {
-        consumed_.push_back(std::move(sf));
-      }
-      files_.pop_front();
-      if (files_.empty()) {
-        SPLITFS_CHECK(CreateStageFile(/*background=*/false));
-      } else {
-        CreateStageFile(/*background=*/true);
-      }
+      // Active file consumed: hand it to the consumed list (it stays alive while
+      // StagedRange records still reference staged bytes in it) and replenish.
+      ConsumeActiveLocked(&lane);
       continue;
     }
     // Also respect physical-piece boundaries so each alloc is device-contiguous.
@@ -193,13 +299,36 @@ bool StagingPool::Allocate(uint64_t len, uint64_t align_mod,
   return true;
 }
 
+uint64_t StagingPool::LiveFiles() const {
+  uint64_t n = 0;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lg(lane->mu);
+    if (lane->active) {
+      ++n;
+    }
+  }
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  return n + spare_.size() + consumed_.size();
+}
+
 uint64_t StagingPool::MemoryUsageBytes() const {
   uint64_t total = sizeof(*this);
-  for (const auto& sf : files_) {
-    total += sizeof(sf) + sf.mappings.size() * sizeof(ext4sim::Ext4Dax::DaxMapping);
+  auto file_bytes = [](const StageFile& sf) {
+    return sizeof(sf) + sf.mappings.size() * sizeof(ext4sim::Ext4Dax::DaxMapping);
+  };
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lg(lane->mu);
+    total += sizeof(Lane);
+    if (lane->active) {
+      total += file_bytes(*lane->active);
+    }
+  }
+  std::lock_guard<std::mutex> pl(pool_mu_);
+  for (const auto& sf : spare_) {
+    total += file_bytes(sf);
   }
   for (const auto& sf : consumed_) {
-    total += sizeof(sf) + sf.mappings.size() * sizeof(ext4sim::Ext4Dax::DaxMapping);
+    total += file_bytes(sf);
   }
   return total;
 }

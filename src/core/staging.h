@@ -4,17 +4,31 @@
 // staging files on K-Split and later relinked into the target file. The pool:
 //   * pre-creates `num_staging_files` files of `staging_file_bytes` at startup,
 //     fallocate()d and DAX-mapped up front so the critical path never traps;
-//   * hands out contiguous byte ranges with a bump allocator per file;
-//   * models the background replenishment thread: when a file is consumed, a fresh one
-//     is created with its cost charged off the application's critical path (the
-//     paper's background thread; we keep the simulation deterministic by doing the
-//     work inline but not advancing the shared clock).
+//   * hands out contiguous byte ranges with a bump allocator, one *lane* per thread:
+//     each application thread owns an active staging file and bumps it without
+//     touching any shared state, so concurrent appends to different files never
+//     contend on the pool;
+//   * replenishes consumed files off the critical path (the paper's §3.5 background
+//     thread). Two modes: with Options::replenish_thread a real std::thread keeps the
+//     shared spare-file queue full; without it (the default) the replacement is
+//     created inline but its cost is rewound off the foreground clock — equivalent
+//     accounting with a fully deterministic store sequence, which the crash harness
+//     depends on.
+//
+// Lock order inside the pool: lane.mu, then pool_mu_. Both are leaves with respect to
+// the rest of the stack (the pool calls into K-Split while holding them, never the
+// other way around).
 #ifndef SRC_CORE_STAGING_H_
 #define SRC_CORE_STAGING_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/mmap_cache.h"
@@ -45,11 +59,12 @@ class StagingPool {
   // Allocates `len` staged bytes whose starting offset is congruent to `align_mod`
   // modulo the block size — relink requires staged blocks to line up with the target
   // file's block grid. May split across staging files; returns one alloc per
-  // contiguous piece. Returns false if the device is out of space.
+  // contiguous piece. Returns false if the device is out of space. Allocates from the
+  // calling thread's lane.
   bool Allocate(uint64_t len, uint64_t align_mod, std::vector<StagingAlloc>* out);
 
-  // Grows `a` by `n` bytes if it ends exactly at the active file's bump pointer
-  // (the sequential-append fast path). Returns false when not extendable.
+  // Grows `a` by `n` bytes if it ends exactly at the calling thread's lane bump
+  // pointer (the sequential-append fast path). Returns false when not extendable.
   bool ExtendInPlace(StagingAlloc* a, uint64_t n);
 
   // Relink moved staging blocks [.., end_off)-rounded-up out of `ino`; the space up
@@ -66,13 +81,15 @@ class StagingPool {
   void Release(const StagingAlloc& a);
 
   // Number of staging files created over the pool's lifetime (bench introspection).
-  uint64_t FilesCreated() const { return files_created_; }
-  uint64_t BackgroundCreations() const { return background_creations_; }
+  uint64_t FilesCreated() const { return files_created_.load(std::memory_order_relaxed); }
+  uint64_t BackgroundCreations() const {
+    return background_creations_.load(std::memory_order_relaxed);
+  }
   // Consumed files whose staged bytes were all released and that were deleted.
-  uint64_t FilesRetired() const { return files_retired_; }
-  // Files currently held by the pool: the active allocation deque plus consumed
-  // files still referenced by unpublished staged ranges.
-  uint64_t LiveFiles() const { return files_.size() + consumed_.size(); }
+  uint64_t FilesRetired() const { return files_retired_.load(std::memory_order_relaxed); }
+  // Files currently held by the pool: lane-active files, the spare queue, and
+  // consumed files still referenced by unpublished staged ranges.
+  uint64_t LiveFiles() const;
 
   uint64_t MemoryUsageBytes() const;
 
@@ -86,24 +103,62 @@ class StagingPool {
     std::vector<ext4sim::Ext4Dax::DaxMapping> mappings;
   };
 
-  // Creates + fallocates + maps one staging file. When `background` is true the cost
-  // is not charged to the shared clock (paper's replenishment thread).
-  bool CreateStageFile(bool background);
+  // Per-thread allocation lane. Threads hash onto lanes; the lane mutex is therefore
+  // uncontended in steady state and exists only for the hash-collision case.
+  struct alignas(64) Lane {
+    std::mutex mu;
+    std::optional<StageFile> active;
+  };
+
+  enum class CreateMode {
+    kForeground,        // Cost on the caller's clock (startup, pool exhaustion).
+    kBackgroundInline,  // Cost rewound off the caller's clock (deterministic mode).
+    kBackgroundThread,  // Created by the replenisher thread; its charges land on the
+                        // shared (non-lane) timeline, which lane-based measurements
+                        // ignore — the §3.5 point: the cost is off every app thread's
+                        // critical path.
+  };
+
+  Lane& LaneOfThisThread();
+  // Creates + fallocates + maps one staging file into *out. Thread-safe without
+  // pool_mu_ (the file number is reserved atomically); the caller pushes the result
+  // onto spare_ under pool_mu_.
+  bool CreateStageFile(CreateMode mode, StageFile* out);
+  // CreateStageFile + push to spare_. Caller holds pool_mu_.
+  bool CreateStageFileLocked(CreateMode mode);
+  // Moves a spare file into `lane.active`, triggering replenishment. Caller holds
+  // lane.mu; takes pool_mu_.
+  bool RefillLaneLocked(Lane* lane);
+  // Hands the lane's consumed active file to consumed_ (or retires it). Caller holds
+  // lane.mu; takes pool_mu_.
+  void ConsumeActiveLocked(Lane* lane);
   // Device offset backing `file_off` of `sf` (staging files are fully allocated).
   uint64_t DevOffsetOf(const StageFile& sf, uint64_t file_off) const;
   // Closes + unlinks a fully-released consumed file, off the foreground clock.
   void Retire(StageFile* sf);
+  void ReplenishLoop();
 
   ext4sim::Ext4Dax* kfs_;
   MmapCache* mmaps_;
   sim::Context* ctx_;
   Options opts_;
   std::string dir_;
-  std::deque<StageFile> files_;    // Front = currently active.
-  std::deque<StageFile> consumed_; // Fully bump-allocated, awaiting release of ranges.
-  uint64_t files_created_ = 0;
-  uint64_t background_creations_ = 0;
-  uint64_t files_retired_ = 0;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  mutable std::mutex pool_mu_;  // Guards spare_, consumed_, file creation order.
+  std::deque<StageFile> spare_;     // Pre-created, untouched files.
+  std::deque<StageFile> consumed_;  // Fully bump-allocated, awaiting release of ranges.
+  sim::ResourceStamp pool_stamp_;   // Virtual-time serialization of the slow path.
+
+  std::atomic<uint64_t> files_created_{0};
+  std::atomic<uint64_t> background_creations_{0};
+  std::atomic<uint64_t> files_retired_{0};
+
+  // §3.5 replenisher (Options::replenish_thread).
+  std::thread replenisher_;
+  std::condition_variable replenish_cv_;
+  bool stop_ = false;  // Guarded by pool_mu_.
 };
 
 }  // namespace splitfs

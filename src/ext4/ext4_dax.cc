@@ -127,7 +127,7 @@ int64_t Ext4Dax::EnsureBlocks(Inode* inode, uint64_t off, uint64_t len) {
 // --- Open/close -----------------------------------------------------------------------
 
 int Ext4Dax::Open(const std::string& path, int flags) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
 
@@ -193,7 +193,7 @@ int Ext4Dax::Open(const std::string& path, int flags) {
 }
 
 int Ext4Dax::Close(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.kernel_work_ns / 2);
   auto of = fds_.Get(fd);
@@ -219,7 +219,7 @@ int Ext4Dax::Close(int fd) {
 }
 
 int Ext4Dax::Dup(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of != nullptr) {
@@ -321,7 +321,7 @@ ssize_t Ext4Dax::PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint6
 }
 
 ssize_t Ext4Dax::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -331,7 +331,7 @@ ssize_t Ext4Dax::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
 }
 
 ssize_t Ext4Dax::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -341,7 +341,7 @@ ssize_t Ext4Dax::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
 }
 
 ssize_t Ext4Dax::Write(int fd, const void* buf, uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -363,7 +363,7 @@ ssize_t Ext4Dax::Write(int fd, const void* buf, uint64_t n) {
 }
 
 ssize_t Ext4Dax::Read(int fd, void* buf, uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -378,7 +378,7 @@ ssize_t Ext4Dax::Read(int fd, void* buf, uint64_t n) {
 }
 
 int64_t Ext4Dax::Lseek(int fd, int64_t off, vfs::Whence whence) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -409,7 +409,7 @@ int64_t Ext4Dax::Lseek(int fd, int64_t off, vfs::Whence whence) {
 // --- Durability -----------------------------------------------------------------------
 
 int Ext4Dax::Fsync(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   if (fds_.Get(fd) == nullptr) {
     return -EBADF;
@@ -419,7 +419,7 @@ int Ext4Dax::Fsync(int fd) {
 }
 
 int Ext4Dax::Ftruncate(int fd, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -459,7 +459,7 @@ int Ext4Dax::Ftruncate(int fd, uint64_t size) {
 }
 
 int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -487,7 +487,7 @@ int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
 // --- Namespace ------------------------------------------------------------------------
 
 int Ext4Dax::Unlink(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_dir_op_cpu_ns +
                   ctx_->model.ext4_journal_dirty_cpu_ns + ctx_->model.ext4_unlink_extra_ns);
@@ -529,7 +529,7 @@ int Ext4Dax::Unlink(const std::string& path) {
 }
 
 int Ext4Dax::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(2 * ctx_->model.ext4_open_path_ns + 2 * ctx_->model.ext4_dir_op_cpu_ns +
                   ctx_->model.ext4_journal_dirty_cpu_ns);
@@ -596,7 +596,7 @@ int Ext4Dax::Rename(const std::string& from, const std::string& to) {
 }
 
 int Ext4Dax::Mkdir(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_create_extra_ns +
                   ctx_->model.ext4_dir_op_cpu_ns + ctx_->model.ext4_journal_dirty_cpu_ns);
@@ -622,7 +622,7 @@ int Ext4Dax::Mkdir(const std::string& path) {
 }
 
 int Ext4Dax::Rmdir(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_dir_op_cpu_ns +
                   ctx_->model.ext4_journal_dirty_cpu_ns);
@@ -661,7 +661,7 @@ int Ext4Dax::Rmdir(const std::string& path) {
 }
 
 int Ext4Dax::ReadDir(const std::string& path, std::vector<std::string>* names) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
   Inode* dir = ResolvePath(path);
@@ -680,7 +680,7 @@ int Ext4Dax::ReadDir(const std::string& path, std::vector<std::string>* names) {
 }
 
 int Ext4Dax::Stat(const std::string& path, vfs::StatBuf* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns / 2);
   Inode* inode = ResolvePath(path);
@@ -696,7 +696,7 @@ int Ext4Dax::Stat(const std::string& path, vfs::StatBuf* out) {
 }
 
 int Ext4Dax::Fstat(int fd, vfs::StatBuf* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -715,13 +715,13 @@ int Ext4Dax::Fstat(int fd, vfs::StatBuf* out) {
 }
 
 int Ext4Dax::CommitJournal(bool fsync_barrier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   journal_.CommitRunning(fsync_barrier);
   return 0;
 }
 
 int Ext4Dax::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   journal_.RecoverDiscardRunning();
   return 0;
 }
@@ -730,7 +730,7 @@ int Ext4Dax::Recover() {
 
 int Ext4Dax::DaxMap(int fd, uint64_t off, uint64_t len,
                     std::vector<DaxMapping>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   out->clear();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
@@ -749,7 +749,7 @@ int Ext4Dax::DaxMap(int fd, uint64_t off, uint64_t len,
 }
 
 int Ext4Dax::OpenByIno(vfs::Ino ino, int flags) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.kernel_work_ns);
   Inode* inode = GetInode(ino);
@@ -768,7 +768,7 @@ vfs::Ino Ext4Dax::InoOf(int fd) const {
 int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
                                   uint64_t dst_off, uint64_t len, uint64_t new_dst_size,
                                   bool defer_commit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  KernelSection lock(this);
   ctx_->ChargeSyscall();  // The ioctl trap.
   if (len == 0) {
     return 0;

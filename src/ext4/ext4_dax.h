@@ -150,6 +150,20 @@ class Ext4Dax : public vfs::FileSystem {
   ssize_t PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint64_t n,
                       uint64_t off);
 
+  // RAII big-kernel-lock section: takes mu_ and brackets the critical section with
+  // the kernel's ResourceStamp, so time spent under the (real) lock serializes in
+  // the per-thread virtual timelines too — N user threads overlap their user-space
+  // data path but queue for the kernel, exactly like threads trapping into one ext4.
+  class KernelSection {
+   public:
+    explicit KernelSection(const Ext4Dax* fs)
+        : lock_(fs->mu_), time_(&fs->kernel_stamp_, &fs->ctx_->clock) {}
+
+   private:
+    std::lock_guard<std::mutex> lock_;
+    sim::ScopedResourceTime time_;
+  };
+
   pmem::Device* dev_;
   sim::Context* ctx_;
   uint64_t data_start_block_;
@@ -157,6 +171,7 @@ class Ext4Dax : public vfs::FileSystem {
   Journal journal_;
 
   mutable std::mutex mu_;  // Protects the namespace + inode table (big kernel lock).
+  mutable sim::ResourceStamp kernel_stamp_;
   std::unordered_map<vfs::Ino, std::unique_ptr<Inode>> inodes_;
   vfs::Ino next_ino_ = vfs::kRootIno + 1;
   vfs::FdTable fds_;

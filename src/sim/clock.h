@@ -4,9 +4,20 @@
 // emulated PM device charges media latency/bandwidth, the kernel-FS models charge trap
 // and journaling costs, U-Split charges its user-space bookkeeping. Benchmarks report
 // this clock, which is what makes the paper's relative results reproducible on DRAM.
+//
+// Multithreading model. By default every thread charges the one shared counter and the
+// clock behaves exactly as a single global timeline (all existing single-threaded
+// tests and the deterministic crash matrix run in this mode and are bit-identical).
+// A worker thread of a parallel phase may bind a Clock::Lane: its charges then accrue
+// to a private per-thread timeline, so the simulated elapsed time of an N-thread phase
+// is max(lane time), not the sum — the virtual-time model of an N-core host. Code
+// sections that are serialized by a real lock can make that serialization visible in
+// virtual time with a ResourceStamp (below): acquire fast-forwards the lane past the
+// previous holder's release time, exactly like waiting on the lock in real time.
 #ifndef SRC_SIM_CLOCK_H_
 #define SRC_SIM_CLOCK_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
@@ -18,20 +29,181 @@ class Clock {
   Clock(const Clock&) = delete;
   Clock& operator=(const Clock&) = delete;
 
-  // Advances simulated time by `ns` and returns the new time.
-  uint64_t Advance(uint64_t ns) { return now_.fetch_add(ns, std::memory_order_relaxed) + ns; }
+  // Per-thread virtual timeline for parallel phases. Binding is RAII and per-thread:
+  // while a Lane for this clock is live on the current thread, Advance/Now/Rewind act
+  // on the lane. On destruction the lane folds back into the shared counter with
+  // max() semantics (the parallel phase ends when its slowest worker ends).
+  class Lane {
+   public:
+    explicit Lane(Clock* clock) : clock_(clock), prev_(tls_lane_) {
+      ns_ = clock->now_.load(std::memory_order_relaxed);
+      tls_lane_ = this;
+    }
+    ~Lane() {
+      clock_->FoldIn(ns_);
+      tls_lane_ = prev_;
+    }
+    Lane(const Lane&) = delete;
+    Lane& operator=(const Lane&) = delete;
 
-  uint64_t Now() const { return now_.load(std::memory_order_relaxed); }
+    uint64_t Now() const { return ns_; }
+
+   private:
+    friend class Clock;
+    Clock* clock_;
+    uint64_t ns_ = 0;
+    Lane* prev_;
+  };
+
+  // Advances simulated time by `ns` and returns the new time.
+  uint64_t Advance(uint64_t ns) {
+    if (Lane* lane = BoundLane()) {
+      lane->ns_ += ns;
+      return lane->ns_;
+    }
+    return now_.fetch_add(ns, std::memory_order_relaxed) + ns;
+  }
+
+  uint64_t Now() const {
+    if (const Lane* lane = BoundLane()) {
+      return lane->ns_;
+    }
+    return now_.load(std::memory_order_relaxed);
+  }
 
   // Rewinds simulated time by `ns`. Used to attribute work to a background thread:
   // the caller snapshots Now(), performs the work inline (keeping the simulation
   // deterministic), then rewinds the elapsed charge off the foreground clock.
-  void Rewind(uint64_t ns) { now_.fetch_sub(ns, std::memory_order_relaxed); }
+  void Rewind(uint64_t ns) {
+    if (Lane* lane = BoundLane()) {
+      lane->ns_ -= std::min(lane->ns_, ns);
+      return;
+    }
+    now_.fetch_sub(ns, std::memory_order_relaxed);
+  }
 
-  void Reset() { now_.store(0, std::memory_order_relaxed); }
+  // Jumps the current timeline forward to at least `ns` (never backward). This is
+  // how waiting on a contended resource is accounted in a lane; in the default
+  // single-timeline mode resource stamps are always <= Now(), making this a no-op.
+  void FastForwardTo(uint64_t ns) {
+    if (Lane* lane = BoundLane()) {
+      lane->ns_ = std::max(lane->ns_, ns);
+      return;
+    }
+    uint64_t cur = now_.load(std::memory_order_relaxed);
+    while (cur < ns &&
+           !now_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Reset() {
+    now_.store(0, std::memory_order_relaxed);
+    reset_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // True when the calling thread runs on a private lane of this clock.
+  bool HasLane() const { return BoundLane() != nullptr; }
+  // Incremented by Reset(); lets ResourceStamp discard busy time from before a reset.
+  uint64_t ResetSeq() const { return reset_seq_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<uint64_t> now_{0};
+  // Innermost lane of this thread bound to *this* clock; walks the nesting chain so
+  // a thread driving two simulated machines charges each clock's own lane.
+  Lane* BoundLane() const {
+    for (Lane* lane = tls_lane_; lane != nullptr; lane = lane->prev_) {
+      if (lane->clock_ == this) {
+        return lane;
+      }
+    }
+    return nullptr;
+  }
+
+  void FoldIn(uint64_t ns) {
+    uint64_t cur = now_.load(std::memory_order_relaxed);
+    while (cur < ns &&
+           !now_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  // One live binding per thread (a thread drives one simulated machine at a time;
+  // nesting across clocks is supported by the saved `prev_` chain).
+  static thread_local Lane* tls_lane_;
+
+  alignas(64) std::atomic<uint64_t> now_{0};
+  std::atomic<uint64_t> reset_seq_{0};
+};
+
+inline thread_local Clock::Lane* Clock::tls_lane_ = nullptr;
+
+// Virtual-time model of a serially-reusable resource (a real mutex in the stack: the
+// kernel's big lock, the staging pool's slow path, a contended file range). The
+// holder of the real lock brackets its critical section with Acquire/Release; the
+// stamp accumulates the resource's total *busy* (service) time, and Acquire
+// fast-forwards the caller's lane to at least that total — a serial resource cannot
+// render more than one second of service per second, so no acquirer's timeline may
+// sit before the service time already rendered. Busy-time accounting is
+// scheduling-insensitive: it gives the same answer whether the host interleaves the
+// worker threads finely (true parallelism) or runs them in coarse slices (one core),
+// unlike a release-timestamp model, which would chain absolute lane times and
+// serialize everything on a time-sliced host.
+//
+// Both calls are no-ops on threads without a bound lane, so the default
+// single-timeline mode — including the crash harness and every deterministic
+// single-threaded test — is bit-identical with or without the stamps (this also
+// sidesteps Clock::Rewind-based background attribution, which would otherwise leak
+// into the busy total).
+class ResourceStamp {
+ public:
+  // Returns the caller's timeline position at section entry; pass it to Release.
+  uint64_t Acquire(Clock* clock) {
+    if (!clock->HasLane()) {
+      return 0;
+    }
+    Refresh(clock);
+    clock->FastForwardTo(busy_ns_.load(std::memory_order_relaxed));
+    return clock->Now();
+  }
+  void Release(Clock* clock, uint64_t t0) {
+    if (!clock->HasLane()) {
+      return;
+    }
+    Refresh(clock);
+    uint64_t now = clock->Now();
+    if (now > t0) {
+      busy_ns_.fetch_add(now - t0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  // Busy time from before a Clock::Reset() must not leak into the next measured
+  // phase (benches reset the clock after testbed setup).
+  void Refresh(Clock* clock) {
+    uint64_t seq = clock->ResetSeq();
+    uint64_t cur = seen_reset_seq_.load(std::memory_order_relaxed);
+    if (cur != seq &&
+        seen_reset_seq_.compare_exchange_strong(cur, seq, std::memory_order_relaxed)) {
+      busy_ns_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<uint64_t> busy_ns_{0};
+  std::atomic<uint64_t> seen_reset_seq_{0};
+};
+
+// RAII bracket for a critical section already protected by a real lock.
+class ScopedResourceTime {
+ public:
+  ScopedResourceTime(ResourceStamp* stamp, Clock* clock) : stamp_(stamp), clock_(clock) {
+    t0_ = stamp_->Acquire(clock_);
+  }
+  ~ScopedResourceTime() { stamp_->Release(clock_, t0_); }
+  ScopedResourceTime(const ScopedResourceTime&) = delete;
+  ScopedResourceTime& operator=(const ScopedResourceTime&) = delete;
+
+ private:
+  ResourceStamp* stamp_;
+  Clock* clock_;
+  uint64_t t0_ = 0;
 };
 
 }  // namespace sim

@@ -97,19 +97,22 @@ class Stats {
   }
 
  private:
-  std::atomic<uint64_t> pm_write_bytes_{0};
-  std::atomic<uint64_t> pm_read_bytes_{0};
-  std::atomic<uint64_t> data_bytes_{0};
-  std::atomic<uint64_t> metadata_bytes_{0};
-  std::atomic<uint64_t> journal_bytes_{0};
-  std::atomic<uint64_t> log_bytes_{0};
-  std::atomic<uint64_t> data_media_ns_{0};
-  std::atomic<uint64_t> syscalls_{0};
-  std::atomic<uint64_t> fences_{0};
-  std::atomic<uint64_t> journal_commits_{0};
-  std::atomic<uint64_t> page_faults_{0};
-  std::atomic<uint64_t> relinks_{0};
-  std::atomic<uint64_t> log_entries_{0};
+  // Each counter gets its own cache line: with N worker threads hammering the hot
+  // write-path counters, false sharing between adjacent atomics would serialize the
+  // whole fleet on one line (measured on the scalability bench before padding).
+  alignas(64) std::atomic<uint64_t> pm_write_bytes_{0};
+  alignas(64) std::atomic<uint64_t> pm_read_bytes_{0};
+  alignas(64) std::atomic<uint64_t> data_bytes_{0};
+  alignas(64) std::atomic<uint64_t> metadata_bytes_{0};
+  alignas(64) std::atomic<uint64_t> journal_bytes_{0};
+  alignas(64) std::atomic<uint64_t> log_bytes_{0};
+  alignas(64) std::atomic<uint64_t> data_media_ns_{0};
+  alignas(64) std::atomic<uint64_t> syscalls_{0};
+  alignas(64) std::atomic<uint64_t> fences_{0};
+  alignas(64) std::atomic<uint64_t> journal_commits_{0};
+  alignas(64) std::atomic<uint64_t> page_faults_{0};
+  alignas(64) std::atomic<uint64_t> relinks_{0};
+  alignas(64) std::atomic<uint64_t> log_entries_{0};
 };
 
 }  // namespace sim

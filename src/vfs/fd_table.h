@@ -5,12 +5,24 @@
 // handles dup() by keeping a single offset per open file and pointing descriptors at
 // it; this table implements exactly that structure so every FS in the repo (and
 // U-Split itself) gets correct dup()/lseek() interaction for free.
+//
+// Concurrency: the table is sharded by descriptor number, with one shared_mutex per
+// shard — threads operating on different descriptors never touch the same shard line,
+// and Get() (the data-path lookup) takes only a reader lock. Descriptor numbers come
+// from a single atomic counter, so allocation order stays sequential (0/1/2 reserved,
+// as in a real process) and single-threaded numbering is unchanged. dup()/close()
+// races resolve the way the kernel's file table resolves them: close() removes
+// exactly one descriptor, a concurrent dup() of that descriptor either observes it
+// (and shares the description) or returns EBADF — never a dangling description.
 #ifndef SRC_VFS_FD_TABLE_H_
 #define SRC_VFS_FD_TABLE_H_
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "src/common/status.h"
@@ -32,24 +44,26 @@ class FdTable {
 
   // Allocates a new fd bound to a fresh description.
   int Allocate(Ino ino, int flags) {
-    std::lock_guard<std::mutex> lock(mu_);
-    int fd = next_fd_++;
+    int fd = next_fd_.fetch_add(1, std::memory_order_relaxed);
     auto of = std::make_shared<OpenFile>();
     of->ino = ino;
     of->flags = flags;
-    table_[fd] = std::move(of);
+    Shard& s = ShardOf(fd);
+    std::lock_guard<std::shared_mutex> lock(s.mu);
+    s.map[fd] = std::move(of);
     return fd;
   }
 
   // dup(): a new fd sharing the existing description (offset included).
   int Dup(int fd) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = table_.find(fd);
-    if (it == table_.end()) {
+    std::shared_ptr<OpenFile> of = Get(fd);
+    if (of == nullptr) {
       return -EBADF;
     }
-    int nfd = next_fd_++;
-    table_[nfd] = it->second;
+    int nfd = next_fd_.fetch_add(1, std::memory_order_relaxed);
+    Shard& s = ShardOf(nfd);
+    std::lock_guard<std::shared_mutex> lock(s.mu);
+    s.map[nfd] = std::move(of);
     return nfd;
   }
 
@@ -57,47 +71,76 @@ class FdTable {
   // open-file state across execve() (SplitFS §3.5: state is carried over a shm file
   // and descriptors must keep their numbers).
   void Restore(int fd, Ino ino, int flags, uint64_t offset) {
-    std::lock_guard<std::mutex> lock(mu_);
     auto of = std::make_shared<OpenFile>();
     of->ino = ino;
     of->flags = flags;
     of->offset = offset;
-    table_[fd] = std::move(of);
-    next_fd_ = std::max(next_fd_, fd + 1);
+    {
+      Shard& s = ShardOf(fd);
+      std::lock_guard<std::shared_mutex> lock(s.mu);
+      s.map[fd] = std::move(of);
+    }
+    int cur = next_fd_.load(std::memory_order_relaxed);
+    while (cur < fd + 1 &&
+           !next_fd_.compare_exchange_weak(cur, fd + 1, std::memory_order_relaxed)) {
+    }
   }
 
   std::shared_ptr<OpenFile> Get(int fd) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = table_.find(fd);
-    return it == table_.end() ? nullptr : it->second;
+    if (fd < 0) {
+      return nullptr;
+    }
+    const Shard& s = ShardOf(fd);
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(fd);
+    return it == s.map.end() ? nullptr : it->second;
   }
 
   int Release(int fd) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return table_.erase(fd) == 1 ? 0 : -EBADF;
+    if (fd < 0) {
+      return -EBADF;
+    }
+    Shard& s = ShardOf(fd);
+    std::lock_guard<std::shared_mutex> lock(s.mu);
+    return s.map.erase(fd) == 1 ? 0 : -EBADF;
   }
 
   // Number of live descriptors (not descriptions).
   size_t Count() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return table_.size();
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
   }
 
   // True if any live descriptor refers to `ino` (used for unlink-while-open checks).
   bool HasOpen(Ino ino) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [fd, of] : table_) {
-      if (of->ino == ino) {
-        return true;
+    for (const Shard& s : shards_) {
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      for (const auto& [fd, of] : s.map) {
+        if (of->ino == ino) {
+          return true;
+        }
       }
     }
     return false;
   }
 
  private:
-  mutable std::mutex mu_;
-  int next_fd_ = 3;  // 0/1/2 reserved, as in a real process.
-  std::unordered_map<int, std::shared_ptr<OpenFile>> table_;
+  static constexpr size_t kShards = 8;
+
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<int, std::shared_ptr<OpenFile>> map;
+  };
+
+  Shard& ShardOf(int fd) { return shards_[static_cast<size_t>(fd) % kShards]; }
+  const Shard& ShardOf(int fd) const { return shards_[static_cast<size_t>(fd) % kShards]; }
+
+  std::atomic<int> next_fd_{3};  // 0/1/2 reserved, as in a real process.
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace vfs

@@ -1,0 +1,213 @@
+#include "src/workloads/parallel.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/apps/kv_lsm.h"
+#include "src/common/random.h"
+
+namespace wl {
+
+namespace {
+
+// Deterministic per-(thread, offset) payload byte, so verification needs no side
+// buffer.
+inline uint8_t PayloadByte(int thread, uint64_t off) {
+  return static_cast<uint8_t>(0x5A ^ (thread * 131) ^ (off * 13 >> 3));
+}
+
+// Runs `body(thread_index)` on `threads` real threads, each with a bound clock lane;
+// returns the slowest worker's lane delta.
+template <typename Body>
+uint64_t RunWorkers(sim::Clock* clock, int threads, const Body& body) {
+  std::vector<uint64_t> lane_ns(static_cast<size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([clock, t, &lane_ns, &body] {
+      sim::Clock::Lane lane(clock);
+      uint64_t t0 = lane.Now();
+      body(t);
+      lane_ns[static_cast<size_t>(t)] = lane.Now() - t0;
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  uint64_t elapsed = 0;
+  for (uint64_t ns : lane_ns) {
+    elapsed = std::max(elapsed, ns);
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+ParallelResult RunParallelAppend(vfs::FileSystem* fs, sim::Clock* clock, int threads,
+                                 const std::string& dir, uint64_t bytes_per_thread,
+                                 uint64_t op_bytes, uint64_t fsync_every) {
+  fs->Mkdir(dir);
+  ParallelResult res;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> errors{0};
+
+  res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    std::string path = dir + "/append-" + std::to_string(t);
+    int fd = fs->Open(path, vfs::kRdWr | vfs::kCreate);
+    if (fd < 0) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<uint8_t> buf(op_bytes);
+    uint64_t off = 0;
+    uint64_t my_ops = 0;
+    while (off < bytes_per_thread) {
+      for (uint64_t i = 0; i < op_bytes; ++i) {
+        buf[i] = PayloadByte(t, off + i);
+      }
+      if (fs->Pwrite(fd, buf.data(), op_bytes, off) != static_cast<ssize_t>(op_bytes)) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      off += op_bytes;
+      ++my_ops;
+      if (fsync_every != 0 && my_ops % fsync_every == 0 && fs->Fsync(fd) != 0) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (fs->Fsync(fd) != 0) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    vfs::StatBuf st;
+    if (fs->Fstat(fd, &st) != 0 || st.size != off) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    fs->Close(fd);
+    ops.fetch_add(my_ops, std::memory_order_relaxed);
+  });
+
+  res.ops = ops.load();
+  res.bytes = res.ops * op_bytes;
+  res.errors = errors.load();
+  return res;
+}
+
+ParallelResult RunParallelRead(vfs::FileSystem* fs, sim::Clock* clock, int threads,
+                               const std::string& dir, uint64_t file_bytes,
+                               uint64_t op_bytes, uint64_t ops_per_thread,
+                               uint64_t seed) {
+  fs->Mkdir(dir);
+  // Prepare one file per thread (sequential, not timed).
+  for (int t = 0; t < threads; ++t) {
+    std::string path = dir + "/read-" + std::to_string(t);
+    int fd = fs->Open(path, vfs::kRdWr | vfs::kCreate);
+    SPLITFS_CHECK(fd >= 0);
+    std::vector<uint8_t> buf(64 * 1024);
+    for (uint64_t off = 0; off < file_bytes; off += buf.size()) {
+      uint64_t span = std::min<uint64_t>(buf.size(), file_bytes - off);
+      for (uint64_t i = 0; i < span; ++i) {
+        buf[i] = PayloadByte(t, off + i);
+      }
+      SPLITFS_CHECK(fs->Pwrite(fd, buf.data(), span, off) == static_cast<ssize_t>(span));
+    }
+    SPLITFS_CHECK_OK(fs->Fsync(fd));
+    SPLITFS_CHECK_OK(fs->Close(fd));
+  }
+
+  ParallelResult res;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> errors{0};
+  res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    std::string path = dir + "/read-" + std::to_string(t);
+    int fd = fs->Open(path, vfs::kRdOnly);
+    if (fd < 0) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    common::Rng rng(seed + static_cast<uint64_t>(t) * 0x9E37ull);
+    std::vector<uint8_t> buf(op_bytes);
+    uint64_t my_ops = 0;
+    uint64_t slots = file_bytes / op_bytes;
+    for (uint64_t i = 0; i < ops_per_thread; ++i) {
+      uint64_t off = rng.Uniform(slots) * op_bytes;
+      if (fs->Pread(fd, buf.data(), op_bytes, off) != static_cast<ssize_t>(op_bytes)) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      // Spot-check first/last byte of every read.
+      if (buf[0] != PayloadByte(t, off) ||
+          buf[op_bytes - 1] != PayloadByte(t, off + op_bytes - 1)) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++my_ops;
+    }
+    fs->Close(fd);
+    ops.fetch_add(my_ops, std::memory_order_relaxed);
+  });
+
+  res.ops = ops.load();
+  res.bytes = res.ops * op_bytes;
+  res.errors = errors.load();
+  return res;
+}
+
+ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int threads,
+                                const std::string& dir, uint64_t records_per_thread,
+                                uint64_t ops_per_thread, uint64_t seed) {
+  fs->Mkdir(dir);
+  ParallelResult res;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> errors{0};
+  constexpr uint32_t kValueBytes = 1024;  // YCSB standard 10 fields x 100 B, rounded.
+
+  res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    // One LevelDB-shaped store per application thread, all over the shared U-Split
+    // instance (the paper's multi-application scenario, §3.2).
+    apps::KvLsmOptions kopts;
+    kopts.clock = clock;
+    apps::KvLsm store(fs, dir + "/ycsb-" + std::to_string(t), kopts);
+    auto key_for = [t](uint64_t k) {
+      return "user" + std::to_string(t) + "-" + std::to_string(k);
+    };
+    std::string value(kValueBytes, static_cast<char>('a' + t % 26));
+    for (uint64_t k = 0; k < records_per_thread; ++k) {
+      if (store.Put(key_for(k), value) != 0) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    common::Rng rng(seed + static_cast<uint64_t>(t) * 77);
+    common::ZipfianGenerator zipf(records_per_thread, 0.99,
+                                  seed + static_cast<uint64_t>(t) * 31 + 1);
+    uint64_t my_ops = 0;
+    uint64_t my_bytes = 0;
+    for (uint64_t i = 0; i < ops_per_thread; ++i) {
+      uint64_t k = zipf.NextScrambled();
+      if (rng.OneIn(2)) {
+        auto got = store.Get(key_for(k));
+        if (!got.has_value()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          my_bytes += got->size();
+        }
+      } else {
+        if (store.Put(key_for(k), value) != 0) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        my_bytes += kValueBytes;
+      }
+      ++my_ops;
+    }
+    ops.fetch_add(my_ops, std::memory_order_relaxed);
+    bytes.fetch_add(my_bytes, std::memory_order_relaxed);
+  });
+
+  res.ops = ops.load();
+  res.bytes = bytes.load();
+  res.errors = errors.load();
+  return res;
+}
+
+}  // namespace wl

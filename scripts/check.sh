@@ -4,6 +4,7 @@
 #   scripts/check.sh                   # full suite, including the crash matrix
 #   scripts/check.sh -LE crash_matrix  # quick run: skip the full matrix
 #   scripts/check.sh -L crash_smoke    # only the crash smoke subset
+#   scripts/check.sh -L ext4           # K-Split (ext4 model) tests only
 #   scripts/check.sh --tsan            # ThreadSanitizer build, concurrency tests only
 #
 # Extra arguments are forwarded to ctest.
@@ -15,6 +16,9 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSPLITFS_TSAN=ON
   cmake --build build-tsan -j"$(nproc)"
   # TSAN_OPTIONS makes any report fail the run even if the test's asserts pass.
+  # The `concurrency` label includes the K-Split metadata-stress group (parallel
+  # create/rename/unlink/rmdir over the per-inode/dentry-shard locks), so the
+  # kernel-model lock refactor is TSan-verified on every pass.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -L concurrency "$@"
   exit 0

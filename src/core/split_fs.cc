@@ -343,11 +343,20 @@ int SplitFs::Rename(const std::string& from, const std::string& to) {
   }
   bool had_from_state = ino != vfs::kInvalidIno;
   if (had_from_state) {
+    // The destination, if it existed and was cached, has been replaced: its stale
+    // state must be torn down exactly as when the source is uncached, or the
+    // displaced file's kernel descriptor, staged bytes, and mappings leak.
+    Ino displaced = vfs::kInvalidIno;
     {
       PathShard& pshard = PathShardOf(to);
       std::lock_guard<std::shared_mutex> lock(pshard.mu);
+      auto it = pshard.map.find(to);
+      if (it != pshard.map.end() && it->second != ino) {
+        displaced = it->second;
+      }
       pshard.map[to] = ino;
     }
+    TeardownDisplacedState(to, displaced);
     FileRef fs = FileOf(ino);
     if (fs != nullptr) {
       std::lock_guard<std::mutex> meta(fs->meta_mu);
@@ -358,8 +367,6 @@ int SplitFs::Rename(const std::string& from, const std::string& to) {
       LogMetaOp(LogOp::kRenameTo, ino, 0, nullptr);
     }
   } else {
-    // The destination, if it existed and was cached, has been replaced: drop the
-    // stale state.
     Ino displaced = vfs::kInvalidIno;
     {
       PathShard& pshard = PathShardOf(to);
@@ -370,43 +377,48 @@ int SplitFs::Rename(const std::string& from, const std::string& to) {
         pshard.map.erase(it);
       }
     }
-    if (displaced != vfs::kInvalidIno) {
-      FileRef fs = FileOf(displaced);
-      bool matches = false;
-      if (fs != nullptr) {
-        std::lock_guard<std::mutex> meta(fs->meta_mu);
-        matches = fs->path == to;
-      }
-      if (matches) {
-        {
-          FileShard& shard = FileShardOf(displaced);
-          std::lock_guard<std::shared_mutex> lock(shard.mu);
-          shard.map.erase(displaced);
-        }
-        RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
-        {
-          // Same teardown as Unlink: staged-but-unpublished data dies with the
-          // displaced file, and its bytes go back to the pool so consumed staging
-          // files can retire.
-          std::lock_guard<std::mutex> meta(fs->meta_mu);
-          if (!fs->staged.empty()) {
-            if (staging_) {
-              for (const auto& [off, r] : fs->staged) {
-                staging_->Release(r.alloc);
-              }
-            }
-            fs->staged.clear();
-            dirty_files_.fetch_sub(1, std::memory_order_release);
-          }
-          fs->defunct = true;
-        }
-        mmaps_.InvalidateFile(fs->ino);
-        kfs_->Close(fs->kernel_fd);
-      }
-    }
+    TeardownDisplacedState(to, displaced);
   }
   MakeMetadataSynchronous(nullptr);
   return 0;
+}
+
+void SplitFs::TeardownDisplacedState(const std::string& path, Ino displaced) {
+  if (displaced == vfs::kInvalidIno) {
+    return;
+  }
+  FileRef fs = FileOf(displaced);
+  bool matches = false;
+  if (fs != nullptr) {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    matches = fs->path == path;
+  }
+  if (!matches) {
+    return;
+  }
+  {
+    FileShard& shard = FileShardOf(displaced);
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
+    shard.map.erase(displaced);
+  }
+  RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+  {
+    // Same teardown as Unlink: staged-but-unpublished data dies with the displaced
+    // file, and its bytes go back to the pool so consumed staging files can retire.
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    if (!fs->staged.empty()) {
+      if (staging_) {
+        for (const auto& [off, r] : fs->staged) {
+          staging_->Release(r.alloc);
+        }
+      }
+      fs->staged.clear();
+      dirty_files_.fetch_sub(1, std::memory_order_release);
+    }
+    fs->defunct = true;
+  }
+  mmaps_.InvalidateFile(fs->ino);
+  kfs_->Close(fs->kernel_fd);
 }
 
 int SplitFs::Mkdir(const std::string& path) {
@@ -953,6 +965,12 @@ int SplitFs::RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r) {
   // Layout:  [ head partial | aligned core ... | tail partial ]
   // Head/tail partial blocks are copied (the paper's "SplitFS copies the partial
   // data"); the aligned core moves by extent swap with zero data movement.
+  //
+  // Deadlock-freedom: the caller holds this file's whole-file range lock (a U-Split
+  // lock); the relink ioctl below takes the kernel's two inode locks by ascending
+  // ino internally and returns with none held. Concurrent publishers relinking out
+  // of a shared staging file therefore order the same {staging, target} pairs
+  // identically, and no U-Split lock is ever acquired under a K-Split lock.
   uint64_t s = file_off;
   uint64_t e = file_off + r.alloc.len;
   uint64_t st = r.alloc.staging_off;
@@ -1081,6 +1099,9 @@ int SplitFs::PublishStaged(FileState* fs) {
   }
   if (opts_.enable_relink) {
     // One journal commit covers every relink of this publish (jbd2 batches handles).
+    // Each deferred relink released its inode locks and journal handle before
+    // returning, so this commit — which takes the journal barrier exclusively and
+    // waits out in-flight handles — can never deadlock against our own relinks.
     kfs_->CommitJournal(/*fsync_barrier=*/false);
   }
   {
@@ -1335,6 +1356,11 @@ int SplitFs::Recover() {
       runs.push_back(e);
     }
   }
+  // Replay opens files by ino (log entries carry no paths) and re-issues the relink
+  // ioctl, which applies the same ascending-ino two-inode lock order as the live
+  // path. OpenByIno also pins the inode: a deferred reclamation racing the replay
+  // (a logged target displaced by a committed rename) backs off while we hold the
+  // descriptor instead of freeing the file under us.
   for (const LogEntry& e : runs) {
     int src_fd = kfs_->OpenByIno(e.staging_ino, vfs::kRdWr);
     int dst_fd = kfs_->OpenByIno(e.target_ino, vfs::kRdWr);

@@ -30,9 +30,22 @@
 //     disjoint-range operations can update the shared map structure;
 //   * lock order: fd-table shard → path/file shard → OpenFile cursor → file range
 //     lock → file metadata mutex → mmap-cache/staging/op-log internals → K-Split's
-//     kernel lock. The op-log checkpoint acquires other files only with try-lock, so
+//     locks. The op-log checkpoint acquires other files only with try-lock, so
 //     "holds own file, waits for checkpoint" and "holds checkpoint, sweeps files"
 //     cannot deadlock.
+//
+// K-Split is no longer a big kernel lock: Ext4Dax has per-inode reader/writer locks,
+// namespace (dentry) shards, a sharded allocator, and jbd2-style journal handles
+// (lock order documented in src/ext4/ext4_dax.h). U-Split never holds a K-Split lock
+// across its own — every kfs_ call is a self-contained trap — so the two lock
+// hierarchies compose trivially. The two-inode operations U-Split drives are ordered
+// inside the kernel model itself:
+//   * SwapExtentsForRelink locks {staging inode, target inode} by ascending ino;
+//   * an fsync that publishes many staged runs issues relinks with defer_commit and
+//     one CommitJournal — each relink reorders its own pair, and the commit takes
+//     the journal barrier with no inode lock held;
+//   * op-log recovery's OpenByIno + relink replay goes through the same ioctl, so
+//     crash replay obeys the same order as the live path.
 #ifndef SRC_CORE_SPLIT_FS_H_
 #define SRC_CORE_SPLIT_FS_H_
 
@@ -162,6 +175,11 @@ class SplitFs : public vfs::FileSystem {
 
   FileRef FileOf(vfs::Ino ino) const;
   vfs::Ino LookupPath(const std::string& path) const;
+  // Tears down the cached state of a file displaced by rename (same teardown as
+  // Unlink): staged bytes return to the pool, the state goes defunct, mappings are
+  // invalidated, the kernel fd closes. No-op if `displaced` has no cached state or
+  // its state no longer names `path`.
+  void TeardownDisplacedState(const std::string& path, vfs::Ino displaced);
   // State behind a descriptor (and optionally its open-file description).
   FileRef StateOf(int fd, std::shared_ptr<vfs::OpenFile>* of_out = nullptr) const;
   std::vector<FileRef> SnapshotFiles() const;

@@ -1,97 +1,274 @@
 #include "src/ext4/allocator.h"
 
 #include <algorithm>
+#include <array>
+#include <functional>
+#include <thread>
 
 namespace ext4sim {
 
-BlockAllocator::BlockAllocator(uint64_t first_block, uint64_t n_blocks)
+namespace {
+
+// Group sizing: at least 32768 blocks (128 MiB of 4 KiB blocks) per group so tiny
+// test allocators collapse to one group (exact legacy behaviour), capped at 16 groups.
+constexpr uint64_t kMinGroupBlocks = 32768;
+constexpr uint64_t kMaxGroups = 16;
+
+// Per-thread group affinity, one cached entry per thread (threads drive one
+// allocator at a time in practice; a miss just re-derives the hash).
+struct Affinity {
+  const void* alloc = nullptr;
+  size_t group = 0;
+};
+thread_local Affinity g_affinity;
+
+}  // namespace
+
+BlockAllocator::BlockAllocator(uint64_t first_block, uint64_t n_blocks, sim::Clock* clock)
     : first_block_(first_block),
       n_blocks_(n_blocks),
+      clock_(clock),
       free_blocks_(n_blocks),
       bits_((n_blocks + 63) / 64, 0) {
   SPLITFS_CHECK(n_blocks > 0);
+  uint64_t want =
+      std::min<uint64_t>(kMaxGroups, std::max<uint64_t>(1, n_blocks / kMinGroupBlocks));
+  // Word-aligned group width so each bitmap word belongs to exactly one group.
+  blocks_per_group_ = ((n_blocks + want - 1) / want + 63) & ~uint64_t{63};
+  n_groups_ = static_cast<size_t>((n_blocks + blocks_per_group_ - 1) / blocks_per_group_);
+  groups_ = std::make_unique<Group[]>(n_groups_);
+  for (size_t g = 0; g < n_groups_; ++g) {
+    groups_[g].lo = g * blocks_per_group_;
+    groups_[g].hi = std::min(n_blocks_, (g + 1) * blocks_per_group_);
+    groups_[g].cursor = groups_[g].lo;
+    groups_[g].free_blocks = groups_[g].hi - groups_[g].lo;
+  }
 }
 
-PhysExtent BlockAllocator::Allocate(uint64_t count, uint64_t goal) {
-  if (count == 0 || free_blocks_ == 0) {
+size_t BlockAllocator::PreferredGroup() const {
+  if (g_affinity.alloc != this) {
+    g_affinity.alloc = this;
+    g_affinity.group =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % n_groups_;
+  }
+  // Clamp defensively: the cache is keyed by address, and an allocator constructed
+  // where a bigger one used to live would otherwise inherit an out-of-range group.
+  return g_affinity.group % n_groups_;
+}
+
+void BlockAllocator::UpdateAffinity(size_t group) const {
+  g_affinity.alloc = this;
+  g_affinity.group = group;
+}
+
+PhysExtent BlockAllocator::ScanRange(uint64_t lo, uint64_t hi, uint64_t count,
+                                     uint64_t charge_ns, bool* charged) {
+  if (lo >= hi) {
     return {};
   }
-  uint64_t start_idx = cursor_;
+  struct HeldGroup {
+    Group* g;
+    uint64_t t0;
+  };
+  std::array<HeldGroup, kMaxGroups> held;
+  size_t n_held = 0;
+  auto lock_group = [&](size_t gi) {
+    Group& g = groups_[gi];
+    g.mu.lock();
+    uint64_t t0 = 0;
+    if (clock_ != nullptr) {
+      t0 = g.stamp.Acquire(clock_);
+      if (!*charged && charge_ns != 0) {
+        clock_->Advance(charge_ns);
+        *charged = true;
+      }
+    }
+    held[n_held++] = {&g, t0};
+  };
+  auto unlock_all = [&] {
+    while (n_held > 0) {
+      HeldGroup& h = held[--n_held];
+      if (clock_ != nullptr) {
+        h.g->stamp.Release(clock_, h.t0);
+      }
+      h.g->mu.unlock();
+    }
+  };
+
+  size_t cur_g = GroupOf(lo);
+  lock_group(cur_g);
+  uint64_t i = lo;
+  while (i < hi) {
+    if (i >= groups_[cur_g].hi) {
+      // Advanced past this group without finding a free bit: move the lock forward
+      // (no run is in progress, so nothing older needs to stay held).
+      unlock_all();
+      cur_g = GroupOf(i);
+      lock_group(cur_g);
+    }
+    if (TestBit(i)) {
+      ++i;
+      continue;
+    }
+    // First free bit: extend the run (first-fit grants partial runs), taking the
+    // next group's lock — ascending order, deadlock-free — when it crosses a
+    // boundary. Crossing into a neighbour is the rebalancing slow path.
+    uint64_t run = 1;
+    while (run < count && i + run < hi) {
+      if (i + run >= groups_[cur_g].hi) {
+        cur_g = GroupOf(i + run);
+        lock_group(cur_g);
+      }
+      if (TestBit(i + run)) {
+        break;
+      }
+      ++run;
+    }
+    for (uint64_t k = 0; k < run; ++k) {
+      SetBit(i + k);
+    }
+    for (size_t h = 0; h < n_held; ++h) {
+      Group* g = held[h].g;
+      uint64_t o_lo = std::max(i, g->lo);
+      uint64_t o_hi = std::min(i + run, g->hi);
+      if (o_lo < o_hi) {
+        g->free_blocks -= o_hi - o_lo;
+        g->cursor = o_hi < g->hi ? o_hi : g->lo;
+      }
+    }
+    free_blocks_.fetch_sub(run, std::memory_order_relaxed);
+    size_t landing = GroupOf(i + run - 1);
+    unlock_all();
+    if (clock_ != nullptr && clock_->HasLane()) {
+      UpdateAffinity(landing);  // Next allocation starts where this one landed.
+    }
+    return {first_block_ + i, run};
+  }
+  unlock_all();
+  return {};
+}
+
+PhysExtent BlockAllocator::AllocateInternal(uint64_t count, uint64_t goal,
+                                            uint64_t charge_ns, bool* charged) {
+  if (count == 0 || FreeBlocks() == 0) {
+    return {};
+  }
+  bool lane = clock_ != nullptr && clock_->HasLane();
+  uint64_t start_idx;
   if (goal >= first_block_ && goal < first_block_ + n_blocks_) {
     start_idx = goal - first_block_;
+  } else if (lane) {
+    // Concurrent fast path: start at the calling thread's preferred group cursor so
+    // parallel allocators stay out of each other's groups.
+    Group& g = groups_[PreferredGroup()];
+    std::lock_guard<std::mutex> lk(g.mu);
+    start_idx = g.cursor;
+  } else {
+    start_idx = cursor_.load(std::memory_order_relaxed);
   }
-  // Scan forward from the hint, wrapping once, looking for the first free run.
-  for (uint64_t pass = 0; pass < 2; ++pass) {
+  // Scan forward from the hint, wrapping once, looking for the first free run —
+  // logically the same first-fit scan as the unsharded allocator.
+  for (int pass = 0; pass < 2; ++pass) {
     uint64_t lo = pass == 0 ? start_idx : 0;
     uint64_t hi = pass == 0 ? n_blocks_ : start_idx;
-    uint64_t i = lo;
-    while (i < hi) {
-      if (TestBit(i)) {
-        ++i;
-        continue;
+    PhysExtent e = ScanRange(lo, hi, count, charge_ns, charged);
+    if (e.count != 0) {
+      if (!lane) {
+        cursor_.store((e.start - first_block_ + e.count) % n_blocks_,
+                      std::memory_order_relaxed);
       }
-      uint64_t run = 1;
-      while (run < count && i + run < hi && !TestBit(i + run)) {
-        ++run;
-      }
-      for (uint64_t k = 0; k < run; ++k) {
-        SetBit(i + k);
-      }
-      free_blocks_ -= run;
-      cursor_ = (i + run) % n_blocks_;
-      return {first_block_ + i, run};
+      return e;
     }
   }
   return {};
 }
 
-bool BlockAllocator::AllocateBlocks(uint64_t count, std::vector<PhysExtent>* out,
-                                    uint64_t goal) {
-  if (count > free_blocks_) {
-    return false;
+PhysExtent BlockAllocator::Allocate(uint64_t count, uint64_t goal, uint64_t charge_ns) {
+  bool charged = false;
+  PhysExtent e = AllocateInternal(count, goal, charge_ns, &charged);
+  if (!charged && clock_ != nullptr && charge_ns != 0) {
+    clock_->Advance(charge_ns);  // The CPU cost is paid even when allocation fails.
   }
-  size_t first_new = out->size();
-  uint64_t remaining = count;
-  uint64_t hint = goal;
-  while (remaining > 0) {
-    PhysExtent e = Allocate(remaining, hint);
-    if (e.count == 0) {
-      // Undo partial allocation; cannot happen unless free_blocks_ was inconsistent.
-      for (size_t i = first_new; i < out->size(); ++i) {
-        Free((*out)[i]);
-      }
-      out->resize(first_new);
-      return false;
-    }
-    out->push_back(e);
-    remaining -= e.count;
-    hint = e.start + e.count;  // Keep subsequent pieces as close as possible.
-  }
-  return true;
+  return e;
 }
 
-void BlockAllocator::Free(const PhysExtent& e) {
-  SPLITFS_CHECK(e.start >= first_block_ && e.start + e.count <= first_block_ + n_blocks_);
-  for (uint64_t k = 0; k < e.count; ++k) {
-    uint64_t idx = e.start - first_block_ + k;
-    SPLITFS_CHECK(TestBit(idx));  // Double-free guard.
-    ClearBit(idx);
+bool BlockAllocator::AllocateBlocks(uint64_t count, std::vector<PhysExtent>* out,
+                                    uint64_t goal, uint64_t charge_ns) {
+  bool charged = false;
+  bool ok = count <= FreeBlocks();
+  if (ok) {
+    size_t first_new = out->size();
+    uint64_t remaining = count;
+    uint64_t hint = goal;
+    while (remaining > 0) {
+      PhysExtent e = AllocateInternal(remaining, hint, charge_ns, &charged);
+      if (e.count == 0) {
+        // The up-front free-count check is advisory under concurrency: a racing
+        // allocator may have drained the space since. Undo the partial allocation.
+        for (size_t i = first_new; i < out->size(); ++i) {
+          Free((*out)[i]);
+        }
+        out->resize(first_new);
+        ok = false;
+        break;
+      }
+      out->push_back(e);
+      remaining -= e.count;
+      hint = e.start + e.count;  // Keep subsequent pieces as close as possible.
+    }
   }
-  free_blocks_ += e.count;
+  if (!charged && clock_ != nullptr && charge_ns != 0) {
+    clock_->Advance(charge_ns);  // Paid once regardless of outcome.
+  }
+  return ok;
+}
+
+void BlockAllocator::Free(const PhysExtent& e, uint64_t charge_ns) {
+  SPLITFS_CHECK(e.start >= first_block_ && e.start + e.count <= first_block_ + n_blocks_);
+  bool charged = false;
+  uint64_t idx = e.start - first_block_;
+  uint64_t end = idx + e.count;
+  while (idx < end) {
+    Group& g = groups_[GroupOf(idx)];
+    std::lock_guard<std::mutex> lk(g.mu);
+    uint64_t t0 = clock_ != nullptr ? g.stamp.Acquire(clock_) : 0;
+    if (clock_ != nullptr && !charged && charge_ns != 0) {
+      clock_->Advance(charge_ns);
+      charged = true;
+    }
+    uint64_t span_end = std::min(end, g.hi);
+    for (uint64_t k = idx; k < span_end; ++k) {
+      SPLITFS_CHECK(TestBit(k));  // Double-free guard.
+      ClearBit(k);
+    }
+    g.free_blocks += span_end - idx;
+    if (clock_ != nullptr) {
+      g.stamp.Release(clock_, t0);
+    }
+    idx = span_end;
+  }
+  free_blocks_.fetch_add(e.count, std::memory_order_relaxed);
 }
 
 bool BlockAllocator::IsAllocated(uint64_t block) const {
   SPLITFS_CHECK(block >= first_block_ && block < first_block_ + n_blocks_);
-  return TestBit(block - first_block_);
+  uint64_t idx = block - first_block_;
+  const Group& g = groups_[GroupOf(idx)];
+  std::lock_guard<std::mutex> lk(g.mu);
+  return TestBit(idx);
 }
 
 uint64_t BlockAllocator::LargestFreeRun() const {
   uint64_t best = 0, run = 0;
-  for (uint64_t i = 0; i < n_blocks_; ++i) {
-    if (!TestBit(i)) {
-      best = std::max(best, ++run);
-    } else {
-      run = 0;
+  for (size_t gi = 0; gi < n_groups_; ++gi) {
+    const Group& g = groups_[gi];
+    std::lock_guard<std::mutex> lk(g.mu);
+    for (uint64_t i = g.lo; i < g.hi; ++i) {
+      if (!TestBit(i)) {
+        best = std::max(best, ++run);  // `run` carries across group boundaries.
+      } else {
+        run = 0;
+      }
     }
   }
   return best;

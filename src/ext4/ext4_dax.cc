@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "src/common/bytes.h"
 #include "src/vfs/path.h"
@@ -12,74 +13,165 @@ using common::kBlockSize;
 using vfs::FileType;
 using vfs::Ino;
 
+namespace {
+
+// Sequential-read detection is invalidated when a mutation covers the continuation
+// point: a read resuming there would stream over bytes that are no longer the ones
+// the previous read left off at.
+void InvalidateSeqIfCovered(std::atomic<uint64_t>* last_read_end, uint64_t lo,
+                            uint64_t hi) {
+  uint64_t lre = last_read_end->load(std::memory_order_relaxed);
+  if (lre != 0 && lo <= lre && lre < hi) {
+    last_read_end->store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
 Ext4Dax::Ext4Dax(pmem::Device* dev, Ext4Options opts)
     : dev_(dev),
       ctx_(dev->context()),
       data_start_block_(1 + opts.journal_blocks),
-      alloc_(1 + opts.journal_blocks, dev->size() / kBlockSize - 1 - opts.journal_blocks),
+      alloc_(1 + opts.journal_blocks, dev->size() / kBlockSize - 1 - opts.journal_blocks,
+             &dev->context()->clock),
       journal_(dev, /*journal_start_block=*/1, opts.journal_blocks) {
-  auto root = std::make_unique<Inode>();
+  auto root = std::make_shared<Inode>();
   root->ino = vfs::kRootIno;
   root->type = FileType::kDirectory;
   root->nlink = 2;
+  root->parent = vfs::kRootIno;  // '/' is its own parent; the cycle walk stops here.
   inodes_[vfs::kRootIno] = std::move(root);
 }
 
-Ext4Dax::Inode* Ext4Dax::GetInode(Ino ino) {
+// --- Inode table / namespace plumbing -------------------------------------------------
+
+Ext4Dax::InodeRef Ext4Dax::GetInode(Ino ino) const {
+  std::shared_lock<std::shared_mutex> lock(itable_mu_);
   auto it = inodes_.find(ino);
-  return it == inodes_.end() ? nullptr : it->second.get();
+  return it == inodes_.end() ? nullptr : it->second;
 }
 
-Ext4Dax::Inode* Ext4Dax::ResolvePath(const std::string& path) {
+void Ext4Dax::InsertInode(InodeRef inode) {
+  std::unique_lock<std::shared_mutex> lock(itable_mu_);
+  Ino ino = inode->ino;
+  inodes_[ino] = std::move(inode);
+}
+
+void Ext4Dax::EraseInode(Ino ino) {
+  std::unique_lock<std::shared_mutex> lock(itable_mu_);
+  inodes_.erase(ino);
+}
+
+Ext4Dax::NsLock::NsLock(const Ext4Dax* fs, std::initializer_list<vfs::Ino> dirs)
+    : fs_(fs) {
+  size_t idx[3];
+  size_t n = 0;
+  for (vfs::Ino d : dirs) {
+    size_t s = static_cast<size_t>(d) % kNsShards;
+    bool dup = false;
+    for (size_t i = 0; i < n; ++i) {
+      dup |= idx[i] == s;
+    }
+    if (!dup) {
+      idx[n++] = s;
+    }
+  }
+  std::sort(idx, idx + n);
+  for (size_t i = 0; i < n; ++i) {
+    NsShard* sh = &fs_->ns_shards_[idx[i]];
+    sh->mu.lock();
+    held_[n_++] = {sh, sh->stamp.Acquire(&fs_->ctx_->clock)};
+  }
+}
+
+Ext4Dax::NsLock::~NsLock() {
+  while (n_ > 0) {
+    Held& h = held_[--n_];
+    h.shard->stamp.Release(&fs_->ctx_->clock, h.t0);
+    h.shard->mu.unlock();
+  }
+}
+
+Ext4Dax::InodeRef Ext4Dax::ResolvePath(const std::string& path) {
   std::vector<std::string> parts;
   if (!vfs::SplitPath(path, &parts)) {
     return nullptr;
   }
-  Inode* cur = GetInode(vfs::kRootIno);
+  InodeRef cur = GetInode(vfs::kRootIno);
   for (const auto& name : parts) {
     if (cur == nullptr || cur->type != FileType::kDirectory) {
       return nullptr;
     }
-    auto it = cur->dirents.find(name);
-    if (it == cur->dirents.end()) {
-      return nullptr;
+    Ino next;
+    {
+      // One shard at a time, shared — resolution never holds two shard locks, so it
+      // cannot participate in a lock-order cycle with multi-shard mutators.
+      NsShard& sh = NsShardOf(cur->ino);
+      std::shared_lock<std::shared_mutex> lk(sh.mu);
+      sh.stamp.AcquireShared(&ctx_->clock);
+      auto it = cur->dirents.find(name);
+      if (it == cur->dirents.end()) {
+        return nullptr;
+      }
+      next = it->second;
     }
-    cur = GetInode(it->second);
+    cur = GetInode(next);
   }
   return cur;
 }
 
-Ext4Dax::Inode* Ext4Dax::ResolveParent(const std::string& path, std::string* leaf) {
+Ext4Dax::InodeRef Ext4Dax::ResolveParent(const std::string& path, std::string* leaf) {
   std::string parent;
   if (!vfs::SplitParent(path, &parent, leaf)) {
     return nullptr;
   }
-  Inode* dir = ResolvePath(parent);
+  InodeRef dir = ResolvePath(parent);
   if (dir == nullptr || dir->type != FileType::kDirectory) {
     return nullptr;
   }
   return dir;
 }
 
-Ino Ext4Dax::AllocateInode(FileType type) {
-  Ino ino = next_ino_++;
-  auto inode = std::make_unique<Inode>();
-  inode->ino = ino;
+bool Ext4Dax::DirAlive(const InodeRef& dir) const {
+  std::shared_lock<std::shared_mutex> lk(dir->mu);
+  return dir->type == FileType::kDirectory && dir->nlink > 0;
+}
+
+Ext4Dax::InodeRef Ext4Dax::AllocateInode(FileType type) {
+  auto inode = std::make_shared<Inode>();
+  inode->ino = next_ino_.fetch_add(1, std::memory_order_relaxed);
   inode->type = type;
   inode->nlink = type == FileType::kDirectory ? 2 : 1;
-  inodes_[ino] = std::move(inode);
-  return ino;
+  InodeRef ref = inode;
+  InsertInode(std::move(inode));
+  return ref;
 }
 
 void Ext4Dax::FreeInodeBlocks(Inode* inode) {
   std::vector<PhysExtent> extents = inode->extents.Clear();
   for (const auto& e : extents) {
-    ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
-    alloc_.Free(e);
+    alloc_.Free(e, ctx_->model.ext4_free_cpu_ns);
   }
 }
 
-int64_t Ext4Dax::EnsureBlocks(Inode* inode, uint64_t off, uint64_t len) {
+void Ext4Dax::ReclaimIfOrphan(Ino ino) {
+  // Commit action: the journal barrier is held exclusively, so no metadata operation
+  // is in flight; the inode lock still matters to exclude readers and OpenByIno,
+  // which run without handles.
+  InodeRef inode = GetInode(ino);
+  if (inode == nullptr) {
+    return;  // Already reclaimed by an earlier commit action.
+  }
+  std::unique_lock<std::shared_mutex> il(inode->mu);
+  if (!inode->unlinked || inode->open_count > 0) {
+    return;  // Resurrected by a rollback, or reopened via OpenByIno: keep it.
+  }
+  FreeInodeBlocks(inode.get());
+  inode->size = 0;  // A straggler holding a stale reference reads EOF, never garbage.
+  EraseInode(ino);  // The inode-table lock is a leaf; safe under the inode lock.
+}
+
+int64_t Ext4Dax::EnsureBlocks(const InodeRef& inode, uint64_t off, uint64_t len) {
   if (len == 0) {
     return 0;
   }
@@ -99,8 +191,10 @@ int64_t Ext4Dax::EnsureBlocks(Inode* inode, uint64_t off, uint64_t len) {
     }
     uint64_t want = hole_end - lb;
     std::vector<PhysExtent> pieces;
-    ctx_->ChargeCpu(ctx_->model.ext4_alloc_cpu_ns);
-    if (!alloc_.AllocateBlocks(want, &pieces)) {
+    // The mballoc CPU cost is charged inside the allocator's group-locked section,
+    // so it serializes on the group's ResourceStamp in virtual time.
+    if (!alloc_.AllocateBlocks(want, &pieces, /*goal=*/0,
+                               ctx_->model.ext4_alloc_cpu_ns)) {
       return -ENOSPC;
     }
     uint64_t cur = lb;
@@ -109,16 +203,19 @@ int64_t Ext4Dax::EnsureBlocks(Inode* inode, uint64_t off, uint64_t len) {
       inode->extents.Insert(cur, p.start, p.count);
       cur += p.count;
       allocated += static_cast<int64_t>(p.count);
-      // Roll back mapping + allocation if the transaction never commits.
-      Inode* captured = inode;
+      // Roll back mapping + allocation if the transaction never commits. The
+      // InodeRef capture keeps the inode alive however the table changes.
+      InodeRef captured = inode;
       uint64_t at = cur - p.count;
       PhysExtent pe = p;
-      journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, inode->ino), [this, captured, at, pe] {
-        captured->extents.RemoveRange(at, pe.count);
-        alloc_.Free(pe);
-      });
+      journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, inode->ino),
+                     [this, captured, at, pe] {
+                       captured->extents.RemoveRange(at, pe.count);
+                       alloc_.Free(pe);
+                     });
     }
-    journal_.Dirty(MetaBlockId(MetaKind::kBlockBitmap, pieces.front().start / 32768), nullptr);
+    journal_.Dirty(MetaBlockId(MetaKind::kBlockBitmap, pieces.front().start / 32768),
+                   nullptr);
     lb = hole_end;
   }
   return allocated;
@@ -127,103 +224,107 @@ int64_t Ext4Dax::EnsureBlocks(Inode* inode, uint64_t off, uint64_t len) {
 // --- Open/close -----------------------------------------------------------------------
 
 int Ext4Dax::Open(const std::string& path, int flags) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
 
-  Inode* inode = ResolvePath(path);
-  if (inode == nullptr) {
-    if ((flags & vfs::kCreate) == 0) {
-      return -ENOENT;
-    }
+  InodeRef inode = ResolvePath(path);
+  if (inode == nullptr && (flags & vfs::kCreate) != 0) {
     std::string leaf;
-    Inode* dir = ResolveParent(path, &leaf);
+    InodeRef dir = ResolveParent(path, &leaf);
     if (dir == nullptr) {
       return -ENOENT;
     }
-    ctx_->ChargeCpu(ctx_->model.ext4_create_extra_ns + ctx_->model.ext4_dir_op_cpu_ns +
-                    ctx_->model.ext4_journal_dirty_cpu_ns);
-    Ino ino = AllocateInode(FileType::kRegular);
-    dir->dirents[leaf] = ino;
-    inode = GetInode(ino);
-    Ino dir_ino = dir->ino;
-    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, ino / 16), [this, ino] {
-      inodes_.erase(ino);
-    });
-    journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino), [this, dir_ino, leaf] {
-      if (Inode* d = GetInode(dir_ino)) {
-        d->dirents.erase(leaf);
+    Journal::Handle handle(&journal_);
+    std::shared_lock<std::shared_mutex> ns(rename_mu_);
+    NsLock shard(this, {dir->ino});
+    if (!DirAlive(dir)) {
+      return -ENOENT;  // Parent removed between resolution and the shard lock.
+    }
+    auto it = dir->dirents.find(leaf);
+    if (it == dir->dirents.end()) {
+      ctx_->ChargeCpu(ctx_->model.ext4_create_extra_ns + ctx_->model.ext4_dir_op_cpu_ns +
+                      ctx_->model.ext4_journal_dirty_cpu_ns);
+      InodeRef fresh = AllocateInode(FileType::kRegular);
+      Ino ino = fresh->ino;
+      Ino dir_ino = dir->ino;
+      dir->dirents[leaf] = ino;
+      journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, ino / 16),
+                     [this, ino] { EraseInode(ino); });
+      journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino), [this, dir_ino, leaf] {
+        if (InodeRef d = GetInode(dir_ino)) {
+          d->dirents.erase(leaf);
+        }
+      });
+      {
+        std::unique_lock<std::shared_mutex> il(fresh->mu);
+        ++fresh->open_count;
       }
-    });
-  } else if ((flags & vfs::kCreate) != 0 && (flags & vfs::kExcl) != 0) {
+      return fds_.Allocate(ino, flags);
+    }
+    inode = GetInode(it->second);  // A racing creator won; continue as a plain open.
+  }
+  if (inode == nullptr) {
+    return -ENOENT;
+  }
+  if ((flags & vfs::kCreate) != 0 && (flags & vfs::kExcl) != 0) {
     return -EEXIST;
   }
   if (inode->type == FileType::kDirectory && vfs::WantsWrite(flags)) {
     return -EISDIR;
   }
-  if ((flags & vfs::kTrunc) != 0 && inode->type == FileType::kRegular && inode->size > 0) {
-    uint64_t old_size = inode->size;
-    inode->size = 0;
-    std::vector<PhysExtent> freed =
-        inode->extents.RemoveRange(0, common::DivCeil(old_size, kBlockSize));
-    ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
-    Inode* captured = inode;
-    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
-                   [captured, old_size] { captured->size = old_size; });
-    // The freed extents were contiguous pieces starting at logical 0, in order;
-    // save the mapping so rollback can re-insert them.
-    uint64_t lb = 0;
-    std::vector<MappedExtent> saved;
-    for (const auto& e : freed) {
-      saved.push_back({lb, e.start, e.count});
-      lb += e.count;
+  if ((flags & vfs::kTrunc) != 0 && inode->type == FileType::kRegular) {
+    Journal::Handle handle(&journal_);
+    std::unique_lock<std::shared_mutex> il(inode->mu);
+    sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+    if (inode->size > 0) {
+      TruncateLocked(inode, 0);
     }
-    journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, inode->ino), [captured, saved] {
-      for (const auto& m : saved) {
-        captured->extents.Insert(m.logical, m.phys, m.count);
-      }
-    });
-    for (const auto& e : freed) {
-      ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
-      journal_.OnCommit([this, e] { alloc_.Free(e); });
-    }
+    ++inode->open_count;
+    return fds_.Allocate(inode->ino, flags);
   }
-  ++inode->open_count;
+  {
+    std::unique_lock<std::shared_mutex> il(inode->mu);
+    ++inode->open_count;
+  }
   return fds_.Allocate(inode->ino, flags);
 }
 
 int Ext4Dax::Close(int fd) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.kernel_work_ns / 2);
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  Inode* inode = GetInode(of->ino);
+  InodeRef inode = GetInode(of->ino);
   int rc = fds_.Release(fd);
   if (rc != 0) {
     return rc;
   }
-  if (inode != nullptr && --inode->open_count == 0 && inode->unlinked) {
-    // Orphan cleanup on last close — journaled: if the unlink's transaction rolls
-    // back at a crash, the resurrected dirent must point at a live inode, so the
-    // free happens only when the transaction commits.
-    Ino gone = inode->ino;
-    journal_.OnCommit([this, inode, gone] {
-      FreeInodeBlocks(inode);
-      inodes_.erase(gone);
-    });
+  if (inode != nullptr) {
+    bool last_orphan = false;
+    {
+      std::unique_lock<std::shared_mutex> il(inode->mu);
+      last_orphan = --inode->open_count == 0 && inode->unlinked;
+    }
+    if (last_orphan) {
+      // Orphan cleanup on last close — journaled: if the unlink's transaction rolls
+      // back at a crash, the resurrected dirent must point at a live inode, so the
+      // free happens only when the transaction commits — and is keyed by ino, so a
+      // rollback or an OpenByIno reopen cancels it instead of use-after-freeing.
+      Ino gone = inode->ino;
+      journal_.OnCommit([this, gone] { ReclaimIfOrphan(gone); });
+    }
   }
   return 0;
 }
 
 int Ext4Dax::Dup(int fd) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of != nullptr) {
-    if (Inode* inode = GetInode(of->ino)) {
+    if (InodeRef inode = GetInode(of->ino)) {
+      std::unique_lock<std::shared_mutex> il(inode->mu);
       ++inode->open_count;
     }
   }
@@ -232,13 +333,12 @@ int Ext4Dax::Dup(int fd) {
 
 // --- Data path ------------------------------------------------------------------------
 
-ssize_t Ext4Dax::PwriteLocked(std::shared_ptr<vfs::OpenFile> of, const void* buf,
-                              uint64_t n, uint64_t off) {
-  Inode* inode = GetInode(of->ino);
-  if (inode == nullptr || inode->type != FileType::kRegular) {
+ssize_t Ext4Dax::PwriteInode(const InodeRef& inode, int flags, const void* buf,
+                             uint64_t n, uint64_t off) {
+  if (inode->type != FileType::kRegular) {
     return -EBADF;
   }
-  if (!vfs::WantsWrite(of->flags)) {
+  if (!vfs::WantsWrite(flags)) {
     return -EBADF;
   }
   if (n == 0) {
@@ -258,7 +358,7 @@ ssize_t Ext4Dax::PwriteLocked(std::shared_ptr<vfs::OpenFile> of, const void* buf
     ctx_->ChargeCpu(ctx_->model.ext4_append_extra_ns);
     uint64_t old_size = inode->size;
     inode->size = off + n;
-    Inode* captured = inode;
+    InodeRef captured = inode;
     journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
                    [captured, old_size] { captured->size = old_size; });
   }
@@ -277,13 +377,12 @@ ssize_t Ext4Dax::PwriteLocked(std::shared_ptr<vfs::OpenFile> of, const void* buf
     cur += span;
     remaining -= span;
   }
+  InvalidateSeqIfCovered(&inode->last_read_end, off, off + n);
   return static_cast<ssize_t>(n);
 }
 
-ssize_t Ext4Dax::PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint64_t n,
-                             uint64_t off) {
-  Inode* inode = GetInode(of->ino);
-  if (inode == nullptr || inode->type != FileType::kRegular) {
+ssize_t Ext4Dax::PreadInode(const InodeRef& inode, void* buf, uint64_t n, uint64_t off) {
+  if (inode->type != FileType::kRegular) {
     return -EBADF;
   }
   ctx_->ChargeCpu(ctx_->model.ext4_read_path_ns);
@@ -296,7 +395,10 @@ ssize_t Ext4Dax::PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint6
   uint64_t cur = off;
   // An access continuing where the last read on this inode ended streams at the
   // sequential latency class; anything else pays the random-access latency first.
-  bool sequential = off == inode->last_read_end && off != 0;
+  // last_read_end is atomic: readers hold only the shared inode lock, and mutators
+  // (overlapping writes, truncate, relink) invalidate it.
+  bool sequential =
+      off == inode->last_read_end.load(std::memory_order_relaxed) && off != 0;
   while (remaining > 0) {
     uint64_t in_block = cur % kBlockSize;
     auto m = inode->extents.Lookup(cur / kBlockSize);
@@ -316,46 +418,59 @@ ssize_t Ext4Dax::PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint6
     cur += span;
     remaining -= span;
   }
-  inode->last_read_end = off + to_read;
+  inode->last_read_end.store(off + to_read, std::memory_order_relaxed);
   return static_cast<ssize_t>(to_read);
 }
 
 ssize_t Ext4Dax::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  return PwriteLocked(of, buf, n, off);
+  InodeRef inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
+  }
+  Journal::Handle handle(&journal_);
+  std::unique_lock<std::shared_mutex> il(inode->mu);
+  sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  return PwriteInode(inode, of->flags, buf, n, off);
 }
 
 ssize_t Ext4Dax::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  return PreadLocked(of, buf, n, off);
+  InodeRef inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
+  }
+  std::shared_lock<std::shared_mutex> il(inode->mu);
+  inode->stamp.AcquireShared(&ctx_->clock);
+  return PreadInode(inode, buf, n, off);
 }
 
 ssize_t Ext4Dax::Write(int fd, const void* buf, uint64_t n) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  std::lock_guard<std::mutex> flock(of->mu);
-  uint64_t off = of->offset;
-  if ((of->flags & vfs::kAppend) != 0) {
-    Inode* inode = GetInode(of->ino);
-    if (inode != nullptr) {
-      off = inode->size;
-    }
+  InodeRef inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
   }
-  ssize_t rc = PwriteLocked(of, buf, n, off);
+  Journal::Handle handle(&journal_);
+  std::lock_guard<std::mutex> flock(of->mu);
+  // The O_APPEND offset is the size *at write time*: reading it and writing must be
+  // one exclusive section, which is what makes multithreaded appends atomic.
+  std::unique_lock<std::shared_mutex> il(inode->mu);
+  sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  uint64_t off = (of->flags & vfs::kAppend) != 0 ? inode->size : of->offset;
+  ssize_t rc = PwriteInode(inode, of->flags, buf, n, off);
   if (rc > 0) {
     of->offset = off + static_cast<uint64_t>(rc);
   }
@@ -363,14 +478,19 @@ ssize_t Ext4Dax::Write(int fd, const void* buf, uint64_t n) {
 }
 
 ssize_t Ext4Dax::Read(int fd, void* buf, uint64_t n) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
+  InodeRef inode = GetInode(of->ino);
+  if (inode == nullptr) {
+    return -EBADF;
+  }
   std::lock_guard<std::mutex> flock(of->mu);
-  ssize_t rc = PreadLocked(of, buf, n, of->offset);
+  std::shared_lock<std::shared_mutex> il(inode->mu);
+  inode->stamp.AcquireShared(&ctx_->clock);
+  ssize_t rc = PreadInode(inode, buf, n, of->offset);
   if (rc > 0) {
     of->offset += static_cast<uint64_t>(rc);
   }
@@ -378,13 +498,12 @@ ssize_t Ext4Dax::Read(int fd, void* buf, uint64_t n) {
 }
 
 int64_t Ext4Dax::Lseek(int fd, int64_t off, vfs::Whence whence) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  Inode* inode = GetInode(of->ino);
+  InodeRef inode = GetInode(of->ino);
   std::lock_guard<std::mutex> flock(of->mu);
   int64_t base = 0;
   switch (whence) {
@@ -395,7 +514,10 @@ int64_t Ext4Dax::Lseek(int fd, int64_t off, vfs::Whence whence) {
       base = static_cast<int64_t>(of->offset);
       break;
     case vfs::Whence::kEnd:
-      base = inode == nullptr ? 0 : static_cast<int64_t>(inode->size);
+      if (inode != nullptr) {
+        std::shared_lock<std::shared_mutex> il(inode->mu);
+        base = static_cast<int64_t>(inode->size);
+      }
       break;
   }
   int64_t target = base + off;
@@ -409,7 +531,6 @@ int64_t Ext4Dax::Lseek(int fd, int64_t off, vfs::Whence whence) {
 // --- Durability -----------------------------------------------------------------------
 
 int Ext4Dax::Fsync(int fd) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   if (fds_.Get(fd) == nullptr) {
     return -EBADF;
@@ -418,26 +539,18 @@ int Ext4Dax::Fsync(int fd) {
   return 0;
 }
 
-int Ext4Dax::Ftruncate(int fd, uint64_t size) {
-  KernelSection lock(this);
-  ctx_->ChargeSyscall();
-  auto of = fds_.Get(fd);
-  if (of == nullptr) {
-    return -EBADF;
-  }
-  Inode* inode = GetInode(of->ino);
-  if (inode == nullptr || inode->type != FileType::kRegular) {
-    return -EBADF;
-  }
+void Ext4Dax::TruncateLocked(const InodeRef& inode, uint64_t size) {
   ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
   uint64_t old_size = inode->size;
-  Inode* captured = inode;
+  InodeRef captured = inode;
   journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
                  [captured, old_size] { captured->size = old_size; });
   if (size < inode->size) {
     uint64_t first_gone = common::DivCeil(size, kBlockSize);
     uint64_t last = common::DivCeil(inode->size, kBlockSize);
     std::vector<PhysExtent> freed = inode->extents.RemoveRange(first_gone, last - first_gone);
+    // The freed extents were contiguous pieces starting at `first_gone`, in order;
+    // save the mapping so rollback can re-insert them.
     std::vector<MappedExtent> saved;
     uint64_t lb = first_gone;
     for (const auto& e : freed) {
@@ -455,20 +568,44 @@ int Ext4Dax::Ftruncate(int fd, uint64_t size) {
     }
   }
   inode->size = size;
-  return 0;
+  // A shrink below the sequential continuation point leaves it pointing at removed
+  // bytes; whatever appears there later is not a media-stream continuation.
+  uint64_t lre = inode->last_read_end.load(std::memory_order_relaxed);
+  if (lre != 0 && size < lre) {
+    inode->last_read_end.store(0, std::memory_order_relaxed);
+  }
 }
 
-int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
-  KernelSection lock(this);
+int Ext4Dax::Ftruncate(int fd, uint64_t size) {
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  Inode* inode = GetInode(of->ino);
+  InodeRef inode = GetInode(of->ino);
   if (inode == nullptr || inode->type != FileType::kRegular) {
     return -EBADF;
   }
+  Journal::Handle handle(&journal_);
+  std::unique_lock<std::shared_mutex> il(inode->mu);
+  sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  TruncateLocked(inode, size);
+  return 0;
+}
+
+int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
+  ctx_->ChargeSyscall();
+  auto of = fds_.Get(fd);
+  if (of == nullptr) {
+    return -EBADF;
+  }
+  InodeRef inode = GetInode(of->ino);
+  if (inode == nullptr || inode->type != FileType::kRegular) {
+    return -EBADF;
+  }
+  Journal::Handle handle(&journal_);
+  std::unique_lock<std::shared_mutex> il(inode->mu);
+  sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
   int64_t rc = EnsureBlocks(inode, off, len);
   if (rc < 0) {
     return static_cast<int>(rc);
@@ -477,7 +614,7 @@ int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
   if (!keep_size && off + len > inode->size) {
     uint64_t old_size = inode->size;
     inode->size = off + len;
-    Inode* captured = inode;
+    InodeRef captured = inode;
     journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
                    [captured, old_size] { captured->size = old_size; });
   }
@@ -487,190 +624,370 @@ int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
 // --- Namespace ------------------------------------------------------------------------
 
 int Ext4Dax::Unlink(const std::string& path) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_dir_op_cpu_ns +
                   ctx_->model.ext4_journal_dirty_cpu_ns + ctx_->model.ext4_unlink_extra_ns);
   std::string leaf;
-  Inode* dir = ResolveParent(path, &leaf);
+  InodeRef dir = ResolveParent(path, &leaf);
   if (dir == nullptr) {
+    return -ENOENT;
+  }
+  Journal::Handle handle(&journal_);
+  std::shared_lock<std::shared_mutex> ns(rename_mu_);
+  NsLock shard(this, {dir->ino});
+  if (!DirAlive(dir)) {
     return -ENOENT;
   }
   auto it = dir->dirents.find(leaf);
   if (it == dir->dirents.end()) {
     return -ENOENT;
   }
-  Inode* inode = GetInode(it->second);
+  InodeRef inode = GetInode(it->second);
   if (inode == nullptr || inode->type != FileType::kRegular) {
     return inode == nullptr ? -ENOENT : -EISDIR;
   }
   Ino dir_ino = dir->ino;
   Ino ino = inode->ino;
   dir->dirents.erase(it);
-  Inode* captured = inode;
-  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino),
-                 [this, dir_ino, leaf, ino, captured] {
-    if (Inode* d = GetInode(dir_ino)) {
+  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino), [this, dir_ino, leaf, ino] {
+    if (InodeRef d = GetInode(dir_ino)) {
       d->dirents[leaf] = ino;
     }
-    captured->unlinked = false;  // Rollback resurrects the file fully.
+    if (InodeRef victim = GetInode(ino)) {
+      victim->unlinked = false;  // Rollback resurrects the file fully.
+      victim->nlink = 1;
+    }
   });
   journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, ino / 16), nullptr);
-  inode->unlinked = true;
-  if (inode->open_count == 0) {
-    // Defer the actual free to commit (jbd2 rule), then drop the inode.
-    Inode* captured = inode;
-    journal_.OnCommit([this, captured, ino] {
-      FreeInodeBlocks(captured);
-      inodes_.erase(ino);
-    });
+  bool last = false;
+  {
+    std::unique_lock<std::shared_mutex> il(inode->mu);
+    inode->unlinked = true;
+    inode->nlink = 0;
+    last = inode->open_count == 0;
+  }
+  if (last) {
+    // Defer the actual free to commit (jbd2 rule), keyed by ino: a rollback that
+    // resurrects the file, or a reopen through OpenByIno, cancels the reclamation.
+    journal_.OnCommit([this, ino] { ReclaimIfOrphan(ino); });
   }
   return 0;
 }
 
 int Ext4Dax::Rename(const std::string& from, const std::string& to) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(2 * ctx_->model.ext4_open_path_ns + 2 * ctx_->model.ext4_dir_op_cpu_ns +
                   ctx_->model.ext4_journal_dirty_cpu_ns);
   std::string from_leaf, to_leaf;
-  Inode* from_dir = ResolveParent(from, &from_leaf);
-  Inode* to_dir = ResolveParent(to, &to_leaf);
+  InodeRef from_dir = ResolveParent(from, &from_leaf);
+  InodeRef to_dir = ResolveParent(to, &to_leaf);
   if (from_dir == nullptr || to_dir == nullptr) {
     return -ENOENT;
   }
-  auto it = from_dir->dirents.find(from_leaf);
-  if (it == from_dir->dirents.end()) {
-    return -ENOENT;
-  }
-  Ino moved = it->second;
-  // If the destination exists, it is replaced (regular files only, as rename(2)).
-  std::optional<Ino> displaced;
-  auto dit = to_dir->dirents.find(to_leaf);
-  if (dit != to_dir->dirents.end()) {
-    if (dit->second == moved) {
-      return 0;  // rename(2): same file, do nothing.
+  Journal::Handle handle(&journal_);
+  bool dir_move = false;
+  for (;;) {
+    // File renames hold the rename lock shared; directory renames hold it exclusive
+    // (Linux's s_vfs_rename_mutex), which freezes the tree shape: the ancestor walk
+    // of the cycle check and a displaced directory's emptiness are stable without
+    // taking further shard locks.
+    std::shared_lock<std::shared_mutex> ns_shared;
+    std::unique_lock<std::shared_mutex> ns_excl;
+    if (dir_move) {
+      ns_excl = std::unique_lock<std::shared_mutex>(rename_mu_);
+    } else {
+      ns_shared = std::shared_lock<std::shared_mutex>(rename_mu_);
     }
-    Inode* existing = GetInode(dit->second);
-    if (existing != nullptr && existing->type == FileType::kDirectory) {
-      return -EISDIR;
+    NsLock shards(this, {from_dir->ino, to_dir->ino});
+    if (!DirAlive(from_dir) || !DirAlive(to_dir)) {
+      return -ENOENT;
     }
-    displaced = dit->second;
-  }
-  Ino from_ino = from_dir->ino, to_ino = to_dir->ino;
-  from_dir->dirents.erase(it);
-  to_dir->dirents[to_leaf] = moved;
-  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, from_ino),
-                 [this, from_ino, from_leaf, moved] {
-                   if (Inode* d = GetInode(from_ino)) {
-                     d->dirents[from_leaf] = moved;
-                   }
-                 });
-  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, to_ino),
-                 [this, to_ino, to_leaf, displaced] {
-                   if (Inode* d = GetInode(to_ino)) {
-                     if (displaced) {
-                       d->dirents[to_leaf] = *displaced;
-                       if (Inode* victim = GetInode(*displaced)) {
-                         victim->unlinked = false;  // Fully resurrected.
-                       }
-                     } else {
-                       d->dirents.erase(to_leaf);
-                     }
-                   }
-                 });
-  if (displaced) {
-    Inode* old = GetInode(*displaced);
-    if (old != nullptr) {
-      old->unlinked = true;
-      if (old->open_count == 0) {
-        Ino old_ino = *displaced;
-        journal_.OnCommit([this, old, old_ino] {
-          FreeInodeBlocks(old);
-          inodes_.erase(old_ino);
-        });
+    auto it = from_dir->dirents.find(from_leaf);
+    if (it == from_dir->dirents.end()) {
+      return -ENOENT;
+    }
+    InodeRef moved = GetInode(it->second);
+    if (moved == nullptr) {
+      return -ENOENT;
+    }
+    if (moved->type == FileType::kDirectory && !dir_move) {
+      dir_move = true;  // Restart with the rename lock held exclusively.
+      continue;
+    }
+    Ino moved_ino = moved->ino;
+
+    // Destination handling: same-file no-op, then type compatibility (rename(2)).
+    std::optional<Ino> displaced;
+    InodeRef victim;
+    auto dit = to_dir->dirents.find(to_leaf);
+    if (dit != to_dir->dirents.end()) {
+      if (dit->second == moved_ino) {
+        return 0;  // Same file (covers rename(p, p) too): do nothing.
+      }
+      victim = GetInode(dit->second);
+      if (victim != nullptr) {
+        if (moved->type == FileType::kDirectory) {
+          if (victim->type != FileType::kDirectory) {
+            return -ENOTDIR;
+          }
+          // Empty-check is stable: rename_mu_ is exclusive here, so no mutator can
+          // touch victim->dirents, whichever shard it hashes to.
+          if (!victim->dirents.empty()) {
+            return -ENOTEMPTY;
+          }
+        } else if (victim->type == FileType::kDirectory) {
+          return -EISDIR;
+        }
+        displaced = dit->second;
       }
     }
+
+    if (moved->type == FileType::kDirectory) {
+      // Cycle check: moving a directory into its own subtree (or onto itself) would
+      // disconnect it from the root. Walk `to_dir`'s ancestor chain; stable under
+      // the exclusive rename lock.
+      for (Ino p = to_dir->ino; p != vfs::kRootIno;) {
+        if (p == moved_ino) {
+          return -EINVAL;
+        }
+        InodeRef ancestor = GetInode(p);
+        if (ancestor == nullptr) {
+          break;
+        }
+        std::shared_lock<std::shared_mutex> al(ancestor->mu);
+        if (ancestor->parent == p) {
+          break;  // Defensive: never spin on a self-loop other than root.
+        }
+        p = ancestor->parent;
+        if (p == vfs::kInvalidIno) {
+          break;
+        }
+      }
+    }
+
+    Ino from_ino = from_dir->ino, to_ino = to_dir->ino;
+    from_dir->dirents.erase(it);
+    to_dir->dirents[to_leaf] = moved_ino;
+    journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, from_ino),
+                   [this, from_ino, from_leaf, moved_ino] {
+                     if (InodeRef d = GetInode(from_ino)) {
+                       d->dirents[from_leaf] = moved_ino;
+                     }
+                   });
+    journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, to_ino),
+                   [this, to_ino, to_leaf, displaced] {
+                     if (InodeRef d = GetInode(to_ino)) {
+                       if (displaced) {
+                         d->dirents[to_leaf] = *displaced;
+                         if (InodeRef v = GetInode(*displaced)) {
+                           v->unlinked = false;  // Fully resurrected.
+                           v->nlink = v->type == FileType::kDirectory ? 2 : 1;
+                         }
+                       } else {
+                         d->dirents.erase(to_leaf);
+                       }
+                     }
+                   });
+
+    if (victim != nullptr && displaced) {
+      if (victim->type == FileType::kDirectory) {
+        // An empty directory victim disappears like an rmdir: the parent loses its
+        // '..' link and the inode leaves the table (the undo re-inserts it).
+        {
+          std::unique_lock<std::shared_mutex> vl(victim->mu);
+          victim->nlink = 0;
+        }
+        {
+          std::unique_lock<std::shared_mutex> tl(to_dir->mu);
+          --to_dir->nlink;
+        }
+        EraseInode(victim->ino);
+        InodeRef victim_ref = victim;
+        journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, victim->ino / 16),
+                       [this, victim_ref, to_ino] {
+                         victim_ref->nlink = 2;
+                         InsertInode(victim_ref);
+                         if (InodeRef d = GetInode(to_ino)) {
+                           ++d->nlink;
+                         }
+                       });
+      } else {
+        bool last = false;
+        {
+          std::unique_lock<std::shared_mutex> vl(victim->mu);
+          victim->unlinked = true;
+          victim->nlink = 0;
+          last = victim->open_count == 0;
+        }
+        if (last) {
+          // Keyed by ino, not by pointer: a rollback resurrecting the victim or an
+          // OpenByIno reopen cancels the deferred free (the old raw-pointer capture
+          // was a use-after-free and a double-free waiting for exactly those races).
+          Ino victim_ino = *displaced;
+          journal_.OnCommit([this, victim_ino] { ReclaimIfOrphan(victim_ino); });
+        }
+      }
+    }
+
+    if (moved->type == FileType::kDirectory && from_ino != to_ino) {
+      // The directory's '..' now points at to_dir: move the parent link count.
+      {
+        std::unique_lock<std::shared_mutex> fl(from_dir->mu);
+        --from_dir->nlink;
+      }
+      {
+        std::unique_lock<std::shared_mutex> tl(to_dir->mu);
+        ++to_dir->nlink;
+      }
+      {
+        std::unique_lock<std::shared_mutex> ml(moved->mu);
+        moved->parent = to_ino;
+      }
+      InodeRef moved_ref = moved;
+      journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, moved_ino / 16),
+                     [this, moved_ref, from_ino, to_ino] {
+                       moved_ref->parent = from_ino;
+                       if (InodeRef f = GetInode(from_ino)) {
+                         ++f->nlink;
+                       }
+                       if (InodeRef t = GetInode(to_ino)) {
+                         --t->nlink;
+                       }
+                     });
+    }
+    return 0;
   }
-  return 0;
 }
 
 int Ext4Dax::Mkdir(const std::string& path) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_create_extra_ns +
                   ctx_->model.ext4_dir_op_cpu_ns + ctx_->model.ext4_journal_dirty_cpu_ns);
   std::string leaf;
-  Inode* dir = ResolveParent(path, &leaf);
+  InodeRef dir = ResolveParent(path, &leaf);
   if (dir == nullptr) {
+    return -ENOENT;
+  }
+  Journal::Handle handle(&journal_);
+  std::shared_lock<std::shared_mutex> ns(rename_mu_);
+  NsLock shard(this, {dir->ino});
+  if (!DirAlive(dir)) {
     return -ENOENT;
   }
   if (dir->dirents.count(leaf) != 0) {
     return -EEXIST;
   }
-  Ino ino = AllocateInode(FileType::kDirectory);
-  dir->dirents[leaf] = ino;
+  InodeRef child = AllocateInode(FileType::kDirectory);
+  child->parent = dir->ino;  // Fresh inode, not yet visible: no lock needed.
+  Ino ino = child->ino;
   Ino dir_ino = dir->ino;
+  dir->dirents[leaf] = ino;
+  {
+    std::unique_lock<std::shared_mutex> dl(dir->mu);
+    ++dir->nlink;  // The child's '..'.
+  }
   journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, ino / 16),
-                 [this, ino] { inodes_.erase(ino); });
+                 [this, ino] { EraseInode(ino); });
   journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino), [this, dir_ino, leaf] {
-    if (Inode* d = GetInode(dir_ino)) {
+    if (InodeRef d = GetInode(dir_ino)) {
       d->dirents.erase(leaf);
+      --d->nlink;
     }
   });
   return 0;
 }
 
 int Ext4Dax::Rmdir(const std::string& path) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns + ctx_->model.ext4_dir_op_cpu_ns +
                   ctx_->model.ext4_journal_dirty_cpu_ns);
   std::string leaf;
-  Inode* dir = ResolveParent(path, &leaf);
+  InodeRef dir = ResolveParent(path, &leaf);
   if (dir == nullptr) {
     return -ENOENT;
   }
-  auto it = dir->dirents.find(leaf);
-  if (it == dir->dirents.end()) {
-    return -ENOENT;
+  Journal::Handle handle(&journal_);
+  std::shared_lock<std::shared_mutex> ns(rename_mu_);
+  // Removes `gone` from `dir`; the caller holds the shard locks covering both (one
+  // NsLock covering dir and gone), so the emptiness check and the unlink are atomic.
+  auto remove = [this, &dir, &leaf](Ino gone) -> int {
+    InodeRef target = GetInode(gone);
+    if (target == nullptr || target->type != FileType::kDirectory) {
+      return -ENOTDIR;
+    }
+    if (!target->dirents.empty()) {
+      return -ENOTEMPTY;
+    }
+    Ino dir_ino = dir->ino;
+    dir->dirents.erase(leaf);
+    {
+      std::unique_lock<std::shared_mutex> dl(dir->mu);
+      --dir->nlink;  // The removed child's '..'.
+    }
+    {
+      std::unique_lock<std::shared_mutex> tl(target->mu);
+      target->nlink = 0;
+    }
+    EraseInode(gone);
+    InodeRef target_ref = target;
+    std::string leaf_copy = leaf;
+    journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino),
+                   [this, dir_ino, leaf_copy, gone, target_ref] {
+                     if (InodeRef d = GetInode(dir_ino)) {
+                       d->dirents[leaf_copy] = gone;
+                       ++d->nlink;
+                     }
+                     target_ref->nlink = 2;
+                     InsertInode(target_ref);
+                   });
+    return 0;
+  };
+  for (;;) {
+    Ino target_ino;
+    {
+      NsLock shard(this, {dir->ino});
+      if (!DirAlive(dir)) {
+        return -ENOENT;
+      }
+      auto it = dir->dirents.find(leaf);
+      if (it == dir->dirents.end()) {
+        return -ENOENT;
+      }
+      target_ino = it->second;
+      if (&NsShardOf(target_ino) == &NsShardOf(dir->ino)) {
+        return remove(target_ino);
+      }
+    }
+    // Target hashes to a different shard: retake both in ascending order and
+    // re-validate that the dirent still names the same inode.
+    NsLock shards(this, {dir->ino, target_ino});
+    if (!DirAlive(dir)) {
+      return -ENOENT;
+    }
+    auto it = dir->dirents.find(leaf);
+    if (it == dir->dirents.end()) {
+      return -ENOENT;
+    }
+    if (it->second != target_ino) {
+      continue;  // Raced with a rename; retry against the new target.
+    }
+    return remove(target_ino);
   }
-  Inode* target = GetInode(it->second);
-  if (target == nullptr || target->type != FileType::kDirectory) {
-    return -ENOTDIR;
-  }
-  if (!target->dirents.empty()) {
-    return -ENOTEMPTY;
-  }
-  Ino dir_ino = dir->ino;
-  Ino gone = it->second;
-  auto inode_holder = std::move(inodes_[gone]);  // Keep alive for potential undo.
-  dir->dirents.erase(it);
-  inodes_.erase(gone);
-  auto shared_holder = std::make_shared<std::unique_ptr<Inode>>(std::move(inode_holder));
-  journal_.Dirty(MetaBlockId(MetaKind::kDirBlock, dir_ino),
-                 [this, dir_ino, leaf, gone, shared_holder] {
-                   if (Inode* d = GetInode(dir_ino)) {
-                     d->dirents[leaf] = gone;
-                   }
-                   if (*shared_holder != nullptr) {
-                     inodes_[gone] = std::move(*shared_holder);
-                   }
-                 });
-  return 0;
 }
 
 int Ext4Dax::ReadDir(const std::string& path, std::vector<std::string>* names) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns);
-  Inode* dir = ResolvePath(path);
+  InodeRef dir = ResolvePath(path);
   if (dir == nullptr) {
     return -ENOENT;
   }
   if (dir->type != FileType::kDirectory) {
     return -ENOTDIR;
   }
+  NsShard& sh = NsShardOf(dir->ino);
+  std::shared_lock<std::shared_mutex> lk(sh.mu);
+  sh.stamp.AcquireShared(&ctx_->clock);
   names->clear();
   for (const auto& [name, ino] : dir->dirents) {
     ctx_->ChargeCpu(ctx_->model.kernel_work_ns / 4);
@@ -680,13 +997,14 @@ int Ext4Dax::ReadDir(const std::string& path, std::vector<std::string>* names) {
 }
 
 int Ext4Dax::Stat(const std::string& path, vfs::StatBuf* out) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.ext4_open_path_ns / 2);
-  Inode* inode = ResolvePath(path);
+  InodeRef inode = ResolvePath(path);
   if (inode == nullptr) {
     return -ENOENT;
   }
+  std::shared_lock<std::shared_mutex> il(inode->mu);
+  inode->stamp.AcquireShared(&ctx_->clock);
   out->ino = inode->ino;
   out->size = inode->size;
   out->blocks = inode->extents.MappedBlocks();
@@ -696,16 +1014,17 @@ int Ext4Dax::Stat(const std::string& path, vfs::StatBuf* out) {
 }
 
 int Ext4Dax::Fstat(int fd, vfs::StatBuf* out) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  Inode* inode = GetInode(of->ino);
+  InodeRef inode = GetInode(of->ino);
   if (inode == nullptr) {
     return -EBADF;
   }
+  std::shared_lock<std::shared_mutex> il(inode->mu);
+  inode->stamp.AcquireShared(&ctx_->clock);
   out->ino = inode->ino;
   out->size = inode->size;
   out->blocks = inode->extents.MappedBlocks();
@@ -715,13 +1034,14 @@ int Ext4Dax::Fstat(int fd, vfs::StatBuf* out) {
 }
 
 int Ext4Dax::CommitJournal(bool fsync_barrier) {
-  KernelSection lock(this);
   journal_.CommitRunning(fsync_barrier);
   return 0;
 }
 
 int Ext4Dax::Recover() {
-  KernelSection lock(this);
+  // Recovery is a quiesce point: RecoverDiscardRunning takes the journal barrier
+  // exclusively and the undo closures mutate namespace/inode state without further
+  // locks, which is valid because no operation can be in flight across a crash.
   journal_.RecoverDiscardRunning();
   return 0;
 }
@@ -730,16 +1050,17 @@ int Ext4Dax::Recover() {
 
 int Ext4Dax::DaxMap(int fd, uint64_t off, uint64_t len,
                     std::vector<DaxMapping>* out) {
-  KernelSection lock(this);
   out->clear();
   auto of = fds_.Get(fd);
   if (of == nullptr) {
     return -EBADF;
   }
-  Inode* inode = GetInode(of->ino);
+  InodeRef inode = GetInode(of->ino);
   if (inode == nullptr || inode->type != FileType::kRegular) {
     return -EBADF;
   }
+  std::shared_lock<std::shared_mutex> il(inode->mu);
+  inode->stamp.AcquireShared(&ctx_->clock);
   uint64_t first = off / kBlockSize;
   uint64_t count = common::DivCeil(off + len, kBlockSize) - first;
   for (const auto& m : inode->extents.FindRange(first, count)) {
@@ -749,14 +1070,19 @@ int Ext4Dax::DaxMap(int fd, uint64_t off, uint64_t len,
 }
 
 int Ext4Dax::OpenByIno(vfs::Ino ino, int flags) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();
   ctx_->ChargeCpu(ctx_->model.kernel_work_ns);
-  Inode* inode = GetInode(ino);
+  InodeRef inode = GetInode(ino);
   if (inode == nullptr || inode->type != FileType::kRegular) {
     return -ENOENT;
   }
-  ++inode->open_count;
+  {
+    // The open_count increment under the inode lock is what makes a pending
+    // ReclaimIfOrphan for this ino back off instead of freeing a file someone
+    // just reopened.
+    std::unique_lock<std::shared_mutex> il(inode->mu);
+    ++inode->open_count;
+  }
   return fds_.Allocate(ino, flags);
 }
 
@@ -768,7 +1094,6 @@ vfs::Ino Ext4Dax::InoOf(int fd) const {
 int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
                                   uint64_t dst_off, uint64_t len, uint64_t new_dst_size,
                                   bool defer_commit) {
-  KernelSection lock(this);
   ctx_->ChargeSyscall();  // The ioctl trap.
   if (len == 0) {
     return 0;
@@ -781,76 +1106,93 @@ int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
   if (src_of == nullptr || dst_of == nullptr) {
     return -EBADF;
   }
-  Inode* src = GetInode(src_of->ino);
-  Inode* dst = GetInode(dst_of->ino);
+  InodeRef src = GetInode(src_of->ino);
+  InodeRef dst = GetInode(dst_of->ino);
   if (src == nullptr || dst == nullptr || src == dst) {
     return -EINVAL;
   }
+  {
+    Journal::Handle handle(&journal_);
+    // The only two-inode exclusive section in the kernel model; lock order is
+    // ascending ino. U-Split's fsync batching (many deferred relinks, one commit)
+    // and op-log recovery replay both funnel through here, so every concurrent
+    // publisher orders src/dst pairs the same way — deadlock-free by construction.
+    Inode* lo = src->ino < dst->ino ? src.get() : dst.get();
+    Inode* hi = src->ino < dst->ino ? dst.get() : src.get();
+    std::unique_lock<std::shared_mutex> l1(lo->mu);
+    std::unique_lock<std::shared_mutex> l2(hi->mu);
+    sim::ScopedResourceTime t1(&lo->stamp, &ctx_->clock);
+    sim::ScopedResourceTime t2(&hi->stamp, &ctx_->clock);
 
-  uint64_t first_src = src_off / kBlockSize;
-  uint64_t first_dst = dst_off / kBlockSize;
-  uint64_t nblocks = common::DivCeil(len, kBlockSize);
+    uint64_t first_src = src_off / kBlockSize;
+    uint64_t first_dst = dst_off / kBlockSize;
+    uint64_t nblocks = common::DivCeil(len, kBlockSize);
 
-  // The paper's implementation trick (§3.5): MOVE_EXT requires blocks allocated on both
-  // sides, so relink allocates transient blocks at the destination, swaps, and frees
-  // them. The transient allocation takes the goal-directed fast path.
-  ctx_->ChargeCpu(ctx_->model.ext4_relink_alloc_cpu_ns);
+    // The paper's implementation trick (§3.5): MOVE_EXT requires blocks allocated on
+    // both sides, so relink allocates transient blocks at the destination, swaps, and
+    // frees them. The transient allocation takes the goal-directed fast path.
+    ctx_->ChargeCpu(ctx_->model.ext4_relink_alloc_cpu_ns);
 
-  // Collect the source mappings; every block in the range must be mapped.
-  std::vector<MappedExtent> moved = src->extents.FindRange(first_src, nblocks);
-  uint64_t mapped = 0;
-  for (const auto& m : moved) {
-    mapped += m.count;
+    // Collect the source mappings; every block in the range must be mapped.
+    std::vector<MappedExtent> moved = src->extents.FindRange(first_src, nblocks);
+    uint64_t mapped = 0;
+    for (const auto& m : moved) {
+      mapped += m.count;
+    }
+    if (mapped != nblocks) {
+      return -EINVAL;  // Source range has holes; nothing to relink there.
+    }
+
+    // Deallocate whatever the destination currently maps in the target range (these
+    // are the "existing data blocks are de-allocated" of the relink definition). The
+    // frees are deferred to commit — jbd2's rule: blocks released by an uncommitted
+    // transaction must not be reused, or a rollback would leave them aliased.
+    std::vector<MappedExtent> displaced_mapped = dst->extents.FindRange(first_dst, nblocks);
+    std::vector<PhysExtent> displaced = dst->extents.RemoveRange(first_dst, nblocks);
+    for (const auto& e : displaced) {
+      ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
+      journal_.OnCommit([this, e] { alloc_.Free(e); });
+    }
+
+    // Move the physical blocks: remove from source, insert at destination with the
+    // logical shift applied. Metadata-only; the data bytes never move, and any DAX
+    // mapping of these physical blocks remains valid.
+    ctx_->ChargeCpu(2 * ctx_->model.ext4_swap_extent_cpu_ns);
+    src->extents.RemoveRange(first_src, nblocks);
+    for (const auto& m : moved) {
+      dst->extents.Insert(first_dst + (m.logical - first_src), m.phys, m.count);
+    }
+
+    uint64_t old_dst_size = dst->size;
+    if (new_dst_size > dst->size) {
+      dst->size = new_dst_size;
+    }
+
+    // One journal transaction covering both extent trees and the destination inode,
+    // committed immediately without the fsync barrier path. jbd2 has a single
+    // transaction stream, so any metadata already dirtied by earlier operations
+    // commits alongside (which is why an fsync that relinks need not also run the
+    // barrier path). The undo reverses the whole swap — a crash before the commit
+    // record must leave both files exactly as they were, or op-log replay would find
+    // holes where the staged blocks used to be and silently lose acknowledged
+    // appends. The InodeRef captures keep both inodes alive for the undo however
+    // the inode table changes in between.
+    journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, src->ino), nullptr);
+    journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, dst->ino),
+                   [src, dst, moved, displaced_mapped, first_dst, nblocks, old_dst_size] {
+                     dst->extents.RemoveRange(first_dst, nblocks);
+                     for (const auto& m : moved) {
+                       src->extents.Insert(m.logical, m.phys, m.count);
+                     }
+                     for (const auto& m : displaced_mapped) {
+                       dst->extents.Insert(m.logical, m.phys, m.count);
+                     }
+                     dst->size = old_dst_size;
+                   });
+    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, dst->ino / 16), nullptr);
+    InvalidateSeqIfCovered(&src->last_read_end, src_off, src_off + nblocks * kBlockSize);
+    InvalidateSeqIfCovered(&dst->last_read_end, dst_off, dst_off + nblocks * kBlockSize);
   }
-  if (mapped != nblocks) {
-    return -EINVAL;  // Source range has holes; nothing to relink there.
-  }
-
-  // Deallocate whatever the destination currently maps in the target range (these are
-  // the "existing data blocks are de-allocated" of the relink definition). The frees
-  // are deferred to commit — jbd2's rule: blocks released by an uncommitted
-  // transaction must not be reused, or a rollback would leave them aliased.
-  std::vector<MappedExtent> displaced_mapped = dst->extents.FindRange(first_dst, nblocks);
-  std::vector<PhysExtent> displaced = dst->extents.RemoveRange(first_dst, nblocks);
-  for (const auto& e : displaced) {
-    ctx_->ChargeCpu(ctx_->model.ext4_free_cpu_ns);
-    journal_.OnCommit([this, e] { alloc_.Free(e); });
-  }
-
-  // Move the physical blocks: remove from source, insert at destination with the
-  // logical shift applied. Metadata-only; the data bytes never move, and any DAX
-  // mapping of these physical blocks remains valid.
-  ctx_->ChargeCpu(2 * ctx_->model.ext4_swap_extent_cpu_ns);
-  src->extents.RemoveRange(first_src, nblocks);
-  for (const auto& m : moved) {
-    dst->extents.Insert(first_dst + (m.logical - first_src), m.phys, m.count);
-  }
-
-  uint64_t old_dst_size = dst->size;
-  if (new_dst_size > dst->size) {
-    dst->size = new_dst_size;
-  }
-
-  // One journal transaction covering both extent trees and the destination inode,
-  // committed immediately without the fsync barrier path. jbd2 has a single
-  // transaction stream, so any metadata already dirtied by earlier operations commits
-  // alongside (which is why an fsync that relinks need not also run the barrier path).
-  // The undo reverses the whole swap — a crash before the commit record must leave
-  // both files exactly as they were, or op-log replay would find holes where the
-  // staged blocks used to be and silently lose acknowledged appends.
-  journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, src->ino), nullptr);
-  journal_.Dirty(MetaBlockId(MetaKind::kExtentTree, dst->ino),
-                 [src, dst, moved, displaced_mapped, first_dst, nblocks, old_dst_size] {
-                   dst->extents.RemoveRange(first_dst, nblocks);
-                   for (const auto& m : moved) {
-                     src->extents.Insert(m.logical, m.phys, m.count);
-                   }
-                   for (const auto& m : displaced_mapped) {
-                     dst->extents.Insert(m.logical, m.phys, m.count);
-                   }
-                   dst->size = old_dst_size;
-                 });
-  journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, dst->ino / 16), nullptr);
   if (!defer_commit) {
     journal_.CommitRunning(/*fsync_barrier=*/false);
   }

@@ -9,11 +9,41 @@
 //
 // Every public entry point charges one kernel trap plus the CPU/journal/media costs of
 // the real ext4 code path it models (see sim::CostModel for the calibration).
+//
+// Locking model (mirrors real ext4, replacing the former big kernel lock). A thread
+// only ever acquires downward in this list:
+//
+//   1. Journal handle (shared side of the jbd2 barrier): every metadata-mutating
+//      operation holds one; commits/recovery/fsck take it exclusively, so a commit
+//      never captures half an operation and deferred commit actions see a quiescent
+//      namespace.
+//   2. rename_mu_: shared by all namespace mutations; exclusive only for directory
+//      renames, freezing the tree shape so the cycle (ancestor) walk and a displaced
+//      directory's emptiness check are stable — Linux's s_vfs_rename_mutex.
+//   3. Namespace (dentry) shard locks, keyed by directory inode, ascending shard
+//      index when two or three are needed: guard dirent maps. Path resolution locks
+//      one shard at a time (shared) and never holds two.
+//   4. Per-inode reader/writer locks, ascending ino when two are needed (relink):
+//      guard size/extents/nlink/open_count. Reads take the shared side.
+//   5. Leaves, never held while acquiring any of the above: the inode table's
+//      shared_mutex, the allocator's per-group locks, the journal's state mutex.
+//
+// Virtual-time accounting follows the same granularity: each inode, namespace shard,
+// allocator group, and the journal commit path carries a sim::ResourceStamp, so
+// lane-bound threads serialize their timelines only where the real locks serialize
+// them — concurrent writes to different files or creates in different directories
+// no longer queue on one global stamp. Single-timeline (no-lane) runs are
+// bit-identical to the big-kernel-lock model.
 #ifndef SRC_EXT4_EXT4_DAX_H_
 #define SRC_EXT4_EXT4_DAX_H_
 
+#include <array>
+#include <atomic>
+#include <initializer_list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,6 +124,9 @@ class Ext4Dax : public vfs::FileSystem {
   // transaction instead of committing; an fsync publishing many staged ranges issues
   // one relink per contiguous run and then a single CommitJournal(false) — jbd2
   // batches the handles into one commit.
+  //
+  // Takes both inode locks, ascending ino — the documented two-inode lock order that
+  // keeps concurrent relinks (fsync batching, op-log recovery replay) deadlock-free.
   int SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd, uint64_t dst_off,
                            uint64_t len, uint64_t new_dst_size,
                            bool defer_commit = false);
@@ -123,46 +156,86 @@ class Ext4Dax : public vfs::FileSystem {
 
  private:
   struct Inode {
+    // Immutable after creation.
     vfs::Ino ino = vfs::kInvalidIno;
     vfs::FileType type = vfs::FileType::kRegular;
+
+    // Guarded by mu: exclusive for mutation, shared for reads. `dirents` is the
+    // exception — it is guarded by the owning directory's namespace shard lock.
     uint64_t size = 0;
-    uint32_t nlink = 1;
+    uint32_t nlink = 1;  // Dirs: 2 + #subdirs ('.' + parent entry + childrens' '..').
+    vfs::Ino parent = vfs::kInvalidIno;  // Directories: containing directory's ino.
     ExtentMap extents;
-    std::map<std::string, vfs::Ino> dirents;  // Directories only.
+    std::map<std::string, vfs::Ino> dirents;  // Directories only; ns-shard guarded.
     uint32_t open_count = 0;
     bool unlinked = false;  // Orphaned: free on last close.
-    uint64_t last_read_end = 0;  // Sequential-access detection (Table 2 latency class).
+
+    // Sequential-access detection (Table 2 latency class). Atomic: updated by
+    // readers holding only the shared inode lock, and invalidated by writers.
+    std::atomic<uint64_t> last_read_end{0};
+
+    mutable std::shared_mutex mu;
+    mutable sim::ResourceStamp stamp;  // Busy time of the exclusive side.
   };
+  using InodeRef = std::shared_ptr<Inode>;
 
-  Inode* GetInode(vfs::Ino ino);
-  Inode* ResolvePath(const std::string& path);
-  // Resolves the parent directory of `path`; fills leaf name.
-  Inode* ResolveParent(const std::string& path, std::string* leaf);
+  static constexpr size_t kNsShards = 16;
+  struct alignas(64) NsShard {
+    mutable std::shared_mutex mu;
+    mutable sim::ResourceStamp stamp;
+  };
+  NsShard& NsShardOf(vfs::Ino dir_ino) const {
+    return ns_shards_[static_cast<size_t>(dir_ino) % kNsShards];
+  }
 
-  vfs::Ino AllocateInode(vfs::FileType type);
-  void FreeInodeBlocks(Inode* inode);
-  // Ensures blocks exist for [off, off+len); returns number of newly allocated blocks
-  // or -ENOSPC. Journals the allocation.
-  int64_t EnsureBlocks(Inode* inode, uint64_t off, uint64_t len);
-
-  ssize_t PwriteLocked(std::shared_ptr<vfs::OpenFile> of, const void* buf, uint64_t n,
-                       uint64_t off);
-  ssize_t PreadLocked(std::shared_ptr<vfs::OpenFile> of, void* buf, uint64_t n,
-                      uint64_t off);
-
-  // RAII big-kernel-lock section: takes mu_ and brackets the critical section with
-  // the kernel's ResourceStamp, so time spent under the (real) lock serializes in
-  // the per-thread virtual timelines too — N user threads overlap their user-space
-  // data path but queue for the kernel, exactly like threads trapping into one ext4.
-  class KernelSection {
+  // Locks the namespace shards of the given directories (deduplicated) in ascending
+  // shard order, bracketing each with its ResourceStamp.
+  class NsLock {
    public:
-    explicit KernelSection(const Ext4Dax* fs)
-        : lock_(fs->mu_), time_(&fs->kernel_stamp_, &fs->ctx_->clock) {}
+    NsLock(const Ext4Dax* fs, std::initializer_list<vfs::Ino> dirs);
+    ~NsLock();
+    NsLock(const NsLock&) = delete;
+    NsLock& operator=(const NsLock&) = delete;
 
    private:
-    std::lock_guard<std::mutex> lock_;
-    sim::ScopedResourceTime time_;
+    const Ext4Dax* fs_;
+    size_t n_ = 0;
+    struct Held {
+      NsShard* shard;
+      uint64_t t0;
+    } held_[3];
   };
+
+  InodeRef GetInode(vfs::Ino ino) const;       // Inode-table shared lock (leaf).
+  void InsertInode(InodeRef inode);            // Inode-table unique lock (leaf).
+  void EraseInode(vfs::Ino ino);               // Inode-table unique lock (leaf).
+  InodeRef ResolvePath(const std::string& path);
+  // Resolves the parent directory of `path`; fills leaf name.
+  InodeRef ResolveParent(const std::string& path, std::string* leaf);
+  // A directory that still has a dirent pointing at it (nlink > 0). Re-checked under
+  // the shard lock before inserting into a directory that may have been removed.
+  bool DirAlive(const InodeRef& dir) const;
+
+  InodeRef AllocateInode(vfs::FileType type);
+  void FreeInodeBlocks(Inode* inode);
+  // Commit action for deferred inode reclamation: re-looks the inode up by ino and
+  // frees it only if it is still an orphan (unlinked, no opens). Keying by ino —
+  // never by captured pointer — makes a rollback that resurrects the inode, or a
+  // reopen via OpenByIno, cancel the free instead of use-after-freeing it.
+  void ReclaimIfOrphan(vfs::Ino ino);
+  // Ensures blocks exist for [off, off+len); returns number of newly allocated blocks
+  // or -ENOSPC. Journals the allocation. Caller holds the inode lock exclusively and
+  // a journal handle.
+  int64_t EnsureBlocks(const InodeRef& inode, uint64_t off, uint64_t len);
+  // Truncates a regular file to `size`; shared by Ftruncate and O_TRUNC. Caller
+  // holds the inode lock exclusively and a journal handle.
+  void TruncateLocked(const InodeRef& inode, uint64_t size);
+
+  // Data-path bodies; the caller holds the inode lock (exclusive for write, shared
+  // for read) and, for writes, a journal handle.
+  ssize_t PwriteInode(const InodeRef& inode, int flags, const void* buf, uint64_t n,
+                      uint64_t off);
+  ssize_t PreadInode(const InodeRef& inode, void* buf, uint64_t n, uint64_t off);
 
   pmem::Device* dev_;
   sim::Context* ctx_;
@@ -170,10 +243,11 @@ class Ext4Dax : public vfs::FileSystem {
   BlockAllocator alloc_;
   Journal journal_;
 
-  mutable std::mutex mu_;  // Protects the namespace + inode table (big kernel lock).
-  mutable sim::ResourceStamp kernel_stamp_;
-  std::unordered_map<vfs::Ino, std::unique_ptr<Inode>> inodes_;
-  vfs::Ino next_ino_ = vfs::kRootIno + 1;
+  mutable std::shared_mutex rename_mu_;
+  mutable std::array<NsShard, kNsShards> ns_shards_;
+  mutable std::shared_mutex itable_mu_;  // Guards the inode table's structure only.
+  std::unordered_map<vfs::Ino, InodeRef> inodes_;
+  std::atomic<vfs::Ino> next_ino_{vfs::kRootIno + 1};
   vfs::FdTable fds_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <shared_mutex>
 
 #include "src/common/bytes.h"
 #include "src/ext4/ext4_dax.h"
@@ -10,7 +11,11 @@ namespace ext4sim {
 
 FsckReport RunFsck(Ext4Dax* fs) {
   FsckReport report;
-  std::lock_guard<std::mutex> lock(fs->mu_);
+  // Quiesce: the journal barrier held exclusively excludes every metadata operation
+  // and commit, so inode/namespace state can be walked without per-inode locks
+  // (concurrent readers only touch the atomic sequential-read hint).
+  auto quiesce = fs->journal_.Quiesce();
+  std::shared_lock<std::shared_mutex> itable(fs->itable_mu_);
 
   // Pass 1: walk every inode's extent tree; check bitmap agreement and aliasing.
   std::map<uint64_t, vfs::Ino> block_owner;  // phys block -> owning inode.
@@ -59,7 +64,12 @@ FsckReport RunFsck(Ext4Dax* fs) {
 
   // Pass 3: directory graph. BFS from root; every dirent must point at a live inode;
   // no inode may be reached twice via directories (regular files may have nlink > 1 in
-  // principle, but this model does not create hard links).
+  // principle, but this model does not create hard links). Along the way, verify the
+  // nlink invariants the metadata paths maintain:
+  //   * directory nlink == 2 + number of subdirectories ('.' + parent entry + each
+  //     child's '..');
+  //   * each child directory's parent pointer names the directory it was found in;
+  //   * reachable regular files have nlink == 1; orphans (unlinked) have nlink == 0.
   std::set<vfs::Ino> reachable;
   std::vector<vfs::Ino> queue{vfs::kRootIno};
   reachable.insert(vfs::kRootIno);
@@ -71,8 +81,10 @@ FsckReport RunFsck(Ext4Dax* fs) {
       report.Problem("directory graph references missing inode " + std::to_string(cur));
       continue;
     }
+    uint32_t subdirs = 0;
     for (const auto& [name, child] : it->second->dirents) {
-      if (fs->inodes_.count(child) == 0) {
+      auto cit = fs->inodes_.find(child);
+      if (cit == fs->inodes_.end()) {
         report.Problem("dirent '" + name + "' in inode " + std::to_string(cur) +
                        " points at missing inode " + std::to_string(child));
         continue;
@@ -82,15 +94,37 @@ FsckReport RunFsck(Ext4Dax* fs) {
                        " reachable via multiple paths ('" + name + "')");
         continue;
       }
-      if (fs->inodes_.at(child)->type == vfs::FileType::kDirectory) {
+      if (cit->second->type == vfs::FileType::kDirectory) {
+        ++subdirs;
+        if (cit->second->parent != cur) {
+          report.Problem("directory " + std::to_string(child) + " ('" + name +
+                         "') has parent pointer " + std::to_string(cit->second->parent) +
+                         " but lives in " + std::to_string(cur));
+        }
         queue.push_back(child);
+      } else if (cit->second->nlink != 1) {
+        report.Problem("regular inode " + std::to_string(child) + " ('" + name +
+                       "') has nlink " + std::to_string(cit->second->nlink) +
+                       ", expected 1");
       }
+    }
+    uint32_t expected = 2 + subdirs;
+    if (it->second->nlink != expected) {
+      report.Problem("directory " + std::to_string(cur) + " has nlink " +
+                     std::to_string(it->second->nlink) + ", expected " +
+                     std::to_string(expected) + " (2 + " + std::to_string(subdirs) +
+                     " subdirs)");
     }
   }
   for (const auto& [ino, inode] : fs->inodes_) {
-    if (reachable.count(ino) == 0 && !inode->unlinked) {
-      report.Problem("inode " + std::to_string(ino) +
-                     " unreachable but not an orphan");
+    if (reachable.count(ino) == 0) {
+      if (!inode->unlinked) {
+        report.Problem("inode " + std::to_string(ino) +
+                       " unreachable but not an orphan");
+      } else if (inode->nlink != 0) {
+        report.Problem("orphan inode " + std::to_string(ino) + " has nlink " +
+                       std::to_string(inode->nlink) + ", expected 0");
+      }
     }
   }
   return report;

@@ -17,10 +17,26 @@ Journal::Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journ
 }
 
 void Journal::Dirty(uint64_t meta_block_id, std::function<void()> undo) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   running_dirty_.insert(meta_block_id);
   if (undo) {
     running_undo_.push_back(std::move(undo));
   }
+}
+
+void Journal::OnCommit(std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  running_on_commit_.push_back(std::move(action));
+}
+
+size_t Journal::RunningDirtyBlocks() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return running_dirty_.size();
+}
+
+bool Journal::RunningEmpty() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return running_dirty_.empty() && running_undo_.empty();
 }
 
 void Journal::ChargeCommitIo(size_t n_meta_blocks) {
@@ -42,34 +58,61 @@ void Journal::ChargeCommitIo(size_t n_meta_blocks) {
   dev_->Fence();
   ctx_->ChargeCpu(ctx_->model.ext4_journal_commit_cpu_ns);
   ctx_->stats.AddJournalCommit();
-  ++commits_;
+  commits_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Journal::CommitRunning(bool fsync_barrier) {
-  if (running_dirty_.empty() && running_on_commit_.empty()) {
-    return;  // Clean journal: fsync returns without the commit-thread handshake.
+  // The exclusive barrier waits for in-flight handles and blocks new ones: the
+  // commit sees every joined operation complete, none half-done. On-commit actions
+  // run under it, so they may inspect inode state without further locking beyond
+  // what they take themselves.
+  std::unique_lock<std::shared_mutex> barrier(handle_mu_);
+  uint64_t t0 = commit_stamp_.Acquire(&ctx_->clock);
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    if (running_dirty_.empty() && running_on_commit_.empty()) {
+      return;  // Clean journal: fsync returns without the commit-thread handshake.
+    }
+    if (fsync_barrier) {
+      ctx_->ChargeCpu(ctx_->model.ext4_fsync_barrier_ns);
+    }
+    ChargeCommitIo(running_dirty_.size());
+    running_dirty_.clear();
+    running_undo_.clear();  // Mutations are now durable.
+    actions.swap(running_on_commit_);
   }
-  if (fsync_barrier) {
-    ctx_->ChargeCpu(ctx_->model.ext4_fsync_barrier_ns);
-  }
-  ChargeCommitIo(running_dirty_.size());
-  running_dirty_.clear();
-  running_undo_.clear();  // Mutations are now durable.
-  for (auto& action : running_on_commit_) {
+  // Deferred actions run after the state mutex drops (still under the exclusive
+  // barrier, so the transaction boundary is unchanged): they take inode/allocator
+  // locks, and operations take the state mutex *while holding* inode locks
+  // (journal_.Dirty inside a write path) — running them under state_mu_ would
+  // invert that order. Their time still counts as commit service time.
+  for (auto& action : actions) {
     action();
   }
-  running_on_commit_.clear();
+  commit_stamp_.Release(&ctx_->clock, t0);
 }
 
-void Journal::CommitStandalone(size_t n_meta_blocks) { ChargeCommitIo(n_meta_blocks); }
+void Journal::CommitStandalone(size_t n_meta_blocks) {
+  std::lock_guard<std::mutex> state(state_mu_);
+  sim::ScopedResourceTime commit_time(&commit_stamp_, &ctx_->clock);
+  ChargeCommitIo(n_meta_blocks);
+}
 
 void Journal::RecoverDiscardRunning() {
-  for (auto it = running_undo_.rbegin(); it != running_undo_.rend(); ++it) {
+  std::unique_lock<std::shared_mutex> barrier(handle_mu_);
+  std::vector<std::function<void()>> undos;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    undos.swap(running_undo_);
+    running_dirty_.clear();
+    running_on_commit_.clear();  // Deferred frees die with the transaction.
+  }
+  // Undos run newest-first outside the state mutex (same discipline as commit
+  // actions — they touch the inode table and allocator).
+  for (auto it = undos.rbegin(); it != undos.rend(); ++it) {
     (*it)();
   }
-  running_undo_.clear();
-  running_dirty_.clear();
-  running_on_commit_.clear();  // Deferred frees die with the transaction.
 }
 
 }  // namespace ext4sim

@@ -7,18 +7,30 @@
 // commits it without the fsync barrier path — which is why SplitFS fsync (relink) costs
 // 6.85 us on the same hardware.
 //
-// Two concerns are modeled:
+// Three concerns are modeled:
 //  * Cost: a commit writes one descriptor block, each distinct dirtied metadata block,
 //    and a commit record into the journal region of the PM device, with the fences JBD2
 //    issues; the fsync path additionally pays the commit-thread handshake.
 //  * Crash atomicity: mutations register undo closures; Crash-then-Recover rolls back
 //    everything in the running (uncommitted) transaction. Committed state is durable.
+//  * Handle concurrency (jbd2's journal_start/journal_stop): a metadata operation
+//    brackets itself with a Handle — a shared lock on the transaction barrier — while
+//    a commit takes the barrier exclusively. A commit therefore waits for in-flight
+//    operations to finish and blocks new ones from starting, so it never captures half
+//    an operation's dirty set; and while the barrier is held exclusively the namespace
+//    is quiescent, which is what lets deferred commit actions (orphan reclamation)
+//    inspect inode state safely. Commit service time accumulates in a ResourceStamp:
+//    handle acquisition fast-forwards a lane-bound thread past the commit work it
+//    would really have waited for, making jbd2 the honest scalability ceiling.
 #ifndef SRC_EXT4_JOURNAL_H_
 #define SRC_EXT4_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/pmem/device.h"
@@ -45,22 +57,43 @@ class Journal {
   // The journal occupies device blocks [journal_start, journal_start + journal_blocks).
   Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journal_blocks);
 
+  // RAII jbd2 handle: joins the running transaction. Hold one across every metadata
+  // operation (Dirty/OnCommit calls plus the in-memory mutations they cover); never
+  // hold one while calling CommitRunning — commit takes the barrier exclusively and
+  // would self-deadlock.
+  class Handle {
+   public:
+    explicit Handle(Journal* j) : j_(j) {
+      j_->handle_mu_.lock_shared();
+      // A real thread that had to wait for a commit resumes after it; a lane-bound
+      // virtual timeline must not sit before the commit work already rendered.
+      j_->commit_stamp_.AcquireShared(&j_->ctx_->clock);
+    }
+    ~Handle() { j_->handle_mu_.unlock_shared(); }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+   private:
+    Journal* j_;
+  };
+
   // Marks a metadata block dirty in the running transaction and registers the inverse
-  // mutation used if the transaction never commits.
+  // mutation used if the transaction never commits. Caller holds a Handle.
   void Dirty(uint64_t meta_block_id, std::function<void()> undo);
 
   // Defers an action (e.g. freeing blocks) until the running transaction commits;
   // discarded if the transaction is rolled back. Mirrors jbd2's deferred-free rule:
   // blocks released by an uncommitted transaction must not be reused before commit.
-  void OnCommit(std::function<void()> action) { running_on_commit_.push_back(std::move(action)); }
+  // Caller holds a Handle; the action runs with the barrier held exclusively.
+  void OnCommit(std::function<void()> action);
 
   // Number of distinct dirty metadata blocks in the running transaction.
-  size_t RunningDirtyBlocks() const { return running_dirty_.size(); }
-  bool RunningEmpty() const { return running_dirty_.empty() && running_undo_.empty(); }
+  size_t RunningDirtyBlocks() const;
+  bool RunningEmpty() const;
 
   // Commits the running transaction. `fsync_barrier` selects the heavyweight path
   // (commit-thread handshake + wait), used by fsync; the timer/background path and the
-  // relink ioctl path skip it.
+  // relink ioctl path skip it. Must not be called while holding a Handle.
   void CommitRunning(bool fsync_barrier);
 
   // Commits a self-contained transaction that dirtied `n_meta_blocks` blocks (relink).
@@ -68,9 +101,17 @@ class Journal {
   void CommitStandalone(size_t n_meta_blocks);
 
   // Crash recovery: roll back the running transaction's mutations (newest first).
+  // Takes the barrier exclusively; the caller is the only thread running (recovery
+  // is a quiesce point), so undo closures may mutate filesystem state freely.
   void RecoverDiscardRunning();
 
-  uint64_t commits() const { return commits_; }
+  // Exclusive barrier for offline inspection (fsck): excludes every metadata
+  // operation and commit while held, so inode/namespace state can be read unlocked.
+  std::unique_lock<std::shared_mutex> Quiesce() {
+    return std::unique_lock<std::shared_mutex>(handle_mu_);
+  }
+
+  uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
 
  private:
   void ChargeCommitIo(size_t n_meta_blocks);
@@ -79,12 +120,19 @@ class Journal {
   sim::Context* ctx_;
   uint64_t journal_start_;  // Byte offset of journal region on the device.
   uint64_t journal_bytes_;
-  uint64_t write_cursor_ = 0;  // Circular position within the journal region.
+  uint64_t write_cursor_ = 0;  // Circular position; guarded by state_mu_.
+
+  // handle_mu_ is the transaction barrier (shared = operation handle, exclusive =
+  // commit/recovery/fsck); state_mu_ guards the running transaction's in-memory
+  // sets, which operations on different inodes append to concurrently.
+  mutable std::shared_mutex handle_mu_;
+  mutable std::mutex state_mu_;
+  mutable sim::ResourceStamp commit_stamp_;
 
   std::set<uint64_t> running_dirty_;
   std::vector<std::function<void()>> running_undo_;
   std::vector<std::function<void()>> running_on_commit_;
-  uint64_t commits_ = 0;
+  std::atomic<uint64_t> commits_{0};
 };
 
 }  // namespace ext4sim

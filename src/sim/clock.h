@@ -174,6 +174,18 @@ class ResourceStamp {
     }
   }
 
+  // Read-side entry of a reader/writer resource (per-inode locks, the journal's
+  // handle barrier): a shared acquirer waits behind the service time the exclusive
+  // side has rendered, but adds none of its own — concurrent readers overlap, so
+  // charging their section durations into the busy total would serialize them.
+  void AcquireShared(Clock* clock) {
+    if (!clock->HasLane()) {
+      return;
+    }
+    Refresh(clock);
+    clock->FastForwardTo(busy_ns_.load(std::memory_order_relaxed));
+  }
+
  private:
   // Busy time from before a Clock::Reset() must not leak into the next measured
   // phase (benches reset the clock after testbed setup).

@@ -464,6 +464,243 @@ TEST_F(Ext4CrashTest, FsckCleanAfterCrashRecovery) {
   }
 }
 
+// --- Directory nlink accounting (the '..' link) -------------------------------------------
+
+TEST_F(Ext4Test, DirectoryNlinkAccounting) {
+  vfs::StatBuf st;
+  ASSERT_EQ(fs_.Stat("/", &st), 0);
+  EXPECT_EQ(st.nlink, 2u);  // '.' + self-parent.
+  ASSERT_EQ(fs_.Mkdir("/a"), 0);
+  ASSERT_EQ(fs_.Stat("/", &st), 0);
+  EXPECT_EQ(st.nlink, 3u);  // + /a's '..'.
+  ASSERT_EQ(fs_.Mkdir("/a/b"), 0);
+  ASSERT_EQ(fs_.Mkdir("/a/c"), 0);
+  ASSERT_EQ(fs_.Stat("/a", &st), 0);
+  EXPECT_EQ(st.nlink, 4u);  // 2 + two subdirs.
+  // Files do not contribute a '..'.
+  int fd = fs_.Open("/a/f", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  fs_.Close(fd);
+  ASSERT_EQ(fs_.Stat("/a", &st), 0);
+  EXPECT_EQ(st.nlink, 4u);
+  ASSERT_EQ(fs_.Stat("/a/f", &st), 0);
+  EXPECT_EQ(st.nlink, 1u);
+  ASSERT_EQ(fs_.Rmdir("/a/c"), 0);
+  ASSERT_EQ(fs_.Stat("/a", &st), 0);
+  EXPECT_EQ(st.nlink, 3u);
+  // Moving a directory between parents moves its '..' link.
+  ASSERT_EQ(fs_.Mkdir("/d"), 0);
+  ASSERT_EQ(fs_.Rename("/a/b", "/d/b"), 0);
+  ASSERT_EQ(fs_.Stat("/a", &st), 0);
+  EXPECT_EQ(st.nlink, 2u);
+  ASSERT_EQ(fs_.Stat("/d", &st), 0);
+  EXPECT_EQ(st.nlink, 3u);
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);  // fsck verifies the invariant.
+  for (const auto& p : r.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(Ext4CrashTest, NlinkRollsBackWithNamespaceOps) {
+  ASSERT_EQ(fs_.Mkdir("/p"), 0);
+  int fd = fs_.Open("/p/anchor", vfs::kRdWr | vfs::kCreate);
+  ASSERT_EQ(fs_.Fsync(fd), 0);  // /p (nlink 2) and the anchor are durable.
+  fs_.Close(fd);
+  ASSERT_EQ(fs_.Mkdir("/p/q"), 0);  // Uncommitted: bumps /p to 3.
+  dev_.Crash();
+  ASSERT_EQ(fs_.Recover(), 0);
+  vfs::StatBuf st;
+  ASSERT_EQ(fs_.Stat("/p", &st), 0);
+  EXPECT_EQ(st.nlink, 2u);  // The rollback restored the parent link count.
+  EXPECT_EQ(fs_.Stat("/p/q", &st), -ENOENT);
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  for (const auto& p : r.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(r.clean);
+}
+
+// --- Rename semantics: cycles, no-ops, directory destinations -----------------------------
+
+TEST_F(Ext4Test, RenameIntoOwnSubtreeRejected) {
+  ASSERT_EQ(fs_.Mkdir("/a"), 0);
+  ASSERT_EQ(fs_.Mkdir("/a/b"), 0);
+  ASSERT_EQ(fs_.Mkdir("/a/b/c"), 0);
+  // Moving a directory into its own subtree would disconnect it from the root.
+  EXPECT_EQ(fs_.Rename("/a", "/a/b/d"), -EINVAL);
+  EXPECT_EQ(fs_.Rename("/a", "/a/d"), -EINVAL);
+  EXPECT_EQ(fs_.Rename("/a/b", "/a/b/c/x"), -EINVAL);
+  // Sibling/upward moves stay legal; same-path rename is a no-op.
+  EXPECT_EQ(fs_.Rename("/a/b/c", "/c"), 0);
+  EXPECT_EQ(fs_.Rename("/a", "/a"), 0);
+  vfs::StatBuf st;
+  EXPECT_EQ(fs_.Stat("/a/b", &st), 0);
+  EXPECT_EQ(fs_.Stat("/c", &st), 0);
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  for (const auto& p : r.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(Ext4Test, RenameDirectoryOverDestination) {
+  ASSERT_EQ(fs_.Mkdir("/src"), 0);
+  ASSERT_EQ(fs_.Mkdir("/empty"), 0);
+  ASSERT_EQ(fs_.Mkdir("/full"), 0);
+  ASSERT_EQ(fs_.Mkdir("/full/sub"), 0);
+  int fd = fs_.Open("/file", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  fs_.Close(fd);
+  EXPECT_EQ(fs_.Rename("/src", "/full"), -ENOTEMPTY);  // Dir victim must be empty.
+  EXPECT_EQ(fs_.Rename("/src", "/file"), -ENOTDIR);    // Dir cannot replace a file.
+  EXPECT_EQ(fs_.Rename("/file", "/empty"), -EISDIR);   // File cannot replace a dir.
+  EXPECT_EQ(fs_.Rename("/src", "/empty"), 0);          // Empty dir victim replaced.
+  vfs::StatBuf st;
+  ASSERT_EQ(fs_.Stat("/empty", &st), 0);
+  EXPECT_EQ(st.type, vfs::FileType::kDirectory);
+  EXPECT_EQ(fs_.Stat("/src", &st), -ENOENT);
+  ASSERT_EQ(fs_.Stat("/", &st), 0);
+  EXPECT_EQ(st.nlink, 4u);  // 2 + {empty, full}: the displaced dir's '..' is gone.
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  for (const auto& p : r.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(r.clean);
+}
+
+// --- Rename-over-open-destination: deferred frees are keyed by ino ------------------------
+
+TEST_F(Ext4Test, DisplacedVictimReopenedByInoIsNotFreedEarly) {
+  auto data = Pattern(kBlockSize, 21);
+  int dfd = fs_.Open("/dst", vfs::kRdWr | vfs::kCreate);
+  fs_.Pwrite(dfd, data.data(), data.size(), 0);
+  fs_.Fsync(dfd);
+  vfs::Ino victim_ino = fs_.InoOf(dfd);
+  fs_.Close(dfd);
+  int sfd = fs_.Open("/src", vfs::kRdWr | vfs::kCreate);
+  fs_.Fsync(sfd);
+  fs_.Close(sfd);
+
+  // The rename displaces /dst with no opens: a deferred free is registered.
+  ASSERT_EQ(fs_.Rename("/src", "/dst"), 0);
+  // Reopen the victim by inode number before the transaction commits — exactly what
+  // U-Split's op-log recovery does when a log entry names a displaced file.
+  int vfd = fs_.OpenByIno(victim_ino, vfs::kRdWr);
+  ASSERT_GE(vfd, 0);
+  fs_.CommitJournal(/*fsync_barrier=*/false);
+  // The reclamation must have backed off: the orphan stays readable until close.
+  std::vector<uint8_t> back(data.size());
+  ASSERT_EQ(fs_.Pread(vfd, back.data(), back.size(), 0),
+            static_cast<ssize_t>(back.size()));
+  EXPECT_EQ(back, data);
+  uint64_t free_before_close = fs_.FreeBlocks();
+  EXPECT_EQ(fs_.Close(vfd), 0);
+  fs_.CommitJournal(/*fsync_barrier=*/false);
+  EXPECT_GT(fs_.FreeBlocks(), free_before_close);  // Freed exactly at last close.
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  for (const auto& p : r.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(Ext4Test, RenameVictimDeferredFreeRunsExactlyOnce) {
+  // Two reclamations can end up queued for one victim (rename registers one, the
+  // close after an OpenByIno reopen registers another). Keyed by ino and re-checked
+  // at commit, the second is a no-op; the old raw-pointer capture double-freed.
+  auto data = Pattern(2 * kBlockSize, 22);
+  int dfd = fs_.Open("/dst2", vfs::kRdWr | vfs::kCreate);
+  fs_.Pwrite(dfd, data.data(), data.size(), 0);
+  fs_.Fsync(dfd);
+  vfs::Ino victim_ino = fs_.InoOf(dfd);
+  fs_.Close(dfd);
+  int sfd = fs_.Open("/src2", vfs::kRdWr | vfs::kCreate);
+  fs_.Fsync(sfd);
+  fs_.Close(sfd);
+  uint64_t free_start = fs_.FreeBlocks();
+
+  ASSERT_EQ(fs_.Rename("/src2", "/dst2"), 0);       // Reclamation #1 queued.
+  int vfd = fs_.OpenByIno(victim_ino, vfs::kRdWr);
+  ASSERT_GE(vfd, 0);
+  EXPECT_EQ(fs_.Close(vfd), 0);                     // Reclamation #2 queued.
+  fs_.CommitJournal(/*fsync_barrier=*/false);       // Both run; one must free.
+  EXPECT_EQ(fs_.FreeBlocks(), free_start + 2);      // The victim's blocks, once.
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  for (const auto& p : r.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(r.clean);
+}
+
+// --- Sequential-read detection staleness --------------------------------------------------
+
+class SeqDetectTest : public Ext4Test {
+ protected:
+  // Simulated cost of a one-block pread at `off`.
+  uint64_t PreadCost(int fd, uint64_t off) {
+    std::vector<uint8_t> buf(kBlockSize);
+    uint64_t t0 = ctx_.clock.Now();
+    EXPECT_EQ(fs_.Pread(fd, buf.data(), kBlockSize, off),
+              static_cast<ssize_t>(kBlockSize));
+    return ctx_.clock.Now() - t0;
+  }
+};
+
+TEST_F(SeqDetectTest, InvalidatedByTruncate) {
+  int fd = fs_.Open("/seq", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  auto data = Pattern(8 * kBlockSize, 23);
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+  // Baselines: a read continuing at last_read_end streams; any other offset pays
+  // the random-access latency class first.
+  std::vector<uint8_t> buf(kBlockSize);
+  ASSERT_EQ(fs_.Pread(fd, buf.data(), kBlockSize, 0), static_cast<ssize_t>(kBlockSize));
+  uint64_t cost_seq = PreadCost(fd, kBlockSize);       // Continues at 1 block.
+  uint64_t cost_rand = PreadCost(fd, 5 * kBlockSize);  // Jump.
+  ASSERT_LT(cost_seq, cost_rand);
+
+  // Prime the continuation point at 2 blocks, then shrink the file below it and
+  // re-populate with fallocate (mapped blocks, no write covering the point).
+  ASSERT_EQ(fs_.Pread(fd, buf.data(), kBlockSize, kBlockSize),
+            static_cast<ssize_t>(kBlockSize));
+  ASSERT_EQ(fs_.Ftruncate(fd, 0), 0);
+  ASSERT_EQ(fs_.Fallocate(fd, 0, 8 * kBlockSize, /*keep_size=*/false), 0);
+  // The continuation point refers to removed bytes: the read must pay the random
+  // latency class (before the fix it streamed at the sequential class).
+  EXPECT_EQ(PreadCost(fd, 2 * kBlockSize), cost_rand);
+  fs_.Close(fd);
+}
+
+TEST_F(SeqDetectTest, InvalidatedByOverlappingPwrite) {
+  int fd = fs_.Open("/seq2", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  auto data = Pattern(8 * kBlockSize, 24);
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+  std::vector<uint8_t> buf(kBlockSize);
+  ASSERT_EQ(fs_.Pread(fd, buf.data(), kBlockSize, 0), static_cast<ssize_t>(kBlockSize));
+  uint64_t cost_seq = PreadCost(fd, kBlockSize);       // lre now 2 blocks.
+  uint64_t cost_rand = PreadCost(fd, 5 * kBlockSize);  // lre now 6 blocks.
+  ASSERT_LT(cost_seq, cost_rand);
+
+  // Re-prime the continuation point at 2 blocks, then overwrite the bytes at it.
+  ASSERT_EQ(fs_.Pread(fd, buf.data(), kBlockSize, kBlockSize),
+            static_cast<ssize_t>(kBlockSize));
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), kBlockSize, 2 * kBlockSize),
+            static_cast<ssize_t>(kBlockSize));
+  // Reading the freshly-overwritten bytes is not a media-stream continuation.
+  EXPECT_EQ(PreadCost(fd, 2 * kBlockSize), cost_rand);
+  // A write that does not cover the continuation point preserves streaming.
+  ASSERT_EQ(fs_.Pread(fd, buf.data(), kBlockSize, 6 * kBlockSize),
+            static_cast<ssize_t>(kBlockSize));  // lre = 7 blocks.
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), kBlockSize, 0),
+            static_cast<ssize_t>(kBlockSize));  // Far below lre.
+  EXPECT_EQ(PreadCost(fd, 7 * kBlockSize), cost_seq);
+  fs_.Close(fd);
+}
+
 // --- Cost-model sanity: the paper's Table 1 ext4-DAX append anchor ------------------------
 
 TEST_F(Ext4Test, AppendCostMatchesTable1) {

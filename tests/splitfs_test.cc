@@ -302,6 +302,41 @@ TEST_P(SplitFsTest, RenamePreservesCachedState) {
   fs_->Close(fd2);
 }
 
+TEST_P(SplitFsTest, RenameOverCachedDestinationTearsDownDisplacedState) {
+  // Both source and destination cached: the displaced destination's state must be
+  // torn down like Unlink's — staged bytes back to the pool, descriptors defunct —
+  // not left live in the shards (a state/fd/staged-bytes leak otherwise).
+  int dfd = fs_->Open("/victim", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(dfd, 0);
+  auto staged = Pattern(1000, 31);
+  // Append stays staged (no fsync): it must die with the displaced file.
+  ASSERT_EQ(fs_->Pwrite(dfd, staged.data(), staged.size(), 0),
+            static_cast<ssize_t>(staged.size()));
+  EXPECT_GT(fs_->StagedBytes(), 0u);
+  int sfd = fs_->Open("/winner", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(sfd, 0);
+  auto data = Pattern(500, 32);
+  ASSERT_EQ(fs_->Pwrite(sfd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+  ASSERT_EQ(fs_->Fsync(sfd), 0);
+  ASSERT_EQ(fs_->Close(sfd), 0);
+
+  ASSERT_EQ(fs_->Rename("/winner", "/victim"), 0);
+  EXPECT_EQ(fs_->StagedBytes(), 0u);          // Displaced staged data released.
+  std::vector<uint8_t> back(staged.size());
+  EXPECT_EQ(fs_->Pread(dfd, back.data(), back.size(), 0), -EBADF);  // Defunct.
+  fs_->Close(dfd);
+  vfs::StatBuf st;
+  ASSERT_EQ(fs_->Stat("/victim", &st), 0);
+  EXPECT_EQ(st.size, data.size());
+  int fd2 = fs_->Open("/victim", vfs::kRdWr);
+  back.resize(data.size());
+  ASSERT_EQ(fs_->Pread(fd2, back.data(), back.size(), 0),
+            static_cast<ssize_t>(back.size()));
+  EXPECT_EQ(back, data);
+  fs_->Close(fd2);
+}
+
 TEST_P(SplitFsTest, SequentialAppendsCoalesceIntoFewRelinks) {
   int fd = fs_->Open("/seq", vfs::kRdWr | vfs::kCreate);
   auto block = Pattern(kBlockSize, 18);

@@ -43,6 +43,12 @@ splitfs::Options ConcurrentOptions() {
   // critical path. (Deterministic single-threaded tests keep it off; here the whole
   // point is concurrency.)
   o.replenish_thread = true;
+  // Async relink publication: fsync returns once the relink intent is fenced; the
+  // relink ioctls and their journal commit leave the workers' critical path. The
+  // deterministic inline publisher (cost rewound, same accounting as the real
+  // thread) keeps every cell reproducible run-to-run; the real publisher thread is
+  // exercised under TSan by the concurrency test suite.
+  o.async_relink = true;
   // Pre-size the pool for the 16-thread sweep point (16 lanes x one 16 MiB active
   // file): pool exhaustion mid-run would serialize every worker behind foreground
   // staging-file creation, which is exactly the §3.5 problem pre-creation solves.
@@ -66,6 +72,13 @@ wl::ParallelResult RunWorkload(const char* workload, Testbed* bed, int threads) 
                                /*file_bytes=*/8 * common::kMiB, /*op_bytes=*/4096,
                                /*ops_per_thread=*/4000, /*seed=*/42);
   }
+  if (std::strcmp(workload, "ycsb_c") == 0) {
+    // Read-heavy YCSB-C phase: 100% zipfian gets against pre-flushed SSTables —
+    // every get walks U-Split's pread path and its lock-free mmap translation.
+    return wl::RunParallelYcsbC(fs, clock, threads, "/scal-ycsbc",
+                                /*records_per_thread=*/1000,
+                                /*ops_per_thread=*/3000, /*seed=*/42);
+  }
   return wl::RunParallelYcsbA(fs, clock, threads, "/scal-ycsb",
                               /*records_per_thread=*/1000, /*ops_per_thread=*/2000,
                               /*seed=*/42);
@@ -85,7 +98,7 @@ int main(int argc, char** argv) {
                      "concurrent U-Split refactor; workloads from §5.2/§5.5/§5.6");
 
   const FsKind kModes[] = {FsKind::kSplitPosix, FsKind::kSplitSync, FsKind::kSplitStrict};
-  const char* kWorkloads[] = {"append_heavy", "read_heavy", "ycsb_a"};
+  const char* kWorkloads[] = {"append_heavy", "read_heavy", "ycsb_a", "ycsb_c"};
   std::vector<Series> all;
 
   for (const char* workload : kWorkloads) {

@@ -17,8 +17,11 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j"$(nproc)"
   # TSAN_OPTIONS makes any report fail the run even if the test's asserts pass.
   # The `concurrency` label includes the K-Split metadata-stress group (parallel
-  # create/rename/unlink/rmdir over the per-inode/dentry-shard locks), so the
-  # kernel-model lock refactor is TSan-verified on every pass.
+  # create/rename/unlink/rmdir over the per-inode/dentry-shard locks), the
+  # lock-free MmapCache translate-during-churn group (epoch reclamation), and the
+  # *_async instantiations, which run every U-Split suite with the async relink
+  # publisher enabled (Options::async_relink + a real publisher thread) — so the
+  # intent-log/publish/fence protocol is TSan-verified on every pass.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -L concurrency "$@"
   exit 0

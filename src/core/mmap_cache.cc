@@ -9,18 +9,33 @@ namespace splitfs {
 using common::kHugePageSize;
 
 MmapCache::MmapCache(ext4sim::Ext4Dax* kfs, uint64_t mmap_size)
-    : kfs_(kfs), ctx_(kfs->context()), mmap_size_(mmap_size) {
+    : kfs_(kfs), ctx_(kfs->context()), mmap_size_(mmap_size), table_(new Table()) {
   SPLITFS_CHECK(mmap_size >= 2 * common::kMiB);
 }
 
+MmapCache::~MmapCache() {
+  // No caller may be mid-Translate once the owner destroys the cache; free the live
+  // snapshot directly and let the retire lists delete whatever is still pending.
+  const Table* t = table_.load(std::memory_order_relaxed);
+  for (const auto& [ino, snap] : t->files) {
+    delete snap;
+  }
+  delete t;
+}
+
 std::optional<MmapCache::Hit> MmapCache::Translate(vfs::Ino ino, uint64_t off) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto fit = files_.find(ino);
-  if (fit == files_.end()) {
+  common::EpochGc::ReadGuard pin(&common::EpochGc::Global());
+  const Table* t = CurrentTable();
+  auto fit = t->files.find(ino);
+  if (fit == t->files.end()) {
     return std::nullopt;
   }
-  const auto& pieces = fit->second.pieces;
-  auto it = pieces.upper_bound(off);
+  const auto& pieces = fit->second->pieces;
+  // First piece with file_off > off, then step back — the snapshot analog of the old
+  // std::map::upper_bound walk.
+  auto it = std::upper_bound(
+      pieces.begin(), pieces.end(), off,
+      [](uint64_t o, const std::pair<uint64_t, Piece>& p) { return o < p.first; });
   if (it == pieces.begin()) {
     return std::nullopt;
   }
@@ -34,16 +49,16 @@ std::optional<MmapCache::Hit> MmapCache::Translate(vfs::Ino ino, uint64_t off) c
   return Hit{p.dev_off + delta, p.len - delta};
 }
 
-void MmapCache::InsertPiece(FileMaps* fm, uint64_t file_off, uint64_t dev_off,
+void MmapCache::InsertPiece(FileBuilder* fb, uint64_t file_off, uint64_t dev_off,
                             uint64_t len) {
   // Insert only sub-ranges not already covered; existing mappings stay authoritative.
   uint64_t cur = file_off;
   uint64_t end = file_off + len;
   while (cur < end) {
     // Find existing piece covering or after `cur`.
-    auto it = fm->pieces.upper_bound(cur);
+    auto it = fb->pieces.upper_bound(cur);
     uint64_t covered_until = cur;
-    if (it != fm->pieces.begin()) {
+    if (it != fb->pieces.begin()) {
       auto prev = std::prev(it);
       uint64_t p_end = prev->first + prev->second.len;
       if (p_end > cur) {
@@ -54,64 +69,108 @@ void MmapCache::InsertPiece(FileMaps* fm, uint64_t file_off, uint64_t dev_off,
       cur = std::min(covered_until, end);
       continue;
     }
-    uint64_t next_start = it == fm->pieces.end() ? end : std::min(it->first, end);
+    uint64_t next_start = it == fb->pieces.end() ? end : std::min(it->first, end);
     if (next_start > cur) {
       uint64_t piece_dev = dev_off + (cur - file_off);
       uint64_t piece_len = next_start - cur;
       // Merge with a contiguous predecessor (same file gap-free AND same device
       // run): one virtual mapping region, one latency charge per access run.
-      auto pit = fm->pieces.upper_bound(cur);
-      if (pit != fm->pieces.begin()) {
+      auto pit = fb->pieces.upper_bound(cur);
+      if (pit != fb->pieces.begin()) {
         auto prev = std::prev(pit);
         if (prev->first + prev->second.len == cur &&
             prev->second.dev_off + prev->second.len == piece_dev) {
           prev->second.len += piece_len;
           cur = next_start;
           // Try to also swallow a contiguous successor.
-          auto next = fm->pieces.find(cur);
-          if (next != fm->pieces.end() &&
+          auto next = fb->pieces.find(cur);
+          if (next != fb->pieces.end() &&
               prev->second.dev_off + prev->second.len == next->second.dev_off) {
             prev->second.len += next->second.len;
-            fm->pieces.erase(next);
+            fb->pieces.erase(next);
           }
           continue;
         }
       }
-      fm->pieces[cur] = Piece{piece_dev, piece_len};
+      fb->pieces[cur] = Piece{piece_dev, piece_len};
       // Merge with a contiguous successor.
-      auto self = fm->pieces.find(cur);
+      auto self = fb->pieces.find(cur);
       auto next = std::next(self);
-      if (next != fm->pieces.end() && cur + piece_len == next->first &&
+      if (next != fb->pieces.end() && cur + piece_len == next->first &&
           piece_dev + piece_len == next->second.dev_off) {
         self->second.len += next->second.len;
-        fm->pieces.erase(next);
+        fb->pieces.erase(next);
       }
       cur = next_start;
     }
   }
 }
 
+MmapCache::FileBuilder MmapCache::BuilderFrom(const FileSnapshot& snap) {
+  FileBuilder fb;
+  fb.pieces.insert(snap.pieces.begin(), snap.pieces.end());
+  fb.regions = snap.regions;
+  fb.mmap_count = snap.mmap_count;
+  return fb;
+}
+
+const MmapCache::FileSnapshot* MmapCache::SealAndPublish(vfs::Ino ino,
+                                                         FileBuilder&& fb) {
+  auto* snap = new FileSnapshot();
+  snap->pieces.assign(fb.pieces.begin(), fb.pieces.end());
+  snap->regions = std::move(fb.regions);
+  snap->mmap_count = fb.mmap_count;
+  const Table* old = CurrentTable();
+  auto* next = new Table(*old);
+  const FileSnapshot* replaced = nullptr;
+  auto it = next->files.find(ino);
+  if (it != next->files.end()) {
+    replaced = it->second;
+    it->second = snap;
+  } else {
+    next->files[ino] = snap;
+  }
+  // Swap first: an object may only be retired once it is unreachable from the live
+  // table, or a reader pinning between the retire and the swap could still walk it
+  // while the GC already considers it quiesced.
+  PublishTable(next);
+  if (replaced != nullptr) {
+    retired_files_.Retire(replaced);
+  }
+  return snap;
+}
+
+void MmapCache::PublishTable(const Table* next) {
+  const Table* old = table_.exchange(next, std::memory_order_seq_cst);
+  retired_tables_.Retire(old);
+}
+
 bool MmapCache::EnsureRegion(vfs::Ino ino, int kernel_fd, uint64_t off) {
   uint64_t region_start = common::AlignDown(off, mmap_size_);
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto fit = files_.find(ino);
-    if (fit != files_.end() &&
-        fit->second.regions.find(region_start) != fit->second.regions.end()) {
+    common::EpochGc::ReadGuard pin(&common::EpochGc::Global());
+    const Table* t = CurrentTable();
+    auto fit = t->files.find(ino);
+    if (fit != t->files.end() &&
+        std::binary_search(fit->second->regions.begin(), fit->second->regions.end(),
+                           region_start)) {
       return true;  // Region already set up (holes included by design).
     }
   }
-  // The kernel call runs outside the cache lock: it queues on K-Split's kernel lock
-  // and charges mmap + fault costs, and holding mu_ exclusively across it would
-  // stall every other thread's Translate — for unrelated files — in real time.
+  // The kernel call runs outside the update mutex: it queues on K-Split's locks and
+  // charges mmap + fault costs, and serializing it behind other files' region
+  // creation would stall unrelated threads in real time.
   std::vector<ext4sim::Ext4Dax::DaxMapping> mappings;
   int rc = kfs_->DaxMap(kernel_fd, region_start, mmap_size_, &mappings);
   if (rc != 0) {
     return false;
   }
-  std::lock_guard<std::shared_mutex> lock(mu_);
-  FileMaps& fm = files_[ino];
-  if (fm.regions.find(region_start) != fm.regions.end()) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const Table* t = CurrentTable();
+  auto fit = t->files.find(ino);
+  FileBuilder fb =
+      fit != t->files.end() ? BuilderFrom(*fit->second) : FileBuilder{};
+  if (std::binary_search(fb.regions.begin(), fb.regions.end(), region_start)) {
     return true;  // A racing thread mapped the same region; keep its pieces.
   }
   // mmap() trap + pre-populated (MAP_POPULATE) huge-page faults: one per 2 MB chunk.
@@ -121,46 +180,60 @@ bool MmapCache::EnsureRegion(vfs::Ino ino, int kernel_fd, uint64_t off) {
     ctx_->ChargeHugePageSetup();
   }
   for (const auto& m : mappings) {
-    InsertPiece(&fm, m.file_off, m.dev_off, m.len);
+    InsertPiece(&fb, m.file_off, m.dev_off, m.len);
   }
-  fm.regions[region_start] = true;
-  ++fm.mmap_count;
-  ++total_regions_;
+  fb.regions.insert(
+      std::upper_bound(fb.regions.begin(), fb.regions.end(), region_start),
+      region_start);
+  ++fb.mmap_count;
+  SealAndPublish(ino, std::move(fb));
+  total_regions_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void MmapCache::InsertPieces(vfs::Ino ino,
                              const std::vector<ext4sim::Ext4Dax::DaxMapping>& pieces) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
-  FileMaps& fm = files_[ino];
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const Table* t = CurrentTable();
+  auto fit = t->files.find(ino);
+  FileBuilder fb =
+      fit != t->files.end() ? BuilderFrom(*fit->second) : FileBuilder{};
   for (const auto& m : pieces) {
     ctx_->ChargeCpu(ctx_->model.user_work_ns);
-    InsertPiece(&fm, m.file_off, m.dev_off, m.len);
+    InsertPiece(&fb, m.file_off, m.dev_off, m.len);
   }
+  SealAndPublish(ino, std::move(fb));
 }
 
 void MmapCache::InvalidateFile(vfs::Ino ino) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
-  auto it = files_.find(ino);
-  if (it == files_.end()) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const Table* t = CurrentTable();
+  auto fit = t->files.find(ino);
+  if (fit == t->files.end()) {
     return;
   }
   // munmap + TLB shootdown per region created by mmap (§3.5: this is why unlink is
   // SplitFS's most expensive call).
-  for (uint64_t i = 0; i < std::max<uint64_t>(it->second.mmap_count, 1); ++i) {
+  const FileSnapshot* snap = fit->second;
+  for (uint64_t i = 0; i < std::max<uint64_t>(snap->mmap_count, 1); ++i) {
     ctx_->ChargeCpu(ctx_->model.munmap_ns);
   }
-  total_regions_ -= it->second.mmap_count;
-  files_.erase(it);
+  total_regions_.fetch_sub(snap->mmap_count, std::memory_order_relaxed);
+  auto* next = new Table(*t);
+  next->files.erase(ino);
+  PublishTable(next);  // Unreachable-before-retire, as in SealAndPublish.
+  retired_files_.Retire(snap);
 }
 
 void MmapCache::InvalidateRange(vfs::Ino ino, uint64_t off, uint64_t len) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
-  auto fit = files_.find(ino);
-  if (fit == files_.end() || len == 0) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const Table* t = CurrentTable();
+  auto fit = t->files.find(ino);
+  if (fit == t->files.end() || len == 0) {
     return;
   }
-  auto& pieces = fit->second.pieces;
+  FileBuilder fb = BuilderFrom(*fit->second);
+  auto& pieces = fb.pieces;
   uint64_t end = off + len;
   auto it = pieces.upper_bound(off);
   if (it != pieces.begin()) {
@@ -182,16 +255,38 @@ void MmapCache::InvalidateRange(vfs::Ino ino, uint64_t off, uint64_t len) {
       pieces[end] = Piece{p.dev_off + (end - p_start), p_end - end};
     }
   }
+  SealAndPublish(ino, std::move(fb));
+}
+
+void MmapCache::Clear() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const Table* t = CurrentTable();
+  std::vector<const FileSnapshot*> snaps;  // PublishTable may free `t` itself.
+  snaps.reserve(t->files.size());
+  for (const auto& [ino, snap] : t->files) {
+    snaps.push_back(snap);
+  }
+  PublishTable(new Table());  // Unreachable-before-retire, as in SealAndPublish.
+  for (const FileSnapshot* snap : snaps) {
+    retired_files_.Retire(snap);
+  }
+  total_regions_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t MmapCache::MemoryUsageBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::EpochGc::ReadGuard pin(&common::EpochGc::Global());
+  const Table* t = CurrentTable();
   uint64_t total = sizeof(*this);
-  for (const auto& [ino, fm] : files_) {
-    total += sizeof(fm) + fm.pieces.size() * (sizeof(uint64_t) + sizeof(Piece) + 48) +
-             fm.regions.size() * (sizeof(uint64_t) + 48);
+  for (const auto& [ino, snap] : t->files) {
+    total += sizeof(*snap) + snap->pieces.size() * (sizeof(uint64_t) + sizeof(Piece) + 48) +
+             snap->regions.size() * (sizeof(uint64_t) + 48);
   }
   return total;
+}
+
+size_t MmapCache::RetiredSnapshotsForTest() const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return retired_tables_.PendingForTest() + retired_files_.PendingForTest();
 }
 
 }  // namespace splitfs

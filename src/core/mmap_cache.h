@@ -11,16 +11,29 @@
 //    fragility (§4);
 //  * relink retains existing mappings: after a relink, the staging region's pieces are
 //    re-registered under the target inode with zero mmap/fault cost.
+//
+// Concurrency: the cache is on every user-space read and overwrite, so Translate is
+// lock-free. The whole translation state is an immutable snapshot — a table of
+// per-file piece/region vectors — published through one atomic pointer. Readers pin
+// an epoch (common/epoch.h), load the snapshot, and binary-search it; they never
+// write a shared cache line. Updates (region creation, relink piece insertion,
+// invalidation) serialize on a small update mutex, build the next snapshot aside,
+// swap the pointer, and retire the old snapshot to the epoch garbage collector,
+// which frees it at reader quiescence. Virtual-time charges are unchanged from the
+// mutex-based cache (snapshot building is DRAM-only work), so single-threaded
+// timelines are bit-identical.
 #ifndef SRC_CORE_MMAP_CACHE_H_
 #define SRC_CORE_MMAP_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/ext4/ext4_dax.h"
 #include "src/vfs/types.h"
 
@@ -29,9 +42,11 @@ namespace splitfs {
 class MmapCache {
  public:
   explicit MmapCache(ext4sim::Ext4Dax* kfs, uint64_t mmap_size);
+  ~MmapCache();
 
   // Resolves file offset -> device offset if some cached mapping covers `off`.
   // Returns the device offset and the length of contiguous coverage from `off`.
+  // Wait-free: epoch pin + snapshot load + binary search; no shared-line write.
   struct Hit {
     uint64_t dev_off = 0;
     uint64_t len = 0;
@@ -57,41 +72,63 @@ class MmapCache {
   void InvalidateRange(vfs::Ino ino, uint64_t off, uint64_t len);
 
   // Drops everything without charges: crash recovery starts from an empty cache.
-  void Clear() {
-    std::lock_guard<std::shared_mutex> lock(mu_);
-    files_.clear();
-    total_regions_ = 0;
-  }
+  void Clear();
 
   // §5.10 accounting: approximate DRAM footprint of the cache structures.
   uint64_t MemoryUsageBytes() const;
   uint64_t RegionCount() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    return total_regions_;
+    return total_regions_.load(std::memory_order_relaxed);
   }
+  // Snapshots retired but not yet reclaimed (epoch GC introspection for tests).
+  size_t RetiredSnapshotsForTest() const;
 
  private:
   struct Piece {
     uint64_t dev_off = 0;
     uint64_t len = 0;
   };
-  struct FileMaps {
-    std::map<uint64_t, Piece> pieces;  // key: file_off
-    std::map<uint64_t, bool> regions;  // key: aligned region start -> mapped
-    uint64_t mmap_count = 0;           // Regions created via mmap (munmap charge basis).
+  // Immutable once published.
+  struct FileSnapshot {
+    std::vector<std::pair<uint64_t, Piece>> pieces;  // Sorted by file_off.
+    std::vector<uint64_t> regions;                   // Sorted aligned region starts.
+    uint64_t mmap_count = 0;  // Regions created via mmap (munmap charge basis).
+  };
+  struct Table {
+    std::unordered_map<vfs::Ino, const FileSnapshot*> files;
   };
 
-  void InsertPiece(FileMaps* fm, uint64_t file_off, uint64_t dev_off, uint64_t len);
+  // Mutable build form of a FileSnapshot; the std::map preserves the insertion /
+  // merge semantics of the original locked implementation exactly, so the published
+  // piece structure (and therefore every downstream Translate span and media charge)
+  // is unchanged.
+  struct FileBuilder {
+    std::map<uint64_t, Piece> pieces;
+    std::vector<uint64_t> regions;
+    uint64_t mmap_count = 0;
+  };
+  static void InsertPiece(FileBuilder* fb, uint64_t file_off, uint64_t dev_off,
+                          uint64_t len);
+  static FileBuilder BuilderFrom(const FileSnapshot& snap);
+  const FileSnapshot* SealAndPublish(vfs::Ino ino, FileBuilder&& fb);
+  // Loads the current table; caller must hold update_mu_ (writers) or an epoch pin
+  // (readers).
+  const Table* CurrentTable() const {
+    return table_.load(std::memory_order_acquire);
+  }
+  // Swaps in `next` and retires the previous table. Caller holds update_mu_.
+  void PublishTable(const Table* next);
 
   ext4sim::Ext4Dax* kfs_;
   sim::Context* ctx_;
   uint64_t mmap_size_;
-  // Reader/writer lock: Translate (the per-access hot path) takes it shared; region
-  // creation, relink piece insertion, and invalidation take it exclusive. A lock-free
-  // lookup structure is a known follow-on (see ROADMAP).
-  mutable std::shared_mutex mu_;
-  std::unordered_map<vfs::Ino, FileMaps> files_;
-  uint64_t total_regions_ = 0;
+
+  // Updates serialize here; Translate never touches it. Retire lists are guarded by
+  // update_mu_ too (retirement only happens during updates).
+  mutable std::mutex update_mu_;
+  std::atomic<const Table*> table_;
+  common::RetireList<Table> retired_tables_;
+  common::RetireList<FileSnapshot> retired_files_;
+  std::atomic<uint64_t> total_regions_{0};
 };
 
 }  // namespace splitfs

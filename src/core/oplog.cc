@@ -20,7 +20,7 @@ bool LogEntry::ValidSealed() const {
   // Structural validation first: recovery must never act on a slot whose fields it
   // cannot trust, even if the checksum happens to collide. The checksum is the
   // authority on tearing — a 64 B entry whose store only partially drained fails it.
-  if (seq == 0 || op == LogOp::kInvalid || op > LogOp::kRenameTo) {
+  if (seq == 0 || op == LogOp::kInvalid || op > kMaxLogOp) {
     return false;
   }
   return checksum == common::Crc32c(reinterpret_cast<const uint8_t*>(this) + 4, 60);

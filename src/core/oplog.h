@@ -35,7 +35,23 @@ enum class LogOp : uint8_t {
   kTruncate = 5,
   kRenameFrom = 6,  // Rename needs two entries (the paper's "uncommon multi-entry op").
   kRenameTo = 7,
+  // Async relink publication. An intent records one staged run an acknowledged
+  // fsync()/close() has promised to publish; replay treats it exactly like kAppend
+  // (kOverwrite for the staged-overwrite variant — replay must know a run is an
+  // overwrite, or it would relink its partial tail block whole and clobber settled
+  // bytes past the run). A done record (target_ino + seq) marks every earlier data
+  // entry of that inode as published-and-committed, so replay skips them — without
+  // it, a stale intent could resurrect bytes a later unlogged in-place overwrite
+  // (POSIX/sync modes) replaced.
+  kRelinkIntent = 8,
+  kRelinkDone = 9,
+  kRelinkIntentOverwrite = 10,
 };
+
+// Recovery-scan structural validation rejects any op code above this: a checksum
+// collision must never make replay act on fields it cannot interpret. Keep in sync
+// with the last enumerator.
+inline constexpr LogOp kMaxLogOp = LogOp::kRelinkIntentOverwrite;
 
 // Exactly one cache line. The checksum covers bytes [4, 64).
 struct alignas(64) LogEntry {

@@ -49,6 +49,22 @@ struct Options {
   // checkpoint-and-reset when full (§3.3).
   uint64_t oplog_bytes = 128 * common::kMiB;
 
+  // Asynchronous relink publication (ROADMAP follow-on to the concurrency PRs).
+  // When on, fsync()/close() of a file with staged data logs one relink-intent
+  // record per staged run to the op log (created in every mode when this is set),
+  // fences it, and defers the actual relink + journal commit; recovery replays
+  // intent records exactly like staged-append records, so fsync durability holds
+  // from the moment the intent is fenced. Off by default: the synchronous publish
+  // path stays byte-identical for the crash matrix and every deterministic test.
+  bool async_relink = false;
+  // Run the publisher for real: a dedicated std::thread drains the publish queue,
+  // so the relink ioctls and their journal commit leave the application threads'
+  // critical path (their charges land on the shared timeline, off every lane).
+  // Off by default — the deferred publish then runs inline at the end of fsync with
+  // its cost rewound (sim::ScopedOffClock): equivalent accounting with a fully
+  // deterministic store sequence, which the async crash-matrix column depends on.
+  bool publisher_thread = false;
+
   // Directory (on K-Split) for staging files and the op log.
   std::string runtime_dir = "/.splitfs";
 

@@ -41,7 +41,9 @@ SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instanc
   if (opts_.enable_staging) {
     staging_ = std::make_unique<StagingPool>(kfs_, &mmaps_, opts_, tag_);
   }
-  if (opts_.mode == Mode::kStrict) {
+  if (opts_.mode == Mode::kStrict || opts_.async_relink) {
+    // Strict logs every operation; async relink logs fsync's publish intents (any
+    // mode) — both need the log replayed at recovery.
     oplog_ = std::make_unique<OpLog>(kfs_, opts_.runtime_dir + "/oplog-" + tag_,
                                      opts_.oplog_bytes);
   }
@@ -51,9 +53,13 @@ SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instanc
   SPLITFS_CHECK(fd >= 0);
   SPLITFS_CHECK_OK(kfs_->Fsync(fd));
   SPLITFS_CHECK_OK(kfs_->Close(fd));
+  if (opts_.async_relink && opts_.publisher_thread) {
+    publisher_ = std::thread([this] { PublisherLoop(); });
+  }
 }
 
 SplitFs::~SplitFs() {
+  StopPublisher();  // Drains the queue: staged data promised by fsync publishes.
   for (FileShard& shard : file_shards_) {
     for (auto& [ino, fs] : shard.map) {
       if (fs->kernel_fd >= 0) {
@@ -149,7 +155,10 @@ int SplitFs::Open(const std::string& path, int flags) {
           fs->metadata_dirty = true;
         }
         mmaps_.InvalidateRange(fs->ino, 0, std::max<uint64_t>(old_size, kBlockSize));
-        if (opts_.mode == Mode::kStrict) {
+        if (oplog_ != nullptr) {
+          // Logged in strict mode *and* async configurations: replay must know the
+          // truncate ordered after any intent entries, or their partial-block head
+          // copies would resurrect truncated bytes.
           LogMetaOp(LogOp::kTruncate, fs->ino, 0, fs.get());
         }
         MakeMetadataSynchronous(fs.get());
@@ -244,10 +253,16 @@ int SplitFs::Close(int fd) {
     staged = !fs->staged.empty();
   }
   if (staged) {
-    RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
-    int rc = PublishStaged(fs.get());
-    if (rc != 0) {
-      return rc;
+    bool enqueue = false;
+    {
+      RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+      int rc = PublishOrIntend(fs.get(), &enqueue);
+      if (rc != 0) {
+        return rc;
+      }
+    }
+    if (enqueue) {
+      EnqueuePublish(fs);
     }
   }
   // The application's close traps into the kernel; U-Split keeps its own descriptor
@@ -326,58 +341,68 @@ int SplitFs::Unlink(const std::string& path) {
 
 int SplitFs::Rename(const std::string& from, const std::string& to) {
   ctx_->ChargeCpu(2 * ctx_->model.user_work_ns);
-  int rc = kfs_->Rename(from, to);
-  if (rc != 0) {
-    return rc;
-  }
-  // Rename is the paper's example of a multi-entry logged operation.
-  Ino ino = vfs::kInvalidIno;
   {
-    PathShard& pshard = PathShardOf(from);
-    std::lock_guard<std::shared_mutex> lock(pshard.mu);
-    auto it = pshard.map.find(from);
-    if (it != pshard.map.end()) {
-      ino = it->second;
-      pshard.map.erase(it);
+    // Both path shards are held — ascending address, one lock when the paths
+    // collide on a shard — across the kernel rename and the cache updates, the same
+    // protocol Unlink applies to its single shard. A racing first Open of either
+    // path blocks on its shard until the caches reflect the rename; without this,
+    // an Open of the destination in the window after the kernel rename resolved the
+    // *moved* inode, built a second FileState for it, and overwrote the cached one
+    // — stranding its staged set and dirty-file count (the PR 3 leftover race).
+    PathShard& fshard = PathShardOf(from);
+    PathShard& tshard = PathShardOf(to);
+    PathShard* lo = &fshard < &tshard ? &fshard : &tshard;
+    PathShard* hi = &fshard < &tshard ? &tshard : &fshard;
+    std::unique_lock<std::shared_mutex> l1(lo->mu);
+    std::unique_lock<std::shared_mutex> l2;
+    if (lo != hi) {
+      l2 = std::unique_lock<std::shared_mutex>(hi->mu);
     }
-  }
-  bool had_from_state = ino != vfs::kInvalidIno;
-  if (had_from_state) {
+    int rc = kfs_->Rename(from, to);
+    if (rc != 0) {
+      return rc;
+    }
+    if (rename_race_hook_) {
+      rename_race_hook_();  // Test-only: park in the historical race window.
+    }
+    // Rename is the paper's example of a multi-entry logged operation.
+    Ino ino = vfs::kInvalidIno;
+    {
+      auto it = fshard.map.find(from);
+      if (it != fshard.map.end()) {
+        ino = it->second;
+        fshard.map.erase(it);
+      }
+    }
     // The destination, if it existed and was cached, has been replaced: its stale
-    // state must be torn down exactly as when the source is uncached, or the
-    // displaced file's kernel descriptor, staged bytes, and mappings leak.
+    // state must be torn down exactly as on unlink, or the displaced file's kernel
+    // descriptor, staged bytes, and mappings leak.
     Ino displaced = vfs::kInvalidIno;
-    {
-      PathShard& pshard = PathShardOf(to);
-      std::lock_guard<std::shared_mutex> lock(pshard.mu);
-      auto it = pshard.map.find(to);
-      if (it != pshard.map.end() && it->second != ino) {
+    if (ino != vfs::kInvalidIno) {
+      auto it = tshard.map.find(to);
+      if (it != tshard.map.end() && it->second != ino) {
         displaced = it->second;
       }
-      pshard.map[to] = ino;
-    }
-    TeardownDisplacedState(to, displaced);
-    FileRef fs = FileOf(ino);
-    if (fs != nullptr) {
-      std::lock_guard<std::mutex> meta(fs->meta_mu);
-      fs->path = to;
-    }
-    if (opts_.mode == Mode::kStrict) {
-      LogMetaOp(LogOp::kRenameFrom, ino, 0, nullptr);
-      LogMetaOp(LogOp::kRenameTo, ino, 0, nullptr);
-    }
-  } else {
-    Ino displaced = vfs::kInvalidIno;
-    {
-      PathShard& pshard = PathShardOf(to);
-      std::lock_guard<std::shared_mutex> lock(pshard.mu);
-      auto it = pshard.map.find(to);
-      if (it != pshard.map.end()) {
+      tshard.map[to] = ino;
+    } else {
+      auto it = tshard.map.find(to);
+      if (it != tshard.map.end()) {
         displaced = it->second;
-        pshard.map.erase(it);
+        tshard.map.erase(it);
       }
     }
     TeardownDisplacedState(to, displaced);
+    if (ino != vfs::kInvalidIno) {
+      FileRef fs = FileOf(ino);
+      if (fs != nullptr) {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        fs->path = to;
+      }
+      if (opts_.mode == Mode::kStrict) {
+        LogMetaOp(LogOp::kRenameFrom, ino, 0, nullptr);
+        LogMetaOp(LogOp::kRenameTo, ino, 0, nullptr);
+      }
+    }
   }
   MakeMetadataSynchronous(nullptr);
   return 0;
@@ -939,10 +964,12 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
     src += span;
     cur += span;
   }
-  if (staged_updated && opts_.mode == Mode::kStrict) {
+  if (staged_updated && (opts_.mode == Mode::kStrict || opts_.async_relink)) {
     // The updated staging bytes are already covered by an earlier op-log entry, so no
     // new entry is needed — but strict mode acknowledges only durable data, and these
-    // stores would otherwise stay un-fenced until the next publish.
+    // stores would otherwise stay un-fenced until the next publish. Async relink
+    // fences here too: a fenced intent may already point at these bytes, and replay
+    // must never publish a torn block.
     kfs_->device()->Fence();
   }
 
@@ -1054,7 +1081,7 @@ int SplitFs::CopyStagedRun(FileState* fs, const StagedRange& r) {
   return 0;
 }
 
-int SplitFs::PublishStaged(FileState* fs) {
+int SplitFs::PublishStaged(FileState* fs, bool log_done) {
   {
     std::lock_guard<std::mutex> meta(fs->meta_mu);
     if (fs->staged.empty()) {
@@ -1109,7 +1136,198 @@ int SplitFs::PublishStaged(FileState* fs) {
     fs->metadata_dirty = false;  // The commit covered the running transaction too.
   }
   dirty_files_.fetch_sub(1, std::memory_order_release);
+  if (log_done && opts_.async_relink && oplog_ != nullptr) {
+    // Seal the publish: every data entry of this inode at or below this seq is now
+    // relinked and committed, so replay skips it. Without the seal, a stale intent
+    // could resurrect bytes a later unlogged in-place overwrite replaced. Logged
+    // after the dirty-count decrement: a log-full checkpoint spinning for zero can
+    // then finish even while this append blocks on the checkpoint mutex.
+    LogMetaOp(LogOp::kRelinkDone, fs->ino, 0, fs);
+  }
   return 0;
+}
+
+// --- Async relink publication ---------------------------------------------------------
+
+int SplitFs::PublishOrIntend(FileState* fs, bool* enqueue) {
+  *enqueue = false;
+  if (!opts_.async_relink) {
+    return PublishStaged(fs);
+  }
+  // The fsync contract covers the file's metadata too: a create/truncate still
+  // sitting in the running kernel transaction could roll back at a crash, and
+  // intent replay cannot resurrect a file whose creation was lost. Commit it now
+  // (non-barrier, once per dirty window); the relinks themselves stay deferred.
+  bool metadata_dirty;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    metadata_dirty = fs->metadata_dirty;
+  }
+  if (metadata_dirty) {
+    kfs_->CommitJournal(/*fsync_barrier=*/false);
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    fs->metadata_dirty = false;
+  }
+  int rc = LogRelinkIntents(fs);
+  if (rc != 0) {
+    return rc;
+  }
+  bool was_pending;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    was_pending = fs->publish_pending;
+    fs->publish_pending = true;
+  }
+  if (!opts_.publisher_thread) {
+    // Deterministic inline mode: the publish really happens here — same store and
+    // fence sequence every run, which the crash matrix depends on — but its cost is
+    // rewound off the foreground clock, modeling the background publisher.
+    sim::ScopedOffClock off(&ctx_->clock);
+    rc = PublishStaged(fs);
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    fs->publish_pending = false;
+    return rc;
+  }
+  *enqueue = !was_pending;  // Already queued: the pending publish covers our runs.
+  return 0;
+}
+
+int SplitFs::LogRelinkIntents(FileState* fs) {
+  if (opts_.mode == Mode::kStrict) {
+    return 0;  // Every staged run was already logged (and fenced) at write time.
+  }
+  // The intent claims the staged bytes are recoverable: drain pending non-temporal
+  // stores first (POSIX-mode appends stream unfenced; the op log's own fence per
+  // appended entry only covers the entry).
+  kfs_->device()->Fence();
+  // One pass over the staged map collects every uncovered run tail; the whole-file
+  // lock (held by the caller) keeps the set stable while the entries are appended
+  // below, outside meta_mu.
+  struct IntentDelta {
+    uint64_t file_off;
+    StagingAlloc alloc;
+    bool is_overwrite;
+  };
+  std::vector<IntentDelta> deltas;
+  {
+    std::lock_guard<std::mutex> meta(fs->meta_mu);
+    for (auto& [off, r] : fs->staged) {
+      if (r.alloc.len > r.intent_len) {
+        // Log only the uncovered tail; recovery's run coalescing merges the
+        // contiguous intent entries back into one relink.
+        StagingAlloc delta = r.alloc;
+        delta.staging_off += r.intent_len;
+        delta.dev_off += r.intent_len;
+        delta.len -= r.intent_len;
+        deltas.push_back({off + r.intent_len, delta, r.is_overwrite});
+        r.intent_len = r.alloc.len;
+      }
+    }
+  }
+  for (const IntentDelta& d : deltas) {
+    LogEntry e;
+    e.op = d.is_overwrite ? LogOp::kRelinkIntentOverwrite : LogOp::kRelinkIntent;
+    e.target_ino = fs->ino;
+    e.file_off = d.file_off;
+    e.staging_ino = d.alloc.staging_ino;
+    e.staging_off = d.alloc.staging_off;
+    e.len = d.alloc.len;
+    if (!oplog_->Append(e)) {
+      // Log full. The checkpoint publishes every staged run of this file first (it
+      // holds our whole-file lock through `held`), so the remaining intents are
+      // moot — and must NOT be retried into the fresh log: an intent for an
+      // already-published run is never sealed by a kRelinkDone (later publishes
+      // early-return on the empty staged set), and its replay after a crash would
+      // resurrect the staged bytes over any later unlogged in-place overwrite.
+      CheckpointForFull(fs);
+      return 0;
+    }
+  }
+  return 0;
+}
+
+void SplitFs::EnqueuePublish(FileRef fs) {
+  std::unique_lock<std::mutex> ul(publish_mu_);
+  // Backpressure (real time only): staged bytes awaiting publication are bounded, so
+  // a lagging publisher cannot exhaust the staging pool. Never called with a file
+  // lock held — the publisher takes file locks to drain the queue.
+  publish_idle_cv_.wait(ul, [this] {
+    return publish_queue_.size() < kMaxQueuedPublishes || publisher_stop_;
+  });
+  if (publisher_stop_) {
+    return;  // Shutdown race: the instance is tearing down; nothing more queues.
+  }
+  publish_queue_.push_back(std::move(fs));
+  publish_cv_.notify_one();
+}
+
+void SplitFs::PublisherLoop() {
+  std::unique_lock<std::mutex> ul(publish_mu_);
+  for (;;) {
+    publish_cv_.wait(ul, [this] {
+      return publisher_stop_ || (!publish_queue_.empty() && !publisher_paused_);
+    });
+    if (publish_queue_.empty()) {
+      if (publisher_stop_) {
+        return;  // Queue drained; safe to exit.
+      }
+      continue;
+    }
+    FileRef fs = publish_queue_.front();
+    publish_queue_.pop_front();
+    ++publishes_inflight_;
+    publish_idle_cv_.notify_all();  // Backpressure keys off the queue length.
+    ul.unlock();
+    {
+      // Same locking as a synchronous publish: readers of this file see the staged
+      // snapshot until the swap, the published one after — never a torn window. The
+      // publisher has no clock lane, so the relink and journal-commit charges land
+      // on the shared timeline, off every application thread's critical path.
+      RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+      bool defunct;
+      {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        defunct = fs->defunct;
+      }
+      if (!defunct) {
+        int rc = PublishStaged(fs.get());
+        if (rc != 0) {
+          publish_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        fs->publish_pending = false;
+      }
+      async_publishes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ul.lock();
+    --publishes_inflight_;
+    publish_idle_cv_.notify_all();
+  }
+}
+
+void SplitFs::StopPublisher() {
+  if (!publisher_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lg(publish_mu_);
+    publisher_stop_ = true;
+  }
+  publish_cv_.notify_all();
+  publish_idle_cv_.notify_all();
+  publisher_.join();
+}
+
+void SplitFs::WaitForPublishes() {
+  if (!publisher_.joinable()) {
+    return;
+  }
+  std::unique_lock<std::mutex> ul(publish_mu_);
+  publish_idle_cv_.wait(ul, [this] {
+    return publish_queue_.empty() && publishes_inflight_ == 0;
+  });
 }
 
 int SplitFs::Fsync(int fd) {
@@ -1118,32 +1336,40 @@ int SplitFs::Fsync(int fd) {
   if (fs == nullptr) {
     return -EBADF;
   }
-  RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
-  bool staged;
-  bool metadata_dirty;
+  bool enqueue = false;
+  int rc = 0;
   {
-    std::lock_guard<std::mutex> meta(fs->meta_mu);
-    if (fs->defunct) {
-      return -EBADF;
-    }
-    staged = !fs->staged.empty();
-    metadata_dirty = fs->metadata_dirty;
-  }
-  if (staged) {
-    return PublishStaged(fs.get());  // Relink path: no fsync barrier (Table 6).
-  }
-  if (metadata_dirty) {
-    int rc = kfs_->Fsync(fs->kernel_fd);
-    if (rc == 0) {
+    RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+    bool staged;
+    bool metadata_dirty;
+    {
       std::lock_guard<std::mutex> meta(fs->meta_mu);
-      fs->metadata_dirty = false;
+      if (fs->defunct) {
+        return -EBADF;
+      }
+      staged = !fs->staged.empty();
+      metadata_dirty = fs->metadata_dirty;
     }
-    return rc;
+    if (staged) {
+      // Relink path: no fsync barrier (Table 6). Async configuration returns once
+      // the intent records are fenced; the relinks run on the publisher.
+      rc = PublishOrIntend(fs.get(), &enqueue);
+    } else if (metadata_dirty) {
+      rc = kfs_->Fsync(fs->kernel_fd);
+      if (rc == 0) {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        fs->metadata_dirty = false;
+      }
+    } else {
+      // Nothing staged, nothing dirty: in-place overwrites were already persisted by
+      // their non-temporal stores; the trap still happens.
+      ctx_->ChargeSyscall();
+    }
   }
-  // Nothing staged, nothing dirty: in-place overwrites were already persisted by
-  // their non-temporal stores; the trap still happens.
-  ctx_->ChargeSyscall();
-  return 0;
+  if (enqueue) {
+    EnqueuePublish(fs);
+  }
+  return rc;
 }
 
 int SplitFs::Ftruncate(int fd, uint64_t size) {
@@ -1175,7 +1401,8 @@ int SplitFs::Ftruncate(int fd, uint64_t size) {
   if (size < old_size) {
     mmaps_.InvalidateRange(fs->ino, size, old_size - size);
   }
-  if (opts_.mode == Mode::kStrict) {
+  if (oplog_ != nullptr) {
+    // See Open(O_TRUNC): async configurations need the ordering record too.
     LogMetaOp(LogOp::kTruncate, fs->ino, size, fs.get());
   }
   MakeMetadataSynchronous(fs.get());
@@ -1244,7 +1471,9 @@ void SplitFs::CheckpointForFull(FileState* held) {
   ctx_->ChargeCpu(ctx_->model.usplit_log_checkpoint_cpu_ns);
   uint64_t epoch = oplog_->ResetEpoch();
   if (held != nullptr) {
-    SPLITFS_CHECK_OK(PublishStaged(held));
+    // log_done=false: the reset below retires every intent wholesale, and a done
+    // append against the still-full log would recurse back into this checkpoint.
+    SPLITFS_CHECK_OK(PublishStaged(held, /*log_done=*/false));
   }
   std::lock_guard<std::mutex> cl(checkpoint_mu_);
   if (oplog_->ResetEpoch() != epoch) {
@@ -1268,7 +1497,7 @@ void SplitFs::CheckpointForFull(FileState* held) {
         continue;
       }
       if (f->rlock.TryLockExclusive(0, RangeLock::kWholeFile)) {
-        SPLITFS_CHECK_OK(PublishStaged(f.get()));
+        SPLITFS_CHECK_OK(PublishStaged(f.get(), /*log_done=*/false));
         f->rlock.UnlockExclusive(0, RangeLock::kWholeFile);
       }
     }
@@ -1292,7 +1521,14 @@ void SplitFs::CheckpointForFull(FileState* held) {
 int SplitFs::Recover() {
   // A crash wiped the process: every piece of DRAM state is rebuilt from scratch.
   // Recovery runs before the instance serves new operations (single-threaded, as a
-  // real restart would be).
+  // real restart would be). Queued publishes reference pre-crash state — drop them
+  // first (the queue may hold entries a paused/backed-up publisher never started),
+  // then wait out any publish already in flight.
+  {
+    std::lock_guard<std::mutex> lg(publish_mu_);
+    publish_queue_.clear();
+  }
+  WaitForPublishes();
   for (FileShard& shard : file_shards_) {
     std::lock_guard<std::shared_mutex> lock(shard.mu);
     for (auto& [ino, fs] : shard.map) {
@@ -1310,12 +1546,14 @@ int SplitFs::Recover() {
   mmaps_.Clear();
 
   if (oplog_ == nullptr) {
-    // POSIX / sync: nothing beyond K-Split's own journal recovery (§5.3).
+    // POSIX / sync without async relink: nothing beyond K-Split's own journal
+    // recovery (§5.3).
     return 0;
   }
 
-  // Strict: replay every valid log entry on top of ext4 recovery. Replay is
-  // idempotent — a relink whose source range is already a hole is skipped.
+  // Replay every valid log entry on top of ext4 recovery: strict-mode data ops and
+  // async-relink intents alike. Replay is idempotent — a relink whose source range
+  // is already a hole is skipped.
   //
   // Consecutive appends that extended one staged run produced one entry per
   // operation but share staging blocks; coalesce them back into runs first, or an
@@ -1327,19 +1565,32 @@ int SplitFs::Recover() {
   // but the partial-block head copy would not — replaying it would resurrect bytes
   // the truncate removed. Drop data entries older than the file's last truncate.
   std::unordered_map<Ino, uint64_t> last_truncate_seq;
+  // kRelinkDone seals a publish: every data entry of that inode with a smaller seq
+  // was relinked and journal-committed before the crash. Skipping them is what keeps
+  // a stale intent from resurrecting bytes a later unlogged in-place overwrite
+  // (POSIX/sync) replaced.
+  std::unordered_map<Ino, uint64_t> last_done_seq;
   for (const LogEntry& e : entries) {
     if (e.op == LogOp::kTruncate) {
       uint64_t& seq = last_truncate_seq[e.target_ino];
+      seq = std::max(seq, e.seq);
+    } else if (e.op == LogOp::kRelinkDone) {
+      uint64_t& seq = last_done_seq[e.target_ino];
       seq = std::max(seq, e.seq);
     }
   }
   std::vector<LogEntry> runs;
   for (const LogEntry& e : entries) {
-    if (e.op != LogOp::kAppend && e.op != LogOp::kOverwrite) {
+    if (e.op != LogOp::kAppend && e.op != LogOp::kOverwrite &&
+        e.op != LogOp::kRelinkIntent && e.op != LogOp::kRelinkIntentOverwrite) {
       continue;  // Metadata ops were made durable by the kernel journal.
     }
     auto trunc = last_truncate_seq.find(e.target_ino);
     if (trunc != last_truncate_seq.end() && trunc->second > e.seq) {
+      continue;
+    }
+    auto done = last_done_seq.find(e.target_ino);
+    if (done != last_done_seq.end() && done->second > e.seq) {
       continue;
     }
     bool merged = false;
@@ -1388,6 +1639,7 @@ int SplitFs::Recover() {
     uint64_t s = e.file_off;
     uint64_t end = e.file_off + e.len;
     uint64_t st = e.staging_off;
+    uint64_t src_base = e.staging_off;  // Staging offset of the run's first byte.
     // Head partial block: copy through the kernel.
     uint64_t head_end = std::min(end, common::AlignUp(s, kBlockSize));
     if (s % kBlockSize != 0) {
@@ -1400,11 +1652,33 @@ int SplitFs::Recover() {
       s = head_end;
       st = common::AlignUp(st, kBlockSize);
     }
-    if (s < end) {
-      uint64_t aligned_len = common::AlignUp(end - s, kBlockSize);
+    // Overwrite runs mirror RelinkRun's tail handling: an unaligned tail strictly
+    // inside the recovered file is copied, never relinked whole — relinking would
+    // clobber the settled bytes that share its block. Appends may move the final
+    // partial block whole (nothing lives past EOF).
+    bool is_overwrite =
+        e.op == LogOp::kOverwrite || e.op == LogOp::kRelinkIntentOverwrite;
+    uint64_t core_end = end;
+    bool tail_copy = false;
+    vfs::StatBuf dst_st;
+    if (is_overwrite && end % kBlockSize != 0 && kfs_->Fstat(dst_fd, &dst_st) == 0 &&
+        end < dst_st.size) {
+      core_end = common::AlignDown(end, kBlockSize);
+      tail_copy = true;
+    }
+    if (s < core_end) {
+      uint64_t aligned_len = common::AlignUp(core_end - s, kBlockSize);
       int rc = kfs_->SwapExtentsForRelink(src_fd, st, dst_fd, s, aligned_len,
                                           /*new_dst_size=*/end);
       (void)rc;  // -EINVAL == already relinked before the crash: idempotent skip.
+    }
+    if (tail_copy && core_end >= s) {
+      uint64_t tail_len = end - core_end;
+      std::vector<uint8_t> buf(tail_len);
+      if (kfs_->Pread(src_fd, buf.data(), tail_len, src_base + (core_end - e.file_off)) ==
+          static_cast<ssize_t>(tail_len)) {
+        kfs_->Pwrite(dst_fd, buf.data(), tail_len, core_end);
+      }
     }
     kfs_->Close(src_fd);
     kfs_->Close(dst_fd);

@@ -51,11 +51,15 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -116,6 +120,38 @@ class SplitFs : public vfs::FileSystem {
   uint64_t OpLogEntries() const { return oplog_ ? oplog_->EntriesLogged() : 0; }
   uint64_t Relinks() const { return relinks_.load(std::memory_order_relaxed); }
   uint64_t Checkpoints() const { return checkpoints_.load(std::memory_order_relaxed); }
+  uint64_t AsyncPublishes() const {
+    return async_publishes_.load(std::memory_order_relaxed);
+  }
+  uint64_t PublishErrors() const {
+    return publish_errors_.load(std::memory_order_relaxed);
+  }
+  // Completion fence of the async publisher: returns once every queued publish has
+  // finished. No-op when the publisher thread is off (inline mode publishes before
+  // fsync/close return).
+  void WaitForPublishes();
+
+  // Test-only: parks the publisher thread before it pops the next queue entry, so a
+  // crash test can build the acknowledged-but-unpublished state (intents fenced,
+  // relinks pending) deterministically and drive recovery through intent replay.
+  // StopPublisher overrides the pause so teardown never hangs.
+  void set_publisher_paused_for_test(bool paused) {
+    {
+      std::lock_guard<std::mutex> lg(publish_mu_);
+      publisher_paused_ = paused;
+    }
+    publish_cv_.notify_all();
+  }
+
+  // Test-only: invoked right after the kernel rename, before the path-cache
+  // updates — inside Rename's dual path-shard critical section. The rename-vs-
+  // first-open regression test uses it to park the rename in the historical race
+  // window while another thread attempts a first open of the destination;
+  // single-core CI cannot land preemption inside a sub-microsecond window, so the
+  // interleaving must be forced. Set to nullptr (the default) outside tests.
+  void set_rename_race_hook_for_test(std::function<void()> hook) {
+    rename_race_hook_ = std::move(hook);
+  }
   const StagingPool& staging_pool() const { return *staging_; }
   ext4sim::Ext4Dax* kernel_fs() const { return kfs_; }
 
@@ -124,6 +160,10 @@ class SplitFs : public vfs::FileSystem {
     uint64_t file_off = 0;
     StagingAlloc alloc;  // alloc.len is the range length.
     bool is_overwrite = false;
+    // Async relink: prefix of the run already covered by a fenced kRelinkIntent
+    // record. A later fsync logs only the delta; recovery's run coalescing stitches
+    // the contiguous intent entries back together.
+    uint64_t intent_len = 0;
   };
 
   struct FileState {
@@ -150,6 +190,9 @@ class SplitFs : public vfs::FileSystem {
     // would leak allocations and wedge the strict-mode checkpoint (its dirty count
     // could never drain).
     bool defunct = false;
+    // Async relink: the file sits on the publish queue (or is being published).
+    // Purely an enqueue-dedup flag — correctness never depends on it.
+    bool publish_pending = false;
 
     vfs::RangeLock rlock;       // Byte-range lock; kWholeFile for restructuring ops.
     mutable std::mutex meta_mu;
@@ -207,8 +250,27 @@ class SplitFs : public vfs::FileSystem {
 
   // Publishes all staged ranges of `fs` into the target file (relink or, with the
   // Figure 3 ablation toggle off, copy). Returns 0 or -errno. Caller holds the
+  // whole-file lock exclusively. `log_done` appends the async-relink publish seal
+  // (kRelinkDone); the log-full checkpoint passes false — it resets the log right
+  // after, which retires every intent wholesale, and a done append against the
+  // still-full log would recurse into the checkpoint and deadlock on its mutex.
+  int PublishStaged(FileState* fs, bool log_done = true);
+
+  // --- Async relink publication -----------------------------------------------------
+  // fsync/close entry point; caller holds the whole-file lock exclusively. Sync
+  // configuration: publishes inline. Async: commits dirty metadata (the fsync
+  // contract covers it), logs + fences relink intents, and either publishes inline
+  // with the cost rewound (deterministic mode) or sets *enqueue — the caller must
+  // then call EnqueuePublish AFTER dropping the file lock: the enqueue can block on
+  // queue backpressure while the publisher blocks on this very file's lock.
+  int PublishOrIntend(FileState* fs, bool* enqueue);
+  // Logs one kRelinkIntent per staged run (or run delta) not yet intent-covered.
+  // POSIX/sync modes only — strict logged every run at write time. Caller holds the
   // whole-file lock exclusively.
-  int PublishStaged(FileState* fs);
+  int LogRelinkIntents(FileState* fs);
+  void EnqueuePublish(FileRef fs);
+  void PublisherLoop();
+  void StopPublisher();
   int RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r);
   int CopyStagedRun(FileState* fs, const StagedRange& r);
 
@@ -240,6 +302,26 @@ class SplitFs : public vfs::FileSystem {
   // once this reaches zero (every entry is then dead).
   std::atomic<int64_t> dirty_files_{0};
   std::mutex checkpoint_mu_;  // Single-flight log checkpoint.
+
+  // --- Async publisher (Options::async_relink + publisher_thread) -------------------
+  // Queue of files with intent-logged staged data awaiting publication. Bounded:
+  // fsync blocks (real time only — the virtual cost of a publish never lands on a
+  // lane) when the publisher falls behind, so staged allocations cannot exhaust the
+  // staging pool. The queue holds FileRefs: a file torn down by unlink/rename while
+  // queued stays alive until the publisher sees it is defunct and skips it.
+  static constexpr size_t kMaxQueuedPublishes = 8;
+  std::thread publisher_;
+  std::mutex publish_mu_;
+  std::condition_variable publish_cv_;       // Publisher wakeup.
+  std::condition_variable publish_idle_cv_;  // Backpressure + completion fence.
+  std::deque<FileRef> publish_queue_;
+  size_t publishes_inflight_ = 0;  // Guarded by publish_mu_.
+  bool publisher_stop_ = false;    // Guarded by publish_mu_.
+  bool publisher_paused_ = false;  // Guarded by publish_mu_; test-only.
+  std::atomic<uint64_t> async_publishes_{0};
+  std::atomic<uint64_t> publish_errors_{0};
+
+  std::function<void()> rename_race_hook_;  // Test-only; see the setter.
 };
 
 }  // namespace splitfs

@@ -59,7 +59,14 @@ StagingPool::Lane& StagingPool::LaneOfThisThread() {
 }
 
 bool StagingPool::CreateStageFile(CreateMode mode, StageFile* out) {
-  uint64_t t0 = ctx_->clock.Now();
+  // Deterministic background mode: the work happens inline (same store sequence
+  // every run) but is attributed to the §3.5 background thread — the charge is
+  // rewound and no resource stamp accumulates it, exactly as when the real
+  // replenisher (which has no lane) does it.
+  std::optional<sim::ScopedOffClock> off;
+  if (mode == CreateMode::kBackgroundInline) {
+    off.emplace(&ctx_->clock);
+  }
   StageFile sf;
   std::string path = dir_ + "/s" +
                      std::to_string(files_created_.fetch_add(1, std::memory_order_relaxed));
@@ -84,18 +91,8 @@ bool StagingPool::CreateStageFile(CreateMode mode, StageFile* out) {
   for (uint64_t chunk = 0; chunk < opts_.staging_file_bytes; chunk += common::kHugePageSize) {
     ctx_->ChargeHugePageSetup();
   }
-  switch (mode) {
-    case CreateMode::kForeground:
-      break;
-    case CreateMode::kBackgroundInline:
-      // Replenishment happens on the paper's background thread: take it off the
-      // foreground clock (the work itself — allocation, mapping — really happened).
-      ctx_->clock.Rewind(ctx_->clock.Now() - t0);
-      background_creations_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case CreateMode::kBackgroundThread:
-      background_creations_.fetch_add(1, std::memory_order_relaxed);
-      break;
+  if (mode != CreateMode::kForeground) {
+    background_creations_.fetch_add(1, std::memory_order_relaxed);
   }
   *out = std::move(sf);
   return true;
@@ -223,13 +220,12 @@ void StagingPool::MarkRelinked(vfs::Ino ino, uint64_t end_off) {
 void StagingPool::Retire(StageFile* sf) {
   // The namespace work (close + unlink of the dead staging file) happens on the
   // paper's background thread: the work is real, the foreground clock doesn't pay.
-  uint64_t t0 = ctx_->clock.Now();
+  sim::ScopedOffClock off(&ctx_->clock);
   if (sf->fd >= 0) {
     kfs_->Close(sf->fd);
     sf->fd = -1;
   }
   kfs_->Unlink(sf->path);
-  ctx_->clock.Rewind(ctx_->clock.Now() - t0);
   files_retired_.fetch_add(1, std::memory_order_relaxed);
 }
 

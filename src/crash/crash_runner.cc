@@ -154,8 +154,8 @@ int World::RecoverAll() {
   return fs->Recover();
 }
 
-WorldFactory SplitFsWorldFactory(splitfs::Mode mode) {
-  return [mode] {
+WorldFactory SplitFsWorldFactory(splitfs::Mode mode, bool async_relink) {
+  return [mode, async_relink] {
     auto w = std::make_unique<World>();
     w->dev = std::make_unique<pmem::Device>(&w->ctx, 64 * kMiB);
     w->kfs = std::make_unique<ext4sim::Ext4Dax>(w->dev.get());
@@ -164,6 +164,7 @@ WorldFactory SplitFsWorldFactory(splitfs::Mode mode) {
     o.num_staging_files = 2;
     o.staging_file_bytes = 4 * kMiB;
     o.oplog_bytes = 256 * kKiB;
+    o.async_relink = async_relink;  // Inline publisher: deterministic stores.
     w->fs = std::make_unique<splitfs::SplitFs>(w->kfs.get(), o);
     return w;
   };

@@ -154,21 +154,42 @@ void Ext4Dax::FreeInodeBlocks(Inode* inode) {
   }
 }
 
+void Ext4Dax::OrphanAdd(Ino ino) {
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    orphans_.insert(ino);
+  }
+  // The list lives on disk: the insert belongs to the running (unlinking)
+  // transaction, and a rollback must take the inode back off the list — otherwise a
+  // resurrected file would be reclaimed by the next mount's orphan replay.
+  journal_.Dirty(MetaBlockId(MetaKind::kSuperblock, 0),
+                 [this, ino] { OrphanRemove(ino); });
+}
+
+void Ext4Dax::OrphanRemove(Ino ino) {
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  orphans_.erase(ino);
+}
+
 void Ext4Dax::ReclaimIfOrphan(Ino ino) {
   // Commit action: the journal barrier is held exclusively, so no metadata operation
   // is in flight; the inode lock still matters to exclude readers and OpenByIno,
   // which run without handles.
   InodeRef inode = GetInode(ino);
   if (inode == nullptr) {
-    return;  // Already reclaimed by an earlier commit action.
+    OrphanRemove(ino);  // Already reclaimed by an earlier commit action.
+    return;
   }
-  std::unique_lock<std::shared_mutex> il(inode->mu);
-  if (!inode->unlinked || inode->open_count > 0) {
-    return;  // Resurrected by a rollback, or reopened via OpenByIno: keep it.
+  {
+    std::unique_lock<std::shared_mutex> il(inode->mu);
+    if (!inode->unlinked || inode->open_count > 0) {
+      return;  // Resurrected by a rollback, or reopened via OpenByIno: keep it.
+    }
+    FreeInodeBlocks(inode.get());
+    inode->size = 0;  // A straggler holding a stale reference reads EOF, never garbage.
+    EraseInode(ino);  // The inode-table lock is a leaf; safe under the inode lock.
   }
-  FreeInodeBlocks(inode.get());
-  inode->size = 0;  // A straggler holding a stale reference reads EOF, never garbage.
-  EraseInode(ino);  // The inode-table lock is a leaf; safe under the inode lock.
+  OrphanRemove(ino);  // Reclamation committed: the inode leaves the on-disk list.
 }
 
 int64_t Ext4Dax::EnsureBlocks(const InodeRef& inode, uint64_t off, uint64_t len) {
@@ -666,6 +687,12 @@ int Ext4Dax::Unlink(const std::string& path) {
     inode->nlink = 0;
     last = inode->open_count == 0;
   }
+  // Every unlinked inode joins the on-disk orphan list inside this transaction;
+  // it leaves the list only when its blocks are actually reclaimed. If the
+  // deferred reclamation never runs — it dies with a rolled-back later
+  // transaction, or the crash beats the last close — mount-time Recover() replays
+  // the list instead of leaking the inode until the next unlink.
+  OrphanAdd(ino);
   if (last) {
     // Defer the actual free to commit (jbd2 rule), keyed by ino: a rollback that
     // resurrects the file, or a reopen through OpenByIno, cancels the reclamation.
@@ -819,6 +846,7 @@ int Ext4Dax::Rename(const std::string& from, const std::string& to) {
           victim->nlink = 0;
           last = victim->open_count == 0;
         }
+        OrphanAdd(*displaced);  // Same orphan-list protocol as Unlink.
         if (last) {
           // Keyed by ino, not by pointer: a rollback resurrecting the victim or an
           // OpenByIno reopen cancels the deferred free (the old raw-pointer capture
@@ -1043,6 +1071,39 @@ int Ext4Dax::Recover() {
   // exclusively and the undo closures mutate namespace/inode state without further
   // locks, which is valid because no operation can be in flight across a crash.
   journal_.RecoverDiscardRunning();
+  // Orphan list replay (ext4's mount-time orphan processing): an inode unlinked in
+  // a committed transaction but still open at the crash relies on a *later*
+  // transaction's commit action for its reclamation — if that transaction rolled
+  // back (or the last close never happened), the inode would leak until the next
+  // unlink. Descriptors do not survive a crash, so every inode still listed is
+  // reclaimable now; entries whose unlink itself rolled back were already removed
+  // by the journal undo above.
+  std::vector<Ino> orphans;
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    orphans.assign(orphans_.begin(), orphans_.end());
+  }
+  for (Ino ino : orphans) {
+    InodeRef inode = GetInode(ino);
+    if (inode == nullptr) {
+      OrphanRemove(ino);  // Reclaimed before the crash; the list entry is stale.
+      continue;
+    }
+    {
+      std::unique_lock<std::shared_mutex> il(inode->mu);
+      if (!inode->unlinked) {
+        il.unlock();
+        OrphanRemove(ino);  // Resurrected by the rollback: keep the file.
+        continue;
+      }
+      inode->open_count = 0;  // No descriptor survives a crash.
+      ctx_->ChargeCpu(ctx_->model.ext4_unlink_extra_ns);  // Orphan truncate path.
+      FreeInodeBlocks(inode.get());
+      inode->size = 0;
+      EraseInode(ino);
+    }
+    OrphanRemove(ino);
+  }
   return 0;
 }
 

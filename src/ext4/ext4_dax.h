@@ -43,6 +43,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -150,6 +151,11 @@ class Ext4Dax : public vfs::FileSystem {
   uint64_t FreeBlocks() const { return alloc_.FreeBlocks(); }
   uint64_t JournalCommits() const { return journal_.commits(); }
   BlockAllocator* allocator_for_test() { return &alloc_; }
+  // Inodes currently on the on-disk orphan list (unlinked, awaiting reclamation).
+  size_t OrphanCount() const {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    return orphans_.size();
+  }
 
 
   friend FsckReport RunFsck(Ext4Dax* fs);
@@ -218,6 +224,12 @@ class Ext4Dax : public vfs::FileSystem {
 
   InodeRef AllocateInode(vfs::FileType type);
   void FreeInodeBlocks(Inode* inode);
+  // On-disk orphan list maintenance (ext4's s_last_orphan chain, modeled as a set).
+  // OrphanAdd is called inside the unlinking transaction and registers a journal
+  // undo, so a rolled-back unlink also takes the inode back off the list; removal
+  // happens when the inode is actually reclaimed (commit action or Recover()).
+  void OrphanAdd(vfs::Ino ino);
+  void OrphanRemove(vfs::Ino ino);
   // Commit action for deferred inode reclamation: re-looks the inode up by ino and
   // frees it only if it is still an orphan (unlinked, no opens). Keying by ino —
   // never by captured pointer — makes a rollback that resurrects the inode, or a
@@ -247,6 +259,11 @@ class Ext4Dax : public vfs::FileSystem {
   mutable std::array<NsShard, kNsShards> ns_shards_;
   mutable std::shared_mutex itable_mu_;  // Guards the inode table's structure only.
   std::unordered_map<vfs::Ino, InodeRef> inodes_;
+  // On-disk orphan list (leaf lock): unlinked inodes whose blocks are still
+  // allocated. Mount-time recovery (Recover) reclaims whatever is left on it — the
+  // deferred last-close reclamation may have died with a rolled-back transaction.
+  mutable std::mutex orphan_mu_;
+  std::set<vfs::Ino> orphans_;
   std::atomic<vfs::Ino> next_ino_{vfs::kRootIno + 1};
   vfs::FdTable fds_;
 };

@@ -127,6 +127,31 @@ FsckReport RunFsck(Ext4Dax* fs) {
       }
     }
   }
+
+  // Pass 4: on-disk orphan list. Every live orphan must be listed (or its blocks
+  // would leak if its deferred reclamation dies with a rolled-back transaction),
+  // and every list entry must point at a live unlinked inode — after recovery the
+  // list must have drained down to exactly the still-open orphans.
+  {
+    std::lock_guard<std::mutex> ol(fs->orphan_mu_);
+    for (vfs::Ino ino : fs->orphans_) {
+      auto it = fs->inodes_.find(ino);
+      if (it == fs->inodes_.end()) {
+        report.Problem("orphan list entry " + std::to_string(ino) +
+                       " dangles (list failed to drain)");
+      } else if (!it->second->unlinked) {
+        report.Problem("orphan list entry " + std::to_string(ino) +
+                       " references a linked inode");
+      }
+    }
+    for (const auto& [ino, inode] : fs->inodes_) {
+      if (inode->unlinked && reachable.count(ino) == 0 &&
+          fs->orphans_.count(ino) == 0) {
+        report.Problem("orphan inode " + std::to_string(ino) +
+                       " missing from the on-disk orphan list");
+      }
+    }
+  }
   return report;
 }
 

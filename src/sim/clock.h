@@ -103,6 +103,12 @@ class Clock {
 
   // True when the calling thread runs on a private lane of this clock.
   bool HasLane() const { return BoundLane() != nullptr; }
+  // True while the calling thread is inside a ScopedOffClock bracket: its work
+  // belongs to a background context of the simulated machine. Resource stamps
+  // consult this so inline background work accumulates no busy time — a real
+  // background thread has no lane and accumulates none, and the deterministic
+  // inline twin must account identically.
+  static bool OffClock() { return tls_off_clock_ > 0; }
   // Incremented by Reset(); lets ResourceStamp discard busy time from before a reset.
   uint64_t ResetSeq() const { return reset_seq_.load(std::memory_order_relaxed); }
 
@@ -125,15 +131,20 @@ class Clock {
     }
   }
 
+  friend class ScopedOffClock;
+
   // One live binding per thread (a thread drives one simulated machine at a time;
   // nesting across clocks is supported by the saved `prev_` chain).
   static thread_local Lane* tls_lane_;
+  // ScopedOffClock nesting depth of the calling thread (see OffClock()).
+  static thread_local int tls_off_clock_;
 
   alignas(64) std::atomic<uint64_t> now_{0};
   std::atomic<uint64_t> reset_seq_{0};
 };
 
 inline thread_local Clock::Lane* Clock::tls_lane_ = nullptr;
+inline thread_local int Clock::tls_off_clock_ = 0;
 
 // Virtual-time model of a serially-reusable resource (a real mutex in the stack: the
 // kernel's big lock, the staging pool's slow path, a contended file range). The
@@ -155,8 +166,11 @@ inline thread_local Clock::Lane* Clock::tls_lane_ = nullptr;
 class ResourceStamp {
  public:
   // Returns the caller's timeline position at section entry; pass it to Release.
+  // No-ops without a bound lane or inside a ScopedOffClock bracket: background
+  // work — whether on a real background thread (no lane) or run inline with its
+  // cost rewound — renders no foreground-visible service time.
   uint64_t Acquire(Clock* clock) {
-    if (!clock->HasLane()) {
+    if (!clock->HasLane() || Clock::OffClock()) {
       return 0;
     }
     Refresh(clock);
@@ -164,7 +178,7 @@ class ResourceStamp {
     return clock->Now();
   }
   void Release(Clock* clock, uint64_t t0) {
-    if (!clock->HasLane()) {
+    if (!clock->HasLane() || Clock::OffClock()) {
       return;
     }
     Refresh(clock);
@@ -179,11 +193,22 @@ class ResourceStamp {
   // side has rendered, but adds none of its own — concurrent readers overlap, so
   // charging their section durations into the busy total would serialize them.
   void AcquireShared(Clock* clock) {
-    if (!clock->HasLane()) {
+    if (!clock->HasLane() || Clock::OffClock()) {
       return;
     }
     Refresh(clock);
     clock->FastForwardTo(busy_ns_.load(std::memory_order_relaxed));
+  }
+
+  // Folds `other`'s accumulated service time into this stamp. Range-granular locks
+  // (vfs::RangeLock) keep one stamp per contended byte range and merge stamps whose
+  // ranges come to overlap; overlapping exclusive sections were serialized by the
+  // real lock, so their service times add.
+  void MergeFrom(ResourceStamp* other, Clock* clock) {
+    Refresh(clock);
+    other->Refresh(clock);
+    busy_ns_.fetch_add(other->busy_ns_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   }
 
  private:
@@ -200,6 +225,33 @@ class ResourceStamp {
 
   std::atomic<uint64_t> busy_ns_{0};
   std::atomic<uint64_t> seen_reset_seq_{0};
+};
+
+// Brackets work that really happens on the calling thread but belongs to a
+// background context of the simulated machine — staging replenishment, retirement of
+// epoch-reclaimed snapshots, the deterministic inline mode of the async relink
+// publisher. The elapsed virtual charge is rewound on destruction, so foreground
+// timelines are identical whether the background work runs inline (deterministic
+// store sequence, what the crash harness needs) or on a real thread (whose charges
+// land on the shared timeline that lane-based measurements ignore).
+class ScopedOffClock {
+ public:
+  explicit ScopedOffClock(Clock* clock) : clock_(clock), t0_(clock->Now()) {
+    ++Clock::tls_off_clock_;
+  }
+  ~ScopedOffClock() {
+    --Clock::tls_off_clock_;
+    uint64_t now = clock_->Now();
+    if (now > t0_) {
+      clock_->Rewind(now - t0_);
+    }
+  }
+  ScopedOffClock(const ScopedOffClock&) = delete;
+  ScopedOffClock& operator=(const ScopedOffClock&) = delete;
+
+ private:
+  Clock* clock_;
+  uint64_t t0_;
 };
 
 // RAII bracket for a critical section already protected by a real lock.

@@ -11,11 +11,19 @@
 //   * kWholeFile               — len for publish/truncate/teardown: excludes everything.
 //
 // Waiting writers gate new readers (writer preference), so a relink cannot be starved
-// by a stream of preads. Acquisitions that had to wait fast-forward the caller's
-// sim::Clock lane past the conflicting holders' release time, which is how real lock
-// contention becomes visible in the simulated-time scalability results; uncontended
-// acquisitions charge nothing, so the deterministic single-threaded timelines are
-// unchanged.
+// by a stream of preads.
+//
+// Virtual time is range-granular: the lock keeps one sim::ResourceStamp per contended
+// byte range, created when an exclusive holder releases while someone overlapping
+// waits, merged when a later contended release spans several stamps (their exclusive
+// sections were serialized by the lock, so service times add), and retired once no
+// holder or waiter overlaps the range — every queued acquirer has consumed its
+// service debt by then, and the range's serial resource is idle. An acquisition that
+// had to wait fast-forwards the caller's sim::Clock lane past the busy time of the
+// stamps its own range overlaps, and only those: disjoint-offset writers that never
+// really contend no longer fast-forward each other's virtual timelines the way the
+// previous single per-file stamp did. Uncontended acquisitions charge nothing, so
+// deterministic single-threaded timelines are unchanged.
 //
 // The implementation is a held-range list under one small mutex + condvar. The list is
 // short in practice (the number of in-flight operations on one file), and the lock is
@@ -23,8 +31,10 @@
 #ifndef SRC_VFS_RANGE_LOCK_H_
 #define SRC_VFS_RANGE_LOCK_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <vector>
 
@@ -68,12 +78,17 @@ class RangeLock {
           break;
         }
       }
-      contended = waiting_ > 0;
-      if (contended && exclusive && clock_ != nullptr) {
-        // Somebody is blocked on this file right now: account our section's duration
-        // into the lock's busy time, so the waiters' virtual timelines cannot end up
-        // ahead of the serialized work they really waited for.
-        contention_stamp_.Release(clock_, t0);
+      contended = !waiters_.empty();
+      if (clock_ != nullptr && exclusive && AnyWaiterOverlaps(off, end)) {
+        // Somebody overlapping is blocked on this range right now: account our
+        // section's duration into the range's busy time, so the waiters' virtual
+        // timelines cannot end up ahead of the serialized work they really waited
+        // for. Waiters on disjoint ranges are not charged — they never waited for
+        // these bytes.
+        MergedStampFor(off, end).stamp.Release(clock_, t0);
+      }
+      if (clock_ != nullptr) {
+        RetireQuiescentStamps();
       }
     }
     if (contended) {
@@ -84,6 +99,12 @@ class RangeLock {
   void UnlockShared(uint64_t off, uint64_t len) { Unlock(off, len, false); }
   void UnlockExclusive(uint64_t off, uint64_t len) { Unlock(off, len, true); }
 
+  // Contended-range stamps currently alive (introspection for tests).
+  size_t StampCountForTest() {
+    std::lock_guard<std::mutex> lg(mu_);
+    return stamps_.size();
+  }
+
  private:
   struct Held {
     uint64_t off;
@@ -91,48 +112,133 @@ class RangeLock {
     bool exclusive;
     uint64_t t0;  // Holder's virtual time at acquisition (busy accounting).
   };
+  struct Waiter {
+    uint64_t off;
+    uint64_t end;
+  };
+  // One virtual-time stamp per contended byte range; ranges merge on overlap and
+  // retire at quiescence (no overlapping holder or waiter).
+  struct RangeStamp {
+    uint64_t off = 0;
+    uint64_t end = 0;
+    sim::ResourceStamp stamp;
+  };
 
   static uint64_t EndOf(uint64_t off, uint64_t len) {
     uint64_t end = off + len;
     return end < off ? UINT64_MAX : end;  // Saturate (kWholeFile, huge ranges).
   }
+  static bool Overlaps(uint64_t a_off, uint64_t a_end, uint64_t b_off, uint64_t b_end) {
+    return a_off < b_end && b_off < a_end;
+  }
 
   bool ConflictsLocked(uint64_t off, uint64_t end, bool exclusive) const {
     for (const Held& h : held_) {
-      if (h.off < end && off < h.end && (exclusive || h.exclusive)) {
+      if (Overlaps(h.off, h.end, off, end) && (exclusive || h.exclusive)) {
         return true;
       }
     }
     return false;
   }
 
+  bool AnyWaiterOverlaps(uint64_t off, uint64_t end) const {
+    for (const Waiter* w : waiters_) {
+      if (Overlaps(w->off, w->end, off, end)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Finds the stamp for [off, end), merging every stamp the range overlaps into one
+  // whose range is the union (the real lock serialized their exclusive sections, so
+  // busy times add); creates a fresh stamp when none overlaps.
+  RangeStamp& MergedStampFor(uint64_t off, uint64_t end) {
+    auto target = stamps_.end();
+    for (auto it = stamps_.begin(); it != stamps_.end();) {
+      if (Overlaps(it->off, it->end, off, end)) {
+        if (target == stamps_.end()) {
+          it->off = std::min(it->off, off);
+          it->end = std::max(it->end, end);
+          target = it++;
+        } else {
+          target->off = std::min(target->off, it->off);
+          target->end = std::max(target->end, it->end);
+          target->stamp.MergeFrom(&it->stamp, clock_);
+          it = stamps_.erase(it);
+        }
+      } else {
+        ++it;
+      }
+    }
+    if (target == stamps_.end()) {
+      stamps_.emplace_back();
+      target = std::prev(stamps_.end());
+      target->off = off;
+      target->end = end;
+    }
+    return *target;
+  }
+
+  // Drops stamps with no overlapping holder and no overlapping waiter: everyone who
+  // queued behind the range has acquired (and consumed the busy total) and released,
+  // so the serial resource is idle and the next contention episode starts clean.
+  void RetireQuiescentStamps() {
+    stamps_.remove_if([this](const RangeStamp& rs) {
+      for (const Held& h : held_) {
+        if (Overlaps(h.off, h.end, rs.off, rs.end)) {
+          return false;
+        }
+      }
+      for (const Waiter* w : waiters_) {
+        if (Overlaps(w->off, w->end, rs.off, rs.end)) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
   void Lock(uint64_t off, uint64_t len, bool exclusive) {
     uint64_t end = EndOf(off, len);
     std::unique_lock<std::mutex> ul(mu_);
     bool waited = false;
+    Waiter self{off, end};
     if (exclusive) {
       ++waiting_exclusive_;
-      while (ConflictsLocked(off, end, true)) {
-        waited = true;
-        ++waiting_;
-        cv_.wait(ul);
-        --waiting_;
+      if (ConflictsLocked(off, end, true)) {
+        waiters_.push_back(&self);
+        do {
+          waited = true;
+          cv_.wait(ul);
+        } while (ConflictsLocked(off, end, true));
+        waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &self));
       }
       --waiting_exclusive_;
     } else {
       // Writer preference: a reader also yields to writers already queued, so
       // publish/truncate cannot starve under a read storm.
-      while (ConflictsLocked(off, end, false) || waiting_exclusive_ > 0) {
-        waited = true;
-        ++waiting_;
-        cv_.wait(ul);
-        --waiting_;
+      if (ConflictsLocked(off, end, false) || waiting_exclusive_ > 0) {
+        waiters_.push_back(&self);
+        do {
+          waited = true;
+          cv_.wait(ul);
+        } while (ConflictsLocked(off, end, false) || waiting_exclusive_ > 0);
+        waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &self));
       }
     }
     uint64_t t0 = 0;
     if (clock_ != nullptr) {
-      // A waiter resumes no earlier than the lock's accumulated busy time.
-      t0 = waited ? contention_stamp_.Acquire(clock_) : clock_->Now();
+      if (waited) {
+        // A waiter resumes no earlier than the accumulated busy time of the ranges
+        // it actually waited behind (stamps overlapping its own range).
+        for (RangeStamp& rs : stamps_) {
+          if (Overlaps(rs.off, rs.end, off, end)) {
+            rs.stamp.AcquireShared(clock_);
+          }
+        }
+      }
+      t0 = clock_->Now();
     }
     held_.push_back({off, end, exclusive, t0});
   }
@@ -141,9 +247,9 @@ class RangeLock {
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Held> held_;
-  int waiting_ = 0;
+  std::vector<Waiter*> waiters_;   // Registered while blocked (stack nodes).
+  std::list<RangeStamp> stamps_;   // ResourceStamp is unmovable: node storage.
   int waiting_exclusive_ = 0;
-  sim::ResourceStamp contention_stamp_;
 };
 
 // RAII guards. Length kWholeFile locks the entire file.

@@ -2,13 +2,21 @@
 
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/apps/kv_lsm.h"
 #include "src/common/random.h"
+#include "src/core/split_fs.h"
 
 namespace wl {
+
+void DrainBackground(vfs::FileSystem* fs) {
+  if (auto* sfs = dynamic_cast<splitfs::SplitFs*>(fs)) {
+    sfs->WaitForPublishes();
+  }
+}
 
 namespace {
 
@@ -115,6 +123,7 @@ ParallelResult RunParallelRead(vfs::FileSystem* fs, sim::Clock* clock, int threa
     SPLITFS_CHECK_OK(fs->Fsync(fd));
     SPLITFS_CHECK_OK(fs->Close(fd));
   }
+  DrainBackground(fs);  // Reads must hit published files, whatever publishes cost.
 
   ParallelResult res;
   std::atomic<uint64_t> ops{0};
@@ -197,6 +206,63 @@ ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int thre
           errors.fetch_add(1, std::memory_order_relaxed);
         }
         my_bytes += kValueBytes;
+      }
+      ++my_ops;
+    }
+    ops.fetch_add(my_ops, std::memory_order_relaxed);
+    bytes.fetch_add(my_bytes, std::memory_order_relaxed);
+  });
+
+  res.ops = ops.load();
+  res.bytes = bytes.load();
+  res.errors = errors.load();
+  return res;
+}
+
+ParallelResult RunParallelYcsbC(vfs::FileSystem* fs, sim::Clock* clock, int threads,
+                                const std::string& dir, uint64_t records_per_thread,
+                                uint64_t ops_per_thread, uint64_t seed) {
+  fs->Mkdir(dir);
+  constexpr uint32_t kValueBytes = 1024;
+  // Load phase (untimed, caller's thread): a small memtable budget forces flushes,
+  // so the timed gets walk SSTables through U-Split preads instead of returning
+  // straight from DRAM.
+  std::vector<std::unique_ptr<apps::KvLsm>> stores;
+  stores.reserve(static_cast<size_t>(threads));
+  auto key_for = [](int t, uint64_t k) {
+    return "user" + std::to_string(t) + "-" + std::to_string(k);
+  };
+  for (int t = 0; t < threads; ++t) {
+    apps::KvLsmOptions kopts;
+    kopts.clock = clock;
+    kopts.memtable_bytes = 256 * 1024;
+    stores.push_back(std::make_unique<apps::KvLsm>(
+        fs, dir + "/ycsbc-" + std::to_string(t), kopts));
+    std::string value(kValueBytes, static_cast<char>('a' + t % 26));
+    for (uint64_t k = 0; k < records_per_thread; ++k) {
+      SPLITFS_CHECK_OK(stores.back()->Put(key_for(t, k), value));
+    }
+  }
+  DrainBackground(fs);  // Timed gets read published tables, deterministically.
+
+  ParallelResult res;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> errors{0};
+  res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    apps::KvLsm& store = *stores[static_cast<size_t>(t)];
+    common::ZipfianGenerator zipf(records_per_thread, 0.99,
+                                  seed + static_cast<uint64_t>(t) * 131 + 7);
+    char expect = static_cast<char>('a' + t % 26);
+    uint64_t my_ops = 0;
+    uint64_t my_bytes = 0;
+    for (uint64_t i = 0; i < ops_per_thread; ++i) {
+      uint64_t k = zipf.NextScrambled();
+      auto got = store.Get(key_for(t, k));
+      if (!got.has_value() || got->size() != kValueBytes || (*got)[0] != expect) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        my_bytes += got->size();
       }
       ++my_ops;
     }

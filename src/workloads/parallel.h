@@ -58,6 +58,20 @@ ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int thre
                                 const std::string& dir, uint64_t records_per_thread,
                                 uint64_t ops_per_thread, uint64_t seed);
 
+// YCSB-C-shaped read-only phase (100% zipfian gets) over per-thread KvLsm stores
+// loaded — and flushed to SSTables — before the timed phase, so every get walks the
+// table path (U-Split preads through the lock-free mmap-cache translation). The
+// load runs on the caller's thread and background publishes are drained before
+// timing starts, keeping the measured cells deterministic.
+ParallelResult RunParallelYcsbC(vfs::FileSystem* fs, sim::Clock* clock, int threads,
+                                const std::string& dir, uint64_t records_per_thread,
+                                uint64_t ops_per_thread, uint64_t seed);
+
+// Completion fence for asynchronous background work (the async relink publisher):
+// no-op for file systems without one. Drivers call it between an untimed prepare
+// phase and the timed phase, so measurements never depend on publisher timing.
+void DrainBackground(vfs::FileSystem* fs);
+
 }  // namespace wl
 
 #endif  // SRC_WORKLOADS_PARALLEL_H_

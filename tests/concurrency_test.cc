@@ -4,18 +4,28 @@
 // Covers the guarantees the refactor claims:
 //   * N-thread atomic appends: no lost and no torn records, POSIX and strict modes;
 //   * pread concurrent with relink publication reads consistent committed data;
+//   * lock-free Translate during relink/unlink/truncate churn (epoch snapshots);
+//   * async publisher ordering: readers see the staged or the published snapshot,
+//     never a torn window, and the completion fence drains the queue;
 //   * fd-table open/close/dup stress: descriptors never cross-talk, dup shares one
 //     cursor, close invalidates exactly one descriptor;
 //   * disjoint-offset same-file writers and disjoint-file workers in parallel;
-//   * open race on one path creates exactly one cached state;
+//   * open race on one path (and rename racing a first open of the destination)
+//     keeps exactly one cached state;
 //   * counter integrity (relinks, staging pool) under concurrency.
+//
+// Every suite runs twice per mode: synchronous publication and the async relink
+// publisher (Options::async_relink + a real publisher thread), so the TSan pass of
+// scripts/check.sh exercises the intent-log/publish/fence protocol.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -33,22 +43,33 @@ using splitfs::SplitFs;
 
 constexpr int kThreads = 4;
 
-Options ConcurrentOptions(Mode mode) {
+Options ConcurrentOptions(Mode mode, bool async_publish) {
   Options o;
   o.mode = mode;
   o.num_staging_files = 4;
   o.staging_file_bytes = 8 * kMiB;
   o.oplog_bytes = 4 * kMiB;
   o.replenish_thread = true;  // Exercise the real §3.5 replenisher under TSan.
+  if (async_publish) {
+    o.async_relink = true;
+    o.publisher_thread = true;  // The real background publisher, under TSan too.
+  }
   return o;
 }
 
-class ConcurrencyTest : public ::testing::TestWithParam<Mode> {
+class ConcurrencyTest : public ::testing::TestWithParam<std::tuple<Mode, bool>> {
  protected:
   ConcurrencyTest()
       : dev_(&ctx_, 2 * common::kGiB),
         kfs_(&dev_),
-        fs_(std::make_unique<SplitFs>(&kfs_, ConcurrentOptions(GetParam()))) {}
+        fs_(std::make_unique<SplitFs>(
+            &kfs_, ConcurrentOptions(std::get<0>(GetParam()), std::get<1>(GetParam())))) {}
+
+  Mode mode() const { return std::get<0>(GetParam()); }
+  bool async() const { return std::get<1>(GetParam()); }
+  // Publish completion fence: settles counters (relinks, staged bytes) before
+  // assertions; no-op in the synchronous configurations.
+  void Settle() { fs_->WaitForPublishes(); }
 
   sim::Context ctx_;
   pmem::Device dev_;
@@ -56,9 +77,14 @@ class ConcurrencyTest : public ::testing::TestWithParam<Mode> {
   std::unique_ptr<SplitFs> fs_;
 };
 
-INSTANTIATE_TEST_SUITE_P(Modes, ConcurrencyTest,
-                         ::testing::Values(Mode::kPosix, Mode::kStrict),
-                         [](const auto& info) { return ModeName(info.param); });
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ConcurrencyTest,
+    ::testing::Combine(::testing::Values(Mode::kPosix, Mode::kStrict),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(ModeName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_async" : "_inline");
+    });
 
 // --- Atomic appends -------------------------------------------------------------------
 
@@ -187,8 +213,288 @@ TEST_P(ConcurrencyTest, PreadDuringRelinkSeesConsistentData) {
     r.join();
   }
   EXPECT_EQ(read_errors.load(), 0u);
+  Settle();  // Async: the queued publishes must have really relinked.
   EXPECT_GT(fs_->Relinks(), 0u);
   fs_->Close(wfd);
+}
+
+// --- Lock-free Translate under snapshot churn -----------------------------------------
+
+TEST_P(ConcurrencyTest, TranslateDuringRelinkUnlinkTruncateChurn) {
+  // Reader threads hammer preads of stable files — every access is a lock-free
+  // MmapCache::Translate — while a churn thread drives the snapshot-swapping paths
+  // on other files sharing the same cache: relink publication (fsync), shrinking
+  // truncate (range invalidation), and unlink/recreate (file invalidation, epoch
+  // retirement of whole snapshots). Readers must always see their files' bytes;
+  // TSan validates the epoch protocol.
+  constexpr int kStable = 2;
+  constexpr uint64_t kFileBytes = 256 * 1024;
+  auto byte_at = [](int f, uint64_t off) {
+    return static_cast<uint8_t>(0x21 ^ (f * 53) ^ (off >> 9));
+  };
+  for (int f = 0; f < kStable; ++f) {
+    int fd = fs_->Open("/stable-" + std::to_string(f), vfs::kRdWr | vfs::kCreate);
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> buf(4096);
+    for (uint64_t off = 0; off < kFileBytes; off += buf.size()) {
+      for (uint64_t i = 0; i < buf.size(); ++i) {
+        buf[i] = byte_at(f, off + i);
+      }
+      ASSERT_EQ(fs_->Pwrite(fd, buf.data(), buf.size(), off),
+                static_cast<ssize_t>(buf.size()));
+    }
+    ASSERT_EQ(fs_->Fsync(fd), 0);
+    ASSERT_EQ(fs_->Close(fd), 0);
+  }
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kThreads - 1; ++r) {
+    readers.emplace_back([this, r, &done, &read_errors, &byte_at] {
+      int f = r % kStable;
+      int fd = fs_->Open("/stable-" + std::to_string(f), vfs::kRdOnly);
+      if (fd < 0) {
+        read_errors.fetch_add(1);
+        return;
+      }
+      std::vector<uint8_t> buf(4096);
+      uint64_t spins = 0;
+      while (!done.load(std::memory_order_acquire) && spins < 20000) {
+        ++spins;
+        uint64_t off = (spins * 2654435761u * (r + 1)) % (kFileBytes / 4096) * 4096;
+        if (fs_->Pread(fd, buf.data(), buf.size(), off) !=
+            static_cast<ssize_t>(buf.size())) {
+          read_errors.fetch_add(1);
+          continue;
+        }
+        if (buf[0] != byte_at(f, off) || buf[4095] != byte_at(f, off + 4095)) {
+          read_errors.fetch_add(1);
+        }
+      }
+      fs_->Close(fd);
+    });
+  }
+  // Churn: every iteration swaps translation snapshots under the readers' feet.
+  std::vector<uint8_t> block(2 * kBlockSize, 0x7E);
+  for (int i = 0; i < 60; ++i) {
+    std::string path = "/churn-" + std::to_string(i % 3);
+    int fd = fs_->Open(path, vfs::kRdWr | vfs::kCreate);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(fs_->Pwrite(fd, block.data(), block.size(), 0),
+              static_cast<ssize_t>(block.size()));
+    ASSERT_EQ(fs_->Fsync(fd), 0);  // Relink: snapshot insert + range invalidate.
+    std::vector<uint8_t> back(kBlockSize);
+    ASSERT_EQ(fs_->Pread(fd, back.data(), back.size(), 0),
+              static_cast<ssize_t>(back.size()));  // Map the region (Translate).
+    ASSERT_EQ(fs_->Ftruncate(fd, kBlockSize), 0);  // Range invalidation.
+    ASSERT_EQ(fs_->Close(fd), 0);
+    if (i % 3 == 2) {
+      ASSERT_EQ(fs_->Unlink(path), 0);  // Whole-file invalidation + retirement.
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(read_errors.load(), 0u);
+}
+
+// --- Async publisher ordering ---------------------------------------------------------
+
+TEST_P(ConcurrencyTest, AsyncPublishDrainsAndMatchesWrittenImage) {
+  // Writers append records and fsync while the publisher relinks behind them;
+  // concurrent readers re-read the acknowledged prefix. After the completion fence
+  // the full image must match what was written (publishes lost nothing, staged and
+  // published windows stitched seamlessly), with no staged bytes left behind.
+  constexpr uint64_t kRecord = kBlockSize;
+  constexpr uint64_t kRecords = 96;
+  int wfd = fs_->Open("/apub", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(wfd, 0);
+  std::atomic<uint64_t> acked{0};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::thread reader([this, &acked, &done, &read_errors] {
+    int fd = fs_->Open("/apub", vfs::kRdOnly);
+    if (fd < 0) {
+      read_errors.fetch_add(1);
+      return;
+    }
+    std::vector<uint8_t> buf(kRecord);
+    uint64_t spins = 0;
+    while (!done.load(std::memory_order_acquire) && spins < 30000) {
+      ++spins;
+      uint64_t limit = acked.load(std::memory_order_acquire);
+      if (limit == 0) {
+        continue;
+      }
+      uint64_t rec = (spins * 48271) % limit;
+      if (fs_->Pread(fd, buf.data(), kRecord, rec * kRecord) !=
+          static_cast<ssize_t>(kRecord)) {
+        read_errors.fetch_add(1);
+        continue;
+      }
+      uint8_t expect = static_cast<uint8_t>(0xB0 ^ rec);
+      // A record is written whole before the acknowledging fsync: whether it is
+      // served staged or published, every byte matches — a torn window would mix
+      // pre-publish zeroes with post-publish bytes.
+      for (uint64_t b = 0; b < kRecord; b += 397) {
+        if (buf[b] != expect) {
+          read_errors.fetch_add(1);
+          break;
+        }
+      }
+    }
+    fs_->Close(fd);
+  });
+  std::vector<uint8_t> rec(kRecord);
+  for (uint64_t r = 0; r < kRecords; ++r) {
+    std::memset(rec.data(), 0xB0 ^ static_cast<int>(r), kRecord);
+    ASSERT_EQ(fs_->Pwrite(wfd, rec.data(), kRecord, r * kRecord),
+              static_cast<ssize_t>(kRecord));
+    if (r % 8 == 7) {
+      ASSERT_EQ(fs_->Fsync(wfd), 0);
+      acked.store(r + 1, std::memory_order_release);
+    }
+  }
+  ASSERT_EQ(fs_->Fsync(wfd), 0);
+  acked.store(kRecords, std::memory_order_release);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  Settle();  // Completion fence: queue drained, publishes committed.
+  EXPECT_EQ(fs_->StagedBytes(), 0u);
+  EXPECT_EQ(fs_->PublishErrors(), 0u);
+  EXPECT_GT(fs_->Relinks(), 0u);
+  if (async()) {
+    EXPECT_GT(fs_->AsyncPublishes(), 0u);
+  }
+  std::vector<uint8_t> back(kRecord);
+  for (uint64_t r = 0; r < kRecords; ++r) {
+    ASSERT_EQ(fs_->Pread(wfd, back.data(), kRecord, r * kRecord),
+              static_cast<ssize_t>(kRecord));
+    uint8_t expect = static_cast<uint8_t>(0xB0 ^ r);
+    for (uint64_t b = 0; b < kRecord; ++b) {
+      ASSERT_EQ(back[b], expect) << "record " << r << " byte " << b;
+    }
+  }
+  fs_->Close(wfd);
+}
+
+// --- Log-full checkpoint with async relink --------------------------------------------
+
+TEST(AsyncRelinkCheckpoint, LogFullCheckpointDoesNotDeadlockAndKeepsData) {
+  // A tiny op log forces the log-full checkpoint repeatedly while async relink is
+  // appending intent and done records. Regression: a publish's kRelinkDone append
+  // against an already-full log used to re-enter CheckpointForFull from inside the
+  // checkpoint's own sweep and deadlock on the checkpoint mutex.
+  for (Mode mode : {Mode::kPosix, Mode::kStrict}) {
+    sim::Context ctx;
+    pmem::Device dev(&ctx, 2 * common::kGiB);
+    ext4sim::Ext4Dax kfs(&dev);
+    Options o = ConcurrentOptions(mode, /*async_publish=*/true);
+    o.replenish_thread = false;
+    o.publisher_thread = false;   // Inline deferred publish: deterministic.
+    o.oplog_bytes = 64 * 1024;    // 1024 entries: checkpoints early and often.
+    SplitFs fs(&kfs, o);
+    // A second file that stays dirty (staged, never fsync'd): the checkpoint's
+    // try-lock sweep — which runs under the checkpoint mutex, where a recursive
+    // re-entry deadlocks — must publish it, exercising the sweep-side done-record
+    // suppression.
+    std::vector<uint8_t> rec(512);
+    int afd = fs.Open("/ckpt-dirty", vfs::kRdWr | vfs::kCreate);
+    ASSERT_GE(afd, 0);
+    int fd = fs.Open("/ckpt", vfs::kRdWr | vfs::kCreate);
+    ASSERT_GE(fd, 0);
+    uint64_t off = 0;
+    uint64_t dirty_off = 0;
+    for (int i = 0; i < 2000; ++i) {
+      std::memset(rec.data(), 0x30 + (i % 40), rec.size());
+      ASSERT_EQ(fs.Pwrite(fd, rec.data(), rec.size(), off),
+                static_cast<ssize_t>(rec.size()));
+      off += rec.size();
+      if (i % 16 == 0) {
+        // Re-dirty the sweep target (the previous checkpoint published it).
+        std::memset(rec.data(), 0x7A, rec.size());
+        ASSERT_EQ(fs.Pwrite(afd, rec.data(), rec.size(), dirty_off),
+                  static_cast<ssize_t>(rec.size()));
+        dirty_off += rec.size();
+      }
+      if (i % 4 == 3) {
+        ASSERT_EQ(fs.Fsync(fd), 0);
+      }
+    }
+    ASSERT_EQ(fs.Fsync(fd), 0);
+    EXPECT_GT(fs.Checkpoints(), 0u) << ModeName(mode);
+    for (uint64_t r = 0; r < 2000; ++r) {
+      std::vector<uint8_t> back(512);
+      ASSERT_EQ(fs.Pread(fd, back.data(), back.size(), r * 512),
+                static_cast<ssize_t>(back.size()));
+      ASSERT_EQ(back[0], 0x30 + (r % 40)) << "record " << r;
+      ASSERT_EQ(back[511], 0x30 + (r % 40)) << "record " << r;
+    }
+    ASSERT_EQ(fs.Close(fd), 0);
+    ASSERT_EQ(fs.Close(afd), 0);
+  }
+}
+
+// --- Rename vs. first open of the destination (PR 3 leftover race) --------------------
+
+TEST_P(ConcurrencyTest, RenameVsFirstOpenKeepsStagedState) {
+  // A file with staged-but-unpublished appends is renamed while another thread
+  // performs the first open of the destination path. Before the fix, an open in
+  // the window between the kernel rename and the path-cache update resolved the
+  // *moved* inode through the kernel and installed a second FileState that
+  // overwrote the cached one — stranding its staged set and dirty-file count: the
+  // original descriptor then reported the kernel size instead of the staged size.
+  // Rename now holds both path shards across the kernel call, so the opener
+  // serializes behind it and reopens the moved state from the cache.
+  //
+  // The interleaving is forced through the test hook — single-core CI cannot land
+  // preemption inside a sub-microsecond window: the hook parks the rename in the
+  // historical window, starts the opener, and gives it a generous grace period.
+  // On the fixed code the opener blocks on the destination's path shard until the
+  // rename finishes; on the unfixed code it completed inside the window and the
+  // staged state was lost.
+  constexpr uint64_t kBytes = 4096;
+  std::vector<uint8_t> payload(kBytes, 0x5C);
+  for (int i = 0; i < 3; ++i) {
+    std::string src = "/rnrace-src-" + std::to_string(i);
+    std::string dst = "/rnrace-dst-" + std::to_string(i);
+    int sfd = fs_->Open(src, vfs::kRdWr | vfs::kCreate);
+    ASSERT_GE(sfd, 0);
+    ASSERT_EQ(fs_->Pwrite(sfd, payload.data(), kBytes, 0),
+              static_cast<ssize_t>(kBytes));  // Staged append, not yet published.
+    std::thread opener;
+    std::atomic<bool> open_done{false};
+    fs_->set_rename_race_hook_for_test([this, &dst, &opener, &open_done] {
+      opener = std::thread([this, &dst, &open_done] {
+        int fd = fs_->Open(dst, vfs::kRdWr | vfs::kCreate);
+        if (fd >= 0) {
+          fs_->Close(fd);
+        }
+        open_done.store(true, std::memory_order_release);
+      });
+      for (int spins = 0; spins < 100 && !open_done.load(std::memory_order_acquire);
+           ++spins) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    ASSERT_EQ(fs_->Rename(src, dst), 0);
+    fs_->set_rename_race_hook_for_test(nullptr);
+    opener.join();
+    EXPECT_TRUE(open_done.load());
+    // The moved state must still carry the staged append.
+    vfs::StatBuf st;
+    ASSERT_EQ(fs_->Fstat(sfd, &st), 0);
+    ASSERT_EQ(st.size, kBytes) << "staged state stranded by rename/open race, iter "
+                               << i;
+    ASSERT_EQ(fs_->Fsync(sfd), 0);
+    std::vector<uint8_t> back(kBytes);
+    ASSERT_EQ(fs_->Pread(sfd, back.data(), kBytes, 0), static_cast<ssize_t>(kBytes));
+    EXPECT_EQ(back, payload);
+    ASSERT_EQ(fs_->Close(sfd), 0);
+    ASSERT_EQ(fs_->Unlink(dst), 0);
+  }
 }
 
 // --- fd table stress ------------------------------------------------------------------
@@ -472,10 +778,12 @@ TEST_P(ConcurrencyTest, ParallelAppendDriverRunsCleanAndCountsAdd) {
   EXPECT_EQ(r.errors, 0u);
   EXPECT_EQ(r.ops, static_cast<uint64_t>(kThreads) * (2 * kMiB / 4096));
   EXPECT_GT(r.elapsed_ns, 0u);
+  Settle();
   EXPECT_GT(fs_->Relinks(), 0u);  // Publishes happened, counted without tearing.
-  if (GetParam() == Mode::kStrict) {
-    EXPECT_GT(fs_->OpLogEntries(), 0u);
+  if (mode() == Mode::kStrict || async()) {
+    EXPECT_GT(fs_->OpLogEntries(), 0u);  // Strict ops, or async relink intents.
   }
+  EXPECT_EQ(fs_->PublishErrors(), 0u);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "src/crash/crash_runner.h"
+#include "src/ext4/fsck.h"
 
 namespace {
 
@@ -120,6 +121,120 @@ TEST(CrashMatrixSmoke, TruncateAfterStagedAppendsDoesNotResurrect) {
   vfs::StatBuf sb;
   ASSERT_EQ(w->fs->Stat("/f", &sb), 0);
   EXPECT_EQ(sb.size, 0u) << "replay resurrected truncated data";
+}
+
+// --- Async relink column ----------------------------------------------------------------
+// The same mode × workload sweep with Options::async_relink on (deterministic inline
+// publisher): fsync fences intent records before the publish runs, so injected
+// crashes land between the intent fence and the relinks/commit. Recovery must land
+// on the staged contents (intent replay re-relinks them) or the published contents —
+// never a torn mix — and fsck must stay clean.
+
+TEST(CrashMatrixSmoke, AsyncRelinkIntentWindowSurvivesInjection) {
+  RunnerConfig cfg;
+  cfg.seed = kSeed;
+  cfg.max_fence_points = 4;
+  cfg.max_store_points = 2;
+  cfg.fates = {FatePolicy::kDropAll, FatePolicy::kTorn};
+  CrashRunner runner(crash::SplitFsWorldFactory(splitfs::Mode::kPosix,
+                                                /*async_relink=*/true),
+                     crash::MakeAppendScript(kSeed), Guarantees::SplitFsPosix(), cfg);
+  MatrixStats stats = runner.Run();
+  EXPECT_GE(stats.crash_states, 8u);
+  ExpectClean(stats, "posix+async/append");
+}
+
+TEST(CrashMatrixSmoke, AsyncRelinkDeterministicUnderFixedSeed) {
+  RunnerConfig cfg;
+  cfg.seed = kSeed;
+  cfg.max_fence_points = 3;
+  cfg.max_store_points = 1;
+  cfg.fates = {FatePolicy::kSubset, FatePolicy::kTorn};
+  auto run = [&cfg] {
+    CrashRunner runner(crash::SplitFsWorldFactory(splitfs::Mode::kSync,
+                                                  /*async_relink=*/true),
+                       crash::MakeAppendScript(kSeed), Guarantees::SplitFsSync(), cfg);
+    return runner.Run();
+  };
+  MatrixStats a = run();
+  MatrixStats b = run();
+  EXPECT_EQ(a.crash_states, b.crash_states);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);  // Inline publisher: byte-identical.
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+// The async contract end-to-end: with the real publisher parked, fsync returns once
+// the relink intents are fenced; a crash before any relink ran must still recover
+// the acknowledged bytes — recovery replays the intents. (Also the regression test
+// for the recovery-scan bug that silently discarded intent records: op codes above
+// kRenameTo failed structural validation, so exactly the entries that make an
+// acknowledged-but-unpublished fsync recoverable were dropped.)
+TEST(CrashMatrixSmoke, AckedButUnpublishedFsyncRecoversFromIntents) {
+  for (splitfs::Mode mode : {splitfs::Mode::kPosix, splitfs::Mode::kStrict}) {
+    auto w = std::make_unique<crash::World>();
+    w->dev = std::make_unique<pmem::Device>(&w->ctx, 64 * common::kMiB);
+    w->kfs = std::make_unique<ext4sim::Ext4Dax>(w->dev.get());
+    splitfs::Options o;
+    o.mode = mode;
+    o.num_staging_files = 2;
+    o.staging_file_bytes = 4 * common::kMiB;
+    o.oplog_bytes = 256 * common::kKiB;
+    o.async_relink = true;
+    o.publisher_thread = true;
+    auto sfs = std::make_unique<splitfs::SplitFs>(w->kfs.get(), o);
+    splitfs::SplitFs* fs = sfs.get();
+    w->fs = std::move(sfs);
+    w->dev->EnableCrashTracking(true);
+    fs->set_publisher_paused_for_test(true);  // Intents fence; relinks never run.
+
+    int fd = fs->Open("/acked", vfs::kRdWr | vfs::kCreate);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(fs->Fsync(fd), 0);  // The create itself is durable.
+    std::vector<uint8_t> data(6000);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(0x11 ^ (i * 13));
+    }
+    ASSERT_EQ(fs->Pwrite(fd, data.data(), data.size(), 0),
+              static_cast<ssize_t>(data.size()));
+    ASSERT_EQ(fs->Fsync(fd), 0);  // Returns at the intent fence; publish queued.
+    EXPECT_EQ(fs->Relinks(), 0u) << "publisher ran despite the pause";
+
+    w->dev->Crash();
+    ASSERT_EQ(w->RecoverAll(), 0);
+    fs->set_publisher_paused_for_test(false);
+
+    int rfd = fs->Open("/acked", vfs::kRdOnly);
+    ASSERT_GE(rfd, 0);
+    vfs::StatBuf st;
+    ASSERT_EQ(fs->Fstat(rfd, &st), 0);
+    EXPECT_EQ(st.size, data.size()) << splitfs::ModeName(mode);
+    std::vector<uint8_t> back(data.size());
+    ASSERT_EQ(fs->Pread(rfd, back.data(), back.size(), 0),
+              static_cast<ssize_t>(back.size()));
+    EXPECT_EQ(back, data) << splitfs::ModeName(mode);
+    fs->Close(rfd);
+    ext4sim::FsckReport fsck = ext4sim::RunFsck(w->kfs.get());
+    for (const auto& p : fsck.problems) {
+      ADD_FAILURE() << splitfs::ModeName(mode) << ": " << p;
+    }
+  }
+}
+
+TEST(CrashMatrix, AsyncRelinkModesTimesWorkloads) {
+  uint64_t total_states = 0;
+  for (splitfs::Mode mode :
+       {splitfs::Mode::kPosix, splitfs::Mode::kSync, splitfs::Mode::kStrict}) {
+    for (const auto& script : crash::AllScripts(kSeed)) {
+      RunnerConfig cfg;
+      cfg.seed = kSeed;
+      CrashRunner runner(crash::SplitFsWorldFactory(mode, /*async_relink=*/true),
+                         script, GuaranteesFor(mode), cfg);
+      MatrixStats stats = runner.Run();
+      total_states += stats.crash_states;
+      ExpectClean(stats, std::string(splitfs::ModeName(mode)) + "+async/" + script.name);
+    }
+  }
+  EXPECT_GE(total_states, 100u);
 }
 
 // The same schedules, driven against each baseline with its own guarantee profile.

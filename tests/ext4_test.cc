@@ -701,6 +701,108 @@ TEST_F(SeqDetectTest, InvalidatedByOverlappingPwrite) {
   fs_.Close(fd);
 }
 
+// --- Orphan list ---------------------------------------------------------------------------
+
+TEST_F(Ext4Test, LiveOrphanIsListedAndFsckClean) {
+  int fd = fs_.Open("/liveorph", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  auto data = Pattern(2 * kBlockSize, 3);
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+  ASSERT_EQ(fs_.Fsync(fd), 0);
+  ASSERT_EQ(fs_.Unlink("/liveorph"), 0);
+  fs_.CommitJournal(/*fsync_barrier=*/false);
+  // Unlinked-but-open: on the orphan list, and fsck accepts the configuration.
+  EXPECT_EQ(fs_.OrphanCount(), 1u);
+  {
+    ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+    for (const auto& p : r.problems) {
+      ADD_FAILURE() << p;
+    }
+  }
+  // The surviving descriptor still reads the data (POSIX unlink semantics).
+  std::vector<uint8_t> back(data.size());
+  ASSERT_EQ(fs_.Pread(fd, back.data(), back.size(), 0),
+            static_cast<ssize_t>(back.size()));
+  EXPECT_EQ(back, data);
+  // Last close + commit reclaims and drains the list.
+  ASSERT_EQ(fs_.Close(fd), 0);
+  fs_.CommitJournal(/*fsync_barrier=*/false);
+  EXPECT_EQ(fs_.OrphanCount(), 0u);
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(Ext4CrashTest, OrphanListReclaimsUnlinkedOpenInodeAtRecovery) {
+  // The unlink commits while the file is still open; the crash beats the last
+  // close, so the deferred commit-time reclamation never runs. Mount-time orphan
+  // replay must free the blocks instead of leaking them until the next unlink.
+  uint64_t free0 = fs_.FreeBlocks();
+  int fd = fs_.Open("/orph", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  auto data = Pattern(4 * kBlockSize, 5);
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+  ASSERT_EQ(fs_.Fsync(fd), 0);
+  ASSERT_EQ(fs_.Unlink("/orph"), 0);
+  fs_.CommitJournal(/*fsync_barrier=*/false);
+  ASSERT_EQ(fs_.OrphanCount(), 1u);
+  ASSERT_LT(fs_.FreeBlocks(), free0);  // Blocks still held by the orphan.
+  dev_.Crash();
+  ASSERT_EQ(fs_.Recover(), 0);
+  EXPECT_EQ(fs_.OrphanCount(), 0u);   // The list drained.
+  EXPECT_EQ(fs_.FreeBlocks(), free0);  // Blocks reclaimed.
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  for (const auto& p : r.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(Ext4CrashTest, RolledBackReclamationIsReplayedFromOrphanList) {
+  // The leak this satellite closes: unlink and last close both happen, but the
+  // close's deferred reclamation rides a transaction that dies at the crash. The
+  // rollback discards the commit action — only the orphan list remembers the inode.
+  uint64_t free0 = fs_.FreeBlocks();
+  int fd = fs_.Open("/leak", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  auto data = Pattern(3 * kBlockSize, 6);
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+  ASSERT_EQ(fs_.Fsync(fd), 0);
+  ASSERT_EQ(fs_.Unlink("/leak"), 0);
+  fs_.CommitJournal(/*fsync_barrier=*/false);  // Unlink durable; file open.
+  ASSERT_EQ(fs_.Close(fd), 0);  // Registers the deferred free in the running txn.
+  dev_.Crash();                 // That transaction never commits.
+  ASSERT_EQ(fs_.Recover(), 0);
+  EXPECT_EQ(fs_.OrphanCount(), 0u);
+  EXPECT_EQ(fs_.FreeBlocks(), free0) << "orphan blocks leaked";
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(Ext4CrashTest, UncommittedUnlinkLeavesNoOrphanEntry) {
+  // The unlink itself rolls back: the journal undo must also take the inode off
+  // the orphan list, or recovery's replay would reclaim a resurrected file.
+  int fd = fs_.Open("/resur", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  auto data = Pattern(kBlockSize, 7);
+  ASSERT_EQ(fs_.Pwrite(fd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+  ASSERT_EQ(fs_.Fsync(fd), 0);
+  ASSERT_EQ(fs_.Close(fd), 0);
+  fs_.CommitJournal(/*fsync_barrier=*/false);
+  ASSERT_EQ(fs_.Unlink("/resur"), 0);  // Uncommitted.
+  dev_.Crash();
+  ASSERT_EQ(fs_.Recover(), 0);
+  EXPECT_EQ(fs_.OrphanCount(), 0u);
+  vfs::StatBuf st;
+  EXPECT_EQ(fs_.Stat("/resur", &st), 0);  // Resurrected, not reclaimed.
+  EXPECT_EQ(st.size, kBlockSize);
+  ext4sim::FsckReport r = ext4sim::RunFsck(&fs_);
+  EXPECT_TRUE(r.clean);
+}
+
 // --- Cost-model sanity: the paper's Table 1 ext4-DAX append anchor ------------------------
 
 TEST_F(Ext4Test, AppendCostMatchesTable1) {

@@ -58,6 +58,30 @@ TEST_F(OpLogTest, ZeroEntryIsInvalid) {
   EXPECT_FALSE(zero.ValidSealed());
 }
 
+TEST_F(OpLogTest, AsyncRelinkOpsSurviveRecoveryScan) {
+  // Regression: the scan's structural validation capped valid op codes at
+  // kRenameTo, so the async-relink records (intent / done / intent-overwrite)
+  // sealed fine but were silently dropped at recovery — losing exactly the
+  // entries that make an acknowledged-but-unpublished fsync recoverable.
+  for (LogOp op : {LogOp::kRelinkIntent, LogOp::kRelinkDone,
+                   LogOp::kRelinkIntentOverwrite}) {
+    LogEntry e = MakeEntry(static_cast<uint64_t>(op));
+    e.op = op;
+    ASSERT_TRUE(log_.Append(e));
+  }
+  auto entries = log_.ScanForRecovery();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].op, LogOp::kRelinkIntent);
+  EXPECT_EQ(entries[1].op, LogOp::kRelinkDone);
+  EXPECT_EQ(entries[2].op, LogOp::kRelinkIntentOverwrite);
+  // Op codes past the known range are still structurally invalid.
+  LogEntry rogue = MakeEntry(99);
+  rogue.op = static_cast<LogOp>(static_cast<uint8_t>(splitfs::kMaxLogOp) + 1);
+  rogue.seq = 1234;
+  rogue.Seal();
+  EXPECT_FALSE(rogue.ValidSealed());
+}
+
 TEST_F(OpLogTest, AppendAndScanRoundTrip) {
   for (uint64_t i = 0; i < 10; ++i) {
     ASSERT_TRUE(log_.Append(MakeEntry(i)));

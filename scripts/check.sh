@@ -5,7 +5,12 @@
 #   scripts/check.sh -LE crash_matrix  # quick run: skip the full matrix
 #   scripts/check.sh -L crash_smoke    # only the crash smoke subset
 #   scripts/check.sh -L ext4           # K-Split (ext4 model) tests only
+#   scripts/check.sh -L examples       # build + run the examples/ smoke programs
 #   scripts/check.sh --tsan            # ThreadSanitizer build, concurrency tests only
+#
+# The default run includes the `examples` label: every examples/*.cpp builds as
+# example_<name> and executes as a smoke test, so the worked examples cannot
+# silently bit-rot against API changes.
 #
 # Extra arguments are forwarded to ctest.
 set -euo pipefail

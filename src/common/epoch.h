@@ -83,14 +83,26 @@ class EpochGc {
   // True when every reader either is idle or pinned an epoch >= `retire_epoch`, i.e.
   // no read-side section can still reference an object retired at `retire_epoch`.
   bool Quiesced(uint64_t retire_epoch) {
+    return retire_epoch <= QuiescedHorizon();
+  }
+
+  // One registry walk answering the quiescence question for *every* retirement at
+  // once: all objects retired at an epoch <= the returned horizon are unreachable.
+  // A reader pinned at epoch E validated the pin after any epoch-E retirement's
+  // unlink, so it can hold only objects retired at epochs > E; the horizon is the
+  // minimum pinned epoch (UINT64_MAX when no reader is pinned). This is what lets a
+  // batched sweep free a whole retire list for the cost of a single walk instead of
+  // one walk per retired object.
+  uint64_t QuiescedHorizon() {
     std::lock_guard<std::mutex> lock(registry_mu_);
+    uint64_t horizon = UINT64_MAX;
     for (const Slot* s : slots_) {
       uint64_t pinned = s->pinned.load(std::memory_order_seq_cst);
-      if (pinned != kIdle && pinned < retire_epoch) {
-        return false;
+      if (pinned != kIdle && pinned < horizon) {
+        horizon = pinned;
       }
     }
-    return true;
+    return horizon;
   }
 
  private:
@@ -137,12 +149,23 @@ class EpochGc {
 };
 
 // Per-structure retire list: objects unlinked from the structure but possibly still
-// pinned by readers. The owner calls Retire() under its own update mutex and Sweep()
-// opportunistically (each Retire sweeps too); Drain() busy-waits for full quiescence
-// — destructor use, when the structure itself is going away.
+// pinned by readers. The owner calls Retire() under its own update mutex; sweeps are
+// *deferred* — a generation counter lets kSweepGeneration retirements accumulate
+// before the next registry walk, so an invalidation storm (many back-to-back
+// updates) pays one walk per batch instead of one per update, and each walk frees
+// the whole quiesced prefix via a single QuiescedHorizon() query. Drain() busy-waits
+// for full quiescence — destructor use, when the structure itself is going away.
 template <typename T>
 class RetireList {
  public:
+  // Retirements between registry walks. Bounds the garbage a storm can pile up to a
+  // constant factor while cutting the walk rate by the same factor. No size-based
+  // backstop: a reader pinned across the storm blocks reclamation no matter how
+  // often we sweep, so extra walks while the list is long would only re-create the
+  // per-update walk cost this deferral removes (the list shrinks the moment the
+  // pin drops and the next generation sweep runs).
+  static constexpr uint64_t kSweepGeneration = 8;
+
   ~RetireList() {
     // Destructor contract: the owner is unreachable, so no reader can be pinned on
     // *these* objects even if other readers are mid-section elsewhere.
@@ -154,15 +177,22 @@ class RetireList {
   void Retire(const T* object) {
     uint64_t epoch = EpochGc::Global().BeginRetire();
     retired_.push_back({object, epoch});
-    Sweep();
+    if (++generation_ >= kSweepGeneration) {
+      Sweep();
+    }
   }
 
-  // Frees every retired object whose epoch has quiesced. O(list); the list stays
-  // short because every Retire sweeps.
+  // Frees every retired object whose epoch has quiesced: one registry walk for the
+  // whole list, then a compaction of the survivors. Resets the sweep generation.
   void Sweep() {
+    generation_ = 0;
+    if (retired_.empty()) {
+      return;
+    }
+    uint64_t horizon = EpochGc::Global().QuiescedHorizon();
     size_t kept = 0;
     for (size_t i = 0; i < retired_.size(); ++i) {
-      if (EpochGc::Global().Quiesced(retired_[i].epoch)) {
+      if (retired_[i].epoch <= horizon) {
         delete retired_[i].object;
       } else {
         retired_[kept++] = retired_[i];
@@ -189,6 +219,7 @@ class RetireList {
     uint64_t epoch;
   };
   std::vector<Entry> retired_;
+  uint64_t generation_ = 0;  // Retirements since the last sweep.
 };
 
 }  // namespace common

@@ -1127,8 +1127,9 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done) {
   if (opts_.enable_relink) {
     // One journal commit covers every relink of this publish (jbd2 batches handles).
     // Each deferred relink released its inode locks and journal handle before
-    // returning, so this commit — which takes the journal barrier exclusively and
-    // waits out in-flight handles — can never deadlock against our own relinks.
+    // returning, so this commit — whose seal takes the journal barrier exclusively
+    // and waits out in-flight handles — can never deadlock against our own relinks;
+    // by the time CommitJournal returns, the sealed tid has fully written out.
     kfs_->CommitJournal(/*fsync_barrier=*/false);
   }
   {

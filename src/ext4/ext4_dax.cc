@@ -172,9 +172,11 @@ void Ext4Dax::OrphanRemove(Ino ino) {
 }
 
 void Ext4Dax::ReclaimIfOrphan(Ino ino) {
-  // Commit action: the journal barrier is held exclusively, so no metadata operation
-  // is in flight; the inode lock still matters to exclude readers and OpenByIno,
-  // which run without handles.
+  // Commit action: the pipelined journal runs this with the barrier released, so
+  // metadata operations (and OpenByIno, which never took handles) may be concurrent.
+  // Safety is carried entirely by the exclusive inode lock plus the keyed re-check
+  // below — a resurrecting rollback, a reopen, or a racing second reclaim all
+  // resolve under inode->mu, never by barrier quiescence.
   InodeRef inode = GetInode(ino);
   if (inode == nullptr) {
     OrphanRemove(ino);  // Already reclaimed by an earlier commit action.
@@ -556,6 +558,11 @@ int Ext4Dax::Fsync(int fd) {
   if (fds_.Get(fd) == nullptr) {
     return -EBADF;
   }
+  // jbd2 semantics: commit the running transaction's tid and wait for it
+  // (log_start_commit + log_wait_commit). If the durability horizon is already in
+  // the committing slot, CommitRunning waits on that tid instead of starting a new
+  // writeout; meanwhile other threads' metadata operations keep joining the fresh
+  // running transaction — fsync no longer freezes the filesystem.
   journal_.CommitRunning(/*fsync_barrier=*/true);
   return 0;
 }
@@ -1067,10 +1074,17 @@ int Ext4Dax::CommitJournal(bool fsync_barrier) {
 }
 
 int Ext4Dax::Recover() {
-  // Recovery is a quiesce point: RecoverDiscardRunning takes the journal barrier
-  // exclusively and the undo closures mutate namespace/inode state without further
-  // locks, which is valid because no operation can be in flight across a crash.
+  // Recovery is a quiesce point: RecoverDiscardRunning takes the pipeline slot and
+  // the journal barrier exclusively, rolling back the running transaction and then
+  // any committing transaction whose writeout the crash cut short (newest mutation
+  // first); the undo closures mutate namespace/inode state without further locks,
+  // which is valid because no operation can be in flight across a crash.
   journal_.RecoverDiscardRunning();
+  // The orphan replay below holds the same exclusivity for the live-call case
+  // (tests run Recover on a mounted instance): no handle may be in flight and no
+  // commit writeout may race the replay's unjournaled frees. The replay itself
+  // takes no handles, so this cannot self-deadlock.
+  ext4sim::Journal::Quiescence quiesce = journal_.Quiesce();
   // Orphan list replay (ext4's mount-time orphan processing): an inode unlinked in
   // a committed transaction but still open at the crash relies on a *later*
   // transaction's commit action for its reclamation — if that transaction rolled

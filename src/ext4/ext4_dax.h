@@ -14,9 +14,12 @@
 // only ever acquires downward in this list:
 //
 //   1. Journal handle (shared side of the jbd2 barrier): every metadata-mutating
-//      operation holds one; commits/recovery/fsck take it exclusively, so a commit
-//      never captures half an operation and deferred commit actions see a quiescent
-//      namespace.
+//      operation holds one. The commit pipeline takes the barrier exclusively only
+//      for the short seal window that swaps the running transaction into the
+//      committing slot — a commit never captures half an operation, but the
+//      writeout and the deferred commit actions run with the barrier released, so
+//      actions synchronize on inode/allocator locks themselves (ReclaimIfOrphan's
+//      keyed re-check). Recovery and fsck quiesce harder: pipeline slot + barrier.
 //   2. rename_mu_: shared by all namespace mutations; exclusive only for directory
 //      renames, freezing the tree shape so the cycle (ancestor) walk and a displaced
 //      directory's emptiness check are stable — Linux's s_vfs_rename_mutex.
@@ -151,6 +154,8 @@ class Ext4Dax : public vfs::FileSystem {
   uint64_t FreeBlocks() const { return alloc_.FreeBlocks(); }
   uint64_t JournalCommits() const { return journal_.commits(); }
   BlockAllocator* allocator_for_test() { return &alloc_; }
+  // Pipeline introspection/hook access for the directed commit-pipeline tests.
+  Journal* journal_for_test() { return &journal_; }
   // Inodes currently on the on-disk orphan list (unlinked, awaiting reclamation).
   size_t OrphanCount() const {
     std::lock_guard<std::mutex> lock(orphan_mu_);

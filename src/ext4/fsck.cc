@@ -11,9 +11,11 @@ namespace ext4sim {
 
 FsckReport RunFsck(Ext4Dax* fs) {
   FsckReport report;
-  // Quiesce: the journal barrier held exclusively excludes every metadata operation
-  // and commit, so inode/namespace state can be walked without per-inode locks
-  // (concurrent readers only touch the atomic sequential-read hint).
+  // Quiesce: the journal's pipeline slot plus the barrier held exclusively exclude
+  // every metadata operation AND any in-flight commit writeout (whose deferred
+  // actions mutate the allocator and inode table), so inode/namespace state can be
+  // walked without per-inode locks (concurrent readers only touch the atomic
+  // sequential-read hint).
   auto quiesce = fs->journal_.Quiesce();
   std::shared_lock<std::shared_mutex> itable(fs->itable_mu_);
 

@@ -14,29 +14,46 @@ Journal::Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journ
       journal_start_(journal_start_block * kBlockSize),
       journal_bytes_(journal_blocks * kBlockSize) {
   SPLITFS_CHECK(journal_blocks >= 8);
+  running_ = std::make_unique<Transaction>();
+  running_->tid = next_tid_++;
 }
 
 void Journal::Dirty(uint64_t meta_block_id, std::function<void()> undo) {
   std::lock_guard<std::mutex> lock(state_mu_);
-  running_dirty_.insert(meta_block_id);
+  running_->dirty.insert(meta_block_id);
   if (undo) {
-    running_undo_.push_back(std::move(undo));
+    running_->undo.push_back(std::move(undo));
   }
 }
 
 void Journal::OnCommit(std::function<void()> action) {
   std::lock_guard<std::mutex> lock(state_mu_);
-  running_on_commit_.push_back(std::move(action));
+  running_->on_commit.push_back(std::move(action));
 }
 
 size_t Journal::RunningDirtyBlocks() const {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return running_dirty_.size();
+  return running_->dirty.size();
 }
 
 bool Journal::RunningEmpty() const {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return running_dirty_.empty() && running_undo_.empty();
+  return running_->Empty();
+}
+
+uint64_t Journal::RunningTid() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return running_->tid;
+}
+
+void Journal::WaitForCommit(uint64_t tid) {
+  if (CommittedTid() < tid) {
+    std::unique_lock<std::mutex> wl(wait_mu_);
+    commit_cv_.wait(wl, [this, tid] { return CommittedTid() >= tid; });
+  }
+  // The tid's writeout rendered commit service time while this thread slept; its
+  // lane-bound virtual timeline resumes after that work, like the real wait did.
+  commit_stamp_.AcquireShared(&ctx_->clock);
 }
 
 void Journal::ChargeCommitIo(size_t n_meta_blocks) {
@@ -62,54 +79,149 @@ void Journal::ChargeCommitIo(size_t n_meta_blocks) {
 }
 
 void Journal::CommitRunning(bool fsync_barrier) {
-  // The exclusive barrier waits for in-flight handles and blocks new ones: the
-  // commit sees every joined operation complete, none half-done. On-commit actions
-  // run under it, so they may inspect inode state without further locking beyond
-  // what they take themselves.
-  std::unique_lock<std::shared_mutex> barrier(handle_mu_);
-  uint64_t t0 = commit_stamp_.Acquire(&ctx_->clock);
+  // Durability horizon under state_mu_: the running transaction if it carries
+  // anything, else everything before it. The RunningEmpty predicate must match the
+  // commit's own notion of "nothing to do" — a transaction holding only a deferred
+  // inode free still needs its commit record.
+  uint64_t target;
+  bool in_flight;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    target = running_->Empty() ? running_->tid - 1 : running_->tid;
+    in_flight = committing_tid_ != 0 && committing_tid_ >= target;
+  }
+  if (CommittedTid() >= target) {
+    return;  // Clean journal: fsync returns without the commit-thread handshake.
+  }
+  if (in_flight) {
+    // The horizon is already being written out by another thread: log_wait_commit
+    // instead of queueing for the pipeline slot.
+    WaitForCommit(target);
+    return;
+  }
+  CommitTid(target, fsync_barrier);
+}
+
+void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
+  // The pipeline slot: one transaction writes out at a time. Queueing here is the
+  // real jbd2 wait "for the previous commit to finish before starting ours".
+  std::unique_lock<std::mutex> pipeline(commit_mu_);
+  if (CommittedTid() >= target) {
+    // Another committer carried our tid (or a later one sealed it into its own
+    // commit) while we queued; we really waited for that service time.
+    commit_stamp_.AcquireShared(&ctx_->clock);
+    return;
+  }
+  // Commit service time brackets the seal and the writeout: a serial resource
+  // renders at most one second of service per second, and every later waiter's
+  // timeline must sit after it. RAII so no exit path — including a crash-injection
+  // unwind mid-writeout — can leave the stamp unbalanced.
+  sim::ScopedResourceTime service(&commit_stamp_, &ctx_->clock);
+
+  {
+    // Seal: the exclusive barrier waits for in-flight handles and blocks new ones
+    // only for this swap — the commit captures every joined operation complete,
+    // none half-done, and T_{n+1} starts accepting handles the moment we release.
+    std::unique_lock<std::shared_mutex> barrier(handle_mu_);
+    std::lock_guard<std::mutex> state(state_mu_);
+    // We hold the pipeline slot and committed < target, so the target can only be
+    // the (non-empty) running transaction — unless a recovery discarded it, in
+    // which case there is nothing left to write.
+    if (running_->Empty() || running_->tid != target) {
+      return;
+    }
+    committing_ = std::move(running_);
+    committing_tid_ = target;
+    running_ = std::make_unique<Transaction>();
+    running_->tid = next_tid_++;
+  }
+
+  if (mid_writeout_hook_) {
+    mid_writeout_hook_();
+  }
+
+  // Writeout, with the barrier released. A crash below unwinds with committing_
+  // still holding its undo stack — RecoverDiscardRunning rolls back the fresh
+  // running transaction first, then this unsealed one, newest mutation first.
+  if (fsync_barrier) {
+    ctx_->ChargeCpu(ctx_->model.ext4_fsync_barrier_ns);
+  }
+  ChargeCommitIo(committing_->dirty.size());
+
+  // The commit record is durable: drop the undos, then run the deferred actions.
+  // Actions execute outside state_mu_ AND outside the barrier: they take inode and
+  // allocator locks, and operations take the state mutex *while holding* inode
+  // locks (journal_.Dirty inside a write path) — running them under state_mu_
+  // would invert that order, and the pipeline means concurrent handles may be
+  // mid-operation, so each action synchronizes on the locks it needs.
   std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> state(state_mu_);
-    if (running_dirty_.empty() && running_on_commit_.empty()) {
-      return;  // Clean journal: fsync returns without the commit-thread handshake.
-    }
-    if (fsync_barrier) {
-      ctx_->ChargeCpu(ctx_->model.ext4_fsync_barrier_ns);
-    }
-    ChargeCommitIo(running_dirty_.size());
-    running_dirty_.clear();
-    running_undo_.clear();  // Mutations are now durable.
-    actions.swap(running_on_commit_);
+    committing_->dirty.clear();
+    committing_->undo.clear();
+    actions.swap(committing_->on_commit);
   }
-  // Deferred actions run after the state mutex drops (still under the exclusive
-  // barrier, so the transaction boundary is unchanged): they take inode/allocator
-  // locks, and operations take the state mutex *while holding* inode locks
-  // (journal_.Dirty inside a write path) — running them under state_mu_ would
-  // invert that order. Their time still counts as commit service time.
   for (auto& action : actions) {
     action();
   }
-  commit_stamp_.Release(&ctx_->clock, t0);
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    committing_.reset();
+    committing_tid_ = 0;
+  }
+  committed_tid_.store(target, std::memory_order_release);
+  {
+    // Empty section: a log_wait_commit sleeper that checked the predicate before
+    // the store above is inside wait(), so the notify cannot be lost.
+    std::lock_guard<std::mutex> wl(wait_mu_);
+  }
+  commit_cv_.notify_all();
 }
 
 void Journal::CommitStandalone(size_t n_meta_blocks) {
-  std::lock_guard<std::mutex> state(state_mu_);
+  // Serializes on the pipeline slot (the journal region has one write cursor) but
+  // bypasses the transaction stream entirely.
+  std::lock_guard<std::mutex> pipeline(commit_mu_);
   sim::ScopedResourceTime commit_time(&commit_stamp_, &ctx_->clock);
   ChargeCommitIo(n_meta_blocks);
 }
 
 void Journal::RecoverDiscardRunning() {
+  std::unique_lock<std::mutex> pipeline(commit_mu_);
   std::unique_lock<std::shared_mutex> barrier(handle_mu_);
+  // Oldest-first concatenation: an unsealed committing transaction's mutations
+  // predate everything in the running transaction.
   std::vector<std::function<void()>> undos;
   {
     std::lock_guard<std::mutex> state(state_mu_);
-    undos.swap(running_undo_);
-    running_dirty_.clear();
-    running_on_commit_.clear();  // Deferred frees die with the transaction.
+    if (committing_ != nullptr) {
+      undos = std::move(committing_->undo);
+    }
+    for (auto& u : running_->undo) {
+      undos.push_back(std::move(u));
+    }
+    committing_.reset();  // Deferred frees die with their transactions.
+    committing_tid_ = 0;
+    running_ = std::make_unique<Transaction>();
+    running_->tid = next_tid_++;
+    // Every tid below the fresh running transaction is now settled: durable if it
+    // committed, rolled back here otherwise — none can ever commit later. Publish
+    // that horizon, or every post-recovery clean fsync would chase the discarded
+    // tids through the commit path (pipeline slot + exclusive barrier) forever
+    // instead of taking the documented clean fast path.
+    committed_tid_.store(running_->tid - 1, std::memory_order_release);
   }
+  {
+    std::lock_guard<std::mutex> wl(wait_mu_);
+  }
+  // Defensive: recovery is a quiesce point, so no fsync can legally be sleeping on
+  // a tid this rollback discards — but if that contract were ever violated, waking
+  // the sleeper beats hanging it forever. (Real jbd2 would abort the journal and
+  // surface EIO from log_wait_commit; this model has no journal-abort state.)
+  commit_cv_.notify_all();
   // Undos run newest-first outside the state mutex (same discipline as commit
-  // actions — they touch the inode table and allocator).
+  // actions — they touch the inode table and allocator): the running transaction's
+  // mutations unwind before the committing transaction's they were stacked on.
   for (auto it = undos.rbegin(); it != undos.rend(); ++it) {
     (*it)();
   }

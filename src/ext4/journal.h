@@ -1,4 +1,4 @@
-// JBD2-style metadata journal model.
+// JBD2-style metadata journal model with a two-transaction commit pipeline.
 //
 // ext4 keeps one *running transaction* that every metadata-dirtying operation joins;
 // fsync() forces a commit of the whole running transaction (this is why ext4 fsync is
@@ -12,22 +12,36 @@
 //    and a commit record into the journal region of the PM device, with the fences JBD2
 //    issues; the fsync path additionally pays the commit-thread handshake.
 //  * Crash atomicity: mutations register undo closures; Crash-then-Recover rolls back
-//    everything in the running (uncommitted) transaction. Committed state is durable.
+//    everything that never reached its commit record — the running transaction first,
+//    then a committing transaction whose writeout was cut short, newest mutation first.
+//    Committed state is durable.
 //  * Handle concurrency (jbd2's journal_start/journal_stop): a metadata operation
-//    brackets itself with a Handle — a shared lock on the transaction barrier — while
-//    a commit takes the barrier exclusively. A commit therefore waits for in-flight
-//    operations to finish and blocks new ones from starting, so it never captures half
-//    an operation's dirty set; and while the barrier is held exclusively the namespace
-//    is quiescent, which is what lets deferred commit actions (orphan reclamation)
-//    inspect inode state safely. Commit service time accumulates in a ResourceStamp:
-//    handle acquisition fast-forwards a lane-bound thread past the commit work it
-//    would really have waited for, making jbd2 the honest scalability ceiling.
+//    brackets itself with a Handle — a shared lock on the transaction barrier. Commit
+//    is *pipelined* like real jbd2: it takes the barrier exclusively only for a short
+//    seal window that atomically swaps the running transaction into the committing
+//    slot and opens a fresh running transaction, then performs the descriptor/
+//    metadata/commit-record writeout and the deferred on-commit actions with the
+//    barrier released — transaction T_{n+1} accepts handles while T_n writes out.
+//    Each transaction carries a tid; fsync commits its tid and waits for its
+//    completion (jbd2's log_start_commit + log_wait_commit). Only one transaction
+//    writes out at a time (commit_mu_ is the pipeline slot, depth two: one running,
+//    one committing).
+//
+//    Virtual time follows the real waits, not the old writeout-length freeze: commit
+//    service time accumulates in a ResourceStamp, and only true waiters fast-forward
+//    past it — an fsync whose tid has not completed, a committer queued behind an
+//    in-flight writeout, or a handle that raced the seal window. Handles that join
+//    the running transaction while a commit writes out (the common pipelined case)
+//    pay nothing, which is exactly what shrinks the commit shadow fsync-heavy
+//    workloads used to see. Single-timeline (no-lane) runs are bit-identical.
 #ifndef SRC_EXT4_JOURNAL_H_
 #define SRC_EXT4_JOURNAL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
@@ -59,15 +73,20 @@ class Journal {
 
   // RAII jbd2 handle: joins the running transaction. Hold one across every metadata
   // operation (Dirty/OnCommit calls plus the in-memory mutations they cover); never
-  // hold one while calling CommitRunning — commit takes the barrier exclusively and
-  // would self-deadlock.
+  // hold one while calling CommitRunning — the seal takes the barrier exclusively
+  // and would self-deadlock.
   class Handle {
    public:
     explicit Handle(Journal* j) : j_(j) {
-      j_->handle_mu_.lock_shared();
-      // A real thread that had to wait for a commit resumes after it; a lane-bound
-      // virtual timeline must not sit before the commit work already rendered.
-      j_->commit_stamp_.AcquireShared(&j_->ctx_->clock);
+      // Pipelined fast path: the barrier is free during a commit's writeout, so a
+      // handle normally joins the running transaction immediately and pays nothing.
+      if (!j_->handle_mu_.try_lock_shared()) {
+        // Racing the seal window: the thread really waits for the swap, behind
+        // which sits the commit service time already rendered — a lane-bound
+        // virtual timeline must not sit before work the pipeline already did.
+        j_->handle_mu_.lock_shared();
+        j_->commit_stamp_.AcquireShared(&j_->ctx_->clock);
+      }
     }
     ~Handle() { j_->handle_mu_.unlock_shared(); }
     Handle(const Handle&) = delete;
@@ -84,54 +103,126 @@ class Journal {
   // Defers an action (e.g. freeing blocks) until the running transaction commits;
   // discarded if the transaction is rolled back. Mirrors jbd2's deferred-free rule:
   // blocks released by an uncommitted transaction must not be reused before commit.
-  // Caller holds a Handle; the action runs with the barrier held exclusively.
+  // Caller holds a Handle. Actions run after the commit record, with the barrier
+  // *released* (the pipeline no longer quiesces the namespace), so every action must
+  // take the locks it needs — see Ext4Dax::ReclaimIfOrphan for the pattern.
   void OnCommit(std::function<void()> action);
 
   // Number of distinct dirty metadata blocks in the running transaction.
   size_t RunningDirtyBlocks() const;
+  // True when the running transaction carries nothing a commit would have to make
+  // durable: no dirty block, no undo, and no deferred on-commit action. The same
+  // predicate gates CommitRunning's clean-fsync fast path — a transaction holding
+  // only a deferred inode free is NOT empty (the free must still reach its commit).
   bool RunningEmpty() const;
 
-  // Commits the running transaction. `fsync_barrier` selects the heavyweight path
-  // (commit-thread handshake + wait), used by fsync; the timer/background path and the
-  // relink ioctl path skip it. Must not be called while holding a Handle.
+  // Tid of the transaction currently accepting handles. Tids are dense and start at
+  // 1; transaction t is settled once CommittedTid() >= t — durable, or discarded by
+  // crash recovery (a discarded tid can never commit, so waiting on it must not
+  // block; recovery advances the horizon past everything it rolled back).
+  uint64_t RunningTid() const;
+  uint64_t CommittedTid() const {
+    return committed_tid_.load(std::memory_order_acquire);
+  }
+  // jbd2's log_wait_commit: blocks until transaction `tid` has fully committed
+  // (commit record written, deferred actions run). A lane-bound waiter fast-forwards
+  // past the commit service time rendered while it slept.
+  void WaitForCommit(uint64_t tid);
+
+  // Commits the running transaction and waits for its completion. `fsync_barrier`
+  // selects the heavyweight path (commit-thread handshake + wait), used by fsync;
+  // the timer/background path and the relink ioctl path skip it. Clean fast path:
+  // if the running transaction is empty and every prior tid has committed, returns
+  // without touching the barrier. If the durability horizon is an in-flight commit,
+  // waits on its tid instead of starting a new writeout. Must not be called while
+  // holding a Handle.
   void CommitRunning(bool fsync_barrier);
 
-  // Commits a self-contained transaction that dirtied `n_meta_blocks` blocks (relink).
-  // The caller guarantees the mutations are consistent as a unit, so no undos are kept.
+  // Commits a self-contained transaction that dirtied `n_meta_blocks` blocks (the
+  // standalone relink ioctl shape). The caller guarantees the mutations are
+  // consistent as a unit, so no undos are kept. Takes the pipeline slot (commit_mu_)
+  // so its journal writes serialize with an in-flight pipelined writeout, but never
+  // touches the handle barrier or the running transaction.
   void CommitStandalone(size_t n_meta_blocks);
 
-  // Crash recovery: roll back the running transaction's mutations (newest first).
-  // Takes the barrier exclusively; the caller is the only thread running (recovery
-  // is a quiesce point), so undo closures may mutate filesystem state freely.
+  // Crash recovery: discard everything that never reached its commit record, newest
+  // mutation first — the running transaction's undos, then (if a crash cut a
+  // writeout short) the unsealed committing transaction's. Takes the pipeline slot
+  // and the barrier exclusively; the caller is the only thread running (recovery is
+  // a quiesce point), so undo closures may mutate filesystem state freely.
   void RecoverDiscardRunning();
 
-  // Exclusive barrier for offline inspection (fsck): excludes every metadata
-  // operation and commit while held, so inode/namespace state can be read unlocked.
-  std::unique_lock<std::shared_mutex> Quiesce() {
-    return std::unique_lock<std::shared_mutex>(handle_mu_);
+  // Exclusive journal quiescence for offline inspection (fsck) and orphan replay:
+  // excludes every metadata operation AND any in-flight commit writeout while held
+  // (the barrier alone no longer implies commit exclusion — the pipeline writes out
+  // with the barrier released). Lock order: pipeline slot before barrier, matching
+  // the committer.
+  struct Quiescence {
+    std::unique_lock<std::mutex> pipeline;
+    std::unique_lock<std::shared_mutex> barrier;
+  };
+  Quiescence Quiesce() {
+    std::unique_lock<std::mutex> pipeline(commit_mu_);
+    std::unique_lock<std::shared_mutex> barrier(handle_mu_);
+    return {std::move(pipeline), std::move(barrier)};
   }
 
   uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
 
+  // Test-only: invoked by the committer after the seal (fresh running transaction
+  // live, barrier released) and before the writeout's journal stores. Lets tests
+  // populate T_{n+1} or arm a crash injector exactly inside the pipeline window.
+  void SetMidWriteoutHookForTest(std::function<void()> hook) {
+    mid_writeout_hook_ = std::move(hook);
+  }
+
  private:
+  // One jbd2 transaction: the dirty-block set for commit IO sizing, the undo stack
+  // for rollback, and actions deferred to commit.
+  struct Transaction {
+    uint64_t tid = 0;
+    std::set<uint64_t> dirty;
+    std::vector<std::function<void()>> undo;
+    std::vector<std::function<void()>> on_commit;
+    bool Empty() const { return dirty.empty() && undo.empty() && on_commit.empty(); }
+  };
+
   void ChargeCommitIo(size_t n_meta_blocks);
+  // Seals the running transaction (short exclusive barrier swap), writes it out with
+  // the barrier released, runs deferred actions, publishes the tid. Caller must NOT
+  // hold commit_mu_ — this takes it.
+  void CommitTid(uint64_t target, bool fsync_barrier);
 
   pmem::Device* dev_;
   sim::Context* ctx_;
   uint64_t journal_start_;  // Byte offset of journal region on the device.
   uint64_t journal_bytes_;
-  uint64_t write_cursor_ = 0;  // Circular position; guarded by state_mu_.
+  uint64_t write_cursor_ = 0;  // Circular position; guarded by commit_mu_.
 
-  // handle_mu_ is the transaction barrier (shared = operation handle, exclusive =
-  // commit/recovery/fsck); state_mu_ guards the running transaction's in-memory
-  // sets, which operations on different inodes append to concurrently.
+  // handle_mu_ is the transaction barrier: shared = operation handle, exclusive =
+  // the commit seal window / recovery / fsck. commit_mu_ is the pipeline slot: held
+  // for a whole writeout, so at most one transaction commits at a time while the
+  // next accepts handles. state_mu_ guards the running transaction's in-memory sets
+  // (operations on different inodes append concurrently) plus the committing slot's
+  // identity. Lock order: commit_mu_ -> handle_mu_ -> state_mu_.
   mutable std::shared_mutex handle_mu_;
+  mutable std::mutex commit_mu_;
   mutable std::mutex state_mu_;
   mutable sim::ResourceStamp commit_stamp_;
 
-  std::set<uint64_t> running_dirty_;
-  std::vector<std::function<void()>> running_undo_;
-  std::vector<std::function<void()>> running_on_commit_;
+  // Guarded by state_mu_. committing_ keeps its undo stack until the commit record
+  // is durable so a crash that unwinds mid-writeout still has everything recovery
+  // needs to roll back.
+  std::unique_ptr<Transaction> running_;
+  std::unique_ptr<Transaction> committing_;
+  uint64_t committing_tid_ = 0;  // 0 = no writeout in flight.
+  uint64_t next_tid_ = 1;
+
+  std::atomic<uint64_t> committed_tid_{0};
+  std::mutex wait_mu_;  // log_wait_commit sleepers.
+  std::condition_variable commit_cv_;
+
+  std::function<void()> mid_writeout_hook_;  // Test-only; see setter.
   std::atomic<uint64_t> commits_{0};
 };
 

@@ -188,10 +188,12 @@ class ResourceStamp {
     }
   }
 
-  // Read-side entry of a reader/writer resource (per-inode locks, the journal's
-  // handle barrier): a shared acquirer waits behind the service time the exclusive
-  // side has rendered, but adds none of its own — concurrent readers overlap, so
-  // charging their section durations into the busy total would serialize them.
+  // Read-side entry of a reader/writer resource (per-inode locks; journal handles
+  // that raced the commit seal window): a shared acquirer waits behind the service
+  // time the exclusive side has rendered, but adds none of its own — concurrent
+  // readers overlap, so charging their section durations into the busy total would
+  // serialize them. Callers that did not actually wait (the pipelined journal's
+  // uncontended handle fast path) skip even this.
   void AcquireShared(Clock* clock) {
     if (!clock->HasLane() || Clock::OffClock()) {
       return;

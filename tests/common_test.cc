@@ -1,4 +1,5 @@
-// Unit tests for src/common: checksum, RNG/zipfian, byte helpers, Expected.
+// Unit tests for src/common: checksum, RNG/zipfian, byte helpers, Expected, and the
+// epoch-based reclamation machinery (batched retire-list sweeps).
 #include <gtest/gtest.h>
 
 #include <set>
@@ -6,6 +7,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/checksum.h"
+#include "src/common/epoch.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
 
@@ -121,6 +123,63 @@ TEST(Expected, ValueAndError) {
   EXPECT_EQ(err.error().code(), ENOENT);
   EXPECT_EQ(err.error().negated(), -ENOENT);
   EXPECT_EQ(err.value_or(7), 7);
+}
+
+// --- Epoch GC: batched (generation-counted) retire-list sweeps ------------------------
+
+struct CountedObject {
+  explicit CountedObject(int* live) : live_(live) { ++*live_; }
+  ~CountedObject() { --*live_; }
+  int* live_;
+};
+
+TEST(EpochGc, RetireDefersSweepsUntilTheGenerationBoundary) {
+  // An invalidation storm with no reader pinned: retirements accumulate without a
+  // registry walk until the generation counter trips, and the one deferred sweep
+  // then frees the whole batch via a single QuiescedHorizon() query.
+  int live = 0;
+  common::RetireList<CountedObject> list;
+  constexpr uint64_t kGen = common::RetireList<CountedObject>::kSweepGeneration;
+  for (uint64_t i = 1; i < kGen; ++i) {
+    list.Retire(new CountedObject(&live));
+    EXPECT_EQ(list.PendingForTest(), i) << "sweep ran before the generation filled";
+  }
+  EXPECT_EQ(live, static_cast<int>(kGen - 1));
+  list.Retire(new CountedObject(&live));  // Generation boundary.
+  EXPECT_EQ(list.PendingForTest(), 0u);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(EpochGc, PinnedReaderHoldsTheStormUntilQuiescence) {
+  // A reader pinned across a storm of retirements: nothing it could still hold may
+  // be freed, however many generation sweeps trip meanwhile; unpinning releases
+  // the entire backlog on the next sweep.
+  int live = 0;
+  common::RetireList<CountedObject> list;
+  constexpr int kStorm = 100;
+  {
+    common::EpochGc::ReadGuard pin(&common::EpochGc::Global());
+    for (int i = 0; i < kStorm; ++i) {
+      list.Retire(new CountedObject(&live));
+    }
+    // Generation sweeps ran but everything postdates the pin.
+    EXPECT_EQ(live, kStorm);
+    EXPECT_EQ(list.PendingForTest(), static_cast<size_t>(kStorm));
+  }
+  list.Sweep();
+  EXPECT_EQ(list.PendingForTest(), 0u);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(EpochGc, DrainSpinsToFullQuiescence) {
+  int live = 0;
+  auto* list = new common::RetireList<CountedObject>();
+  for (int i = 0; i < 3; ++i) {
+    list->Retire(new CountedObject(&live));
+  }
+  list->Drain();
+  EXPECT_EQ(live, 0);
+  delete list;
 }
 
 }  // namespace

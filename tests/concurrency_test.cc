@@ -769,6 +769,108 @@ TEST_F(KernelMetadataStress, RenameOverOpenDestinationChurn) {
   ExpectFsckClean();
 }
 
+// --- jbd2 commit pipeline -------------------------------------------------------------
+
+TEST_F(KernelMetadataStress, MetadataHandlesProgressDuringCommitWriteout) {
+  // The tentpole property of the pipelined journal: while one thread's fsync
+  // commit writes out transaction T_n, metadata operations on other threads join
+  // T_{n+1} and complete. The mid-writeout hook parks the committer after the seal
+  // (barrier released, writeout not started) until the main thread has finished a
+  // create and a rename. On the pre-pipeline journal those operations would block
+  // on the exclusively-held barrier until the commit finished — with the committer
+  // waiting on them in turn, the bounded wait below would expire and fail the test
+  // instead of deadlocking.
+  ASSERT_EQ(kfs_.Mkdir("/pipe"), 0);
+  int fd = kfs_.Open("/pipe/f0", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(fd, 0);
+  std::vector<uint8_t> block(kBlockSize, 0x42);
+  ASSERT_EQ(kfs_.Pwrite(fd, block.data(), block.size(), 0),
+            static_cast<ssize_t>(block.size()));
+
+  std::atomic<bool> in_writeout{false};
+  std::atomic<bool> ops_done{false};
+  ext4sim::Journal* journal = kfs_.journal_for_test();
+  journal->SetMidWriteoutHookForTest([&in_writeout, &ops_done] {
+    in_writeout.store(true, std::memory_order_release);
+    for (int i = 0; i < 20000 && !ops_done.load(std::memory_order_acquire); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(ops_done.load(std::memory_order_acquire))
+        << "metadata handles made no progress while the commit writeout was held "
+           "open — the journal is serializing handles behind the commit again";
+  });
+  std::thread committer([this, fd] { EXPECT_EQ(kfs_.Fsync(fd), 0); });
+  while (!in_writeout.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // T_n is sealed but not durable; these handles join T_{n+1} and must not block.
+  EXPECT_EQ(journal->CommittedTid(), 0u);
+  int fd2 = kfs_.Open("/pipe/f1", vfs::kRdWr | vfs::kCreate);
+  EXPECT_GE(fd2, 0);
+  EXPECT_EQ(kfs_.Rename("/pipe/f1", "/pipe/f2"), 0);
+  ops_done.store(true, std::memory_order_release);
+  committer.join();
+  journal->SetMidWriteoutHookForTest(nullptr);
+  EXPECT_GE(journal->CommittedTid(), 1u);  // fsync's tid completed (log_wait_commit).
+  // T_{n+1}'s mutations are intact and commit cleanly on their own.
+  ASSERT_EQ(kfs_.Close(fd2), 0);
+  kfs_.CommitJournal(/*fsync_barrier=*/false);
+  vfs::StatBuf sb;
+  EXPECT_EQ(kfs_.Stat("/pipe/f2", &sb), 0);
+  ExpectFsckClean();
+}
+
+TEST_F(KernelMetadataStress, NamespaceChurnAgainstFsyncStorm) {
+  // Parallel creates/renames racing a continuous fsync storm: every storm commit
+  // seals whatever the churn threads dirtied and writes it out while they keep
+  // going. Exercises the seal window (handle try-lock slow path), log_wait_commit
+  // waiters piling onto in-flight tids, and deferred frees racing live handles —
+  // the TSan pass runs this via the `concurrency` label.
+  constexpr int kChurn = 3;
+  constexpr int kIters = 60;
+  ASSERT_EQ(kfs_.Mkdir("/storm"), 0);
+  int storm_fd = kfs_.Open("/storm/sync-anchor", vfs::kRdWr | vfs::kCreate);
+  ASSERT_GE(storm_fd, 0);
+  std::atomic<bool> stop{false};
+  std::thread storm([this, storm_fd, &stop] {
+    uint8_t byte = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Keep the journal dirty so most fsyncs take a real commit, not the clean
+      // fast path.
+      ASSERT_EQ(kfs_.Pwrite(storm_fd, &byte, 1, byte), 1);
+      ++byte;
+      ASSERT_EQ(kfs_.Fsync(storm_fd), 0);
+    }
+  });
+  std::vector<std::thread> churn;
+  for (int t = 0; t < kChurn; ++t) {
+    churn.emplace_back([this, t] {
+      std::vector<uint8_t> block(kBlockSize, static_cast<uint8_t>(0x30 + t));
+      std::string a = "/storm/a" + std::to_string(t);
+      std::string b = "/storm/b" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        int fd = kfs_.Open(a, vfs::kRdWr | vfs::kCreate);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(kfs_.Pwrite(fd, block.data(), block.size(), 0),
+                  static_cast<ssize_t>(block.size()));
+        ASSERT_EQ(kfs_.Close(fd), 0);
+        ASSERT_EQ(kfs_.Rename(a, b), 0);
+        ASSERT_EQ(kfs_.Unlink(b), 0);
+        std::string sub = "/storm/d" + std::to_string(t);
+        ASSERT_EQ(kfs_.Mkdir(sub), 0);
+        ASSERT_EQ(kfs_.Rmdir(sub), 0);
+      }
+    });
+  }
+  for (auto& w : churn) {
+    w.join();
+  }
+  stop.store(true, std::memory_order_release);
+  storm.join();
+  ASSERT_EQ(kfs_.Close(storm_fd), 0);
+  ExpectFsckClean();
+}
+
 // --- Driver integration + counters ----------------------------------------------------
 
 TEST_P(ConcurrencyTest, ParallelAppendDriverRunsCleanAndCountsAdd) {

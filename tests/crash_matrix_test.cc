@@ -237,6 +237,122 @@ TEST(CrashMatrix, AsyncRelinkModesTimesWorkloads) {
   EXPECT_GE(total_states, 100u);
 }
 
+// --- jbd2 commit pipeline column --------------------------------------------------------
+// The pipelined journal creates a crash state the script-driven matrix cannot reach
+// single-threaded: power cut mid-writeout of T_n while T_{n+1} already holds live
+// mutations. The mid-writeout hook stages exactly that window — T_n creates and
+// fills a file, T_{n+1} (populated after the seal, barrier released) renames it and
+// creates another — and the injector cuts the writeout at a chosen journal store.
+// Recovery must roll back the running T_{n+1} first, then the unsealed T_n, newest
+// mutation first; rolling back T_n first would leave T_{n+1}'s rename undo pointing
+// a resurrected dirent at an erased inode, which fsck flags as a dangling entry.
+
+struct PipelineCrashOutcome {
+  bool crashed = false;
+  bool fsck_clean = false;
+  uint64_t free_blocks = 0;
+  uint64_t fingerprint = 0;  // Stat results of every involved path.
+};
+
+PipelineCrashOutcome RunPipelineCrashState(uint64_t store_ordinal,
+                                           crash::FatePolicy fate, uint64_t seed) {
+  PipelineCrashOutcome out;
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 64 * common::kMiB);
+  ext4sim::Ext4Dax fs(&dev);
+  dev.EnableCrashTracking(true);
+
+  // Durable base state.
+  int base = fs.Open("/base", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(base >= 0);
+  std::vector<uint8_t> img(6000, 0x5C);
+  SPLITFS_CHECK(fs.Pwrite(base, img.data(), img.size(), 0) ==
+                static_cast<ssize_t>(img.size()));
+  SPLITFS_CHECK(fs.CommitJournal(/*fsync_barrier=*/false) == 0);
+  dev.Fence();
+
+  // T_n: create + fill a file; its commit is the writeout the crash will cut.
+  int fd = fs.Open("/tn", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  std::vector<uint8_t> data(5000, 0xA1);
+  SPLITFS_CHECK(fs.Pwrite(fd, data.data(), data.size(), 0) ==
+                static_cast<ssize_t>(data.size()));
+
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  fs.journal_for_test()->SetMidWriteoutHookForTest([&fs, &dev, &injector] {
+    // T_{n+1}: mutations stacked on T_n's state while its writeout is in flight.
+    SPLITFS_CHECK(fs.Rename("/tn", "/tn-renamed") == 0);
+    SPLITFS_CHECK(fs.Open("/tq", vfs::kRdWr | vfs::kCreate) >= 0);
+    dev.SetObserver(&injector);  // Arm: ordinal 0 = first writeout store.
+  });
+  try {
+    fs.CommitJournal(/*fsync_barrier=*/true);
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  dev.SetObserver(nullptr);
+  fs.journal_for_test()->SetMidWriteoutHookForTest(nullptr);
+  if (!out.crashed) {
+    return out;
+  }
+
+  dev.CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(fs.Recover() == 0);
+
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(&fs);
+  out.fsck_clean = fsck.clean;
+  for (const std::string& p : fsck.problems) {
+    ADD_FAILURE() << "pipeline crash @ store#" << store_ordinal << "/"
+                  << crash::FateName(fate) << ": " << p;
+  }
+  out.free_blocks = fs.FreeBlocks();
+  uint64_t fp = 14695981039346656037ull;
+  auto mix = [&fp](uint64_t v) { fp = (fp ^ v) * 1099511628211ull; };
+  for (const char* p : {"/base", "/tn", "/tn-renamed", "/tq"}) {
+    vfs::StatBuf sb;
+    mix(fs.Stat(p, &sb) == 0 ? sb.size : ~0ull);
+  }
+  out.fingerprint = fp;
+
+  // Neither transaction reached its commit record: everything above the base
+  // state rolls back, under every drain fate.
+  vfs::StatBuf sb;
+  EXPECT_EQ(fs.Stat("/base", &sb), 0);
+  EXPECT_EQ(sb.size, 6000u);
+  EXPECT_EQ(fs.Stat("/tn", &sb), -ENOENT);
+  EXPECT_EQ(fs.Stat("/tn-renamed", &sb), -ENOENT);
+  EXPECT_EQ(fs.Stat("/tq", &sb), -ENOENT);
+  return out;
+}
+
+TEST(CrashMatrixSmoke, MidWriteoutCrashWithLiveNextTransactionRecovers) {
+  int crashed_states = 0;
+  // T_n dirtied >= 3 metadata blocks, so the writeout spans >= 5 journal stores;
+  // sweep the cut across the descriptor, metadata, and commit-record stores.
+  for (uint64_t store = 0; store < 4; ++store) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      PipelineCrashOutcome out = RunPipelineCrashState(store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached";
+      EXPECT_TRUE(out.fsck_clean);
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 8);
+}
+
+TEST(CrashMatrixSmoke, MidWriteoutCrashStatesAreDeterministic) {
+  for (crash::FatePolicy fate : {FatePolicy::kSubset, FatePolicy::kTorn}) {
+    PipelineCrashOutcome a = RunPipelineCrashState(2, fate, kSeed);
+    PipelineCrashOutcome b = RunPipelineCrashState(2, fate, kSeed);
+    ASSERT_TRUE(a.crashed);
+    ASSERT_TRUE(b.crashed);
+    EXPECT_EQ(a.fsck_clean, b.fsck_clean);
+    EXPECT_EQ(a.free_blocks, b.free_blocks);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);  // Byte-identical recovered states.
+  }
+}
+
 // The same schedules, driven against each baseline with its own guarantee profile.
 TEST(CrashMatrix, BaselinesUnderSameSchedule) {
   uint64_t total_states = 0;

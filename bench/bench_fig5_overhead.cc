@@ -7,6 +7,7 @@
 // mode with the same guarantees (lower is better; SplitFS == 1.0):
 // ext4 DAX up to 3.6x, NOVA-relaxed up to 7.4x (TPCC), PMFS lowest at ~1.9x.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -42,6 +43,8 @@ Overheads Measure(bench::FsKind kind) {
     ycsb.Run(wl::YcsbWorkload::kA, &bed.ctx()->clock);
     out.run_a = static_cast<double>((bed.ctx()->clock.Now() - t0) -
                                     (bed.ctx()->stats.data_media_ns() - m0));
+    std::string label = std::string(bench::FsKindName(kind)) + " (YCSB)";
+    bench::PrintPmReadSplit(label.c_str(), bed.ctx()->stats);
   }
   {
     bench::Testbed bed(kind);
@@ -53,6 +56,8 @@ Overheads Measure(bench::FsKind kind) {
     tpcc.Run(4000, &bed.ctx()->clock);
     out.tpcc = static_cast<double>((bed.ctx()->clock.Now() - t0) -
                                    (bed.ctx()->stats.data_media_ns() - m0));
+    std::string label = std::string(bench::FsKindName(kind)) + " (TPCC)";
+    bench::PrintPmReadSplit(label.c_str(), bed.ctx()->stats);
   }
   return out;
 }

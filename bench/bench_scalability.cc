@@ -9,13 +9,21 @@
 // fast-forwards waiters, so the reported scaling honestly reflects the lock
 // granularity of the implementation rather than the host's core count.
 //
-//   bench_scalability [--json]    # --json additionally writes BENCH_scalability.json
+//   bench_scalability [--json] [--histograms] [--trace=<file>]
+//     --json          additionally writes BENCH_scalability.json (schema_version 2:
+//                     per-cell latency percentiles + per-series contention breakdown)
+//     --histograms    prints a per-cell latency table (p50/p95/p99/max, virtual ns)
+//     --trace=<file>  runs one traced fsync-storm pass (tracing on, fsync every op)
+//                     and writes a Chrome-trace/Perfetto JSON to <file>; given
+//                     alone, skips the scalability sweep entirely
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/obs.h"
 #include "src/workloads/parallel.h"
 
 namespace {
@@ -29,12 +37,19 @@ struct Cell {
   int threads = 0;
   double ops_per_sec = 0;
   uint64_t errors = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
 };
 
 struct Series {
   const char* workload;
   const char* mode;
   std::vector<Cell> cells;
+  // Contention ledger snapshot of the 8-thread cell: which serial resource the
+  // fast-forwarded wait time went to, per resource name.
+  std::vector<std::pair<std::string, obs::ContentionLedger::Entry>> contention_at_8;
 };
 
 splitfs::Options ConcurrentOptions() {
@@ -84,14 +99,53 @@ wl::ParallelResult RunWorkload(const char* workload, Testbed* bed, int threads) 
                               /*seed=*/42);
 }
 
+// Traced fsync-storm pass (--trace): every append fsyncs, so the journal pipeline,
+// publisher, and wait spans all light up. Tracing must not perturb the timeline —
+// the same workload with tracing off produces bit-identical virtual times.
+int WriteStormTrace(const std::string& path) {
+  splitfs::Options o = ConcurrentOptions();
+  o.tracing = true;
+  Testbed bed(FsKind::kSplitSync, 2 * common::kGiB, o);
+  bed.ctx()->obs.tracer.Enable();
+  wl::ParallelResult r =
+      wl::RunParallelAppend(bed.fs(), &bed.ctx()->clock, /*threads=*/4, "/trace-append",
+                            /*bytes_per_thread=*/2 * common::kMiB, /*op_bytes=*/4096,
+                            /*fsync_every=*/1);
+  if (r.errors != 0) {
+    std::fprintf(stderr, "traced fsync-storm pass reported %llu errors\n",
+                 static_cast<unsigned long long>(r.errors));
+    return 1;
+  }
+  if (!bed.ctx()->obs.tracer.ExportChromeTrace(path)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%llu spans, %llu dropped) — load in Perfetto or "
+              "chrome://tracing\n",
+              path.c_str(), static_cast<unsigned long long>(bed.ctx()->obs.tracer.SpanCount()),
+              static_cast<unsigned long long>(bed.ctx()->obs.tracer.Drops()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool histograms = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--histograms") == 0) {
+      histograms = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     }
+  }
+
+  // A trace-only invocation wants the storm artifact, not a ten-minute sweep.
+  if (!trace_path.empty() && !json && !histograms) {
+    return WriteStormTrace(trace_path);
   }
 
   bench::PrintHeader("SplitFS multithreaded scalability (1..16 application threads)",
@@ -119,7 +173,18 @@ int main(int argc, char** argv) {
         if (threads == 1) {
           base = ops;
         }
-        series.cells.push_back({threads, ops, r.errors});
+        Cell cell;
+        cell.threads = threads;
+        cell.ops_per_sec = ops;
+        cell.errors = r.errors;
+        cell.p50_ns = r.latency.Percentile(0.50);
+        cell.p95_ns = r.latency.Percentile(0.95);
+        cell.p99_ns = r.latency.Percentile(0.99);
+        cell.max_ns = r.latency.Max();
+        series.cells.push_back(cell);
+        if (threads == 8) {
+          series.contention_at_8 = bed.ctx()->obs.ledger.Snapshot();
+        }
         std::printf("%-16s %8d %14.0f %9.2fx %8llu\n", bed.fs()->Name().c_str(), threads,
                     ops, base > 0 ? ops / base : 0.0,
                     static_cast<unsigned long long>(r.errors));
@@ -129,13 +194,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (histograms) {
+    std::printf("\n--- per-op latency (virtual ns; log-bucket upper bounds) ---\n");
+    std::printf("%-14s %-8s %8s %10s %10s %10s %10s\n", "workload", "mode", "threads",
+                "p50", "p95", "p99", "max");
+    for (const Series& s : all) {
+      for (const Cell& c : s.cells) {
+        std::printf("%-14s %-8s %8d %10llu %10llu %10llu %10llu\n", s.workload, s.mode,
+                    c.threads, static_cast<unsigned long long>(c.p50_ns),
+                    static_cast<unsigned long long>(c.p95_ns),
+                    static_cast<unsigned long long>(c.p99_ns),
+                    static_cast<unsigned long long>(c.max_ns));
+      }
+    }
+    std::printf("\n--- contention at 8 threads (virtual-time fast-forwards by resource) ---\n");
+    std::printf("%-14s %-8s %-28s %8s %14s %12s\n", "workload", "mode", "resource",
+                "waits", "waited_ns", "max_wait_ns");
+    for (const Series& s : all) {
+      if (s.contention_at_8.empty()) {
+        std::printf("%-14s %-8s %-28s %8s %14s %12s\n", s.workload, s.mode, "(none)", "-",
+                    "-", "-");
+        continue;
+      }
+      for (const auto& [resource, e] : s.contention_at_8) {
+        std::printf("%-14s %-8s %-28s %8llu %14llu %12llu\n", s.workload, s.mode,
+                    resource.c_str(), static_cast<unsigned long long>(e.waits),
+                    static_cast<unsigned long long>(e.waited_ns),
+                    static_cast<unsigned long long>(e.max_wait_ns));
+      }
+    }
+  }
+
   if (json) {
     FILE* f = std::fopen("BENCH_scalability.json", "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write BENCH_scalability.json\n");
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"scalability\",\n  \"threads\": [1, 2, 4, 8, 16],\n");
+    std::fprintf(f, "{\n  \"bench\": \"scalability\",\n  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"threads\": [1, 2, 4, 8, 16],\n");
     std::fprintf(f, "  \"time_model\": \"simulated per-thread lanes (max over workers)\",\n");
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < all.size(); ++i) {
@@ -146,6 +243,29 @@ int main(int argc, char** argv) {
         std::fprintf(f, "%s\"%d\": %.0f", c == 0 ? "" : ", ", s.cells[c].threads,
                      s.cells[c].ops_per_sec);
       }
+      std::fprintf(f, "},\n     \"latency_ns\": {");
+      for (size_t c = 0; c < s.cells.size(); ++c) {
+        const Cell& cell = s.cells[c];
+        std::fprintf(f,
+                     "%s\"%d\": {\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, "
+                     "\"max\": %llu}",
+                     c == 0 ? "" : ", ", cell.threads,
+                     static_cast<unsigned long long>(cell.p50_ns),
+                     static_cast<unsigned long long>(cell.p95_ns),
+                     static_cast<unsigned long long>(cell.p99_ns),
+                     static_cast<unsigned long long>(cell.max_ns));
+      }
+      std::fprintf(f, "},\n     \"contention_at_8\": [");
+      for (size_t c = 0; c < s.contention_at_8.size(); ++c) {
+        const auto& [resource, e] = s.contention_at_8[c];
+        std::fprintf(f,
+                     "%s{\"resource\": \"%s\", \"waits\": %llu, \"waited_ns\": %llu, "
+                     "\"max_wait_ns\": %llu}",
+                     c == 0 ? "" : ", ", resource.c_str(),
+                     static_cast<unsigned long long>(e.waits),
+                     static_cast<unsigned long long>(e.waited_ns),
+                     static_cast<unsigned long long>(e.max_wait_ns));
+      }
       double base = s.cells.empty() ? 0 : s.cells[0].ops_per_sec;
       double at8 = 0;
       uint64_t errors = 0;
@@ -155,13 +275,20 @@ int main(int argc, char** argv) {
         }
         errors += c.errors;
       }
-      std::fprintf(f, "}, \"speedup_at_8\": %.2f, \"errors\": %llu}%s\n",
+      std::fprintf(f, "],\n     \"speedup_at_8\": %.2f, \"errors\": %llu}%s\n",
                    base > 0 ? at8 / base : 0.0, static_cast<unsigned long long>(errors),
                    i + 1 == all.size() ? "" : ",");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_scalability.json\n");
+  }
+
+  if (!trace_path.empty()) {
+    int rc = WriteStormTrace(trace_path);
+    if (rc != 0) {
+      return rc;
+    }
   }
   return 0;
 }

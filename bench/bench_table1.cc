@@ -33,6 +33,9 @@ void RunOne(const PaperRow& row) {
               bench::FsKindName(row.kind), per_op, overhead,
               100.0 * overhead / kPmWrite4kNs, row.paper_total_ns,
               row.paper_overhead_ns, 100.0 * row.paper_overhead_ns / kPmWrite4kNs);
+  // The append path should read almost nothing from PM; nonzero metadata/journal
+  // read bytes here are the block-allocation and journaling machinery at work.
+  bench::PrintPmReadSplit(bench::FsKindName(row.kind), bed.ctx()->stats);
 }
 
 }  // namespace

@@ -20,11 +20,11 @@ int main() {
 
   // Sequential read latency: first cache line of a fresh run.
   uint64_t t0 = ctx.clock.Now();
-  dev.Load(0, buf.data(), 64, /*sequential=*/true, false);
+  dev.Load(0, buf.data(), 64, /*sequential=*/true, sim::PmReadKind::kMetadata);
   uint64_t seq_lat = ctx.clock.Now() - t0 -
                      static_cast<uint64_t>(64 * ctx.model.pm_read_ns_per_byte);
   t0 = ctx.clock.Now();
-  dev.Load(512 * common::kMiB, buf.data(), 64, /*sequential=*/false, false);
+  dev.Load(512 * common::kMiB, buf.data(), 64, /*sequential=*/false, sim::PmReadKind::kMetadata);
   uint64_t rand_lat = ctx.clock.Now() - t0 -
                       static_cast<uint64_t>(64 * ctx.model.pm_read_ns_per_byte);
 
@@ -39,7 +39,7 @@ int main() {
   std::vector<uint8_t> big(1 * common::kMiB, 2);
   t0 = ctx.clock.Now();
   for (uint64_t off = 0; off < kStream; off += big.size()) {
-    dev.Load(off, big.data(), big.size(), true, false);
+    dev.Load(off, big.data(), big.size(), true, sim::PmReadKind::kMetadata);
   }
   double read_gbps = static_cast<double>(kStream) / static_cast<double>(ctx.clock.Now() - t0);
   t0 = ctx.clock.Now();

@@ -127,6 +127,19 @@ class Testbed {
   vfs::FileSystem* fs_ = nullptr;
 };
 
+// PM read traffic decomposed by consumer — the read-side counterpart of the §5.7
+// data/metadata split: user payload vs FS metadata vs journal vs log (op log,
+// Strata private log) vs staging machinery (relink head/tail copies).
+inline void PrintPmReadSplit(const char* label, const sim::Stats& stats) {
+  std::printf("  %-28s PM reads: data %llu B, metadata %llu B, journal %llu B, "
+              "log %llu B, staging %llu B\n",
+              label, static_cast<unsigned long long>(stats.read_data_bytes()),
+              static_cast<unsigned long long>(stats.read_metadata_bytes()),
+              static_cast<unsigned long long>(stats.read_journal_bytes()),
+              static_cast<unsigned long long>(stats.read_log_bytes()),
+              static_cast<unsigned long long>(stats.read_staging_bytes()));
+}
+
 inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("\n=============================================================================\n");
   std::printf("%s\n", title);

@@ -6,6 +6,8 @@
 #   scripts/check.sh -L crash_smoke    # only the crash smoke subset
 #   scripts/check.sh -L ext4           # K-Split (ext4 model) tests only
 #   scripts/check.sh -L examples       # build + run the examples/ smoke programs
+#   scripts/check.sh -L obs            # observability layer: obs_test + the
+#                                      # trace_tour export/reconciliation smoke
 #   scripts/check.sh --tsan            # ThreadSanitizer build, concurrency tests only
 #
 # The default run includes the `examples` label: every examples/*.cpp builds as

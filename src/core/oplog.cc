@@ -132,7 +132,7 @@ std::vector<LogEntry> OpLog::ScanForRecovery() const {
     LogEntry e;
     // Recovery-time reads are sequential scans of the log area.
     dev->Load(SlotDevOffset(slot), &e, kCacheLineSize, /*sequential=*/true,
-              /*user_data=*/false);
+              sim::PmReadKind::kLog);
     // Zero slot: end of the dense region may still be followed by valid entries after
     // a wrap/reset race, so scan everything (capacity is bounded).
     static const LogEntry kZero{};

@@ -115,6 +115,11 @@ class OpLog {
 
   uint64_t EntriesLogged() const { return seq_.load(std::memory_order_relaxed); }
   uint64_t Capacity() const { return capacity_; }
+  // Slots reserved since the last reset, clamped to capacity (fill-fraction gauge;
+  // the tail over-reserves in lane chunks, so this is the pessimistic fill).
+  uint64_t SlotsReserved() const {
+    return std::min(tail_.load(std::memory_order_acquire), capacity_);
+  }
   vfs::Ino ino() const { return ino_; }
 
   // Recovery: scans the whole log area for checksum-valid entries, sorted by seq.

@@ -65,6 +65,12 @@ struct Options {
   // deterministic store sequence, which the async crash-matrix column depends on.
   bool publisher_thread = false;
 
+  // Record virtual-time spans (op entry/exit, journal seal/writeout, publisher
+  // drains) into the context's tracer, and per-op latency histograms, when the
+  // tracer is enabled. Purely observational: the obs layer never touches the clock,
+  // so timelines are identical with this on or off.
+  bool tracing = false;
+
   // Directory (on K-Split) for staging files and the op log.
   std::string runtime_dir = "/.splitfs";
 

@@ -31,6 +31,30 @@ const char* ModeName(Mode mode) {
   return "?";
 }
 
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kOpen: return "splitfs.open";
+    case OpKind::kClose: return "splitfs.close";
+    case OpKind::kUnlink: return "splitfs.unlink";
+    case OpKind::kRename: return "splitfs.rename";
+    case OpKind::kPread: return "splitfs.pread";
+    case OpKind::kPwrite: return "splitfs.pwrite";
+    case OpKind::kRead: return "splitfs.read";
+    case OpKind::kWrite: return "splitfs.write";
+    case OpKind::kLseek: return "splitfs.lseek";
+    case OpKind::kFsync: return "splitfs.fsync";
+    case OpKind::kFtruncate: return "splitfs.ftruncate";
+    case OpKind::kFallocate: return "splitfs.fallocate";
+    case OpKind::kStat: return "splitfs.stat";
+    case OpKind::kFstat: return "splitfs.fstat";
+    case OpKind::kMkdir: return "splitfs.mkdir";
+    case OpKind::kRmdir: return "splitfs.rmdir";
+    case OpKind::kReadDir: return "splitfs.readdir";
+    case OpKind::kRecover: return "splitfs.recover";
+  }
+  return "splitfs.?";
+}
+
 SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instance_tag)
     : kfs_(kfs),
       ctx_(kfs->context()),
@@ -56,9 +80,63 @@ SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instanc
   if (opts_.async_relink && opts_.publisher_thread) {
     publisher_ = std::thread([this] { PublisherLoop(); });
   }
+  RegisterGauges();
+}
+
+void SplitFs::RegisterGauges() {
+  // Tag-prefixed so concurrent U-Split instances over one Context never collide;
+  // the dtor deregisters by the same prefix.
+  obs::MetricsRegistry* m = &ctx_->obs.metrics;
+  m->RegisterGauge(tag_ + ".publisher.queue_depth", [this]() -> uint64_t {
+    std::lock_guard<std::mutex> lg(publish_mu_);
+    return publish_queue_.size();
+  });
+  m->RegisterGauge(tag_ + ".publisher.inflight", [this]() -> uint64_t {
+    std::lock_guard<std::mutex> lg(publish_mu_);
+    return publishes_inflight_;
+  });
+  m->RegisterGauge(tag_ + ".publisher.async_publishes", [this]() {
+    return async_publishes_.load(std::memory_order_acquire);
+  });
+  m->RegisterGauge(tag_ + ".publisher.errors", [this]() {
+    return publish_errors_.load(std::memory_order_acquire);
+  });
+  m->RegisterGauge(tag_ + ".publisher.backpressure_waits", [this]() {
+    return publish_backpressure_.load(std::memory_order_acquire);
+  });
+  m->RegisterGauge(tag_ + ".relinks", [this]() {
+    return relinks_.load(std::memory_order_acquire);
+  });
+  m->RegisterGauge(tag_ + ".checkpoints", [this]() {
+    return checkpoints_.load(std::memory_order_acquire);
+  });
+  m->RegisterGauge(tag_ + ".dirty_files", [this]() -> uint64_t {
+    int64_t v = dirty_files_.load(std::memory_order_acquire);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  });
+  m->RegisterGauge(tag_ + ".mmap.regions", [this]() { return mmaps_.RegionCount(); });
+  m->RegisterGauge(tag_ + ".epoch.retired_snapshots", [this]() {
+    return static_cast<uint64_t>(mmaps_.RetiredSnapshotsForTest());
+  });
+  if (staging_ != nullptr) {
+    m->RegisterGauge(tag_ + ".staging.live_files",
+                     [this]() { return staging_->LiveFiles(); });
+    m->RegisterGauge(tag_ + ".staging.spare_files",
+                     [this]() { return staging_->SpareFiles(); });
+  }
+  if (oplog_ != nullptr) {
+    m->RegisterGauge(tag_ + ".oplog.entries",
+                     [this]() { return oplog_->EntriesLogged(); });
+    m->RegisterGauge(tag_ + ".oplog.fill_permille", [this]() -> uint64_t {
+      uint64_t cap = oplog_->Capacity();
+      return cap == 0 ? 0 : oplog_->SlotsReserved() * 1000 / cap;
+    });
+  }
 }
 
 SplitFs::~SplitFs() {
+  // Gauges read through `this`; drop them before any member state goes away.
+  ctx_->obs.metrics.DeregisterGauges(tag_ + ".");
   StopPublisher();  // Drains the queue: staged data promised by fsync publishes.
   for (FileShard& shard : file_shards_) {
     for (auto& [ino, fs] : shard.map) {
@@ -112,6 +190,7 @@ std::vector<SplitFs::FileRef> SplitFs::SnapshotFiles() const {
 // --- Open / close / metadata ---------------------------------------------------------------
 
 int SplitFs::Open(const std::string& path, int flags) {
+  OpScope op_scope(this, OpKind::kOpen);
   // Retries only on races with unlink/creation (a cached state going defunct under
   // us, or a creation finishing first); a single-threaded process never loops.
   for (;;) {
@@ -192,7 +271,7 @@ int SplitFs::Open(const std::string& path, int flags) {
       // Stat() the file and cache its attributes (§3.5).
       vfs::StatBuf st;
       SPLITFS_CHECK_OK(kfs_->Fstat(kfd, &st));
-      fs = std::make_shared<FileState>(&ctx_->clock);
+      fs = std::make_shared<FileState>(&ctx_->clock, &ctx_->obs);
       fs->ino = ino;
       fs->kernel_fd = kfd;
       fs->path = path;
@@ -241,6 +320,7 @@ void SplitFs::MakeMetadataSynchronous(FileState* fs) {
 }
 
 int SplitFs::Close(int fd) {
+  OpScope op_scope(this, OpKind::kClose);
   ctx_->ChargeCpu(ctx_->model.usplit_close_cpu_ns);
   FileRef fs = StateOf(fd);
   if (fs == nullptr) {
@@ -284,6 +364,7 @@ int SplitFs::Dup(int fd) {
 }
 
 int SplitFs::Unlink(const std::string& path) {
+  OpScope op_scope(this, OpKind::kUnlink);
   ctx_->ChargeCpu(ctx_->model.usplit_unlink_cpu_ns);
   int rc;
   {
@@ -340,6 +421,7 @@ int SplitFs::Unlink(const std::string& path) {
 }
 
 int SplitFs::Rename(const std::string& from, const std::string& to) {
+  OpScope op_scope(this, OpKind::kRename);
   ctx_->ChargeCpu(2 * ctx_->model.user_work_ns);
   {
     // Both path shards are held — ascending address, one lock when the paths
@@ -447,6 +529,7 @@ void SplitFs::TeardownDisplacedState(const std::string& path, Ino displaced) {
 }
 
 int SplitFs::Mkdir(const std::string& path) {
+  OpScope op_scope(this, OpKind::kMkdir);
   int rc = kfs_->Mkdir(path);
   if (rc == 0) {
     MakeMetadataSynchronous(nullptr);
@@ -455,6 +538,7 @@ int SplitFs::Mkdir(const std::string& path) {
 }
 
 int SplitFs::Rmdir(const std::string& path) {
+  OpScope op_scope(this, OpKind::kRmdir);
   int rc = kfs_->Rmdir(path);
   if (rc == 0) {
     MakeMetadataSynchronous(nullptr);
@@ -463,6 +547,7 @@ int SplitFs::Rmdir(const std::string& path) {
 }
 
 int SplitFs::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  OpScope op_scope(this, OpKind::kReadDir);
   int rc = kfs_->ReadDir(path, names);
   if (rc != 0) {
     return rc;
@@ -477,6 +562,7 @@ int SplitFs::ReadDir(const std::string& path, std::vector<std::string>* names) {
 }
 
 int SplitFs::Stat(const std::string& path, vfs::StatBuf* out) {
+  OpScope op_scope(this, OpKind::kStat);
   int rc = kfs_->Stat(path, out);
   if (rc != 0) {
     return rc;
@@ -494,6 +580,7 @@ int SplitFs::Stat(const std::string& path, vfs::StatBuf* out) {
 }
 
 int SplitFs::Fstat(int fd, vfs::StatBuf* out) {
+  OpScope op_scope(this, OpKind::kFstat);
   ctx_->ChargeCpu(ctx_->model.user_work_ns);  // Served from the attribute cache.
   FileRef fs = StateOf(fd);
   if (fs == nullptr) {
@@ -513,6 +600,7 @@ int SplitFs::Fstat(int fd, vfs::StatBuf* out) {
 }
 
 int64_t SplitFs::Lseek(int fd, int64_t off, vfs::Whence whence) {
+  OpScope op_scope(this, OpKind::kLseek);
   ctx_->ChargeCpu(ctx_->model.user_work_ns);  // Pure user space: no trap.
   std::shared_ptr<vfs::OpenFile> of;
   FileRef fs = StateOf(fd, &of);
@@ -545,6 +633,7 @@ int64_t SplitFs::Lseek(int fd, int64_t off, vfs::Whence whence) {
 // --- Data path ----------------------------------------------------------------------------
 
 ssize_t SplitFs::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
+  OpScope op_scope(this, OpKind::kPread, n);
   std::shared_ptr<vfs::OpenFile> of;
   FileRef fs = StateOf(fd, &of);
   if (fs == nullptr) {
@@ -561,6 +650,7 @@ ssize_t SplitFs::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
 }
 
 ssize_t SplitFs::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
+  OpScope op_scope(this, OpKind::kPwrite, n);
   std::shared_ptr<vfs::OpenFile> of;
   FileRef fs = StateOf(fd, &of);
   if (fs == nullptr) {
@@ -573,6 +663,7 @@ ssize_t SplitFs::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
 }
 
 ssize_t SplitFs::Read(int fd, void* buf, uint64_t n) {
+  OpScope op_scope(this, OpKind::kRead, n);
   std::shared_ptr<vfs::OpenFile> of;
   FileRef fs = StateOf(fd, &of);
   if (fs == nullptr || of == nullptr || !vfs::WantsRead(of->flags)) {
@@ -591,6 +682,7 @@ ssize_t SplitFs::Read(int fd, void* buf, uint64_t n) {
 }
 
 ssize_t SplitFs::Write(int fd, const void* buf, uint64_t n) {
+  OpScope op_scope(this, OpKind::kWrite, n);
   std::shared_ptr<vfs::OpenFile> of;
   FileRef fs = StateOf(fd, &of);
   if (fs == nullptr || of == nullptr || !vfs::WantsWrite(of->flags)) {
@@ -708,7 +800,8 @@ ssize_t SplitFs::ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off) {
     if (have_covering) {
       uint64_t delta = cur - covering.file_off;
       uint64_t span = std::min(end - cur, covering.alloc.len - delta);
-      dev->Load(covering.alloc.dev_off + delta, dst, span, sequential, /*user_data=*/true);
+      dev->Load(covering.alloc.dev_off + delta, dst, span, sequential,
+                sim::PmReadKind::kUserData);
       sequential = true;
       dst += span;
       cur += span;
@@ -725,7 +818,7 @@ ssize_t SplitFs::ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off) {
     }
     if (hit) {
       uint64_t span = std::min(seg_end - cur, hit->len);
-      dev->Load(hit->dev_off, dst, span, sequential, /*user_data=*/true);
+      dev->Load(hit->dev_off, dst, span, sequential, sim::PmReadKind::kUserData);
       sequential = true;
       dst += span;
       cur += span;
@@ -1008,7 +1101,7 @@ int SplitFs::RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r) {
     uint64_t head_len = head_end - s;
     SPLITFS_CHECK(head_len <= g_scratch.size());
     dev->Load(r.alloc.dev_off, g_scratch.data(), head_len, /*sequential=*/true,
-              /*user_data=*/false);
+              sim::PmReadKind::kStaging);
     ssize_t rc = kfs_->Pwrite(fs->kernel_fd, g_scratch.data(), head_len, s);
     if (rc < 0) {
       return static_cast<int>(rc);
@@ -1053,7 +1146,7 @@ int SplitFs::RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r) {
     uint64_t tail_len = e - core_end;
     SPLITFS_CHECK(tail_len <= g_scratch.size());
     dev->Load(r.alloc.dev_off + (core_end - file_off), g_scratch.data(), tail_len,
-              /*sequential=*/true, /*user_data=*/false);
+              /*sequential=*/true, sim::PmReadKind::kStaging);
     ssize_t rc = kfs_->Pwrite(fs->kernel_fd, g_scratch.data(), tail_len, core_end);
     if (rc < 0) {
       return static_cast<int>(rc);
@@ -1071,7 +1164,7 @@ int SplitFs::CopyStagedRun(FileState* fs, const StagedRange& r) {
   while (copied < r.alloc.len) {
     uint64_t span = std::min<uint64_t>(buf.size(), r.alloc.len - copied);
     dev->Load(r.alloc.dev_off + copied, buf.data(), span, /*sequential=*/true,
-              /*user_data=*/false);
+              sim::PmReadKind::kStaging);
     ssize_t rc = kfs_->Pwrite(fs->kernel_fd, buf.data(), span, r.file_off + copied);
     if (rc < 0) {
       return static_cast<int>(rc);
@@ -1088,6 +1181,8 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done) {
       return 0;
     }
   }
+  obs::ScopedSpan span(opts_.tracing ? &ctx_->obs.tracer : nullptr, &ctx_->clock,
+                       "publish", "splitfs.publish", "ino", fs->ino);
   // Drain pending non-temporal stores before making the data reachable.
   kfs_->device()->Fence();
   // Each range is erased as it publishes: a mid-publish failure must leave only the
@@ -1252,6 +1347,9 @@ void SplitFs::EnqueuePublish(FileRef fs) {
   // Backpressure (real time only): staged bytes awaiting publication are bounded, so
   // a lagging publisher cannot exhaust the staging pool. Never called with a file
   // lock held — the publisher takes file locks to drain the queue.
+  if (publish_queue_.size() >= kMaxQueuedPublishes && !publisher_stop_) {
+    publish_backpressure_.fetch_add(1, std::memory_order_relaxed);
+  }
   publish_idle_cv_.wait(ul, [this] {
     return publish_queue_.size() < kMaxQueuedPublishes || publisher_stop_;
   });
@@ -1284,6 +1382,8 @@ void SplitFs::PublisherLoop() {
       // snapshot until the swap, the published one after — never a torn window. The
       // publisher has no clock lane, so the relink and journal-commit charges land
       // on the shared timeline, off every application thread's critical path.
+      obs::ScopedSpan span(opts_.tracing ? &ctx_->obs.tracer : nullptr, &ctx_->clock,
+                           "publisher", "publisher.drain", "ino", fs->ino);
       RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
       bool defunct;
       {
@@ -1332,6 +1432,7 @@ void SplitFs::WaitForPublishes() {
 }
 
 int SplitFs::Fsync(int fd) {
+  OpScope op_scope(this, OpKind::kFsync);
   ctx_->ChargeCpu(ctx_->model.usplit_fsync_cpu_ns);
   FileRef fs = StateOf(fd);
   if (fs == nullptr) {
@@ -1374,6 +1475,7 @@ int SplitFs::Fsync(int fd) {
 }
 
 int SplitFs::Ftruncate(int fd, uint64_t size) {
+  OpScope op_scope(this, OpKind::kFtruncate);
   ctx_->ChargeCpu(ctx_->model.user_work_ns);
   FileRef fs = StateOf(fd);
   if (fs == nullptr) {
@@ -1411,6 +1513,7 @@ int SplitFs::Ftruncate(int fd, uint64_t size) {
 }
 
 int SplitFs::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
+  OpScope op_scope(this, OpKind::kFallocate, len);
   FileRef fs = StateOf(fd);
   if (fs == nullptr) {
     return -EBADF;
@@ -1470,6 +1573,8 @@ void SplitFs::CheckpointForFull(FileState* held) {
   // is itself blocked right here has already published it, so spinning until the
   // dirty count reaches zero always terminates and never deadlocks.
   ctx_->ChargeCpu(ctx_->model.usplit_log_checkpoint_cpu_ns);
+  obs::ScopedSpan span(opts_.tracing ? &ctx_->obs.tracer : nullptr, &ctx_->clock,
+                       "checkpoint", "splitfs.checkpoint");
   uint64_t epoch = oplog_->ResetEpoch();
   if (held != nullptr) {
     // log_done=false: the reset below retires every intent wholesale, and a done
@@ -1520,6 +1625,7 @@ void SplitFs::CheckpointForFull(FileState* held) {
 // --- Recovery -------------------------------------------------------------------------------
 
 int SplitFs::Recover() {
+  OpScope op_scope(this, OpKind::kRecover);
   // A crash wiped the process: every piece of DRAM state is rebuilt from scratch.
   // Recovery runs before the instance serves new operations (single-threaded, as a
   // real restart would be). Queued publishes reference pre-crash state — drop them
@@ -1705,7 +1811,7 @@ std::unique_ptr<SplitFs> SplitFs::CloneForFork(const std::string& child_tag) con
   for (FileShard& shard : file_shards_) {
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     for (const auto& [ino, fs] : shard.map) {
-      auto copy = std::make_shared<FileState>(&ctx_->clock);
+      auto copy = std::make_shared<FileState>(&ctx_->clock, &ctx_->obs);
       {
         std::lock_guard<std::mutex> meta(fs->meta_mu);
         copy->ino = fs->ino;
@@ -1774,7 +1880,7 @@ std::unique_ptr<SplitFs> SplitFs::RestoreAfterExec(ext4sim::Ext4Dax* kfs, Option
     if (kfd < 0) {
       continue;
     }
-    auto fs = std::make_shared<FileState>(&kfs->context()->clock);
+    auto fs = std::make_shared<FileState>(&kfs->context()->clock, &kfs->context()->obs);
     fs->ino = ino;
     fs->kernel_fd = kfd;
     fs->path = path;

@@ -68,11 +68,22 @@
 #include "src/core/options.h"
 #include "src/core/staging.h"
 #include "src/ext4/ext4_dax.h"
+#include "src/obs/histogram.h"
+#include "src/obs/obs.h"
 #include "src/vfs/fd_table.h"
 #include "src/vfs/file_system.h"
 #include "src/vfs/range_lock.h"
 
 namespace splitfs {
+
+// Public operations instrumented by SplitFs::OpScope: one top-level trace span and
+// one latency-histogram record per call when Options::tracing is set.
+enum class OpKind {
+  kOpen, kClose, kUnlink, kRename, kPread, kPwrite, kRead, kWrite, kLseek, kFsync,
+  kFtruncate, kFallocate, kStat, kFstat, kMkdir, kRmdir, kReadDir, kRecover,
+};
+inline constexpr size_t kOpKindCount = static_cast<size_t>(OpKind::kRecover) + 1;
+const char* OpKindName(OpKind op);
 
 class SplitFs : public vfs::FileSystem {
  public:
@@ -155,6 +166,18 @@ class SplitFs : public vfs::FileSystem {
   const StagingPool& staging_pool() const { return *staging_; }
   ext4sim::Ext4Dax* kernel_fs() const { return kfs_; }
 
+  // --- Observability ----------------------------------------------------------------
+  // One consistent cut of every registered counter and gauge (publisher queue depth,
+  // staging occupancy, oplog fill, journal pipeline state, ...). Each gauge is
+  // evaluated exactly once per dump — see obs::MetricsRegistry::Snapshot.
+  std::vector<obs::MetricsRegistry::Sample> DumpMetrics() const {
+    return ctx_->obs.metrics.Snapshot();
+  }
+  // Per-op virtual-time latency histogram, recorded when Options::tracing is set.
+  const obs::LatencyHistogram& OpHistogram(OpKind op) const {
+    return op_hist_[static_cast<size_t>(op)];
+  }
+
  private:
   struct StagedRange {
     uint64_t file_off = 0;
@@ -167,7 +190,8 @@ class SplitFs : public vfs::FileSystem {
   };
 
   struct FileState {
-    explicit FileState(sim::Clock* clock) : rlock(clock) {}
+    explicit FileState(sim::Clock* clock, obs::Observability* obs = nullptr)
+        : rlock(clock, obs, "splitfs.range_lock") {}
 
     // Immutable after creation.
     vfs::Ino ino = vfs::kInvalidIno;
@@ -284,6 +308,53 @@ class SplitFs : public vfs::FileSystem {
   void LogMetaOp(LogOp op, vfs::Ino target, uint64_t aux, FileState* held);
   void CheckpointForFull(FileState* held);
 
+  // RAII bracket at every public operation entry: a top-level trace span named after
+  // the op (carrying the op's PM media-time delta, the §5.7 split) plus one latency
+  // record into op_hist_. Inert — one branch — unless Options::tracing is set; inert
+  // inside ScopedOffClock brackets (rewound work has no place on the timeline).
+  class OpScope {
+   public:
+    OpScope(SplitFs* fs, OpKind op, uint64_t arg = 0)
+        : fs_(fs), op_(op),
+          span_(fs->opts_.tracing ? &fs->ctx_->obs.tracer : nullptr, &fs->ctx_->clock,
+                "op", OpKindName(op), "arg", arg) {
+      if (fs_->opts_.tracing && !sim::Clock::OffClock()) {
+        active_ = true;
+        start_ns_ = fs_->ctx_->clock.Now();
+        media0_ = fs_->ctx_->stats.data_media_ns();
+      }
+    }
+    ~OpScope() {
+      if (!active_) {
+        return;
+      }
+      uint64_t end = fs_->ctx_->clock.Now();
+      if (span_.active()) {
+        // Media time charged while this op ran. Exact on one thread; concurrent
+        // threads' media charges can leak into each other's spans (the counter is
+        // process-wide), which the README's reconciliation section spells out.
+        span_.set_media_ns(fs_->ctx_->stats.data_media_ns() - media0_);
+      }
+      if (end >= start_ns_) {
+        fs_->op_hist_[static_cast<size_t>(op_)].Record(end - start_ns_);
+      }
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    SplitFs* fs_;
+    OpKind op_;
+    bool active_ = false;
+    uint64_t start_ns_ = 0;
+    uint64_t media0_ = 0;
+    obs::ScopedSpan span_;
+  };
+
+  // Registers (tag-prefixed) gauges for this instance's queues and pools; the dtor
+  // deregisters by prefix before any member is torn down.
+  void RegisterGauges();
+
   ext4sim::Ext4Dax* kfs_;
   sim::Context* ctx_;
   Options opts_;
@@ -320,6 +391,11 @@ class SplitFs : public vfs::FileSystem {
   bool publisher_paused_ = false;  // Guarded by publish_mu_; test-only.
   std::atomic<uint64_t> async_publishes_{0};
   std::atomic<uint64_t> publish_errors_{0};
+  // fsync calls that blocked on publisher-queue backpressure (kMaxQueuedPublishes).
+  std::atomic<uint64_t> publish_backpressure_{0};
+
+  // Per-op latency histograms (virtual ns), recorded by OpScope under tracing.
+  std::array<obs::LatencyHistogram, kOpKindCount> op_hist_;
 
   std::function<void()> rename_race_hook_;  // Test-only; see the setter.
 };

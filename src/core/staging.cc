@@ -113,6 +113,9 @@ bool StagingPool::RefillLaneLocked(Lane* lane) {
     // Exhausted faster than replenishment: the application pays for the new file, as
     // it would if the paper's background thread fell behind.
     sim::ScopedResourceTime serial(&pool_stamp_, &ctx_->clock);
+    obs::ReportWait(&ctx_->obs, &ctx_->clock, "staging.slow_path", serial.waited_ns());
+    obs::ScopedSpan span(&ctx_->obs.tracer, &ctx_->clock, "staging",
+                         "staging.foreground_create");
     if (!CreateStageFileLocked(CreateMode::kForeground)) {
       return false;
     }

@@ -90,6 +90,11 @@ class StagingPool {
   // Files currently held by the pool: lane-active files, the spare queue, and
   // consumed files still referenced by unpublished staged ranges.
   uint64_t LiveFiles() const;
+  // Pre-created files waiting in the spare queue (pool occupancy gauge).
+  uint64_t SpareFiles() const {
+    std::lock_guard<std::mutex> pl(pool_mu_);
+    return spare_.size();
+  }
 
   uint64_t MemoryUsageBytes() const;
 

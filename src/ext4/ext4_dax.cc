@@ -77,11 +77,15 @@ Ext4Dax::NsLock::NsLock(const Ext4Dax* fs, std::initializer_list<vfs::Ino> dirs)
     }
   }
   std::sort(idx, idx + n);
+  uint64_t waited_total = 0;
   for (size_t i = 0; i < n; ++i) {
     NsShard* sh = &fs_->ns_shards_[idx[i]];
     sh->mu.lock();
-    held_[n_++] = {sh, sh->stamp.Acquire(&fs_->ctx_->clock)};
+    uint64_t waited = 0;
+    held_[n_++] = {sh, sh->stamp.Acquire(&fs_->ctx_->clock, &waited)};
+    waited_total += waited;
   }
+  obs::ReportWait(&fs_->ctx_->obs, &fs_->ctx_->clock, "ext4.dentry_shard", waited_total);
 }
 
 Ext4Dax::NsLock::~NsLock() {
@@ -108,7 +112,8 @@ Ext4Dax::InodeRef Ext4Dax::ResolvePath(const std::string& path) {
       // cannot participate in a lock-order cycle with multi-shard mutators.
       NsShard& sh = NsShardOf(cur->ino);
       std::shared_lock<std::shared_mutex> lk(sh.mu);
-      sh.stamp.AcquireShared(&ctx_->clock);
+      obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.dentry_shard",
+                      sh.stamp.AcquireShared(&ctx_->clock));
       auto it = cur->dirents.find(name);
       if (it == cur->dirents.end()) {
         return nullptr;
@@ -299,6 +304,7 @@ int Ext4Dax::Open(const std::string& path, int flags) {
     Journal::Handle handle(&journal_);
     std::unique_lock<std::shared_mutex> il(inode->mu);
     sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
     if (inode->size > 0) {
       TruncateLocked(inode, 0);
     }
@@ -435,7 +441,7 @@ ssize_t Ext4Dax::PreadInode(const InodeRef& inode, void* buf, uint64_t n, uint64
     }
     uint64_t span = std::min(remaining, m->count * kBlockSize - in_block);
     dev_->Load(m->phys * kBlockSize + in_block, dst, span, sequential,
-               /*user_data=*/true);
+               sim::PmReadKind::kUserData);
     sequential = true;  // Continuation segments of one call stream.
     dst += span;
     cur += span;
@@ -458,6 +464,7 @@ ssize_t Ext4Dax::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
   Journal::Handle handle(&journal_);
   std::unique_lock<std::shared_mutex> il(inode->mu);
   sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
   return PwriteInode(inode, of->flags, buf, n, off);
 }
 
@@ -472,7 +479,8 @@ ssize_t Ext4Dax::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
     return -EBADF;
   }
   std::shared_lock<std::shared_mutex> il(inode->mu);
-  inode->stamp.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
+                  inode->stamp.AcquireShared(&ctx_->clock));
   return PreadInode(inode, buf, n, off);
 }
 
@@ -492,6 +500,7 @@ ssize_t Ext4Dax::Write(int fd, const void* buf, uint64_t n) {
   // one exclusive section, which is what makes multithreaded appends atomic.
   std::unique_lock<std::shared_mutex> il(inode->mu);
   sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
   uint64_t off = (of->flags & vfs::kAppend) != 0 ? inode->size : of->offset;
   ssize_t rc = PwriteInode(inode, of->flags, buf, n, off);
   if (rc > 0) {
@@ -512,7 +521,8 @@ ssize_t Ext4Dax::Read(int fd, void* buf, uint64_t n) {
   }
   std::lock_guard<std::mutex> flock(of->mu);
   std::shared_lock<std::shared_mutex> il(inode->mu);
-  inode->stamp.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
+                  inode->stamp.AcquireShared(&ctx_->clock));
   ssize_t rc = PreadInode(inode, buf, n, of->offset);
   if (rc > 0) {
     of->offset += static_cast<uint64_t>(rc);
@@ -617,6 +627,7 @@ int Ext4Dax::Ftruncate(int fd, uint64_t size) {
   Journal::Handle handle(&journal_);
   std::unique_lock<std::shared_mutex> il(inode->mu);
   sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
   TruncateLocked(inode, size);
   return 0;
 }
@@ -634,6 +645,7 @@ int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
   Journal::Handle handle(&journal_);
   std::unique_lock<std::shared_mutex> il(inode->mu);
   sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
   int64_t rc = EnsureBlocks(inode, off, len);
   if (rc < 0) {
     return static_cast<int>(rc);
@@ -1022,7 +1034,8 @@ int Ext4Dax::ReadDir(const std::string& path, std::vector<std::string>* names) {
   }
   NsShard& sh = NsShardOf(dir->ino);
   std::shared_lock<std::shared_mutex> lk(sh.mu);
-  sh.stamp.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.dentry_shard",
+                  sh.stamp.AcquireShared(&ctx_->clock));
   names->clear();
   for (const auto& [name, ino] : dir->dirents) {
     ctx_->ChargeCpu(ctx_->model.kernel_work_ns / 4);
@@ -1039,7 +1052,8 @@ int Ext4Dax::Stat(const std::string& path, vfs::StatBuf* out) {
     return -ENOENT;
   }
   std::shared_lock<std::shared_mutex> il(inode->mu);
-  inode->stamp.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
+                  inode->stamp.AcquireShared(&ctx_->clock));
   out->ino = inode->ino;
   out->size = inode->size;
   out->blocks = inode->extents.MappedBlocks();
@@ -1059,7 +1073,8 @@ int Ext4Dax::Fstat(int fd, vfs::StatBuf* out) {
     return -EBADF;
   }
   std::shared_lock<std::shared_mutex> il(inode->mu);
-  inode->stamp.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
+                  inode->stamp.AcquireShared(&ctx_->clock));
   out->ino = inode->ino;
   out->size = inode->size;
   out->blocks = inode->extents.MappedBlocks();
@@ -1135,7 +1150,8 @@ int Ext4Dax::DaxMap(int fd, uint64_t off, uint64_t len,
     return -EBADF;
   }
   std::shared_lock<std::shared_mutex> il(inode->mu);
-  inode->stamp.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
+                  inode->stamp.AcquireShared(&ctx_->clock));
   uint64_t first = off / kBlockSize;
   uint64_t count = common::DivCeil(off + len, kBlockSize) - first;
   for (const auto& m : inode->extents.FindRange(first, count)) {
@@ -1198,6 +1214,8 @@ int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
     std::unique_lock<std::shared_mutex> l2(hi->mu);
     sim::ScopedResourceTime t1(&lo->stamp, &ctx_->clock);
     sim::ScopedResourceTime t2(&hi->stamp, &ctx_->clock);
+    obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
+                    t1.waited_ns() + t2.waited_ns());
 
     uint64_t first_src = src_off / kBlockSize;
     uint64_t first_dst = dst_off / kBlockSize;

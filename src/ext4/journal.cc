@@ -16,7 +16,24 @@ Journal::Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journ
   SPLITFS_CHECK(journal_blocks >= 8);
   running_ = std::make_unique<Transaction>();
   running_->tid = next_tid_++;
+
+  // Pull-model gauges: evaluated only when the registry snapshots, reading through
+  // this journal's own synchronization (acquire loads / state_mu_).
+  obs::MetricsRegistry* m = &ctx_->obs.metrics;
+  m->RegisterGauge("journal.pipeline_depth", [this]() -> uint64_t {
+    std::lock_guard<std::mutex> state(state_mu_);
+    return committing_tid_ != 0 ? 1 : 0;
+  });
+  m->RegisterGauge("journal.commits",
+                   [this]() { return commits_.load(std::memory_order_acquire); });
+  m->RegisterGauge("journal.committed_tid", [this]() { return CommittedTid(); });
+  m->RegisterGauge("journal.commit_service_ns",
+                   [this]() { return commit_stamp_.busy_ns(); });
+  m->RegisterGauge("journal.running_dirty_blocks",
+                   [this]() { return static_cast<uint64_t>(RunningDirtyBlocks()); });
 }
+
+Journal::~Journal() { ctx_->obs.metrics.DeregisterGauges("journal."); }
 
 void Journal::Dirty(uint64_t meta_block_id, std::function<void()> undo) {
   std::lock_guard<std::mutex> lock(state_mu_);
@@ -53,7 +70,8 @@ void Journal::WaitForCommit(uint64_t tid) {
   }
   // The tid's writeout rendered commit service time while this thread slept; its
   // lane-bound virtual timeline resumes after that work, like the real wait did.
-  commit_stamp_.AcquireShared(&ctx_->clock);
+  uint64_t w = commit_stamp_.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.tid_wait", w);
 }
 
 void Journal::ChargeCommitIo(size_t n_meta_blocks) {
@@ -109,7 +127,8 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
   if (CommittedTid() >= target) {
     // Another committer carried our tid (or a later one sealed it into its own
     // commit) while we queued; we really waited for that service time.
-    commit_stamp_.AcquireShared(&ctx_->clock);
+    uint64_t w = commit_stamp_.AcquireShared(&ctx_->clock);
+    obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.pipeline_slot", w);
     return;
   }
   // Commit service time brackets the seal and the writeout: a serial resource
@@ -117,8 +136,11 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
   // timeline must sit after it. RAII so no exit path — including a crash-injection
   // unwind mid-writeout — can leave the stamp unbalanced.
   sim::ScopedResourceTime service(&commit_stamp_, &ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.pipeline_slot", service.waited_ns());
 
   {
+    obs::ScopedSpan seal_span(&ctx_->obs.tracer, &ctx_->clock, "journal", "journal.seal",
+                              "tid", target);
     // Seal: the exclusive barrier waits for in-flight handles and blocks new ones
     // only for this swap — the commit captures every joined operation complete,
     // none half-done, and T_{n+1} starts accepting handles the moment we release.
@@ -143,10 +165,14 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
   // Writeout, with the barrier released. A crash below unwinds with committing_
   // still holding its undo stack — RecoverDiscardRunning rolls back the fresh
   // running transaction first, then this unsealed one, newest mutation first.
-  if (fsync_barrier) {
-    ctx_->ChargeCpu(ctx_->model.ext4_fsync_barrier_ns);
+  {
+    obs::ScopedSpan writeout_span(&ctx_->obs.tracer, &ctx_->clock, "journal",
+                                  "journal.writeout", "tid", target);
+    if (fsync_barrier) {
+      ctx_->ChargeCpu(ctx_->model.ext4_fsync_barrier_ns);
+    }
+    ChargeCommitIo(committing_->dirty.size());
   }
-  ChargeCommitIo(committing_->dirty.size());
 
   // The commit record is durable: drop the undos, then run the deferred actions.
   // Actions execute outside state_mu_ AND outside the barrier: they take inode and
@@ -183,6 +209,9 @@ void Journal::CommitStandalone(size_t n_meta_blocks) {
   // bypasses the transaction stream entirely.
   std::lock_guard<std::mutex> pipeline(commit_mu_);
   sim::ScopedResourceTime commit_time(&commit_stamp_, &ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.pipeline_slot",
+                  commit_time.waited_ns());
+  obs::ScopedSpan span(&ctx_->obs.tracer, &ctx_->clock, "journal", "journal.standalone");
   ChargeCommitIo(n_meta_blocks);
 }
 

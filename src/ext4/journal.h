@@ -70,6 +70,7 @@ class Journal {
  public:
   // The journal occupies device blocks [journal_start, journal_start + journal_blocks).
   Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journal_blocks);
+  ~Journal();
 
   // RAII jbd2 handle: joins the running transaction. Hold one across every metadata
   // operation (Dirty/OnCommit calls plus the in-memory mutations they cover); never
@@ -85,7 +86,8 @@ class Journal {
         // which sits the commit service time already rendered — a lane-bound
         // virtual timeline must not sit before work the pipeline already did.
         j_->handle_mu_.lock_shared();
-        j_->commit_stamp_.AcquireShared(&j_->ctx_->clock);
+        uint64_t w = j_->commit_stamp_.AcquireShared(&j_->ctx_->clock);
+        obs::ReportWait(&j_->ctx_->obs, &j_->ctx_->clock, "journal.handle_seal_race", w);
       }
     }
     ~Handle() { j_->handle_mu_.unlock_shared(); }

@@ -63,7 +63,7 @@ ssize_t Nova::WriteCow(BaseInode* inode, const void* buf, uint64_t n, uint64_t o
       auto old = inode->extents.Lookup(lb);
       if (old && block_start < inode->size) {
         dev_->Load(old->phys * kBlockSize, block.data(), kBlockSize,
-                   /*sequential=*/true, /*user_data=*/false);
+                   /*sequential=*/true, sim::PmReadKind::kLog);
       } else {
         std::memset(block.data(), 0, kBlockSize);
       }

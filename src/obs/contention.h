@@ -1,0 +1,87 @@
+// Contention ledger: attributes every virtual-time fast-forward to its resource.
+//
+// sim::ResourceStamp is the single mechanism by which waiting appears in virtual
+// time — an acquirer's lane fast-forwards past the busy time of the serial resource
+// it queued behind (the journal pipeline, a contended file range, an inode lock, the
+// staging slow path). The stamp answers *how much* a lane jumped, but not *on what*;
+// this ledger adds the attribution: each acquisition site reports the fast-forward it
+// consumed under a resource name ("journal.tid_wait", "splitfs.range_lock",
+// "ext4.inode_lock", ...), and the ledger keeps per-resource totals — waits, summed
+// waited ns, and the worst single wait.
+//
+// Recording happens only when a wait actually moved a lane (waited_ns > 0), which in
+// the busy-time model means real cross-thread contention — a rare event by
+// construction — so a mutex-guarded map is cheap enough and trivially TSan-clean.
+// Like all of src/obs, the ledger only observes: it never touches the clock, so
+// timelines are identical with or without it.
+//
+// "Who waited" lives in the trace: when a Tracer is enabled, acquisition sites also
+// record a wait span on the waiting thread's own track, carrying the resource name.
+#ifndef SRC_OBS_CONTENTION_H_
+#define SRC_OBS_CONTENTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace obs {
+
+class ContentionLedger {
+ public:
+  struct Entry {
+    uint64_t waits = 0;
+    uint64_t waited_ns = 0;
+    uint64_t max_wait_ns = 0;
+  };
+
+  ContentionLedger() = default;
+  ContentionLedger(const ContentionLedger&) = delete;
+  ContentionLedger& operator=(const ContentionLedger&) = delete;
+
+  // Attributes one fast-forward of `ns` virtual nanoseconds to `resource` (a string
+  // literal naming the serial resource waited on). No-op for ns == 0, so call sites
+  // can report unconditionally.
+  void RecordWait(const char* resource, uint64_t ns) {
+    if (ns == 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = entries_[resource];
+    e.waits += 1;
+    e.waited_ns += ns;
+    if (ns > e.max_wait_ns) {
+      e.max_wait_ns = ns;
+    }
+  }
+
+  // Sorted-by-name copy of the per-resource totals (one consistent cut).
+  std::vector<std::pair<std::string, Entry>> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {entries_.begin(), entries_.end()};
+  }
+
+  uint64_t TotalWaitedNs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& [name, e] : entries_) {
+      total += e.waited_ns;
+    }
+    return total;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_CONTENTION_H_

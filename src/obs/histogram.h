@@ -1,0 +1,153 @@
+// Mergeable log-bucketed latency histogram (virtual nanoseconds).
+//
+// One histogram records the latency distribution of one (operation x mode) stream:
+// power-of-two buckets over ns, so sixty-four counters cover 1 ns .. ~584 years with
+// <= 2x relative quantile error, constant memory, and O(1) recording. Recording is a
+// pair of relaxed atomic increments — safe from any number of writer threads, cheap
+// enough for the hot path, and free of any simulated-clock effect (observability never
+// advances virtual time).
+//
+// Histograms MERGE: per-worker (or per-cell) histograms fold into an aggregate by
+// adding bucket counts, which is exact — merging is associative and commutative, a
+// property the obs tests pin down. Percentile queries return the inclusive upper bound
+// of the bucket containing the requested rank, clamped to the exact recorded maximum,
+// so p100 is exact and every reported quantile is a valid upper bound.
+#ifndef SRC_OBS_HISTOGRAM_H_
+#define SRC_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  LatencyHistogram() = default;
+  // Copy = relaxed snapshot of the counters (lets result structs carry histograms by
+  // value). Not a consistent cut under concurrent writers; callers copy after joins.
+  LatencyHistogram(const LatencyHistogram& other) { CopyFrom(other); }
+  LatencyHistogram& operator=(const LatencyHistogram& other) {
+    if (this != &other) {
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  // Bucket i holds values whose bit width is i: bucket 0 = {0}, bucket 1 = {1},
+  // bucket 2 = [2,3], bucket 3 = [4,7], ..., bucket 63 = [2^62, 2^63).
+  static int BucketOf(uint64_t v) {
+    int b = std::bit_width(v);  // 0 for v == 0.
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  // Inclusive upper bound of bucket `b` (the value a percentile query reports).
+  static uint64_t BucketUpperBound(int b) {
+    if (b <= 0) {
+      return 0;
+    }
+    if (b >= kBuckets - 1) {
+      return UINT64_MAX;
+    }
+    return (uint64_t{1} << b) - 1;
+  }
+
+  void Record(uint64_t ns) {
+    counts_[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < ns && !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Folds `other` into this histogram (exact: bucket counts add).
+  void MergeFrom(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      uint64_t n = other.counts_[i].load(std::memory_order_acquire);
+      if (n != 0) {
+        counts_[i].fetch_add(n, std::memory_order_relaxed);
+      }
+    }
+    sum_.fetch_add(other.sum_.load(std::memory_order_acquire), std::memory_order_relaxed);
+    uint64_t om = other.max_.load(std::memory_order_acquire);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < om && !max_.compare_exchange_weak(cur, om, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const auto& c : counts_) {
+      total += c.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_acquire); }
+  uint64_t Max() const { return max_.load(std::memory_order_acquire); }
+  uint64_t BucketCount(int b) const { return counts_[b].load(std::memory_order_acquire); }
+
+  // Value at quantile `p` in [0, 1]: the upper bound of the bucket holding the
+  // ceil(p * count)-th smallest sample, clamped to the exact recorded maximum.
+  // Returns 0 on an empty histogram.
+  uint64_t Percentile(double p) const {
+    uint64_t total = Count();
+    if (total == 0) {
+      return 0;
+    }
+    if (p < 0) {
+      p = 0;
+    }
+    if (p > 1) {
+      p = 1;
+    }
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+    if (rank < 1) {
+      rank = 1;
+    }
+    if (rank > total) {
+      rank = total;
+    }
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i].load(std::memory_order_acquire);
+      if (seen >= rank) {
+        uint64_t bound = BucketUpperBound(i);
+        uint64_t max = Max();
+        return bound < max ? bound : max;
+      }
+    }
+    return Max();
+  }
+
+  double MeanNs() const {
+    uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  void Reset() {
+    for (auto& c : counts_) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void CopyFrom(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      counts_[i].store(other.counts_[i].load(std::memory_order_acquire),
+                       std::memory_order_relaxed);
+    }
+    sum_.store(other.sum_.load(std::memory_order_acquire), std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_acquire), std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_HISTOGRAM_H_

@@ -1,0 +1,52 @@
+#include "src/obs/metrics.h"
+
+namespace obs {
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return it->second;
+  }
+  counter_storage_.emplace_back();
+  Counter* c = &counter_storage_.back();
+  counters_.emplace(name, c);
+  return c;
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name, GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::DeregisterGauges(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = gauges_.lower_bound(prefix); it != gauges_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    it = gauges_.erase(it);
+  }
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->Value(), /*is_counter=*/true});
+  }
+  for (const auto& [name, fn] : gauges_) {
+    out.push_back({name, fn(), /*is_counter=*/false});
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counter_storage_) {
+    c.Reset();
+  }
+}
+
+}  // namespace obs

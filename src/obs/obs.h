@@ -1,0 +1,64 @@
+// Aggregate observability state of one simulated machine.
+//
+// One Observability instance rides inside sim::Context, so every layer that can
+// charge time can also report where the time went: the span tracer (virtual-time
+// trace, off unless enabled), the pull-model metrics registry (always registered,
+// evaluated only when dumped), and the contention ledger (always on — it records only
+// when a lane actually fast-forwarded, i.e. on real contention).
+//
+// Nothing in this directory ever advances, rewinds, or fast-forwards the simulated
+// clock. That is the load-bearing invariant behind the "tracing off => bit-identical
+// timelines" acceptance bar — and it holds with tracing *on* too, which is why the
+// benches can emit latency percentiles without perturbing their throughput cells.
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include "src/obs/contention.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace obs {
+
+struct Observability {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  ContentionLedger ledger;
+
+  // Clears measurement state (recorded spans, wait totals, counter values) without
+  // tearing down registrations; invoked by sim::Context::Reset so testbed setup does
+  // not pollute the measured phase.
+  void Reset() {
+    tracer.Reset();
+    ledger.Reset();
+    metrics.ResetCounters();
+  }
+};
+
+// Reports one contended acquisition: `waited_ns` virtual nanoseconds of fast-forward
+// attributed to `resource` in the ledger, plus — when the tracer is recording — a
+// retroactive wait span [now - waited, now] on the waiting thread's own track (the
+// "who waited" half of the attribution). No-op when nothing was waited, so call
+// sites report unconditionally.
+inline void ReportWait(Observability* obs, sim::Clock* clock, const char* resource,
+                       uint64_t waited_ns) {
+  if (waited_ns == 0) {
+    return;
+  }
+  obs->ledger.RecordWait(resource, waited_ns);
+  if (obs->tracer.enabled() && !sim::Clock::OffClock()) {
+    SpanRecord span;
+    span.name = resource;
+    span.category = "wait";
+    uint64_t now = clock->Now();
+    span.end_ns = now;
+    span.start_ns = now - waited_ns;
+    // The wait ended at the current nesting level; balance is untouched.
+    span.depth = obs->tracer.EnterDepth();
+    obs->tracer.ExitDepth();
+    obs->tracer.Record(span);
+  }
+}
+
+}  // namespace obs
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,0 +1,166 @@
+// Span tracer keyed to the simulated clock.
+//
+// Records enter/exit spans (operation, subsystem phase, lock wait) with *virtual*
+// nanosecond timestamps, so a whole run opens in a trace viewer on the same timeline
+// the benches report. Design constraints, in order:
+//
+//  1. Zero effect on virtual time. The tracer only ever reads sim::Clock::Now(); it
+//     never advances, rewinds, or fast-forwards. Timelines with tracing on are
+//     bit-identical to timelines with tracing off.
+//  2. Near-zero cost when disabled: one relaxed atomic load per ScopedSpan.
+//  3. Lock-free recording when enabled: each thread owns a private ring of completed
+//     spans — the owning thread is the only writer; a span is published by a release
+//     store of the ring size, and the exporter (which runs after workers join, or at
+//     quiescence) reads it back with an acquire load. No shared cache line is written
+//     on the recording path. When a ring fills, further spans are dropped and counted
+//     (never silently).
+//
+// A span is recorded at *exit* as one complete record (start, end, depth), which makes
+// ring contents trivially well-formed: nesting balance is enforced by RAII, and the
+// exporter never needs to pair begin/end events. Work bracketed by sim::ScopedOffClock
+// (inline background work whose charge is rewound) is not recorded — its virtual
+// interval is retracted from the timeline, so a span over it would overlap its
+// successors and double-count rewound time in the reconciliation identity.
+//
+// The exporter writes Chrome trace-event JSON ("X" complete events, microsecond
+// timestamps), which Perfetto and chrome://tracing load directly; each thread's lane
+// appears as its own track of the virtual timeline.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace obs {
+
+// One completed span. Name/category are string literals (never owned).
+struct SpanRecord {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint32_t tid = 0;    // Tracer-local thread index (ring identity).
+  uint32_t depth = 0;  // Nesting depth at entry; 0 = top-level.
+  // Optional argument (file ino, tid waited on, ...). arg_name == nullptr when unset.
+  const char* arg_name = nullptr;
+  uint64_t arg = 0;
+  // PM media time charged inside this span (top-level op spans only; 0 elsewhere).
+  // Lets the exporter and the reconciliation identity split span time into software
+  // self-time + media time, the paper's §5.7 decomposition.
+  uint64_t media_ns = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Turns recording on. `ring_capacity` is the per-thread span budget; a full ring
+  // drops (and counts) further spans rather than growing or overwriting.
+  void Enable(size_t ring_capacity = 1 << 16);
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded spans and drop counts (benches reset after testbed setup so
+  // the exported trace covers only the measured phase). Recording threads must be
+  // quiescent (same contract as Export).
+  void Reset();
+
+  // Recording-side API (used by ScopedSpan; also directly by instrumentation that
+  // records a fully-formed wait span). Returns false if the span was dropped.
+  bool Record(const SpanRecord& span);
+  // Per-thread nesting depth bookkeeping for ScopedSpan.
+  uint32_t EnterDepth();
+  void ExitDepth();
+  uint32_t CurrentDepthForTest();
+  uint32_t ThreadIdForTest() { return RingOfThisThread()->tid; }
+
+  // --- Export / inspection (call after recording threads have joined) ---------------
+  uint64_t SpanCount() const;
+  uint64_t Drops() const;
+  // Visits every recorded span (ring order per thread; threads in registration order).
+  void ForEachSpan(const std::function<void(const SpanRecord&)>& fn) const;
+  // Writes Chrome trace-event JSON loadable by Perfetto / chrome://tracing.
+  // Returns false if the file cannot be written.
+  bool ExportChromeTrace(const std::string& path) const;
+
+  // Sum of top-level (depth 0) span durations, per the reconciliation identity
+  // Σ top-level span time ≈ clock.Now() (single-timeline runs; see README).
+  uint64_t TopLevelSpanNs() const;
+  // Sum of media_ns across all spans.
+  uint64_t MediaNs() const;
+
+ private:
+  struct Ring {
+    explicit Ring(uint32_t tid_in, size_t capacity) : tid(tid_in), slots(capacity) {}
+    const uint32_t tid;
+    std::vector<SpanRecord> slots;
+    // Owner thread stores slots then publishes with a release store of size; the
+    // exporter acquires size and reads the prefix.
+    std::atomic<size_t> size{0};
+    std::atomic<uint64_t> drops{0};
+    uint32_t depth = 0;  // Owner-thread only.
+  };
+
+  Ring* RingOfThisThread();
+
+  std::atomic<bool> enabled_{false};
+  size_t ring_capacity_ = 1 << 16;
+  const uint64_t tracer_id_;  // Distinguishes tracers in the thread-local ring cache.
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// RAII span. Inert when the tracer is null/disabled or the calling thread is inside a
+// sim::ScopedOffClock bracket (rewound work must not appear on the timeline).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, sim::Clock* clock, const char* category, const char* name,
+             const char* arg_name = nullptr, uint64_t arg = 0)
+      : tracer_(tracer), clock_(clock) {
+    if (tracer_ == nullptr || !tracer_->enabled() || sim::Clock::OffClock()) {
+      tracer_ = nullptr;
+      return;
+    }
+    span_.name = name;
+    span_.category = category;
+    span_.arg_name = arg_name;
+    span_.arg = arg;
+    span_.depth = tracer_->EnterDepth();
+    span_.start_ns = clock_->Now();
+  }
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    span_.end_ns = clock_->Now();
+    tracer_->ExitDepth();
+    tracer_->Record(span_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  uint64_t start_ns() const { return span_.start_ns; }
+  // Media attribution for top-level op spans (set just before destruction).
+  void set_media_ns(uint64_t ns) { span_.media_ns = ns; }
+
+ private:
+  Tracer* tracer_;
+  sim::Clock* clock_;
+  SpanRecord span_;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_TRACE_H_

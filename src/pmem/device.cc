@@ -134,7 +134,7 @@ void Device::Fence() {
 }
 
 void Device::Load(uint64_t off, void* dst, uint64_t n, bool sequential,
-                  bool user_data) const {
+                  sim::PmReadKind kind) const {
   SPLITFS_CHECK(off + n <= data_.size());
   if (n == 0) {
     return;
@@ -142,7 +142,7 @@ void Device::Load(uint64_t off, void* dst, uint64_t n, bool sequential,
   std::memcpy(dst, data_.data() + off, n);
   uint64_t ns = ctx_->model.PmReadCost(n, sequential);
   ctx_->clock.Advance(ns);
-  ctx_->stats.AddPmRead(n, ns, user_data);
+  ctx_->stats.AddPmRead(kind, n, ns);
 }
 
 void Device::Crash(common::Rng* rng) {

@@ -78,8 +78,9 @@ class Device {
   void Fence();
 
   // Loads [off, off+n) into dst. `sequential` selects the latency class (Table 2);
-  // `user_data` marks payload reads for the software-overhead accounting.
-  void Load(uint64_t off, void* dst, uint64_t n, bool sequential, bool user_data) const;
+  // `kind` classifies the read for accounting — kUserData marks payload reads for
+  // the software-overhead split, the rest refine pm_read_bytes by purpose.
+  void Load(uint64_t off, void* dst, uint64_t n, bool sequential, sim::PmReadKind kind) const;
 
   // --- DAX window --------------------------------------------------------------------
   // Raw pointer into the device, the moral equivalent of a DAX mmap target. Callers

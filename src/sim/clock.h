@@ -169,13 +169,24 @@ class ResourceStamp {
   // No-ops without a bound lane or inside a ScopedOffClock bracket: background
   // work — whether on a real background thread (no lane) or run inline with its
   // cost rewound — renders no foreground-visible service time.
-  uint64_t Acquire(Clock* clock) {
+  // `waited_ns`, when non-null, receives the fast-forward this acquisition consumed
+  // (0 when uncontended) — the hook the contention ledger (src/obs) attributes
+  // virtual-time waits through.
+  uint64_t Acquire(Clock* clock, uint64_t* waited_ns = nullptr) {
+    if (waited_ns != nullptr) {
+      *waited_ns = 0;
+    }
     if (!clock->HasLane() || Clock::OffClock()) {
       return 0;
     }
     Refresh(clock);
+    uint64_t before = clock->Now();
     clock->FastForwardTo(busy_ns_.load(std::memory_order_relaxed));
-    return clock->Now();
+    uint64_t now = clock->Now();
+    if (waited_ns != nullptr && now > before) {
+      *waited_ns = now - before;
+    }
+    return now;
   }
   void Release(Clock* clock, uint64_t t0) {
     if (!clock->HasLane() || Clock::OffClock()) {
@@ -193,13 +204,17 @@ class ResourceStamp {
   // time the exclusive side has rendered, but adds none of its own — concurrent
   // readers overlap, so charging their section durations into the busy total would
   // serialize them. Callers that did not actually wait (the pipelined journal's
-  // uncontended handle fast path) skip even this.
-  void AcquireShared(Clock* clock) {
+  // uncontended handle fast path) skip even this. Returns the fast-forward consumed
+  // (0 when uncontended), for contention-ledger attribution.
+  uint64_t AcquireShared(Clock* clock) {
     if (!clock->HasLane() || Clock::OffClock()) {
-      return;
+      return 0;
     }
     Refresh(clock);
+    uint64_t before = clock->Now();
     clock->FastForwardTo(busy_ns_.load(std::memory_order_relaxed));
+    uint64_t now = clock->Now();
+    return now > before ? now - before : 0;
   }
 
   // Folds `other`'s accumulated service time into this stamp. Range-granular locks
@@ -212,6 +227,10 @@ class ResourceStamp {
     busy_ns_.fetch_add(other->busy_ns_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
   }
+
+  // Accumulated service time (metrics gauge: e.g. the journal's total commit
+  // service / stall basis). Observation only.
+  uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_acquire); }
 
  private:
   // Busy time from before a Clock::Reset() must not leak into the next measured
@@ -260,16 +279,21 @@ class ScopedOffClock {
 class ScopedResourceTime {
  public:
   ScopedResourceTime(ResourceStamp* stamp, Clock* clock) : stamp_(stamp), clock_(clock) {
-    t0_ = stamp_->Acquire(clock_);
+    t0_ = stamp_->Acquire(clock_, &waited_ns_);
   }
   ~ScopedResourceTime() { stamp_->Release(clock_, t0_); }
   ScopedResourceTime(const ScopedResourceTime&) = delete;
   ScopedResourceTime& operator=(const ScopedResourceTime&) = delete;
 
+  // Fast-forward the acquisition consumed (0 when uncontended); callers feed this to
+  // the contention ledger with their site's resource name.
+  uint64_t waited_ns() const { return waited_ns_; }
+
  private:
   ResourceStamp* stamp_;
   Clock* clock_;
   uint64_t t0_ = 0;
+  uint64_t waited_ns_ = 0;
 };
 
 }  // namespace sim

@@ -5,6 +5,7 @@
 #ifndef SRC_SIM_CONTEXT_H_
 #define SRC_SIM_CONTEXT_H_
 
+#include "src/obs/obs.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/stats.h"
@@ -15,6 +16,9 @@ struct Context {
   Clock clock;
   CostModel model;
   Stats stats;
+  // Observability plane of this machine: span tracer, metrics registry, contention
+  // ledger. Observes the clock, never drives it (see src/obs/obs.h).
+  obs::Observability obs;
 
   // Convenience charge helpers used across the FS implementations. ------------------
 
@@ -48,6 +52,7 @@ struct Context {
   void Reset() {
     clock.Reset();
     stats.Reset();
+    obs.Reset();
   }
 };
 

@@ -23,6 +23,18 @@ enum class PmWriteKind {
   kLog,       // NOVA inode logs, Strata private logs, SplitFS op log.
 };
 
+// What a PM read is for. kUserData (and only kUserData) counts toward
+// data_media_ns_, preserving the §5.7 overhead split exactly as before the kinds
+// existed; the other kinds refine what used to be the undifferentiated
+// "non-user-data" bucket.
+enum class PmReadKind {
+  kUserData,  // Payload bytes served to the application.
+  kMetadata,  // Inode tables, directories, extent trees.
+  kJournal,   // Journal scan during recovery/checkpoint.
+  kLog,       // Operation-log / inode-log replay reads.
+  kStaging,   // SplitFS staging-file reads during relink/copy publication.
+};
+
 class Stats {
  public:
   Stats() = default;
@@ -48,10 +60,25 @@ class Stats {
     }
   }
 
-  void AddPmRead(uint64_t bytes, uint64_t media_ns, bool user_data) {
+  void AddPmRead(PmReadKind kind, uint64_t bytes, uint64_t media_ns) {
     pm_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    if (user_data) {
-      data_media_ns_.fetch_add(media_ns, std::memory_order_relaxed);
+    switch (kind) {
+      case PmReadKind::kUserData:
+        read_data_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        data_media_ns_.fetch_add(media_ns, std::memory_order_relaxed);
+        break;
+      case PmReadKind::kMetadata:
+        read_metadata_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        break;
+      case PmReadKind::kJournal:
+        read_journal_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        break;
+      case PmReadKind::kLog:
+        read_log_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        break;
+      case PmReadKind::kStaging:
+        read_staging_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        break;
     }
   }
 
@@ -68,6 +95,11 @@ class Stats {
   uint64_t metadata_bytes() const { return metadata_bytes_.load(std::memory_order_relaxed); }
   uint64_t journal_bytes() const { return journal_bytes_.load(std::memory_order_relaxed); }
   uint64_t log_bytes() const { return log_bytes_.load(std::memory_order_relaxed); }
+  uint64_t read_data_bytes() const { return read_data_bytes_.load(std::memory_order_relaxed); }
+  uint64_t read_metadata_bytes() const { return read_metadata_bytes_.load(std::memory_order_relaxed); }
+  uint64_t read_journal_bytes() const { return read_journal_bytes_.load(std::memory_order_relaxed); }
+  uint64_t read_log_bytes() const { return read_log_bytes_.load(std::memory_order_relaxed); }
+  uint64_t read_staging_bytes() const { return read_staging_bytes_.load(std::memory_order_relaxed); }
   uint64_t data_media_ns() const { return data_media_ns_.load(std::memory_order_relaxed); }
   uint64_t syscalls() const { return syscalls_.load(std::memory_order_relaxed); }
   uint64_t fences() const { return fences_.load(std::memory_order_relaxed); }
@@ -87,6 +119,11 @@ class Stats {
     metadata_bytes_ = 0;
     journal_bytes_ = 0;
     log_bytes_ = 0;
+    read_data_bytes_ = 0;
+    read_metadata_bytes_ = 0;
+    read_journal_bytes_ = 0;
+    read_log_bytes_ = 0;
+    read_staging_bytes_ = 0;
     data_media_ns_ = 0;
     syscalls_ = 0;
     fences_ = 0;
@@ -106,6 +143,13 @@ class Stats {
   alignas(64) std::atomic<uint64_t> metadata_bytes_{0};
   alignas(64) std::atomic<uint64_t> journal_bytes_{0};
   alignas(64) std::atomic<uint64_t> log_bytes_{0};
+  // Read-kind split shares lines pairwise: reads are colder than the write-path
+  // counters the padding exists for.
+  alignas(64) std::atomic<uint64_t> read_data_bytes_{0};
+  std::atomic<uint64_t> read_metadata_bytes_{0};
+  alignas(64) std::atomic<uint64_t> read_journal_bytes_{0};
+  std::atomic<uint64_t> read_log_bytes_{0};
+  alignas(64) std::atomic<uint64_t> read_staging_bytes_{0};
   alignas(64) std::atomic<uint64_t> data_media_ns_{0};
   alignas(64) std::atomic<uint64_t> syscalls_{0};
   alignas(64) std::atomic<uint64_t> fences_{0};

@@ -105,10 +105,10 @@ void Strata::Digest() {
         uint64_t from = std::max(off, block_start);
         uint64_t to = std::min(off + piece.len, block_start + kBlockSize);
         dev_->Load(hit->phys * kBlockSize, block.data(), kBlockSize,
-                   /*sequential=*/true, /*user_data=*/false);
+                   /*sequential=*/true, sim::PmReadKind::kLog);
         dev_->Load(meta_region_start_ + piece.log_off + (from - off),
                    block.data() + (from - block_start), to - from,
-                   /*sequential=*/true, /*user_data=*/false);
+                   /*sequential=*/true, sim::PmReadKind::kLog);
         dev_->StoreNt(hit->phys * kBlockSize, block.data(), kBlockSize,
                       sim::PmWriteKind::kLog);
       }
@@ -171,7 +171,7 @@ ssize_t Strata::ReadData(BaseInode* inode, void* buf, uint64_t n, uint64_t off) 
       uint64_t delta = cur - piece_start;
       uint64_t span = std::min(end - cur, covering->len - delta);
       dev_->Load(meta_region_start_ + covering->log_off + delta, dst, span,
-                 /*sequential=*/n >= kBlockSize, /*user_data=*/true);
+                 /*sequential=*/n >= kBlockSize, sim::PmReadKind::kUserData);
       dst += span;
       cur += span;
       continue;

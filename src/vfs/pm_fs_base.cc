@@ -148,7 +148,7 @@ ssize_t PmFsBase::ReadExtents(BaseInode* inode, void* buf, uint64_t n, uint64_t 
     }
     uint64_t span = std::min(remaining, m->count * kBlockSize - in_block);
     dev_->Load(m->phys * kBlockSize + in_block, dst, span, sequential,
-               /*user_data=*/true);
+               sim::PmReadKind::kUserData);
     sequential = true;
     dst += span;
     cur += span;

@@ -38,6 +38,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/sim/clock.h"
 
 namespace vfs {
@@ -46,8 +47,13 @@ class RangeLock {
  public:
   static constexpr uint64_t kWholeFile = UINT64_MAX;
 
-  // `clock` may be null (no virtual-time accounting, e.g. unit tests).
-  explicit RangeLock(sim::Clock* clock = nullptr) : clock_(clock) {}
+  // `clock` may be null (no virtual-time accounting, e.g. unit tests). `ledger`, when
+  // set, receives every virtual-time wait this lock induces, attributed under
+  // `resource` (a string literal; per-file locks share one name — the per-file detail
+  // lives in the trace's wait spans).
+  explicit RangeLock(sim::Clock* clock = nullptr, obs::Observability* obs = nullptr,
+                     const char* resource = "vfs.range_lock")
+      : clock_(clock), obs_(obs), resource_(resource) {}
   RangeLock(const RangeLock&) = delete;
   RangeLock& operator=(const RangeLock&) = delete;
 
@@ -232,10 +238,14 @@ class RangeLock {
       if (waited) {
         // A waiter resumes no earlier than the accumulated busy time of the ranges
         // it actually waited behind (stamps overlapping its own range).
+        uint64_t waited_ns = 0;
         for (RangeStamp& rs : stamps_) {
           if (Overlaps(rs.off, rs.end, off, end)) {
-            rs.stamp.AcquireShared(clock_);
+            waited_ns += rs.stamp.AcquireShared(clock_);
           }
+        }
+        if (obs_ != nullptr) {
+          obs::ReportWait(obs_, clock_, resource_, waited_ns);
         }
       }
       t0 = clock_->Now();
@@ -244,6 +254,8 @@ class RangeLock {
   }
 
   sim::Clock* clock_;
+  obs::Observability* obs_;
+  const char* resource_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Held> held_;

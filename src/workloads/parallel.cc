@@ -60,8 +60,10 @@ ParallelResult RunParallelAppend(vfs::FileSystem* fs, sim::Clock* clock, int thr
   ParallelResult res;
   std::atomic<uint64_t> ops{0};
   std::atomic<uint64_t> errors{0};
+  std::vector<obs::LatencyHistogram> hists(static_cast<size_t>(threads));
 
   res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    obs::LatencyHistogram& hist = hists[static_cast<size_t>(t)];
     std::string path = dir + "/append-" + std::to_string(t);
     int fd = fs->Open(path, vfs::kRdWr | vfs::kCreate);
     if (fd < 0) {
@@ -75,6 +77,9 @@ ParallelResult RunParallelAppend(vfs::FileSystem* fs, sim::Clock* clock, int thr
       for (uint64_t i = 0; i < op_bytes; ++i) {
         buf[i] = PayloadByte(t, off + i);
       }
+      // One latency sample covers the write plus the fsync it triggers (if any):
+      // the unit of work a caller observes per counted op.
+      uint64_t op_t0 = clock->Now();
       if (fs->Pwrite(fd, buf.data(), op_bytes, off) != static_cast<ssize_t>(op_bytes)) {
         errors.fetch_add(1, std::memory_order_relaxed);
         break;
@@ -84,6 +89,7 @@ ParallelResult RunParallelAppend(vfs::FileSystem* fs, sim::Clock* clock, int thr
       if (fsync_every != 0 && my_ops % fsync_every == 0 && fs->Fsync(fd) != 0) {
         errors.fetch_add(1, std::memory_order_relaxed);
       }
+      hist.Record(clock->Now() - op_t0);
     }
     if (fs->Fsync(fd) != 0) {
       errors.fetch_add(1, std::memory_order_relaxed);
@@ -99,6 +105,9 @@ ParallelResult RunParallelAppend(vfs::FileSystem* fs, sim::Clock* clock, int thr
   res.ops = ops.load();
   res.bytes = res.ops * op_bytes;
   res.errors = errors.load();
+  for (const obs::LatencyHistogram& h : hists) {
+    res.latency.MergeFrom(h);
+  }
   return res;
 }
 
@@ -128,7 +137,9 @@ ParallelResult RunParallelRead(vfs::FileSystem* fs, sim::Clock* clock, int threa
   ParallelResult res;
   std::atomic<uint64_t> ops{0};
   std::atomic<uint64_t> errors{0};
+  std::vector<obs::LatencyHistogram> hists(static_cast<size_t>(threads));
   res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    obs::LatencyHistogram& hist = hists[static_cast<size_t>(t)];
     std::string path = dir + "/read-" + std::to_string(t);
     int fd = fs->Open(path, vfs::kRdOnly);
     if (fd < 0) {
@@ -141,10 +152,12 @@ ParallelResult RunParallelRead(vfs::FileSystem* fs, sim::Clock* clock, int threa
     uint64_t slots = file_bytes / op_bytes;
     for (uint64_t i = 0; i < ops_per_thread; ++i) {
       uint64_t off = rng.Uniform(slots) * op_bytes;
+      uint64_t op_t0 = clock->Now();
       if (fs->Pread(fd, buf.data(), op_bytes, off) != static_cast<ssize_t>(op_bytes)) {
         errors.fetch_add(1, std::memory_order_relaxed);
         break;
       }
+      hist.Record(clock->Now() - op_t0);
       // Spot-check first/last byte of every read.
       if (buf[0] != PayloadByte(t, off) ||
           buf[op_bytes - 1] != PayloadByte(t, off + op_bytes - 1)) {
@@ -159,6 +172,9 @@ ParallelResult RunParallelRead(vfs::FileSystem* fs, sim::Clock* clock, int threa
   res.ops = ops.load();
   res.bytes = res.ops * op_bytes;
   res.errors = errors.load();
+  for (const obs::LatencyHistogram& h : hists) {
+    res.latency.MergeFrom(h);
+  }
   return res;
 }
 
@@ -171,8 +187,10 @@ ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int thre
   std::atomic<uint64_t> bytes{0};
   std::atomic<uint64_t> errors{0};
   constexpr uint32_t kValueBytes = 1024;  // YCSB standard 10 fields x 100 B, rounded.
+  std::vector<obs::LatencyHistogram> hists(static_cast<size_t>(threads));
 
   res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    obs::LatencyHistogram& hist = hists[static_cast<size_t>(t)];
     // One LevelDB-shaped store per application thread, all over the shared U-Split
     // instance (the paper's multi-application scenario, §3.2).
     apps::KvLsmOptions kopts;
@@ -194,6 +212,7 @@ ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int thre
     uint64_t my_bytes = 0;
     for (uint64_t i = 0; i < ops_per_thread; ++i) {
       uint64_t k = zipf.NextScrambled();
+      uint64_t op_t0 = clock->Now();
       if (rng.OneIn(2)) {
         auto got = store.Get(key_for(k));
         if (!got.has_value()) {
@@ -207,6 +226,7 @@ ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int thre
         }
         my_bytes += kValueBytes;
       }
+      hist.Record(clock->Now() - op_t0);
       ++my_ops;
     }
     ops.fetch_add(my_ops, std::memory_order_relaxed);
@@ -216,6 +236,9 @@ ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int thre
   res.ops = ops.load();
   res.bytes = bytes.load();
   res.errors = errors.load();
+  for (const obs::LatencyHistogram& h : hists) {
+    res.latency.MergeFrom(h);
+  }
   return res;
 }
 
@@ -249,7 +272,9 @@ ParallelResult RunParallelYcsbC(vfs::FileSystem* fs, sim::Clock* clock, int thre
   std::atomic<uint64_t> ops{0};
   std::atomic<uint64_t> bytes{0};
   std::atomic<uint64_t> errors{0};
+  std::vector<obs::LatencyHistogram> hists(static_cast<size_t>(threads));
   res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    obs::LatencyHistogram& hist = hists[static_cast<size_t>(t)];
     apps::KvLsm& store = *stores[static_cast<size_t>(t)];
     common::ZipfianGenerator zipf(records_per_thread, 0.99,
                                   seed + static_cast<uint64_t>(t) * 131 + 7);
@@ -258,12 +283,14 @@ ParallelResult RunParallelYcsbC(vfs::FileSystem* fs, sim::Clock* clock, int thre
     uint64_t my_bytes = 0;
     for (uint64_t i = 0; i < ops_per_thread; ++i) {
       uint64_t k = zipf.NextScrambled();
+      uint64_t op_t0 = clock->Now();
       auto got = store.Get(key_for(t, k));
       if (!got.has_value() || got->size() != kValueBytes || (*got)[0] != expect) {
         errors.fetch_add(1, std::memory_order_relaxed);
       } else {
         my_bytes += got->size();
       }
+      hist.Record(clock->Now() - op_t0);
       ++my_ops;
     }
     ops.fetch_add(my_ops, std::memory_order_relaxed);
@@ -273,6 +300,9 @@ ParallelResult RunParallelYcsbC(vfs::FileSystem* fs, sim::Clock* clock, int thre
   res.ops = ops.load();
   res.bytes = bytes.load();
   res.errors = errors.load();
+  for (const obs::LatencyHistogram& h : hists) {
+    res.latency.MergeFrom(h);
+  }
   return res;
 }
 

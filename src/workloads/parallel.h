@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/histogram.h"
 #include "src/sim/clock.h"
 #include "src/vfs/file_system.h"
 
@@ -26,6 +27,9 @@ struct ParallelResult {
   uint64_t bytes = 0;        // Aggregate payload bytes.
   uint64_t elapsed_ns = 0;   // max over workers of (lane end - lane start).
   uint64_t errors = 0;       // Failed calls or post-run verification mismatches.
+  // Per-op virtual latency, one sample per counted operation unit (a write plus any
+  // fsync it triggered; a read; a KV get/put), merged across all worker lanes.
+  obs::LatencyHistogram latency;
   double MopsPerSec() const {
     return elapsed_ns == 0 ? 0
                            : static_cast<double>(ops) * 1e3 / static_cast<double>(elapsed_ns);

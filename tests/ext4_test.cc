@@ -222,7 +222,7 @@ TEST_F(Ext4Test, DaxMapExposesStablePhysicalRanges) {
   ASSERT_FALSE(maps.empty());
   // Reading the device at the mapped offset sees the file contents: DAX semantics.
   std::vector<uint8_t> back(64);
-  dev_.Load(maps[0].dev_off, back.data(), 64, true, false);
+  dev_.Load(maps[0].dev_off, back.data(), 64, true, sim::PmReadKind::kMetadata);
   EXPECT_EQ(0, std::memcmp(back.data(), data.data(), 64));
   fs_.Close(fd);
 }

@@ -22,7 +22,7 @@ TEST_F(DeviceTest, StoreLoadRoundTrip) {
   }
   dev_.StoreNt(8192, src.data(), src.size(), sim::PmWriteKind::kUserData);
   std::vector<uint8_t> dst(4096);
-  dev_.Load(8192, dst.data(), dst.size(), /*sequential=*/true, /*user_data=*/true);
+  dev_.Load(8192, dst.data(), dst.size(), /*sequential=*/true, sim::PmReadKind::kUserData);
   EXPECT_EQ(src, dst);
 }
 
@@ -38,10 +38,10 @@ TEST_F(DeviceTest, NtWrite4kCostsAnchor) {
 TEST_F(DeviceTest, ReadLatencyClasses) {
   std::vector<uint8_t> buf(64);
   uint64_t t0 = ctx_.clock.Now();
-  dev_.Load(0, buf.data(), 64, /*sequential=*/true, false);
+  dev_.Load(0, buf.data(), 64, /*sequential=*/true, sim::PmReadKind::kMetadata);
   uint64_t seq = ctx_.clock.Now() - t0;
   t0 = ctx_.clock.Now();
-  dev_.Load(1 * common::kMiB, buf.data(), 64, /*sequential=*/false, false);
+  dev_.Load(1 * common::kMiB, buf.data(), 64, /*sequential=*/false, sim::PmReadKind::kMetadata);
   uint64_t rand = ctx_.clock.Now() - t0;
   EXPECT_GT(rand, seq);  // Table 2: random loads are slower.
 }
@@ -67,7 +67,7 @@ TEST_F(DeviceTest, CrashRevertsUnfencedNtStore) {
   EXPECT_GT(dev_.UnpersistedLines(), 0u);
   dev_.Crash();  // No fence: the store never reached its persistence point.
   uint32_t back = 1;
-  dev_.Load(128, &back, sizeof(back), true, false);
+  dev_.Load(128, &back, sizeof(back), true, sim::PmReadKind::kMetadata);
   EXPECT_EQ(back, 0u);
 }
 
@@ -79,7 +79,7 @@ TEST_F(DeviceTest, FenceMakesNtStoreDurable) {
   EXPECT_EQ(dev_.UnpersistedLines(), 0u);
   dev_.Crash();
   uint32_t back = 0;
-  dev_.Load(128, &back, sizeof(back), true, false);
+  dev_.Load(128, &back, sizeof(back), true, sim::PmReadKind::kMetadata);
   EXPECT_EQ(back, 0xDEADBEEFu);
 }
 
@@ -91,14 +91,14 @@ TEST_F(DeviceTest, TemporalStoreNeedsClwbAndFence) {
   dev_.StoreTemporal(0, &v, sizeof(v), sim::PmWriteKind::kUserData);
   dev_.Crash();
   uint32_t back = 1;
-  dev_.Load(0, &back, sizeof(back), true, false);
+  dev_.Load(0, &back, sizeof(back), true, sim::PmReadKind::kMetadata);
   EXPECT_EQ(back, 0u);
 
   // Store + clwb, no fence: still lost (deterministic model: only fences persist).
   dev_.StoreTemporal(0, &v, sizeof(v), sim::PmWriteKind::kUserData);
   dev_.Clwb(0, sizeof(v));
   dev_.Crash();
-  dev_.Load(0, &back, sizeof(back), true, false);
+  dev_.Load(0, &back, sizeof(back), true, sim::PmReadKind::kMetadata);
   EXPECT_EQ(back, 0u);
 
   // Full sequence: durable.
@@ -106,7 +106,7 @@ TEST_F(DeviceTest, TemporalStoreNeedsClwbAndFence) {
   dev_.Clwb(0, sizeof(v));
   dev_.Fence();
   dev_.Crash();
-  dev_.Load(0, &back, sizeof(back), true, false);
+  dev_.Load(0, &back, sizeof(back), true, sim::PmReadKind::kMetadata);
   EXPECT_EQ(back, 0x12345678u);
 }
 
@@ -119,7 +119,7 @@ TEST_F(DeviceTest, CrashPreservesOldContents) {
   dev_.StoreNt(256, &new_val, 8, sim::PmWriteKind::kUserData);  // Unfenced overwrite.
   dev_.Crash();
   uint64_t back = 0;
-  dev_.Load(256, &back, 8, true, false);
+  dev_.Load(256, &back, 8, true, sim::PmReadKind::kMetadata);
   EXPECT_EQ(back, old_val);  // Rolls back to the last persisted value, not zero.
 }
 
@@ -131,7 +131,7 @@ TEST_F(DeviceTest, TornCrashPersistsRandomSubset) {
   common::Rng rng(123);
   dev_.Crash(&rng);
   std::vector<uint8_t> back(buf.size());
-  dev_.Load(0, back.data(), back.size(), true, false);
+  dev_.Load(0, back.data(), back.size(), true, sim::PmReadKind::kMetadata);
   int survived = 0, lost = 0;
   for (int line = 0; line < 64; ++line) {
     if (back[line * 64] == 0xFF) {

@@ -60,11 +60,11 @@ inline const char* FsKindName(FsKind k) {
 class Testbed {
  public:
   explicit Testbed(FsKind kind, uint64_t device_bytes = 4 * common::kGiB,
-                   splitfs::Options split_opts = {}) {
+                   splitfs::Options split_opts = {}, ext4sim::Ext4Options ext4_opts = {}) {
     dev_ = std::make_unique<pmem::Device>(&ctx_, device_bytes);
     switch (kind) {
       case FsKind::kExt4Dax:
-        ext4_ = std::make_unique<ext4sim::Ext4Dax>(dev_.get());
+        ext4_ = std::make_unique<ext4sim::Ext4Dax>(dev_.get(), ext4_opts);
         fs_ = ext4_.get();
         break;
       case FsKind::kPmfs:
@@ -94,7 +94,7 @@ class Testbed {
         split_opts.mode = kind == FsKind::kSplitPosix  ? splitfs::Mode::kPosix
                           : kind == FsKind::kSplitSync ? splitfs::Mode::kSync
                                                        : splitfs::Mode::kStrict;
-        ext4_ = std::make_unique<ext4sim::Ext4Dax>(dev_.get());
+        ext4_ = std::make_unique<ext4sim::Ext4Dax>(dev_.get(), ext4_opts);
         split_ = std::make_unique<splitfs::SplitFs>(ext4_.get(), split_opts);
         fs_ = split_.get();
         break;

@@ -12,7 +12,10 @@
 #
 # The default run includes the `examples` label: every examples/*.cpp builds as
 # example_<name> and executes as a smoke test, so the worked examples cannot
-# silently bit-rot against API changes.
+# silently bit-rot against API changes. It finishes with the fsync-storm bench
+# smoke: bench_scalability --trace (commit-coalescing + trace-reconciliation
+# self-check), --schema-check (BENCH_scalability.json schema), and --repeat-check
+# (posix append cell determinism gate).
 #
 # Extra arguments are forwarded to ctest.
 set -euo pipefail
@@ -37,3 +40,15 @@ fi
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
+
+# fsync-storm bench smoke: a 4-thread fsync-per-append run under a nonzero commit
+# interval must export a Chrome trace whose spans reconcile with elapsed virtual
+# time (per-thread top-level span sums within 5%) and show commit coalescing
+# (fewer journal.writeout spans than fsyncs) — the binary self-checks and exits
+# nonzero on either failure. --schema-check guards the committed
+# BENCH_scalability.json artifact; --repeat-check guards the PR 6 wobble fix.
+storm_trace="$(mktemp /tmp/splitfs_storm_trace.XXXXXX.json)"
+trap 'rm -f "$storm_trace"' EXIT
+./build/bench_scalability --trace="$storm_trace"
+./build/bench_scalability --schema-check
+./build/bench_scalability --repeat-check

@@ -8,12 +8,41 @@
 
 namespace common {
 
-// Index of the calling thread's lane in [0, lanes): a stable hash of the thread id.
-// Hash collisions (two threads sharing a lane) must only cost performance in the
-// structures keyed by this, never correctness.
+namespace internal {
+// -1: no explicit lane pinned; fall back to hashing the thread id.
+inline thread_local ptrdiff_t pinned_lane = -1;
+}  // namespace internal
+
+// Index of the calling thread's lane in [0, lanes). Pinned threads (workload
+// workers, via ScopedThreadLane) get their worker index — the same lane every
+// run, so lane collisions, and with them staging allocation order and every
+// virtual-time charge downstream, are reproducible. Unpinned threads get a
+// stable hash of the thread id; its collisions must only cost performance in
+// the structures keyed by this, never correctness.
 inline size_t ThreadLaneIndex(size_t lanes) {
+  if (internal::pinned_lane >= 0) {
+    return static_cast<size_t>(internal::pinned_lane) % lanes;
+  }
   return std::hash<std::thread::id>{}(std::this_thread::get_id()) % lanes;
 }
+
+// RAII pin of this thread's lane index. Benchmark workers pin their worker index
+// so repeated runs report identical virtual-time numbers; std::thread::id values
+// vary run to run, and which workers happened to collide on a lane used to vary
+// with them.
+class ScopedThreadLane {
+ public:
+  explicit ScopedThreadLane(size_t lane)
+      : prev_(internal::pinned_lane) {
+    internal::pinned_lane = static_cast<ptrdiff_t>(lane);
+  }
+  ~ScopedThreadLane() { internal::pinned_lane = prev_; }
+  ScopedThreadLane(const ScopedThreadLane&) = delete;
+  ScopedThreadLane& operator=(const ScopedThreadLane&) = delete;
+
+ private:
+  ptrdiff_t prev_;
+};
 
 }  // namespace common
 

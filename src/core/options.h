@@ -64,6 +64,14 @@ struct Options {
   // its cost rewound (sim::ScopedOffClock): equivalent accounting with a fully
   // deterministic store sequence, which the async crash-matrix column depends on.
   bool publisher_thread = false;
+  // How many queued files the publisher thread drains under ONE kernel journal
+  // commit per pass. 1 = one commit per file (the pre-batching behavior). Larger
+  // values amortize the commit writeout across an fsync storm's worth of files;
+  // the log-full checkpoint waits on the publisher's completion fence, so a batch
+  // in flight always finishes under its single commit before the op log resets.
+  // Ignored by the inline (publisher_thread=false) publisher, which is
+  // deterministic per call by design.
+  uint32_t publish_batch = 1;
 
   // Record virtual-time spans (op entry/exit, journal seal/writeout, publisher
   // drains) into the context's tracer, and per-op latency histograms, when the

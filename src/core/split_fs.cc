@@ -1,6 +1,7 @@
 #include "src/core/split_fs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -1174,7 +1175,7 @@ int SplitFs::CopyStagedRun(FileState* fs, const StagedRange& r) {
   return 0;
 }
 
-int SplitFs::PublishStaged(FileState* fs, bool log_done) {
+int SplitFs::PublishStaged(FileState* fs, bool log_done, bool defer_commit) {
   {
     std::lock_guard<std::mutex> meta(fs->meta_mu);
     if (fs->staged.empty()) {
@@ -1218,6 +1219,11 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done) {
       std::lock_guard<std::mutex> meta(fs->meta_mu);
       fs->staged.erase(file_off);
     }
+  }
+  if (defer_commit) {
+    // PublishBatch commits once for the whole batch and finishes the bookkeeping
+    // below itself, in the order its header comment requires.
+    return 0;
   }
   if (opts_.enable_relink) {
     // One journal commit covers every relink of this publish (jbd2 batches handles).
@@ -1360,6 +1366,85 @@ void SplitFs::EnqueuePublish(FileRef fs) {
   publish_cv_.notify_one();
 }
 
+std::vector<SplitFs::FileRef> SplitFs::PublishBatch(std::vector<FileRef> batch) {
+  // Phase 1: lock + relink each file, deferring the journal commit. Locks are held
+  // across the shared commit — a file's relinks must not become visible as
+  // "published" (pending cleared, dirty count dropped) before they are durable.
+  std::vector<FileRef> busy;
+  std::vector<FileRef> locked;
+  for (FileRef& fs : batch) {
+    if (!fs->rlock.TryLockExclusive(0, RangeLock::kWholeFile)) {
+      // Contended. A lock holder that is itself blocked (log-full checkpoint
+      // waiting on our completion fence) has already published this file — then
+      // the pending flag is stale and the entry must NOT requeue, or the fence
+      // never drains. A holder still writing leaves staged data: requeue.
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      if (fs->staged.empty()) {
+        fs->publish_pending = false;
+        async_publishes_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        busy.push_back(std::move(fs));
+      }
+      continue;
+    }
+    bool skip;
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      skip = fs->defunct || fs->staged.empty();
+    }
+    int rc = 0;
+    if (!skip) {
+      rc = PublishStaged(fs.get(), /*log_done=*/true, /*defer_commit=*/true);
+      if (rc != 0) {
+        publish_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (skip || rc != 0) {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      fs->publish_pending = false;
+      fs->rlock.UnlockExclusive(0, RangeLock::kWholeFile);
+      async_publishes_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    locked.push_back(std::move(fs));
+  }
+  if (locked.empty()) {
+    return busy;
+  }
+  // Phase 2: ONE commit seals every batched file's relinks — the amortization the
+  // batch buys. Safe for the same reason as the per-file commit: every deferred
+  // relink dropped its journal handle before returning.
+  if (opts_.enable_relink) {
+    kfs_->CommitJournal(/*fsync_barrier=*/false);
+  }
+  // Phase 3: all dirty counts drop BEFORE any kRelinkDone append. A done append
+  // against a full log recurses into CheckpointForFull, which spins until the
+  // dirty count reaches zero — later batch files we still hold locked must
+  // already be off it, or that spin never terminates.
+  for (FileRef& fs : locked) {
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      fs->metadata_dirty = false;  // The shared commit covered the running tx too.
+    }
+    dirty_files_.fetch_sub(1, std::memory_order_release);
+  }
+  // Phase 4: seal each file's intents while its lock is still held — no new intent
+  // for the ino can be appended before its done record, so a post-crash replay of a
+  // fresh log never resurrects these runs.
+  for (FileRef& fs : locked) {
+    if (opts_.async_relink && oplog_ != nullptr) {
+      LogMetaOp(LogOp::kRelinkDone, fs->ino, 0, fs.get());
+    }
+    {
+      std::lock_guard<std::mutex> meta(fs->meta_mu);
+      fs->publish_pending = false;
+    }
+    fs->rlock.UnlockExclusive(0, RangeLock::kWholeFile);
+    async_publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return busy;
+}
+
 void SplitFs::PublisherLoop() {
   std::unique_lock<std::mutex> ul(publish_mu_);
   for (;;) {
@@ -1372,40 +1457,56 @@ void SplitFs::PublisherLoop() {
       }
       continue;
     }
-    FileRef fs = publish_queue_.front();
-    publish_queue_.pop_front();
-    ++publishes_inflight_;
+    const size_t batch_max = std::max<uint32_t>(1, opts_.publish_batch);
+    std::vector<FileRef> batch;
+    while (!publish_queue_.empty() && batch.size() < batch_max) {
+      batch.push_back(std::move(publish_queue_.front()));
+      publish_queue_.pop_front();
+    }
+    const size_t popped = batch.size();
+    publishes_inflight_ += popped;
     publish_idle_cv_.notify_all();  // Backpressure keys off the queue length.
     ul.unlock();
+    std::vector<FileRef> busy;
     {
-      // Same locking as a synchronous publish: readers of this file see the staged
+      // Same locking as a synchronous publish: readers of each file see the staged
       // snapshot until the swap, the published one after — never a torn window. The
       // publisher has no clock lane, so the relink and journal-commit charges land
       // on the shared timeline, off every application thread's critical path.
       obs::ScopedSpan span(opts_.tracing ? &ctx_->obs.tracer : nullptr, &ctx_->clock,
-                           "publisher", "publisher.drain", "ino", fs->ino);
-      RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
-      bool defunct;
-      {
-        std::lock_guard<std::mutex> meta(fs->meta_mu);
-        defunct = fs->defunct;
-      }
-      if (!defunct) {
-        int rc = PublishStaged(fs.get());
-        if (rc != 0) {
-          publish_errors_.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-      {
-        std::lock_guard<std::mutex> meta(fs->meta_mu);
-        fs->publish_pending = false;
-      }
-      async_publishes_.fetch_add(1, std::memory_order_relaxed);
+                           "publisher", "publisher.drain", "files", popped);
+      busy = PublishBatch(std::move(batch));
     }
     ul.lock();
-    --publishes_inflight_;
+    // Requeue contended files and drop the inflight count in ONE critical section:
+    // the completion fence (queue empty && inflight zero) must never observe the
+    // gap between them and declare a still-pending publish finished.
+    for (FileRef& fs : busy) {
+      publish_queue_.push_back(std::move(fs));
+    }
+    publishes_inflight_ -= popped;
     publish_idle_cv_.notify_all();
+    if (!busy.empty() && busy.size() == popped && !publisher_stop_) {
+      // Every file was lock-contended; the holders are mid-operation. Back off a
+      // beat of real time instead of spinning on their locks.
+      publish_cv_.wait_for(ul, std::chrono::microseconds(100));
+    }
   }
+}
+
+void SplitFs::DrainQueuedPublishesForTest() {
+  std::vector<FileRef> batch;
+  {
+    std::lock_guard<std::mutex> lg(publish_mu_);
+    while (!publish_queue_.empty()) {
+      batch.push_back(std::move(publish_queue_.front()));
+      publish_queue_.pop_front();
+    }
+  }
+  while (!batch.empty()) {
+    batch = PublishBatch(std::move(batch));
+  }
+  publish_idle_cv_.notify_all();
 }
 
 void SplitFs::StopPublisher() {
@@ -1580,6 +1681,17 @@ void SplitFs::CheckpointForFull(FileState* held) {
     // log_done=false: the reset below retires every intent wholesale, and a done
     // append against the still-full log would recurse back into this checkpoint.
     SPLITFS_CHECK_OK(PublishStaged(held, /*log_done=*/false));
+  }
+  if (opts_.publisher_thread && publisher_.joinable() &&
+      std::this_thread::get_id() != publisher_.get_id()) {
+    // Completion fence: queued/batched publishes finish under their single journal
+    // commit before the log resets — the try-lock sweep below cannot see a batch
+    // that is mid-commit on the publisher thread, and must not reset the log out
+    // from under its still-unsealed intents. Publishing `held` first keeps this
+    // deadlock-free: any lock holder blocked here has already emptied its own
+    // staged set, so the publisher drops (never requeues) its queue entry. The
+    // publisher itself skips the fence — it cannot wait for its own drain.
+    WaitForPublishes();
   }
   std::lock_guard<std::mutex> cl(checkpoint_mu_);
   if (oplog_->ResetEpoch() != epoch) {

@@ -163,6 +163,11 @@ class SplitFs : public vfs::FileSystem {
   void set_rename_race_hook_for_test(std::function<void()> hook) {
     rename_race_hook_ = std::move(hook);
   }
+
+  // Test-only: pops everything currently queued and runs PublishBatch on the
+  // calling thread (publisher paused), so a crash test can arm the injector and
+  // walk the batched publish — N files under one commit — deterministically.
+  void DrainQueuedPublishesForTest();
   const StagingPool& staging_pool() const { return *staging_; }
   ext4sim::Ext4Dax* kernel_fs() const { return kfs_; }
 
@@ -278,7 +283,11 @@ class SplitFs : public vfs::FileSystem {
   // (kRelinkDone); the log-full checkpoint passes false — it resets the log right
   // after, which retires every intent wholesale, and a done append against the
   // still-full log would recurse into the checkpoint and deadlock on its mutex.
-  int PublishStaged(FileState* fs, bool log_done = true);
+  // `defer_commit` stops after the relink loop: the caller (PublishBatch) issues
+  // one journal commit covering several files and then finishes each file's
+  // bookkeeping itself — the dirty count must not drop before that shared commit,
+  // or a log reset could retire intents whose relinks are not yet durable.
+  int PublishStaged(FileState* fs, bool log_done = true, bool defer_commit = false);
 
   // --- Async relink publication -----------------------------------------------------
   // fsync/close entry point; caller holds the whole-file lock exclusively. Sync
@@ -294,6 +303,15 @@ class SplitFs : public vfs::FileSystem {
   int LogRelinkIntents(FileState* fs);
   void EnqueuePublish(FileRef fs);
   void PublisherLoop();
+  // Publishes up to Options::publish_batch queued files under ONE journal commit:
+  // per-file relink loops run with defer_commit, then a single CommitJournal seals
+  // every file's relinks, then all dirty counts drop before any kRelinkDone append
+  // (a done append can recurse into the log-full checkpoint, which spins for a zero
+  // dirty count — later batch files must already be off it). Files whose whole-file
+  // lock is contended are returned for requeue, unless their staged set is already
+  // empty (the lock holder published them) — then the stale pending flag is cleared
+  // and they are dropped.
+  std::vector<FileRef> PublishBatch(std::vector<FileRef> batch);
   void StopPublisher();
   int RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r);
   int CopyStagedRun(FileState* fs, const StagedRange& r);

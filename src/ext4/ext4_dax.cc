@@ -34,7 +34,8 @@ Ext4Dax::Ext4Dax(pmem::Device* dev, Ext4Options opts)
       data_start_block_(1 + opts.journal_blocks),
       alloc_(1 + opts.journal_blocks, dev->size() / kBlockSize - 1 - opts.journal_blocks,
              &dev->context()->clock),
-      journal_(dev, /*journal_start_block=*/1, opts.journal_blocks) {
+      journal_(dev, /*journal_start_block=*/1, opts.journal_blocks,
+               opts.commit_interval_ns) {
   auto root = std::make_shared<Inode>();
   root->ino = vfs::kRootIno;
   root->type = FileType::kDirectory;

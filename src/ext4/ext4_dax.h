@@ -67,6 +67,10 @@ FsckReport RunFsck(Ext4Dax* fs);
 
 struct Ext4Options {
   uint64_t journal_blocks = 2048;  // 8 MB journal, scaled-down jbd2 default.
+  // jbd2's j_commit_interval: how long a committer holds the pipeline slot open so
+  // concurrent fsyncs merge into one sealed transaction. 0 = seal immediately
+  // (bit-identical to the pre-coalescing pipeline).
+  uint64_t commit_interval_ns = 0;
 };
 
 class Ext4Dax : public vfs::FileSystem {

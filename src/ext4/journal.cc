@@ -1,6 +1,9 @@
 #include "src/ext4/journal.h"
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <thread>
 
 #include "src/common/bytes.h"
 
@@ -8,11 +11,22 @@ namespace ext4sim {
 
 using common::kBlockSize;
 
-Journal::Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journal_blocks)
+namespace {
+// Real-time grace inside the coalescing window: long enough for concurrently running
+// application threads to reach log_start_commit and pile onto the delayed
+// transaction, short enough to be invisible in wall-clock terms. The *virtual* cost
+// of the window is commit_interval_ns, charged independently of this constant, so
+// simulated timelines never depend on host scheduling.
+constexpr std::chrono::microseconds kCommitWindowRealGrace(50);
+}  // namespace
+
+Journal::Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journal_blocks,
+                 uint64_t commit_interval_ns)
     : dev_(dev),
       ctx_(dev->context()),
       journal_start_(journal_start_block * kBlockSize),
-      journal_bytes_(journal_blocks * kBlockSize) {
+      journal_bytes_(journal_blocks * kBlockSize),
+      commit_interval_ns_(commit_interval_ns) {
   SPLITFS_CHECK(journal_blocks >= 8);
   running_ = std::make_unique<Transaction>();
   running_->tid = next_tid_++;
@@ -31,6 +45,14 @@ Journal::Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journ
                    [this]() { return commit_stamp_.busy_ns(); });
   m->RegisterGauge("journal.running_dirty_blocks",
                    [this]() { return static_cast<uint64_t>(RunningDirtyBlocks()); });
+  m->RegisterGauge("journal.free_space", [this]() { return FreeLogBytes(); });
+  m->RegisterGauge("journal.checkpoint_stall", [this]() { return CheckpointStalls(); });
+  m->RegisterGauge("journal.checkpoint_writeback_blocks", [this]() {
+    return checkpoint_writeback_blocks_.load(std::memory_order_relaxed);
+  });
+  m->RegisterGauge("journal.commit_windows", [this]() {
+    return coalesced_windows_.load(std::memory_order_relaxed);
+  });
 }
 
 Journal::~Journal() { ctx_->obs.metrics.DeregisterGauges("journal."); }
@@ -74,12 +96,86 @@ void Journal::WaitForCommit(uint64_t tid) {
   obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.tid_wait", w);
 }
 
-void Journal::ChargeCommitIo(size_t n_meta_blocks) {
+bool Journal::LogNearFullLocked() const {
+  // "Near full": even after logging the current running transaction (descriptor +
+  // dirty blocks + commit record, doubled for slack the way jbd2 reserves credits),
+  // the log would overflow and the committer would stall in checkpoint writeback.
+  // Holding the coalescing window open in that state only deepens the stall.
+  uint64_t used = log_used_bytes_.load(std::memory_order_acquire);
+  uint64_t running_cost = 2 * (RunningDirtyBlocks() + 2) * kBlockSize;
+  return used + running_cost > journal_bytes_;
+}
+
+void Journal::EnsureLogSpaceLocked(uint64_t needed_bytes) {
+  // Caller holds commit_mu_ (the single-committer pipeline slot), so the
+  // checkpoint queue and cursor are stable. Fast path: the log still has room.
+  if (log_used_bytes_.load(std::memory_order_acquire) + needed_bytes <= journal_bytes_ ||
+      checkpoint_queue_.empty()) {
+    return;
+  }
+  // Log full: jbd2 stalls the committer while checkpoint writeback copies still-live
+  // logged metadata blocks to their home locations and advances the log tail
+  // (Strata's log digestion is the same move). The stall is real commit service
+  // time — it lands in commit_service_ns and every tid/pipeline waiter sits behind
+  // it — and is attributed in the contention ledger under "journal.checkpoint".
+  checkpoint_stalls_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t t0 = ctx_->clock.Now();
+  obs::ScopedSpan span(&ctx_->obs.tracer, &ctx_->clock, "journal", "journal.checkpoint",
+                       "needed_bytes", needed_bytes);
+  if (checkpoint_hook_) {
+    checkpoint_hook_();
+  }
+  static thread_local std::array<uint8_t, kBlockSize> scratch{};
+  // Reclaim at least a quarter of the log per stall so a storm of maximal commits
+  // doesn't checkpoint one transaction at a time.
+  uint64_t reclaim_target = std::max(needed_bytes, journal_bytes_ / 4);
+  uint64_t reclaimed = 0;
+  uint64_t written_back = 0;
+  while (reclaimed < reclaim_target && !checkpoint_queue_.empty()) {
+    LoggedTx tx = std::move(checkpoint_queue_.front());
+    checkpoint_queue_.pop_front();
+    for (uint64_t id : tx.ids) {
+      auto it = live_logged_.find(id);
+      SPLITFS_CHECK(it != live_logged_.end() && it->second > 0);
+      if (--it->second == 0) {
+        live_logged_.erase(it);
+        // Newest logged copy of this block: write it back to its home location.
+        // Older copies were superseded in the log and are dropped for free — the
+        // dedup that makes a bigger journal absorb metadata rewrites.
+        dev_->StoreNt(journal_start_, scratch.data(), kBlockSize,
+                      sim::PmWriteKind::kMetadata);
+        ++written_back;
+      }
+    }
+    for (uint64_t i = 0; i < tx.anon_blocks; ++i) {
+      // Standalone commits log blocks with no identity; every copy is live.
+      dev_->StoreNt(journal_start_, scratch.data(), kBlockSize,
+                    sim::PmWriteKind::kMetadata);
+      ++written_back;
+    }
+    reclaimed += tx.blocks * kBlockSize;
+  }
+  // Advance the log tail durably (jbd2 updates the journal superblock), then
+  // account the bookkeeping CPU.
+  dev_->StoreNt(journal_start_, scratch.data(), kBlockSize, sim::PmWriteKind::kJournal);
+  dev_->Fence();
+  ctx_->ChargeCpu(ctx_->model.ext4_checkpoint_cpu_ns);
+  checkpoint_writeback_blocks_.fetch_add(written_back, std::memory_order_relaxed);
+  log_used_bytes_.fetch_sub(std::min(
+      reclaimed, log_used_bytes_.load(std::memory_order_acquire)),
+      std::memory_order_acq_rel);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.checkpoint",
+                  ctx_->clock.Now() - t0);
+}
+
+void Journal::ChargeCommitIo(const std::set<uint64_t>* dirty_ids, size_t n_anon_blocks) {
   // JBD2 writes: one descriptor block, each logged metadata block, one commit record.
   // All land in the journal region of PM; the journal area is written with real bytes
   // so wear accounting and the write-amplification comparisons are honest.
   static thread_local std::array<uint8_t, kBlockSize> scratch{};
+  size_t n_meta_blocks = (dirty_ids != nullptr ? dirty_ids->size() : 0) + n_anon_blocks;
   size_t total_blocks = n_meta_blocks + 2;
+  EnsureLogSpaceLocked(total_blocks * kBlockSize);
   for (size_t i = 0; i < total_blocks; ++i) {
     if (write_cursor_ + kBlockSize > journal_bytes_) {
       write_cursor_ = 0;
@@ -94,6 +190,18 @@ void Journal::ChargeCommitIo(size_t n_meta_blocks) {
   ctx_->ChargeCpu(ctx_->model.ext4_journal_commit_cpu_ns);
   ctx_->stats.AddJournalCommit();
   commits_.fetch_add(1, std::memory_order_relaxed);
+  // The transaction now occupies log space until checkpoint writeback retires it.
+  LoggedTx logged;
+  logged.blocks = total_blocks;
+  logged.anon_blocks = n_anon_blocks;
+  if (dirty_ids != nullptr) {
+    logged.ids.assign(dirty_ids->begin(), dirty_ids->end());
+    for (uint64_t id : logged.ids) {
+      ++live_logged_[id];
+    }
+  }
+  checkpoint_queue_.push_back(std::move(logged));
+  log_used_bytes_.fetch_add(total_blocks * kBlockSize, std::memory_order_acq_rel);
 }
 
 void Journal::CommitRunning(bool fsync_barrier) {
@@ -138,6 +246,25 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
   sim::ScopedResourceTime service(&commit_stamp_, &ctx_->clock);
   obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.pipeline_slot", service.waited_ns());
 
+  if (commit_interval_ns_ > 0 && !LogNearFullLocked()) {
+    // Commit coalescing (jbd2's j_commit_interval): hold the pipeline slot with the
+    // running transaction still open, so fsyncs arriving during the window join the
+    // same tid instead of queueing their own commit. The window is charged as
+    // commit service time — log_wait_commit latency includes it, which is exactly
+    // the latency-for-bandwidth trade the knob buys. Skipped when the log is nearly
+    // full: delaying the seal there would only deepen the checkpoint stall.
+    obs::ScopedSpan window_span(&ctx_->obs.tracer, &ctx_->clock, "journal",
+                                "journal.commit_window", "tid", target);
+    if (commit_window_hook_) {
+      commit_window_hook_();
+    }
+    ctx_->clock.Advance(commit_interval_ns_);
+    // Real-time grace so concurrently running threads actually reach the running
+    // transaction before the seal; virtual cost is the Advance above, not this.
+    std::this_thread::sleep_for(kCommitWindowRealGrace);
+    coalesced_windows_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   {
     obs::ScopedSpan seal_span(&ctx_->obs.tracer, &ctx_->clock, "journal", "journal.seal",
                               "tid", target);
@@ -171,7 +298,7 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
     if (fsync_barrier) {
       ctx_->ChargeCpu(ctx_->model.ext4_fsync_barrier_ns);
     }
-    ChargeCommitIo(committing_->dirty.size());
+    ChargeCommitIo(&committing_->dirty, 0);
   }
 
   // The commit record is durable: drop the undos, then run the deferred actions.
@@ -212,7 +339,7 @@ void Journal::CommitStandalone(size_t n_meta_blocks) {
   obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.pipeline_slot",
                   commit_time.waited_ns());
   obs::ScopedSpan span(&ctx_->obs.tracer, &ctx_->clock, "journal", "journal.standalone");
-  ChargeCommitIo(n_meta_blocks);
+  ChargeCommitIo(nullptr, n_meta_blocks);
 }
 
 void Journal::RecoverDiscardRunning() {
@@ -233,6 +360,12 @@ void Journal::RecoverDiscardRunning() {
     committing_tid_ = 0;
     running_ = std::make_unique<Transaction>();
     running_->tid = next_tid_++;
+    // A remount replays committed tids to their home locations and restarts the
+    // log empty: the checkpoint accounting resets with it (the DRAM mirror of the
+    // journal superblock's head/tail).
+    checkpoint_queue_.clear();
+    live_logged_.clear();
+    log_used_bytes_.store(0, std::memory_order_release);
     // Every tid below the fresh running transaction is now settled: durable if it
     // committed, rolled back here otherwise — none can ever commit later. Publish
     // that horizon, or every post-recovery clean fsync would chase the discarded

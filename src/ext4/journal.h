@@ -34,17 +34,39 @@
 //    the running transaction while a commit writes out (the common pipelined case)
 //    pay nothing, which is exactly what shrinks the commit shadow fsync-heavy
 //    workloads used to see. Single-timeline (no-lane) runs are bit-identical.
+//
+// Two production-traffic behaviors layer on the pipeline:
+//  * Commit coalescing (jbd2's j_commit_interval): with a nonzero commit interval the
+//    committer holds the seal open for a delay window before swapping the running
+//    transaction out. Every log_start_commit that arrives during the window targets
+//    the still-running transaction — its dirt and its durability wait merge into the
+//    one writeout, trading per-fsync latency (the window is charged as commit
+//    service time, so tid waiters fast-forward past it) for writeout amortization.
+//    Interval 0 (the default) skips the window code entirely: timelines are
+//    bit-identical to the plain pipeline. A nearly-full journal forces an immediate
+//    seal — delaying a commit the log cannot absorb would only deepen the stall.
+//  * Checkpoint writeback (jbd2 checkpointing / Strata log digestion): the journal is
+//    a circular log whose space is only reclaimed by writing still-live logged
+//    metadata blocks back to their home locations and advancing the tail. A commit
+//    that does not fit stalls, pops the oldest logged transactions, writes back each
+//    block whose newest logged copy lives there (a later re-log supersedes the old
+//    copy — the digest optimization), updates the tail, and only then writes itself.
+//    The stall is charged to the committer (media + cpu), attributed in the
+//    contention ledger under "journal.checkpoint", and surfaced by the
+//    "journal.free_space" / "journal.checkpoint_stall" gauge pair.
 #ifndef SRC_EXT4_JOURNAL_H_
 #define SRC_EXT4_JOURNAL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/pmem/device.h"
@@ -69,7 +91,10 @@ constexpr uint64_t MetaBlockId(MetaKind kind, uint64_t id) {
 class Journal {
  public:
   // The journal occupies device blocks [journal_start, journal_start + journal_blocks).
-  Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journal_blocks);
+  // `commit_interval_ns` is the coalescing delay window (0 = seal immediately, the
+  // bit-identical pre-coalescing behavior).
+  Journal(pmem::Device* dev, uint64_t journal_start_block, uint64_t journal_blocks,
+          uint64_t commit_interval_ns = 0);
   ~Journal();
 
   // RAII jbd2 handle: joins the running transaction. Hold one across every metadata
@@ -171,11 +196,34 @@ class Journal {
 
   uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
 
+  // Journal bytes not occupied by logged-but-not-yet-checkpointed transactions.
+  // Monotone within a commit; replenished by checkpoint writeback.
+  uint64_t FreeLogBytes() const {
+    uint64_t used = log_used_bytes_.load(std::memory_order_acquire);
+    return used >= journal_bytes_ ? 0 : journal_bytes_ - used;
+  }
+  // Commits that stalled for checkpoint writeback before they could write.
+  uint64_t CheckpointStalls() const {
+    return checkpoint_stalls_.load(std::memory_order_relaxed);
+  }
+
   // Test-only: invoked by the committer after the seal (fresh running transaction
   // live, barrier released) and before the writeout's journal stores. Lets tests
   // populate T_{n+1} or arm a crash injector exactly inside the pipeline window.
   void SetMidWriteoutHookForTest(std::function<void()> hook) {
     mid_writeout_hook_ = std::move(hook);
+  }
+  // Test-only: invoked inside the coalescing delay window — after the committer
+  // claimed the pipeline slot for `target`, before the window charge and the seal.
+  // The running transaction is still accepting handles, so the hook can stack
+  // mutations that merge into the delayed writeout, or arm a crash injector.
+  void SetCommitWindowHookForTest(std::function<void()> hook) {
+    commit_window_hook_ = std::move(hook);
+  }
+  // Test-only: invoked when a commit stalls for checkpoint writeback, before the
+  // writeback stores. Lets crash tests arm an injector mid-checkpoint.
+  void SetCheckpointHookForTest(std::function<void()> hook) {
+    checkpoint_hook_ = std::move(hook);
   }
 
  private:
@@ -189,7 +237,29 @@ class Journal {
     bool Empty() const { return dirty.empty() && undo.empty() && on_commit.empty(); }
   };
 
-  void ChargeCommitIo(size_t n_meta_blocks);
+  // One logged-but-not-checkpointed transaction: how much journal space it pins and
+  // which metadata blocks its log copies cover (for writeback dedup). Standalone
+  // commits log `anon_blocks` with no id; those are always written back.
+  struct LoggedTx {
+    uint64_t blocks = 0;
+    std::vector<uint64_t> ids;
+    uint64_t anon_blocks = 0;
+  };
+
+  // Writes the descriptor/metadata/commit-record blocks for one transaction into the
+  // journal region, reserving space first (checkpointing if the log is full) and
+  // retiring the transaction into the checkpoint queue after. `dirty_ids` may be
+  // null (standalone commit: `n_anon_blocks` anonymous metadata blocks). Caller
+  // holds commit_mu_.
+  void ChargeCommitIo(const std::set<uint64_t>* dirty_ids, size_t n_anon_blocks);
+  // Checkpoint writeback: pops oldest logged transactions and writes back every
+  // block whose newest logged copy they hold until `needed_bytes` (plus slack) fit.
+  // Caller holds commit_mu_.
+  void EnsureLogSpaceLocked(uint64_t needed_bytes);
+  // True when the log cannot absorb roughly two more transactions the size of the
+  // running one — the coalescing window must not delay a commit the log is about to
+  // stall on. Caller holds commit_mu_.
+  bool LogNearFullLocked() const;
   // Seals the running transaction (short exclusive barrier swap), writes it out with
   // the barrier released, runs deferred actions, publishes the tid. Caller must NOT
   // hold commit_mu_ — this takes it.
@@ -199,7 +269,18 @@ class Journal {
   sim::Context* ctx_;
   uint64_t journal_start_;  // Byte offset of journal region on the device.
   uint64_t journal_bytes_;
+  uint64_t commit_interval_ns_ = 0;  // Coalescing delay window; 0 = off.
   uint64_t write_cursor_ = 0;  // Circular position; guarded by commit_mu_.
+
+  // Checkpoint model, guarded by commit_mu_ (mutations happen only inside a commit).
+  // log_used_bytes_ is additionally atomic so the free-space gauge can read it
+  // without taking the pipeline slot mid-writeout.
+  std::deque<LoggedTx> checkpoint_queue_;
+  std::unordered_map<uint64_t, uint32_t> live_logged_;  // id -> logged copies in queue.
+  std::atomic<uint64_t> log_used_bytes_{0};
+  std::atomic<uint64_t> checkpoint_stalls_{0};
+  std::atomic<uint64_t> checkpoint_writeback_blocks_{0};
+  std::atomic<uint64_t> coalesced_windows_{0};
 
   // handle_mu_ is the transaction barrier: shared = operation handle, exclusive =
   // the commit seal window / recovery / fsck. commit_mu_ is the pipeline slot: held
@@ -224,7 +305,9 @@ class Journal {
   std::mutex wait_mu_;  // log_wait_commit sleepers.
   std::condition_variable commit_cv_;
 
-  std::function<void()> mid_writeout_hook_;  // Test-only; see setter.
+  std::function<void()> mid_writeout_hook_;    // Test-only; see setter.
+  std::function<void()> commit_window_hook_;   // Test-only; see setter.
+  std::function<void()> checkpoint_hook_;      // Test-only; see setter.
   std::atomic<uint64_t> commits_{0};
 };
 

@@ -52,6 +52,7 @@ struct CostModel {
   uint64_t ext4_journal_dirty_cpu_ns = 1300;  // jbd2 handle start/dirty/stop per op.
   uint64_t ext4_journal_commit_cpu_ns = 900;  // Commit bookkeeping.
   uint64_t ext4_fsync_barrier_ns = 23000;     // Commit-thread handshake + ordered wait.
+  uint64_t ext4_checkpoint_cpu_ns = 6000;     // Checkpoint writeback: tail advance + list walk.
   uint64_t ext4_open_path_ns = 900;       // Path walk + inode load (cold dentry).
   uint64_t ext4_create_extra_ns = 900;    // Inode alloc + dir insert CPU.
   uint64_t ext4_dir_op_cpu_ns = 700;      // Dirent insert/remove.

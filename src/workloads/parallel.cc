@@ -8,6 +8,7 @@
 
 #include "src/apps/kv_lsm.h"
 #include "src/common/random.h"
+#include "src/common/threading.h"
 #include "src/core/split_fs.h"
 
 namespace wl {
@@ -27,7 +28,9 @@ inline uint8_t PayloadByte(int thread, uint64_t off) {
 }
 
 // Runs `body(thread_index)` on `threads` real threads, each with a bound clock lane;
-// returns the slowest worker's lane delta.
+// returns the slowest worker's lane delta. Each worker pins its index as its
+// structure-lane (staging pool, op log): thread-id hashes vary run to run, and
+// which workers collided on a lane used to perturb reported virtual time.
 template <typename Body>
 uint64_t RunWorkers(sim::Clock* clock, int threads, const Body& body) {
   std::vector<uint64_t> lane_ns(static_cast<size_t>(threads), 0);
@@ -35,6 +38,7 @@ uint64_t RunWorkers(sim::Clock* clock, int threads, const Body& body) {
   workers.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([clock, t, &lane_ns, &body] {
+      common::ScopedThreadLane pin(static_cast<size_t>(t));
       sim::Clock::Lane lane(clock);
       uint64_t t0 = lane.Now();
       body(t);

@@ -353,6 +353,340 @@ TEST(CrashMatrixSmoke, MidWriteoutCrashStatesAreDeterministic) {
   }
 }
 
+// --- Coalescing / checkpoint / batched-publish column -----------------------------------
+// The journal's commit-coalescing window, modeled checkpoint writeback, and the
+// batched publisher each open crash states the earlier columns cannot reach: a
+// power cut inside the delay window (two operations merged into ONE tid must roll
+// back together), a cut inside checkpoint writeback (only the journal region is
+// being rewritten — committed state must survive untouched), and a cut inside a
+// batched publish (N files' relinks riding one commit that never lands).
+
+struct CoalesceCrashOutcome {
+  bool crashed = false;
+  bool fsck_clean = false;
+  uint64_t fingerprint = 0;
+};
+
+CoalesceCrashOutcome RunCoalescingWindowCrashState(uint64_t store_ordinal,
+                                                   crash::FatePolicy fate,
+                                                   uint64_t seed) {
+  CoalesceCrashOutcome out;
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 64 * common::kMiB);
+  ext4sim::Ext4Options eo;
+  eo.commit_interval_ns = 200'000;  // Every commit holds a window open.
+  ext4sim::Ext4Dax fs(&dev, eo);
+  dev.EnableCrashTracking(true);
+
+  int base = fs.Open("/base", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(base >= 0);
+  std::vector<uint8_t> img(6000, 0x5C);
+  SPLITFS_CHECK(fs.Pwrite(base, img.data(), img.size(), 0) ==
+                static_cast<ssize_t>(img.size()));
+  SPLITFS_CHECK(fs.CommitJournal(/*fsync_barrier=*/false) == 0);
+  dev.Fence();
+
+  // First operation: create + fill, then fsync. The fsync's committer opens the
+  // coalescing window; the hook below runs inside it, with the running
+  // transaction still accepting handles.
+  int fd = fs.Open("/wa", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  std::vector<uint8_t> data(5000, 0xB4);
+  SPLITFS_CHECK(fs.Pwrite(fd, data.data(), data.size(), 0) ==
+                static_cast<ssize_t>(data.size()));
+
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  fs.journal_for_test()->SetCommitWindowHookForTest([&fs, &dev, &injector] {
+    // Second operation lands inside the window: it joins the SAME tid the
+    // committer is about to seal — the merge coalescing buys. The cut then
+    // falls in that merged transaction's writeout.
+    SPLITFS_CHECK(fs.Open("/wb", vfs::kRdWr | vfs::kCreate) >= 0);
+    dev.SetObserver(&injector);
+  });
+  try {
+    fs.CommitJournal(/*fsync_barrier=*/true);
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  dev.SetObserver(nullptr);
+  fs.journal_for_test()->SetCommitWindowHookForTest(nullptr);
+  if (!out.crashed) {
+    return out;
+  }
+
+  dev.CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(fs.Recover() == 0);
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(&fs);
+  out.fsck_clean = fsck.clean;
+  for (const std::string& p : fsck.problems) {
+    ADD_FAILURE() << "coalesce crash @ store#" << store_ordinal << "/"
+                  << crash::FateName(fate) << ": " << p;
+  }
+  uint64_t fp = 14695981039346656037ull;
+  auto mix = [&fp](uint64_t v) { fp = (fp ^ v) * 1099511628211ull; };
+  for (const char* p : {"/base", "/wa", "/wb"}) {
+    vfs::StatBuf sb;
+    mix(fs.Stat(p, &sb) == 0 ? sb.size : ~0ull);
+  }
+  out.fingerprint = fp;
+
+  // The merged tid never reached its commit record: BOTH window-mates roll back
+  // together. A survivor of either would mean the merge split durability.
+  vfs::StatBuf sb;
+  EXPECT_EQ(fs.Stat("/base", &sb), 0);
+  EXPECT_EQ(sb.size, 6000u);
+  EXPECT_EQ(fs.Stat("/wa", &sb), -ENOENT);
+  EXPECT_EQ(fs.Stat("/wb", &sb), -ENOENT);
+  return out;
+}
+
+TEST(CrashMatrixSmoke, PowerCutInsideCoalescingWindowRollsBackMergedTids) {
+  int crashed_states = 0;
+  for (uint64_t store = 0; store < 3; ++store) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      CoalesceCrashOutcome out = RunCoalescingWindowCrashState(store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached";
+      EXPECT_TRUE(out.fsck_clean);
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 6);
+}
+
+TEST(CrashMatrixSmoke, CoalescingWindowCrashStatesAreDeterministic) {
+  for (crash::FatePolicy fate : {FatePolicy::kSubset, FatePolicy::kTorn}) {
+    CoalesceCrashOutcome a = RunCoalescingWindowCrashState(1, fate, kSeed);
+    CoalesceCrashOutcome b = RunCoalescingWindowCrashState(1, fate, kSeed);
+    ASSERT_TRUE(a.crashed);
+    ASSERT_TRUE(b.crashed);
+    EXPECT_EQ(a.fsck_clean, b.fsck_clean);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+  }
+}
+
+CoalesceCrashOutcome RunCheckpointCrashState(uint64_t store_ordinal,
+                                             crash::FatePolicy fate, uint64_t seed) {
+  CoalesceCrashOutcome out;
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 64 * common::kMiB);
+  ext4sim::Ext4Options eo;
+  eo.journal_blocks = 8;  // Smallest legal log: a few commits force checkpointing.
+  ext4sim::Ext4Dax fs(&dev, eo);
+  dev.EnableCrashTracking(true);
+
+  // Committed base state that fills most of the tiny log.
+  std::vector<uint8_t> img(3000, 0x42);
+  for (int i = 0; i < 2; ++i) {
+    std::string path = "/ck" + std::to_string(i);
+    int fd = fs.Open(path, vfs::kRdWr | vfs::kCreate);
+    SPLITFS_CHECK(fd >= 0);
+    SPLITFS_CHECK(fs.Pwrite(fd, img.data(), img.size(), 0) ==
+                  static_cast<ssize_t>(img.size()));
+    SPLITFS_CHECK(fs.CommitJournal(/*fsync_barrier=*/false) == 0);
+  }
+  dev.Fence();
+
+  // The next commit cannot fit: its committer stalls in checkpoint writeback, and
+  // the hook arms the injector so the cut lands inside the writeback stores —
+  // which touch ONLY the journal region, never committed home locations.
+  int fd = fs.Open("/ck-tail", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  SPLITFS_CHECK(fs.Pwrite(fd, img.data(), img.size(), 0) ==
+                static_cast<ssize_t>(img.size()));
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  fs.journal_for_test()->SetCheckpointHookForTest(
+      [&dev, &injector] { dev.SetObserver(&injector); });
+  try {
+    fs.CommitJournal(/*fsync_barrier=*/true);
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  dev.SetObserver(nullptr);
+  fs.journal_for_test()->SetCheckpointHookForTest(nullptr);
+  if (!out.crashed) {
+    return out;
+  }
+
+  dev.CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(fs.Recover() == 0);
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(&fs);
+  out.fsck_clean = fsck.clean;
+  for (const std::string& p : fsck.problems) {
+    ADD_FAILURE() << "checkpoint crash @ store#" << store_ordinal << "/"
+                  << crash::FateName(fate) << ": " << p;
+  }
+  uint64_t fp = 14695981039346656037ull;
+  auto mix = [&fp](uint64_t v) { fp = (fp ^ v) * 1099511628211ull; };
+  for (const char* p : {"/ck0", "/ck1", "/ck-tail"}) {
+    vfs::StatBuf sb;
+    mix(fs.Stat(p, &sb) == 0 ? sb.size : ~0ull);
+  }
+  out.fingerprint = fp;
+
+  // Checkpoint writeback rewrites the journal region only: the committed files
+  // survive byte-for-byte, and the uncommitted tail transaction rolls back.
+  vfs::StatBuf sb;
+  EXPECT_EQ(fs.Stat("/ck0", &sb), 0);
+  EXPECT_EQ(sb.size, 3000u);
+  EXPECT_EQ(fs.Stat("/ck1", &sb), 0);
+  EXPECT_EQ(sb.size, 3000u);
+  EXPECT_EQ(fs.Stat("/ck-tail", &sb), -ENOENT);
+  return out;
+}
+
+TEST(CrashMatrixSmoke, MidCheckpointWritebackCrashKeepsCommittedState) {
+  int crashed_states = 0;
+  for (uint64_t store = 0; store < 3; ++store) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      CoalesceCrashOutcome out = RunCheckpointCrashState(store, fate, kSeed);
+      ASSERT_TRUE(out.crashed)
+          << "store#" << store << ": checkpoint writeback never armed";
+      EXPECT_TRUE(out.fsck_clean);
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 6);
+}
+
+TEST(CrashMatrixSmoke, MidCheckpointCrashStatesAreDeterministic) {
+  for (crash::FatePolicy fate : {FatePolicy::kSubset, FatePolicy::kTorn}) {
+    CoalesceCrashOutcome a = RunCheckpointCrashState(1, fate, kSeed);
+    CoalesceCrashOutcome b = RunCheckpointCrashState(1, fate, kSeed);
+    ASSERT_TRUE(a.crashed);
+    ASSERT_TRUE(b.crashed);
+    EXPECT_EQ(a.fsck_clean, b.fsck_clean);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+  }
+}
+
+// One commit covering N files: three files fsync through the intent path (publisher
+// parked), then the queued batch is drained on the test thread with the injector
+// armed — the cut lands somewhere in the batch's relinks or its single shared
+// commit. Every file's fsync was acknowledged at its intent fence, so recovery
+// must restore ALL of them, whether their relinks happened or not.
+struct BatchCrashOutcome {
+  bool crashed = false;
+  uint64_t fingerprint = 0;
+};
+
+BatchCrashOutcome RunBatchedPublishCrashState(uint64_t store_ordinal,
+                                              crash::FatePolicy fate, uint64_t seed) {
+  BatchCrashOutcome out;
+  auto w = std::make_unique<crash::World>();
+  w->dev = std::make_unique<pmem::Device>(&w->ctx, 64 * common::kMiB);
+  w->kfs = std::make_unique<ext4sim::Ext4Dax>(w->dev.get());
+  splitfs::Options o;
+  o.mode = splitfs::Mode::kPosix;
+  o.num_staging_files = 2;
+  o.staging_file_bytes = 4 * common::kMiB;
+  o.oplog_bytes = 256 * common::kKiB;
+  o.async_relink = true;
+  o.publisher_thread = true;
+  o.publish_batch = 4;
+  auto sfs = std::make_unique<splitfs::SplitFs>(w->kfs.get(), o);
+  splitfs::SplitFs* fs = sfs.get();
+  w->fs = std::move(sfs);
+  w->dev->EnableCrashTracking(true);
+  fs->set_publisher_paused_for_test(true);  // The drain below runs the batch.
+
+  auto payload = [](int file, size_t i) {
+    return static_cast<uint8_t>(0x21 ^ (file * 59) ^ (i * 13));
+  };
+  constexpr int kFiles = 3;
+  constexpr size_t kBytes = 5000;
+  for (int f = 0; f < kFiles; ++f) {
+    std::string path = "/bat" + std::to_string(f);
+    int fd = fs->Open(path, vfs::kRdWr | vfs::kCreate);
+    SPLITFS_CHECK(fd >= 0);
+    std::vector<uint8_t> data(kBytes);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = payload(f, i);
+    }
+    SPLITFS_CHECK(fs->Pwrite(fd, data.data(), data.size(), 0) ==
+                  static_cast<ssize_t>(data.size()));
+    SPLITFS_CHECK(fs->Fsync(fd) == 0);  // Acked at the intent fence; queued.
+  }
+  SPLITFS_CHECK(fs->Relinks() == 0);  // Publisher parked: nothing published yet.
+
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  w->dev->SetObserver(&injector);
+  try {
+    fs->DrainQueuedPublishesForTest();
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  w->dev->SetObserver(nullptr);
+  if (!out.crashed) {
+    return out;
+  }
+
+  w->dev->CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(w->RecoverAll() == 0);
+  fs->set_publisher_paused_for_test(false);
+
+  uint64_t fp = 14695981039346656037ull;
+  auto mix = [&fp](uint64_t v) { fp = (fp ^ v) * 1099511628211ull; };
+  for (int f = 0; f < kFiles; ++f) {
+    std::string path = "/bat" + std::to_string(f);
+    int rfd = fs->Open(path, vfs::kRdOnly);
+    EXPECT_GE(rfd, 0) << path << " lost after batched-publish crash";
+    if (rfd < 0) {
+      continue;
+    }
+    vfs::StatBuf st;
+    EXPECT_EQ(fs->Fstat(rfd, &st), 0);
+    EXPECT_EQ(st.size, kBytes) << path;
+    std::vector<uint8_t> back(kBytes);
+    EXPECT_EQ(fs->Pread(rfd, back.data(), back.size(), 0),
+              static_cast<ssize_t>(back.size()));
+    size_t diverged = 0;
+    for (size_t i = 0; i < back.size(); ++i) {
+      if (back[i] != payload(f, i)) {
+        ++diverged;
+      }
+    }
+    EXPECT_EQ(diverged, 0u) << path << ": " << diverged
+                            << " bytes diverged after recovery";
+    mix(st.size);
+    for (size_t i = 0; i < back.size(); i += 997) {
+      mix(back[i]);
+    }
+    fs->Close(rfd);
+  }
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(w->kfs.get());
+  for (const auto& p : fsck.problems) {
+    ADD_FAILURE() << "batched publish @ store#" << store_ordinal << ": " << p;
+  }
+  mix(fsck.clean ? 1 : 0);
+  out.fingerprint = fp;
+  return out;
+}
+
+TEST(CrashMatrixSmoke, MidBatchedPublishCrashRecoversEveryAckedFile) {
+  int crashed_states = 0;
+  for (uint64_t store : {0ull, 3ull, 8ull}) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      BatchCrashOutcome out = RunBatchedPublishCrashState(store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached";
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 6);
+}
+
+TEST(CrashMatrixSmoke, MidBatchedPublishCrashStatesAreDeterministic) {
+  for (crash::FatePolicy fate : {FatePolicy::kSubset, FatePolicy::kTorn}) {
+    BatchCrashOutcome a = RunBatchedPublishCrashState(3, fate, kSeed);
+    BatchCrashOutcome b = RunBatchedPublishCrashState(3, fate, kSeed);
+    ASSERT_TRUE(a.crashed);
+    ASSERT_TRUE(b.crashed);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+  }
+}
+
 // The same schedules, driven against each baseline with its own guarantee profile.
 TEST(CrashMatrix, BaselinesUnderSameSchedule) {
   uint64_t total_states = 0;

@@ -8,6 +8,8 @@
 #   scripts/check.sh -L examples       # build + run the examples/ smoke programs
 #   scripts/check.sh -L obs            # observability layer: obs_test + the
 #                                      # trace_tour export/reconciliation smoke
+#   scripts/check.sh -L tenant         # tenant router: path/fd routing, shared
+#                                      # service pools, per-tenant QoS, churn
 #   scripts/check.sh --tsan            # ThreadSanitizer build, concurrency tests only
 #
 # The default run includes the `examples` label: every examples/*.cpp builds as
@@ -31,7 +33,8 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # lock-free MmapCache translate-during-churn group (epoch reclamation), and the
   # *_async instantiations, which run every U-Split suite with the async relink
   # publisher enabled (Options::async_relink + a real publisher thread) — so the
-  # intent-log/publish/fence protocol is TSan-verified on every pass.
+  # intent-log/publish/fence protocol is TSan-verified on every pass. The tenant
+  # router's mount/unmount churn race suite (tenant_test) rides the same label.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -L concurrency "$@"
   exit 0
@@ -52,3 +55,7 @@ trap 'rm -f "$storm_trace"' EXIT
 ./build/bench_scalability --trace="$storm_trace"
 ./build/bench_scalability --schema-check
 ./build/bench_scalability --repeat-check
+# Multi-tenant QoS bench artifact: BENCH_multitenant.json must keep the
+# schema_version-2 shape (per-tenant latency percentiles, contention ledger,
+# qos_on/qos_off degradation factors).
+./build/bench_multitenant --schema-check

@@ -1,0 +1,89 @@
+// Shared bounded service-thread pool (ROADMAP item 1, multi-tenant scale-out).
+//
+// One SplitFs instance per tenant used to mean one publisher thread + one staging
+// replenisher thread per tenant, so N tenants cost O(N) service threads. A
+// ServicePool inverts that: a fixed handful of workers serve jobs that any number
+// of client instances *register* with, keyed by client so one tenant's teardown can
+// fence exactly its own work. The tenant router owns three of these (publisher,
+// staging replenisher, journal commit) and every mounted tenant shares them —
+// total service threads are O(pools), not O(tenants).
+//
+// Simulation note: pool workers bind no sim::Clock::Lane, exactly like the private
+// per-instance threads they replace, so their virtual-time charges land on the
+// shared timeline that lane-based measurements ignore. Swapping a private thread
+// for a pool is invisible to every foreground timeline.
+#ifndef SRC_COMMON_SERVICE_POOL_H_
+#define SRC_COMMON_SERVICE_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace common {
+
+class ServicePool {
+ public:
+  // Spawns `threads` workers immediately (>= 1).
+  ServicePool(std::string name, int threads = 1);
+  ~ServicePool();
+  ServicePool(const ServicePool&) = delete;
+  ServicePool& operator=(const ServicePool&) = delete;
+
+  // Enqueues `job` attributed to `client_key` (typically the client instance
+  // pointer). With `dedup_queued`, the submit is dropped if a not-yet-running job
+  // with the same key is already queued — a queued pass will observe the newer
+  // state when it runs. Jobs already *running* never dedup a submit: a running
+  // pass may have sampled state from before the caller's update, so dropping the
+  // submit could lose the request (the journal-commit service depends on this).
+  void Submit(uint64_t client_key, std::function<void()> job,
+              bool dedup_queued = false);
+
+  // Blocks until no queued or running job for `client_key` remains. Jobs submitted
+  // concurrently with the drain (including by the drained jobs themselves) are
+  // waited for too — the fence is "key is quiet", not "jobs as of entry are done".
+  void Drain(uint64_t client_key);
+
+  // Blocks until the pool is fully quiet (all keys).
+  void DrainAll();
+
+  size_t QueueDepth() const;
+  int threads() const { return static_cast<int>(workers_.size()); }
+  const std::string& name() const { return name_; }
+
+  // True while the calling thread is a worker of *this* pool executing a job.
+  // Clients that must not fence on their own service pass (the publisher's
+  // checkpoint re-entry) consult this the way they used to compare thread ids
+  // against their private thread.
+  bool OnWorkerThread() const { return tls_running_in_ == this; }
+
+ private:
+  struct Job {
+    uint64_t key;
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop();
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs / stop
+  std::condition_variable drain_cv_;  // Drain()/DrainAll() waiters
+  std::deque<Job> queue_;
+  // Queued + running job count per client key (erased at zero).
+  std::unordered_map<uint64_t, uint32_t> pending_;
+  size_t running_total_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  static thread_local const ServicePool* tls_running_in_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_SERVICE_POOL_H_

@@ -8,6 +8,13 @@
 
 #include "src/common/bytes.h"
 
+namespace common {
+class ServicePool;
+}
+namespace sim {
+class TokenBucket;
+}
+
 namespace splitfs {
 
 // Consistency modes (Table 3). Concurrent SplitFs instances over the same K-Split may
@@ -69,8 +76,10 @@ struct Options {
   // values amortize the commit writeout across an fsync storm's worth of files;
   // the log-full checkpoint waits on the publisher's completion fence, so a batch
   // in flight always finishes under its single commit before the op log resets.
-  // Ignored by the inline (publisher_thread=false) publisher, which is
-  // deterministic per call by design.
+  // 0 = auto: each pass drains the whole queue as it stands — the batch sizes
+  // itself from queue depth, so a deeper backlog amortizes into fewer commits
+  // without tuning. Ignored by the inline (publisher_thread=false) publisher,
+  // which is deterministic per call by design.
   uint32_t publish_batch = 1;
 
   // Record virtual-time spans (op entry/exit, journal seal/writeout, publisher
@@ -88,6 +97,22 @@ struct Options {
   // When false, fsync copies staged bytes into the target file instead of relinking
   // ("+staging" bar vs "+relink" bar).
   bool enable_relink = true;
+};
+
+// Shared-service wiring for multi-tenant deployments (src/tenant/). All pointers
+// are borrowed (the tenant router outlives every instance it mounts) and all
+// default to null, which means "own your services": a private publisher thread, a
+// private replenisher thread, inline journal commits — today's single-tenant
+// behavior, bit-identical. With a pool set, the instance registers work with the
+// shared pool instead of spawning a thread; with a token bucket set, foreground
+// admission to that service is paced on the caller's virtual timeline.
+struct Services {
+  common::ServicePool* publisher_pool = nullptr;
+  common::ServicePool* replenisher_pool = nullptr;
+  // QoS: paces staging-file consumption (one token per staging file a lane takes).
+  sim::TokenBucket* staging_tokens = nullptr;
+  // QoS: paces foreground journal commits (fsync/metadata-sync forced commits).
+  sim::TokenBucket* journal_credits = nullptr;
 };
 
 }  // namespace splitfs

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "src/common/bytes.h"
+#include "src/common/service_pool.h"
+#include "src/sim/token_bucket.h"
 
 namespace splitfs {
 
@@ -56,15 +58,18 @@ const char* OpKindName(OpKind op) {
   return "splitfs.?";
 }
 
-SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instance_tag)
+SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instance_tag,
+                 const Services& services)
     : kfs_(kfs),
       ctx_(kfs->context()),
       opts_(opts),
       tag_(instance_tag),
+      services_(services),
+      journal_qos_resource_("tenant." + instance_tag + ".journal_throttle"),
       mmaps_(kfs, opts.mmap_size) {
   kfs_->Mkdir(opts_.runtime_dir);  // Idempotent; EEXIST is fine.
   if (opts_.enable_staging) {
-    staging_ = std::make_unique<StagingPool>(kfs_, &mmaps_, opts_, tag_);
+    staging_ = std::make_unique<StagingPool>(kfs_, &mmaps_, opts_, tag_, services_);
   }
   if (opts_.mode == Mode::kStrict || opts_.async_relink) {
     // Strict logs every operation; async relink logs fsync's publish intents (any
@@ -78,7 +83,7 @@ SplitFs::SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instanc
   SPLITFS_CHECK(fd >= 0);
   SPLITFS_CHECK_OK(kfs_->Fsync(fd));
   SPLITFS_CHECK_OK(kfs_->Close(fd));
-  if (opts_.async_relink && opts_.publisher_thread) {
+  if (opts_.async_relink && opts_.publisher_thread && !UsePublisherPool()) {
     publisher_ = std::thread([this] { PublisherLoop(); });
   }
   RegisterGauges();
@@ -313,6 +318,7 @@ void SplitFs::MakeMetadataSynchronous(FileState* fs) {
   if (opts_.mode == Mode::kPosix) {
     return;
   }
+  TakeJournalCredit();
   kfs_->CommitJournal(/*fsync_barrier=*/false);
   if (fs != nullptr) {
     std::lock_guard<std::mutex> meta(fs->meta_mu);
@@ -1254,6 +1260,7 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done, bool defer_commit) {
 int SplitFs::PublishOrIntend(FileState* fs, bool* enqueue) {
   *enqueue = false;
   if (!opts_.async_relink) {
+    TakeJournalCredit();  // Sync publish commits the journal on the caller.
     return PublishStaged(fs);
   }
   // The fsync contract covers the file's metadata too: a create/truncate still
@@ -1266,6 +1273,7 @@ int SplitFs::PublishOrIntend(FileState* fs, bool* enqueue) {
     metadata_dirty = fs->metadata_dirty;
   }
   if (metadata_dirty) {
+    TakeJournalCredit();
     kfs_->CommitJournal(/*fsync_barrier=*/false);
     std::lock_guard<std::mutex> meta(fs->meta_mu);
     fs->metadata_dirty = false;
@@ -1364,6 +1372,8 @@ void SplitFs::EnqueuePublish(FileRef fs) {
   }
   publish_queue_.push_back(std::move(fs));
   publish_cv_.notify_one();
+  ul.unlock();
+  SchedulePublishPass();  // Pool mode: register a drain pass for the new entry.
 }
 
 std::vector<SplitFs::FileRef> SplitFs::PublishBatch(std::vector<FileRef> batch) {
@@ -1457,7 +1467,11 @@ void SplitFs::PublisherLoop() {
       }
       continue;
     }
-    const size_t batch_max = std::max<uint32_t>(1, opts_.publish_batch);
+    // publish_batch == 0 sizes the batch from the queue as it stands: a deep queue
+    // (burst of fsyncs) drains under one journal commit instead of one per cap.
+    const size_t batch_max = opts_.publish_batch > 0
+                                 ? opts_.publish_batch
+                                 : std::max<size_t>(size_t{1}, publish_queue_.size());
     std::vector<FileRef> batch;
     while (!publish_queue_.empty() && batch.size() < batch_max) {
       batch.push_back(std::move(publish_queue_.front()));
@@ -1494,7 +1508,60 @@ void SplitFs::PublisherLoop() {
   }
 }
 
-void SplitFs::DrainQueuedPublishesForTest() {
+void SplitFs::SchedulePublishPass() {
+  if (!UsePublisherPool()) {
+    return;
+  }
+  // Deduplicated against a QUEUED (not running) pass: a running pass may have
+  // emptied its view of the queue already, so a fresh enqueue needs a fresh pass.
+  services_.publisher_pool->Submit(reinterpret_cast<uint64_t>(this),
+                                   [this] { PublishPassOnPool(); },
+                                   /*dedup_queued=*/true);
+}
+
+void SplitFs::PublishPassOnPool() {
+  std::unique_lock<std::mutex> ul(publish_mu_);
+  for (;;) {
+    if (publish_queue_.empty() || publisher_paused_) {
+      return;  // A later enqueue (or unpause) schedules the next pass.
+    }
+    const size_t batch_max = opts_.publish_batch > 0
+                                 ? opts_.publish_batch
+                                 : std::max<size_t>(size_t{1}, publish_queue_.size());
+    std::vector<FileRef> batch;
+    while (!publish_queue_.empty() && batch.size() < batch_max) {
+      batch.push_back(std::move(publish_queue_.front()));
+      publish_queue_.pop_front();
+    }
+    const size_t popped = batch.size();
+    publishes_inflight_ += popped;
+    publish_idle_cv_.notify_all();  // Backpressure keys off the queue length.
+    ul.unlock();
+    std::vector<FileRef> busy;
+    {
+      // Pool workers carry no clock lane, exactly like the private publisher
+      // thread: relink and commit charges land on the shared timeline, off every
+      // application thread's critical path.
+      obs::ScopedSpan span(opts_.tracing ? &ctx_->obs.tracer : nullptr, &ctx_->clock,
+                           "publisher", "publisher.drain", "files", popped);
+      busy = PublishBatch(std::move(batch));
+    }
+    ul.lock();
+    // Requeue + inflight drop in ONE critical section (see PublisherLoop).
+    for (FileRef& fs : busy) {
+      publish_queue_.push_back(std::move(fs));
+    }
+    publishes_inflight_ -= popped;
+    publish_idle_cv_.notify_all();
+    if (!busy.empty() && busy.size() == popped && !publisher_stop_) {
+      // Every file was lock-contended; back off a beat of real time on the shared
+      // worker rather than spinning on the holders' locks.
+      publish_cv_.wait_for(ul, std::chrono::microseconds(100));
+    }
+  }
+}
+
+void SplitFs::DrainQueuedPublishes() {
   std::vector<FileRef> batch;
   {
     std::lock_guard<std::mutex> lg(publish_mu_);
@@ -1510,26 +1577,49 @@ void SplitFs::DrainQueuedPublishesForTest() {
 }
 
 void SplitFs::StopPublisher() {
-  if (!publisher_.joinable()) {
+  if (publisher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lg(publish_mu_);
+      publisher_stop_ = true;
+    }
+    publish_cv_.notify_all();
+    publish_idle_cv_.notify_all();
+    publisher_.join();
     return;
   }
-  {
-    std::lock_guard<std::mutex> lg(publish_mu_);
-    publisher_stop_ = true;
+  if (UsePublisherPool()) {
+    {
+      std::lock_guard<std::mutex> lg(publish_mu_);
+      publisher_stop_ = true;       // Unblocks backpressure waiters; stops enqueues.
+      publisher_paused_ = false;    // Teardown overrides a test pause.
+    }
+    publish_cv_.notify_all();
+    publish_idle_cv_.notify_all();
+    // Fence the shared pool: after Drain no pass of ours is queued or running.
+    services_.publisher_pool->Drain(reinterpret_cast<uint64_t>(this));
+    // Anything still queued (e.g. enqueued while a pass was paused) publishes on
+    // this thread — staged data promised by fsync must reach K-Split.
+    DrainQueuedPublishes();
   }
-  publish_cv_.notify_all();
-  publish_idle_cv_.notify_all();
-  publisher_.join();
 }
 
 void SplitFs::WaitForPublishes() {
-  if (!publisher_.joinable()) {
+  if (!HasAsyncPublisher()) {
     return;
   }
+  SchedulePublishPass();  // Pool mode: make sure a pass is armed for queued work.
   std::unique_lock<std::mutex> ul(publish_mu_);
   publish_idle_cv_.wait(ul, [this] {
     return publish_queue_.empty() && publishes_inflight_ == 0;
   });
+}
+
+void SplitFs::TakeJournalCredit() {
+  if (services_.journal_credits == nullptr) {
+    return;
+  }
+  uint64_t throttled = services_.journal_credits->Take(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, journal_qos_resource_.c_str(), throttled);
 }
 
 int SplitFs::Fsync(int fd) {
@@ -1558,6 +1648,7 @@ int SplitFs::Fsync(int fd) {
       // the intent records are fenced; the relinks run on the publisher.
       rc = PublishOrIntend(fs.get(), &enqueue);
     } else if (metadata_dirty) {
+      TakeJournalCredit();
       rc = kfs_->Fsync(fs->kernel_fd);
       if (rc == 0) {
         std::lock_guard<std::mutex> meta(fs->meta_mu);
@@ -1682,15 +1773,20 @@ void SplitFs::CheckpointForFull(FileState* held) {
     // append against the still-full log would recurse back into this checkpoint.
     SPLITFS_CHECK_OK(PublishStaged(held, /*log_done=*/false));
   }
-  if (opts_.publisher_thread && publisher_.joinable() &&
-      std::this_thread::get_id() != publisher_.get_id()) {
+  bool fence = false;
+  if (publisher_.joinable()) {
+    fence = std::this_thread::get_id() != publisher_.get_id();
+  } else if (UsePublisherPool()) {
+    fence = !services_.publisher_pool->OnWorkerThread();
+  }
+  if (fence) {
     // Completion fence: queued/batched publishes finish under their single journal
     // commit before the log resets — the try-lock sweep below cannot see a batch
-    // that is mid-commit on the publisher thread, and must not reset the log out
-    // from under its still-unsealed intents. Publishing `held` first keeps this
-    // deadlock-free: any lock holder blocked here has already emptied its own
-    // staged set, so the publisher drops (never requeues) its queue entry. The
-    // publisher itself skips the fence — it cannot wait for its own drain.
+    // that is mid-commit on the publisher (thread or pool pass), and must not reset
+    // the log out from under its still-unsealed intents. Publishing `held` first
+    // keeps this deadlock-free: any lock holder blocked here has already emptied
+    // its own staged set, so the publisher drops (never requeues) its queue entry.
+    // The publisher itself skips the fence — it cannot wait for its own drain.
     WaitForPublishes();
   }
   std::lock_guard<std::mutex> cl(checkpoint_mu_);
@@ -1909,7 +2005,8 @@ int SplitFs::Recover() {
   if (opts_.enable_staging) {
     static std::atomic<uint64_t> recover_epoch{0};
     staging_ = std::make_unique<StagingPool>(
-        kfs_, &mmaps_, opts_, tag_ + "-r" + std::to_string(recover_epoch.fetch_add(1)));
+        kfs_, &mmaps_, opts_, tag_ + "-r" + std::to_string(recover_epoch.fetch_add(1)),
+        services_);
   }
   return 0;
 }

@@ -88,7 +88,13 @@ const char* OpKindName(OpKind op);
 class SplitFs : public vfs::FileSystem {
  public:
   // `instance_tag` names this U-Split instance's runtime files (staging, op log).
-  SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instance_tag = "u0");
+  // `services` (optional) wires the instance into a multi-tenant deployment
+  // (src/tenant/): shared publisher/replenisher pools replace the private service
+  // threads, and token buckets pace this tenant's staging-file and journal-commit
+  // consumption. The defaults (all null) keep the single-tenant private-thread /
+  // inline behavior bit-identical.
+  SplitFs(ext4sim::Ext4Dax* kfs, Options opts, const std::string& instance_tag = "u0",
+          const Services& services = {});
   ~SplitFs() override;
 
   std::string Name() const override;
@@ -139,19 +145,39 @@ class SplitFs : public vfs::FileSystem {
   }
   // Completion fence of the async publisher: returns once every queued publish has
   // finished. No-op when the publisher thread is off (inline mode publishes before
-  // fsync/close return).
+  // fsync/close return). In shared-pool mode it first re-arms a publish pass, so a
+  // queued file whose pass raced a pause/unpause is never waited on forever.
   void WaitForPublishes();
+  // Files queued for async publication right now (router QoS gauge).
+  size_t PublishQueueDepth() const {
+    std::lock_guard<std::mutex> lg(publish_mu_);
+    return publish_queue_.size();
+  }
+  // True when publishes run asynchronously — on the private publisher thread or on
+  // the shared publisher pool.
+  bool HasAsyncPublisher() const {
+    return publisher_.joinable() || UsePublisherPool();
+  }
+  // Pops everything currently queued and publishes it on the calling thread. Tenant
+  // unmount drains through here (after stopping new enqueues) so queued publishes —
+  // data the tenant's fsyncs already acknowledged — are on K-Split before the
+  // instance is destroyed; crash tests use it to walk the batched publish
+  // deterministically with the publisher paused.
+  void DrainQueuedPublishes();
 
-  // Test-only: parks the publisher thread before it pops the next queue entry, so a
-  // crash test can build the acknowledged-but-unpublished state (intents fenced,
-  // relinks pending) deterministically and drive recovery through intent replay.
-  // StopPublisher overrides the pause so teardown never hangs.
+  // Test-only: parks the publisher (thread or pool pass) before it pops the next
+  // queue entry, so a crash test can build the acknowledged-but-unpublished state
+  // (intents fenced, relinks pending) deterministically and drive recovery through
+  // intent replay. StopPublisher overrides the pause so teardown never hangs.
   void set_publisher_paused_for_test(bool paused) {
     {
       std::lock_guard<std::mutex> lg(publish_mu_);
       publisher_paused_ = paused;
     }
     publish_cv_.notify_all();
+    if (!paused) {
+      SchedulePublishPass();  // Pool mode: re-arm a pass for anything queued.
+    }
   }
 
   // Test-only: invoked right after the kernel rename, before the path-cache
@@ -164,10 +190,8 @@ class SplitFs : public vfs::FileSystem {
     rename_race_hook_ = std::move(hook);
   }
 
-  // Test-only: pops everything currently queued and runs PublishBatch on the
-  // calling thread (publisher paused), so a crash test can arm the injector and
-  // walk the batched publish — N files under one commit — deterministically.
-  void DrainQueuedPublishesForTest();
+  // Historical test-entry name for DrainQueuedPublishes().
+  void DrainQueuedPublishesForTest() { DrainQueuedPublishes(); }
   const StagingPool& staging_pool() const { return *staging_; }
   ext4sim::Ext4Dax* kernel_fs() const { return kfs_; }
 
@@ -313,12 +337,30 @@ class SplitFs : public vfs::FileSystem {
   // and they are dropped.
   std::vector<FileRef> PublishBatch(std::vector<FileRef> batch);
   void StopPublisher();
+  // True when async publishes run as registered passes on the shared publisher pool
+  // instead of a private thread.
+  bool UsePublisherPool() const {
+    return opts_.async_relink && opts_.publisher_thread &&
+           services_.publisher_pool != nullptr;
+  }
+  // Pool mode: registers a queue-deduplicated publish pass with the shared pool.
+  // No-op in thread/inline modes.
+  void SchedulePublishPass();
+  // One shared-pool pass: drains the publish queue batch by batch, mirroring one
+  // PublisherLoop iteration per batch. Runs on a pool worker thread.
+  void PublishPassOnPool();
   int RelinkRun(FileState* fs, uint64_t file_off, const StagedRange& r);
   int CopyStagedRun(FileState* fs, const StagedRange& r);
 
   // sync/strict modes: commit the kernel journal (non-barrier) so the metadata
   // operation that just completed is synchronous, per Table 3.
   void MakeMetadataSynchronous(FileState* fs);
+
+  // Multi-tenant QoS: takes one commit credit from this tenant's journal bucket
+  // before a foreground journal commit. The wait (if any) lands on the caller's
+  // lane and is attributed to the tenant's throttle resource in the contention
+  // ledger. No-op without Services wiring.
+  void TakeJournalCredit();
 
   // `held` is the file whose whole-file lock the caller owns (nullptr when none): on
   // a full log the checkpoint publishes it directly instead of try-locking it.
@@ -377,6 +419,9 @@ class SplitFs : public vfs::FileSystem {
   sim::Context* ctx_;
   Options opts_;
   std::string tag_;
+  Services services_;
+  // Ledger resource name for journal-credit throttling, per tenant.
+  std::string journal_qos_resource_;
 
   mutable std::array<FileShard, kStateShards> file_shards_;
   mutable std::array<PathShard, kStateShards> path_shards_;
@@ -400,7 +445,7 @@ class SplitFs : public vfs::FileSystem {
   // queued stays alive until the publisher sees it is defunct and skips it.
   static constexpr size_t kMaxQueuedPublishes = 8;
   std::thread publisher_;
-  std::mutex publish_mu_;
+  mutable std::mutex publish_mu_;
   std::condition_variable publish_cv_;       // Publisher wakeup.
   std::condition_variable publish_idle_cv_;  // Backpressure + completion fence.
   std::deque<FileRef> publish_queue_;

@@ -3,16 +3,23 @@
 #include <algorithm>
 
 #include "src/common/bytes.h"
+#include "src/common/service_pool.h"
 #include "src/common/threading.h"
+#include "src/sim/token_bucket.h"
 
 namespace splitfs {
 
 StagingPool::StagingPool(ext4sim::Ext4Dax* kfs, MmapCache* mmaps, const Options& opts,
-                         const std::string& instance_tag)
-    : kfs_(kfs), mmaps_(mmaps), ctx_(kfs->context()), opts_(opts) {
+                         const std::string& instance_tag, const Services& services)
+    : kfs_(kfs), mmaps_(mmaps), ctx_(kfs->context()), opts_(opts), services_(services) {
   dir_ = opts.runtime_dir + "/stage-" + instance_tag;
+  qos_resource_ = "tenant." + instance_tag + ".staging_throttle";
   kfs_->Mkdir(opts.runtime_dir);  // Idempotent; EEXIST is fine.
-  SPLITFS_CHECK_OK(kfs_->Mkdir(dir_));
+  // A prior incarnation of this tag (tenant remount churn) may have left the dir
+  // and scratch files behind; staging contents are meaningless until relinked, so
+  // reuse is safe.
+  int mkdir_rc = kfs_->Mkdir(dir_);
+  SPLITFS_CHECK(mkdir_rc == 0 || mkdir_rc == -EEXIST);
   lanes_.reserve(std::max<uint32_t>(opts_.staging_lanes, 1));
   for (uint32_t i = 0; i < std::max<uint32_t>(opts_.staging_lanes, 1); ++i) {
     lanes_.push_back(std::make_unique<Lane>());
@@ -23,7 +30,9 @@ StagingPool::StagingPool(ext4sim::Ext4Dax* kfs, MmapCache* mmaps, const Options&
       SPLITFS_CHECK(CreateStageFileLocked(CreateMode::kForeground));
     }
   }
-  if (opts_.replenish_thread) {
+  // Shared-pool replenishment substitutes for the private thread; with neither,
+  // the deterministic inline fallback stands in.
+  if (opts_.replenish_thread && !UseReplenishPool()) {
     replenisher_ = std::thread([this] { ReplenishLoop(); });
   }
 }
@@ -36,6 +45,14 @@ StagingPool::~StagingPool() {
     }
     replenish_cv_.notify_all();
     replenisher_.join();
+  } else if (UseReplenishPool()) {
+    {
+      std::lock_guard<std::mutex> pl(pool_mu_);
+      stop_ = true;
+    }
+    // Fence our replenish jobs out of the shared pool before tearing down the
+    // queues they push into.
+    services_.replenisher_pool->Drain(reinterpret_cast<uint64_t>(this));
   }
   for (auto& lane : lanes_) {
     if (lane->active && lane->active->fd >= 0) {
@@ -108,6 +125,12 @@ bool StagingPool::CreateStageFileLocked(CreateMode mode) {
 }
 
 bool StagingPool::RefillLaneLocked(Lane* lane) {
+  // QoS admission: one token per staging file this lane takes. The throttle
+  // advances only the taker's own timeline and is attributed to the tenant.
+  if (services_.staging_tokens != nullptr) {
+    uint64_t throttled = services_.staging_tokens->Take(&ctx_->clock);
+    obs::ReportWait(&ctx_->obs, &ctx_->clock, qos_resource_.c_str(), throttled);
+  }
   std::lock_guard<std::mutex> pl(pool_mu_);
   if (spare_.empty()) {
     // Exhausted faster than replenishment: the application pays for the new file, as
@@ -122,8 +145,8 @@ bool StagingPool::RefillLaneLocked(Lane* lane) {
   }
   lane->active = std::move(spare_.front());
   spare_.pop_front();
-  if (opts_.replenish_thread && spare_.size() < opts_.num_staging_files) {
-    replenish_cv_.notify_one();
+  if (spare_.size() < opts_.num_staging_files) {
+    KickReplenisherLocked();
   }
   return true;
 }
@@ -138,13 +161,49 @@ void StagingPool::ConsumeActiveLocked(Lane* lane) {
     consumed_.push_back(std::move(sf));
   }
   // Trigger the replacement now, so the pool's working set stays at its configured
-  // size. Deterministic mode creates it inline (cost rewound); thread mode wakes the
-  // replenisher. When the spare queue is already empty the next refill creates the
-  // file in the foreground — same as the pre-concurrency pool.
+  // size. Deterministic mode creates it inline (cost rewound); thread and
+  // shared-pool modes wake their replenisher. When the spare queue is already empty
+  // the next refill creates the file in the foreground — same as the
+  // pre-concurrency pool.
   if (opts_.replenish_thread) {
-    replenish_cv_.notify_one();
+    KickReplenisherLocked();
   } else if (!spare_.empty()) {
     CreateStageFileLocked(CreateMode::kBackgroundInline);
+  }
+}
+
+bool StagingPool::UseReplenishPool() const {
+  return opts_.replenish_thread && services_.replenisher_pool != nullptr;
+}
+
+void StagingPool::KickReplenisherLocked() {
+  if (!opts_.replenish_thread) {
+    return;
+  }
+  if (UseReplenishPool()) {
+    // Queued-pass dedup: one pending pass tops the queue up however far it has
+    // drained by the time a worker runs it.
+    services_.replenisher_pool->Submit(reinterpret_cast<uint64_t>(this),
+                                       [this] { ReplenishPassOnPool(); },
+                                       /*dedup_queued=*/true);
+    return;
+  }
+  replenish_cv_.notify_one();
+}
+
+void StagingPool::ReplenishPassOnPool() {
+  std::unique_lock<std::mutex> ul(pool_mu_);
+  while (!stop_ && spare_.size() < opts_.num_staging_files) {
+    // Same shape as ReplenishLoop: the kernel work runs outside pool_mu_ so
+    // foreground refills are never stalled behind a background create.
+    ul.unlock();
+    StageFile sf;
+    bool ok = CreateStageFile(CreateMode::kBackgroundThread, &sf);
+    ul.lock();
+    if (!ok) {
+      return;  // Out of space; foreground allocations will surface ENOSPC.
+    }
+    spare_.push_back(std::move(sf));
   }
 }
 

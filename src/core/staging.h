@@ -49,8 +49,13 @@ struct StagingAlloc {
 class StagingPool {
  public:
   // `instance_tag` keeps staging namespaces of concurrent U-Split instances apart.
+  // `services` (optional) wires the pool into a multi-tenant deployment: with
+  // `replenisher_pool` set (and Options::replenish_thread on), replenishment jobs
+  // are registered with the shared pool instead of spawning a private thread; with
+  // `staging_tokens` set, each staging file a lane takes costs one token, pacing
+  // the tenant's staging consumption on its own timeline.
   StagingPool(ext4sim::Ext4Dax* kfs, MmapCache* mmaps, const Options& opts,
-              const std::string& instance_tag);
+              const std::string& instance_tag, const Services& services = {});
   ~StagingPool();
 
   StagingPool(const StagingPool&) = delete;
@@ -142,12 +147,22 @@ class StagingPool {
   // Closes + unlinks a fully-released consumed file, off the foreground clock.
   void Retire(StageFile* sf);
   void ReplenishLoop();
+  // True when background replenishment runs on the shared service pool instead of
+  // a private thread.
+  bool UseReplenishPool() const;
+  // One shared-pool pass: tops the spare queue back up to the configured size.
+  void ReplenishPassOnPool();
+  // Wakes whichever replenisher this pool has (private thread or shared pool).
+  void KickReplenisherLocked();
 
   ext4sim::Ext4Dax* kfs_;
   MmapCache* mmaps_;
   sim::Context* ctx_;
   Options opts_;
+  Services services_;
   std::string dir_;
+  // Ledger resource name for staging-token throttling, per tenant.
+  std::string qos_resource_;
 
   std::vector<std::unique_ptr<Lane>> lanes_;
 

@@ -72,6 +72,10 @@
 #include "src/pmem/device.h"
 #include "src/sim/context.h"
 
+namespace common {
+class ServicePool;
+}
+
 namespace ext4sim {
 
 // Identifies a distinct metadata block for dirty-set dedup within a transaction.
@@ -196,6 +200,18 @@ class Journal {
 
   uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
 
+  // Shared journal-commit service (multi-tenant deployments). With a pool set,
+  // CommitRunning no longer performs the writeout on the calling thread: the caller
+  // records the tid it needs durable, registers one commit pass with the pool
+  // (queued passes dedup — one pass serves every tid requested before it runs), and
+  // sleeps in log_wait_commit. The pass runs on a pool worker under its own clock
+  // lane, so commit service time still accumulates in the commit stamp and waiters
+  // still fast-forward past it — the virtual-time cost of a commit is unchanged;
+  // only which thread renders it moves. Null (the default) keeps the caller-commits
+  // behavior bit-identical. Swapping to null drains in-flight passes first. Must
+  // not be called concurrently with commits (mount/unmount points only).
+  void SetServicePool(common::ServicePool* pool);
+
   // Journal bytes not occupied by logged-but-not-yet-checkpointed transactions.
   // Monotone within a commit; replenished by checkpoint writeback.
   uint64_t FreeLogBytes() const {
@@ -264,6 +280,8 @@ class Journal {
   // the barrier released, runs deferred actions, publishes the tid. Caller must NOT
   // hold commit_mu_ — this takes it.
   void CommitTid(uint64_t target, bool fsync_barrier);
+  // One shared-pool pass: commits until every requested tid is durable.
+  void ServiceCommitPass();
 
   pmem::Device* dev_;
   sim::Context* ctx_;
@@ -309,6 +327,12 @@ class Journal {
   std::function<void()> commit_window_hook_;   // Test-only; see setter.
   std::function<void()> checkpoint_hook_;      // Test-only; see setter.
   std::atomic<uint64_t> commits_{0};
+
+  // Shared commit service (SetServicePool). requested_tid_ is the newest tid any
+  // caller has asked the service to make durable; a pass loops until the committed
+  // horizon covers it, so a request recorded while a pass runs is never lost.
+  common::ServicePool* service_pool_ = nullptr;
+  std::atomic<uint64_t> requested_tid_{0};
 };
 
 }  // namespace ext4sim

@@ -1,0 +1,85 @@
+// Virtual-time token bucket — the per-tenant QoS primitive (ROADMAP item 1).
+//
+// A tenant's foreground operation pays for a unit of a shared service (one staging
+// file taken, one journal commit forced) by taking a token. Tokens refill at
+// `rate_per_sec` of *simulated* time up to `burst`; when the bucket is short, the
+// caller's timeline advances to the refill point — the virtual-time image of being
+// throttled. That is exactly the fairness mechanism: a strict-mode tenant's fsync
+// storm burns its own journal credits and its own lanes absorb the pacing delay,
+// while a posix tenant with its own bucket (or none) proceeds unpaced.
+//
+// Off-clock callers (background publishes, inline deterministic twins) are never
+// paced: QoS charges foreground admission, not background service — and pacing an
+// off-clock bracket would rewind away anyway.
+#ifndef SRC_SIM_TOKEN_BUCKET_H_
+#define SRC_SIM_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+
+#include "src/sim/clock.h"
+
+namespace sim {
+
+class TokenBucket {
+ public:
+  // rate_per_sec == 0 disables pacing (unlimited); every Take returns 0.
+  TokenBucket(double rate_per_sec, double burst)
+      : tokens_per_ns_(rate_per_sec / 1e9),
+        burst_(std::max(burst, 1.0)),
+        tokens_(std::max(burst, 1.0)) {}
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  // Takes `cost` tokens, advancing the caller's timeline past the refill point if
+  // the bucket is short. Returns the virtual nanoseconds waited (0 when admitted
+  // immediately) so the caller can attribute the throttle to its ledger resource.
+  uint64_t Take(Clock* clock, double cost = 1.0) {
+    if (tokens_per_ns_ <= 0.0 || Clock::OffClock()) {
+      return 0;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    RefillLocked(clock->Now());
+    if (tokens_ >= cost) {
+      tokens_ -= cost;
+      return 0;
+    }
+    // Lanes are private timelines, so "now" differs per thread; the bucket tracks
+    // the furthest refill point it has granted and paces each lane from there.
+    uint64_t wait_ns =
+        static_cast<uint64_t>(std::ceil((cost - tokens_) / tokens_per_ns_));
+    tokens_ = 0.0;
+    last_refill_ns_ += wait_ns;
+    uint64_t before = clock->Now();
+    clock->FastForwardTo(last_refill_ns_);
+    uint64_t now = clock->Now();
+    return now > before ? now - before : 0;
+  }
+
+  // Current token count (metrics gauge; observation only, no refill).
+  double Available() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return tokens_;
+  }
+
+ private:
+  void RefillLocked(uint64_t now_ns) {
+    if (now_ns > last_refill_ns_) {
+      tokens_ = std::min(
+          burst_, tokens_ + static_cast<double>(now_ns - last_refill_ns_) * tokens_per_ns_);
+      last_refill_ns_ = now_ns;
+    }
+  }
+
+  const double tokens_per_ns_;
+  const double burst_;
+  mutable std::mutex mu_;  // leaf lock: held only for arithmetic
+  double tokens_;
+  uint64_t last_refill_ns_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_TOKEN_BUCKET_H_

@@ -14,6 +14,7 @@
 
 #include "src/crash/crash_runner.h"
 #include "src/ext4/fsck.h"
+#include "src/tenant/tenant_router.h"
 
 namespace {
 
@@ -684,6 +685,261 @@ TEST(CrashMatrixSmoke, MidBatchedPublishCrashStatesAreDeterministic) {
     ASSERT_TRUE(a.crashed);
     ASSERT_TRUE(b.crashed);
     EXPECT_EQ(a.fingerprint, b.fingerprint);
+  }
+}
+
+// --- Tenant churn column --------------------------------------------------------------
+//
+// Power cuts during TenantRouter mount, unmount-with-queued-publishes, and a
+// cross-tenant shared-pool drain. The cells run with RouterOptions::journal_service
+// off and publishers paused so every store lands on the driving test thread (a
+// CrashSignal on a pool worker could not be caught), which also makes each state
+// deterministic: same ordinal + fate => byte-identical recovered fingerprint.
+
+tenant::TenantOptions ChurnCellTenant(bool async_publish) {
+  tenant::TenantOptions t;
+  t.fs.mode = splitfs::Mode::kPosix;
+  t.fs.num_staging_files = 2;
+  t.fs.staging_file_bytes = common::kMiB;
+  t.fs.oplog_bytes = 256 * common::kKiB;
+  t.fs.replenish_thread = false;  // Inline refill: deterministic store sequence.
+  if (async_publish) {
+    t.fs.async_relink = true;
+    t.fs.publisher_thread = true;  // Pool passes exist but stay paused in the cells.
+  }
+  return t;
+}
+
+struct TenantWorld {
+  std::unique_ptr<crash::World> w;
+  tenant::TenantRouter* router = nullptr;
+};
+
+TenantWorld MakeTenantWorld() {
+  TenantWorld tw;
+  tw.w = std::make_unique<crash::World>();
+  tw.w->dev = std::make_unique<pmem::Device>(&tw.w->ctx, 64 * common::kMiB);
+  tw.w->kfs = std::make_unique<ext4sim::Ext4Dax>(tw.w->dev.get());
+  tenant::RouterOptions ropts;
+  ropts.journal_service = false;  // Commits stay on the driving thread.
+  auto router = std::make_unique<tenant::TenantRouter>(tw.w->kfs.get(), ropts);
+  tw.router = router.get();
+  tw.w->fs = std::move(router);
+  return tw;
+}
+
+uint8_t TenantPayload(int file, size_t i) {
+  return static_cast<uint8_t>(0x5a ^ (file * 31) ^ (i * 7));
+}
+
+constexpr size_t kTenantBytes = 5000;
+
+void WriteTenantFile(tenant::TenantRouter* router, const std::string& path,
+                     int file_key) {
+  int fd = router->Open(path, vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  std::vector<uint8_t> data(kTenantBytes);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = TenantPayload(file_key, i);
+  }
+  SPLITFS_CHECK(router->Pwrite(fd, data.data(), data.size(), 0) ==
+                static_cast<ssize_t>(data.size()));
+  SPLITFS_CHECK(router->Fsync(fd) == 0);  // Acked (at the intent fence when async).
+  SPLITFS_CHECK(router->Close(fd) == 0);
+}
+
+// Reads the file back through the router, checks every byte, folds it into `fp`.
+void CheckTenantFile(tenant::TenantRouter* router, const std::string& path,
+                     int file_key, uint64_t* fp) {
+  auto mix = [fp](uint64_t v) { *fp = (*fp ^ v) * 1099511628211ull; };
+  int fd = router->Open(path, vfs::kRdOnly);
+  EXPECT_GE(fd, 0) << path << " lost across tenant-churn crash";
+  if (fd < 0) {
+    return;
+  }
+  vfs::StatBuf st;
+  EXPECT_EQ(router->Fstat(fd, &st), 0);
+  EXPECT_EQ(st.size, kTenantBytes) << path;
+  std::vector<uint8_t> back(kTenantBytes);
+  EXPECT_EQ(router->Pread(fd, back.data(), back.size(), 0),
+            static_cast<ssize_t>(back.size()));
+  size_t diverged = 0;
+  for (size_t i = 0; i < back.size(); ++i) {
+    if (back[i] != TenantPayload(file_key, i)) {
+      ++diverged;
+    }
+  }
+  EXPECT_EQ(diverged, 0u) << path << ": " << diverged << " bytes diverged";
+  mix(st.size);
+  for (size_t i = 0; i < back.size(); i += 997) {
+    mix(back[i]);
+  }
+  router->Close(fd);
+}
+
+// Cell 1: power cut mid-Mount (staging pre-allocation, namespace mkdir). The
+// interrupted mount must leave the router clean, the established tenant intact,
+// and the same id must mount again after recovery over its leftover artifacts.
+BatchCrashOutcome RunMountCrashState(uint64_t store_ordinal, crash::FatePolicy fate,
+                                     uint64_t seed) {
+  BatchCrashOutcome out;
+  TenantWorld tw = MakeTenantWorld();
+  tw.w->dev->EnableCrashTracking(true);
+  SPLITFS_CHECK(tw.router->Mount("a", ChurnCellTenant(/*async=*/false)) == 0);
+  WriteTenantFile(tw.router, "/a/keep", 0);
+
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  tw.w->dev->SetObserver(&injector);
+  try {
+    tw.router->Mount("b", ChurnCellTenant(/*async=*/false));
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  tw.w->dev->SetObserver(nullptr);
+  if (!out.crashed) {
+    return out;
+  }
+  EXPECT_FALSE(tw.router->IsMounted("b"));  // A torn mount registers nothing.
+
+  tw.w->dev->CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(tw.w->RecoverAll() == 0);
+
+  uint64_t fp = 14695981039346656037ull;
+  CheckTenantFile(tw.router, "/a/keep", 0, &fp);
+  // The torn id mounts again over whatever staging artifacts the cut left behind.
+  EXPECT_EQ(tw.router->Mount("b", ChurnCellTenant(/*async=*/false)), 0);
+  WriteTenantFile(tw.router, "/b/fresh", 1);
+  CheckTenantFile(tw.router, "/b/fresh", 1, &fp);
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(tw.w->kfs.get());
+  for (const auto& p : fsck.problems) {
+    ADD_FAILURE() << "tenant mount @ store#" << store_ordinal << ": " << p;
+  }
+  fp = (fp ^ (fsck.clean ? 1 : 0)) * 1099511628211ull;
+  out.fingerprint = fp;
+  return out;
+}
+
+// Cells 2 + 3 share a driver: queue publishes behind paused publishers on two
+// tenants, then cut power inside either Unmount("a") (which drains a's queue on
+// the calling thread first) or the cross-tenant DrainAllPublishes(). Every fsync
+// was acked at its intent fence, so recovery must restore all files of BOTH
+// tenants no matter whose relink the cut interrupted.
+BatchCrashOutcome RunChurnDrainCrashState(bool unmount, uint64_t store_ordinal,
+                                          crash::FatePolicy fate, uint64_t seed) {
+  BatchCrashOutcome out;
+  TenantWorld tw = MakeTenantWorld();
+  tw.w->dev->EnableCrashTracking(true);
+  SPLITFS_CHECK(tw.router->Mount("a", ChurnCellTenant(/*async=*/true)) == 0);
+  SPLITFS_CHECK(tw.router->Mount("b", ChurnCellTenant(/*async=*/true)) == 0);
+  tw.router->tenant_fs("a")->set_publisher_paused_for_test(true);
+  tw.router->tenant_fs("b")->set_publisher_paused_for_test(true);
+
+  WriteTenantFile(tw.router, "/a/q0", 0);
+  WriteTenantFile(tw.router, "/a/q1", 1);
+  WriteTenantFile(tw.router, "/b/q0", 2);
+  WriteTenantFile(tw.router, "/b/q1", 3);
+  SPLITFS_CHECK(tw.router->tenant_fs("a")->PublishQueueDepth() == 2);
+  SPLITFS_CHECK(tw.router->tenant_fs("b")->PublishQueueDepth() == 2);
+
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  tw.w->dev->SetObserver(&injector);
+  try {
+    if (unmount) {
+      tw.router->Unmount("a");
+    } else {
+      tw.router->DrainAllPublishes();
+    }
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  tw.w->dev->SetObserver(nullptr);
+  if (!out.crashed) {
+    return out;
+  }
+  // An interrupted unmount leaves the tenant mounted — the drain runs before any
+  // teardown, so the cut cannot strand a half-dismantled instance.
+  EXPECT_TRUE(tw.router->IsMounted("a"));
+  EXPECT_TRUE(tw.router->IsMounted("b"));
+
+  tw.w->dev->CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(tw.w->RecoverAll() == 0);
+  tw.router->tenant_fs("a")->set_publisher_paused_for_test(false);
+  tw.router->tenant_fs("b")->set_publisher_paused_for_test(false);
+
+  uint64_t fp = 14695981039346656037ull;
+  CheckTenantFile(tw.router, "/a/q0", 0, &fp);
+  CheckTenantFile(tw.router, "/a/q1", 1, &fp);
+  CheckTenantFile(tw.router, "/b/q0", 2, &fp);
+  CheckTenantFile(tw.router, "/b/q1", 3, &fp);
+  // Churn completes after recovery: the unmount finishes cleanly and the same
+  // namespace remounts with its data still rooted under /a.
+  EXPECT_EQ(tw.router->Unmount("a"), 0);
+  EXPECT_EQ(tw.router->Mount("a", ChurnCellTenant(/*async=*/true)), 0);
+  CheckTenantFile(tw.router, "/a/q0", 0, &fp);
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(tw.w->kfs.get());
+  for (const auto& p : fsck.problems) {
+    ADD_FAILURE() << (unmount ? "tenant unmount" : "tenant drain") << " @ store#"
+                  << store_ordinal << ": " << p;
+  }
+  fp = (fp ^ (fsck.clean ? 1 : 0)) * 1099511628211ull;
+  out.fingerprint = fp;
+  return out;
+}
+
+TEST(CrashMatrixSmoke, TenantMountCrashLeavesRouterCleanAndRemountable) {
+  int crashed_states = 0;
+  for (uint64_t store : {0ull, 2ull, 5ull}) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      BatchCrashOutcome out = RunMountCrashState(store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached in Mount";
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 6);
+}
+
+TEST(CrashMatrixSmoke, TenantUnmountCrashRecoversEveryAckedFile) {
+  int crashed_states = 0;
+  for (uint64_t store : {0ull, 3ull, 8ull}) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      BatchCrashOutcome out =
+          RunChurnDrainCrashState(/*unmount=*/true, store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached in Unmount";
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 6);
+}
+
+TEST(CrashMatrixSmoke, TenantSharedPoolDrainCrashRecoversBothTenants) {
+  int crashed_states = 0;
+  for (uint64_t store : {0ull, 5ull, 13ull}) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      BatchCrashOutcome out =
+          RunChurnDrainCrashState(/*unmount=*/false, store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached in drain";
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 6);
+}
+
+TEST(CrashMatrixSmoke, TenantChurnCrashStatesAreDeterministic) {
+  for (crash::FatePolicy fate : {FatePolicy::kSubset, FatePolicy::kTorn}) {
+    {
+      BatchCrashOutcome a = RunMountCrashState(4, fate, kSeed);
+      BatchCrashOutcome b = RunMountCrashState(4, fate, kSeed);
+      ASSERT_TRUE(a.crashed && b.crashed);
+      EXPECT_EQ(a.fingerprint, b.fingerprint);
+    }
+    for (bool unmount : {true, false}) {
+      BatchCrashOutcome a = RunChurnDrainCrashState(unmount, 3, fate, kSeed);
+      BatchCrashOutcome b = RunChurnDrainCrashState(unmount, 3, fate, kSeed);
+      ASSERT_TRUE(a.crashed && b.crashed);
+      EXPECT_EQ(a.fingerprint, b.fingerprint);
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include "src/common/bytes.h"
 #include "src/crash/crash_plan.h"
+#include "src/core/split_fs.h"
 #include "src/ext4/journal.h"
 #include "src/pmem/device.h"
 
@@ -289,6 +290,60 @@ TEST(JournalCoalescingTest, LogFullDuringWindowForcesImmediateSeal) {
   EXPECT_LT(windowed, 6u);
   EXPECT_GE(j.CheckpointStalls(), 1u);
   EXPECT_GT(j.FreeLogBytes(), 0u);
+}
+
+// --- Publish-batch auto-sizing (Options::publish_batch == 0) --------------------------
+//
+// Queues kFiles publishes behind a paused publisher, then releases it and counts
+// journal commits while the backlog drains. A fixed publish_batch=1 relinks one
+// file per pass (one commit each); auto sizing takes the whole backlog in one
+// pass, so a deeper queue drains in fewer commits.
+uint64_t CommitsToDrainBacklog(uint32_t publish_batch) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 256 * common::kMiB);
+  ext4sim::Ext4Dax kfs(&dev);
+  splitfs::Options o;
+  o.mode = splitfs::Mode::kPosix;
+  o.num_staging_files = 2;
+  o.staging_file_bytes = 4 * common::kMiB;
+  o.oplog_bytes = 4 * common::kMiB;
+  o.async_relink = true;
+  o.publisher_thread = true;
+  o.publish_batch = publish_batch;
+  splitfs::SplitFs fs(&kfs, o);
+  fs.set_publisher_paused_for_test(true);
+
+  constexpr int kFiles = 6;
+  const std::string rec(8 * 1024, 'b');
+  std::vector<int> fds;
+  for (int i = 0; i < kFiles; ++i) {
+    int fd = fs.Open("/f" + std::to_string(i), vfs::kCreate | vfs::kRdWr);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(fs.Pwrite(fd, rec.data(), rec.size(), 0),
+              static_cast<ssize_t>(rec.size()));
+    EXPECT_EQ(fs.Fsync(fd), 0);  // Acks at the intent fence, queues the publish.
+    fds.push_back(fd);
+  }
+  EXPECT_EQ(fs.PublishQueueDepth(), static_cast<size_t>(kFiles));
+
+  uint64_t before = kfs.JournalCommits();
+  fs.set_publisher_paused_for_test(false);
+  fs.WaitForPublishes();
+  uint64_t commits = kfs.JournalCommits() - before;
+  for (int fd : fds) {
+    EXPECT_EQ(fs.Close(fd), 0);
+  }
+  return commits;
+}
+
+TEST(PublishBatchTest, AutoSizingDrainsDeepQueueInFewerCommits) {
+  uint64_t fixed = CommitsToDrainBacklog(/*publish_batch=*/1);
+  uint64_t autosized = CommitsToDrainBacklog(/*publish_batch=*/0);
+  // One-at-a-time pays one commit per queued file; the auto batch amortizes the
+  // whole backlog into (nearly) one.
+  EXPECT_GE(fixed, 6u);
+  EXPECT_LE(autosized, 2u);
+  EXPECT_LT(autosized, fixed);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 // Multithreaded scalability of the concurrent U-Split: sweeps 1..16 application
-// threads over three workloads per consistency mode and reports aggregate ops/s.
+// threads over five workloads per consistency mode and reports aggregate ops/s.
+// shared_hot_file is the range-granular inode-lock column: N threads overwrite
+// disjoint 4 KB strides of ONE preallocated file, so its scaling is exactly the
+// lock granularity of the shared-file write path.
 //
 // Not a figure from the paper — the paper's evaluation is single-application — but
 // the workloads are its §5 staples (appends+fsync, random reads, YCSB-A over the
@@ -20,9 +23,11 @@
 //                     The pass self-checks: writeout spans must number fewer than
 //                     fsyncs (commit coalescing merged them) and the per-thread
 //                     reconciliation identity must hold — nonzero exit otherwise
-//     --repeat-check  runs the 8-thread posix append cell twice and fails unless
-//                     the virtual-time numbers are bit-identical (the PR 6 wobble
-//                     regression gate; lane pinning makes drain order deterministic)
+//     --repeat-check  determinism gates: 1-thread cells (helpers off) must be
+//                     bit-identical and 8-thread cells must repeat within 1%, for
+//                     both the posix append cell (the PR 6 lane-hash wobble gate)
+//                     and the shared_hot_file cell (strict solo / sync at 8 — the
+//                     range-granular inode-lock gate)
 //     --schema-check  validates the committed BENCH_scalability.json against the
 //                     schema_version 2 key set; nonzero exit on a regression
 #include <algorithm>
@@ -99,6 +104,14 @@ wl::ParallelResult RunWorkload(const char* workload, Testbed* bed, int threads) 
     return wl::RunParallelRead(fs, clock, threads, "/scal-read",
                                /*file_bytes=*/8 * common::kMiB, /*op_bytes=*/4096,
                                /*ops_per_thread=*/4000, /*seed=*/42);
+  }
+  if (std::strcmp(workload, "shared_hot_file") == 0) {
+    // One preallocated file, every thread overwriting disjoint 4 KB strides
+    // in-size: the range-granular inode-lock acceptance workload. Pre-PR this
+    // serialized on the whole-inode lock in sync and strict modes.
+    return wl::RunParallelSharedHotFile(fs, clock, threads, "/scal-hot",
+                                        /*bytes_per_thread=*/2 * common::kMiB,
+                                        /*op_bytes=*/4096);
   }
   if (std::strcmp(workload, "ycsb_c") == 0) {
     // Read-heavy YCSB-C phase: 100% zipfian gets against pre-flushed SSTables —
@@ -231,47 +244,72 @@ int WriteStormTrace(const std::string& path) {
 //      within 1% (above the observed scheduling residue, well below the several-%
 //      PR 6 lane-hash wobble it gates against).
 int RepeatCheck() {
-  auto run_cell = [](int threads, bool helpers) {
+  auto run_cell = [](const char* workload, FsKind kind, int threads, bool helpers) {
     splitfs::Options o = ConcurrentOptions();
     if (!helpers) {
       o.replenish_thread = false;  // documented exclusion, see above
       o.async_relink = false;      // documented exclusion, see above
     }
-    Testbed bed(FsKind::kSplitPosix, 2 * common::kGiB, o);
-    return RunWorkload("append_heavy", &bed, threads);
+    Testbed bed(kind, 2 * common::kGiB, o);
+    return RunWorkload(workload, &bed, threads);
   };
   int rc = 0;
 
-  wl::ParallelResult s1 = run_cell(1, /*helpers=*/false);
-  wl::ParallelResult s2 = run_cell(1, /*helpers=*/false);
-  std::printf("repeat-check[1T]: run1 %llu ns / %llu ops, run2 %llu ns / %llu ops\n",
-              static_cast<unsigned long long>(s1.elapsed_ns),
-              static_cast<unsigned long long>(s1.ops),
-              static_cast<unsigned long long>(s2.elapsed_ns),
-              static_cast<unsigned long long>(s2.ops));
-  if (s1.elapsed_ns != s2.elapsed_ns || s1.ops != s2.ops || s1.errors != s2.errors) {
-    std::fprintf(stderr, "FAIL repeat-check: 1-thread posix append cell is not "
-                         "bit-identical\n");
-    rc = 1;
-  }
+  // One bit-identity cell and one repeatability cell per gated workload:
+  //   - append_heavy/posix: the PR 6 lane-hash gate (disjoint files).
+  //   - shared_hot_file: the range-lock gate — one file, 8 range-locked writers.
+  //     The 1-thread cell runs strict, so the per-range op-log path itself (entry
+  //     logging, epoch gate, range stamps) must charge nothing extra solo; the
+  //     8-thread cell runs sync, the mode the >=3x acceptance criterion targets.
+  struct Gate {
+    const char* workload;
+    FsKind solo_kind;
+    const char* solo_name;
+    FsKind hot_kind;
+    const char* hot_name;
+  };
+  const Gate kGates[] = {
+      {"append_heavy", FsKind::kSplitPosix, "posix append",
+       FsKind::kSplitPosix, "posix append"},
+      {"shared_hot_file", FsKind::kSplitStrict, "strict shared-hot-file",
+       FsKind::kSplitSync, "sync shared-hot-file"},
+  };
+  for (const Gate& g : kGates) {
+    wl::ParallelResult s1 = run_cell(g.workload, g.solo_kind, 1, /*helpers=*/false);
+    wl::ParallelResult s2 = run_cell(g.workload, g.solo_kind, 1, /*helpers=*/false);
+    std::printf("repeat-check[1T %s]: run1 %llu ns / %llu ops, run2 %llu ns / %llu "
+                "ops\n",
+                g.solo_name, static_cast<unsigned long long>(s1.elapsed_ns),
+                static_cast<unsigned long long>(s1.ops),
+                static_cast<unsigned long long>(s2.elapsed_ns),
+                static_cast<unsigned long long>(s2.ops));
+    if (s1.elapsed_ns != s2.elapsed_ns || s1.ops != s2.ops ||
+        s1.errors != s2.errors) {
+      std::fprintf(stderr, "FAIL repeat-check: 1-thread %s cell is not "
+                           "bit-identical\n",
+                   g.solo_name);
+      rc = 1;
+    }
 
-  wl::ParallelResult a = run_cell(8, /*helpers=*/true);
-  wl::ParallelResult b = run_cell(8, /*helpers=*/true);
-  double drift = a.elapsed_ns > b.elapsed_ns
-                     ? static_cast<double>(a.elapsed_ns - b.elapsed_ns) /
-                           static_cast<double>(b.elapsed_ns)
-                     : static_cast<double>(b.elapsed_ns - a.elapsed_ns) /
-                           static_cast<double>(a.elapsed_ns);
-  std::printf("repeat-check[8T]: run1 %llu ns / %llu ops, run2 %llu ns / %llu ops "
-              "(drift %.4f%%)\n",
-              static_cast<unsigned long long>(a.elapsed_ns),
-              static_cast<unsigned long long>(a.ops),
-              static_cast<unsigned long long>(b.elapsed_ns),
-              static_cast<unsigned long long>(b.ops), drift * 100.0);
-  if (a.ops != b.ops || a.errors != b.errors || drift > 0.01) {
-    std::fprintf(stderr, "FAIL repeat-check: 8-thread posix append cell wobbled "
-                         "beyond the scheduling-residue bound\n");
-    rc = 1;
+    wl::ParallelResult a = run_cell(g.workload, g.hot_kind, 8, /*helpers=*/true);
+    wl::ParallelResult b = run_cell(g.workload, g.hot_kind, 8, /*helpers=*/true);
+    double drift = a.elapsed_ns > b.elapsed_ns
+                       ? static_cast<double>(a.elapsed_ns - b.elapsed_ns) /
+                             static_cast<double>(b.elapsed_ns)
+                       : static_cast<double>(b.elapsed_ns - a.elapsed_ns) /
+                             static_cast<double>(a.elapsed_ns);
+    std::printf("repeat-check[8T %s]: run1 %llu ns / %llu ops, run2 %llu ns / %llu "
+                "ops (drift %.4f%%)\n",
+                g.hot_name, static_cast<unsigned long long>(a.elapsed_ns),
+                static_cast<unsigned long long>(a.ops),
+                static_cast<unsigned long long>(b.elapsed_ns),
+                static_cast<unsigned long long>(b.ops), drift * 100.0);
+    if (a.ops != b.ops || a.errors != b.errors || drift > 0.01) {
+      std::fprintf(stderr, "FAIL repeat-check: 8-thread %s cell wobbled beyond "
+                           "the scheduling-residue bound\n",
+                   g.hot_name);
+      rc = 1;
+    }
   }
   if (rc == 0) {
     std::printf("repeat-check: PASS (1T bit-identical, 8T within bound)\n");
@@ -297,7 +335,8 @@ int SchemaCheck() {
   int rc = 0;
   for (const char* key :
        {"\"schema_version\": 2", "\"threads\"", "\"ops_per_sec\"", "\"latency_ns\"",
-        "\"contention_at_8\"", "\"speedup_at_8\"", "\"errors\"", "fsync_storm"}) {
+        "\"contention_at_8\"", "\"speedup_at_8\"", "\"errors\"", "fsync_storm",
+        "shared_hot_file"}) {
     if (blob.find(key) == std::string::npos) {
       std::fprintf(stderr, "FAIL schema-check: missing %s\n", key);
       rc = 1;
@@ -350,7 +389,8 @@ int main(int argc, char** argv) {
                      "concurrent U-Split refactor; workloads from §5.2/§5.5/§5.6");
 
   const FsKind kModes[] = {FsKind::kSplitPosix, FsKind::kSplitSync, FsKind::kSplitStrict};
-  const char* kWorkloads[] = {"append_heavy", "read_heavy", "ycsb_a", "ycsb_c"};
+  const char* kWorkloads[] = {"append_heavy", "read_heavy", "shared_hot_file",
+                              "ycsb_a", "ycsb_c"};
   std::vector<Series> all;
 
   for (const char* workload : kWorkloads) {

@@ -17,7 +17,7 @@
 # silently bit-rot against API changes. It finishes with the fsync-storm bench
 # smoke: bench_scalability --trace (commit-coalescing + trace-reconciliation
 # self-check), --schema-check (BENCH_scalability.json schema), and --repeat-check
-# (posix append cell determinism gate).
+# (determinism gates: posix append + the shared-hot-file range-lock cells).
 #
 # Extra arguments are forwarded to ctest.
 set -euo pipefail
@@ -49,7 +49,8 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 # time (per-thread top-level span sums within 5%) and show commit coalescing
 # (fewer journal.writeout spans than fsyncs) — the binary self-checks and exits
 # nonzero on either failure. --schema-check guards the committed
-# BENCH_scalability.json artifact; --repeat-check guards the PR 6 wobble fix.
+# BENCH_scalability.json artifact; --repeat-check guards the PR 6 wobble fix and
+# the shared-hot-file cells' determinism (1T bit-identical, 8T drift <= 1%).
 storm_trace="$(mktemp /tmp/splitfs_storm_trace.XXXXXX.json)"
 trap 'rm -f "$storm_trace"' EXIT
 ./build/bench_scalability --trace="$storm_trace"

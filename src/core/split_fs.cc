@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "src/common/bytes.h"
@@ -20,6 +21,12 @@ using vfs::RangeWriteGuard;
 namespace {
 // One 4 KB scratch buffer per thread for partial-block staging copies.
 thread_local std::vector<uint8_t> g_scratch(common::kBlockSize);
+
+// Internal sentinel (never surfaces to callers): a strict per-range write raced a
+// whole-file restructuring — checkpoint publish or truncate — during a log-full
+// back-out. The bytes written so far are durable (published) or moot (truncated);
+// LockedWrite re-classifies and replays the whole write, which is idempotent.
+constexpr ssize_t kRangeWriteRetry = std::numeric_limits<ssize_t>::min();
 }  // namespace
 
 const char* ModeName(Mode mode) {
@@ -319,7 +326,7 @@ void SplitFs::MakeMetadataSynchronous(FileState* fs) {
     return;
   }
   TakeJournalCredit();
-  kfs_->CommitJournal(/*fsync_barrier=*/false);
+  kfs_->CommitJournal(/*fsync_barrier=*/false, tag_.c_str());
   if (fs != nullptr) {
     std::lock_guard<std::mutex> meta(fs->meta_mu);
     fs->metadata_dirty = false;
@@ -723,13 +730,13 @@ ssize_t SplitFs::Write(int fd, const void* buf, uint64_t n) {
 }
 
 ssize_t SplitFs::LockedWrite(FileState* fs, const void* buf, uint64_t n, uint64_t off) {
-  // Writes that stay strictly inside the current file size and don't need logging are
-  // in-place overwrites of settled bytes: they take only their byte range, so
-  // disjoint-offset writers proceed in parallel. Everything else — appends, EOF
-  // crossings, strict-mode writes (logged; a log-full checkpoint must be able to
-  // publish the file), and the no-staging ablation — takes the whole file.
+  // Writes that stay strictly inside the current file size take only their byte
+  // range, so disjoint-offset writers proceed in parallel: sync/POSIX overwrite in
+  // place; strict COW-stages the range and appends a per-range op-log entry while
+  // registered with the checkpoint epoch gate. Everything else — appends, EOF
+  // crossings, and the no-staging ablation — takes the whole file.
   for (;;) {
-    bool whole = opts_.mode == Mode::kStrict || !opts_.enable_staging;
+    bool whole = !opts_.enable_staging;
     if (!whole) {
       std::lock_guard<std::mutex> meta(fs->meta_mu);
       whole = off + n > fs->size;
@@ -740,6 +747,50 @@ ssize_t SplitFs::LockedWrite(FileState* fs, const void* buf, uint64_t n, uint64_
         return -EBADF;  // Unlinked while we queued for the lock.
       }
       return WriteAt(fs, buf, n, off);
+    }
+    if (opts_.mode == Mode::kStrict) {
+      // Per-range strict path. Both steps are try-only: a registered writer must
+      // never block on a range lock (the gate-drain invariant), and a closed gate
+      // means a checkpoint is quiescing. Any failure falls back to the whole-file
+      // path, which is always correct — the checkpoint's try-lock sweep then
+      // handles us like any other whole-file writer.
+      bool entered = TryEnterRangeWrite();
+      if (!entered) {
+        ChargeEpochGateWait();  // Deflected by a draining checkpoint.
+      } else if (!fs->rlock.TryLockExclusive(off, n)) {
+        ExitRangeWrite();
+        entered = false;
+      }
+      if (!entered) {
+        RangeWriteGuard guard(&fs->rlock, 0, RangeLock::kWholeFile);
+        if (IsDefunct(fs)) {
+          return -EBADF;
+        }
+        return WriteAt(fs, buf, n, off);
+      }
+      bool defunct;
+      bool still_inside;
+      {
+        std::lock_guard<std::mutex> meta(fs->meta_mu);
+        defunct = fs->defunct;
+        still_inside = off + n <= fs->size;
+      }
+      if (defunct || !still_inside) {
+        fs->rlock.UnlockExclusive(off, n);
+        ExitRangeWrite();
+        if (defunct) {
+          return -EBADF;
+        }
+        continue;  // Shrunk between classification and lock; re-classify.
+      }
+      RangeWriteCtx range{off, n};
+      ssize_t rc = WriteAt(fs, buf, n, off, &range);
+      fs->rlock.UnlockExclusive(off, n);
+      ExitRangeWrite();
+      if (rc == kRangeWriteRetry) {
+        continue;  // Raced a checkpoint/truncate mid-log; replay is idempotent.
+      }
+      return rc;
     }
     fs->rlock.LockExclusive(off, n);
     bool still_inside;
@@ -905,7 +956,7 @@ ssize_t SplitFs::OverwriteInPlace(FileState* fs, const uint8_t* buf, uint64_t n,
 }
 
 ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uint64_t off,
-                              bool is_overwrite) {
+                              bool is_overwrite, const RangeWriteCtx* range) {
   pmem::Device* dev = kfs_->device();
 
   // Try to extend the most recent staged range: sequential appends stay physically
@@ -948,7 +999,8 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
   }
   const uint8_t* src = buf;
   uint64_t cur = off;
-  for (const auto& a : allocs) {
+  for (size_t i = 0; i < allocs.size(); ++i) {
+    const StagingAlloc& a = allocs[i];
     dev->StoreNt(a.dev_off, src, a.len, sim::PmWriteKind::kUserData);
     StagedRange r;
     r.file_off = cur;
@@ -962,7 +1014,24 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
       fs->staged[cur] = r;
     }
     if (opts_.mode == Mode::kStrict) {
-      LogDataOp(is_overwrite ? LogOp::kOverwrite : LogOp::kAppend, fs, cur, a);
+      if (!LogDataOp(is_overwrite ? LogOp::kOverwrite : LogOp::kAppend, fs, cur, a,
+                     range)) {
+        // Per-range moot: a log-full back-out let a whole-file restructuring
+        // (checkpoint publish / truncate / unlink) consume this run — its bytes are
+        // durable or gone, never re-logged. Not-yet-inserted pieces go back to the
+        // pool; the already-inserted ones were released by whoever consumed them.
+        bool defunct;
+        {
+          std::lock_guard<std::mutex> meta(fs->meta_mu);
+          defunct = fs->defunct;
+        }
+        if (staging_) {
+          for (size_t j = i + 1; j < allocs.size(); ++j) {
+            staging_->Release(allocs[j]);
+          }
+        }
+        return defunct ? -EBADF : kRangeWriteRetry;
+      }
     }
     src += a.len;
     cur += a.len;
@@ -970,14 +1039,18 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
   if (opts_.mode == Mode::kSync) {
     dev->Fence();  // Sync mode persists the staged bytes synchronously.
   }
-  {
+  if (range == nullptr) {
+    // Per-range writes are size-preserving by construction; skipping the update
+    // also keeps a log-full back-out from resurrecting a size a concurrent
+    // truncate shrank.
     std::lock_guard<std::mutex> meta(fs->meta_mu);
     fs->size = std::max(fs->size, off + n);
   }
   return static_cast<ssize_t>(n);
 }
 
-ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t off) {
+ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t off,
+                         const RangeWriteCtx* range) {
   if (n == 0) {
     return 0;
   }
@@ -1051,9 +1124,9 @@ ssize_t SplitFs::WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t of
     if (opts_.mode == Mode::kStrict) {
       // Strict: copy-on-write via staging + op log; published atomically on fsync.
       ctx_->ChargeCpu(ctx_->model.usplit_append_cpu_ns);
-      ssize_t rc = AppendStaged(fs, src, span, cur, /*is_overwrite=*/true);
+      ssize_t rc = AppendStaged(fs, src, span, cur, /*is_overwrite=*/true, range);
       if (rc < 0) {
-        return rc;
+        return rc;  // Includes kRangeWriteRetry: propagate to LockedWrite.
       }
     } else {
       ssize_t rc = OverwriteInPlace(fs, src, span, cur);
@@ -1237,7 +1310,7 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done, bool defer_commit) {
     // returning, so this commit — whose seal takes the journal barrier exclusively
     // and waits out in-flight handles — can never deadlock against our own relinks;
     // by the time CommitJournal returns, the sealed tid has fully written out.
-    kfs_->CommitJournal(/*fsync_barrier=*/false);
+    kfs_->CommitJournal(/*fsync_barrier=*/false, tag_.c_str());
   }
   {
     std::lock_guard<std::mutex> meta(fs->meta_mu);
@@ -1274,7 +1347,7 @@ int SplitFs::PublishOrIntend(FileState* fs, bool* enqueue) {
   }
   if (metadata_dirty) {
     TakeJournalCredit();
-    kfs_->CommitJournal(/*fsync_barrier=*/false);
+    kfs_->CommitJournal(/*fsync_barrier=*/false, tag_.c_str());
     std::lock_guard<std::mutex> meta(fs->meta_mu);
     fs->metadata_dirty = false;
   }
@@ -1425,7 +1498,7 @@ std::vector<SplitFs::FileRef> SplitFs::PublishBatch(std::vector<FileRef> batch) 
   // batch buys. Safe for the same reason as the per-file commit: every deferred
   // relink dropped its journal handle before returning.
   if (opts_.enable_relink) {
-    kfs_->CommitJournal(/*fsync_barrier=*/false);
+    kfs_->CommitJournal(/*fsync_barrier=*/false, tag_.c_str());
   }
   // Phase 3: all dirty counts drop BEFORE any kRelinkDone append. A done append
   // against a full log recurses into CheckpointForFull, which spins until the
@@ -1649,7 +1722,7 @@ int SplitFs::Fsync(int fd) {
       rc = PublishOrIntend(fs.get(), &enqueue);
     } else if (metadata_dirty) {
       TakeJournalCredit();
-      rc = kfs_->Fsync(fs->kernel_fd);
+      rc = kfs_->Fsync(fs->kernel_fd, tag_.c_str());
       if (rc == 0) {
         std::lock_guard<std::mutex> meta(fs->meta_mu);
         fs->metadata_dirty = false;
@@ -1726,10 +1799,10 @@ int SplitFs::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
 
 // --- Op log ---------------------------------------------------------------------------------
 
-void SplitFs::LogDataOp(LogOp op, FileState* held, uint64_t file_off,
-                        const StagingAlloc& a) {
+bool SplitFs::LogDataOp(LogOp op, FileState* held, uint64_t file_off,
+                        const StagingAlloc& a, const RangeWriteCtx* range) {
   if (!oplog_) {
-    return;
+    return true;
   }
   LogEntry e;
   e.op = op;
@@ -1738,9 +1811,95 @@ void SplitFs::LogDataOp(LogOp op, FileState* held, uint64_t file_off,
   e.staging_ino = a.staging_ino;
   e.staging_off = a.staging_off;
   e.len = a.len;
-  while (!oplog_->Append(e)) {
-    CheckpointForFull(held);
+  if (range == nullptr) {
+    // Whole-file holder: the checkpoint publishes `held` directly and the entry is
+    // simply retried into the fresh log.
+    while (!oplog_->Append(e)) {
+      CheckpointForFull(held);
+    }
+    return true;
   }
+  // Per-range logger. On a full log the range lock and the epoch-gate registration
+  // must both drop before the checkpoint runs — it drains the gate and whole-file
+  // try-locks the dirty files, ours included. Afterwards the range is reacquired
+  // (try-only while registered: the gate-drain invariant) and the append retries
+  // only while the staged run is still the same un-published run. A run the
+  // checkpoint published is already durable — strict semantics hold without the
+  // entry — and MUST NOT be re-logged: the fresh entry would outlive the publish
+  // and a post-crash replay could resurrect the staged bytes over later overwrites.
+  while (!oplog_->Append(e)) {
+    held->rlock.UnlockExclusive(range->off, range->len);
+    ExitRangeWrite();
+    CheckpointForFull(nullptr);
+    for (;;) {
+      EnterRangeWrite();
+      if (held->rlock.TryLockExclusive(range->off, range->len)) {
+        break;
+      }
+      ExitRangeWrite();
+      std::this_thread::yield();
+    }
+    if (!StagedRunStillOurs(held, file_off, a)) {
+      return false;  // Lock + gate re-held; the caller unwinds through its normal path.
+    }
+  }
+  return true;
+}
+
+bool SplitFs::StagedRunStillOurs(FileState* fs, uint64_t file_off,
+                                 const StagingAlloc& a) {
+  std::lock_guard<std::mutex> meta(fs->meta_mu);
+  if (fs->defunct) {
+    return false;
+  }
+  auto it = fs->staged.upper_bound(file_off);
+  if (it == fs->staged.begin()) {
+    return false;
+  }
+  --it;
+  const StagedRange& r = it->second;
+  if (file_off >= it->first + r.alloc.len) {
+    return false;
+  }
+  // Identity, not just coverage: the run must still be backed by the same staging
+  // bytes (a publish + re-stage cycle could cover the offsets with fresh blocks).
+  uint64_t delta = file_off - it->first;
+  return r.alloc.staging_ino == a.staging_ino &&
+         r.alloc.staging_off + delta == a.staging_off && delta + a.len <= r.alloc.len;
+}
+
+bool SplitFs::TryEnterRangeWrite() {
+  std::lock_guard<std::mutex> el(epoch_mu_);
+  if ((range_epoch_ & 1) != 0) {
+    return false;  // A checkpoint is draining; the caller takes the whole file.
+  }
+  ++range_writers_;
+  return true;
+}
+
+void SplitFs::EnterRangeWrite() {
+  bool waited;
+  {
+    std::unique_lock<std::mutex> el(epoch_mu_);
+    waited = (range_epoch_ & 1) != 0;
+    epoch_cv_.wait(el, [this] { return (range_epoch_ & 1) == 0; });
+    ++range_writers_;
+  }
+  if (waited) {
+    ChargeEpochGateWait();
+  }
+}
+
+void SplitFs::ExitRangeWrite() {
+  std::lock_guard<std::mutex> el(epoch_mu_);
+  if (--range_writers_ == 0) {
+    epoch_cv_.notify_all();
+  }
+}
+
+void SplitFs::ChargeEpochGateWait() {
+  uint64_t waited = strict_epoch_stamp_.AcquireShared(&ctx_->clock);
+  obs::ReportWait(&ctx_->obs, &ctx_->clock, "splitfs.strict_range_log", waited);
 }
 
 void SplitFs::LogMetaOp(LogOp op, Ino target, uint64_t aux, FileState* held) {
@@ -1793,39 +1952,62 @@ void SplitFs::CheckpointForFull(FileState* held) {
   if (oplog_->ResetEpoch() != epoch) {
     return;  // Another thread already recycled the log; just retry the append.
   }
-  for (;;) {
-    // A fresh snapshot every pass: a file that turned dirty since the last one may
-    // belong to a writer whose op-log lane still has pre-claimed slots — it can keep
-    // appending without ever noticing the log is full, so only the sweep can clean
-    // its file.
-    for (const FileRef& f : SnapshotFiles()) {
-      if (f.get() == held) {
-        continue;
+  auto sweep_and_reset = [this, held] {
+    for (;;) {
+      // A fresh snapshot every pass: a file that turned dirty since the last one may
+      // belong to a writer whose op-log lane still has pre-claimed slots — it can
+      // keep appending without ever noticing the log is full, so only the sweep can
+      // clean its file.
+      for (const FileRef& f : SnapshotFiles()) {
+        if (f.get() == held) {
+          continue;
+        }
+        bool dirty;
+        {
+          std::lock_guard<std::mutex> meta(f->meta_mu);
+          dirty = !f->staged.empty();
+        }
+        if (!dirty) {
+          continue;
+        }
+        if (f->rlock.TryLockExclusive(0, RangeLock::kWholeFile)) {
+          SPLITFS_CHECK_OK(PublishStaged(f.get(), /*log_done=*/false));
+          f->rlock.UnlockExclusive(0, RangeLock::kWholeFile);
+        }
       }
-      bool dirty;
-      {
-        std::lock_guard<std::mutex> meta(f->meta_mu);
-        dirty = !f->staged.empty();
+      // The reset must re-verify quiescence under the op log's exclusive lock: an
+      // append satisfied from leftover lane slots can slip in between our sweep and
+      // the lock acquisition, and zeroing its entry would lose the only record of
+      // unpublished staged data.
+      if (dirty_files_.load(std::memory_order_acquire) == 0 &&
+          oplog_->ResetIfQuiesced(
+              [this] { return dirty_files_.load(std::memory_order_acquire) == 0; })) {
+        break;
       }
-      if (!dirty) {
-        continue;
-      }
-      if (f->rlock.TryLockExclusive(0, RangeLock::kWholeFile)) {
-        SPLITFS_CHECK_OK(PublishStaged(f.get(), /*log_done=*/false));
-        f->rlock.UnlockExclusive(0, RangeLock::kWholeFile);
-      }
+      std::this_thread::yield();  // A writer still holds a dirty file; it will finish
+                                  // its operation or publish and line up behind us.
     }
-    // The reset must re-verify quiescence under the op log's exclusive lock: an
-    // append satisfied from leftover lane slots can slip in between our sweep and
-    // the lock acquisition, and zeroing its entry would lose the only record of
-    // unpublished staged data.
-    if (dirty_files_.load(std::memory_order_acquire) == 0 &&
-        oplog_->ResetIfQuiesced(
-            [this] { return dirty_files_.load(std::memory_order_acquire) == 0; })) {
-      break;
+  };
+  if (opts_.mode == Mode::kStrict) {
+    // Epoch'd quiescence: close the gate so per-range writers drain (they never
+    // block on a range lock while registered, so this terminates) and new ones
+    // deflect to the whole-file path, where the try-lock sweep handles them like
+    // any other whole-file writer. The drain + sweep window is the checkpoint's
+    // service time: deflected writers wait behind strict_epoch_stamp_.
+    sim::ScopedResourceTime epoch_time(&strict_epoch_stamp_, &ctx_->clock);
+    {
+      std::unique_lock<std::mutex> el(epoch_mu_);
+      ++range_epoch_;  // Odd: closed.
+      epoch_cv_.wait(el, [this] { return range_writers_ == 0; });
     }
-    std::this_thread::yield();  // A writer still holds a dirty file; it will finish
-                                // its operation or publish and line up behind us.
+    sweep_and_reset();
+    {
+      std::lock_guard<std::mutex> el(epoch_mu_);
+      ++range_epoch_;  // Even: open.
+      epoch_cv_.notify_all();
+    }
+  } else {
+    sweep_and_reset();
   }
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
 }

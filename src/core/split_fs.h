@@ -23,16 +23,26 @@
 //     shared_mutex per shard — lookups (the common case) take reader locks;
 //   * every FileState carries a byte-range reader/writer lock: reads take the range
 //     shared; in-place overwrites take the range exclusive; appends, truncate,
-//     publish (relink), and unlink teardown take the whole file. Strict mode takes
-//     the whole file for writes too — every strict write is logged, and a log-full
-//     checkpoint must be able to quiesce and publish the file;
+//     publish (relink), and unlink teardown take the whole file. Strict-mode writes
+//     that stay inside the current size also take only their byte range: each one
+//     appends its own per-range op-log entry while registered with the checkpoint
+//     epoch gate (below), so disjoint-offset strict writers scale like disjoint
+//     files instead of serializing on one whole-file lock;
+//   * the strict log-full checkpoint quiesces by epoch instead of seizing every
+//     file: it closes the gate (epoch goes odd), waits out the in-flight per-range
+//     writers — who only ever *try* range locks while registered, never block, so
+//     the drain always terminates — sweeps and publishes the dirty files with
+//     try-locks, resets the log, and reopens the gate (epoch even again). A writer
+//     arriving at a closed gate falls back to the whole-file path and charges the
+//     deferral to "splitfs.strict_range_log" in the contention ledger;
 //   * a small per-file metadata mutex guards the size/staged-range bookkeeping so
 //     disjoint-range operations can update the shared map structure;
-//   * lock order: fd-table shard → path/file shard → OpenFile cursor → file range
-//     lock → file metadata mutex → mmap-cache/staging/op-log internals → K-Split's
-//     locks. The op-log checkpoint acquires other files only with try-lock, so
-//     "holds own file, waits for checkpoint" and "holds checkpoint, sweeps files"
-//     cannot deadlock.
+//   * lock order: fd-table shard → path/file shard → OpenFile cursor → checkpoint
+//     epoch gate (entered before the range lock; registered writers try-lock only)
+//     → file range lock → file metadata mutex → mmap-cache/staging/op-log internals
+//     → K-Split's locks. The op-log checkpoint acquires other files only with
+//     try-lock, so "holds own file, waits for checkpoint" and "holds checkpoint,
+//     sweeps files" cannot deadlock.
 //
 // K-Split is no longer a big kernel lock: Ext4Dax has per-inode reader/writer locks,
 // namespace (dentry) shards, a sharded allocator, and jbd2-style journal handles
@@ -284,17 +294,46 @@ class SplitFs : public vfs::FileSystem {
     return fs->defunct;
   }
 
+  // Context of a strict-mode write that holds only its byte range (not the whole
+  // file): LogDataOp needs the coordinates to release and reacquire the range
+  // around a log-full checkpoint.
+  struct RangeWriteCtx {
+    uint64_t off = 0;
+    uint64_t len = 0;
+  };
+
+  // --- Strict checkpoint epoch gate ---------------------------------------------------
+  // Per-range strict writers register here so the log-full checkpoint can quiesce
+  // them without seizing every file. Even epoch = gate open; odd = a checkpoint is
+  // draining/sweeping. Invariant: a registered writer NEVER blocks on a range lock
+  // (try-only) — that is what makes the checkpoint's drain terminate.
+  bool TryEnterRangeWrite();  // Fails (without registering) when the gate is closed.
+  void EnterRangeWrite();     // Blocks until the gate opens, then registers.
+  void ExitRangeWrite();
+  // Charges a writer the closed gate deflected or delayed: fast-forwards behind the
+  // checkpoint's rendered service time and reports the wait into the contention
+  // ledger as "splitfs.strict_range_log".
+  void ChargeEpochGateWait();
+  // After a log-full back-out forced a per-range logger to drop its range: is the
+  // staged run it was logging still the same un-published run (same staging bytes)?
+  // False means a checkpoint publish, truncate, or unlink already made the bytes
+  // durable or moot — the entry must NOT be re-logged (see LogDataOp).
+  bool StagedRunStillOurs(FileState* fs, uint64_t file_off, const StagingAlloc& a);
+
   // Acquires the right range lock for a write and runs WriteAt: exclusive on
-  // [off, off+n) for pure in-place overwrites, the whole file for anything that
-  // appends, logs (strict), or bypasses staging.
+  // [off, off+n) for writes that stay inside the current size (in-place overwrites;
+  // in strict mode, gate-registered COW overwrites with per-range log entries), the
+  // whole file for anything that appends or bypasses staging.
   ssize_t LockedWrite(FileState* fs, const void* buf, uint64_t n, uint64_t off);
 
   // Data-path helpers; the caller holds the covering range lock (whole file where a
-  // helper restructures the staged set).
+  // helper restructures the staged set), or — when `range` is non-null — exactly
+  // that byte range plus an epoch-gate registration.
   ssize_t ReadAt(FileState* fs, void* buf, uint64_t n, uint64_t off);
-  ssize_t WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t off);
+  ssize_t WriteAt(FileState* fs, const void* buf, uint64_t n, uint64_t off,
+                  const RangeWriteCtx* range = nullptr);
   ssize_t AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uint64_t off,
-                       bool is_overwrite);
+                       bool is_overwrite, const RangeWriteCtx* range = nullptr);
   ssize_t OverwriteInPlace(FileState* fs, const uint8_t* buf, uint64_t n, uint64_t off);
   // Writes into already-staged bytes overlapping [off, off+n); returns bytes written
   // from the front, 0 if the front of the range is not staged.
@@ -364,7 +403,15 @@ class SplitFs : public vfs::FileSystem {
 
   // `held` is the file whose whole-file lock the caller owns (nullptr when none): on
   // a full log the checkpoint publishes it directly instead of try-locking it.
-  void LogDataOp(LogOp op, FileState* held, uint64_t file_off, const StagingAlloc& a);
+  // With `range` set, the caller holds only that byte range of `held` plus an
+  // epoch-gate registration; on a full log both are dropped around the checkpoint
+  // and reacquired, and the append retries only while the staged run is still ours.
+  // Returns false when the run went moot (published/truncated/unlinked during the
+  // back-out): the bytes are already durable or gone, and re-logging the entry
+  // would let a post-crash replay resurrect them over later overwrites. The range
+  // lock and gate registration are held again on either return.
+  bool LogDataOp(LogOp op, FileState* held, uint64_t file_off, const StagingAlloc& a,
+                 const RangeWriteCtx* range = nullptr);
   void LogMetaOp(LogOp op, vfs::Ino target, uint64_t aux, FileState* held);
   void CheckpointForFull(FileState* held);
 
@@ -436,6 +483,19 @@ class SplitFs : public vfs::FileSystem {
   // once this reaches zero (every entry is then dead).
   std::atomic<int64_t> dirty_files_{0};
   std::mutex checkpoint_mu_;  // Single-flight log checkpoint.
+
+  // Strict checkpoint epoch gate (see TryEnterRangeWrite). range_epoch_ even = open,
+  // odd = a checkpoint is draining; range_writers_ counts registered per-range
+  // writers. Both guarded by epoch_mu_; epoch_cv_ signals both directions (writers
+  // draining to zero, gate reopening).
+  std::mutex epoch_mu_;
+  std::condition_variable epoch_cv_;
+  uint64_t range_epoch_ = 0;
+  uint64_t range_writers_ = 0;
+  // Virtual-time service window of the epoch'd checkpoint (drain + sweep): writers
+  // the closed gate deflects or delays wait behind it, attributed to
+  // "splitfs.strict_range_log" in the contention ledger.
+  sim::ResourceStamp strict_epoch_stamp_;
 
   // --- Async publisher (Options::async_relink + publisher_thread) -------------------
   // Queue of files with intent-logged staged data awaiting publication. Bounded:

@@ -36,7 +36,7 @@ Ext4Dax::Ext4Dax(pmem::Device* dev, Ext4Options opts)
              &dev->context()->clock),
       journal_(dev, /*journal_start_block=*/1, opts.journal_blocks,
                opts.commit_interval_ns) {
-  auto root = std::make_shared<Inode>();
+  auto root = std::make_shared<Inode>(&ctx_->clock, &ctx_->obs);
   root->ino = vfs::kRootIno;
   root->type = FileType::kDirectory;
   root->nlink = 2;
@@ -144,7 +144,7 @@ bool Ext4Dax::DirAlive(const InodeRef& dir) const {
 }
 
 Ext4Dax::InodeRef Ext4Dax::AllocateInode(FileType type) {
-  auto inode = std::make_shared<Inode>();
+  auto inode = std::make_shared<Inode>(&ctx_->clock, &ctx_->obs);
   inode->ino = next_ino_.fetch_add(1, std::memory_order_relaxed);
   inode->type = type;
   inode->nlink = type == FileType::kDirectory ? 2 : 1;
@@ -180,15 +180,18 @@ void Ext4Dax::OrphanRemove(Ino ino) {
 void Ext4Dax::ReclaimIfOrphan(Ino ino) {
   // Commit action: the pipelined journal runs this with the barrier released, so
   // metadata operations (and OpenByIno, which never took handles) may be concurrent.
-  // Safety is carried entirely by the exclusive inode lock plus the keyed re-check
-  // below — a resurrecting rollback, a reopen, or a racing second reclaim all
-  // resolve under inode->mu, never by barrier quiescence.
+  // Safety is carried entirely by the whole-file range lock (range-granular writers
+  // no longer hold mu, so the freeing below must exclude them too) + exclusive
+  // inode lock, plus the keyed re-check — a resurrecting rollback, a reopen, or a
+  // racing second reclaim all resolve under those locks, never by barrier
+  // quiescence.
   InodeRef inode = GetInode(ino);
   if (inode == nullptr) {
     OrphanRemove(ino);  // Already reclaimed by an earlier commit action.
     return;
   }
   {
+    vfs::RangeWriteGuard range(&inode->range_lock, 0, vfs::RangeLock::kWholeFile);
     std::unique_lock<std::shared_mutex> il(inode->mu);
     if (!inode->unlinked || inode->open_count > 0) {
       return;  // Resurrected by a rollback, or reopened via OpenByIno: keep it.
@@ -303,9 +306,10 @@ int Ext4Dax::Open(const std::string& path, int flags) {
   }
   if ((flags & vfs::kTrunc) != 0 && inode->type == FileType::kRegular) {
     Journal::Handle handle(&journal_);
+    vfs::RangeWriteGuard range(&inode->range_lock, 0, vfs::RangeLock::kWholeFile);
     std::unique_lock<std::shared_mutex> il(inode->mu);
     sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
-  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
+    obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
     if (inode->size > 0) {
       TruncateLocked(inode, 0);
     }
@@ -452,6 +456,37 @@ ssize_t Ext4Dax::PreadInode(const InodeRef& inode, void* buf, uint64_t n, uint64
   return static_cast<ssize_t>(to_read);
 }
 
+ssize_t Ext4Dax::LockedPwrite(const InodeRef& inode, int flags, const void* buf,
+                              uint64_t n, uint64_t off) {
+  for (;;) {
+    // Lock-free classification: `size` is atomic, and whichever way the race with a
+    // shape change goes, the acquisition below re-validates it.
+    bool extends = off + n > inode->size.load(std::memory_order_acquire);
+    if (extends) {
+      vfs::RangeWriteGuard range(&inode->range_lock, 0, vfs::RangeLock::kWholeFile);
+      std::unique_lock<std::shared_mutex> il(inode->mu);
+      sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+      obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
+      return PwriteInode(inode, flags, buf, n, off);
+    }
+    // Size-preserving: take only the write's blocks. Block granularity (not byte)
+    // because same-block writers share extent-allocation state — EnsureBlocks'
+    // hole-check-then-insert must be serial per block.
+    uint64_t lo = common::AlignDown(off, kBlockSize);
+    uint64_t hi = common::AlignUp(off + n, kBlockSize);
+    inode->range_lock.LockExclusive(lo, hi - lo);
+    if (off + n > inode->size.load(std::memory_order_acquire)) {
+      // A truncate shrank the file while we classified (it held the whole file, so
+      // it is gone now): this write extends after all. Reclassify.
+      inode->range_lock.UnlockExclusive(lo, hi - lo);
+      continue;
+    }
+    ssize_t rc = PwriteInode(inode, flags, buf, n, off);
+    inode->range_lock.UnlockExclusive(lo, hi - lo);
+    return rc;
+  }
+}
+
 ssize_t Ext4Dax::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
   ctx_->ChargeSyscall();
   auto of = fds_.Get(fd);
@@ -463,10 +498,7 @@ ssize_t Ext4Dax::Pwrite(int fd, const void* buf, uint64_t n, uint64_t off) {
     return -EBADF;
   }
   Journal::Handle handle(&journal_);
-  std::unique_lock<std::shared_mutex> il(inode->mu);
-  sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
-  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
-  return PwriteInode(inode, of->flags, buf, n, off);
+  return LockedPwrite(inode, of->flags, buf, n, off);
 }
 
 ssize_t Ext4Dax::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
@@ -479,9 +511,9 @@ ssize_t Ext4Dax::Pread(int fd, void* buf, uint64_t n, uint64_t off) {
   if (inode == nullptr) {
     return -EBADF;
   }
-  std::shared_lock<std::shared_mutex> il(inode->mu);
-  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
-                  inode->stamp.AcquireShared(&ctx_->clock));
+  // Data reads take only their byte range shared: disjoint-range writers and
+  // readers of one file no longer touch the same lock word's exclusive side.
+  vfs::RangeReadGuard range(&inode->range_lock, off, n);
   return PreadInode(inode, buf, n, off);
 }
 
@@ -497,13 +529,23 @@ ssize_t Ext4Dax::Write(int fd, const void* buf, uint64_t n) {
   }
   Journal::Handle handle(&journal_);
   std::lock_guard<std::mutex> flock(of->mu);
-  // The O_APPEND offset is the size *at write time*: reading it and writing must be
-  // one exclusive section, which is what makes multithreaded appends atomic.
-  std::unique_lock<std::shared_mutex> il(inode->mu);
-  sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
-  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
-  uint64_t off = (of->flags & vfs::kAppend) != 0 ? inode->size : of->offset;
-  ssize_t rc = PwriteInode(inode, of->flags, buf, n, off);
+  if ((of->flags & vfs::kAppend) != 0) {
+    // The O_APPEND offset is the size *at write time*: reading it and writing must
+    // be one exclusive section, which is what makes multithreaded appends atomic —
+    // and appends change the size, so the section is whole-file.
+    vfs::RangeWriteGuard range(&inode->range_lock, 0, vfs::RangeLock::kWholeFile);
+    std::unique_lock<std::shared_mutex> il(inode->mu);
+    sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+    obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
+    uint64_t off = inode->size.load(std::memory_order_relaxed);
+    ssize_t rc = PwriteInode(inode, of->flags, buf, n, off);
+    if (rc > 0) {
+      of->offset = off + static_cast<uint64_t>(rc);
+    }
+    return rc;
+  }
+  uint64_t off = of->offset;
+  ssize_t rc = LockedPwrite(inode, of->flags, buf, n, off);
   if (rc > 0) {
     of->offset = off + static_cast<uint64_t>(rc);
   }
@@ -521,9 +563,7 @@ ssize_t Ext4Dax::Read(int fd, void* buf, uint64_t n) {
     return -EBADF;
   }
   std::lock_guard<std::mutex> flock(of->mu);
-  std::shared_lock<std::shared_mutex> il(inode->mu);
-  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
-                  inode->stamp.AcquireShared(&ctx_->clock));
+  vfs::RangeReadGuard range(&inode->range_lock, of->offset, n);
   ssize_t rc = PreadInode(inode, buf, n, of->offset);
   if (rc > 0) {
     of->offset += static_cast<uint64_t>(rc);
@@ -564,7 +604,9 @@ int64_t Ext4Dax::Lseek(int fd, int64_t off, vfs::Whence whence) {
 
 // --- Durability -----------------------------------------------------------------------
 
-int Ext4Dax::Fsync(int fd) {
+int Ext4Dax::Fsync(int fd) { return Fsync(fd, /*who=*/nullptr); }
+
+int Ext4Dax::Fsync(int fd, const char* who) {
   ctx_->ChargeSyscall();
   if (fds_.Get(fd) == nullptr) {
     return -EBADF;
@@ -574,7 +616,7 @@ int Ext4Dax::Fsync(int fd) {
   // the committing slot, CommitRunning waits on that tid instead of starting a new
   // writeout; meanwhile other threads' metadata operations keep joining the fresh
   // running transaction — fsync no longer freezes the filesystem.
-  journal_.CommitRunning(/*fsync_barrier=*/true);
+  journal_.CommitRunning(/*fsync_barrier=*/true, who);
   return 0;
 }
 
@@ -626,6 +668,7 @@ int Ext4Dax::Ftruncate(int fd, uint64_t size) {
     return -EBADF;
   }
   Journal::Handle handle(&journal_);
+  vfs::RangeWriteGuard range(&inode->range_lock, 0, vfs::RangeLock::kWholeFile);
   std::unique_lock<std::shared_mutex> il(inode->mu);
   sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
   obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
@@ -644,22 +687,43 @@ int Ext4Dax::Fallocate(int fd, uint64_t off, uint64_t len, bool keep_size) {
     return -EBADF;
   }
   Journal::Handle handle(&journal_);
-  std::unique_lock<std::shared_mutex> il(inode->mu);
-  sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
-  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
-  int64_t rc = EnsureBlocks(inode, off, len);
-  if (rc < 0) {
-    return static_cast<int>(rc);
+  for (;;) {
+    // Size-preserving preallocation (keep_size, or in-bounds) only needs the
+    // affected blocks; a size-changing one takes the whole file like any extend.
+    bool grows = !keep_size && off + len > inode->size.load(std::memory_order_acquire);
+    if (grows) {
+      vfs::RangeWriteGuard range(&inode->range_lock, 0, vfs::RangeLock::kWholeFile);
+      std::unique_lock<std::shared_mutex> il(inode->mu);
+      sim::ScopedResourceTime time(&inode->stamp, &ctx_->clock);
+      obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock", time.waited_ns());
+      int64_t rc = EnsureBlocks(inode, off, len);
+      if (rc < 0) {
+        return static_cast<int>(rc);
+      }
+      ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
+      if (off + len > inode->size) {
+        uint64_t old_size = inode->size;
+        inode->size = off + len;
+        InodeRef captured = inode;
+        journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
+                       [captured, old_size] { captured->size = old_size; });
+      }
+      return 0;
+    }
+    uint64_t lo = common::AlignDown(off, kBlockSize);
+    uint64_t hi = common::AlignUp(off + len, kBlockSize);
+    inode->range_lock.LockExclusive(lo, hi - lo);
+    if (!keep_size && off + len > inode->size.load(std::memory_order_acquire)) {
+      inode->range_lock.UnlockExclusive(lo, hi - lo);  // Shrunk underneath us.
+      continue;
+    }
+    int64_t rc = EnsureBlocks(inode, off, len);
+    if (rc >= 0) {
+      ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
+    }
+    inode->range_lock.UnlockExclusive(lo, hi - lo);
+    return rc < 0 ? static_cast<int>(rc) : 0;
   }
-  ctx_->ChargeCpu(ctx_->model.ext4_journal_dirty_cpu_ns);
-  if (!keep_size && off + len > inode->size) {
-    uint64_t old_size = inode->size;
-    inode->size = off + len;
-    InodeRef captured = inode;
-    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, inode->ino / 16),
-                   [captured, old_size] { captured->size = old_size; });
-  }
-  return 0;
 }
 
 // --- Namespace ------------------------------------------------------------------------
@@ -1084,8 +1148,8 @@ int Ext4Dax::Fstat(int fd, vfs::StatBuf* out) {
   return 0;
 }
 
-int Ext4Dax::CommitJournal(bool fsync_barrier) {
-  journal_.CommitRunning(fsync_barrier);
+int Ext4Dax::CommitJournal(bool fsync_barrier, const char* who) {
+  journal_.CommitRunning(fsync_barrier, who);
   return 0;
 }
 
@@ -1120,6 +1184,7 @@ int Ext4Dax::Recover() {
       continue;
     }
     {
+      vfs::RangeWriteGuard range(&inode->range_lock, 0, vfs::RangeLock::kWholeFile);
       std::unique_lock<std::shared_mutex> il(inode->mu);
       if (!inode->unlinked) {
         il.unlock();
@@ -1150,9 +1215,7 @@ int Ext4Dax::DaxMap(int fd, uint64_t off, uint64_t len,
   if (inode == nullptr || inode->type != FileType::kRegular) {
     return -EBADF;
   }
-  std::shared_lock<std::shared_mutex> il(inode->mu);
-  obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",
-                  inode->stamp.AcquireShared(&ctx_->clock));
+  vfs::RangeReadGuard range(&inode->range_lock, off, len);
   uint64_t first = off / kBlockSize;
   uint64_t count = common::DivCeil(off + len, kBlockSize) - first;
   for (const auto& m : inode->extents.FindRange(first, count)) {
@@ -1206,11 +1269,16 @@ int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
   {
     Journal::Handle handle(&journal_);
     // The only two-inode exclusive section in the kernel model; lock order is
-    // ascending ino. U-Split's fsync batching (many deferred relinks, one commit)
-    // and op-log recovery replay both funnel through here, so every concurrent
-    // publisher orders src/dst pairs the same way — deadlock-free by construction.
+    // ascending ino at both levels (whole-file range locks, then inode locks).
+    // U-Split's fsync batching (many deferred relinks, one commit) and op-log
+    // recovery replay both funnel through here, so every concurrent publisher
+    // orders src/dst pairs the same way — deadlock-free by construction. The
+    // whole-file range acquisition excludes every in-flight range writer/reader on
+    // either file: a relink restructures both extent maps and the dst size.
     Inode* lo = src->ino < dst->ino ? src.get() : dst.get();
     Inode* hi = src->ino < dst->ino ? dst.get() : src.get();
+    vfs::RangeWriteGuard r1(&lo->range_lock, 0, vfs::RangeLock::kWholeFile);
+    vfs::RangeWriteGuard r2(&hi->range_lock, 0, vfs::RangeLock::kWholeFile);
     std::unique_lock<std::shared_mutex> l1(lo->mu);
     std::unique_lock<std::shared_mutex> l2(hi->mu);
     sim::ScopedResourceTime t1(&lo->stamp, &ctx_->clock);

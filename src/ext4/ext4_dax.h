@@ -26,10 +26,23 @@
 //   3. Namespace (dentry) shard locks, keyed by directory inode, ascending shard
 //      index when two or three are needed: guard dirent maps. Path resolution locks
 //      one shard at a time (shared) and never holds two.
-//   4. Per-inode reader/writer locks, ascending ino when two are needed (relink):
-//      guard size/extents/nlink/open_count. Reads take the shared side.
-//   5. Leaves, never held while acquiring any of the above: the inode table's
-//      shared_mutex, the allocator's per-group locks, the journal's state mutex.
+//   4. Per-inode byte-range locks (vfs::RangeLock, ledger resource
+//      "ext4.inode_range"), ascending ino when two are needed (relink).
+//      Size-preserving data writes and in-bounds Fallocate take only their
+//      block-aligned byte range exclusively (block granularity serializes same-block
+//      writers, which share extent-allocation and byte-overlap state); data reads
+//      take their range shared. Anything that changes the file's shape — extends,
+//      truncate, O_TRUNC, relink, orphan reclamation — takes the whole file
+//      (kWholeFile), which excludes every range holder.
+//   5. Per-inode reader/writer locks (mu), ascending ino when two are needed:
+//      guard nlink/open_count/unlinked and, for shape changes, size. A range-locked
+//      data write does NOT take mu — the whole-file range acquisition of every
+//      shape-changing path is what keeps size and extents stable under it; `size`
+//      is atomic so lock-free classification reads stay defined. Metadata readers
+//      (Stat/Fstat/Lseek) still take mu shared.
+//   6. Leaves, never held while acquiring any of the above: the inode table's
+//      shared_mutex, the extent map's internal lock, the allocator's per-group
+//      locks, the journal's state mutex.
 //
 // Virtual-time accounting follows the same granularity: each inode, namespace shard,
 // allocator group, and the journal commit path carries a sim::ResourceStamp, so
@@ -58,6 +71,7 @@
 #include "src/pmem/device.h"
 #include "src/vfs/fd_table.h"
 #include "src/vfs/file_system.h"
+#include "src/vfs/range_lock.h"
 
 namespace ext4sim {
 
@@ -148,8 +162,14 @@ class Ext4Dax : public vfs::FileSystem {
 
   // Commits the running journal transaction. U-Split's sync/strict modes use the
   // non-barrier path to make metadata operations synchronous without paying the
-  // fsync commit-thread handshake.
-  int CommitJournal(bool fsync_barrier);
+  // fsync commit-thread handshake. `who`, when set, tags the request for per-caller
+  // commit-service attribution (the tenant router passes the tenant id): a coalesced
+  // writeout splits its service time across the tags it satisfied.
+  int CommitJournal(bool fsync_barrier, const char* who = nullptr);
+
+  // Fsync with commit-service attribution (see CommitJournal); the virtual override
+  // forwards who=nullptr.
+  int Fsync(int fd, const char* who);
 
   pmem::Device* device() const { return dev_; }
   sim::Context* context() const { return ctx_; }
@@ -171,13 +191,22 @@ class Ext4Dax : public vfs::FileSystem {
 
  private:
   struct Inode {
+    Inode(sim::Clock* clock, obs::Observability* obs)
+        : range_lock(clock, obs, "ext4.inode_range") {}
+
     // Immutable after creation.
     vfs::Ino ino = vfs::kInvalidIno;
     vfs::FileType type = vfs::FileType::kRegular;
 
+    // Atomic so range-locked writers can classify (extend vs. in-place) without mu.
+    // Mutated only under range_lock whole-file exclusive + mu exclusive, so it is
+    // stable while any byte range is held.
+    std::atomic<uint64_t> size{0};
+
     // Guarded by mu: exclusive for mutation, shared for reads. `dirents` is the
-    // exception — it is guarded by the owning directory's namespace shard lock.
-    uint64_t size = 0;
+    // exception — it is guarded by the owning directory's namespace shard lock;
+    // `extents` carries its own internal lock (range-disjoint writers mutate it
+    // concurrently).
     uint32_t nlink = 1;  // Dirs: 2 + #subdirs ('.' + parent entry + childrens' '..').
     vfs::Ino parent = vfs::kInvalidIno;  // Directories: containing directory's ino.
     ExtentMap extents;
@@ -189,8 +218,11 @@ class Ext4Dax : public vfs::FileSystem {
     // readers holding only the shared inode lock, and invalidated by writers.
     std::atomic<uint64_t> last_read_end{0};
 
+    // Byte-range lock, level 4: data-path granularity. Per-range virtual-time
+    // stamps live inside it (ledger resource "ext4.inode_range").
+    mutable vfs::RangeLock range_lock;
     mutable std::shared_mutex mu;
-    mutable sim::ResourceStamp stamp;  // Busy time of the exclusive side.
+    mutable sim::ResourceStamp stamp;  // Busy time of mu's exclusive side.
   };
   using InodeRef = std::shared_ptr<Inode>;
 
@@ -245,15 +277,24 @@ class Ext4Dax : public vfs::FileSystem {
   // reopen via OpenByIno, cancel the free instead of use-after-freeing it.
   void ReclaimIfOrphan(vfs::Ino ino);
   // Ensures blocks exist for [off, off+len); returns number of newly allocated blocks
-  // or -ENOSPC. Journals the allocation. Caller holds the inode lock exclusively and
-  // a journal handle.
+  // or -ENOSPC. Journals the allocation. Caller holds a range-write (block-aligned,
+  // covering [off, off+len)) or whole-file lock, and a journal handle.
   int64_t EnsureBlocks(const InodeRef& inode, uint64_t off, uint64_t len);
   // Truncates a regular file to `size`; shared by Ftruncate and O_TRUNC. Caller
-  // holds the inode lock exclusively and a journal handle.
+  // holds the whole-file range lock + inode lock exclusively and a journal handle.
   void TruncateLocked(const InodeRef& inode, uint64_t size);
 
-  // Data-path bodies; the caller holds the inode lock (exclusive for write, shared
-  // for read) and, for writes, a journal handle.
+  // Write body behind Pwrite/Write: classifies the write (extending vs.
+  // size-preserving) and takes either the whole file (range + mu, with mu's
+  // ResourceStamp) or just the block-aligned byte range exclusively, retrying if a
+  // concurrent truncate invalidates the classification. Caller holds a journal
+  // handle and nothing else on this inode.
+  ssize_t LockedPwrite(const InodeRef& inode, int flags, const void* buf, uint64_t n,
+                       uint64_t off);
+
+  // Data-path bodies; the caller holds the locks LockedPwrite/the read path
+  // describe (write: range-write or whole-file; read: shared range) and, for
+  // writes, a journal handle.
   ssize_t PwriteInode(const InodeRef& inode, int flags, const void* buf, uint64_t n,
                       uint64_t off);
   ssize_t PreadInode(const InodeRef& inode, void* buf, uint64_t n, uint64_t off);

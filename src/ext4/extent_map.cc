@@ -7,6 +7,7 @@
 namespace ext4sim {
 
 std::optional<MappedExtent> ExtentMap::Lookup(uint64_t logical) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = map_.upper_bound(logical);
   if (it == map_.begin()) {
     return std::nullopt;
@@ -22,8 +23,9 @@ std::optional<MappedExtent> ExtentMap::Lookup(uint64_t logical) const {
 
 void ExtentMap::Insert(uint64_t logical, uint64_t phys, uint64_t count) {
   SPLITFS_CHECK(count > 0);
+  std::unique_lock<std::shared_mutex> lk(mu_);
   // The target range must be a hole.
-  SPLITFS_CHECK(FindRange(logical, count).empty());
+  SPLITFS_CHECK(FindRangeLocked(logical, count).empty());
 
   MappedExtent e{logical, phys, count};
 
@@ -56,6 +58,7 @@ std::vector<PhysExtent> ExtentMap::RemoveRange(uint64_t logical, uint64_t count)
   if (count == 0) {
     return removed;
   }
+  std::unique_lock<std::shared_mutex> lk(mu_);
   uint64_t end = logical + count;
 
   auto it = map_.upper_bound(logical);
@@ -89,7 +92,8 @@ std::vector<PhysExtent> ExtentMap::RemoveRange(uint64_t logical, uint64_t count)
   return removed;
 }
 
-std::vector<MappedExtent> ExtentMap::FindRange(uint64_t logical, uint64_t count) const {
+std::vector<MappedExtent> ExtentMap::FindRangeLocked(uint64_t logical,
+                                                     uint64_t count) const {
   std::vector<MappedExtent> out;
   if (count == 0) {
     return out;
@@ -112,7 +116,13 @@ std::vector<MappedExtent> ExtentMap::FindRange(uint64_t logical, uint64_t count)
   return out;
 }
 
+std::vector<MappedExtent> ExtentMap::FindRange(uint64_t logical, uint64_t count) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return FindRangeLocked(logical, count);
+}
+
 uint64_t ExtentMap::MappedBlocks() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   uint64_t total = 0;
   for (const auto& [k, e] : map_) {
     total += e.count;
@@ -120,7 +130,18 @@ uint64_t ExtentMap::MappedBlocks() const {
   return total;
 }
 
+size_t ExtentMap::ExtentCount() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return map_.size();
+}
+
+bool ExtentMap::Empty() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return map_.empty();
+}
+
 std::vector<PhysExtent> ExtentMap::Clear() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   std::vector<PhysExtent> out;
   out.reserve(map_.size());
   for (const auto& [k, e] : map_) {

@@ -3,12 +3,20 @@
 // This is the structure EXT4_IOC_MOVE_EXT manipulates; relink (§3.5) is implemented as
 // metadata-only moves between two of these maps, so its correctness (no lost or aliased
 // blocks, mappings preserved) is what the extent-map unit and property tests pin down.
+//
+// Thread safety: the map carries its own reader/writer lock. With range-granular inode
+// locking, disjoint-offset writers mutate one inode's map concurrently (each inserts
+// extents for its own blocks) while readers translate through it with no inode-level
+// exclusion — the internal lock is what keeps the std::map coherent. It is a leaf:
+// nothing is acquired while it is held, and journal undo closures (which run with
+// operations quiesced or under the inode's exclusive locks) take it like any caller.
 #ifndef SRC_EXT4_EXTENT_MAP_H_
 #define SRC_EXT4_EXTENT_MAP_H_
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/ext4/allocator.h"
@@ -40,14 +48,17 @@ class ExtentMap {
   std::vector<MappedExtent> FindRange(uint64_t logical, uint64_t count) const;
 
   uint64_t MappedBlocks() const;
-  size_t ExtentCount() const { return map_.size(); }
-  bool Empty() const { return map_.empty(); }
+  size_t ExtentCount() const;
+  bool Empty() const;
 
   // Removes everything, returning all physical extents.
   std::vector<PhysExtent> Clear();
 
  private:
-  // Key: first logical block of the extent.
+  std::vector<MappedExtent> FindRangeLocked(uint64_t logical, uint64_t count) const;
+
+  mutable std::shared_mutex mu_;
+  // Key: first logical block of the extent. Guarded by mu_.
   std::map<uint64_t, MappedExtent> map_;
 };
 

@@ -205,7 +205,45 @@ void Journal::ChargeCommitIo(const std::set<uint64_t>* dirty_ids, size_t n_anon_
   log_used_bytes_.fetch_add(total_blocks * kBlockSize, std::memory_order_acq_rel);
 }
 
-void Journal::CommitRunning(bool fsync_barrier) {
+void Journal::NoteCommitRequest(const char* who, uint64_t tid) {
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  uint64_t& pending = pending_attr_[who];
+  pending = std::max(pending, tid);
+  attr_stamps_[who];  // Materialize the stamp so the gauge can read it.
+}
+
+void Journal::AttributeCommitService(uint64_t target, uint64_t dt) {
+  std::vector<sim::ResourceStamp*> satisfied;
+  {
+    std::lock_guard<std::mutex> lock(attr_mu_);
+    for (auto it = pending_attr_.begin(); it != pending_attr_.end();) {
+      if (it->second <= target) {
+        satisfied.push_back(&attr_stamps_[it->first]);
+        it = pending_attr_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (satisfied.empty() || dt == 0) {
+    return;
+  }
+  // Equal split: every satisfied tag's durability horizon needed this one writeout,
+  // and the writeout's cost is dominated by the shared descriptor/record/fence
+  // machinery, not any one tag's dirty blocks.
+  uint64_t share = dt / satisfied.size();
+  for (sim::ResourceStamp* stamp : satisfied) {
+    stamp->AddBusy(&ctx_->clock, share);
+  }
+}
+
+uint64_t Journal::AttributedCommitServiceNs(const std::string& who) const {
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  auto it = attr_stamps_.find(who);
+  return it == attr_stamps_.end() ? 0 : it->second.busy_ns();
+}
+
+void Journal::CommitRunning(bool fsync_barrier, const char* who) {
   // Durability horizon under state_mu_: the running transaction if it carries
   // anything, else everything before it. The RunningEmpty predicate must match the
   // commit's own notion of "nothing to do" — a transaction holding only a deferred
@@ -219,6 +257,9 @@ void Journal::CommitRunning(bool fsync_barrier) {
   }
   if (CommittedTid() >= target) {
     return;  // Clean journal: fsync returns without the commit-thread handshake.
+  }
+  if (who != nullptr) {
+    NoteCommitRequest(who, target);
   }
   if (in_flight) {
     // The horizon is already being written out by another thread: log_wait_commit
@@ -280,6 +321,10 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
     obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.pipeline_slot", w);
     return;
   }
+  // Per-tag attribution measures the same bracket on this thread's own timeline
+  // (the window, seal, writeout, and actions below); the split happens after the
+  // tid publishes.
+  uint64_t attr_t0 = ctx_->clock.Now();
   // Commit service time brackets the seal and the writeout: a serial resource
   // renders at most one second of service per second, and every later waiter's
   // timeline must sit after it. RAII so no exit path — including a crash-injection
@@ -364,6 +409,14 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
     committing_tid_ = 0;
   }
   committed_tid_.store(target, std::memory_order_release);
+  // Split the writeout's measured virtual duration across the tags it satisfied.
+  // Off-clock brackets (inline background twins) rewind their charge — consistent
+  // with a real background thread, their service is foreground-costless, so it
+  // attributes nothing.
+  if (!sim::Clock::OffClock()) {
+    uint64_t attr_now = ctx_->clock.Now();
+    AttributeCommitService(target, attr_now > attr_t0 ? attr_now - attr_t0 : 0);
+  }
   {
     // Empty section: a log_wait_commit sleeper that checked the predicate before
     // the store above is inside wait(), so the notify cannot be lost.

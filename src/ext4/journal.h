@@ -62,10 +62,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -167,7 +169,17 @@ class Journal {
   // without touching the barrier. If the durability horizon is an in-flight commit,
   // waits on its tid instead of starting a new writeout. Must not be called while
   // holding a Handle.
-  void CommitRunning(bool fsync_barrier);
+  //
+  // `who`, when set, tags the request for per-caller commit-service attribution: a
+  // coalesced writeout measures its own virtual duration and splits it equally
+  // across the tags whose requested tids it satisfied (the tenant router passes
+  // tenant ids, so cross-tenant commits no longer merge into one anonymous stamp).
+  // The merged commit_stamp_ is untouched — attribution is an additional view.
+  void CommitRunning(bool fsync_barrier, const char* who = nullptr);
+
+  // Accumulated commit-service time attributed to `who` (gauge basis:
+  // tenant.<id>.commit_service_ns). 0 for never-seen tags.
+  uint64_t AttributedCommitServiceNs(const std::string& who) const;
 
   // Commits a self-contained transaction that dirtied `n_meta_blocks` blocks (the
   // standalone relink ioctl shape). The caller guarantees the mutations are
@@ -282,6 +294,11 @@ class Journal {
   void CommitTid(uint64_t target, bool fsync_barrier);
   // One shared-pool pass: commits until every requested tid is durable.
   void ServiceCommitPass();
+  // Records that `who` needs `tid` durable (attribution bookkeeping).
+  void NoteCommitRequest(const char* who, uint64_t tid);
+  // Splits `dt` of commit service equally across every tag whose pending request
+  // `target` satisfies, crediting each tag's stamp and retiring the requests.
+  void AttributeCommitService(uint64_t target, uint64_t dt);
 
   pmem::Device* dev_;
   sim::Context* ctx_;
@@ -333,6 +350,14 @@ class Journal {
   // horizon covers it, so a request recorded while a pass runs is never lost.
   common::ServicePool* service_pool_ = nullptr;
   std::atomic<uint64_t> requested_tid_{0};
+
+  // Per-tag commit-service attribution (see CommitRunning). pending_attr_ maps a
+  // tag to the newest tid it asked for; a completing commit collects every tag its
+  // target covers and credits each an equal share of the measured service duration.
+  // Stamps live in a node-based map because ResourceStamp is unmovable.
+  mutable std::mutex attr_mu_;
+  std::map<std::string, uint64_t> pending_attr_;
+  std::map<std::string, sim::ResourceStamp> attr_stamps_;
 };
 
 }  // namespace ext4sim

@@ -217,6 +217,16 @@ class ResourceStamp {
     return now > before ? now - before : 0;
   }
 
+  // Credits `ns` of service rendered on behalf of this resource by another timeline:
+  // the shared journal-commit service splits one coalesced writeout's measured
+  // duration across the tenants whose fsyncs it satisfied, crediting each tenant's
+  // stamp its share. Unlike Acquire/Release this is lane-independent — the rendering
+  // thread brackets its own section; here we only record the pre-split duration.
+  void AddBusy(Clock* clock, uint64_t ns) {
+    Refresh(clock);
+    busy_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
   // Folds `other`'s accumulated service time into this stamp. Range-granular locks
   // (vfs::RangeLock) keep one stamp per contended byte range and merge stamps whose
   // ranges come to overlap; overlapping exclusive sections were serialized by the

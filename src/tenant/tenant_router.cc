@@ -125,6 +125,15 @@ int TenantRouter::Mount(const std::string& tenant_id, const TenantOptions& topts
   });
   m->RegisterGauge("tenant." + tenant_id + ".publish_queue_depth",
                    [fs]() -> uint64_t { return fs->PublishQueueDepth(); });
+  // Shared-journal attribution: service time of coalesced commits that satisfied
+  // this tenant's fsyncs/metadata syncs, split per tenant by the commit pipeline
+  // (Journal::AttributeCommitService). The key is the instance tag the tenant's
+  // SplitFs passes as `who` at its CommitJournal/Fsync call sites.
+  ext4sim::Journal* journal = kfs_->journal_for_test();
+  m->RegisterGauge("tenant." + tenant_id + ".commit_service_ns",
+                   [journal, tenant_id]() -> uint64_t {
+                     return journal->AttributedCommitServiceNs(tenant_id);
+                   });
   return 0;
 }
 

@@ -182,6 +182,105 @@ ParallelResult RunParallelRead(vfs::FileSystem* fs, sim::Clock* clock, int threa
   return res;
 }
 
+ParallelResult RunParallelSharedHotFile(vfs::FileSystem* fs, sim::Clock* clock,
+                                        int threads, const std::string& dir,
+                                        uint64_t bytes_per_thread, uint64_t op_bytes) {
+  fs->Mkdir(dir);
+  const std::string path = dir + "/hot";
+  const uint64_t file_bytes = static_cast<uint64_t>(threads) * bytes_per_thread;
+  const uint64_t slots_per_thread = bytes_per_thread / op_bytes;
+  // Untimed prepare, all on the caller's thread: create and size the one shared
+  // file so every timed write is size-preserving (in-size overwrites take only
+  // their byte range; a growing write would need whole-file exclusive), then warm
+  // the mmap translation with a read sweep. Without the sweep, which worker wins
+  // each region-mapping race — and so which lane the mmap and huge-page-fault
+  // charges land on — varies with OS scheduling, perturbing the reported cells.
+  int fd = fs->Open(path, vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  SPLITFS_CHECK_OK(fs->Fallocate(fd, 0, file_bytes, /*keep_size=*/false));
+  SPLITFS_CHECK_OK(fs->Fsync(fd));
+  {
+    std::vector<uint8_t> warm(64 * 1024);
+    for (uint64_t off = 0; off < file_bytes; off += warm.size()) {
+      uint64_t span = std::min<uint64_t>(warm.size(), file_bytes - off);
+      SPLITFS_CHECK(fs->Pread(fd, warm.data(), span, off) ==
+                    static_cast<ssize_t>(span));
+    }
+  }
+  DrainBackground(fs);
+
+  // Timed phase: pure in-size data writes through ONE shared open file — the path
+  // the range-granular locks parallelize. No per-thread fsync/close inside the
+  // phase: fsync and close publish under a whole-file guard, so an early finisher
+  // would convoy the still-writing threads behind its exclusive waiter, and the
+  // convoy's shape (pure OS scheduling) would leak into the virtual-time cells.
+  // Publication is driven once, below, on the caller's thread.
+  ParallelResult res;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<obs::LatencyHistogram> hists(static_cast<size_t>(threads));
+  res.elapsed_ns = RunWorkers(clock, threads, [&](int t) {
+    obs::LatencyHistogram& hist = hists[static_cast<size_t>(t)];
+    std::vector<uint8_t> buf(op_bytes);
+    uint64_t my_ops = 0;
+    // Thread t owns slots t, t+threads, t+2*threads, ... — disjoint op_bytes
+    // strides interleaved across the file, so neighbours hammer adjacent ranges.
+    for (uint64_t i = 0; i < slots_per_thread; ++i) {
+      uint64_t off = (i * static_cast<uint64_t>(threads) + static_cast<uint64_t>(t)) *
+                     op_bytes;
+      for (uint64_t b = 0; b < op_bytes; ++b) {
+        buf[b] = PayloadByte(t, off + b);
+      }
+      uint64_t op_t0 = clock->Now();
+      if (fs->Pwrite(fd, buf.data(), op_bytes, off) != static_cast<ssize_t>(op_bytes)) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      hist.Record(clock->Now() - op_t0);
+      ++my_ops;
+    }
+    ops.fetch_add(my_ops, std::memory_order_relaxed);
+  });
+
+  // Publish + verify on the caller's thread: every slot carries its owning
+  // thread's payload, and the size never moved.
+  if (fs->Fsync(fd) != 0) {
+    ++res.errors;
+  }
+  DrainBackground(fs);
+  vfs::StatBuf st;
+  if (fs->Fstat(fd, &st) != 0 || st.size != file_bytes) {
+    ++res.errors;
+  }
+  {
+    std::vector<uint8_t> buf(op_bytes);
+    for (int t = 0; t < threads; ++t) {
+      for (uint64_t i = 0; i < slots_per_thread; ++i) {
+        uint64_t off = (i * static_cast<uint64_t>(threads) +
+                        static_cast<uint64_t>(t)) * op_bytes;
+        if (fs->Pread(fd, buf.data(), op_bytes, off) !=
+            static_cast<ssize_t>(op_bytes)) {
+          ++res.errors;
+          break;
+        }
+        if (buf[0] != PayloadByte(t, off) ||
+            buf[op_bytes - 1] != PayloadByte(t, off + op_bytes - 1)) {
+          ++res.errors;
+        }
+      }
+    }
+  }
+  fs->Close(fd);
+
+  res.ops = ops.load();
+  res.bytes = res.ops * op_bytes;
+  res.errors += errors.load();
+  for (const obs::LatencyHistogram& h : hists) {
+    res.latency.MergeFrom(h);
+  }
+  return res;
+}
+
 ParallelResult RunParallelYcsbA(vfs::FileSystem* fs, sim::Clock* clock, int threads,
                                 const std::string& dir, uint64_t records_per_thread,
                                 uint64_t ops_per_thread, uint64_t seed) {

@@ -55,6 +55,16 @@ ParallelResult RunParallelRead(vfs::FileSystem* fs, sim::Clock* clock, int threa
                                const std::string& dir, uint64_t file_bytes,
                                uint64_t op_bytes, uint64_t ops_per_thread, uint64_t seed);
 
+// Shared hot file: every thread overwrites disjoint `op_bytes` strides of ONE
+// preallocated file (thread t owns slots i*threads + t), size-preserving. The file
+// is created, sized, and warmed in an untimed prepare phase and published with one
+// fsync after the join, so the timed phase is pure in-size data writes — the workload that used to
+// serialize on the whole-inode lock and now scales on the byte-range locks. Verifies
+// every slot's first/last payload byte after joining.
+ParallelResult RunParallelSharedHotFile(vfs::FileSystem* fs, sim::Clock* clock,
+                                        int threads, const std::string& dir,
+                                        uint64_t bytes_per_thread, uint64_t op_bytes);
+
 // YCSB-A-shaped mix (50% read / 50% update, zipfian keys) over per-thread KvLsm
 // stores sharing one file system — the paper's LevelDB setup, one store per app
 // thread, all traffic through the same U-Split instance.

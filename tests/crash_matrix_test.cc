@@ -12,6 +12,8 @@
 // (ctest -LE crash_matrix).
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "src/crash/crash_runner.h"
 #include "src/ext4/fsck.h"
 #include "src/tenant/tenant_router.h"
@@ -939,6 +941,392 @@ TEST(CrashMatrixSmoke, TenantChurnCrashStatesAreDeterministic) {
       BatchCrashOutcome b = RunChurnDrainCrashState(unmount, 3, fate, kSeed);
       ASSERT_TRUE(a.crashed && b.crashed);
       EXPECT_EQ(a.fingerprint, b.fingerprint);
+    }
+  }
+}
+
+// --- Range-granular strict logging column -----------------------------------------------
+//
+// The per-range op-logging path opens two schedules the script-driven matrix cannot
+// reach: a power cut inside the log-full checkpoint (epoch gate closed, staged
+// per-range runs being published, log being reset) while fenced per-range entries
+// are still live, and an interleaved two-writer schedule on one inode whose log
+// entries alternate between disjoint ranges — replay must stitch them back by seq,
+// not by file order. Both drivers are single-threaded (the writers' interleaving is
+// the deterministic schedule itself), so every (ordinal, fate) cell is reproducible
+// and double-runs must produce byte-identical recovered fingerprints.
+
+struct RangeCrashOutcome {
+  bool crashed = false;
+  uint64_t acked = 0;        // Pwrite calls that returned before the cut.
+  uint64_t checkpoints = 0;  // Completed checkpoints at the moment of the cut.
+  uint64_t fingerprint = 0;
+};
+
+struct StrictRangeWorld {
+  std::unique_ptr<crash::World> w;
+  splitfs::SplitFs* fs = nullptr;
+};
+
+StrictRangeWorld MakeStrictRangeWorld(uint64_t oplog_bytes) {
+  StrictRangeWorld srw;
+  srw.w = std::make_unique<crash::World>();
+  srw.w->dev = std::make_unique<pmem::Device>(&srw.w->ctx, 64 * common::kMiB);
+  srw.w->kfs = std::make_unique<ext4sim::Ext4Dax>(srw.w->dev.get());
+  splitfs::Options o;
+  o.mode = splitfs::Mode::kStrict;
+  o.num_staging_files = 2;
+  o.staging_file_bytes = 4 * common::kMiB;
+  o.oplog_bytes = oplog_bytes;
+  o.replenish_thread = false;  // Inline refill: deterministic store sequence.
+  auto sfs = std::make_unique<splitfs::SplitFs>(srw.w->kfs.get(), o);
+  srw.fs = sfs.get();
+  srw.w->fs = std::move(sfs);
+  return srw;
+}
+
+// Cell driver: distinct (non-coalescing) 4 KB strict range writes into a
+// preallocated file until the 64-slot op log forces CheckpointForFull. The injector
+// arms at `arm_write` (use FindCheckpointTriggerWrite for the write whose append
+// overflows the log), so small ordinals cut inside that write's staging stores and
+// larger ones inside the checkpoint's relinks / journal commit / log reset. Strict
+// acks only durable data: every Pwrite that RETURNED must read back exactly after
+// recovery, under every drain fate; the one in-flight write is unconstrained but
+// folds into the determinism fingerprint.
+constexpr uint64_t kRangeSlot = 4096;
+constexpr uint64_t kRangeStride = 8192;
+constexpr int kRangeWrites = 96;
+
+uint8_t RangeFill(int i) { return static_cast<uint8_t>(0x30 ^ (i * 41)); }
+
+RangeCrashOutcome RunStrictCheckpointCrashState(int arm_write, uint64_t store_ordinal,
+                                                crash::FatePolicy fate, uint64_t seed) {
+  RangeCrashOutcome out;
+  StrictRangeWorld srw = MakeStrictRangeWorld(/*oplog_bytes=*/4 * common::kKiB);
+  splitfs::SplitFs* fs = srw.fs;
+  srw.w->dev->EnableCrashTracking(true);
+
+  int fd = fs->Open("/rng", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  SPLITFS_CHECK(fs->Fallocate(fd, 0, kRangeWrites * kRangeStride,
+                              /*keep_size=*/false) == 0);
+  SPLITFS_CHECK(fs->Fsync(fd) == 0);
+
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  std::vector<uint8_t> buf(kRangeSlot);
+  try {
+    for (int i = 0; i < kRangeWrites; ++i) {
+      if (i == arm_write) {
+        srw.w->dev->SetObserver(&injector);
+      }
+      std::memset(buf.data(), RangeFill(i), buf.size());
+      SPLITFS_CHECK(fs->Pwrite(fd, buf.data(), buf.size(), i * kRangeStride) ==
+                    static_cast<ssize_t>(buf.size()));
+      out.acked = i + 1;
+    }
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  srw.w->dev->SetObserver(nullptr);
+  out.checkpoints = fs->Checkpoints();
+  if (!out.crashed) {
+    return out;
+  }
+
+  srw.w->dev->CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(srw.w->RecoverAll() == 0);
+
+  uint64_t fp = 14695981039346656037ull;
+  auto mix = [&fp](uint64_t v) { fp = (fp ^ v) * 1099511628211ull; };
+  int rfd = fs->Open("/rng", vfs::kRdOnly);
+  EXPECT_GE(rfd, 0);
+  vfs::StatBuf st;
+  EXPECT_EQ(fs->Fstat(rfd, &st), 0);
+  EXPECT_EQ(st.size, kRangeWrites * kRangeStride);  // Fallocate'd size was fsync'd.
+  std::vector<uint8_t> back(kRangeSlot);
+  for (uint64_t i = 0; i < out.acked; ++i) {
+    EXPECT_EQ(fs->Pread(rfd, back.data(), back.size(), i * kRangeStride),
+              static_cast<ssize_t>(back.size()));
+    size_t diverged = 0;
+    for (uint8_t b : back) {
+      if (b != RangeFill(static_cast<int>(i))) {
+        ++diverged;
+      }
+    }
+    EXPECT_EQ(diverged, 0u) << "acked range write " << i << " (of " << out.acked
+                            << ") lost or torn across the checkpoint cut";
+    mix(back[0]);
+  }
+  if (out.acked < kRangeWrites) {  // The in-flight write: any outcome, but fixed.
+    EXPECT_EQ(fs->Pread(rfd, back.data(), back.size(), out.acked * kRangeStride),
+              static_cast<ssize_t>(back.size()));
+    for (size_t i = 0; i < back.size(); i += 131) {
+      mix(back[i]);
+    }
+  }
+  fs->Close(rfd);
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(srw.w->kfs.get());
+  for (const auto& p : fsck.problems) {
+    ADD_FAILURE() << "strict checkpoint cut @ write#" << arm_write << " store#"
+                  << store_ordinal << "/" << crash::FateName(fate) << ": " << p;
+  }
+  mix(fsck.clean ? 1 : 0);
+  out.fingerprint = fp;
+  return out;
+}
+
+// Counts device stores without disturbing them: the probe runs measure how many
+// stores a schedule issues so the crash sweeps pick ordinals that actually land.
+class StoreCounter : public pmem::DeviceObserver {
+ public:
+  void OnStore(uint64_t, uint64_t, bool) override { ++stores_; }
+  void OnClwb(uint64_t, uint64_t) override {}
+  void OnFence(uint64_t) override {}
+  uint64_t stores() const { return stores_; }
+
+ private:
+  uint64_t stores_ = 0;
+};
+
+// Unarmed probe run: the write whose log append overflows the 64-slot log and runs
+// the first checkpoint. Single-threaded and virtual-timed, so the index is the same
+// in every armed re-execution. When `stores_from_trigger` is given, a counter arms
+// at that write and reports how many stores the rest of the schedule (the
+// triggering write, the checkpoint, the remaining writes) issues.
+int FindCheckpointTriggerWrite(uint64_t* stores_from_trigger = nullptr,
+                               int known_trigger = -1) {
+  StrictRangeWorld srw = MakeStrictRangeWorld(/*oplog_bytes=*/4 * common::kKiB);
+  splitfs::SplitFs* fs = srw.fs;
+  int fd = fs->Open("/rng", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  SPLITFS_CHECK(fs->Fallocate(fd, 0, kRangeWrites * kRangeStride,
+                              /*keep_size=*/false) == 0);
+  SPLITFS_CHECK(fs->Fsync(fd) == 0);
+  StoreCounter counter;
+  std::vector<uint8_t> buf(kRangeSlot, 0x11);
+  int trigger = -1;
+  for (int i = 0; i < kRangeWrites; ++i) {
+    if (i == known_trigger && stores_from_trigger != nullptr) {
+      srw.w->dev->SetObserver(&counter);
+    }
+    SPLITFS_CHECK(fs->Pwrite(fd, buf.data(), buf.size(), i * kRangeStride) ==
+                  static_cast<ssize_t>(buf.size()));
+    if (trigger < 0 && fs->Checkpoints() > 0) {
+      trigger = i;
+      if (stores_from_trigger == nullptr) {
+        break;
+      }
+    }
+  }
+  srw.w->dev->SetObserver(nullptr);
+  if (stores_from_trigger != nullptr) {
+    *stores_from_trigger = counter.stores();
+  }
+  return trigger;
+}
+
+TEST(CrashMatrixSmoke, StrictRangeLogCheckpointCutRecoversAckedWrites) {
+  int trigger = FindCheckpointTriggerWrite();
+  ASSERT_GE(trigger, 0) << "96 distinct strict range writes never filled the log";
+  uint64_t span = 0;  // Stores from the triggering write to the schedule's end.
+  FindCheckpointTriggerWrite(&span, trigger);
+  ASSERT_GT(span, 16u);
+  int crashed_states = 0;
+  bool cut_inside_checkpoint = false;
+  bool cut_after_checkpoint = false;
+  // Ordinal 0 lands in the triggering write's own staging stores; the fractions
+  // walk into the checkpoint's relink + commit + log-reset stores and beyond.
+  for (uint64_t store : std::vector<uint64_t>{0, span / 16, span / 8, span / 4,
+                                              span / 2, (3 * span) / 4}) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      RangeCrashOutcome out =
+          RunStrictCheckpointCrashState(trigger, store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached";
+      ++crashed_states;
+      if (out.checkpoints == 0) {
+        cut_inside_checkpoint = true;  // Cut before the checkpoint could finish.
+      } else {
+        cut_after_checkpoint = true;  // Post-reset image: replay from a reused log.
+      }
+    }
+  }
+  EXPECT_EQ(crashed_states, 12);
+  EXPECT_TRUE(cut_inside_checkpoint)
+      << "no cell cut inside the checkpoint window; widen the ordinal sweep";
+  EXPECT_TRUE(cut_after_checkpoint)
+      << "no cell survived past the checkpoint; widen the ordinal sweep";
+}
+
+TEST(CrashMatrixSmoke, StrictRangeLogCheckpointCutIsDeterministic) {
+  int trigger = FindCheckpointTriggerWrite();
+  ASSERT_GE(trigger, 0);
+  uint64_t span = 0;
+  FindCheckpointTriggerWrite(&span, trigger);
+  for (uint64_t store : std::vector<uint64_t>{span / 8, span / 2}) {
+    for (crash::FatePolicy fate : {FatePolicy::kSubset, FatePolicy::kTorn}) {
+      RangeCrashOutcome a = RunStrictCheckpointCrashState(trigger, store, fate, kSeed);
+      RangeCrashOutcome b = RunStrictCheckpointCrashState(trigger, store, fate, kSeed);
+      ASSERT_TRUE(a.crashed);
+      ASSERT_TRUE(b.crashed);
+      EXPECT_EQ(a.acked, b.acked);
+      EXPECT_EQ(a.checkpoints, b.checkpoints);
+      EXPECT_EQ(a.fingerprint, b.fingerprint);  // Byte-identical recovered states.
+    }
+  }
+}
+
+// Interleaved two-range-writer schedule on one inode: writers A and B alternate
+// strictly (A,B,A,B,...) over disjoint halves of the file, two rounds deep, so the
+// op log holds interleaved per-range entries for the same inode and the second
+// round updates round-one staging bytes in place. The cut sweeps the whole
+// schedule; recovery must restore every acked write exactly — entries replayed in
+// seq order across the interleaving — with one unconstrained in-flight slot.
+constexpr int kAbSlots = 4;
+constexpr int kAbRounds = 2;
+constexpr uint64_t kAbHalf = 128 * common::kKiB;
+
+uint8_t AbFill(int writer, int slot, int round) {
+  return static_cast<uint8_t>(0x80 | (writer << 6) | (slot << 2) | round);
+}
+
+RangeCrashOutcome RunInterleavedRangeWritersCrashState(uint64_t store_ordinal,
+                                                       crash::FatePolicy fate,
+                                                       uint64_t seed,
+                                                       uint64_t* probe_stores = nullptr) {
+  RangeCrashOutcome out;
+  StrictRangeWorld srw = MakeStrictRangeWorld(/*oplog_bytes=*/256 * common::kKiB);
+  splitfs::SplitFs* fs = srw.fs;
+  srw.w->dev->EnableCrashTracking(true);
+
+  int fd = fs->Open("/ab", vfs::kRdWr | vfs::kCreate);
+  SPLITFS_CHECK(fd >= 0);
+  SPLITFS_CHECK(fs->Fallocate(fd, 0, 2 * kAbHalf, /*keep_size=*/false) == 0);
+  SPLITFS_CHECK(fs->Fsync(fd) == 0);
+
+  // Flat schedule: (round, slot, writer) with writers alternating innermost.
+  struct Op {
+    int writer, slot, round;
+    uint64_t off;
+  };
+  std::vector<Op> ops;
+  for (int r = 0; r < kAbRounds; ++r) {
+    for (int s = 0; s < kAbSlots; ++s) {
+      for (int wtr = 0; wtr < 2; ++wtr) {
+        ops.push_back({wtr, s, r, wtr * kAbHalf + s * kRangeSlot});
+      }
+    }
+  }
+
+  StoreCounter counter;
+  crash::CrashInjector injector(
+      {crash::CrashPoint::Trigger::kAfterStore, store_ordinal});
+  srw.w->dev->SetObserver(probe_stores != nullptr
+                              ? static_cast<pmem::DeviceObserver*>(&counter)
+                              : &injector);
+  std::vector<uint8_t> buf(kRangeSlot);
+  try {
+    for (const Op& op : ops) {
+      std::memset(buf.data(), AbFill(op.writer, op.slot, op.round), buf.size());
+      SPLITFS_CHECK(fs->Pwrite(fd, buf.data(), buf.size(), op.off) ==
+                    static_cast<ssize_t>(buf.size()));
+      out.acked++;
+    }
+  } catch (const crash::CrashSignal&) {
+    out.crashed = true;
+  }
+  srw.w->dev->SetObserver(nullptr);
+  if (probe_stores != nullptr) {
+    *probe_stores = counter.stores();
+    return out;
+  }
+  if (!out.crashed) {
+    return out;
+  }
+
+  srw.w->dev->CrashWith(crash::MakeFate(fate, seed | 1));
+  SPLITFS_CHECK(srw.w->RecoverAll() == 0);
+
+  // Last acked round per (writer, slot); -1 means never written (reads as zeros).
+  int last_round[2][kAbSlots];
+  for (auto& row : last_round) {
+    for (int& v : row) {
+      v = -1;
+    }
+  }
+  for (uint64_t i = 0; i < out.acked; ++i) {
+    last_round[ops[i].writer][ops[i].slot] = ops[i].round;
+  }
+  uint64_t fp = 14695981039346656037ull;
+  auto mix = [&fp](uint64_t v) { fp = (fp ^ v) * 1099511628211ull; };
+  int rfd = fs->Open("/ab", vfs::kRdOnly);
+  EXPECT_GE(rfd, 0);
+  std::vector<uint8_t> back(kRangeSlot);
+  for (int wtr = 0; wtr < 2; ++wtr) {
+    for (int s = 0; s < kAbSlots; ++s) {
+      uint64_t off = wtr * kAbHalf + s * kRangeSlot;
+      EXPECT_EQ(fs->Pread(rfd, back.data(), back.size(), off),
+                static_cast<ssize_t>(back.size()));
+      bool in_flight = out.acked < ops.size() && ops[out.acked].writer == wtr &&
+                       ops[out.acked].slot == s;
+      if (!in_flight) {
+        int r = last_round[wtr][s];
+        uint8_t expect = r < 0 ? 0 : AbFill(wtr, s, r);
+        size_t diverged = 0;
+        for (uint8_t b : back) {
+          if (b != expect) {
+            ++diverged;
+          }
+        }
+        EXPECT_EQ(diverged, 0u)
+            << "writer " << wtr << " slot " << s << " (last acked round " << r
+            << ") lost or torn across the interleaved-entry replay";
+      }
+      for (size_t i = 0; i < back.size(); i += 131) {
+        mix(back[i]);
+      }
+    }
+  }
+  fs->Close(rfd);
+  ext4sim::FsckReport fsck = ext4sim::RunFsck(srw.w->kfs.get());
+  for (const auto& p : fsck.problems) {
+    ADD_FAILURE() << "interleaved range writers @ store#" << store_ordinal << "/"
+                  << crash::FateName(fate) << ": " << p;
+  }
+  mix(fsck.clean ? 1 : 0);
+  out.fingerprint = fp;
+  return out;
+}
+
+TEST(CrashMatrixSmoke, InterleavedRangeWriterScheduleSurvivesCuts) {
+  uint64_t span = 0;  // Total stores the 16-write interleaved schedule issues.
+  RunInterleavedRangeWritersCrashState(0, FatePolicy::kDropAll, kSeed, &span);
+  ASSERT_GT(span, 16u);
+  int crashed_states = 0;
+  // The sweep spans the first round's fresh interleaved entries and the second
+  // round's in-place staging updates.
+  for (uint64_t store : std::vector<uint64_t>{0, span / 8, span / 4, span / 2,
+                                              (3 * span) / 4, span - 2}) {
+    for (crash::FatePolicy fate : {FatePolicy::kDropAll, FatePolicy::kTorn}) {
+      RangeCrashOutcome out =
+          RunInterleavedRangeWritersCrashState(store, fate, kSeed);
+      ASSERT_TRUE(out.crashed) << "store#" << store << " never reached";
+      ++crashed_states;
+    }
+  }
+  EXPECT_EQ(crashed_states, 12);
+}
+
+TEST(CrashMatrixSmoke, InterleavedRangeWriterCutsAreDeterministic) {
+  uint64_t span = 0;
+  RunInterleavedRangeWritersCrashState(0, FatePolicy::kDropAll, kSeed, &span);
+  for (uint64_t store : std::vector<uint64_t>{span / 4, (3 * span) / 4}) {
+    for (crash::FatePolicy fate : {FatePolicy::kSubset, FatePolicy::kTorn}) {
+      RangeCrashOutcome a = RunInterleavedRangeWritersCrashState(store, fate, kSeed);
+      RangeCrashOutcome b = RunInterleavedRangeWritersCrashState(store, fate, kSeed);
+      ASSERT_TRUE(a.crashed == b.crashed);
+      EXPECT_EQ(a.acked, b.acked);
+      EXPECT_EQ(a.fingerprint, b.fingerprint);  // Byte-identical recovered states.
     }
   }
 }

@@ -10,7 +10,16 @@
 #                                      # trace_tour export/reconciliation smoke
 #   scripts/check.sh -L tenant         # tenant router: path/fd routing, shared
 #                                      # service pools, per-tenant QoS, churn
+#   scripts/check.sh -L analysis       # analysis layer: checker/witness unit +
+#                                      # mutation self-tests, plus the crash-smoke/
+#                                      # journal/U-Split/tenant/concurrency suites
+#                                      # rerun with SPLITFS_ANALYSIS=1 (halt on any
+#                                      # persistence-ordering or lock-order violation)
 #   scripts/check.sh --tsan            # ThreadSanitizer build, concurrency tests only
+#   scripts/check.sh --asan            # AddressSanitizer build, full quick suite
+#   scripts/check.sh --ubsan           # UBSan build, full quick suite
+#   scripts/check.sh --tidy            # clang-tidy over src/ (bugprone, concurrency,
+#                                      # performance checks; see .clang-tidy)
 #
 # The default run includes the `examples` label: every examples/*.cpp builds as
 # example_<name> and executes as a smoke test, so the worked examples cannot
@@ -37,6 +46,37 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # router's mount/unmount churn race suite (tenant_test) rides the same label.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -L concurrency "$@"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--asan" || "${1:-}" == "--ubsan" ]]; then
+  # Sanitizer passes run the quick suite (crash matrix excluded: the full matrix
+  # under ASan takes minutes and the smoke subset exercises the same code paths).
+  # halt_on_error makes any report fail the run even when the test's own asserts
+  # pass; detect_leaks stays on under ASan (default) so staged-allocation and
+  # observer lifetimes are leak-checked too.
+  san="${1#--}"
+  shift
+  opt="SPLITFS_ASAN"
+  [[ "$san" == "ubsan" ]] && opt="SPLITFS_UBSAN"
+  cmake -B "build-$san" -S . "-D$opt=ON"
+  cmake --build "build-$san" -j"$(nproc)"
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "build-$san" --output-on-failure -j"$(nproc)" -LE crash_matrix "$@"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--tidy" ]]; then
+  shift
+  if ! command -v clang-tidy > /dev/null; then
+    echo "check.sh --tidy: clang-tidy not found in PATH; install LLVM clang-tools" >&2
+    echo "(checks configured in .clang-tidy: bugprone-*, concurrency-*, performance-*)" >&2
+    exit 2
+  fi
+  # clang-tidy needs a compilation database; reuse (or create) the normal build.
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+  clang-tidy -p build --quiet "${tidy_sources[@]}" "$@"
   exit 0
 fi
 

@@ -1,0 +1,80 @@
+// Annotation entry points for the persistence-ordering checker. Call sites
+// (op log append, journal commit writeout, staged-write/publish paths) declare
+// their durability contracts through these helpers; every helper is a single
+// null-pointer branch when no checker is installed on the device (the default),
+// so annotated code costs nothing and stays bit-identical in normal builds.
+//
+// See src/analysis/persist_checker.h for rule semantics and README
+// "Analysis & sanitizers" for how to read a violation report.
+#ifndef SRC_ANALYSIS_ANNOTATIONS_H_
+#define SRC_ANALYSIS_ANNOTATIONS_H_
+
+#include "src/analysis/persist_checker.h"
+#include "src/pmem/device.h"
+
+namespace analysis {
+
+// Rule (a): record that the next durability point for `key` (U-Split: the file
+// ino) acknowledges the durability of device bytes [off, off+n).
+inline void AddDep(pmem::Device* dev, uint64_t key, uint64_t off, uint64_t n) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->AddDep(key, off, n);
+  }
+}
+
+// The staged bytes left the contract without a durability point (published,
+// truncated, unlinked): forget any dep intersecting the range.
+inline void DropDeps(pmem::Device* dev, uint64_t key, uint64_t off, uint64_t n) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->DropDeps(key, off, n);
+  }
+}
+
+inline void DropAllDeps(pmem::Device* dev, uint64_t key) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->DropAllDeps(key);
+  }
+}
+
+// Rule (a): fsync/close-style ack point — everything registered for `key` must
+// be flushed+fenced now; the dep set clears.
+inline void DurabilityPoint(pmem::Device* dev, uint64_t key, const char* site) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->DurabilityPoint(key, site);
+  }
+}
+
+// Rule (a), immediate form.
+inline void RequireDurable(pmem::Device* dev, uint64_t off, uint64_t n,
+                           const char* site) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->RequireDurable(off, n, site);
+  }
+}
+
+// Rule (b): declare payload bytes the next sealed record covers (per-thread).
+inline void CoverPayload(pmem::Device* dev, uint64_t off, uint64_t n) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->CoverPayload(off, n);
+  }
+}
+
+// Rule (b): the record at [rec_off, rec_off+rec_len) covers the declared
+// payload. `strict` = payload must persist at an earlier fence than the record
+// (jbd2 commit record); non-strict allows the op log's shared single fence.
+inline void SealCover(pmem::Device* dev, uint64_t rec_off, uint64_t rec_len,
+                      bool strict, const char* site) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->SealCover(rec_off, rec_len, strict, site);
+  }
+}
+
+inline void AbandonCover(pmem::Device* dev) {
+  if (PersistChecker* pc = dev->persist_checker()) {
+    pc->AbandonCover();
+  }
+}
+
+}  // namespace analysis
+
+#endif  // SRC_ANALYSIS_ANNOTATIONS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/analysis/annotations.h"
+#include "src/analysis/persist_checker.h"
 #include "src/common/bytes.h"
 #include "src/common/checksum.h"
 #include "src/common/threading.h"
@@ -95,8 +97,20 @@ bool OpLog::Append(LogEntry entry) {
   entry.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   entry.Seal();
   pmem::Device* dev = kfs_->device();
-  dev->StoreNt(SlotDevOffset(slot), &entry, kCacheLineSize, sim::PmWriteKind::kLog);
-  dev->Fence();  // THE single fence per logged operation.
+  uint64_t entry_off = SlotDevOffset(slot);
+  analysis::ScopedLintSite lint("oplog.append");
+  dev->StoreNt(entry_off, &entry, kCacheLineSize, sim::PmWriteKind::kLog);
+  // Rule (b), non-strict: the entry is the record over whatever payload the
+  // caller declared (a strict data op's staged bytes); entry and payload
+  // persisting at the SAME fence is the §3.3 design, so strict=false.
+  analysis::SealCover(dev, entry_off, kCacheLineSize, /*strict=*/false,
+                      "oplog.append");
+  if (!skip_fence_for_test_) {
+    dev->Fence();  // THE single fence per logged operation.
+  }
+  // Rule (a): the operation acks durability of its log entry the moment Append
+  // returns — with the fence mutation-dropped above, this fires.
+  analysis::RequireDurable(dev, entry_off, kCacheLineSize, "oplog.entry");
   ctx_->stats.AddLogEntry();
   return true;
 }

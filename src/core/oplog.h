@@ -53,8 +53,13 @@ enum class LogOp : uint8_t {
 // with the last enumerator.
 inline constexpr LogOp kMaxLogOp = LogOp::kRelinkIntentOverwrite;
 
-// Exactly one cache line. The checksum covers bytes [4, 64).
-struct alignas(64) LogEntry {
+// Exactly one cache line *by size* — the fields pack to 64 bytes and the
+// static_assert holds the layout. Deliberately not alignas(64): entries live in
+// the log at slot offsets (alignment of the in-memory copy is irrelevant to the
+// device image), and over-alignment is UB through std::stable_sort's temporary
+// buffer, which allocates without honoring extended alignment (UBSan caught the
+// misaligned stores in ScanForRecovery). The checksum covers bytes [4, 64).
+struct LogEntry {
   uint32_t checksum = 0;
   LogOp op = LogOp::kInvalid;
   uint8_t pad[3] = {0, 0, 0};
@@ -126,6 +131,10 @@ class OpLog {
   // Works purely from the device contents — DRAM state is assumed lost.
   std::vector<LogEntry> ScanForRecovery() const;
 
+  // Test-only mutation hook (analysis self-tests): drop THE single fence after
+  // the entry store, so the PersistChecker's rule-(a) check on the entry fires.
+  void set_skip_fence_for_test(bool skip) { skip_fence_for_test_ = skip; }
+
  private:
   // Slots claimed per tail fetch-add. Any value preserves the single-threaded slot
   // layout (one lane consumes its chunk fully before claiming the next).
@@ -154,6 +163,7 @@ class OpLog {
   std::atomic<uint64_t> tail_{0};  // DRAM-only slot reservation; never persisted.
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> reset_epoch_{0};
+  bool skip_fence_for_test_ = false;
 };
 
 }  // namespace splitfs

@@ -6,6 +6,9 @@
 #include <limits>
 #include <thread>
 
+#include "src/analysis/annotations.h"
+#include "src/analysis/lock_witness.h"
+#include "src/analysis/persist_checker.h"
 #include "src/common/bytes.h"
 #include "src/common/service_pool.h"
 #include "src/sim/token_bucket.h"
@@ -27,6 +30,22 @@ thread_local std::vector<uint8_t> g_scratch(common::kBlockSize);
 // back-out. The bytes written so far are durable (published) or moot (truncated);
 // LockedWrite re-classifies and replays the whole write, which is idempotent.
 constexpr ssize_t kRangeWriteRetry = std::numeric_limits<ssize_t>::min();
+
+// Witness site ids for U-Split's documented lock order (split_fs.h top comment).
+// The per-file byte-range lock reports through vfs::RangeLock itself
+// ("splitfs.range_lock").
+int MetaMuSite() {
+  static const int kSite = analysis::LockSite("usplit.file_meta");
+  return kSite;
+}
+int CheckpointSite() {
+  static const int kSite = analysis::LockSite("usplit.checkpoint");
+  return kSite;
+}
+int EpochGateSite() {
+  static const int kSite = analysis::LockSite("usplit.epoch_gate");
+  return kSite;
+}
 }  // namespace
 
 const char* ModeName(Mode mode) {
@@ -357,6 +376,11 @@ int SplitFs::Close(int fd) {
     }
     if (enqueue) {
       EnqueuePublish(fs);
+    } else {
+      // Synchronous publish path: close() acks durability of everything this file
+      // staged (§3.4). Deferred (async-relink) publishes ack at the intent log
+      // instead, so no durability claim is made here.
+      analysis::DurabilityPoint(kfs_->device(), fs->ino, "splitfs.close");
     }
   }
   // The application's close traps into the kernel; U-Split keeps its own descriptor
@@ -419,6 +443,8 @@ int SplitFs::Unlink(const std::string& path) {
           }
           fs->defunct = true;  // Queued writers/readers bail with EBADF.
         }
+        // Unpublished staged data died with the file: nothing to acknowledge.
+        analysis::DropAllDeps(kfs_->device(), fs->ino);
         mmaps_.InvalidateFile(fs->ino);
         if (opts_.mode == Mode::kStrict) {
           LogMetaOp(LogOp::kUnlink, fs->ino, 0, fs.get());
@@ -538,6 +564,8 @@ void SplitFs::TeardownDisplacedState(const std::string& path, Ino displaced) {
     }
     fs->defunct = true;
   }
+  // Unpublished staged data died with the displaced file: nothing to acknowledge.
+  analysis::DropAllDeps(kfs_->device(), fs->ino);
   mmaps_.InvalidateFile(fs->ino);
   kfs_->Close(fs->kernel_fd);
 }
@@ -918,6 +946,8 @@ uint64_t SplitFs::OverwriteStagedOverlap(FileState* fs, const uint8_t* buf, uint
   // Update the staged bytes in place: they are not yet published, so this stays
   // atomic with the eventual relink. The caller's range lock covers these bytes.
   kfs_->device()->StoreNt(store_dev, buf, span, sim::PmWriteKind::kUserData);
+  // The file's next durability point (fsync/close) acknowledges these bytes.
+  analysis::AddDep(kfs_->device(), fs->ino, store_dev, span);
   return span;
 }
 
@@ -984,7 +1014,11 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
     }
     if (extended) {
       dev->StoreNt(store_dev, buf, n, sim::PmWriteKind::kUserData);
+      analysis::AddDep(dev, fs->ino, store_dev, n);
       if (opts_.mode == Mode::kStrict) {
+        // The op-log entry is the record over these staged bytes; both persist at
+        // the entry's single fence (lax cover, sealed inside OpLog::Append).
+        analysis::CoverPayload(dev, store_dev, n);
         LogDataOp(LogOp::kAppend, fs, off, piece);
       } else if (opts_.mode == Mode::kSync) {
         dev->Fence();
@@ -1002,6 +1036,7 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
   for (size_t i = 0; i < allocs.size(); ++i) {
     const StagingAlloc& a = allocs[i];
     dev->StoreNt(a.dev_off, src, a.len, sim::PmWriteKind::kUserData);
+    analysis::AddDep(dev, fs->ino, a.dev_off, a.len);
     StagedRange r;
     r.file_off = cur;
     r.alloc = a;
@@ -1014,8 +1049,12 @@ ssize_t SplitFs::AppendStaged(FileState* fs, const uint8_t* buf, uint64_t n, uin
       fs->staged[cur] = r;
     }
     if (opts_.mode == Mode::kStrict) {
+      analysis::CoverPayload(dev, a.dev_off, a.len);
       if (!LogDataOp(is_overwrite ? LogOp::kOverwrite : LogOp::kAppend, fs, cur, a,
                      range)) {
+        // The run was consumed by a whole-file restructuring mid-back-out; its
+        // entry never sealed, so the open cover must not leak into the next op.
+        analysis::AbandonCover(dev);
         // Per-range moot: a log-full back-out let a whole-file restructuring
         // (checkpoint publish / truncate / unlink) consume this run — its bytes are
         // durable or gone, never re-logged. Not-yet-inserted pieces go back to the
@@ -1263,8 +1302,19 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done, bool defer_commit) {
   }
   obs::ScopedSpan span(opts_.tracing ? &ctx_->obs.tracer : nullptr, &ctx_->clock,
                        "publish", "splitfs.publish", "ino", fs->ino);
-  // Drain pending non-temporal stores before making the data reachable.
-  kfs_->device()->Fence();
+  analysis::ScopedLintSite lint("splitfs.publish");
+  if (opts_.mode != Mode::kStrict || !log_done) {
+    // Drain pending non-temporal stores before making the data reachable. A normal
+    // strict publish skips this: every staged run it can see is already durable —
+    // fenced by its op-log entry, the staged-update fence in WriteAt, or the
+    // per-range back-out fence in LogDataOp — so the fence here was always empty
+    // (the checker's empty-fence lint found it). Checkpoint publishes
+    // (log_done=false) keep it: a whole-file writer that hits a full log enters
+    // CheckpointForFull with its own run stored but its entry unappended and
+    // unfenced, and the checkpoint publishes that run (the checker's rule (a)
+    // caught the skip).
+    kfs_->device()->Fence();
+  }
   // Each range is erased as it publishes: a mid-publish failure must leave only the
   // unpublished remainder staged, or the retry would relink — and Release — the
   // already-published ranges a second time (double-releasing could retire a staging
@@ -1281,6 +1331,10 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done, bool defer_commit) {
       file_off = it->first;
       r = it->second;
     }
+    // Publish hazard (rule (a)): relink makes these staged bytes reachable and
+    // the operation will be acknowledged — they must already be durable.
+    analysis::RequireDurable(kfs_->device(), r.alloc.dev_off, r.alloc.len,
+                             "splitfs.publish");
     int rc = opts_.enable_relink ? RelinkRun(fs, file_off, r) : CopyStagedRun(fs, r);
     if (rc != 0) {
       return rc;
@@ -1294,6 +1348,10 @@ int SplitFs::PublishStaged(FileState* fs, bool log_done, bool defer_commit) {
     if (staging_) {
       staging_->Release(r.alloc);  // Published: the pool may retire consumed files.
     }
+    // Published bytes leave the fsync contract; the staging pool may hand the
+    // device range to another file, whose pending stores must not be charged to
+    // this ino's next durability point.
+    analysis::DropDeps(kfs_->device(), fs->ino, r.alloc.dev_off, r.alloc.len);
     {
       std::lock_guard<std::mutex> meta(fs->meta_mu);
       fs->staged.erase(file_off);
@@ -1379,10 +1437,7 @@ int SplitFs::LogRelinkIntents(FileState* fs) {
   if (opts_.mode == Mode::kStrict) {
     return 0;  // Every staged run was already logged (and fenced) at write time.
   }
-  // The intent claims the staged bytes are recoverable: drain pending non-temporal
-  // stores first (POSIX-mode appends stream unfenced; the op log's own fence per
-  // appended entry only covers the entry).
-  kfs_->device()->Fence();
+  analysis::ScopedLintSite lint("splitfs.intent");
   // One pass over the staged map collects every uncovered run tail; the whole-file
   // lock (held by the caller) keeps the set stable while the entries are appended
   // below, outside meta_mu.
@@ -1407,7 +1462,20 @@ int SplitFs::LogRelinkIntents(FileState* fs) {
       }
     }
   }
+  if (deltas.empty()) {
+    // Every staged byte is already intent-covered, and was fenced when its intent
+    // was first logged (runs only grow, and growth produces a delta) — the old
+    // unconditional fence here was empty on this path, the checker's lint found it.
+    return 0;
+  }
+  // The intents claim the staged bytes are recoverable: drain pending non-temporal
+  // stores first (POSIX-mode appends stream unfenced; the op log's own fence per
+  // appended entry only covers the entry).
+  kfs_->device()->Fence();
   for (const IntentDelta& d : deltas) {
+    // Rule (b): each intent entry is a publication record over its staged run
+    // (sealed lax inside Append — the fence above already persisted the run).
+    analysis::CoverPayload(kfs_->device(), d.alloc.dev_off, d.alloc.len);
     LogEntry e;
     e.op = d.is_overwrite ? LogOp::kRelinkIntentOverwrite : LogOp::kRelinkIntent;
     e.target_ino = fs->ino;
@@ -1416,6 +1484,7 @@ int SplitFs::LogRelinkIntents(FileState* fs) {
     e.staging_off = d.alloc.staging_off;
     e.len = d.alloc.len;
     if (!oplog_->Append(e)) {
+      analysis::AbandonCover(kfs_->device());  // Entry never stored; don't leak the cover.
       // Log full. The checkpoint publishes every staged run of this file first (it
       // holds our whole-file lock through `held`), so the remaining intents are
       // moot — and must NOT be retried into the fresh log: an intent for an
@@ -1426,6 +1495,9 @@ int SplitFs::LogRelinkIntents(FileState* fs) {
       return 0;
     }
   }
+  // Once the intents are fenced the caller's fsync/close may return: rule (a)
+  // ack point for the async-relink path.
+  analysis::DurabilityPoint(kfs_->device(), fs->ino, "splitfs.intent");
   return 0;
 }
 
@@ -1710,6 +1782,8 @@ int SplitFs::Fsync(int fd) {
     bool metadata_dirty;
     {
       std::lock_guard<std::mutex> meta(fs->meta_mu);
+      // Records the range_lock -> file_meta edge for the witness.
+      analysis::ScopedLockNote mn(analysis::LockWitness::Global(), MetaMuSite());
       if (fs->defunct) {
         return -EBADF;
       }
@@ -1720,6 +1794,11 @@ int SplitFs::Fsync(int fd) {
       // Relink path: no fsync barrier (Table 6). Async configuration returns once
       // the intent records are fenced; the relinks run on the publisher.
       rc = PublishOrIntend(fs.get(), &enqueue);
+      if (rc == 0 && !enqueue) {
+        // fsync() return acks durability of all staged data published above;
+        // the async path acks at the intent-log fence, not here.
+        analysis::DurabilityPoint(kfs_->device(), fs->ino, "splitfs.fsync");
+      }
     } else if (metadata_dirty) {
       TakeJournalCredit();
       rc = kfs_->Fsync(fs->kernel_fd, tag_.c_str());
@@ -1828,6 +1907,13 @@ bool SplitFs::LogDataOp(LogOp op, FileState* held, uint64_t file_off,
   // entry — and MUST NOT be re-logged: the fresh entry would outlive the publish
   // and a post-crash replay could resurrect the staged bytes over later overwrites.
   while (!oplog_->Append(e)) {
+    // Persist the run before dropping the lock. The back-out leaves it staged with
+    // no appended entry, and once the range lock is free a concurrent fsync/close
+    // can publish it — a normal strict publish does not fence (every run it sees
+    // is supposed to be durable already), so an unfenced run here would be
+    // relinked and acknowledged while still volatile. The persistence checker's
+    // rule (a) caught this window racing a whole-file publisher.
+    kfs_->device()->Fence();
     held->rlock.UnlockExclusive(range->off, range->len);
     ExitRangeWrite();
     CheckpointForFull(nullptr);
@@ -1870,6 +1956,7 @@ bool SplitFs::StagedRunStillOurs(FileState* fs, uint64_t file_off,
 
 bool SplitFs::TryEnterRangeWrite() {
   std::lock_guard<std::mutex> el(epoch_mu_);
+  analysis::ScopedLockNote gate(analysis::LockWitness::Global(), EpochGateSite());
   if ((range_epoch_ & 1) != 0) {
     return false;  // A checkpoint is draining; the caller takes the whole file.
   }
@@ -1881,6 +1968,7 @@ void SplitFs::EnterRangeWrite() {
   bool waited;
   {
     std::unique_lock<std::mutex> el(epoch_mu_);
+    analysis::ScopedLockNote gate(analysis::LockWitness::Global(), EpochGateSite());
     waited = (range_epoch_ & 1) != 0;
     epoch_cv_.wait(el, [this] { return (range_epoch_ & 1) == 0; });
     ++range_writers_;
@@ -1892,6 +1980,7 @@ void SplitFs::EnterRangeWrite() {
 
 void SplitFs::ExitRangeWrite() {
   std::lock_guard<std::mutex> el(epoch_mu_);
+  analysis::ScopedLockNote gate(analysis::LockWitness::Global(), EpochGateSite());
   if (--range_writers_ == 0) {
     epoch_cv_.notify_all();
   }
@@ -1949,6 +2038,7 @@ void SplitFs::CheckpointForFull(FileState* held) {
     WaitForPublishes();
   }
   std::lock_guard<std::mutex> cl(checkpoint_mu_);
+  analysis::ScopedLockNote cp_note(analysis::LockWitness::Global(), CheckpointSite());
   if (oplog_->ResetEpoch() != epoch) {
     return;  // Another thread already recycled the log; just retry the append.
   }
@@ -1965,6 +2055,7 @@ void SplitFs::CheckpointForFull(FileState* held) {
         bool dirty;
         {
           std::lock_guard<std::mutex> meta(f->meta_mu);
+          analysis::ScopedLockNote mn(analysis::LockWitness::Global(), MetaMuSite());
           dirty = !f->staged.empty();
         }
         if (!dirty) {
@@ -1997,12 +2088,14 @@ void SplitFs::CheckpointForFull(FileState* held) {
     sim::ScopedResourceTime epoch_time(&strict_epoch_stamp_, &ctx_->clock);
     {
       std::unique_lock<std::mutex> el(epoch_mu_);
+      analysis::ScopedLockNote gate(analysis::LockWitness::Global(), EpochGateSite());
       ++range_epoch_;  // Odd: closed.
       epoch_cv_.wait(el, [this] { return range_writers_ == 0; });
     }
     sweep_and_reset();
     {
       std::lock_guard<std::mutex> el(epoch_mu_);
+      analysis::ScopedLockNote gate(analysis::LockWitness::Global(), EpochGateSite());
       ++range_epoch_;  // Even: open.
       epoch_cv_.notify_all();
     }

@@ -38,6 +38,7 @@ Ext4Dax::Ext4Dax(pmem::Device* dev, Ext4Options opts)
                opts.commit_interval_ns) {
   auto root = std::make_shared<Inode>(&ctx_->clock, &ctx_->obs);
   root->ino = vfs::kRootIno;
+  root->range_lock.SetWitnessOrderKey(vfs::kRootIno);
   root->type = FileType::kDirectory;
   root->nlink = 2;
   root->parent = vfs::kRootIno;  // '/' is its own parent; the cycle walk stops here.
@@ -79,19 +80,29 @@ Ext4Dax::NsLock::NsLock(const Ext4Dax* fs, std::initializer_list<vfs::Ino> dirs)
   }
   std::sort(idx, idx + n);
   uint64_t waited_total = 0;
+  analysis::LockWitness* w = analysis::LockWitness::Global();
   for (size_t i = 0; i < n; ++i) {
     NsShard* sh = &fs_->ns_shards_[idx[i]];
     sh->mu.lock();
+    if (w != nullptr) {
+      // Order key = shard index + 1 (nonzero): the ascending-shard discipline the
+      // sort above establishes becomes a checked same-site invariant.
+      w->Acquire(DentryShardSite(), idx[i] + 1, analysis::LockWitness::Kind::kBlocking);
+    }
     uint64_t waited = 0;
-    held_[n_++] = {sh, sh->stamp.Acquire(&fs_->ctx_->clock, &waited)};
+    held_[n_++] = {sh, sh->stamp.Acquire(&fs_->ctx_->clock, &waited), idx[i]};
     waited_total += waited;
   }
   obs::ReportWait(&fs_->ctx_->obs, &fs_->ctx_->clock, "ext4.dentry_shard", waited_total);
 }
 
 Ext4Dax::NsLock::~NsLock() {
+  analysis::LockWitness* w = analysis::LockWitness::Global();
   while (n_ > 0) {
     Held& h = held_[--n_];
+    if (w != nullptr) {
+      w->Release(DentryShardSite(), h.idx + 1);
+    }
     h.shard->stamp.Release(&fs_->ctx_->clock, h.t0);
     h.shard->mu.unlock();
   }
@@ -146,6 +157,9 @@ bool Ext4Dax::DirAlive(const InodeRef& dir) const {
 Ext4Dax::InodeRef Ext4Dax::AllocateInode(FileType type) {
   auto inode = std::make_shared<Inode>(&ctx_->clock, &ctx_->obs);
   inode->ino = next_ino_.fetch_add(1, std::memory_order_relaxed);
+  // Witness order key: relink takes two inode range locks by ascending ino, and
+  // the key turns an inverted pair at that one site into an "order" violation.
+  inode->range_lock.SetWitnessOrderKey(inode->ino);
   inode->type = type;
   inode->nlink = type == FileType::kDirectory ? 2 : 1;
   InodeRef ref = inode;
@@ -268,6 +282,7 @@ int Ext4Dax::Open(const std::string& path, int flags) {
     }
     Journal::Handle handle(&journal_);
     std::shared_lock<std::shared_mutex> ns(rename_mu_);
+    analysis::ScopedLockNote ns_note(analysis::LockWitness::Global(), NamespaceSite());
     NsLock shard(this, {dir->ino});
     if (!DirAlive(dir)) {
       return -ENOENT;  // Parent removed between resolution and the shard lock.
@@ -739,6 +754,7 @@ int Ext4Dax::Unlink(const std::string& path) {
   }
   Journal::Handle handle(&journal_);
   std::shared_lock<std::shared_mutex> ns(rename_mu_);
+  analysis::ScopedLockNote ns_note(analysis::LockWitness::Global(), NamespaceSite());
   NsLock shard(this, {dir->ino});
   if (!DirAlive(dir)) {
     return -ENOENT;
@@ -809,6 +825,7 @@ int Ext4Dax::Rename(const std::string& from, const std::string& to) {
     } else {
       ns_shared = std::shared_lock<std::shared_mutex>(rename_mu_);
     }
+    analysis::ScopedLockNote ns_note(analysis::LockWitness::Global(), NamespaceSite());
     NsLock shards(this, {from_dir->ino, to_dir->ino});
     if (!DirAlive(from_dir) || !DirAlive(to_dir)) {
       return -ENOENT;
@@ -982,6 +999,7 @@ int Ext4Dax::Mkdir(const std::string& path) {
   }
   Journal::Handle handle(&journal_);
   std::shared_lock<std::shared_mutex> ns(rename_mu_);
+  analysis::ScopedLockNote ns_note(analysis::LockWitness::Global(), NamespaceSite());
   NsLock shard(this, {dir->ino});
   if (!DirAlive(dir)) {
     return -ENOENT;
@@ -1020,6 +1038,7 @@ int Ext4Dax::Rmdir(const std::string& path) {
   }
   Journal::Handle handle(&journal_);
   std::shared_lock<std::shared_mutex> ns(rename_mu_);
+  analysis::ScopedLockNote ns_note(analysis::LockWitness::Global(), NamespaceSite());
   // Removes `gone` from `dir`; the caller holds the shard locks covering both (one
   // NsLock covering dir and gone), so the emptiness check and the unlink are atomic.
   auto remove = [this, &dir, &leaf](Ino gone) -> int {
@@ -1280,7 +1299,9 @@ int Ext4Dax::SwapExtentsForRelink(int src_fd, uint64_t src_off, int dst_fd,
     vfs::RangeWriteGuard r1(&lo->range_lock, 0, vfs::RangeLock::kWholeFile);
     vfs::RangeWriteGuard r2(&hi->range_lock, 0, vfs::RangeLock::kWholeFile);
     std::unique_lock<std::shared_mutex> l1(lo->mu);
+    analysis::ScopedLockNote n1(analysis::LockWitness::Global(), InodeMuSite(), lo->ino);
     std::unique_lock<std::shared_mutex> l2(hi->mu);
+    analysis::ScopedLockNote n2(analysis::LockWitness::Global(), InodeMuSite(), hi->ino);
     sim::ScopedResourceTime t1(&lo->stamp, &ctx_->clock);
     sim::ScopedResourceTime t2(&hi->stamp, &ctx_->clock);
     obs::ReportWait(&ctx_->obs, &ctx_->clock, "ext4.inode_lock",

@@ -250,8 +250,25 @@ class Ext4Dax : public vfs::FileSystem {
     struct Held {
       NsShard* shard;
       uint64_t t0;
+      size_t idx;  // Shard index; witness order key is idx + 1.
     } held_[3];
   };
+
+  // Witness site ids for the namespace-level locks (see the lock-order comment at
+  // the top of this file). The per-inode range locks report through vfs::RangeLock
+  // itself ("ext4.inode_range", order key = ino).
+  static int NamespaceSite() {
+    static const int kSite = analysis::LockSite("ksplit.namespace");
+    return kSite;
+  }
+  static int DentryShardSite() {
+    static const int kSite = analysis::LockSite("ksplit.dentry_shard");
+    return kSite;
+  }
+  static int InodeMuSite() {
+    static const int kSite = analysis::LockSite("ksplit.inode_mu");
+    return kSite;
+  }
 
   InodeRef GetInode(vfs::Ino ino) const;       // Inode-table shared lock (leaf).
   void InsertInode(InodeRef inode);            // Inode-table unique lock (leaf).

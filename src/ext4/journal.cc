@@ -5,6 +5,8 @@
 #include <chrono>
 #include <thread>
 
+#include "src/analysis/annotations.h"
+#include "src/analysis/persist_checker.h"
 #include "src/common/bytes.h"
 #include "src/common/service_pool.h"
 
@@ -60,6 +62,7 @@ Journal::~Journal() { ctx_->obs.metrics.DeregisterGauges("journal."); }
 
 void Journal::Dirty(uint64_t meta_block_id, std::function<void()> undo) {
   std::lock_guard<std::mutex> lock(state_mu_);
+  analysis::ScopedLockNote note(analysis::LockWitness::Global(), StateSite());
   running_->dirty.insert(meta_block_id);
   if (undo) {
     running_->undo.push_back(std::move(undo));
@@ -68,6 +71,7 @@ void Journal::Dirty(uint64_t meta_block_id, std::function<void()> undo) {
 
 void Journal::OnCommit(std::function<void()> action) {
   std::lock_guard<std::mutex> lock(state_mu_);
+  analysis::ScopedLockNote note(analysis::LockWitness::Global(), StateSite());
   running_->on_commit.push_back(std::move(action));
 }
 
@@ -174,20 +178,46 @@ void Journal::ChargeCommitIo(const std::set<uint64_t>* dirty_ids, size_t n_anon_
   // All land in the journal region of PM; the journal area is written with real bytes
   // so wear accounting and the write-amplification comparisons are honest.
   static thread_local std::array<uint8_t, kBlockSize> scratch{};
+  analysis::ScopedLintSite lint("journal.commit");
   size_t n_meta_blocks = (dirty_ids != nullptr ? dirty_ids->size() : 0) + n_anon_blocks;
   size_t total_blocks = n_meta_blocks + 2;
   EnsureLogSpaceLocked(total_blocks * kBlockSize);
-  for (size_t i = 0; i < total_blocks; ++i) {
+  auto store_block = [this]() {
     if (write_cursor_ + kBlockSize > journal_bytes_) {
       write_cursor_ = 0;
     }
-    dev_->StoreNt(journal_start_ + write_cursor_, scratch.data(), kBlockSize,
-                  sim::PmWriteKind::kJournal);
+    uint64_t off = journal_start_ + write_cursor_;
+    dev_->StoreNt(off, scratch.data(), kBlockSize, sim::PmWriteKind::kJournal);
     write_cursor_ += kBlockSize;
+    return off;
+  };
+  // Descriptor + logged metadata blocks first; they are the commit record's payload
+  // (rule (b), strict: the record must reach a *later* fence than every payload
+  // block, or a crash between them can expose a committed-looking transaction whose
+  // body never drained).
+  for (size_t i = 0; i + 1 < total_blocks; ++i) {
+    uint64_t off = store_block();
+    analysis::CoverPayload(dev_, off, kBlockSize);
   }
-  // Fence before the commit record, fence after (JBD2's ordering requirement).
-  dev_->Fence();
-  dev_->Fence();
+  if (!legacy_commit_order_for_test_) {
+    // JBD2's ordering: fence the payload, then store the commit record, then fence
+    // it. The payload fence persists n_meta_blocks+1 nt-stores (pm_store_fence_ns);
+    // the old order issued both fences after the record, leaving the second one
+    // empty (fence_ns) and the record ordered *with* its payload, not after it.
+    dev_->Fence();
+    uint64_t rec_off = store_block();
+    analysis::SealCover(dev_, rec_off, kBlockSize, /*strict=*/true, "journal.commit");
+    dev_->Fence();
+  } else {
+    // Test-only mutation (set_legacy_commit_order_for_test): the pre-fix order —
+    // record stored with the payload, both fences after. The checker's strict
+    // publish-before-persist rule must flag the record persisting at the same
+    // fence as its payload, and the second fence is an empty-fence lint hit.
+    uint64_t rec_off = store_block();
+    analysis::SealCover(dev_, rec_off, kBlockSize, /*strict=*/true, "journal.commit");
+    dev_->Fence();
+    dev_->Fence();
+  }
   ctx_->ChargeCpu(ctx_->model.ext4_journal_commit_cpu_ns);
   ctx_->stats.AddJournalCommit();
   commits_.fetch_add(1, std::memory_order_relaxed);
@@ -314,6 +344,7 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
   // The pipeline slot: one transaction writes out at a time. Queueing here is the
   // real jbd2 wait "for the previous commit to finish before starting ours".
   std::unique_lock<std::mutex> pipeline(commit_mu_);
+  analysis::ScopedLockNote pipeline_note(analysis::LockWitness::Global(), PipelineSite());
   if (CommittedTid() >= target) {
     // Another committer carried our tid (or a later one sealed it into its own
     // commit) while we queued; we really waited for that service time.
@@ -358,7 +389,9 @@ void Journal::CommitTid(uint64_t target, bool fsync_barrier) {
     // only for this swap — the commit captures every joined operation complete,
     // none half-done, and T_{n+1} starts accepting handles the moment we release.
     std::unique_lock<std::shared_mutex> barrier(handle_mu_);
+    analysis::ScopedLockNote barrier_note(analysis::LockWitness::Global(), BarrierSite());
     std::lock_guard<std::mutex> state(state_mu_);
+    analysis::ScopedLockNote state_note(analysis::LockWitness::Global(), StateSite());
     // We hold the pipeline slot and committed < target, so the target can only be
     // the (non-empty) running transaction — unless a recovery discarded it, in
     // which case there is nothing left to write.
@@ -429,6 +462,7 @@ void Journal::CommitStandalone(size_t n_meta_blocks) {
   // Serializes on the pipeline slot (the journal region has one write cursor) but
   // bypasses the transaction stream entirely.
   std::lock_guard<std::mutex> pipeline(commit_mu_);
+  analysis::ScopedLockNote pipeline_note(analysis::LockWitness::Global(), PipelineSite());
   sim::ScopedResourceTime commit_time(&commit_stamp_, &ctx_->clock);
   obs::ReportWait(&ctx_->obs, &ctx_->clock, "journal.pipeline_slot",
                   commit_time.waited_ns());
@@ -438,7 +472,9 @@ void Journal::CommitStandalone(size_t n_meta_blocks) {
 
 void Journal::RecoverDiscardRunning() {
   std::unique_lock<std::mutex> pipeline(commit_mu_);
+  analysis::ScopedLockNote pipeline_note(analysis::LockWitness::Global(), PipelineSite());
   std::unique_lock<std::shared_mutex> barrier(handle_mu_);
+  analysis::ScopedLockNote barrier_note(analysis::LockWitness::Global(), BarrierSite());
   // Oldest-first concatenation: an unsealed committing transaction's mutations
   // predate everything in the running transaction.
   std::vector<std::function<void()>> undos;

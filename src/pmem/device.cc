@@ -1,15 +1,35 @@
 #include "src/pmem/device.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/analysis/persist_checker.h"
 
 namespace pmem {
 
 using common::kCacheLineSize;
 
+namespace {
+bool EnvAnalysisOn() {
+  const char* v = std::getenv("SPLITFS_ANALYSIS");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+}  // namespace
+
 Device::Device(sim::Context* ctx, uint64_t size) : ctx_(ctx), data_(size, 0) {
   SPLITFS_CHECK(ctx != nullptr);
   SPLITFS_CHECK(size > 0);
+  if (EnvAnalysisOn()) {
+    // Analysis mode: every device gets its own halt-on-violation checker, wired
+    // into this context's metrics registry for the per-site lint gauges.
+    owned_checker_ = std::make_unique<analysis::PersistChecker>(
+        analysis::PersistChecker::Mode::kHalt, &ctx->obs.metrics);
+    checker_ = owned_checker_.get();
+  }
 }
+
+Device::~Device() = default;
 
 void Device::EnableCrashTracking(bool on) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -54,6 +74,9 @@ void Device::StoreTemporal(uint64_t off, const void* src, uint64_t n,
   if (observer_ != nullptr) {
     observer_->OnStore(off, n, /*persists_at_fence=*/false);
   }
+  if (checker_ != nullptr) {
+    checker_->OnStore(off, n, /*persists_at_fence=*/false);
+  }
   // Temporal stores land in cache: cheap now, media cost charged at Clwb time.
   uint64_t ns = static_cast<uint64_t>(ctx_->model.dram_ns_per_byte * n);
   ctx_->clock.Advance(ns);
@@ -74,6 +97,9 @@ void Device::StoreNt(uint64_t off, const void* src, uint64_t n, sim::PmWriteKind
   }
   if (observer_ != nullptr) {
     observer_->OnStore(off, n, /*persists_at_fence=*/true);
+  }
+  if (checker_ != nullptr) {
+    checker_->OnStore(off, n, /*persists_at_fence=*/true);
   }
   // Full media cost at the store: this is the Table 1 calibration anchor
   // (91 + 4096 * 0.1416 ≈ 671 ns for one 4 KB block).
@@ -103,6 +129,9 @@ void Device::Clwb(uint64_t off, uint64_t n) {
   if (observer_ != nullptr) {
     observer_->OnClwb(off, n);
   }
+  if (checker_ != nullptr) {
+    checker_->OnClwb(off, n);
+  }
   // Write-back of dirty lines at PM write bandwidth.
   uint64_t bytes = lines * kCacheLineSize;
   ctx_->clock.Advance(static_cast<uint64_t>(ctx_->model.pm_write_ns_per_byte * bytes));
@@ -113,7 +142,13 @@ void Device::Fence() {
   // un-fenced store as vulnerable.
   uint64_t epoch = fence_epoch_.fetch_add(1, std::memory_order_relaxed);
   if (observer_ != nullptr) {
+    // The primary observer goes first: a crash injector that unwinds from here
+    // leaves the checker's pre-fence shadow intact — CrashWith then resets it
+    // through OnCrash, matching the lines it reverted.
     observer_->OnFence(epoch);
+  }
+  if (checker_ != nullptr) {
+    checker_->OnFence(epoch);
   }
   bool persisting = false;
   if (tracking_) {
@@ -181,6 +216,12 @@ void Device::CrashWith(const LineFateFn& fate) {
   }
   pending_.clear();
   pending_flush_bytes_ = 0;
+  if (checker_ != nullptr) {
+    checker_->OnCrash();
+  }
+  if (observer_ != nullptr) {
+    observer_->OnCrash();
+  }
 }
 
 uint64_t Device::UnpersistedLines() const {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,10 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/sim/context.h"
+
+namespace analysis {
+class PersistChecker;
+}
 
 namespace pmem {
 
@@ -48,12 +53,21 @@ class DeviceObserver {
   virtual void OnClwb(uint64_t off, uint64_t n) = 0;
   // At the start of a fence; `epoch` counts fences completed so far.
   virtual void OnFence(uint64_t epoch) = 0;
+  // After CrashWith decided every pending line's fate: the observer's shadow of
+  // the volatile state must reset with the DRAM it models. Default no-op (the
+  // crash harness's ShadowLog is reinstalled per world and never needs it).
+  virtual void OnCrash() {}
 };
 
 class Device {
  public:
   // Creates a device of `size` bytes, zero-initialized, charging time to `ctx`.
+  // With SPLITFS_ANALYSIS=1 in the environment, a halt-on-violation
+  // analysis::PersistChecker is created and installed automatically (see
+  // src/analysis/), so every existing suite runs checked without source
+  // changes. Out-of-line dtor: the owned checker's type is incomplete here.
   Device(sim::Context* ctx, uint64_t size);
+  ~Device();
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -103,6 +117,17 @@ class Device {
   void SetObserver(DeviceObserver* observer) { observer_ = observer; }
   uint64_t FenceEpoch() const { return fence_epoch_.load(std::memory_order_relaxed); }
 
+  // --- Observation (analysis layer) ----------------------------------------------------
+  // A second, dedicated observer slot for the persistence-ordering checker: the
+  // crash harness owns SetObserver, and the two must compose (the checker keeps
+  // shadowing while a crash injector arms and fires). Notified after the primary
+  // observer — a crash injector that unwinds from OnFence skips the checker's
+  // fence, and CrashWith's OnCrash resets the checker's shadow state instead.
+  // Installs a non-owned checker (tests); pass nullptr to remove.
+  void SetPersistChecker(analysis::PersistChecker* checker) { checker_ = checker; }
+  // Installed checker, or nullptr — annotation helpers branch on this.
+  analysis::PersistChecker* persist_checker() const { return checker_; }
+
   // --- Crash simulation ----------------------------------------------------------------
   void EnableCrashTracking(bool on);
   bool crash_tracking() const { return tracking_; }
@@ -141,6 +166,8 @@ class Device {
   std::vector<uint8_t> data_;
   bool tracking_ = false;
   DeviceObserver* observer_ = nullptr;
+  analysis::PersistChecker* checker_ = nullptr;
+  std::unique_ptr<analysis::PersistChecker> owned_checker_;  // Env auto-install.
   std::atomic<uint64_t> fence_epoch_{0};
 
   mutable std::mutex mu_;

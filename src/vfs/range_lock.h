@@ -38,6 +38,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/analysis/lock_witness.h"
 #include "src/obs/obs.h"
 #include "src/sim/clock.h"
 
@@ -57,6 +58,14 @@ class RangeLock {
   RangeLock(const RangeLock&) = delete;
   RangeLock& operator=(const RangeLock&) = delete;
 
+  // Lock-order witness key for same-site nested acquisitions: K-Split's
+  // per-inode range locks set their ino (the documented ascending-ino
+  // discipline becomes a checked invariant); 0 (the default) opts out of the
+  // same-site ordering check. The witness site id itself is the `resource`
+  // name, so every RangeLock acquisition is graph-visible when analysis mode
+  // is on (one null branch otherwise).
+  void SetWitnessOrderKey(uint64_t key) { witness_key_ = key; }
+
   void LockShared(uint64_t off, uint64_t len) { Lock(off, len, /*exclusive=*/false); }
   void LockExclusive(uint64_t off, uint64_t len) { Lock(off, len, /*exclusive=*/true); }
 
@@ -68,6 +77,7 @@ class RangeLock {
       return false;
     }
     held_.push_back({off, EndOf(off, len), true, clock_ != nullptr ? clock_->Now() : 0});
+    WitnessAcquireLocked(analysis::LockWitness::Kind::kTry);
     return true;
   }
 
@@ -85,6 +95,10 @@ class RangeLock {
         }
       }
       contended = !waiters_.empty();
+      if (analysis::LockWitness* w = analysis::LockWitness::Global();
+          w != nullptr && site_ >= 0) {
+        w->Release(site_, witness_key_);
+      }
       if (clock_ != nullptr && exclusive && AnyWaiterOverlaps(off, end)) {
         // Somebody overlapping is blocked on this range right now: account our
         // section's duration into the range's busy time, so the waiters' virtual
@@ -251,6 +265,19 @@ class RangeLock {
       t0 = clock_->Now();
     }
     held_.push_back({off, end, exclusive, t0});
+    WitnessAcquireLocked(analysis::LockWitness::Kind::kBlocking);
+  }
+
+  // Caller holds mu_ (site_ initialization is serialized by it).
+  void WitnessAcquireLocked(analysis::LockWitness::Kind kind) {
+    analysis::LockWitness* w = analysis::LockWitness::Global();
+    if (w == nullptr) {
+      return;
+    }
+    if (site_ < 0) {
+      site_ = analysis::LockWitness::RegisterSite(resource_);
+    }
+    w->Acquire(site_, witness_key_, kind);
   }
 
   sim::Clock* clock_;
@@ -262,6 +289,8 @@ class RangeLock {
   std::vector<Waiter*> waiters_;   // Registered while blocked (stack nodes).
   std::list<RangeStamp> stamps_;   // ResourceStamp is unmovable: node storage.
   int waiting_exclusive_ = 0;
+  uint64_t witness_key_ = 0;       // Same-site order key (K-Split: ino).
+  int site_ = -1;                  // Lazily interned witness site id.
 };
 
 // RAII guards. Length kWholeFile locks the entire file.

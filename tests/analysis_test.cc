@@ -1,0 +1,539 @@
+// Tests for the src/analysis correctness-tooling layer: PersistChecker rule
+// semantics driven directly against a pmem::Device, LockWitness order-graph
+// semantics, the mutation self-tests (each checker rule demonstrated against a
+// deliberately broken protocol), and the zero-cost guarantee (bit-identical
+// virtual timelines with the checkers installed).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/annotations.h"
+#include "src/analysis/lock_witness.h"
+#include "src/analysis/persist_checker.h"
+#include "src/common/bytes.h"
+#include "src/core/oplog.h"
+#include "src/core/split_fs.h"
+#include "src/ext4/journal.h"
+#include "src/pmem/device.h"
+#include "src/vfs/range_lock.h"
+
+namespace {
+
+using analysis::LockWitness;
+using analysis::PersistChecker;
+using common::kBlockSize;
+using common::kCacheLineSize;
+using common::kMiB;
+using ext4sim::Journal;
+using ext4sim::MetaBlockId;
+using ext4sim::MetaKind;
+using splitfs::LogEntry;
+using splitfs::LogOp;
+using splitfs::Mode;
+using splitfs::OpLog;
+using splitfs::Options;
+using splitfs::SplitFs;
+
+// --- PersistChecker rule semantics (device-level) -------------------------------------
+
+class PersistCheckerTest : public ::testing::Test {
+ protected:
+  PersistCheckerTest()
+      : dev_(&ctx_, 4 * kMiB), checker_(PersistChecker::Mode::kCollect) {
+    dev_.SetPersistChecker(&checker_);
+  }
+
+  void Store(uint64_t off, uint8_t fill = 0xAB) {
+    std::vector<uint8_t> buf(kCacheLineSize, fill);
+    dev_.StoreTemporal(off, buf.data(), buf.size(), sim::PmWriteKind::kMetadata);
+  }
+  void StoreNt(uint64_t off, uint8_t fill = 0xCD) {
+    std::vector<uint8_t> buf(kCacheLineSize, fill);
+    dev_.StoreNt(off, buf.data(), buf.size(), sim::PmWriteKind::kUserData);
+  }
+
+  sim::Context ctx_;
+  pmem::Device dev_;
+  PersistChecker checker_;
+};
+
+TEST_F(PersistCheckerTest, TemporalStoreVolatileUntilClwbAndFence) {
+  Store(0);
+  checker_.RequireDurable(0, kCacheLineSize, "test.site");
+  ASSERT_EQ(checker_.violation_count(), 1u);
+  EXPECT_EQ(checker_.violations()[0].rule, "acked_but_volatile");
+  EXPECT_EQ(checker_.violations()[0].site, "test.site");
+
+  // Flushed but not fenced: still volatile.
+  dev_.Clwb(0, kCacheLineSize);
+  checker_.RequireDurable(0, kCacheLineSize, "test.site");
+  EXPECT_EQ(checker_.violation_count(), 2u);
+
+  dev_.Fence();
+  checker_.RequireDurable(0, kCacheLineSize, "test.site");
+  EXPECT_EQ(checker_.violation_count(), 2u);  // Durable now: no new violation.
+}
+
+TEST_F(PersistCheckerTest, NtStorePersistsAtFence) {
+  StoreNt(kCacheLineSize);
+  checker_.RequireDurable(kCacheLineSize, kCacheLineSize, "test.nt");
+  EXPECT_EQ(checker_.violation_count(), 1u);
+  dev_.Fence();
+  checker_.RequireDurable(kCacheLineSize, kCacheLineSize, "test.nt");
+  EXPECT_EQ(checker_.violation_count(), 1u);
+}
+
+TEST_F(PersistCheckerTest, NeverStoredRangeIsDurable) {
+  checker_.RequireDurable(1024, kCacheLineSize, "test.untouched");
+  EXPECT_EQ(checker_.violation_count(), 0u);
+}
+
+TEST_F(PersistCheckerTest, DurabilityPointChecksAndClearsDeps) {
+  constexpr uint64_t kIno = 42;
+  StoreNt(0);
+  checker_.AddDep(kIno, 0, kCacheLineSize);
+  checker_.DurabilityPoint(kIno, "test.fsync");
+  ASSERT_EQ(checker_.violation_count(), 1u);
+  EXPECT_EQ(checker_.violations()[0].rule, "acked_but_volatile");
+  // The point cleared the dep set even though it fired: the next point only
+  // answers for writes registered after it.
+  checker_.DurabilityPoint(kIno, "test.fsync");
+  EXPECT_EQ(checker_.violation_count(), 1u);
+}
+
+TEST_F(PersistCheckerTest, DroppedDepsAreNotChecked) {
+  constexpr uint64_t kIno = 7;
+  StoreNt(0);
+  StoreNt(kCacheLineSize);
+  checker_.AddDep(kIno, 0, kCacheLineSize);
+  checker_.AddDep(kIno, kCacheLineSize, kCacheLineSize);
+  // First range leaves the contract (published / truncated away) unfenced...
+  checker_.DropDeps(kIno, 0, kCacheLineSize);
+  dev_.Fence();
+  // ...and the point only answers for the second, now-durable range.
+  checker_.DurabilityPoint(kIno, "test.fsync");
+  EXPECT_EQ(checker_.violation_count(), 0u);
+
+  StoreNt(2 * kCacheLineSize);
+  checker_.AddDep(kIno, 2 * kCacheLineSize, kCacheLineSize);
+  checker_.DropAllDeps(kIno);
+  checker_.DurabilityPoint(kIno, "test.fsync");
+  EXPECT_EQ(checker_.violation_count(), 0u);
+}
+
+TEST_F(PersistCheckerTest, LaxCoverAllowsSharedFence) {
+  // Op-log §3.3 design: entry and payload persist at one fence.
+  StoreNt(0);                                   // Payload.
+  checker_.CoverPayload(0, kCacheLineSize);
+  StoreNt(kCacheLineSize);                      // Record.
+  checker_.SealCover(kCacheLineSize, kCacheLineSize, /*strict=*/false, "test.lax");
+  dev_.Fence();
+  EXPECT_EQ(checker_.violation_count(), 0u);
+}
+
+TEST_F(PersistCheckerTest, StrictCoverRequiresEarlierFence) {
+  // jbd2 commit-record discipline: payload must persist at an earlier fence.
+  StoreNt(0);
+  checker_.CoverPayload(0, kCacheLineSize);
+  StoreNt(kCacheLineSize);
+  checker_.SealCover(kCacheLineSize, kCacheLineSize, /*strict=*/true, "test.strict");
+  dev_.Fence();  // Both persist here: strict violation.
+  ASSERT_EQ(checker_.violation_count(), 1u);
+  EXPECT_EQ(checker_.violations()[0].rule, "publish_before_persist");
+  EXPECT_EQ(checker_.violations()[0].site, "test.strict");
+}
+
+TEST_F(PersistCheckerTest, StrictCoverPassesWithInterveningFence) {
+  StoreNt(0);
+  checker_.CoverPayload(0, kCacheLineSize);
+  dev_.Fence();  // Payload durable first.
+  StoreNt(kCacheLineSize);
+  checker_.SealCover(kCacheLineSize, kCacheLineSize, /*strict=*/true, "test.strict");
+  dev_.Fence();
+  EXPECT_EQ(checker_.violation_count(), 0u);
+}
+
+TEST_F(PersistCheckerTest, RecordPersistingBeforePayloadFailsEvenLax) {
+  Store(0);  // Payload: temporal, never flushed — volatile across any fence.
+  checker_.CoverPayload(0, kCacheLineSize);
+  StoreNt(kCacheLineSize);  // Record: persists at the next fence.
+  checker_.SealCover(kCacheLineSize, kCacheLineSize, /*strict=*/false,
+                     "test.record_first");
+  dev_.Fence();  // Record durable, payload still volatile: the classic hazard.
+  ASSERT_EQ(checker_.violation_count(), 1u);
+  EXPECT_EQ(checker_.violations()[0].rule, "publish_before_persist");
+  EXPECT_EQ(checker_.violations()[0].site, "test.record_first");
+}
+
+TEST_F(PersistCheckerTest, AbandonCoverDropsOpenCover) {
+  StoreNt(0);
+  checker_.CoverPayload(0, kCacheLineSize);
+  checker_.AbandonCover();  // Back-out path: the record is never stored.
+  StoreNt(kCacheLineSize);
+  checker_.SealCover(kCacheLineSize, kCacheLineSize, /*strict=*/true, "test.fresh");
+  dev_.Fence();
+  // The abandoned payload must not have leaked into the fresh cover: the fresh
+  // record covers nothing, so even strict passes.
+  EXPECT_EQ(checker_.violation_count(), 0u);
+}
+
+TEST_F(PersistCheckerTest, CrashResetsShadowState) {
+  StoreNt(0);
+  dev_.EnableCrashTracking(true);
+  StoreNt(kCacheLineSize);
+  dev_.CrashWith([](uint64_t, uint64_t) { return uint8_t{0}; });  // Drop all.
+  // Post-crash the shadow resets with the DRAM it models: no stale pending.
+  checker_.RequireDurable(0, 2 * kCacheLineSize, "test.postcrash");
+  EXPECT_EQ(checker_.violation_count(), 0u);
+}
+
+TEST_F(PersistCheckerTest, LintCountsRedundantFlushesAndEmptyFencesPerSite) {
+  EXPECT_EQ(checker_.redundant_flushes(), 0u);
+  EXPECT_EQ(checker_.empty_fences(), 0u);
+  {
+    analysis::ScopedLintSite lint("test.hot_path");
+    Store(0);
+    dev_.Clwb(0, kCacheLineSize);
+    dev_.Clwb(0, kCacheLineSize);  // Nothing left to flush: redundant.
+    dev_.Fence();
+    dev_.Fence();  // Nothing armed: empty.
+  }
+  EXPECT_EQ(checker_.redundant_flushes(), 1u);
+  EXPECT_EQ(checker_.empty_fences(), 1u);
+  auto rf = checker_.redundant_flushes_by_site();
+  auto ef = checker_.empty_fences_by_site();
+  EXPECT_EQ(rf["test.hot_path"], 1u);
+  EXPECT_EQ(ef["test.hot_path"], 1u);
+  // Outside any scope the counts attribute to "unannotated".
+  dev_.Fence();
+  EXPECT_EQ(checker_.empty_fences_by_site()["unannotated"], 1u);
+}
+
+TEST(PersistCheckerMetricsTest, LintGaugesExportThroughObsRegistry) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, kMiB);
+  {
+    PersistChecker checker(PersistChecker::Mode::kCollect, &ctx.obs.metrics);
+    dev.SetPersistChecker(&checker);
+    analysis::ScopedLintSite lint("test.gauged");
+    dev.Fence();  // Empty: nothing armed.
+    bool total_seen = false, site_seen = false;
+    for (const auto& s : ctx.obs.metrics.Snapshot()) {
+      if (s.name == "analysis.empty_fence_total") {
+        total_seen = true;
+        EXPECT_EQ(s.value, 1u);
+      }
+      if (s.name == "analysis.empty_fence.test.gauged") {
+        site_seen = true;
+        EXPECT_EQ(s.value, 1u);
+      }
+    }
+    EXPECT_TRUE(total_seen);
+    EXPECT_TRUE(site_seen);
+    dev.SetPersistChecker(nullptr);
+  }
+  // The destructor deregistered its gauges: a later snapshot cannot call into
+  // the destroyed checker.
+  for (const auto& s : ctx.obs.metrics.Snapshot()) {
+    EXPECT_NE(s.name.rfind("analysis.", 0), 0u) << s.name;
+  }
+}
+
+// --- LockWitness order-graph semantics ------------------------------------------------
+
+int SiteA() { static const int s = analysis::LockSite("test.A"); return s; }
+int SiteB() { static const int s = analysis::LockSite("test.B"); return s; }
+int SiteC() { static const int s = analysis::LockSite("test.C"); return s; }
+
+TEST(LockWitnessTest, ConsistentOrderAccumulatesEdgesWithoutViolations) {
+  LockWitness w(LockWitness::Mode::kCollect);
+  w.Acquire(SiteA(), 0, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteB(), 0, LockWitness::Kind::kBlocking);
+  w.Release(SiteB(), 0);
+  w.Release(SiteA(), 0);
+  EXPECT_EQ(w.violation_count(), 0u);
+  EXPECT_EQ(w.edge_count(), 1u);
+  std::vector<std::string> edges = w.EdgeList();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], "test.A -> test.B");
+}
+
+TEST(LockWitnessTest, InvertedOrderReportsCycleWithoutDeadlock) {
+  LockWitness w(LockWitness::Mode::kCollect);
+  w.Acquire(SiteA(), 0, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteB(), 0, LockWitness::Kind::kBlocking);
+  w.Release(SiteB(), 0);
+  w.Release(SiteA(), 0);
+  // Same thread, opposite order, fully serialized — no deadlock ever fires,
+  // the witness still reports the cycle the moment the closing edge lands.
+  w.Acquire(SiteB(), 0, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteA(), 0, LockWitness::Kind::kBlocking);
+  w.Release(SiteA(), 0);
+  w.Release(SiteB(), 0);
+  ASSERT_EQ(w.violation_count(), 1u);
+  EXPECT_EQ(w.violations()[0].kind, "cycle");
+}
+
+TEST(LockWitnessTest, TransitiveCycleDetected) {
+  LockWitness w(LockWitness::Mode::kCollect);
+  auto pair = [&w](int a, int b) {
+    w.Acquire(a, 0, LockWitness::Kind::kBlocking);
+    w.Acquire(b, 0, LockWitness::Kind::kBlocking);
+    w.Release(b, 0);
+    w.Release(a, 0);
+  };
+  pair(SiteA(), SiteB());
+  pair(SiteB(), SiteC());
+  EXPECT_EQ(w.violation_count(), 0u);
+  pair(SiteC(), SiteA());  // Closes A -> B -> C -> A.
+  ASSERT_EQ(w.violation_count(), 1u);
+  EXPECT_EQ(w.violations()[0].kind, "cycle");
+}
+
+TEST(LockWitnessTest, TryAcquisitionsAddNoEdgesButStayHeld) {
+  LockWitness w(LockWitness::Mode::kCollect);
+  // Checkpoint-sweep shape: checkpoint mutex held (blocking), per-file range
+  // locks only ever *tried* under it.
+  w.Acquire(SiteA(), 0, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteB(), 0, LockWitness::Kind::kTry);
+  EXPECT_EQ(w.edge_count(), 0u);  // Try adds no A -> B edge.
+  // A blocking acquisition while the try-lock is held still records edges out
+  // of it: the try-held lock is real for *later* deadlock halves.
+  w.Acquire(SiteC(), 0, LockWitness::Kind::kBlocking);
+  EXPECT_EQ(w.edge_count(), 2u);  // A -> C and B -> C.
+  w.Release(SiteC(), 0);
+  w.Release(SiteB(), 0);
+  w.Release(SiteA(), 0);
+  // The writer-side order B -> A therefore cannot form a cycle with the sweep.
+  w.Acquire(SiteB(), 0, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteA(), 0, LockWitness::Kind::kBlocking);
+  w.Release(SiteA(), 0);
+  w.Release(SiteB(), 0);
+  EXPECT_EQ(w.violation_count(), 0u);
+}
+
+TEST(LockWitnessTest, SameSiteAscendingKeysPassDescendingFail) {
+  LockWitness w(LockWitness::Mode::kCollect);
+  // Ascending-ino discipline holds...
+  w.Acquire(SiteA(), 3, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteA(), 5, LockWitness::Kind::kBlocking);
+  w.Release(SiteA(), 5);
+  w.Release(SiteA(), 3);
+  EXPECT_EQ(w.violation_count(), 0u);
+  // ...and its inversion is an order violation even though nothing deadlocked.
+  w.Acquire(SiteA(), 5, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteA(), 3, LockWitness::Kind::kBlocking);
+  w.Release(SiteA(), 3);
+  w.Release(SiteA(), 5);
+  ASSERT_EQ(w.violation_count(), 1u);
+  EXPECT_EQ(w.violations()[0].kind, "order");
+}
+
+TEST(LockWitnessTest, KeyZeroOptsOutOfSameSiteOrdering) {
+  LockWitness w(LockWitness::Mode::kCollect);
+  w.Acquire(SiteB(), 0, LockWitness::Kind::kBlocking);
+  w.Acquire(SiteB(), 0, LockWitness::Kind::kBlocking);
+  w.Release(SiteB(), 0);
+  w.Release(SiteB(), 0);
+  EXPECT_EQ(w.violation_count(), 0u);
+}
+
+// --- Mutation self-tests: every checker rule demonstrated against a broken protocol --
+
+class OpLogMutationTest : public ::testing::Test {
+ protected:
+  OpLogMutationTest()
+      : dev_(&ctx_, 128 * kMiB),
+        checker_(PersistChecker::Mode::kCollect),
+        kfs_(&dev_),
+        log_(&kfs_, "/oplog", 64 * 1024) {
+    dev_.SetPersistChecker(&checker_);
+  }
+
+  LogEntry MakeEntry(uint64_t n) {
+    LogEntry e;
+    e.op = LogOp::kAppend;
+    e.target_ino = 100 + n;
+    e.file_off = n * 4096;
+    e.staging_ino = 7;
+    e.staging_off = n * 4096;
+    e.len = 4096;
+    return e;
+  }
+
+  sim::Context ctx_;
+  pmem::Device dev_;
+  PersistChecker checker_;
+  ext4sim::Ext4Dax kfs_;
+  OpLog log_;
+};
+
+TEST_F(OpLogMutationTest, IntactAppendProtocolIsClean) {
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(log_.Append(MakeEntry(i)));
+  }
+  EXPECT_EQ(checker_.violation_count(), 0u);
+}
+
+TEST_F(OpLogMutationTest, RemovedFenceFiresAckedButVolatile) {
+  // Mutation for rule (a): drop THE single fence after the entry store. The
+  // entry is acked (Append returns true) while its line is still volatile.
+  log_.set_skip_fence_for_test(true);
+  ASSERT_TRUE(log_.Append(MakeEntry(1)));
+  ASSERT_GE(checker_.violation_count(), 1u);
+  EXPECT_EQ(checker_.violations()[0].rule, "acked_but_volatile");
+  EXPECT_EQ(checker_.violations()[0].site, "oplog.entry");
+}
+
+class JournalMutationTest : public ::testing::Test {
+ protected:
+  JournalMutationTest()
+      : dev_(&ctx_, 4 * kMiB),
+        checker_(PersistChecker::Mode::kCollect),
+        journal_(&dev_, /*journal_start_block=*/1, /*journal_blocks=*/64) {
+    dev_.SetPersistChecker(&checker_);
+  }
+
+  void DirtyOneBlock() {
+    Journal::Handle h(&journal_);
+    journal_.Dirty(MetaBlockId(MetaKind::kInodeTable, 1), [] {});
+  }
+
+  sim::Context ctx_;
+  pmem::Device dev_;
+  PersistChecker checker_;
+  Journal journal_;
+};
+
+TEST_F(JournalMutationTest, CommitRecordStrictlyAfterPayloadIsClean) {
+  DirtyOneBlock();
+  journal_.CommitRunning(/*fsync_barrier=*/false);
+  EXPECT_EQ(journal_.commits(), 1u);
+  EXPECT_EQ(checker_.violation_count(), 0u);
+  // The fixed writeout has no empty fence: both fences persist something.
+  EXPECT_EQ(checker_.empty_fences_by_site()["journal.commit"], 0u);
+}
+
+TEST_F(JournalMutationTest, LegacyCommitOrderFiresPublishBeforePersist) {
+  // Mutation for rule (b): revert to the pre-fix writeout, where the commit
+  // record lands in the same writeout burst as the payload and both persist at
+  // one fence (the trailing fence is then empty).
+  journal_.set_legacy_commit_order_for_test(true);
+  DirtyOneBlock();
+  journal_.CommitRunning(/*fsync_barrier=*/false);
+  ASSERT_GE(checker_.violation_count(), 1u);
+  EXPECT_EQ(checker_.violations()[0].rule, "publish_before_persist");
+  EXPECT_EQ(checker_.violations()[0].site, "journal.commit");
+  // The lint sees the legacy order's trailing empty fence, attributed to site.
+  EXPECT_GE(checker_.empty_fences_by_site()["journal.commit"], 1u);
+}
+
+TEST(RangeLockWitnessTest, InvertedInodePairFiresOrderViolation) {
+  // Mutation for the witness: K-Split's documented ascending-ino discipline on
+  // "ext4.inode_range" locks, inverted. Both locks share the interned site, so
+  // the same-site order-key check applies.
+  LockWitness w(LockWitness::Mode::kCollect);
+  LockWitness::SetGlobalForTest(&w);
+  {
+    vfs::RangeLock lo(nullptr, nullptr, "ext4.inode_range");
+    vfs::RangeLock hi(nullptr, nullptr, "ext4.inode_range");
+    lo.SetWitnessOrderKey(3);
+    hi.SetWitnessOrderKey(5);
+    // Correct discipline first: ascending ino, no violation.
+    lo.LockExclusive(0, vfs::RangeLock::kWholeFile);
+    hi.LockExclusive(0, vfs::RangeLock::kWholeFile);
+    hi.UnlockExclusive(0, vfs::RangeLock::kWholeFile);
+    lo.UnlockExclusive(0, vfs::RangeLock::kWholeFile);
+    EXPECT_EQ(w.violation_count(), 0u);
+    // Inverted pair: the witness reports it even though nothing deadlocks.
+    hi.LockExclusive(0, vfs::RangeLock::kWholeFile);
+    lo.LockExclusive(0, vfs::RangeLock::kWholeFile);
+    lo.UnlockExclusive(0, vfs::RangeLock::kWholeFile);
+    hi.UnlockExclusive(0, vfs::RangeLock::kWholeFile);
+  }
+  LockWitness::SetGlobalForTest(nullptr);
+  ASSERT_GE(w.violation_count(), 1u);
+  EXPECT_EQ(w.violations()[0].kind, "order");
+}
+
+// --- Integration: full U-Split workload under both checkers ---------------------------
+
+Options SmallOptions(Mode mode) {
+  Options o;
+  o.mode = mode;
+  o.num_staging_files = 2;
+  o.staging_file_bytes = 4 * kMiB;
+  o.oplog_bytes = 1 * kMiB;
+  return o;
+}
+
+// Runs a small mixed workload; returns the final virtual time.
+uint64_t RunWorkload(Mode mode, PersistChecker* checker, LockWitness* witness) {
+  sim::Context ctx;
+  pmem::Device dev(&ctx, 256 * kMiB);
+  if (checker != nullptr) {
+    dev.SetPersistChecker(checker);
+  }
+  LockWitness::SetGlobalForTest(witness);
+  {
+    ext4sim::Ext4Dax kfs(&dev);
+    SplitFs fs(&kfs, SmallOptions(mode));
+    std::vector<uint8_t> buf(3 * kBlockSize + 17, 0x5A);
+    int fd = fs.Open("/w", vfs::kRdWr | vfs::kCreate);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(fs.Pwrite(fd, buf.data(), buf.size(), 0),
+              static_cast<ssize_t>(buf.size()));
+    EXPECT_EQ(fs.Fsync(fd), 0);
+    EXPECT_EQ(fs.Pwrite(fd, buf.data(), kBlockSize, kBlockSize),  // Overwrite.
+              static_cast<ssize_t>(kBlockSize));
+    EXPECT_EQ(fs.Pwrite(fd, buf.data(), buf.size(), buf.size()),  // Append more.
+              static_cast<ssize_t>(buf.size()));
+    EXPECT_EQ(fs.Close(fd), 0);
+    EXPECT_EQ(fs.Rename("/w", "/w2"), 0);
+    EXPECT_EQ(fs.Unlink("/w2"), 0);
+  }
+  LockWitness::SetGlobalForTest(nullptr);
+  return ctx.clock.Now();
+}
+
+class AnalysisIntegrationTest : public ::testing::TestWithParam<Mode> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModes, AnalysisIntegrationTest,
+                         ::testing::Values(Mode::kPosix, Mode::kSync, Mode::kStrict),
+                         [](const auto& info) { return ModeName(info.param); });
+
+TEST_P(AnalysisIntegrationTest, WorkloadIsCleanUnderBothCheckers) {
+  PersistChecker checker(PersistChecker::Mode::kCollect);
+  LockWitness witness(LockWitness::Mode::kCollect);
+  RunWorkload(GetParam(), &checker, &witness);
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.violations()[0].detail;
+  EXPECT_EQ(witness.violation_count(), 0u) << witness.violations()[0].detail;
+  // Coverage: the annotated hierarchy really showed up in the order graph.
+  EXPECT_GT(witness.edge_count(), 0u);
+}
+
+TEST_P(AnalysisIntegrationTest, CheckersNeverTouchTheClock) {
+  // The zero-cost contract: enabling both checkers must not move one virtual-
+  // time charge. Same workload, with and without, bit-identical final clocks.
+  uint64_t bare = RunWorkload(GetParam(), nullptr, nullptr);
+  PersistChecker checker(PersistChecker::Mode::kCollect);
+  LockWitness witness(LockWitness::Mode::kCollect);
+  uint64_t checked = RunWorkload(GetParam(), &checker, &witness);
+  EXPECT_EQ(bare, checked);
+}
+
+TEST(AnalysisGatingTest, CheckersAreOffByDefault) {
+  if (std::getenv("SPLITFS_ANALYSIS") != nullptr) {
+    GTEST_SKIP() << "Suite running with SPLITFS_ANALYSIS set.";
+  }
+  sim::Context ctx;
+  pmem::Device dev(&ctx, kMiB);
+  EXPECT_EQ(dev.persist_checker(), nullptr);
+  EXPECT_EQ(LockWitness::Global(), nullptr);
+}
+
+}  // namespace
